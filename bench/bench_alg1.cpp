@@ -1,0 +1,95 @@
+// E2 — Theorem 3.3: Algorithm 1 is 3-competitive (single machine,
+// unweighted).
+//
+// Sweeps (G, T, load) over Poisson and bursty workloads, measuring the
+// competitive ratio against the exact offline optimum per seed, and
+// contrasts with the baselines. Expected shape: Algorithm 1's max ratio
+// stays below 3 everywhere (mean typically 1.0-1.5); eager degrades as
+// G/T grows, ski-rental degrades on trickles.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "online/alg1_unweighted.hpp"
+#include "online/baselines.hpp"
+#include "util/table.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+using namespace calib;
+
+Instance make_workload(int family, Time T, double rate, Prng& prng) {
+  if (family == 0) {
+    PoissonConfig config;
+    config.rate = rate;
+    config.steps = 120;
+    return poisson_instance(config, T, 1, prng);
+  }
+  BurstyConfig config;
+  config.burst_probability = rate / 4.0;
+  config.burst_length = 6;
+  config.steps = 120;
+  return bursty_instance(config, T, 1, prng);
+}
+
+void BM_Alg1Ratio(benchmark::State& state) {
+  const Cost G = state.range(0);
+  const Time T = state.range(1);
+  const int family = static_cast<int>(state.range(2));
+  Prng prng(static_cast<std::uint64_t>(state.range(0) * 7919 + T));
+  double worst = 0.0;
+  for (auto _ : state) {
+    const Instance instance = make_workload(family, T, 0.25, prng);
+    Alg1Unweighted policy;
+    worst = std::max(worst, benchutil::ratio_vs_opt(instance, G, policy));
+  }
+  state.counters["worst_ratio"] = worst;
+  state.counters["bound"] = 3.0;
+}
+
+BENCHMARK(BM_Alg1Ratio)
+    ->ArgsProduct({{4, 12, 36}, {3, 6, 12}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+
+struct TablePrinter {
+  ~TablePrinter() {
+    std::cout << "\nE2 / Theorem 3.3 - Algorithm 1 competitive ratio vs "
+                 "exact OPT (60 seeds per cell, bound = 3):\n";
+    Table table({"workload", "G", "T", "policy", "mean", "p95", "max"});
+    for (const int family : {0, 1}) {
+      for (const Cost G : {4, 12, 36}) {
+        for (const Time T : {3, 6, 12}) {
+          auto add_row = [&](const char* name, auto make_policy) {
+            const Summary summary = benchutil::ensemble(
+                60, [&](std::uint64_t seed) {
+                  Prng prng(seed * 2654435761u + static_cast<std::uint64_t>(
+                                                     G * 31 + T * 7 +
+                                                     family));
+                  const Instance instance =
+                      make_workload(family, T, 0.25, prng);
+                  auto policy = make_policy();
+                  return benchutil::ratio_vs_opt(instance, G, policy);
+                });
+            table.row()
+                .add(family == 0 ? "poisson" : "bursty")
+                .add(G)
+                .add(T)
+                .add(name)
+                .add(summary.mean(), 3)
+                .add(summary.percentile(95), 3)
+                .add(summary.max(), 3);
+          };
+          add_row("alg1", [] { return Alg1Unweighted(); });
+          add_row("eager", [] { return EagerPolicy(); });
+          add_row("ski-rental", [] { return SkiRentalPolicy(); });
+        }
+      }
+    }
+    table.print(std::cout);
+  }
+};
+const TablePrinter printer;  // NOLINT(cert-err58-cpp)
+
+}  // namespace

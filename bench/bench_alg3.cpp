@@ -1,0 +1,122 @@
+// E4 — Theorem 3.10: Algorithm 3 is 12-competitive on P machines
+// (unweighted).
+//
+// Small instances: ratio against the exhaustive multi-machine optimum.
+// Larger instances: ratio against the Figure 1 LP lower bound (an upper
+// bound on the true competitive ratio, by weak duality). Expected
+// shape: both stay far below 12; the LP-based figure is looser (the
+// relaxation pays calibrations fractionally) but still single-digit.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <mutex>
+
+#include "bench_common.hpp"
+#include "lp/calib_lp.hpp"
+#include "offline/brute_force.hpp"
+#include "online/alg3_multi.hpp"
+#include "util/table.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+using namespace calib;
+
+void BM_Alg3SmallVsExhaustive(benchmark::State& state) {
+  const int machines = static_cast<int>(state.range(0));
+  const Cost G = state.range(1);
+  Prng prng(static_cast<std::uint64_t>(machines * 101 + G));
+  double worst = 0.0;
+  for (auto _ : state) {
+    const Instance instance = sparse_uniform_instance(
+        6, 10, 3, machines, WeightModel::kUnit, 1, prng);
+    Alg3Multi policy;
+    const Cost alg = online_objective(instance, G, policy);
+    const OfflineSolution opt = brute_force_online_objective(
+        instance, G, StartCandidates::kExhaustive);
+    worst = std::max(worst, static_cast<double>(alg) /
+                                static_cast<double>(opt.schedule->online_cost(
+                                    instance, G)));
+  }
+  state.counters["worst_ratio"] = worst;
+}
+
+BENCHMARK(BM_Alg3SmallVsExhaustive)
+    ->ArgsProduct({{1, 2, 3}, {4, 9}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Alg3Throughput(benchmark::State& state) {
+  // Raw policy throughput on a big instance (no OPT): jobs per second.
+  const int machines = static_cast<int>(state.range(0));
+  Prng prng(42);
+  PoissonConfig config;
+  config.rate = 0.4 * machines;
+  config.steps = 5000;
+  const Instance instance = poisson_instance(config, 10, machines, prng);
+  for (auto _ : state) {
+    Alg3Multi policy;
+    benchmark::DoNotOptimize(run_online(instance, 20, policy));
+  }
+  state.SetItemsProcessed(state.iterations() * instance.size());
+}
+
+BENCHMARK(BM_Alg3Throughput)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+struct TablePrinter {
+  ~TablePrinter() {
+    std::cout << "\nE4 / Theorem 3.10 - Algorithm 3 on P machines "
+                 "(bound = 12).\nSmall instances vs exhaustive OPT "
+                 "(30 seeds); medium instances vs the Figure 1 LP lower "
+                 "bound (10 seeds):\n";
+    Table table({"P", "G", "T", "reference", "mean", "max"});
+    for (const int machines : {1, 2, 3}) {
+      for (const Cost G : {4, 9}) {
+        const Summary exact = benchutil::ensemble(
+            30, [&](std::uint64_t seed) {
+              Prng prng(seed * 7907u +
+                        static_cast<std::uint64_t>(machines * 13 + G));
+              const Instance instance = sparse_uniform_instance(
+                  6, 10, 3, machines, WeightModel::kUnit, 1, prng);
+              Alg3Multi policy;
+              const Cost alg = online_objective(instance, G, policy);
+              const OfflineSolution opt = brute_force_online_objective(
+                  instance, G, StartCandidates::kExhaustive);
+              return static_cast<double>(alg) /
+                     static_cast<double>(
+                         opt.schedule->online_cost(instance, G));
+            });
+        table.row()
+            .add(machines)
+            .add(G)
+            .add(static_cast<std::int64_t>(3))
+            .add("exhaustive OPT")
+            .add(exact.mean(), 3)
+            .add(exact.max(), 3);
+      }
+    }
+    for (const int machines : {2, 4}) {
+      const Cost G = 8;
+      const Summary lp_ratio = benchutil::ensemble(
+          10, [&](std::uint64_t seed) {
+            Prng prng(seed * 6229u + static_cast<std::uint64_t>(machines));
+            const Instance instance = sparse_uniform_instance(
+                8, 14, 4, machines, WeightModel::kUnit, 1, prng);
+            Alg3Multi policy;
+            const Cost alg = online_objective(instance, G, policy);
+            return static_cast<double>(alg) / lp_lower_bound(instance, G);
+          });
+      table.row()
+          .add(machines)
+          .add(G)
+          .add(static_cast<std::int64_t>(4))
+          .add("LP lower bound")
+          .add(lp_ratio.mean(), 3)
+          .add(lp_ratio.max(), 3);
+    }
+    table.print(std::cout);
+  }
+};
+const TablePrinter printer;  // NOLINT(cert-err58-cpp)
+
+}  // namespace

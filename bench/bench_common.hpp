@@ -1,0 +1,41 @@
+// Shared helpers for the experiment harness: ratio measurement against
+// the exact offline optimum, seed-ensemble averaging on the thread pool.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+
+#include "offline/budget_search.hpp"
+#include "online/driver.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+
+namespace calib::benchutil {
+
+/// Competitive ratio of `policy` on `instance` against the exact
+/// offline optimum (Section 4 DP searched over budgets).
+inline double ratio_vs_opt(const Instance& instance, Cost G,
+                           OnlinePolicy& policy) {
+  const Cost alg = online_objective(instance, G, policy);
+  const Cost opt = offline_online_optimum(instance, G).best_cost;
+  return static_cast<double>(alg) / static_cast<double>(opt);
+}
+
+/// Run `trial(seed_index)` for `trials` seeds in parallel; returns the
+/// pooled summary of its returned statistic.
+inline Summary ensemble(int trials,
+                        const std::function<double(std::uint64_t)>& trial) {
+  Summary summary;
+  std::mutex mutex;
+  global_pool().parallel_for(static_cast<std::size_t>(trials),
+                             [&](std::size_t i) {
+                               const double value =
+                                   trial(static_cast<std::uint64_t>(i));
+                               const std::scoped_lock lock(mutex);
+                               summary.add(value);
+                             });
+  return summary;
+}
+
+}  // namespace calib::benchutil

@@ -1,0 +1,99 @@
+// E6 — Theorem 4.7: the offline DP runs in O(K n^3).
+//
+// Times the DP over an n-sweep (K proportional to n) and a K-sweep
+// (n fixed), then fits a power law to the n-sweep. Expected shape:
+// fitted exponent <= ~4 in n when K ~ n (the paper counts O(K n^3) for
+// the full budget range, i.e. n^4 total here) and near-linear in K.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <vector>
+
+#include "offline/dp.hpp"
+#include "util/prng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+using namespace calib;
+
+Instance dp_instance(int jobs, Prng& prng) {
+  return sparse_uniform_instance(jobs, jobs * 3, 5, 1,
+                                 WeightModel::kUniform, 9, prng);
+}
+
+void BM_DpSolve(benchmark::State& state) {
+  const int jobs = static_cast<int>(state.range(0));
+  const int budget = static_cast<int>(state.range(1));
+  Prng prng(static_cast<std::uint64_t>(jobs));
+  const Instance instance = dp_instance(jobs, prng);
+  for (auto _ : state) {
+    OfflineDp dp(instance);  // fresh memo each iteration
+    benchmark::DoNotOptimize(dp.min_flow(budget));
+  }
+  state.counters["n"] = jobs;
+  state.counters["K"] = budget;
+}
+
+BENCHMARK(BM_DpSolve)
+    ->Args({20, 5})
+    ->Args({40, 10})
+    ->Args({60, 15})
+    ->Args({80, 20})
+    ->Args({120, 30})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DpBudgetSweep(benchmark::State& state) {
+  const int budget = static_cast<int>(state.range(0));
+  Prng prng(77);
+  const Instance instance = dp_instance(60, prng);
+  for (auto _ : state) {
+    OfflineDp dp(instance);
+    benchmark::DoNotOptimize(dp.min_flow(budget));
+  }
+}
+
+BENCHMARK(BM_DpBudgetSweep)->Arg(5)->Arg(15)->Arg(30)->Arg(60)
+    ->Unit(benchmark::kMillisecond);
+
+struct TablePrinter {
+  ~TablePrinter() {
+    std::cout << "\nE6 / Theorem 4.7 - DP runtime scaling "
+                 "(K = n/4, median of 3 runs):\n";
+    Table table({"n", "K", "runtime ms", "flow"});
+    std::vector<double> xs;
+    std::vector<double> ys;
+    for (const int jobs : {16, 24, 36, 54, 80, 120, 180}) {
+      Prng prng(static_cast<std::uint64_t>(jobs) * 31337u);
+      const Instance instance = dp_instance(jobs, prng);
+      const int budget = std::max(1, jobs / 4);
+      Summary times;
+      Cost flow = 0;
+      for (int rep = 0; rep < 3; ++rep) {
+        OfflineDp dp(instance);
+        Timer timer;
+        flow = dp.min_flow(budget);
+        times.add(timer.millis());
+      }
+      table.row()
+          .add(jobs)
+          .add(budget)
+          .add(times.median(), 2)
+          .add(flow);
+      xs.push_back(static_cast<double>(jobs));
+      ys.push_back(std::max(times.median(), 1e-3));
+    }
+    table.print(std::cout);
+    const PowerFit fit = fit_power(xs, ys);
+    std::cout << "Power-law fit: time ~ n^" << fit.exponent
+              << " (r2=" << fit.r2
+              << "); with K ~ n the paper's O(K n^3) predicts an exponent "
+                 "of at most 4.\n";
+  }
+};
+const TablePrinter printer;  // NOLINT(cert-err58-cpp)
+
+}  // namespace

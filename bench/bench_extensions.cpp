@@ -1,0 +1,146 @@
+// E11 — the paper's open problems, explored empirically:
+//   (a) randomization: Lemma 3.1's lower bound is deterministic-only;
+//       the randomized ski-rental threshold beats it in expectation on
+//       the oblivious rent/buy subgame (expected ratio -> e/(e-1));
+//   (b) weighted jobs on multiple machines (open after Theorems 3.8 and
+//       3.10): the natural merged policy, measured against the Figure 1
+//       LP lower bound and against per-machine decomposition.
+// Expected shape: randomized mean ~1.58 where the deterministic rule is
+// pinned at ~2; the weighted-multi heuristic stays within a small
+// constant of the LP bound across loads.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <iostream>
+#include <mutex>
+
+#include "bench_common.hpp"
+#include "lp/calib_lp.hpp"
+#include "online/alg1_unweighted.hpp"
+#include "online/alg4_weighted_multi.hpp"
+#include "online/baselines.hpp"
+#include "online/randomized.hpp"
+#include "util/table.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+using namespace calib;
+
+void BM_RandomizedRun(benchmark::State& state) {
+  Prng prng(4);
+  PoissonConfig config;
+  config.rate = 0.3;
+  config.steps = 500;
+  const Instance instance = poisson_instance(config, 6, 1, prng);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    RandomizedSkiRental policy(++seed);
+    benchmark::DoNotOptimize(online_objective(instance, 18, policy));
+  }
+}
+
+BENCHMARK(BM_RandomizedRun)->Unit(benchmark::kMillisecond);
+
+struct TablePrinter {
+  ~TablePrinter() {
+    std::cout << "\nE11a - randomized vs deterministic threshold on the "
+                 "rent/buy subgame (lone job, T < G; 600 draws per "
+                 "cell):\n";
+    Table a({"G", "T", "deterministic ratio", "randomized mean",
+             "randomized p95", "e/(e-1)"});
+    for (const Cost G : {50, 100, 400}) {
+      const Time T = G / 2;
+      const Instance lone({Job{0, 1}}, T);
+      const Cost opt = offline_online_optimum(lone, G).best_cost;
+      SkiRentalPolicy deterministic;
+      const double det =
+          static_cast<double>(online_objective(lone, G, deterministic)) /
+          static_cast<double>(opt);
+      Summary ratios;
+      for (std::uint64_t seed = 0; seed < 600; ++seed) {
+        RandomizedSkiRental policy(seed * 69427u + 11);
+        ratios.add(
+            static_cast<double>(online_objective(lone, G, policy)) /
+            static_cast<double>(opt));
+      }
+      a.row()
+          .add(static_cast<std::int64_t>(G))
+          .add(static_cast<std::int64_t>(T))
+          .add(det, 3)
+          .add(ratios.mean(), 3)
+          .add(ratios.percentile(95), 3)
+          .add(std::exp(1.0) / (std::exp(1.0) - 1.0), 3);
+    }
+    a.print(std::cout);
+
+    std::cout << "\nE11b - randomized policy on random workloads "
+                 "(50 seeds x 8 draws): same worst-case family as E2, "
+                 "expected cost vs exact OPT:\n";
+    Table b({"G", "T", "alg1 mean", "randomized mean (expected)"});
+    for (const auto& [G, T] :
+         std::vector<std::pair<Cost, Time>>{{12, 3}, {24, 6}, {48, 6}}) {
+      Summary det;
+      Summary rnd;
+      std::mutex mutex;
+      global_pool().parallel_for(50, [&, G, T](std::size_t seed) {
+        Prng prng(seed * 52711u + static_cast<std::uint64_t>(G));
+        const Instance instance = sparse_uniform_instance(
+            10, 40, T, 1, WeightModel::kUnit, 1, prng);
+        const Cost opt = offline_online_optimum(instance, G).best_cost;
+        Alg1Unweighted alg1;
+        const double det_ratio =
+            static_cast<double>(online_objective(instance, G, alg1)) /
+            static_cast<double>(opt);
+        double expectation = 0.0;
+        for (std::uint64_t draw = 0; draw < 8; ++draw) {
+          RandomizedSkiRental policy(seed * 131 + draw);
+          expectation +=
+              static_cast<double>(online_objective(instance, G, policy)) /
+              static_cast<double>(opt) / 8.0;
+        }
+        const std::scoped_lock lock(mutex);
+        det.add(det_ratio);
+        rnd.add(expectation);
+      });
+      b.row()
+          .add(static_cast<std::int64_t>(G))
+          .add(static_cast<std::int64_t>(T))
+          .add(det.mean(), 3)
+          .add(rnd.mean(), 3);
+    }
+    b.print(std::cout);
+
+    std::cout << "\nE11c - weighted jobs on P machines (open problem): "
+                 "merged policy vs the Figure 1 LP lower bound "
+                 "(10 seeds):\n";
+    Table c({"P", "G", "cost/LP mean", "cost/LP max"});
+    for (const int machines : {2, 3}) {
+      const Cost G = 8;
+      Summary ratios;
+      std::mutex mutex;
+      global_pool().parallel_for(10, [&, machines](std::size_t seed) {
+        Prng prng(seed * 40961u + static_cast<std::uint64_t>(machines));
+        const Instance instance = sparse_uniform_instance(
+            8, 14, 3, machines, WeightModel::kUniform, 5, prng);
+        Alg4WeightedMulti policy;
+        const Cost cost = online_objective(instance, G, policy);
+        const double lower = lp_lower_bound(instance, G);
+        const std::scoped_lock lock(mutex);
+        ratios.add(static_cast<double>(cost) / lower);
+      });
+      c.row()
+          .add(machines)
+          .add(static_cast<std::int64_t>(G))
+          .add(ratios.mean(), 3)
+          .add(ratios.max(), 3);
+    }
+    c.print(std::cout);
+    std::cout << "(cost/LP is an upper bound on the true competitive "
+                 "ratio; single digits support the conjecture that the "
+                 "merged policy is O(1)-competitive.)\n";
+  }
+};
+const TablePrinter printer;  // NOLINT(cert-err58-cpp)
+
+}  // namespace

@@ -1,0 +1,90 @@
+// E16 — the practical offline fallback: local search on the online
+// objective, where the paper's DP does not reach (P > 1) and online
+// algorithms leave constant factors on the table.
+// Expected shape: within a few percent of the exact DP at P = 1; close
+// to the LP lower bound at P in {2, 4}; always below Algorithm 2/3's
+// online cost (offline information helps).
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <mutex>
+
+#include "bench_common.hpp"
+#include "lp/calib_lp.hpp"
+#include "offline/local_search.hpp"
+#include "online/alg3_multi.hpp"
+#include "util/table.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+using namespace calib;
+
+void BM_LocalSearch(benchmark::State& state) {
+  const int jobs = static_cast<int>(state.range(0));
+  Prng prng(static_cast<std::uint64_t>(jobs));
+  const Instance instance = sparse_uniform_instance(
+      jobs, jobs * 3, 4, 2, WeightModel::kUniform, 5, prng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(local_search_offline(instance, 12));
+  }
+}
+
+BENCHMARK(BM_LocalSearch)->Arg(8)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+struct TablePrinter {
+  ~TablePrinter() {
+    std::cout << "\nE16 - offline local search (20 seeds per row):\n";
+    Table table({"P", "G", "vs exact OPT (P=1) mean/max",
+                 "vs LP bound mean/max", "vs online alg3 mean"});
+    for (const auto& [machines, G] :
+         std::vector<std::pair<int, Cost>>{{1, 8}, {1, 20}, {2, 8},
+                                           {4, 8}}) {
+      Summary vs_opt;
+      Summary vs_lp;
+      Summary vs_online;
+      std::mutex mutex;
+      global_pool().parallel_for(20, [&, machines, G](std::size_t seed) {
+        Prng prng(seed * 16127u +
+                  static_cast<std::uint64_t>(machines * 7 + G));
+        const Instance instance = sparse_uniform_instance(
+            8, 16, 3, machines, WeightModel::kUnit, 1, prng);
+        const Schedule schedule = local_search_offline(instance, G);
+        const auto cost =
+            static_cast<double>(schedule.online_cost(instance, G));
+        double opt_ratio = 0.0;
+        if (machines == 1) {
+          opt_ratio = cost / static_cast<double>(
+                                 offline_online_optimum(instance, G)
+                                     .best_cost);
+        }
+        const double lp_ratio = cost / lp_lower_bound(instance, G);
+        Alg3Multi policy;
+        const double online_ratio =
+            cost /
+            static_cast<double>(online_objective(instance, G, policy));
+        const std::scoped_lock lock(mutex);
+        if (machines == 1) vs_opt.add(opt_ratio);
+        vs_lp.add(lp_ratio);
+        vs_online.add(online_ratio);
+      });
+      table.row()
+          .add(machines)
+          .add(static_cast<std::int64_t>(G))
+          .add(vs_opt.empty()
+                   ? std::string("-")
+                   : (std::to_string(vs_opt.mean()).substr(0, 5) + " / " +
+                      std::to_string(vs_opt.max()).substr(0, 5)))
+          .add(std::to_string(vs_lp.mean()).substr(0, 5) + " / " +
+               std::to_string(vs_lp.max()).substr(0, 5))
+          .add(vs_online.mean(), 3);
+    }
+    table.print(std::cout);
+    std::cout << "(vs-online < 1 means hindsight helps; vs-LP is an "
+                 "upper bound on the true gap.)\n";
+  }
+};
+const TablePrinter printer;  // NOLINT(cert-err58-cpp)
+
+}  // namespace

@@ -1,0 +1,110 @@
+// E1 — Lemma 3.1: no deterministic online algorithm beats
+// (2 - o(1))-competitive.
+//
+// Runs the adaptive adversary against each policy over a (G, T) sweep
+// and prints, per cell, the realized ratio alongside the lemma's two
+// closed-form branch ratios 2 - 4/(G+3) and 2 - G/(T+G). Expected
+// shape: every policy's ratio against the adversary approaches 2 from
+// below as G grows with T >> G, and the exact offline optimum matches
+// the lemma's hand-constructed schedule on these instances.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <memory>
+
+#include "offline/brute_force.hpp"
+#include "offline/budget_search.hpp"
+#include "online/adversary.hpp"
+#include "online/alg1_unweighted.hpp"
+#include "online/baselines.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace calib;
+
+std::unique_ptr<OnlinePolicy> make_policy(int id) {
+  switch (id) {
+    case 0:
+      return std::make_unique<Alg1Unweighted>();
+    case 1:
+      return std::make_unique<EagerPolicy>();
+    default:
+      return std::make_unique<SkiRentalPolicy>();
+  }
+}
+
+/// Exact offline optimum of an adversary instance. The DP is exact but
+/// cubic, so beyond a few hundred jobs we use the lemma's closed form —
+/// which equals the DP value on these instances (asserted for small T in
+/// tests/test_adversary.cpp).
+Cost exact_opt(const AdversaryOutcome& outcome, Cost G) {
+  if (outcome.instance.size() <= 256) {
+    return offline_online_optimum(outcome.instance, G).best_cost;
+  }
+  return outcome.lemma_opt_cost;
+}
+
+void BM_AdversaryRatio(benchmark::State& state) {
+  const Cost G = state.range(0);
+  const Time T = state.range(1);
+  const int policy_id = static_cast<int>(state.range(2));
+  double ratio = 0.0;
+  for (auto _ : state) {
+    auto policy = make_policy(policy_id);
+    const AdversaryOutcome outcome =
+        run_lower_bound_adversary(*policy, G, T);
+    ratio = static_cast<double>(outcome.algorithm_cost) /
+            static_cast<double>(exact_opt(outcome, G));
+    benchmark::DoNotOptimize(ratio);
+  }
+  state.counters["ratio"] = ratio;
+  state.counters["lemma_branch1"] =
+      2.0 - 4.0 / (static_cast<double>(G) + 3.0);
+  state.counters["lemma_branch2"] =
+      2.0 - static_cast<double>(G) / static_cast<double>(T + G);
+}
+
+BENCHMARK(BM_AdversaryRatio)
+    ->ArgsProduct({{4, 16, 64, 256}, {8, 64, 512}, {0, 1, 2}})
+    ->Unit(benchmark::kMillisecond);
+
+/// Prints the headline table once at exit: per (G, T), the adversary's
+/// realized ratio for Algorithm 1 and the lemma's bound.
+struct TablePrinter {
+  ~TablePrinter() {
+    Table table({"G", "T", "policy", "branch", "alg_cost", "opt_cost",
+                 "ratio", "lemma_ratio"});
+    for (const Cost G : {4, 16, 64, 256, 1024}) {
+      for (const Time T : {8, 64, 512, 4096}) {
+        for (int policy_id = 0; policy_id < 3; ++policy_id) {
+          auto policy = make_policy(policy_id);
+          const AdversaryOutcome outcome =
+              run_lower_bound_adversary(*policy, G, T);
+          const Cost opt = exact_opt(outcome, G);
+          const double lemma =
+              outcome.calibrated_at_zero
+                  ? 2.0 - 4.0 / (static_cast<double>(G) + 3.0)
+                  : 2.0 - static_cast<double>(G) /
+                              static_cast<double>(T + G);
+          table.row()
+              .add(G)
+              .add(T)
+              .add(policy->name())
+              .add(outcome.calibrated_at_zero ? "calibrated@0" : "waited")
+              .add(outcome.algorithm_cost)
+              .add(opt)
+              .add(static_cast<double>(outcome.algorithm_cost) /
+                       static_cast<double>(opt),
+                   3)
+              .add(lemma, 3);
+        }
+      }
+    }
+    std::cout << "\nE1 / Lemma 3.1 - adversarial lower bound (ratio -> 2):\n";
+    table.print(std::cout);
+  }
+};
+const TablePrinter printer;  // NOLINT(cert-err58-cpp)
+
+}  // namespace

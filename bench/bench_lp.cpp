@@ -1,0 +1,112 @@
+// E7 — Figures 1 and 2: the LP relaxation and its dual as executable
+// lower bounds.
+//
+// For each instance: LP optimum (simplex on the Figure 1 primal), the
+// static Theorem 3.10 dual certificate (Figure 2), the exact OPT, and
+// Algorithm 1/3's online cost. Expected shape:
+//   dual certificate <= LP optimum <= OPT <= online cost,
+// with the LP recovering a large fraction of OPT (it pays flow exactly
+// but calibrations fractionally).
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <mutex>
+#include <tuple>
+
+#include "bench_common.hpp"
+#include "lp/calib_lp.hpp"
+#include "offline/brute_force.hpp"
+#include "lp/dual_check.hpp"
+#include "online/alg1_unweighted.hpp"
+#include "util/table.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+using namespace calib;
+
+void BM_LpSolve(benchmark::State& state) {
+  const int jobs = static_cast<int>(state.range(0));
+  Prng prng(static_cast<std::uint64_t>(jobs));
+  const Instance instance = sparse_uniform_instance(
+      jobs, jobs * 2, 3, 1, WeightModel::kUnit, 1, prng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lp_lower_bound(instance, 6));
+  }
+  state.counters["lp_vars"] =
+      static_cast<double>(CalibrationLp(instance, 6).problem().num_vars);
+}
+
+BENCHMARK(BM_LpSolve)->Arg(3)->Arg(5)->Arg(7)->Unit(benchmark::kMillisecond);
+
+struct TablePrinter {
+  ~TablePrinter() {
+    std::cout << "\nE7 / Figures 1+2 - certified lower-bound chain "
+                 "dual <= LP <= OPT <= online (8 seeds per row):\n";
+    Table table({"n", "P", "G", "dual/OPT", "LP/OPT", "online/OPT",
+                 "chain violations"});
+    for (const auto& [jobs, machines, G] :
+         std::vector<std::tuple<int, int, Cost>>{
+             {4, 1, 4}, {5, 1, 8}, {6, 1, 6}, {4, 2, 4}, {6, 2, 8}}) {
+      Summary dual_frac;
+      Summary lp_frac;
+      Summary online_frac;
+      int violations = 0;
+      std::mutex mutex;
+      global_pool().parallel_for(8, [&, jobs, machines, G](
+                                        std::size_t seed) {
+        Prng prng(seed * 52361u + static_cast<std::uint64_t>(jobs * 3 +
+                                                             machines));
+        const Instance instance = sparse_uniform_instance(
+            jobs, jobs * 2, 3, machines, WeightModel::kUnit, 1, prng);
+        const CalibrationLp lp(instance, G);
+        const DualChecker checker(lp);
+        const DualPoint certificate = checker.static_point();
+        const double dual_value =
+            checker.max_violation(certificate) < 1e-9
+                ? certificate.objective()
+                : 0.0;
+        const double lp_value = lp.solve().value;
+        // Exact OPT: exhaustive for multi-machine, DP otherwise.
+        double opt = 0.0;
+        if (machines == 1) {
+          opt = static_cast<double>(
+              offline_online_optimum(instance, G).best_cost);
+        } else {
+          const OfflineSolution solution = brute_force_online_objective(
+              instance, G, StartCandidates::kExhaustive);
+          opt = static_cast<double>(
+              solution.schedule->online_cost(instance, G));
+        }
+        Alg1Unweighted alg1;
+        double online = opt;
+        if (machines == 1) {
+          online =
+              static_cast<double>(online_objective(instance, G, alg1));
+        }
+        const std::scoped_lock lock(mutex);
+        dual_frac.add(dual_value / opt);
+        lp_frac.add(lp_value / opt);
+        online_frac.add(online / opt);
+        if (dual_value > lp_value + 1e-6 || lp_value > opt + 1e-6 ||
+            opt > online + 1e-6) {
+          ++violations;
+        }
+      });
+      table.row()
+          .add(jobs)
+          .add(machines)
+          .add(G)
+          .add(dual_frac.mean(), 3)
+          .add(lp_frac.mean(), 3)
+          .add(online_frac.mean(), 3)
+          .add(violations);
+    }
+    table.print(std::cout);
+    std::cout << "(chain violations must be 0; dual/LP fractions < 1 show "
+                 "how much the relaxations give up.)\n";
+  }
+};
+const TablePrinter printer;  // NOLINT(cert-err58-cpp)
+
+}  // namespace

@@ -1,0 +1,74 @@
+// E13 — Section 5's open problem made executable: the connection
+// between minimizing calibrations and machine minimization (Fineman &
+// Sheridan). With machines free and calibrations costly, sweep T:
+// small T forces many short calibrations; as T grows past the instance
+// span, the minimum calibration count converges to the minimum machine
+// count. Expected shape: a monotone non-increasing curve flattening at
+// exactly min_machines.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "machmin/machine_min.hpp"
+#include "util/prng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+using namespace calib;
+
+void BM_MinMachines(benchmark::State& state) {
+  const int jobs = static_cast<int>(state.range(0));
+  Prng prng(static_cast<std::uint64_t>(jobs));
+  const DeadlineInstance instance =
+      deadline_uniform_instance(jobs, jobs * 2, 3, 6, prng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(min_machines(instance));
+  }
+}
+
+BENCHMARK(BM_MinMachines)->Arg(16)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
+struct TablePrinter {
+  ~TablePrinter() {
+    std::cout << "\nE13 - calibrations vs machines as T grows "
+                 "(25 seeds; jobs on a 8-step span, windows <= 4):\n";
+    Table table({"T", "mean min calibrations", "mean min machines",
+                 "ratio", "converged (cal == mach)"});
+    for (const Time T : {1, 2, 3, 5, 8, 12}) {
+      Summary calibrations;
+      Summary machines;
+      int converged = 0;
+      int total = 0;
+      Prng prng(2026);
+      for (int seed = 0; seed < 25; ++seed) {
+        const DeadlineInstance base =
+            deadline_uniform_instance(5, 8, 2, 4, prng);
+        const DeadlineInstance instance(
+            std::vector<DeadlineJob>(base.jobs()), T, 1);
+        const auto cal = min_calibrations_unlimited_machines(instance);
+        if (!cal.has_value()) continue;
+        const int m = min_machines(instance);
+        calibrations.add(static_cast<double>(cal->size()));
+        machines.add(static_cast<double>(m));
+        ++total;
+        if (static_cast<int>(cal->size()) == m) ++converged;
+      }
+      table.row()
+          .add(static_cast<std::int64_t>(T))
+          .add(calibrations.mean(), 2)
+          .add(machines.mean(), 2)
+          .add(calibrations.mean() / machines.mean(), 2)
+          .add(std::to_string(converged) + "/" + std::to_string(total));
+    }
+    table.print(std::cout);
+    std::cout << "(ratio -> 1 as T covers the span: a calibration "
+                 "becomes a machine, the Fineman-Sheridan limit.)\n";
+  }
+};
+const TablePrinter printer;  // NOLINT(cert-err58-cpp)
+
+}  // namespace

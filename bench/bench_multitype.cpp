@@ -1,0 +1,112 @@
+// E12 — multiple calibration types (Angel et al., the paper's related
+// work [1]): can an adaptive policy that mixes a cheap quick touch-up
+// with an amortizing full recalibration beat committing to either type?
+//
+// Rows: the adaptive online heuristic vs the two single-type baselines
+// vs the exhaustive typed optimum on small instances. Expected shape:
+// adaptive <= min(single-type) on average, and within a small factor of
+// the optimum; which single type wins flips with the workload density —
+// the crossover the two-type model exists to exploit.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <mutex>
+
+#include "multitype/multitype_sched.hpp"
+#include "util/prng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+using namespace calib;
+
+// Quick is genuinely cheap in absolute terms (a lone job should buy
+// it), full genuinely amortizes (a dense stream should buy it) — the
+// regime where type choice matters.
+const std::vector<CalibrationType> kTwoTypes = {
+    {/*length=*/2, /*cost=*/4},
+    {/*length=*/8, /*cost=*/12},
+};
+
+void BM_OnlineMultitype(benchmark::State& state) {
+  Prng prng(9);
+  PoissonConfig config;
+  config.rate = 0.4;
+  config.steps = 400;
+  const Instance instance = poisson_instance(config, 2, 1, prng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(online_multitype(instance, kTwoTypes));
+  }
+  state.SetItemsProcessed(state.iterations() * instance.size());
+}
+
+BENCHMARK(BM_OnlineMultitype)->Unit(benchmark::kMillisecond);
+
+struct TablePrinter {
+  ~TablePrinter() {
+    std::cout << "\nE12 - multiple calibration types: adaptive vs "
+                 "single-type (40 seeds per density), jobs drawn "
+                 "sparse-uniform, T ignored by the typed model:\n";
+    Table table({"density", "adaptive", "quick-only", "full-only",
+                 "adaptive wins/ties", "vs optimum (small, mean)"});
+    for (const auto& [label, jobs, span] :
+         std::vector<std::tuple<const char*, int, Time>>{
+             {"sparse", 6, 36}, {"medium", 8, 24}, {"dense", 10, 14}}) {
+      Summary adaptive;
+      Summary quick_only;
+      Summary full_only;
+      Summary vs_opt;
+      int wins = 0;
+      int total = 0;
+      std::mutex mutex;
+      global_pool().parallel_for(40, [&, jobs, span](std::size_t seed) {
+        Prng prng(seed * 7127u + static_cast<std::uint64_t>(jobs));
+        const Instance instance = sparse_uniform_instance(
+            jobs, span, 2, 1, WeightModel::kUnit, 1, prng);
+        const auto a = online_multitype(instance, kTwoTypes);
+        const auto q =
+            online_multitype(instance, {kTwoTypes[0]});
+        const auto f =
+            online_multitype(instance, {kTwoTypes[1]});
+        const Cost ca = a.total_cost(instance);
+        const Cost cq = q.total_cost(instance);
+        const Cost cf = f.total_cost(instance);
+        double opt_ratio = 0.0;
+        // The exhaustive typed optimum is exponential; restrict the
+        // comparison to the first few seeds of the small family.
+        if (jobs <= 6 && seed < 10) {
+          Prng small_prng(seed * 7127u + 99u);
+          const Instance small = sparse_uniform_instance(
+              5, 12, 2, 1, WeightModel::kUnit, 1, small_prng);
+          const auto online_small = online_multitype(small, kTwoTypes);
+          const auto best = optimal_multitype(small, kTwoTypes);
+          opt_ratio =
+              static_cast<double>(online_small.total_cost(small)) /
+              static_cast<double>(best.total_cost(small));
+        }
+        const std::scoped_lock lock(mutex);
+        adaptive.add(static_cast<double>(ca));
+        quick_only.add(static_cast<double>(cq));
+        full_only.add(static_cast<double>(cf));
+        if (opt_ratio > 0.0) vs_opt.add(opt_ratio);
+        ++total;
+        if (ca <= std::min(cq, cf)) ++wins;
+      });
+      table.row()
+          .add(label)
+          .add(adaptive.mean(), 1)
+          .add(quick_only.mean(), 1)
+          .add(full_only.mean(), 1)
+          .add(std::to_string(wins) + "/" + std::to_string(total))
+          .add(vs_opt.empty() ? std::string("-")
+                              : std::to_string(vs_opt.mean()).substr(0, 5));
+    }
+    table.print(std::cout);
+  }
+};
+const TablePrinter printer;  // NOLINT(cert-err58-cpp)
+
+}  // namespace

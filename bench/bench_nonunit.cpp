@@ -1,0 +1,91 @@
+// E14 — non-unit preemptible jobs (Fineman-Sheridan / Angel et al.):
+// how well does the lazy-binning generalization track the exact
+// minimum, and how tight is the workload lower bound ceil(sum p / T)?
+// Expected shape: lazy == exact on nearly all instances; the workload
+// bound is loose exactly when windows are tight (forced fragmentation).
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "nonunit/nonunit.hpp"
+#include "util/check.hpp"
+#include "util/prng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace calib;
+
+NonUnitInstance random_nonunit(int count, Time span, Time T, Time p_max,
+                               Time slack_max, Prng& prng) {
+  std::vector<NonUnitJob> jobs;
+  for (int i = 0; i < count; ++i) {
+    const Time release = prng.uniform_int(0, span - 1);
+    const Time processing = prng.uniform_int(1, p_max);
+    const Time slack = prng.uniform_int(0, slack_max);
+    jobs.push_back(
+        NonUnitJob{release, release + processing + slack, processing});
+  }
+  return NonUnitInstance(std::move(jobs), T);
+}
+
+void BM_LazyNonunit(benchmark::State& state) {
+  // Wide slack keeps large instances feasible, so the timing measures
+  // real work rather than an early infeasibility bail-out.
+  Prng prng(3);
+  const int jobs = static_cast<int>(state.range(0));
+  const NonUnitInstance instance = random_nonunit(
+      jobs, static_cast<Time>(jobs) * 5, 4, 3, static_cast<Time>(jobs) * 3,
+      prng);
+  const auto lazy = lazy_binning_nonunit(instance);
+  CALIB_CHECK(lazy.has_value());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lazy_binning_nonunit(instance));
+  }
+}
+
+BENCHMARK(BM_LazyNonunit)->Arg(8)->Arg(32)->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+struct TablePrinter {
+  ~TablePrinter() {
+    std::cout << "\nE14 - non-unit preemptible jobs: lazy binning vs "
+                 "exact minimum calibrations (50 seeds per row):\n";
+    Table table({"T", "slack", "lazy == exact", "mean calibrations",
+                 "mean workload bound"});
+    for (const auto& [T, slack] : std::vector<std::pair<Time, Time>>{
+             {2, 1}, {3, 2}, {3, 6}, {4, 3}, {5, 8}}) {
+      int agree = 0;
+      int total = 0;
+      Summary calibrations;
+      Summary bound;
+      Prng prng(static_cast<std::uint64_t>(T * 37 + slack));
+      for (int seed = 0; seed < 50; ++seed) {
+        const NonUnitInstance instance =
+            random_nonunit(4, 8, T, 3, slack, prng);
+        const auto lazy = lazy_binning_nonunit(instance);
+        const auto exact = min_calibrations_nonunit(instance);
+        if (lazy.has_value() != exact.has_value()) continue;
+        if (!lazy.has_value()) continue;
+        ++total;
+        if (lazy->count() == exact->count()) ++agree;
+        calibrations.add(static_cast<double>(exact->count()));
+        bound.add(static_cast<double>(
+            (instance.total_processing() + T - 1) / T));
+      }
+      table.row()
+          .add(static_cast<std::int64_t>(T))
+          .add(static_cast<std::int64_t>(slack))
+          .add(std::to_string(agree) + "/" + std::to_string(total))
+          .add(calibrations.mean(), 2)
+          .add(bound.mean(), 2);
+    }
+    table.print(std::cout);
+    std::cout << "(fragmentation = mean calibrations above the workload "
+                 "bound; grows as windows tighten.)\n";
+  }
+};
+const TablePrinter printer;  // NOLINT(cert-err58-cpp)
+
+}  // namespace

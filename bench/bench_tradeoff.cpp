@@ -1,0 +1,107 @@
+// E8 — the paper's motivating tradeoff (Sections 1 and 4): flow versus
+// calibrations.
+//
+// Two series:
+//   (a) the frontier k -> F(k) (optimal flow at each calibration
+//       budget) for a representative day of jobs — the curve every
+//       downstream user reads off to price calibrations;
+//   (b) the G-sweep of the offline optimum's split between calibration
+//       spend and flow, plus the footnote-5 binary search vs the
+//       exhaustive scan.
+// Expected shape: F(k) is non-increasing with steeply diminishing
+// returns; as G grows the optimum shifts from many calibrations to few;
+// binary search agrees with exhaustive everywhere it is unimodal.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "offline/dp.hpp"
+#include "util/table.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+using namespace calib;
+
+Instance representative_day(std::uint64_t seed) {
+  Prng prng(seed);
+  PoissonConfig config;
+  config.rate = 0.35;
+  config.steps = 80;
+  config.weights = WeightModel::kUniform;
+  config.w_max = 6;
+  return poisson_instance(config, 6, 1, prng);
+}
+
+void BM_FlowCurve(benchmark::State& state) {
+  const Instance day = representative_day(11);
+  for (auto _ : state) {
+    OfflineDp dp(day);
+    benchmark::DoNotOptimize(dp.flow_curve(day.size()));
+  }
+}
+
+BENCHMARK(BM_FlowCurve)->Unit(benchmark::kMillisecond);
+
+void BM_BudgetSearchExhaustiveVsBinary(benchmark::State& state) {
+  const Instance day = representative_day(12);
+  const bool binary = state.range(0) != 0;
+  for (auto _ : state) {
+    if (binary) {
+      benchmark::DoNotOptimize(offline_online_optimum_binary(day, 15));
+    } else {
+      benchmark::DoNotOptimize(offline_online_optimum(day, 15));
+    }
+  }
+  state.SetLabel(binary ? "binary (footnote 5)" : "exhaustive");
+}
+
+BENCHMARK(BM_BudgetSearchExhaustiveVsBinary)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+struct TablePrinter {
+  ~TablePrinter() {
+    const Instance day = representative_day(11);
+    OfflineDp dp(day);
+    const auto curve = dp.flow_curve(day.size());
+
+    std::cout << "\nE8a - the flow-vs-calibrations frontier F(k) "
+                 "(n=" << day.size() << ", T=" << day.T() << "):\n";
+    Table frontier({"k", "F(k)", "marginal saving"});
+    Cost previous = kInfeasible;
+    for (int k = 1; k <= day.size(); ++k) {
+      const Cost flow = curve[static_cast<std::size_t>(k)];
+      if (flow == kInfeasible) continue;
+      frontier.row()
+          .add(k)
+          .add(flow)
+          .add(previous == kInfeasible ? std::string("-")
+                                       : std::to_string(previous - flow));
+      previous = flow;
+      if (flow == curve.back()) break;  // flat tail: stop printing
+    }
+    frontier.print(std::cout);
+
+    std::cout << "\nE8b - offline optimum's cost split as G grows, and "
+                 "footnote-5 binary search agreement:\n";
+    Table split({"G", "best k", "calibration spend", "flow", "total",
+                 "binary agrees"});
+    for (const Cost G : {1, 3, 7, 15, 30, 60, 120, 250}) {
+      const BudgetSearchResult exhaustive = offline_online_optimum(day, G);
+      const BudgetSearchResult binary =
+          offline_online_optimum_binary(day, G);
+      split.row()
+          .add(static_cast<std::int64_t>(G))
+          .add(exhaustive.best_k)
+          .add(G * exhaustive.best_k)
+          .add(exhaustive.best_cost - G * exhaustive.best_k)
+          .add(exhaustive.best_cost)
+          .add(binary.best_cost == exhaustive.best_cost ? "yes" : "NO");
+    }
+    split.print(std::cout);
+  }
+};
+const TablePrinter printer;  // NOLINT(cert-err58-cpp)
+
+}  // namespace

@@ -1,0 +1,109 @@
+// E5 — Lemma 3.4: converting any schedule to release order never
+// increases flow and at most doubles calibrations.
+//
+// Measures, over random valid schedules, the realized flow reduction
+// and calibration inflation of the transformation, and — the lemma's
+// use in Theorem 3.8 — the cost of the transformed *optimum* relative
+// to OPT (must be <= 2, typically much closer to 1).
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <mutex>
+#include <optional>
+
+#include "bench_common.hpp"
+#include "core/list_scheduler.hpp"
+#include "core/transform.hpp"
+#include "offline/dp.hpp"
+#include "util/table.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+using namespace calib;
+
+std::optional<Schedule> random_schedule(const Instance& instance,
+                                        Prng& prng) {
+  std::vector<Time> starts;
+  const auto calibrations =
+      static_cast<int>(prng.uniform_int(2, instance.size()));
+  for (int c = 0; c < calibrations; ++c) {
+    starts.push_back(prng.uniform_int(
+        instance.min_release() + 1 - instance.T(), instance.max_release()));
+  }
+  ListResult result = list_schedule(instance, starts);
+  if (!result.feasible()) return std::nullopt;
+  return std::move(result.schedule);
+}
+
+void BM_TransformThroughput(benchmark::State& state) {
+  Prng prng(7);
+  const Instance instance = sparse_uniform_instance(
+      static_cast<int>(state.range(0)), state.range(0) * 3, 4, 1,
+      WeightModel::kUniform, 6, prng);
+  std::optional<Schedule> schedule;
+  while (!schedule.has_value()) schedule = random_schedule(instance, prng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(to_release_order(instance, *schedule));
+  }
+  state.SetItemsProcessed(state.iterations() * instance.size());
+}
+
+BENCHMARK(BM_TransformThroughput)->Arg(16)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
+struct TablePrinter {
+  ~TablePrinter() {
+    std::cout << "\nE5 / Lemma 3.4 - release-order transformation "
+                 "(200 random schedules per row):\n";
+    Table table({"jobs", "T", "flow ratio (<=1)", "calib ratio max (<=2)",
+                 "ordered-OPT / OPT max (<=2)"});
+    Prng master(515);
+    for (const auto& [jobs, T] : std::vector<std::pair<int, Time>>{
+             {6, 2}, {8, 3}, {10, 4}, {12, 3}, {16, 5}}) {
+      Summary flow_ratio;
+      Summary calib_ratio;
+      Summary opt_ratio;
+      std::mutex mutex;
+      global_pool().parallel_for(200, [&, jobs, T](std::size_t seed) {
+        Prng prng(seed * 104729u + static_cast<std::uint64_t>(jobs));
+        const Instance instance = sparse_uniform_instance(
+            jobs, jobs * 3, T, 1, WeightModel::kUniform, 6, prng);
+        const auto schedule = random_schedule(instance, prng);
+        if (!schedule.has_value()) return;
+        const Schedule ordered = to_release_order(instance, *schedule);
+        const double fr =
+            static_cast<double>(ordered.weighted_flow(instance)) /
+            static_cast<double>(schedule->weighted_flow(instance));
+        const double cr =
+            static_cast<double>(ordered.calendar().count()) /
+            static_cast<double>(schedule->calendar().count());
+        // Theorem 3.8's use: transform the true optimum for a random G
+        // (the DP witness at the optimal budget).
+        const Cost G = prng.uniform_int(2, 20);
+        const BudgetSearchResult best = offline_online_optimum(instance, G);
+        OfflineDp dp(instance);
+        const auto opt_schedule = dp.solve(best.best_k);
+        const Schedule ordered_opt =
+            to_release_order(instance, *opt_schedule);
+        const double oratio =
+            static_cast<double>(ordered_opt.online_cost(instance, G)) /
+            static_cast<double>(opt_schedule->online_cost(instance, G));
+        const std::scoped_lock lock(mutex);
+        flow_ratio.add(fr);
+        calib_ratio.add(cr);
+        opt_ratio.add(oratio);
+      });
+      table.row()
+          .add(jobs)
+          .add(T)
+          .add(flow_ratio.mean(), 3)
+          .add(calib_ratio.max(), 3)
+          .add(opt_ratio.max(), 3);
+    }
+    table.print(std::cout);
+  }
+};
+const TablePrinter printer;  // NOLINT(cert-err58-cpp)
+
+}  // namespace

@@ -1,0 +1,68 @@
+// Camera calibration lab: a metrology bench that certifies camera
+// modules (Section 1 cites digital-camera calibration as a target
+// domain). The lab owner wants a *budget*: "how many calibrations per
+// day do I actually need?"
+//
+// This example walks the offline Section 4 machinery: it computes the
+// full flow-vs-budget curve F(k) with the O(K n^3) DP, prints the
+// marginal value of each extra calibration, picks the knee for a given
+// calibration price, and renders the optimal schedule at that budget.
+//
+//   $ ./camera_lab [price] [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "offline/budget_search.hpp"
+#include "offline/dp.hpp"
+#include "util/table.hpp"
+#include "workload/generators.hpp"
+
+int main(int argc, char** argv) {
+  using namespace calib;
+  const Cost price = argc > 1 ? std::atoll(argv[1]) : 18;
+  const std::uint64_t seed =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 99;
+  Prng prng(seed);
+
+  // A day's intake: 12 modules with mixed urgency, distinct arrival
+  // slots, calibration valid for T = 6 slots.
+  const Instance day = sparse_uniform_instance(
+      /*count=*/12, /*span=*/48, /*T=*/6, /*machines=*/1,
+      WeightModel::kUniform, /*w_max=*/5, prng);
+
+  std::cout << "Camera lab intake: " << day.to_string() << "\n\n";
+
+  OfflineDp dp(day);
+  const auto curve = dp.flow_curve(day.size());
+
+  Table table({"budget k", "optimal flow F(k)", "marginal saving",
+               "total cost at price " + std::to_string(price)});
+  Cost previous = kInfeasible;
+  for (int k = 1; k <= day.size(); ++k) {
+    const Cost flow = curve[static_cast<std::size_t>(k)];
+    if (flow == kInfeasible) {
+      table.row().add(static_cast<std::int64_t>(k)).add("infeasible").add(
+          "-").add("-");
+      continue;
+    }
+    const std::string marginal =
+        previous == kInfeasible ? "-" : std::to_string(previous - flow);
+    table.row()
+        .add(static_cast<std::int64_t>(k))
+        .add(flow)
+        .add(marginal)
+        .add(price * k + flow);
+    previous = flow;
+  }
+  table.print(std::cout);
+
+  const BudgetSearchResult best = offline_online_optimum(day, price);
+  std::cout << "\nKnee of the curve at price " << price << ": k = "
+            << best.best_k << " calibrations, total cost "
+            << best.best_cost << ".\n\n";
+
+  const auto schedule = dp.solve(best.best_k);
+  std::cout << "Optimal schedule at that budget:\n"
+            << schedule->render(day) << '\n';
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Fab line: a semiconductor test floor, the paper's motivating setting.
+//
+// A high-precision tester must be recalibrated every T time steps; lots
+// arrive stochastically with priorities (weights) reflecting the order
+// book. The example compares the paper's weighted online algorithm
+// against the baselines and the exact offline optimum over a shift, and
+// prints the cost breakdown (calibration spend vs weighted waiting).
+//
+//   $ ./fab_line [seed]
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "offline/budget_search.hpp"
+#include "online/alg2_weighted.hpp"
+#include "online/baselines.hpp"
+#include "online/driver.hpp"
+#include "util/table.hpp"
+#include "workload/generators.hpp"
+
+int main(int argc, char** argv) {
+  using namespace calib;
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2017;
+  Prng prng(seed);
+
+  // One 8-hour shift at 1 step = 5 minutes; calibration holds for
+  // ~2 hours (T = 25) and costs as much as 30 weighted wait-steps.
+  PoissonConfig config;
+  config.rate = 0.35;
+  config.steps = 96;
+  config.weights = WeightModel::kBimodal;  // mostly standard, some hot lots
+  config.w_max = 8;
+  const Instance shift = poisson_instance(config, /*T=*/25, /*machines=*/1,
+                                          prng);
+  const Cost G = 30;
+
+  std::cout << "Fab shift: " << shift.size() << " lots, T=" << shift.T()
+            << ", G=" << G << ", seed=" << seed << "\n\n";
+
+  const BudgetSearchResult opt = offline_online_optimum(shift, G);
+
+  Table table({"policy", "calibrations", "weighted flow", "objective",
+               "vs offline OPT"});
+  auto report = [&](OnlinePolicy& policy) {
+    const Schedule schedule = run_online(shift, G, policy);
+    const Cost cost = schedule.online_cost(shift, G);
+    table.row()
+        .add(policy.name())
+        .add(static_cast<std::int64_t>(schedule.calendar().count()))
+        .add(schedule.weighted_flow(shift))
+        .add(cost)
+        .add(static_cast<double>(cost) /
+                 static_cast<double>(opt.best_cost),
+             3);
+  };
+  Alg2Weighted alg2;
+  EagerPolicy eager;
+  SkiRentalPolicy ski;
+  PeriodicPolicy periodic(shift.T());
+  report(alg2);
+  report(eager);
+  report(ski);
+  report(periodic);
+  table.row()
+      .add("offline OPT")
+      .add(static_cast<std::int64_t>(opt.best_k))
+      .add(opt.flow_curve[static_cast<std::size_t>(opt.best_k)])
+      .add(opt.best_cost)
+      .add(1.0, 3);
+  table.print(std::cout);
+
+  std::cout << "\nAlgorithm 2's guarantee (Theorem 3.8) is 12x; typical "
+               "shifts land far below it.\n";
+  return 0;
+}

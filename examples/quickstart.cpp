@@ -1,0 +1,51 @@
+// Quickstart: build an instance, run the paper's online algorithm and
+// the exact offline optimum, and compare.
+//
+//   $ ./quickstart
+//
+// Walks through the core API: Instance -> online policy -> Schedule,
+// plus the Section 4 DP via offline_online_optimum().
+#include <iostream>
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+#include "offline/budget_search.hpp"
+#include "offline/dp.hpp"
+#include "online/alg1_unweighted.hpp"
+#include "online/driver.hpp"
+
+int main() {
+  using namespace calib;
+
+  // Ten unit-weight jobs trickling in; calibrations last T = 5 steps and
+  // cost G = 12 each in the online objective.
+  Instance instance({Job{0, 1}, Job{1, 1}, Job{2, 1}, Job{7, 1}, Job{8, 1},
+                     Job{14, 1}, Job{15, 1}, Job{16, 1}, Job{17, 1},
+                     Job{18, 1}},
+                    /*calibration_length=*/5, /*machines=*/1);
+  const Cost G = 12;
+
+  std::cout << "Instance: " << instance.to_string() << "\n\n";
+
+  // --- Online: Algorithm 1 (3-competitive, Theorem 3.3) ---
+  Alg1Unweighted policy;
+  const Schedule online = run_online(instance, G, policy);
+  std::cout << "Algorithm 1 schedule (" << online.calendar().count()
+            << " calibrations, flow " << online.weighted_flow(instance)
+            << ", objective " << online.online_cost(instance, G) << "):\n"
+            << online.render(instance) << '\n';
+
+  // --- Offline: Section 4 DP, searched over the calibration budget ---
+  const BudgetSearchResult opt = offline_online_optimum(instance, G);
+  OfflineDp dp(instance);
+  const auto witness = dp.solve(opt.best_k);
+  std::cout << "Offline optimum uses " << opt.best_k
+            << " calibrations, objective " << opt.best_cost << ":\n"
+            << witness->render(instance) << '\n';
+
+  std::cout << "Competitive ratio on this instance: "
+            << static_cast<double>(online.online_cost(instance, G)) /
+                   static_cast<double>(opt.best_cost)
+            << " (Theorem 3.3 guarantees <= 3)\n";
+  return 0;
+}

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Build, test, and regenerate every experiment capture (E1-E16).
+# Usage: scripts/run_experiments.sh [build-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+
+cmake -B "$BUILD" -G Ninja
+cmake --build "$BUILD"
+
+ctest --test-dir "$BUILD" 2>&1 | tee test_output.txt
+
+{
+  for bench in "$BUILD"/bench/bench_*; do
+    [ -x "$bench" ] || continue
+    echo "================ $bench ================"
+    "$bench"
+  done
+} 2>&1 | tee bench_output.txt
+
+echo "Captured: test_output.txt, bench_output.txt"

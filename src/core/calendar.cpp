@@ -1,0 +1,120 @@
+#include "core/calendar.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace calib {
+
+Calendar::Calendar(Time T, int machines) : T_(T) {
+  CALIB_CHECK(T >= 1);
+  CALIB_CHECK(machines >= 1);
+  starts_.resize(static_cast<std::size_t>(machines));
+}
+
+Calendar Calendar::round_robin(std::vector<Time> global_starts, Time T,
+                               int machines) {
+  std::sort(global_starts.begin(), global_starts.end());
+  Calendar calendar(T, machines);
+  MachineId m = 0;
+  for (const Time start : global_starts) {
+    calendar.add(m, start);
+    m = static_cast<MachineId>((m + 1) % machines);
+  }
+  return calendar;
+}
+
+void Calendar::add(MachineId m, Time start) {
+  CALIB_CHECK(m >= 0 && m < machines());
+  auto& list = starts_[static_cast<std::size_t>(m)];
+  list.insert(std::upper_bound(list.begin(), list.end(), start), start);
+}
+
+int Calendar::count() const {
+  std::size_t total = 0;
+  for (const auto& list : starts_) total += list.size();
+  return static_cast<int>(total);
+}
+
+const std::vector<Time>& Calendar::starts(MachineId m) const {
+  CALIB_CHECK(m >= 0 && m < machines());
+  return starts_[static_cast<std::size_t>(m)];
+}
+
+std::vector<Time> Calendar::all_starts() const {
+  std::vector<Time> all;
+  for (const auto& list : starts_) all.insert(all.end(), list.begin(), list.end());
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+bool Calendar::covers(MachineId m, Time t) const {
+  const auto& list = starts(m);
+  // Any start in (t - T, t] covers t.
+  auto it = std::upper_bound(list.begin(), list.end(), t);
+  return it != list.begin() && *(it - 1) > t - T_;
+}
+
+Time Calendar::next_calibrated(MachineId m, Time t) const {
+  if (covers(m, t)) return t;
+  const auto& list = starts(m);
+  auto it = std::lower_bound(list.begin(), list.end(), t);
+  if (it == list.end()) return kUnscheduled;
+  return *it;
+}
+
+std::vector<Calendar::Run> Calendar::runs(MachineId m) const {
+  const auto& list = starts(m);
+  std::vector<Run> result;
+  for (const Time start : list) {
+    if (!result.empty() && start <= result.back().end) {
+      result.back().end = std::max(result.back().end, start + T_);
+    } else {
+      result.push_back(Run{start, start + T_});
+    }
+  }
+  return result;
+}
+
+std::vector<Calendar::Slot> Calendar::slots() const {
+  std::vector<Slot> result;
+  for (MachineId m = 0; m < machines(); ++m) {
+    for (const Run& run : runs(m)) {
+      for (Time t = run.begin; t < run.end; ++t) {
+        result.push_back(Slot{t, m});
+      }
+    }
+  }
+  std::sort(result.begin(), result.end(), [](const Slot& a, const Slot& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.machine < b.machine;
+  });
+  return result;
+}
+
+Time Calendar::horizon() const {
+  Time best = 0;
+  for (const auto& list : starts_) {
+    if (!list.empty()) best = std::max(best, list.back() + T_);
+  }
+  return best;
+}
+
+std::string Calendar::to_string() const {
+  std::ostringstream os;
+  os << "Calendar(T=" << T_ << ',';
+  for (MachineId m = 0; m < machines(); ++m) {
+    os << " m" << m << ":[";
+    const auto& list = starts(m);
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      if (i > 0) os << ' ';
+      os << list[i];
+    }
+    os << ']';
+  }
+  os << ')';
+  return os.str();
+}
+
+}  // namespace calib

@@ -1,0 +1,80 @@
+// Calendar: when each machine is calibrated.
+//
+// A calibration at time s on machine m makes the T time steps
+// [s, s+T) of m *calibrated* (paper Section 2). Calibrations may
+// overlap on a machine — legal but wasteful; each machine still runs at
+// most one unit job per step. The paper's algorithms separate the hard
+// decision (when to calibrate) from the easy one (which job to run,
+// Observation 2.1); Calendar is the value that crosses that boundary.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace calib {
+
+class Calendar {
+ public:
+  /// An empty calendar for `machines` machines with interval length T.
+  Calendar(Time T, int machines);
+
+  /// Observation 2.1 step 2: distribute a globally ordered list of
+  /// calibration times over machines in round-robin order.
+  static Calendar round_robin(std::vector<Time> global_starts, Time T,
+                              int machines);
+
+  [[nodiscard]] Time T() const { return T_; }
+  [[nodiscard]] int machines() const {
+    return static_cast<int>(starts_.size());
+  }
+
+  void add(MachineId m, Time start);
+
+  /// Total number of calibrations across all machines.
+  [[nodiscard]] int count() const;
+
+  /// Calibration starts of machine m, ascending.
+  [[nodiscard]] const std::vector<Time>& starts(MachineId m) const;
+
+  /// All calibration starts across machines, ascending (with multiplicity).
+  [[nodiscard]] std::vector<Time> all_starts() const;
+
+  /// Is time step t calibrated on machine m?
+  [[nodiscard]] bool covers(MachineId m, Time t) const;
+
+  /// Earliest calibrated step >= t on machine m, or kUnscheduled.
+  [[nodiscard]] Time next_calibrated(MachineId m, Time t) const;
+
+  /// Union of calibrated steps of machine m as sorted maximal [lo, hi)
+  /// runs (overlaps merged).
+  struct Run {
+    Time begin;
+    Time end;  // exclusive
+    friend bool operator==(const Run&, const Run&) = default;
+  };
+  [[nodiscard]] std::vector<Run> runs(MachineId m) const;
+
+  /// All calibrated (time, machine) slots in time order (machine index
+  /// as tie-break). Size is at most count() * T.
+  struct Slot {
+    Time time;
+    MachineId machine;
+    friend bool operator==(const Slot&, const Slot&) = default;
+  };
+  [[nodiscard]] std::vector<Slot> slots() const;
+
+  /// End of the last calibrated step + 1, or 0 if empty.
+  [[nodiscard]] Time horizon() const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Calendar&, const Calendar&) = default;
+
+ private:
+  Time T_;
+  std::vector<std::vector<Time>> starts_;  // per machine, sorted
+};
+
+}  // namespace calib

@@ -1,0 +1,72 @@
+#include "core/critical.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/check.hpp"
+
+namespace calib {
+
+bool is_critical(const Instance& instance, const Schedule& schedule,
+                 JobId j) {
+  CALIB_CHECK(instance.machines() == 1);
+  const Placement& p = schedule.placement(j);
+  if (p.start != instance.job(j).release) return false;
+  for (JobId other = 0; other < instance.size(); ++other) {
+    if (other == j) continue;
+    if (instance.job(other).release < instance.job(j).release &&
+        schedule.placement(other).start >= instance.job(j).release) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<JobId> critical_jobs(const Instance& instance,
+                                 const Schedule& schedule) {
+  std::vector<JobId> result;
+  for (JobId j = 0; j < instance.size(); ++j) {
+    if (is_critical(instance, schedule, j)) result.push_back(j);
+  }
+  return result;
+}
+
+bool satisfies_lemma_4_1(const Instance& instance, const Schedule& schedule) {
+  CALIB_CHECK(instance.machines() == 1);
+  std::map<Time, JobId> by_start;
+  for (JobId j = 0; j < instance.size(); ++j) {
+    by_start[schedule.placement(j).start] = j;
+  }
+  const auto runs = schedule.calendar().runs(0);
+  for (const auto& [start, j] : by_start) {
+    if (start == instance.job(j).release) continue;
+    // Find the maximal calibrated run containing this start; demand no
+    // idle step between the run's begin and the job's start.
+    const auto run = std::find_if(runs.begin(), runs.end(), [&](const auto& r) {
+      return r.begin <= start && start < r.end;
+    });
+    CALIB_CHECK(run != runs.end());
+    // The lemma is phrased per interval; for maximal runs the no-idle
+    // requirement from the run's begin is the conservative reading.
+    for (Time t = run->begin; t < start; ++t) {
+      if (!by_start.contains(t)) return false;
+    }
+  }
+  return true;
+}
+
+bool satisfies_lemma_4_2(const Instance& instance, const Schedule& schedule) {
+  CALIB_CHECK(instance.machines() == 1);
+  std::map<Time, JobId> by_start;
+  for (JobId j = 0; j < instance.size(); ++j) {
+    by_start[schedule.placement(j).start] = j;
+  }
+  for (const auto& run : schedule.calendar().runs(0)) {
+    const auto it = by_start.find(run.end - 1);
+    if (it == by_start.end()) return false;
+    if (instance.job(it->second).release != run.end - 1) return false;
+  }
+  return true;
+}
+
+}  // namespace calib

@@ -1,0 +1,31 @@
+// Critical jobs (Definition 4.4) and the structural predicates of the
+// offline section (Lemmas 4.1 / 4.2, Corollary 4.3). These power both
+// the DP's correctness tests and the structure-verification benches.
+#pragma once
+
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+
+namespace calib {
+
+/// Definition 4.4: job j is critical if it starts at its release time
+/// and every job released before r_j starts before r_j. P = 1.
+bool is_critical(const Instance& instance, const Schedule& schedule, JobId j);
+
+/// All critical jobs, ascending by index.
+std::vector<JobId> critical_jobs(const Instance& instance,
+                                 const Schedule& schedule);
+
+/// Lemma 4.1 predicate: every job either starts at its release time or
+/// has no idle step between its interval's start and its own start.
+/// Holds for every optimal schedule; checked on brute-force optima.
+bool satisfies_lemma_4_1(const Instance& instance, const Schedule& schedule);
+
+/// Lemma 4.2 predicate: the last time step of each calibration run holds
+/// a job scheduled at its release time. (Stated for maximal calibrated
+/// runs; holds for *some* optimal schedule.)
+bool satisfies_lemma_4_2(const Instance& instance, const Schedule& schedule);
+
+}  // namespace calib

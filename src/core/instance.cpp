@@ -1,0 +1,151 @@
+#include "core/instance.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/check.hpp"
+#include "util/csv.hpp"
+
+namespace calib {
+namespace {
+
+void sort_jobs(std::vector<Job>& jobs) {
+  std::stable_sort(jobs.begin(), jobs.end(), [](const Job& a, const Job& b) {
+    if (a.release != b.release) return a.release < b.release;
+    return a.weight > b.weight;
+  });
+}
+
+}  // namespace
+
+Instance::Instance(std::vector<Job> jobs, Time calibration_length,
+                   int machines)
+    : jobs_(std::move(jobs)), T_(calibration_length), machines_(machines) {
+  CALIB_CHECK_MSG(T_ >= 1, "calibration length T must be >= 1, got " << T_);
+  CALIB_CHECK_MSG(machines_ >= 1, "machine count must be >= 1");
+  for (const Job& job : jobs_) {
+    CALIB_CHECK_MSG(job.weight >= 1, "job weights must be >= 1");
+    CALIB_CHECK_MSG(job.release >= 0, "release times must be >= 0");
+  }
+  sort_jobs(jobs_);
+}
+
+const Job& Instance::job(JobId j) const {
+  CALIB_CHECK(j >= 0 && j < size());
+  return jobs_[static_cast<std::size_t>(j)];
+}
+
+Time Instance::min_release() const {
+  CALIB_CHECK(!jobs_.empty());
+  return jobs_.front().release;
+}
+
+Time Instance::max_release() const {
+  CALIB_CHECK(!jobs_.empty());
+  return jobs_.back().release;
+}
+
+Weight Instance::total_weight() const {
+  Weight sum = 0;
+  for (const Job& job : jobs_) sum += job.weight;
+  return sum;
+}
+
+bool Instance::is_unweighted() const {
+  return std::all_of(jobs_.begin(), jobs_.end(),
+                     [](const Job& job) { return job.weight == 1; });
+}
+
+bool Instance::releases_normalized() const {
+  std::map<Time, int> counts;
+  for (const Job& job : jobs_) ++counts[job.release];
+  return std::all_of(counts.begin(), counts.end(), [&](const auto& entry) {
+    return entry.second <= machines_;
+  });
+}
+
+Instance Instance::normalized() const {
+  std::vector<Job> jobs = jobs_;
+  sort_jobs(jobs);
+  // Repeatedly bump the lightest of any over-full release group by one
+  // time step. Jobs stay sorted by (release, weight desc), so the group
+  // for a release is a contiguous run and its lightest member is last.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::size_t run_begin = 0;
+    for (std::size_t i = 1; i <= jobs.size(); ++i) {
+      if (i == jobs.size() || jobs[i].release != jobs[run_begin].release) {
+        if (i - run_begin > static_cast<std::size_t>(machines_)) {
+          jobs[i - 1].release += 1;
+          changed = true;
+        }
+        run_begin = i;
+      }
+    }
+    if (changed) sort_jobs(jobs);
+  }
+  return Instance(std::move(jobs), T_, machines_);
+}
+
+Time Instance::horizon() const {
+  if (jobs_.empty()) return T_;
+  return max_release() + static_cast<Time>(jobs_.size()) + T_;
+}
+
+void Instance::save_csv(std::ostream& os) const {
+  os << "# T=" << T_ << " P=" << machines_ << '\n';
+  CsvWriter writer(os);
+  writer.write_row({"release", "weight"});
+  for (const Job& job : jobs_) {
+    writer.write_row({std::to_string(job.release),
+                      std::to_string(job.weight)});
+  }
+}
+
+Instance Instance::load_csv(std::istream& is) {
+  std::string header;
+  std::getline(is, header);
+  Time calibration_length = 0;
+  int machines = 0;
+  {
+    std::istringstream hs(header);
+    std::string tag;
+    std::string t_field;
+    std::string p_field;
+    hs >> tag >> t_field >> p_field;
+    if (tag != "#" || t_field.rfind("T=", 0) != 0 ||
+        p_field.rfind("P=", 0) != 0) {
+      throw std::runtime_error("instance csv: bad header line: " + header);
+    }
+    calibration_length = std::stoll(t_field.substr(2));
+    machines = std::stoi(p_field.substr(2));
+  }
+  const auto rows = read_csv(is);
+  std::vector<Job> jobs;
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    if (r == 0 && !rows[r].empty() && rows[r][0] == "release") continue;
+    if (rows[r].size() != 2) {
+      throw std::runtime_error("instance csv: expected 2 fields per row");
+    }
+    jobs.push_back(Job{std::stoll(rows[r][0]), std::stoll(rows[r][1])});
+  }
+  return Instance(std::move(jobs), calibration_length, machines);
+}
+
+std::string Instance::to_string() const {
+  std::ostringstream os;
+  os << "Instance(T=" << T_ << ", P=" << machines_ << ", jobs=[";
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << '(' << jobs_[i].release << ", w" << jobs_[i].weight << ')';
+  }
+  os << "])";
+  return os.str();
+}
+
+}  // namespace calib

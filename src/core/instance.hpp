@@ -1,0 +1,62 @@
+// Problem instance: a job set plus the calibration length T and machine
+// count P (paper Section 2).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace calib {
+
+class Instance {
+ public:
+  Instance() = default;
+
+  /// Jobs are stored sorted by (release, weight desc); T >= 1, P >= 1.
+  /// (The paper assumes T >= 2; T == 1 is accepted because Section 3.3's
+  /// analysis handles it as a corner case.)
+  Instance(std::vector<Job> jobs, Time calibration_length, int machines = 1);
+
+  [[nodiscard]] const std::vector<Job>& jobs() const { return jobs_; }
+  [[nodiscard]] const Job& job(JobId j) const;
+  [[nodiscard]] int size() const { return static_cast<int>(jobs_.size()); }
+  [[nodiscard]] bool empty() const { return jobs_.empty(); }
+  [[nodiscard]] Time T() const { return T_; }
+  [[nodiscard]] int machines() const { return machines_; }
+
+  [[nodiscard]] Time min_release() const;
+  [[nodiscard]] Time max_release() const;
+  [[nodiscard]] Weight total_weight() const;
+  [[nodiscard]] bool is_unweighted() const;
+
+  /// True if at most `machines()` jobs share any release time (the
+  /// paper's Section 2 normalization assumption).
+  [[nodiscard]] bool releases_normalized() const;
+
+  /// Paper footnote 1: while more than P jobs share a release time,
+  /// bump the lightest of them by +1 (ties among lightest: bump the one
+  /// that keeps job order stable). Preserves the optimal cost.
+  [[nodiscard]] Instance normalized() const;
+
+  /// Upper bound on any reasonable schedule's horizon: every job can be
+  /// finished by max_release + n + T (schedule everything greedily after
+  /// the last arrival). Used to bound brute-force searches and the LP.
+  [[nodiscard]] Time horizon() const;
+
+  /// Serialize as CSV rows "release,weight" with a "# T=..,P=.." header.
+  void save_csv(std::ostream& os) const;
+  static Instance load_csv(std::istream& is);
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Instance&, const Instance&) = default;
+
+ private:
+  std::vector<Job> jobs_;
+  Time T_ = 2;
+  int machines_ = 1;
+};
+
+}  // namespace calib

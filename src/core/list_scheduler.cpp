@@ -1,0 +1,67 @@
+#include "core/list_scheduler.hpp"
+
+#include <queue>
+
+#include "util/check.hpp"
+
+namespace calib {
+namespace {
+
+/// Order: heaviest weight first, then earliest release, then lowest id.
+struct HeaviestFirst {
+  const Instance* instance;
+  bool operator()(JobId a, JobId b) const {
+    const Job& ja = instance->job(a);
+    const Job& jb = instance->job(b);
+    if (ja.weight != jb.weight) return ja.weight < jb.weight;  // max-heap
+    if (ja.release != jb.release) return ja.release > jb.release;
+    return a > b;
+  }
+};
+
+}  // namespace
+
+ListResult list_schedule(const Instance& instance, const Calendar& calendar) {
+  CALIB_CHECK(calendar.T() == instance.T());
+  CALIB_CHECK(calendar.machines() == instance.machines());
+
+  Schedule schedule(calendar, instance.size());
+  std::priority_queue<JobId, std::vector<JobId>, HeaviestFirst> waiting{
+      HeaviestFirst{&instance}};
+
+  const std::vector<Calendar::Slot> slots = calendar.slots();
+  JobId next_arrival = 0;
+  std::size_t cursor = 0;
+  while (cursor < slots.size()) {
+    const Time t = slots[cursor].time;
+    while (next_arrival < instance.size() &&
+           instance.job(next_arrival).release <= t) {
+      waiting.push(next_arrival);
+      ++next_arrival;
+    }
+    // All slots at time t, already ordered by machine index.
+    while (cursor < slots.size() && slots[cursor].time == t) {
+      if (!waiting.empty()) {
+        const JobId j = waiting.top();
+        waiting.pop();
+        schedule.place(j, slots[cursor].machine, t);
+      }
+      ++cursor;
+    }
+  }
+
+  ListResult result{std::move(schedule), {}};
+  for (JobId j = 0; j < instance.size(); ++j) {
+    if (!result.schedule.is_placed(j)) result.unscheduled.push_back(j);
+  }
+  return result;
+}
+
+ListResult list_schedule(const Instance& instance,
+                         const std::vector<Time>& global_starts) {
+  return list_schedule(instance,
+                       Calendar::round_robin(global_starts, instance.T(),
+                                             instance.machines()));
+}
+
+}  // namespace calib

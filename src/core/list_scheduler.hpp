@@ -1,0 +1,35 @@
+// Observation 2.1: optimal assignment of jobs to calibrated slots.
+//
+// Given the calibration times, running the heaviest waiting job first
+// (ties: earliest release, then lowest index) on every calibrated, free
+// machine minimizes total weighted flow. This greedy is the paper's
+// bridge from "calibration decisions" to "complete schedule", and every
+// solver in the library funnels through it.
+#pragma once
+
+#include <vector>
+
+#include "core/calendar.hpp"
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+
+namespace calib {
+
+struct ListResult {
+  Schedule schedule;
+  /// Jobs the calendar had no slot for, ascending. Empty iff feasible.
+  std::vector<JobId> unscheduled;
+
+  [[nodiscard]] bool feasible() const { return unscheduled.empty(); }
+};
+
+/// Run Observation 2.1's greedy over `calendar`. Never fails; check
+/// `feasible()` to learn whether every job found a slot.
+ListResult list_schedule(const Instance& instance, const Calendar& calendar);
+
+/// Convenience: build the calendar from globally ordered calibration
+/// times via round-robin (Observation 2.1 step 2), then assign.
+ListResult list_schedule(const Instance& instance,
+                         const std::vector<Time>& global_starts);
+
+}  // namespace calib

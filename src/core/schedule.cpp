@@ -1,0 +1,156 @@
+#include "core/schedule.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace calib {
+
+Schedule::Schedule(Calendar calendar, int n) : calendar_(std::move(calendar)) {
+  CALIB_CHECK(n >= 0);
+  placements_.resize(static_cast<std::size_t>(n));
+}
+
+void Schedule::place(JobId j, MachineId m, Time start) {
+  CALIB_CHECK(j >= 0 && j < size());
+  CALIB_CHECK(m >= 0 && m < calendar_.machines());
+  placements_[static_cast<std::size_t>(j)] = Placement{start, m};
+}
+
+void Schedule::unplace(JobId j) {
+  CALIB_CHECK(j >= 0 && j < size());
+  placements_[static_cast<std::size_t>(j)] = Placement{};
+}
+
+const Placement& Schedule::placement(JobId j) const {
+  CALIB_CHECK(j >= 0 && j < size());
+  return placements_[static_cast<std::size_t>(j)];
+}
+
+bool Schedule::is_placed(JobId j) const {
+  return placement(j).start != kUnscheduled;
+}
+
+int Schedule::placed_count() const {
+  return static_cast<int>(
+      std::count_if(placements_.begin(), placements_.end(),
+                    [](const Placement& p) { return p.start != kUnscheduled; }));
+}
+
+Cost Schedule::weighted_flow(const Instance& instance) const {
+  CALIB_CHECK(instance.size() == size());
+  Cost total = 0;
+  for (JobId j = 0; j < size(); ++j) {
+    const Placement& p = placement(j);
+    CALIB_CHECK_MSG(p.start != kUnscheduled, "job " << j << " unplaced");
+    total += instance.job(j).weight * (p.start + 1 - instance.job(j).release);
+  }
+  return total;
+}
+
+Cost Schedule::weighted_completion(const Instance& instance) const {
+  CALIB_CHECK(instance.size() == size());
+  Cost total = 0;
+  for (JobId j = 0; j < size(); ++j) {
+    const Placement& p = placement(j);
+    CALIB_CHECK_MSG(p.start != kUnscheduled, "job " << j << " unplaced");
+    total += instance.job(j).weight * (p.start + 1);
+  }
+  return total;
+}
+
+Cost Schedule::online_cost(const Instance& instance, Cost G) const {
+  return G * calendar_.count() + weighted_flow(instance);
+}
+
+std::vector<JobId> Schedule::jobs_in_interval(MachineId m,
+                                              Time interval_start) const {
+  std::vector<JobId> jobs;
+  for (JobId j = 0; j < size(); ++j) {
+    const Placement& p = placement(j);
+    if (p.start == kUnscheduled || p.machine != m) continue;
+    if (p.start >= interval_start && p.start < interval_start + calendar_.T())
+      jobs.push_back(j);
+  }
+  std::sort(jobs.begin(), jobs.end(), [&](JobId a, JobId b) {
+    return placement(a).start < placement(b).start;
+  });
+  return jobs;
+}
+
+std::optional<std::string> Schedule::validate(const Instance& instance) const {
+  if (instance.size() != size()) {
+    return "schedule sized for " + std::to_string(size()) + " jobs, instance has " +
+           std::to_string(instance.size());
+  }
+  if (calendar_.T() != instance.T()) {
+    return "calendar T=" + std::to_string(calendar_.T()) +
+           " != instance T=" + std::to_string(instance.T());
+  }
+  if (calendar_.machines() != instance.machines()) {
+    return "calendar has " + std::to_string(calendar_.machines()) +
+           " machines, instance wants " + std::to_string(instance.machines());
+  }
+  std::set<std::pair<MachineId, Time>> occupied;
+  for (JobId j = 0; j < size(); ++j) {
+    const Placement& p = placement(j);
+    const std::string tag = "job " + std::to_string(j);
+    if (p.start == kUnscheduled) return tag + " is unscheduled";
+    if (p.machine < 0 || p.machine >= calendar_.machines())
+      return tag + " on invalid machine " + std::to_string(p.machine);
+    if (p.start < instance.job(j).release) {
+      return tag + " starts at " + std::to_string(p.start) +
+             " before its release " + std::to_string(instance.job(j).release);
+    }
+    if (!calendar_.covers(p.machine, p.start)) {
+      return tag + " runs at uncalibrated step " + std::to_string(p.start) +
+             " on machine " + std::to_string(p.machine);
+    }
+    if (!occupied.emplace(p.machine, p.start).second) {
+      return tag + " collides at (machine " + std::to_string(p.machine) +
+             ", t=" + std::to_string(p.start) + ")";
+    }
+  }
+  return std::nullopt;
+}
+
+std::string Schedule::render(const Instance& instance) const {
+  Time lo = 0;
+  Time hi = calendar_.horizon();
+  if (!instance.empty()) {
+    lo = std::min(lo, instance.min_release());
+    for (JobId j = 0; j < size(); ++j) {
+      if (is_placed(j)) hi = std::max(hi, placement(j).start + 1);
+    }
+  }
+  std::map<std::pair<MachineId, Time>, JobId> by_slot;
+  for (JobId j = 0; j < size(); ++j) {
+    if (is_placed(j)) {
+      by_slot[{placement(j).machine, placement(j).start}] = j;
+    }
+  }
+  std::ostringstream os;
+  os << "t:       ";
+  for (Time t = lo; t < hi; ++t) os << (t % 10) << ' ';
+  os << '\n';
+  for (MachineId m = 0; m < calendar_.machines(); ++m) {
+    os << "machine" << m << ' ';
+    for (Time t = lo; t < hi; ++t) {
+      auto it = by_slot.find({m, t});
+      if (it != by_slot.end()) {
+        os << static_cast<char>('a' + (it->second % 26)) << ' ';
+      } else if (calendar_.covers(m, t)) {
+        os << ". ";
+      } else {
+        os << "  ";
+      }
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace calib

@@ -1,0 +1,73 @@
+// Schedule: a calendar plus an assignment of jobs to (machine, time)
+// pairs, with exact cost accounting and full validation (paper Section 2).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/calendar.hpp"
+#include "core/instance.hpp"
+#include "core/types.hpp"
+
+namespace calib {
+
+/// Placement of one job. `start == kUnscheduled` means the job was never
+/// run (only ever legal in intermediate online states; validation
+/// rejects it).
+struct Placement {
+  Time start = kUnscheduled;
+  MachineId machine = 0;
+  friend bool operator==(const Placement&, const Placement&) = default;
+};
+
+class Schedule {
+ public:
+  /// An empty (nothing placed) schedule over `calendar` for `n` jobs.
+  Schedule(Calendar calendar, int n);
+
+  [[nodiscard]] const Calendar& calendar() const { return calendar_; }
+  [[nodiscard]] Calendar& calendar() { return calendar_; }
+
+  void place(JobId j, MachineId m, Time start);
+  void unplace(JobId j);
+  [[nodiscard]] const Placement& placement(JobId j) const;
+  [[nodiscard]] bool is_placed(JobId j) const;
+  [[nodiscard]] int placed_count() const;
+  [[nodiscard]] int size() const {
+    return static_cast<int>(placements_.size());
+  }
+
+  /// Total weighted flow time: sum_j w_j (t_j + 1 - r_j).
+  [[nodiscard]] Cost weighted_flow(const Instance& instance) const;
+
+  /// Total weighted completion time: sum_j w_j (t_j + 1). Differs from
+  /// weighted_flow by the instance constant sum_j w_j r_j; the offline DP
+  /// of Section 4 is phrased in completion time.
+  [[nodiscard]] Cost weighted_completion(const Instance& instance) const;
+
+  /// Online objective (Section 3): G * #calibrations + weighted flow.
+  [[nodiscard]] Cost online_cost(const Instance& instance, Cost G) const;
+
+  /// Jobs started in [interval_start, interval_start + T) on machine m.
+  [[nodiscard]] std::vector<JobId> jobs_in_interval(MachineId m,
+                                                    Time interval_start) const;
+
+  /// nullopt if the schedule is correct for `instance`:
+  ///   - every job placed, at start >= release, on a calibrated step,
+  ///   - no two jobs share a (machine, time) slot.
+  /// Otherwise a human-readable description of the first violation.
+  [[nodiscard]] std::optional<std::string> validate(
+      const Instance& instance) const;
+
+  /// ASCII timeline, one machine per row (debugging / examples).
+  [[nodiscard]] std::string render(const Instance& instance) const;
+
+  friend bool operator==(const Schedule&, const Schedule&) = default;
+
+ private:
+  Calendar calendar_;
+  std::vector<Placement> placements_;
+};
+
+}  // namespace calib

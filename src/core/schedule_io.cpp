@@ -1,0 +1,84 @@
+#include "core/schedule_io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace calib {
+
+void save_schedule_csv(const Schedule& schedule, std::ostream& os) {
+  const Calendar& calendar = schedule.calendar();
+  os << "# T=" << calendar.T() << " P=" << calendar.machines()
+     << " N=" << schedule.size() << '\n';
+  CsvWriter writer(os);
+  for (MachineId m = 0; m < calendar.machines(); ++m) {
+    for (const Time start : calendar.starts(m)) {
+      writer.write_row({"calibration", std::to_string(m),
+                        std::to_string(start)});
+    }
+  }
+  for (JobId j = 0; j < schedule.size(); ++j) {
+    const Placement& p = schedule.placement(j);
+    writer.write_row({"placement", std::to_string(j),
+                      std::to_string(p.machine),
+                      std::to_string(p.start)});
+  }
+}
+
+Schedule load_schedule_csv(std::istream& is) {
+  std::string header;
+  std::getline(is, header);
+  Time T = 0;
+  int machines = 0;
+  int jobs = 0;
+  {
+    std::istringstream hs(header);
+    std::string tag;
+    std::string t_field;
+    std::string p_field;
+    std::string n_field;
+    hs >> tag >> t_field >> p_field >> n_field;
+    if (tag != "#" || t_field.rfind("T=", 0) != 0 ||
+        p_field.rfind("P=", 0) != 0 || n_field.rfind("N=", 0) != 0) {
+      throw std::runtime_error("schedule csv: bad header: " + header);
+    }
+    T = std::stoll(t_field.substr(2));
+    machines = std::stoi(p_field.substr(2));
+    jobs = std::stoi(n_field.substr(2));
+  }
+  if (T < 1 || machines < 1 || jobs < 0) {
+    throw std::runtime_error("schedule csv: invalid header values");
+  }
+  Calendar calendar(T, machines);
+  Schedule schedule(calendar, jobs);
+  bool any_calibration = false;
+  for (const auto& row : read_csv(is)) {
+    if (row.empty()) continue;
+    if (row[0] == "calibration") {
+      if (row.size() != 3) {
+        throw std::runtime_error("schedule csv: bad calibration row");
+      }
+      schedule.calendar().add(std::stoi(row[1]), std::stoll(row[2]));
+      any_calibration = true;
+    } else if (row[0] == "placement") {
+      if (row.size() != 4) {
+        throw std::runtime_error("schedule csv: bad placement row");
+      }
+      const int j = std::stoi(row[1]);
+      if (j < 0 || j >= jobs) {
+        throw std::runtime_error("schedule csv: placement job out of range");
+      }
+      schedule.place(static_cast<JobId>(j), std::stoi(row[2]),
+                     std::stoll(row[3]));
+    } else {
+      throw std::runtime_error("schedule csv: unknown row kind " + row[0]);
+    }
+  }
+  (void)any_calibration;  // zero-calibration schedules are legal (n = 0)
+  return schedule;
+}
+
+}  // namespace calib

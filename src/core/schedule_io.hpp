@@ -1,0 +1,25 @@
+// Schedule serialization: persist a solved schedule (calendar +
+// placements) as CSV and reload it byte-identically. Lets the CLI and
+// downstream pipelines hand solved shifts between tools without
+// re-solving.
+//
+// Format:
+//   # T=<T> P=<machines> N=<jobs>
+//   calibration,<machine>,<start>        (one per calibration)
+//   placement,<job>,<machine>,<start>    (one per job)
+#pragma once
+
+#include <iosfwd>
+
+#include "core/schedule.hpp"
+
+namespace calib {
+
+void save_schedule_csv(const Schedule& schedule, std::ostream& os);
+
+/// Throws std::runtime_error on malformed input. The result is *not*
+/// validated against any instance (callers pair it with the matching
+/// instance file and call validate()).
+Schedule load_schedule_csv(std::istream& is);
+
+}  // namespace calib

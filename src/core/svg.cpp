@@ -1,0 +1,111 @@
+#include "core/svg.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace calib {
+namespace {
+
+std::string escape(const std::string& text) {
+  std::string out;
+  for (const char ch : text) {
+    switch (ch) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      default:
+        out += ch;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string render_svg(const Instance& instance, const Schedule& schedule,
+                       const SvgOptions& options) {
+  CALIB_CHECK(!schedule.validate(instance).has_value());
+  const Calendar& calendar = schedule.calendar();
+
+  Time lo = instance.empty() ? 0 : instance.min_release();
+  Time hi = calendar.horizon();
+  for (MachineId m = 0; m < calendar.machines(); ++m) {
+    for (const auto& run : calendar.runs(m)) lo = std::min(lo, run.begin);
+  }
+  hi = std::max(hi, lo + 1);
+
+  const int header = options.title.empty() ? 18 : 40;
+  const auto x_of = [&](Time t) {
+    return static_cast<long long>(t - lo) * options.cell_width + 40;
+  };
+  const int width =
+      static_cast<int>(x_of(hi)) + options.cell_width;
+  const int height =
+      header + calendar.machines() * options.lane_height + 24;
+
+  Weight w_max = 1;
+  for (const Job& job : instance.jobs()) w_max = std::max(w_max, job.weight);
+
+  std::ostringstream svg;
+  svg << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width
+      << "\" height=\"" << height << "\" font-family=\"monospace\">\n";
+  if (!options.title.empty()) {
+    svg << "  <text x=\"8\" y=\"20\" font-size=\"14\">"
+        << escape(options.title) << "</text>\n";
+  }
+  // Lanes with calibration bands.
+  for (MachineId m = 0; m < calendar.machines(); ++m) {
+    const int y = header + m * options.lane_height;
+    svg << "  <text x=\"4\" y=\"" << y + options.lane_height / 2 + 4
+        << "\" font-size=\"11\">m" << m << "</text>\n";
+    for (const auto& run : calendar.runs(m)) {
+      svg << "  <rect x=\"" << x_of(run.begin) << "\" y=\"" << y + 4
+          << "\" width=\""
+          << (run.end - run.begin) * options.cell_width << "\" height=\""
+          << options.lane_height - 8
+          << "\" fill=\"#cfe3f7\" stroke=\"#5588bb\"/>\n";
+    }
+  }
+  // Jobs.
+  for (JobId j = 0; j < instance.size(); ++j) {
+    const Placement& p = schedule.placement(j);
+    const int y = header + p.machine * options.lane_height;
+    const double opacity =
+        0.45 + 0.55 * static_cast<double>(instance.job(j).weight) /
+                   static_cast<double>(w_max);
+    svg << "  <rect x=\"" << x_of(p.start) + 1 << "\" y=\"" << y + 8
+        << "\" width=\"" << options.cell_width - 2 << "\" height=\""
+        << options.lane_height - 16
+        << "\" fill=\"#e2742f\" fill-opacity=\"" << opacity
+        << "\" stroke=\"#7a3a10\">\n"
+        << "    <title>job " << j << ": r=" << instance.job(j).release
+        << " w=" << instance.job(j).weight << " start=" << p.start
+        << "</title>\n  </rect>\n";
+  }
+  // Release tick marks.
+  if (options.show_releases) {
+    for (const Job& job : instance.jobs()) {
+      const int y = header + calendar.machines() * options.lane_height;
+      svg << "  <line x1=\"" << x_of(job.release) << "\" y1=\"" << y + 2
+          << "\" x2=\"" << x_of(job.release) << "\" y2=\"" << y + 10
+          << "\" stroke=\"#333\"/>\n";
+    }
+  }
+  // Time axis labels every 5 steps.
+  for (Time t = lo; t <= hi; t += 5) {
+    svg << "  <text x=\"" << x_of(t) << "\" y=\"" << height - 4
+        << "\" font-size=\"9\">" << t << "</text>\n";
+  }
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+}  // namespace calib

@@ -1,0 +1,25 @@
+// SVG rendering of schedules — a Gantt-style strip per machine with
+// calibration intervals as shaded bands and jobs as blocks (opacity
+// scaled by weight). Self-contained string output; no dependencies.
+#pragma once
+
+#include <string>
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+
+namespace calib {
+
+struct SvgOptions {
+  int cell_width = 18;    ///< pixels per time step
+  int lane_height = 34;   ///< pixels per machine lane
+  bool show_releases = true;  ///< tick marks at job release times
+  std::string title;
+};
+
+/// Render a validated schedule. The output is a complete standalone
+/// SVG document.
+std::string render_svg(const Instance& instance, const Schedule& schedule,
+                       const SvgOptions& options = {});
+
+}  // namespace calib

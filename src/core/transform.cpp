@@ -1,0 +1,78 @@
+#include "core/transform.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace calib {
+
+Schedule to_release_order(const Instance& instance, const Schedule& schedule) {
+  CALIB_CHECK_MSG(instance.machines() == 1,
+                  "Lemma 3.4 transformation is stated for one machine");
+  CALIB_CHECK(!schedule.validate(instance).has_value());
+  const int n = instance.size();
+  const Time T = instance.T();
+
+  // Pass 1 (the lemma's latest-to-earliest sweep): job i may only move
+  // earlier, and must land strictly before the next-released job's new
+  // start. Distinct releases guarantee the result respects releases.
+  std::vector<Time> new_start(static_cast<std::size_t>(n));
+  Time cap = std::numeric_limits<Time>::max();
+  for (JobId j = static_cast<JobId>(n - 1); j >= 0; --j) {
+    const Time original = schedule.placement(j).start;
+    const Time t = std::min(original, cap - 1);
+    CALIB_CHECK_MSG(t >= instance.job(j).release,
+                    "transformation pushed job " << j << " before release; "
+                    "are release times distinct?");
+    new_start[static_cast<std::size_t>(j)] = t;
+    cap = t;
+  }
+
+  // Pass 2: rebuild the calibration set. Keep every original calibration
+  // (the lemma's accounting leaves them in place), then cover each
+  // maximal run of occupied-but-uncalibrated steps with back-to-back
+  // intervals. The lemma bounds the additions by the original count.
+  Calendar calendar = schedule.calendar();
+  std::set<Time> uncovered;
+  for (JobId j = 0; j < n; ++j) {
+    const Time t = new_start[static_cast<std::size_t>(j)];
+    if (!calendar.covers(0, t)) uncovered.insert(t);
+  }
+  while (!uncovered.empty()) {
+    const Time start = *uncovered.begin();
+    calendar.add(0, start);
+    uncovered.erase(uncovered.begin(),
+                    uncovered.upper_bound(start + T - 1));
+  }
+
+  Schedule result(std::move(calendar), n);
+  for (JobId j = 0; j < n; ++j) {
+    result.place(j, 0, new_start[static_cast<std::size_t>(j)]);
+  }
+  return result;
+}
+
+bool is_release_ordered(const Instance& instance, const Schedule& schedule) {
+  std::vector<JobId> order;
+  order.reserve(static_cast<std::size_t>(instance.size()));
+  for (JobId j = 0; j < instance.size(); ++j) {
+    if (!schedule.is_placed(j)) return false;
+    order.push_back(j);
+  }
+  std::sort(order.begin(), order.end(), [&](JobId a, JobId b) {
+    const Placement& pa = schedule.placement(a);
+    const Placement& pb = schedule.placement(b);
+    if (pa.start != pb.start) return pa.start < pb.start;
+    return pa.machine < pb.machine;
+  });
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    if (instance.job(order[i - 1]).release > instance.job(order[i]).release)
+      return false;
+  }
+  return true;
+}
+
+}  // namespace calib

@@ -1,0 +1,22 @@
+// Lemma 3.4: any schedule can be converted to one that runs jobs in
+// release-time order, never increasing any job's start time and at most
+// doubling the number of calibrations. Single machine, distinct release
+// times (the paper's P=1 normalization).
+#pragma once
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+
+namespace calib {
+
+/// Apply the Lemma 3.4 transformation. Requires: P == 1, distinct
+/// release times, `schedule` valid for `instance`. The result is valid,
+/// schedules jobs in release order, has weighted flow <= the input's,
+/// and uses at most 2x the input's calibrations.
+Schedule to_release_order(const Instance& instance, const Schedule& schedule);
+
+/// True if jobs run in release-time order (start times ascending with
+/// release times), across all machines by start time.
+bool is_release_ordered(const Instance& instance, const Schedule& schedule);
+
+}  // namespace calib

@@ -1,0 +1,31 @@
+// Fundamental types shared by every calibsched module.
+//
+// All quantities that enter cost arithmetic are 64-bit integers: weighted
+// flow is a sum of weight*time products and must be exact — competitive
+// ratios are formed from these integers only at reporting time.
+#pragma once
+
+#include <cstdint>
+
+namespace calib {
+
+using Time = std::int64_t;     ///< integer time step index
+using Weight = std::int64_t;   ///< job weight (>= 1)
+using Cost = std::int64_t;     ///< weighted-flow / calibration cost units
+using JobId = std::int32_t;    ///< index into Instance::jobs
+using MachineId = std::int32_t;
+
+/// Sentinel for "not scheduled" job times.
+inline constexpr Time kUnscheduled = -1;
+
+/// A unit-length job: released at `release`, contributes
+/// weight * (start + 1 - release) to the objective when started at
+/// `start >= release`.
+struct Job {
+  Time release = 0;
+  Weight weight = 1;
+
+  friend bool operator==(const Job&, const Job&) = default;
+};
+
+}  // namespace calib

@@ -1,0 +1,56 @@
+#include "deadline/deadline_instance.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace calib {
+
+DeadlineInstance::DeadlineInstance(std::vector<DeadlineJob> jobs,
+                                   Time calibration_length, int machines)
+    : jobs_(std::move(jobs)), T_(calibration_length), machines_(machines) {
+  CALIB_CHECK(T_ >= 1);
+  CALIB_CHECK(machines_ >= 1);
+  for (const DeadlineJob& job : jobs_) {
+    CALIB_CHECK_MSG(job.release + 1 <= job.deadline,
+                    "window [" << job.release << ", " << job.deadline
+                               << ") cannot fit a unit job");
+  }
+  std::stable_sort(jobs_.begin(), jobs_.end(),
+                   [](const DeadlineJob& a, const DeadlineJob& b) {
+                     if (a.deadline != b.deadline)
+                       return a.deadline < b.deadline;
+                     return a.release < b.release;
+                   });
+}
+
+const DeadlineJob& DeadlineInstance::job(JobId j) const {
+  CALIB_CHECK(j >= 0 && j < size());
+  return jobs_[static_cast<std::size_t>(j)];
+}
+
+Time DeadlineInstance::min_release() const {
+  CALIB_CHECK(!jobs_.empty());
+  Time best = jobs_.front().release;
+  for (const DeadlineJob& job : jobs_) best = std::min(best, job.release);
+  return best;
+}
+
+Time DeadlineInstance::max_deadline() const {
+  CALIB_CHECK(!jobs_.empty());
+  return jobs_.back().deadline;
+}
+
+std::string DeadlineInstance::to_string() const {
+  std::ostringstream os;
+  os << "DeadlineInstance(T=" << T_ << ", P=" << machines_ << ", jobs=[";
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << '[' << jobs_[i].release << ',' << jobs_[i].deadline << ')';
+  }
+  os << "])";
+  return os.str();
+}
+
+}  // namespace calib

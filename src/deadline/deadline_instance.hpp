@@ -1,0 +1,62 @@
+// The deadline-world model this paper's introduction contrasts against:
+// Bender, Bunde, Leung, McCauley, Phillips, "Efficient Scheduling to
+// Minimize Calibrations" (SPAA'13) — unit jobs with release times and
+// deadlines; minimize the number of calibrations subject to every job
+// meeting its deadline.
+//
+// This subsystem exists as a baseline: Section 1 of the reproduced
+// paper motivates the flow-time objective as the relaxation of exactly
+// this model, and footnote 5 argues a calibration *budget* leaves an
+// online algorithm helpless — both claims are exercised in
+// bench/bench_deadline.cpp (experiment E10).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace calib {
+
+/// Unit job with a feasibility window: may start in [release, deadline).
+/// (`deadline` is the time by which the job must have *completed*.)
+struct DeadlineJob {
+  Time release = 0;
+  Time deadline = 1;
+
+  friend bool operator==(const DeadlineJob&, const DeadlineJob&) = default;
+};
+
+class DeadlineInstance {
+ public:
+  DeadlineInstance() = default;
+
+  /// Jobs are stored sorted by (deadline, release). Every job must have
+  /// release + 1 <= deadline (a unit of work must fit in the window).
+  DeadlineInstance(std::vector<DeadlineJob> jobs, Time calibration_length,
+                   int machines = 1);
+
+  [[nodiscard]] const std::vector<DeadlineJob>& jobs() const {
+    return jobs_;
+  }
+  [[nodiscard]] const DeadlineJob& job(JobId j) const;
+  [[nodiscard]] int size() const { return static_cast<int>(jobs_.size()); }
+  [[nodiscard]] bool empty() const { return jobs_.empty(); }
+  [[nodiscard]] Time T() const { return T_; }
+  [[nodiscard]] int machines() const { return machines_; }
+
+  [[nodiscard]] Time min_release() const;
+  [[nodiscard]] Time max_deadline() const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const DeadlineInstance&,
+                         const DeadlineInstance&) = default;
+
+ private:
+  std::vector<DeadlineJob> jobs_;
+  Time T_ = 2;
+  int machines_ = 1;
+};
+
+}  // namespace calib

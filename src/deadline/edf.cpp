@@ -1,0 +1,89 @@
+#include "deadline/edf.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/check.hpp"
+
+namespace calib {
+namespace {
+
+struct EarliestDeadline {
+  const DeadlineInstance* instance;
+  bool operator()(JobId a, JobId b) const {
+    const DeadlineJob& ja = instance->job(a);
+    const DeadlineJob& jb = instance->job(b);
+    if (ja.deadline != jb.deadline) return ja.deadline > jb.deadline;
+    if (ja.release != jb.release) return ja.release > jb.release;
+    return a > b;
+  }
+};
+
+}  // namespace
+
+EdfResult edf_schedule(const DeadlineInstance& instance,
+                       const Calendar& calendar) {
+  CALIB_CHECK(calendar.T() == instance.T());
+  CALIB_CHECK(calendar.machines() == instance.machines());
+  EdfResult result;
+  result.start.assign(static_cast<std::size_t>(instance.size()),
+                      kUnscheduled);
+  result.machine.assign(static_cast<std::size_t>(instance.size()), 0);
+
+  // Jobs ordered by release for the arrival sweep.
+  std::vector<JobId> by_release(static_cast<std::size_t>(instance.size()));
+  for (JobId j = 0; j < instance.size(); ++j) {
+    by_release[static_cast<std::size_t>(j)] = j;
+  }
+  std::sort(by_release.begin(), by_release.end(), [&](JobId a, JobId b) {
+    return instance.job(a).release < instance.job(b).release;
+  });
+
+  std::priority_queue<JobId, std::vector<JobId>, EarliestDeadline> ready{
+      EarliestDeadline{&instance}};
+  const auto slots = calendar.slots();
+  std::size_t next_arrival = 0;
+  std::size_t cursor = 0;
+  while (cursor < slots.size()) {
+    const Time t = slots[cursor].time;
+    while (next_arrival < by_release.size() &&
+           instance.job(by_release[next_arrival]).release <= t) {
+      ready.push(by_release[next_arrival]);
+      ++next_arrival;
+    }
+    while (cursor < slots.size() && slots[cursor].time == t) {
+      // Drop jobs that already missed (deadline <= t means the unit
+      // cannot complete by the deadline anymore).
+      while (!ready.empty() &&
+             instance.job(ready.top()).deadline <= t) {
+        result.missed.push_back(ready.top());
+        ready.pop();
+      }
+      if (!ready.empty()) {
+        const JobId j = ready.top();
+        ready.pop();
+        result.start[static_cast<std::size_t>(j)] = t;
+        result.machine[static_cast<std::size_t>(j)] =
+            slots[cursor].machine;
+      }
+      ++cursor;
+    }
+  }
+  while (next_arrival < by_release.size()) {
+    result.missed.push_back(by_release[next_arrival]);
+    ++next_arrival;
+  }
+  while (!ready.empty()) {
+    result.missed.push_back(ready.top());
+    ready.pop();
+  }
+  result.feasible = result.missed.empty();
+  return result;
+}
+
+bool edf_feasible(const DeadlineInstance& instance,
+                  const Calendar& calendar) {
+  return edf_schedule(instance, calendar).feasible;
+}
+
+}  // namespace calib

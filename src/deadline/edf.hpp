@@ -1,0 +1,33 @@
+// Earliest-deadline-first assignment of deadline jobs to a calendar's
+// calibrated slots. For unit jobs, EDF is feasibility-optimal: if any
+// assignment meets every deadline on the given calendar, EDF does
+// (classical exchange argument; verified against exhaustive assignment
+// in tests/test_deadline.cpp).
+#pragma once
+
+#include <vector>
+
+#include "core/calendar.hpp"
+#include "deadline/deadline_instance.hpp"
+
+namespace calib {
+
+struct EdfResult {
+  bool feasible = false;
+  /// Per job: start time and machine (valid only when feasible, but
+  /// partially filled otherwise — useful to see which jobs fit).
+  std::vector<Time> start;
+  std::vector<MachineId> machine;
+  /// Jobs that missed their deadline (empty iff feasible).
+  std::vector<JobId> missed;
+};
+
+/// Run EDF over the calendar's slots in time order.
+EdfResult edf_schedule(const DeadlineInstance& instance,
+                       const Calendar& calendar);
+
+/// Convenience: can every job meet its deadline on this calendar?
+bool edf_feasible(const DeadlineInstance& instance,
+                  const Calendar& calendar);
+
+}  // namespace calib

@@ -1,0 +1,193 @@
+#include "deadline/min_calibrations.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+
+#include "deadline/edf.hpp"
+#include "util/check.hpp"
+
+namespace calib {
+namespace {
+
+/// DFS over candidate starts: pick `remaining` starts from
+/// candidates[from..], test EDF feasibility at the leaves. On success
+/// `chosen` holds the witness start set.
+bool search(const DeadlineInstance& instance,
+            const std::vector<Time>& candidates, std::size_t from,
+            int remaining, std::vector<Time>& chosen) {
+  if (remaining == 0) {
+    Calendar calendar(instance.T(), 1);
+    for (const Time start : chosen) calendar.add(0, start);
+    return edf_feasible(instance, calendar);
+  }
+  if (candidates.size() - from < static_cast<std::size_t>(remaining)) {
+    return false;
+  }
+  for (std::size_t i = from; i < candidates.size(); ++i) {
+    chosen.push_back(candidates[i]);
+    if (search(instance, candidates, i + 1, remaining - 1, chosen)) {
+      return true;
+    }
+    chosen.pop_back();
+  }
+  return false;
+}
+
+std::optional<Calendar> minimize(const DeadlineInstance& instance,
+                                 std::vector<Time> candidates,
+                                 int max_calibrations) {
+  CALIB_CHECK_MSG(instance.machines() == 1,
+                  "deadline solvers cover the single-machine problem");
+  if (instance.empty()) return Calendar(instance.T(), 1);
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  const int cap =
+      max_calibrations < 0 ? instance.size() : max_calibrations;
+  const int lower =
+      static_cast<int>((instance.size() + instance.T() - 1) / instance.T());
+  for (int k = lower; k <= cap; ++k) {
+    std::vector<Time> chosen;
+    if (search(instance, candidates, 0, k, chosen)) {
+      Calendar calendar(instance.T(), 1);
+      for (const Time start : chosen) calendar.add(0, start);
+      return calendar;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+namespace {
+
+/// Can `jobs` all meet their deadlines if the machine is *fully
+/// calibrated* from time `t` onward? EDF over the contiguous slots
+/// t, t+1, ... (simulated; the horizon is bounded by the last deadline).
+bool feasible_from(const std::vector<DeadlineJob>& jobs, Time t) {
+  // Hall-style check via EDF simulation on contiguous slots.
+  std::vector<DeadlineJob> sorted = jobs;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const DeadlineJob& a, const DeadlineJob& b) {
+              return a.release < b.release;
+            });
+  std::multiset<Time> deadlines;  // of released, waiting jobs
+  std::size_t next = 0;
+  Time clock = t;
+  std::size_t done = 0;
+  while (done < sorted.size()) {
+    while (next < sorted.size() && sorted[next].release <= clock) {
+      deadlines.insert(sorted[next].deadline);
+      ++next;
+    }
+    if (deadlines.empty()) {
+      CALIB_CHECK(next < sorted.size());
+      clock = sorted[next].release;
+      continue;
+    }
+    const Time earliest = *deadlines.begin();
+    if (earliest <= clock) return false;  // already too late
+    deadlines.erase(deadlines.begin());
+    ++done;
+    ++clock;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<Calendar> lazy_binning(const DeadlineInstance& instance) {
+  CALIB_CHECK_MSG(instance.machines() == 1,
+                  "lazy binning covers the single-machine problem");
+  Calendar calendar(instance.T(), 1);
+  if (instance.empty()) return calendar;
+
+  std::vector<DeadlineJob> remaining = instance.jobs();
+  std::vector<JobId> ids(remaining.size());
+  Time cursor = instance.min_release() + 1 - instance.T();
+  while (!remaining.empty()) {
+    if (!feasible_from(remaining, cursor)) return std::nullopt;
+    // Lazy step: the *latest* t >= cursor such that the remainder is
+    // still feasible with a fully calibrated machine from t. Feasibility
+    // is monotone (smaller t only adds slots), so binary search works;
+    // t never needs to pass the earliest remaining deadline.
+    Time lo = cursor;
+    Time hi = remaining.front().deadline - 1;
+    for (const DeadlineJob& job : remaining) {
+      hi = std::min(hi, job.deadline - 1);
+    }
+    while (lo < hi) {
+      const Time mid = lo + (hi - lo + 1) / 2;
+      if (feasible_from(remaining, mid)) {
+        lo = mid;
+      } else {
+        hi = mid - 1;
+      }
+    }
+    const Time start = lo;
+    calendar.add(0, start);
+    // Commit the jobs the ideal (fully calibrated from `start`) EDF
+    // schedule runs inside [start, start + T); the rest recur.
+    std::vector<DeadlineJob> committed_pool = remaining;
+    std::sort(committed_pool.begin(), committed_pool.end(),
+              [](const DeadlineJob& a, const DeadlineJob& b) {
+                return a.release < b.release;
+              });
+    std::vector<DeadlineJob> later;
+    {
+      // EDF over contiguous slots from `start`; jobs placed at slots
+      // >= start + T stay in the pool.
+      auto by_deadline = [](const DeadlineJob& a, const DeadlineJob& b) {
+        if (a.deadline != b.deadline) return a.deadline > b.deadline;
+        return a.release > b.release;
+      };
+      std::priority_queue<DeadlineJob, std::vector<DeadlineJob>,
+                          decltype(by_deadline)>
+          ready(by_deadline);
+      std::size_t next = 0;
+      std::size_t scheduled_in_interval = 0;
+      for (Time slot = start; slot < start + instance.T(); ++slot) {
+        while (next < committed_pool.size() &&
+               committed_pool[next].release <= slot) {
+          ready.push(committed_pool[next]);
+          ++next;
+        }
+        if (!ready.empty()) {
+          CALIB_CHECK_MSG(ready.top().deadline > slot,
+                          "lazy binning committed an infeasible slot");
+          ready.pop();
+          ++scheduled_in_interval;
+        }
+      }
+      CALIB_CHECK_MSG(scheduled_in_interval > 0,
+                      "lazy binning made no progress on "
+                          << instance.to_string());
+      while (!ready.empty()) {
+        later.push_back(ready.top());
+        ready.pop();
+      }
+      for (std::size_t i = next; i < committed_pool.size(); ++i) {
+        later.push_back(committed_pool[i]);
+      }
+    }
+    remaining = std::move(later);
+    cursor = start + instance.T();
+  }
+  // The committed calendar must actually work end to end.
+  if (!edf_feasible(instance, calendar)) return std::nullopt;
+  return calendar;
+}
+
+std::optional<Calendar> min_calibrations_exact(
+    const DeadlineInstance& instance, int max_calibrations) {
+  if (instance.empty()) return Calendar(instance.T(), 1);
+  std::vector<Time> candidates;
+  for (Time s = instance.min_release() + 1 - instance.T();
+       s < instance.max_deadline(); ++s) {
+    candidates.push_back(s);
+  }
+  return minimize(instance, std::move(candidates), max_calibrations);
+}
+
+}  // namespace calib

@@ -1,0 +1,39 @@
+// Minimizing the number of calibrations subject to deadlines — the
+// SPAA'13 problem (single machine, unit jobs).
+//
+// Two solvers:
+//   * lazy_binning — the push-intervals-late greedy in the spirit of
+//     Bender et al.'s optimal "lazy binning": whenever EDF misses a
+//     deadline, open a new interval as late as possible while still
+//     rescuing the earliest miss. Optimality is probed empirically
+//     against the exact solver in tests and bench E10.
+//   * min_calibrations_exact — iterative-deepening search over every
+//     integer start in [min release + 1 - T, max deadline), with EDF as
+//     the feasibility oracle. Exponential; intended for small instances
+//     (it is the ground truth lazy binning is validated against).
+//     Note: the tempting push-late restriction to starts
+//     { d_j - q : q in [1, T] } is *incomplete* — contiguous interval
+//     blocks can lock against each other, shifting starts by whole
+//     multiples of T (e.g. jobs [0,4), [1,4), [2,4) with T = 2 need
+//     intervals at 1 and 3, and 1 is not d - q for q <= 2).
+#pragma once
+
+#include <optional>
+
+#include "core/calendar.hpp"
+#include "deadline/deadline_instance.hpp"
+
+namespace calib {
+
+/// Greedy lazy binning. Returns the calendar (count() is the number of
+/// calibrations), or nullopt if some window is overfull (more jobs than
+/// slots fit between common release and deadline) so no calendar works.
+std::optional<Calendar> lazy_binning(const DeadlineInstance& instance);
+
+/// Exact minimum number of calibrations; nullopt when infeasible.
+/// `max_calibrations` caps the search depth (default: one interval per
+/// job always suffices when feasible).
+std::optional<Calendar> min_calibrations_exact(
+    const DeadlineInstance& instance, int max_calibrations = -1);
+
+}  // namespace calib

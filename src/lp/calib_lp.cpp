@@ -1,0 +1,189 @@
+#include "lp/calib_lp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace calib {
+
+CalibrationLp::CalibrationLp(const Instance& instance, Cost G)
+    : instance_(instance), G_(G) {
+  CALIB_CHECK(G >= 1);
+  CALIB_CHECK(!instance.empty());
+  horizon_ = instance.horizon();
+  lo_ = instance.min_release() + 1 - instance.T();
+  build();
+}
+
+int CalibrationLp::f_var(Time t, JobId j) const {
+  const Time r = instance_.job(j).release;
+  CALIB_CHECK(t >= r && t < horizon_);
+  return f_base_[static_cast<std::size_t>(j)] + static_cast<int>(t - r);
+}
+
+int CalibrationLp::c_var(Time t, MachineId m) const {
+  CALIB_CHECK(t >= lo_ && t < horizon_);
+  CALIB_CHECK(m >= 0 && m < instance_.machines());
+  return c_base_ +
+         static_cast<int>((t - lo_) * instance_.machines() + m);
+}
+
+int CalibrationLp::a_var(JobId j, MachineId m) const {
+  CALIB_CHECK(j >= 0 && j < instance_.size());
+  CALIB_CHECK(m >= 0 && m < instance_.machines());
+  return a_base_ + static_cast<int>(j) * instance_.machines() + m;
+}
+
+void CalibrationLp::build() {
+  const int n = instance_.size();
+  const int P = instance_.machines();
+  const Time T = instance_.T();
+
+  // Variables. Weighted jobs: a job with weight w contributes w units of
+  // flow per waiting step, so f's objective coefficient is w_j.
+  f_base_.resize(static_cast<std::size_t>(n));
+  for (JobId j = 0; j < n; ++j) {
+    f_base_[static_cast<std::size_t>(j)] = problem_.num_vars;
+    for (Time t = instance_.job(j).release; t < horizon_; ++t) {
+      problem_.add_variable(static_cast<double>(instance_.job(j).weight));
+    }
+  }
+  c_base_ = problem_.num_vars;
+  for (Time t = lo_; t < horizon_; ++t) {
+    for (MachineId m = 0; m < P; ++m) {
+      problem_.add_variable(static_cast<double>(G_));
+    }
+  }
+  a_base_ = problem_.num_vars;
+  for (JobId j = 0; j < n; ++j) {
+    for (MachineId m = 0; m < P; ++m) problem_.add_variable(0.0);
+  }
+
+  // (1) f_{t,j} + sum_{t' in [r_j - T, t]} c_{t',m} - a_{j,m} >= 0.
+  for (JobId j = 0; j < n; ++j) {
+    const Time r = instance_.job(j).release;
+    for (Time t = r; t < horizon_; ++t) {
+      for (MachineId m = 0; m < P; ++m) {
+        LpRow row;
+        row.relation = Relation::kGe;
+        row.rhs = 0.0;
+        row.coefficients.emplace_back(f_var(t, j), 1.0);
+        for (Time tp = std::max(lo_, r - T); tp <= t; ++tp) {
+          row.coefficients.emplace_back(c_var(tp, m), 1.0);
+        }
+        row.coefficients.emplace_back(a_var(j, m), -1.0);
+        problem_.add_row(std::move(row));
+      }
+    }
+  }
+  // (2) flow can only drop by one per calibrated machine:
+  //     sum_{j: r_j < t} (f_{t,j} - f_{t-1,j})
+  //       + sum_m sum_{t' in [t-T, t]} c_{t',m} >= 0.
+  for (Time t = lo_ + 1; t < horizon_; ++t) {
+    LpRow row;
+    row.relation = Relation::kGe;
+    row.rhs = 0.0;
+    for (JobId j = 0; j < n; ++j) {
+      if (instance_.job(j).release < t) {
+        row.coefficients.emplace_back(f_var(t, j), 1.0);
+        row.coefficients.emplace_back(f_var(t - 1, j), -1.0);
+      }
+    }
+    for (MachineId m = 0; m < P; ++m) {
+      for (Time tp = std::max(lo_, t - T); tp <= t && tp < horizon_; ++tp) {
+        row.coefficients.emplace_back(c_var(tp, m), 1.0);
+      }
+    }
+    if (!row.coefficients.empty()) problem_.add_row(std::move(row));
+  }
+  // (3) every job assigned somewhere.
+  for (JobId j = 0; j < n; ++j) {
+    LpRow row;
+    row.relation = Relation::kGe;
+    row.rhs = 1.0;
+    for (MachineId m = 0; m < P; ++m) {
+      row.coefficients.emplace_back(a_var(j, m), 1.0);
+    }
+    problem_.add_row(std::move(row));
+  }
+  // (4) a job waits at least one step: f_{r_j, j} = 1.
+  for (JobId j = 0; j < n; ++j) {
+    LpRow row;
+    row.relation = Relation::kEq;
+    row.rhs = 1.0;
+    row.coefficients.emplace_back(f_var(instance_.job(j).release, j), 1.0);
+    problem_.add_row(std::move(row));
+  }
+}
+
+LpSolution CalibrationLp::solve() const { return solve_lp(problem_); }
+
+std::vector<double> CalibrationLp::canonical_point(
+    const Schedule& schedule) const {
+  CALIB_CHECK(!schedule.validate(instance_).has_value());
+  std::vector<double> x(static_cast<std::size_t>(problem_.num_vars), 0.0);
+  for (JobId j = 0; j < instance_.size(); ++j) {
+    const Placement& p = schedule.placement(j);
+    CALIB_CHECK_MSG(p.start < horizon_,
+                    "schedule runs past the LP horizon; its canonical "
+                    "point would under-report flow");
+    // f_{t,j} = 1 from release through the step the job runs.
+    for (Time t = instance_.job(j).release; t <= p.start; ++t) {
+      x[static_cast<std::size_t>(f_var(t, j))] = 1.0;
+    }
+    x[static_cast<std::size_t>(a_var(j, p.machine))] = 1.0;
+  }
+  for (MachineId m = 0; m < instance_.machines(); ++m) {
+    for (const Time start : schedule.calendar().starts(m)) {
+      CALIB_CHECK_MSG(start >= lo_ && start < horizon_,
+                      "schedule calibrates outside the LP horizon");
+      x[static_cast<std::size_t>(c_var(start, m))] += 1.0;
+    }
+  }
+  return x;
+}
+
+double CalibrationLp::max_violation(const std::vector<double>& x) const {
+  CALIB_CHECK(static_cast<int>(x.size()) == problem_.num_vars);
+  double worst = 0.0;
+  for (const double value : x) worst = std::max(worst, -value);
+  for (const LpRow& row : problem_.rows) {
+    double lhs = 0.0;
+    for (const auto& [var, coef] : row.coefficients) {
+      lhs += coef * x[static_cast<std::size_t>(var)];
+    }
+    switch (row.relation) {
+      case Relation::kGe:
+        worst = std::max(worst, row.rhs - lhs);
+        break;
+      case Relation::kLe:
+        worst = std::max(worst, lhs - row.rhs);
+        break;
+      case Relation::kEq:
+        worst = std::max(worst, std::abs(lhs - row.rhs));
+        break;
+    }
+  }
+  return worst;
+}
+
+double CalibrationLp::objective_at(const std::vector<double>& x) const {
+  CALIB_CHECK(static_cast<int>(x.size()) == problem_.num_vars);
+  double value = 0.0;
+  for (int var = 0; var < problem_.num_vars; ++var) {
+    value += problem_.objective[static_cast<std::size_t>(var)] *
+             x[static_cast<std::size_t>(var)];
+  }
+  return value;
+}
+
+double lp_lower_bound(const Instance& instance, Cost G) {
+  const CalibrationLp lp(instance, G);
+  const LpSolution solution = lp.solve();
+  CALIB_CHECK_MSG(solution.status == LpStatus::kOptimal,
+                  "the Figure 1 LP is always feasible and bounded");
+  return solution.value;
+}
+
+}  // namespace calib

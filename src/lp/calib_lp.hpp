@@ -1,0 +1,79 @@
+// The Figure 1 linear program: an LP relaxation whose optimum lower
+// bounds the cost (flow + G * calibrations) of *every* schedule, used by
+// the paper to analyze Algorithm 3 via primal-dual (Theorem 3.10).
+//
+// Variables (all >= 0):
+//   f_{t,j}  - 1 while job j incurs flow at step t (t in [r_j, H))
+//   c_{t,m}  - calibration on machine m begins at t (t in [lo, H))
+//   a_{j,m}  - job j assigned to machine m
+// Constraints (paper's, with the summation windows read soundly —
+// DESIGN.md ambiguity #2):
+//   (1) f_{t,j} + sum_{t'=r_j-T..t} c_{t',m} >= a_{j,m}   for all j, t>=r_j, m
+//   (2) sum_{j:r_j<t} (f_{t,j} - f_{t-1,j})
+//         + sum_m sum_{t'=t-T..t} c_{t',m} >= 0           for all t
+//   (3) sum_m a_{j,m} >= 1                                for all j
+//   (4) f_{r_j,j} = 1                                     for all j
+// Objective: minimize sum f + G * sum c.
+#pragma once
+
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+#include "lp/simplex.hpp"
+
+namespace calib {
+
+/// Index bookkeeping for the Figure 1 LP over a finite horizon.
+class CalibrationLp {
+ public:
+  /// Horizon defaults to instance.horizon(); lo is the earliest useful
+  /// calibration start, min release + 1 - T.
+  CalibrationLp(const Instance& instance, Cost G);
+
+  [[nodiscard]] const LpProblem& problem() const { return problem_; }
+  [[nodiscard]] const Instance& instance() const { return instance_; }
+  [[nodiscard]] Cost G() const { return G_; }
+  [[nodiscard]] Time horizon() const { return horizon_; }
+  [[nodiscard]] Time calibration_lo() const { return lo_; }
+
+  // Variable lookups (CHECK on out-of-range).
+  [[nodiscard]] int f_var(Time t, JobId j) const;
+  [[nodiscard]] int c_var(Time t, MachineId m) const;
+  [[nodiscard]] int a_var(JobId j, MachineId m) const;
+
+  /// Solve the LP; value is a certified lower bound on the online
+  /// objective of any schedule for the instance.
+  [[nodiscard]] LpSolution solve() const;
+
+  /// The canonical primal point of a concrete schedule (Figure 1's
+  /// variable-assignment paragraph). Used by tests to certify the LP is
+  /// a relaxation: this point must be feasible with objective equal to
+  /// the schedule's online cost.
+  [[nodiscard]] std::vector<double> canonical_point(
+      const Schedule& schedule) const;
+
+  /// Max constraint violation of `x` (0 means feasible).
+  [[nodiscard]] double max_violation(const std::vector<double>& x) const;
+
+  /// Objective value at `x`.
+  [[nodiscard]] double objective_at(const std::vector<double>& x) const;
+
+ private:
+  void build();
+
+  const Instance& instance_;
+  Cost G_;
+  Time horizon_;
+  Time lo_;
+  LpProblem problem_;
+  std::vector<int> f_index_;  // (t - r_j rows flattened per job)
+  std::vector<int> f_base_;   // per job, base offset into f_index_
+  int c_base_ = 0;
+  int a_base_ = 0;
+};
+
+/// Convenience: the Figure 1 LP lower bound for (instance, G).
+double lp_lower_bound(const Instance& instance, Cost G);
+
+}  // namespace calib

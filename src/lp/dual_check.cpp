@@ -1,0 +1,143 @@
+#include "lp/dual_check.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace calib {
+
+double DualPoint::objective() const {
+  double value = 0.0;
+  for (const double vj : v) value += vj;
+  for (const double zj : z) value += zj;
+  return value;
+}
+
+DualChecker::DualChecker(const CalibrationLp& lp)
+    : lp_(lp), instance_(lp.instance()) {}
+
+DualPoint DualChecker::zero_point() const {
+  DualPoint point;
+  const auto n = static_cast<std::size_t>(instance_.size());
+  const auto machines = static_cast<std::size_t>(instance_.machines());
+  point.x.resize(n);
+  for (JobId j = 0; j < instance_.size(); ++j) {
+    const auto span = static_cast<std::size_t>(
+        lp_.horizon() - instance_.job(j).release);
+    point.x[static_cast<std::size_t>(j)].assign(
+        machines, std::vector<double>(span, 0.0));
+  }
+  point.y.assign(
+      static_cast<std::size_t>(lp_.horizon() - lp_.calibration_lo() - 1),
+      0.0);
+  point.v.assign(n, 0.0);
+  point.z.assign(n, 0.0);
+  return point;
+}
+
+DualPoint DualChecker::static_point() const {
+  DualPoint point = zero_point();
+  Weight w_min = instance_.job(0).weight;
+  for (const Job& job : instance_.jobs()) {
+    w_min = std::min(w_min, job.weight);
+  }
+  const double level = static_cast<double>(lp_.G()) /
+                       (2.0 * static_cast<double>(instance_.T()));
+  // y_t = min(G/2T, w_min * (H - t)): flat at the proof's level, then a
+  // linear taper (slope <= w_min) so the boundary rows stay feasible.
+  const Time y0 = lp_.calibration_lo() + 1;
+  for (std::size_t i = 0; i < point.y.size(); ++i) {
+    const Time t = y0 + static_cast<Time>(i);
+    point.y[i] = std::min(
+        level, static_cast<double>(w_min) *
+                   static_cast<double>(lp_.horizon() - t));
+  }
+  auto y_at = [&](Time t) -> double {
+    if (t < y0 || t >= lp_.horizon()) return 0.0;
+    return point.y[static_cast<std::size_t>(t - y0)];
+  };
+  for (JobId j = 0; j < instance_.size(); ++j) {
+    const Job& job = instance_.job(j);
+    point.z[static_cast<std::size_t>(j)] =
+        std::min(level, static_cast<double>(job.weight) +
+                            y_at(job.release + 1));
+  }
+  return point;
+}
+
+double DualChecker::max_violation(const DualPoint& point) const {
+  const int n = instance_.size();
+  const int P = instance_.machines();
+  const Time T = instance_.T();
+  const Time H = lp_.horizon();
+  const Time lo = lp_.calibration_lo();
+  const Time y0 = lo + 1;
+
+  auto x_at = [&](Time t, JobId j, MachineId m) -> double {
+    const Time r = instance_.job(j).release;
+    if (t < r || t >= H) return 0.0;
+    return point.x[static_cast<std::size_t>(j)][static_cast<std::size_t>(m)]
+                  [static_cast<std::size_t>(t - r)];
+  };
+  auto y_at = [&](Time t) -> double {
+    if (t < y0 || t >= H) return 0.0;
+    return point.y[static_cast<std::size_t>(t - y0)];
+  };
+
+  double worst = 0.0;
+  // Nonnegativity (z is free).
+  for (const auto& per_job : point.x) {
+    for (const auto& per_machine : per_job) {
+      for (const double value : per_machine) {
+        worst = std::max(worst, -value);
+      }
+    }
+  }
+  for (const double value : point.y) worst = std::max(worst, -value);
+  for (const double value : point.v) worst = std::max(worst, -value);
+
+  // Column of f_{t,j}: sum_m x_{t,j,m} + [t > r_j] y_t - y_{t+1}
+  //                     + [t == r_j] z_j <= w_j.
+  for (JobId j = 0; j < n; ++j) {
+    const Job& job = instance_.job(j);
+    for (Time t = job.release; t < H; ++t) {
+      double lhs = -y_at(t + 1);
+      for (MachineId m = 0; m < P; ++m) lhs += x_at(t, j, m);
+      if (t > job.release) {
+        lhs += y_at(t);
+      } else {
+        lhs += point.z[static_cast<std::size_t>(j)];
+      }
+      worst = std::max(worst, lhs - static_cast<double>(job.weight));
+    }
+  }
+  // Column of c_{t,m}: sum_{j: r_j <= t+T} sum_{t' >= max(r_j, t)} x
+  //                     + sum_{t'=t}^{t+T} y_{t'} <= G.
+  for (Time t = lo; t < H; ++t) {
+    for (MachineId m = 0; m < P; ++m) {
+      double lhs = 0.0;
+      for (JobId j = 0; j < n; ++j) {
+        if (instance_.job(j).release > t + T) continue;
+        for (Time tp = std::max(instance_.job(j).release, t); tp < H; ++tp) {
+          lhs += x_at(tp, j, m);
+        }
+      }
+      for (Time tp = t; tp <= t + T; ++tp) lhs += y_at(tp);
+      worst = std::max(worst, lhs - static_cast<double>(lp_.G()));
+    }
+  }
+  // Column of a_{j,m}: v_j - sum_t x_{t,j,m} <= 0.
+  for (JobId j = 0; j < n; ++j) {
+    for (MachineId m = 0; m < P; ++m) {
+      double lhs = point.v[static_cast<std::size_t>(j)];
+      for (Time t = instance_.job(j).release; t < H; ++t) {
+        lhs -= x_at(t, j, m);
+      }
+      worst = std::max(worst, lhs);
+    }
+  }
+  return worst;
+}
+
+}  // namespace calib

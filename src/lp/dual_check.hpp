@@ -1,0 +1,56 @@
+// The Figure 2 dual, as an executable feasibility checker.
+//
+// Weak duality makes any feasible dual point a machine-checkable lower
+// bound on OPT: its objective is <= the Figure 1 LP optimum <= the cost
+// of every schedule. Theorem 3.10's proof constructs such points
+// alongside Algorithm 3's run; here we provide (a) the checker, and
+// (b) the proof's *static* assignment (y_t = z_j = G/2T), which already
+// certifies the bound OPT >= n * G/2T used in its Case 2.
+//
+// Dual variables (for the primal of calib_lp.hpp):
+//   x_{t,j,m} >= 0  - constraint (1)
+//   y_t       >= 0  - constraint (2)
+//   v_j       >= 0  - constraint (3)
+//   z_j free        - constraint (4)
+// Objective: maximize sum_j v_j + sum_j z_j.
+#pragma once
+
+#include <vector>
+
+#include "core/instance.hpp"
+#include "lp/calib_lp.hpp"
+
+namespace calib {
+
+struct DualPoint {
+  /// x[j][m][t - r_j] for t in [r_j, horizon).
+  std::vector<std::vector<std::vector<double>>> x;
+  /// y[t - (lo+1)] for the constraint-(2) rows, t in (lo, horizon).
+  std::vector<double> y;
+  std::vector<double> v;  ///< per job
+  std::vector<double> z;  ///< per job
+
+  [[nodiscard]] double objective() const;
+};
+
+class DualChecker {
+ public:
+  explicit DualChecker(const CalibrationLp& lp);
+
+  /// A zero dual point with correctly sized tensors.
+  [[nodiscard]] DualPoint zero_point() const;
+
+  /// Theorem 3.10's static assignment: y_t = z_j = G / (2T), x = v = 0,
+  /// tapered to zero near the horizon so the boundary rows stay
+  /// feasible. Objective ~ n * G / 2T.
+  [[nodiscard]] DualPoint static_point() const;
+
+  /// Maximum violation of the dual constraints (0 = feasible).
+  [[nodiscard]] double max_violation(const DualPoint& point) const;
+
+ private:
+  const CalibrationLp& lp_;
+  const Instance& instance_;
+};
+
+}  // namespace calib

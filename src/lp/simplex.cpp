@@ -1,0 +1,271 @@
+#include "lp/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace calib {
+
+int LpProblem::add_variable(double cost) {
+  objective.push_back(cost);
+  return num_vars++;
+}
+
+void LpProblem::add_row(LpRow row) {
+  for (const auto& [var, coef] : row.coefficients) {
+    CALIB_CHECK_MSG(var >= 0 && var < num_vars,
+                    "row references undeclared variable " << var);
+    (void)coef;
+  }
+  rows.push_back(std::move(row));
+}
+
+namespace {
+
+/// Standard-form tableau: rows are equality constraints over structural
+/// + slack + artificial variables, with a nonnegative rhs column.
+class Tableau {
+ public:
+  Tableau(const LpProblem& problem, double eps) : eps_(eps) {
+    const auto m = problem.rows.size();
+    n_struct_ = static_cast<std::size_t>(problem.num_vars);
+    // Normalize every row to rhs >= 0, flipping the relation when the
+    // row is negated; additionally turn rhs-0 >= rows into <= rows so
+    // their slack can start basic. Only >=-with-positive-rhs and
+    // equality rows then need an artificial — a huge win on the
+    // Figure 1 LP, whose rows are almost all ">= 0".
+    std::vector<Relation> relation(m);
+    std::vector<double> sign(m, 1.0);
+    std::size_t slacks = 0;
+    std::size_t artificials = 0;
+    for (std::size_t i = 0; i < m; ++i) {
+      const LpRow& row = problem.rows[i];
+      relation[i] = row.relation;
+      if (row.rhs < 0.0 ||
+          (row.rhs == 0.0 && row.relation == Relation::kGe)) {
+        sign[i] = -1.0;
+        if (row.relation == Relation::kLe) {
+          relation[i] = Relation::kGe;
+        } else if (row.relation == Relation::kGe) {
+          relation[i] = Relation::kLe;
+        }
+      }
+      if (relation[i] != Relation::kEq) ++slacks;
+      if (relation[i] != Relation::kLe) ++artificials;
+    }
+    n_total_ = n_struct_ + slacks + artificials;
+    a_.assign(m, std::vector<double>(n_total_ + 1, 0.0));
+    basis_.assign(m, 0);
+
+    std::size_t next_slack = n_struct_;
+    std::size_t next_artificial = n_struct_ + slacks;
+    artificial0_ = n_struct_ + slacks;
+    for (std::size_t i = 0; i < m; ++i) {
+      const LpRow& row = problem.rows[i];
+      for (const auto& [var, coef] : row.coefficients) {
+        a_[i][static_cast<std::size_t>(var)] += sign[i] * coef;
+      }
+      a_[i][n_total_] = sign[i] * row.rhs;
+      if (relation[i] == Relation::kLe) {
+        a_[i][next_slack] = 1.0;
+        basis_[i] = next_slack;  // slack starts basic; no artificial
+        ++next_slack;
+      } else {
+        if (relation[i] == Relation::kGe) {
+          a_[i][next_slack++] = -1.0;  // surplus
+        }
+        a_[i][next_artificial] = 1.0;
+        basis_[i] = next_artificial;
+        ++next_artificial;
+      }
+    }
+  }
+
+  /// Minimize the given reduced objective (size n_total_) from the
+  /// current basis. Returns false on unboundedness.
+  bool optimize(std::vector<double> cost) {
+    // Reduced costs z_j = c_j - c_B^T B^{-1} A_j maintained via the
+    // tableau: start from cost and price out the basic columns.
+    z_ = std::move(cost);
+    z_.resize(n_total_ + 1, 0.0);
+    for (std::size_t i = 0; i < a_.size(); ++i) {
+      const double cb = z_[basis_[i]];
+      if (cb != 0.0) {
+        for (std::size_t col = 0; col <= n_total_; ++col) {
+          z_[col] -= cb * a_[i][col];
+        }
+      }
+    }
+    // Dantzig pricing for speed; after a long degenerate stall, switch
+    // *permanently* (for this optimize call) to Bland's rule, whose
+    // termination guarantee then applies.
+    long iterations = 0;
+    long stalled = 0;
+    bool bland = false;
+    double last_objective = -z_[n_total_];
+    for (;;) {
+      if (++iterations % 50000 == 0 && std::getenv("CALIB_LP_DEBUG")) {
+        std::fprintf(stderr, "simplex: %ld pivots, obj=%.6f bland=%d\n",
+                     iterations, -z_[n_total_], bland ? 1 : 0);
+      }
+      std::size_t pivot_col = n_total_;
+      double most_negative = -eps_;
+      for (std::size_t col = 0; col < n_total_; ++col) {
+        if (banned_[col] || z_[col] >= -eps_) continue;
+        if (bland) {
+          pivot_col = col;
+          break;
+        }
+        if (z_[col] < most_negative) {
+          most_negative = z_[col];
+          pivot_col = col;
+        }
+      }
+      if (pivot_col == n_total_) return true;  // optimal
+      // Ratio test: exact minimum first; among rows within a *relative*
+      // tolerance of it, prefer the largest pivot element (numerical
+      // stability), breaking remaining ties by smallest basis index.
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < a_.size(); ++i) {
+        if (a_[i][pivot_col] > eps_) {
+          best_ratio =
+              std::min(best_ratio, a_[i][n_total_] / a_[i][pivot_col]);
+        }
+      }
+      if (best_ratio == std::numeric_limits<double>::infinity()) {
+        return false;  // unbounded
+      }
+      const double tie_tol = eps_ * (1.0 + std::abs(best_ratio));
+      std::size_t pivot_row = a_.size();
+      for (std::size_t i = 0; i < a_.size(); ++i) {
+        if (a_[i][pivot_col] <= eps_) continue;
+        if (a_[i][n_total_] / a_[i][pivot_col] > best_ratio + tie_tol)
+          continue;
+        if (pivot_row == a_.size()) {
+          pivot_row = i;
+          continue;
+        }
+        const bool better =
+            bland ? basis_[i] < basis_[pivot_row]
+                  : a_[i][pivot_col] > a_[pivot_row][pivot_col];
+        if (better) pivot_row = i;
+      }
+      pivot(pivot_row, pivot_col);
+      const double objective = -z_[n_total_];
+      if (objective < last_objective - eps_) {
+        stalled = 0;
+        last_objective = objective;
+      } else if (++stalled > 256) {
+        bland = true;  // sticky: Bland's termination proof now applies
+      }
+    }
+  }
+
+  void pivot(std::size_t row, std::size_t col) {
+    const double p = a_[row][col];
+    for (double& entry : a_[row]) entry /= p;
+    for (std::size_t i = 0; i < a_.size(); ++i) {
+      if (i == row) continue;
+      const double factor = a_[i][col];
+      if (std::abs(factor) < eps_ * eps_) continue;
+      for (std::size_t jj = 0; jj <= n_total_; ++jj) {
+        a_[i][jj] -= factor * a_[row][jj];
+      }
+    }
+    const double zf = z_[col];
+    if (zf != 0.0) {
+      for (std::size_t jj = 0; jj <= n_total_; ++jj) {
+        z_[jj] -= zf * a_[row][jj];
+      }
+    }
+    basis_[row] = col;
+  }
+
+  LpSolution run(const LpProblem& problem) {
+    banned_.assign(n_total_, false);
+    // Phase 1: minimize the sum of artificials.
+    std::vector<double> phase1(n_total_, 0.0);
+    for (std::size_t col = artificial0_; col < n_total_; ++col) {
+      phase1[col] = 1.0;
+    }
+    if (!optimize(std::move(phase1))) {
+      return {LpStatus::kUnbounded, 0.0, {}};  // cannot happen in phase 1
+    }
+    double infeasibility = 0.0;
+    for (std::size_t i = 0; i < a_.size(); ++i) {
+      if (basis_[i] >= artificial0_) infeasibility += a_[i][n_total_];
+    }
+    if (infeasibility > 1e-6) return {LpStatus::kInfeasible, 0.0, {}};
+    // Drive remaining degenerate artificials out of the basis.
+    for (std::size_t i = 0; i < a_.size(); ++i) {
+      if (basis_[i] < artificial0_) continue;
+      std::size_t col = artificial0_;
+      for (std::size_t candidate = 0; candidate < artificial0_;
+           ++candidate) {
+        if (std::abs(a_[i][candidate]) > eps_) {
+          col = candidate;
+          break;
+        }
+      }
+      if (col < artificial0_) pivot(i, col);
+      // else: the row is all-zero (redundant constraint); leave it.
+    }
+    // Phase 2: minimize the real objective with artificials banned.
+    for (std::size_t col = artificial0_; col < n_total_; ++col) {
+      banned_[col] = true;
+    }
+    std::vector<double> phase2(n_total_, 0.0);
+    for (std::size_t col = 0; col < n_struct_; ++col) {
+      phase2[col] = problem.objective[col];
+    }
+    if (!optimize(std::move(phase2))) {
+      return {LpStatus::kUnbounded, 0.0, {}};
+    }
+    LpSolution solution;
+    solution.status = LpStatus::kOptimal;
+    solution.x.assign(n_struct_, 0.0);
+    for (std::size_t i = 0; i < a_.size(); ++i) {
+      if (basis_[i] < n_struct_) solution.x[basis_[i]] = a_[i][n_total_];
+    }
+    solution.value = 0.0;
+    for (std::size_t col = 0; col < n_struct_; ++col) {
+      solution.value += problem.objective[col] * solution.x[col];
+    }
+    return solution;
+  }
+
+ private:
+  double eps_;
+  std::size_t n_struct_ = 0;
+  std::size_t n_total_ = 0;
+  std::size_t artificial0_ = 0;
+  std::vector<std::vector<double>> a_;
+  std::vector<std::size_t> basis_;
+  std::vector<double> z_;
+  std::vector<bool> banned_;
+};
+
+}  // namespace
+
+LpSolution solve_lp(const LpProblem& problem, double eps) {
+  CALIB_CHECK(static_cast<int>(problem.objective.size()) ==
+              problem.num_vars);
+  if (problem.rows.empty()) {
+    // Without constraints the minimum of c^T x over x >= 0 is 0 unless
+    // some cost is negative (then unbounded).
+    for (const double cost : problem.objective) {
+      if (cost < 0.0) return {LpStatus::kUnbounded, 0.0, {}};
+    }
+    return {LpStatus::kOptimal, 0.0,
+            std::vector<double>(static_cast<std::size_t>(problem.num_vars),
+                                0.0)};
+  }
+  Tableau tableau(problem, eps);
+  return tableau.run(problem);
+}
+
+}  // namespace calib

@@ -1,0 +1,45 @@
+// Dense two-phase primal simplex solver, built from scratch.
+//
+// Solves   minimize c^T x   s.t.  each row (a_i^T x) {<=,=,>=} b_i, x >= 0.
+//
+// Phase 1 drives artificial variables out of the basis; Bland's rule
+// guarantees termination under degeneracy. Dense tableaus are fine at
+// the scale the Figure 1 LP reaches on certified-small instances
+// (hundreds of rows/columns).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace calib {
+
+enum class Relation { kLe, kEq, kGe };
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded };
+
+struct LpRow {
+  std::vector<std::pair<int, double>> coefficients;  ///< (var index, coef)
+  Relation relation = Relation::kGe;
+  double rhs = 0.0;
+};
+
+struct LpProblem {
+  int num_vars = 0;
+  std::vector<double> objective;  ///< size num_vars; minimized
+  std::vector<LpRow> rows;
+
+  int add_variable(double cost);
+  void add_row(LpRow row);
+};
+
+struct LpSolution {
+  LpStatus status = LpStatus::kInfeasible;
+  double value = 0.0;
+  std::vector<double> x;
+};
+
+/// Solve with tolerance `eps` for pivoting/feasibility decisions.
+LpSolution solve_lp(const LpProblem& problem, double eps = 1e-9);
+
+}  // namespace calib

@@ -1,0 +1,136 @@
+#include "machmin/machine_min.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/check.hpp"
+
+namespace calib {
+namespace {
+
+/// EDF over a per-step capacity function: at each step, run up to
+/// capacity(t) released jobs with the earliest deadlines. Feasibility-
+/// optimal for unit jobs (exchange argument over the underlying
+/// transversal matroid).
+template <typename Capacity>
+bool edf_feasible_capacity(const DeadlineInstance& instance,
+                           Time first_step, Time last_step,
+                           const Capacity& capacity) {
+  std::vector<DeadlineJob> jobs = instance.jobs();
+  std::sort(jobs.begin(), jobs.end(),
+            [](const DeadlineJob& a, const DeadlineJob& b) {
+              return a.release < b.release;
+            });
+  std::multiset<Time> waiting;  // deadlines of released, unrun jobs
+  std::size_t next = 0;
+  for (Time t = first_step; t <= last_step; ++t) {
+    while (next < jobs.size() && jobs[next].release <= t) {
+      waiting.insert(jobs[next].deadline);
+      ++next;
+    }
+    for (Time used = 0; used < capacity(t) && !waiting.empty(); ++used) {
+      if (*waiting.begin() <= t) return false;  // earliest already missed
+      waiting.erase(waiting.begin());
+    }
+    // Any job still waiting with deadline t+1 had its last chance at t.
+    if (!waiting.empty() && *waiting.begin() <= t + 1) return false;
+  }
+  return next == jobs.size() && waiting.empty();
+}
+
+}  // namespace
+
+bool edf_feasible_machines(const DeadlineInstance& instance, int machines) {
+  CALIB_CHECK(machines >= 0);
+  if (instance.empty()) return true;
+  if (machines == 0) return false;
+  return edf_feasible_capacity(
+      instance, instance.min_release(), instance.max_deadline() - 1,
+      [machines](Time) { return static_cast<Time>(machines); });
+}
+
+int min_machines(const DeadlineInstance& instance) {
+  if (instance.empty()) return 0;
+  int lo = 1;
+  int hi = instance.size();
+  CALIB_CHECK_MSG(edf_feasible_machines(instance, hi),
+                  "n machines must always suffice for valid windows");
+  while (lo < hi) {
+    const int mid = lo + (hi - lo) / 2;
+    if (edf_feasible_machines(instance, mid)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+bool edf_feasible_intervals(const DeadlineInstance& instance,
+                            const std::vector<Time>& starts) {
+  if (instance.empty()) return true;
+  if (starts.empty()) return false;
+  // Capacity at t = number of intervals covering t.
+  std::map<Time, Time> delta;
+  for (const Time s : starts) {
+    delta[s] += 1;
+    delta[s + instance.T()] -= 1;
+  }
+  std::map<Time, Time> capacity;  // step -> concurrent intervals
+  Time running = 0;
+  Time previous = 0;
+  bool first = true;
+  std::vector<std::pair<std::pair<Time, Time>, Time>> segments;
+  for (const auto& [time, change] : delta) {
+    if (!first && running > 0) {
+      segments.push_back({{previous, time}, running});
+    }
+    running += change;
+    previous = time;
+    first = false;
+  }
+  auto capacity_at = [&](Time t) -> Time {
+    for (const auto& [range, value] : segments) {
+      if (t >= range.first && t < range.second) return value;
+    }
+    return 0;
+  };
+  const Time first_step =
+      std::min(instance.min_release(),
+               *std::min_element(starts.begin(), starts.end()));
+  const Time last_step = instance.max_deadline() - 1;
+  return edf_feasible_capacity(instance, first_step, last_step,
+                               capacity_at);
+}
+
+std::optional<std::vector<Time>> min_calibrations_unlimited_machines(
+    const DeadlineInstance& instance, int max_calibrations) {
+  if (instance.empty()) return std::vector<Time>{};
+  const int cap =
+      max_calibrations < 0 ? instance.size() : max_calibrations;
+  std::vector<Time> candidates;
+  for (Time s = instance.min_release() + 1 - instance.T();
+       s < instance.max_deadline(); ++s) {
+    candidates.push_back(s);
+  }
+  // DFS over multisets (two intervals may share a start on different
+  // machines), iterative deepening on the count.
+  std::vector<Time> chosen;
+  auto search = [&](auto&& self, std::size_t from, int remaining) -> bool {
+    if (remaining == 0) return edf_feasible_intervals(instance, chosen);
+    for (std::size_t i = from; i < candidates.size(); ++i) {
+      chosen.push_back(candidates[i]);
+      if (self(self, i, remaining - 1)) return true;  // i again: multiset
+      chosen.pop_back();
+    }
+    return false;
+  };
+  for (int k = 1; k <= cap; ++k) {
+    chosen.clear();
+    if (search(search, 0, k)) return chosen;
+  }
+  return std::nullopt;
+}
+
+}  // namespace calib

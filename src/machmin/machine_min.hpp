@@ -1,0 +1,45 @@
+// The machine-minimization connection (paper Section 5, citing Fineman
+// and Sheridan SPAA'15): minimizing calibrations for deadline jobs
+// generalizes machine minimization — as T grows, one calibration
+// behaves like one always-available machine.
+//
+// This module makes the connection executable (experiment E13):
+//   * min_machines          — fewest identical machines on which every
+//                             unit job meets its deadline (EDF-m +
+//                             binary search; EDF is feasibility-optimal
+//                             for unit jobs on identical machines).
+//   * min_calibrations_unlimited_machines
+//                           — fewest length-T calibrations, each on its
+//                             own machine (machines are free, only
+//                             calibrations cost), meeting all deadlines.
+// For T >= the whole instance span the two quantities coincide; the
+// bench sweeps T to show the convergence.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "deadline/deadline_instance.hpp"
+
+namespace calib {
+
+/// Can all jobs meet their deadlines on `machines` identical,
+/// always-available machines? (EDF-m simulation.)
+bool edf_feasible_machines(const DeadlineInstance& instance, int machines);
+
+/// Fewest machines for feasibility. At most n machines ever help.
+int min_machines(const DeadlineInstance& instance);
+
+/// Can all jobs meet their deadlines given intervals of length
+/// instance.T() at the given start times, each interval on its own
+/// machine? (Capacity at step t = number of intervals covering t.)
+bool edf_feasible_intervals(const DeadlineInstance& instance,
+                            const std::vector<Time>& starts);
+
+/// Fewest calibrations with unlimited machines (exhaustive search over
+/// start multisets; exponential, small instances only). nullopt never
+/// happens for valid windows — n calibrations always suffice.
+std::optional<std::vector<Time>> min_calibrations_unlimited_machines(
+    const DeadlineInstance& instance, int max_calibrations = -1);
+
+}  // namespace calib

@@ -1,0 +1,204 @@
+#include "multitype/multitype_sched.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <set>
+
+#include "util/check.hpp"
+
+namespace calib {
+
+Cost MultitypeSchedule::flow(const Instance& instance) const {
+  CALIB_CHECK(static_cast<int>(start.size()) == instance.size());
+  Cost total = 0;
+  for (JobId j = 0; j < instance.size(); ++j) {
+    const Time s = start[static_cast<std::size_t>(j)];
+    CALIB_CHECK_MSG(s != kUnscheduled, "job " << j << " unscheduled");
+    total += instance.job(j).weight * (s + 1 - instance.job(j).release);
+  }
+  return total;
+}
+
+std::optional<std::string> MultitypeSchedule::validate(
+    const Instance& instance) const {
+  if (static_cast<int>(start.size()) != instance.size()) {
+    return "start vector size mismatch";
+  }
+  std::set<Time> used;
+  for (JobId j = 0; j < instance.size(); ++j) {
+    const Time s = start[static_cast<std::size_t>(j)];
+    const std::string tag = "job " + std::to_string(j);
+    if (s == kUnscheduled) return tag + " unscheduled";
+    if (s < instance.job(j).release) return tag + " before release";
+    if (!calendar.covers(s)) return tag + " at uncovered step";
+    if (!used.insert(s).second) return tag + " collides";
+  }
+  return std::nullopt;
+}
+
+MultitypeSchedule assign_multitype(const Instance& instance,
+                                   const TypedCalendar& calendar) {
+  CALIB_CHECK_MSG(instance.machines() == 1,
+                  "multitype scheduling is single-machine");
+  MultitypeSchedule schedule{calendar, std::vector<Time>(
+                                           static_cast<std::size_t>(
+                                               instance.size()),
+                                           kUnscheduled)};
+  std::deque<JobId> waiting;
+  JobId next = 0;
+  for (const Time slot : calendar.covered_slots()) {
+    while (next < instance.size() && instance.job(next).release <= slot) {
+      waiting.push_back(next);
+      ++next;
+    }
+    if (!waiting.empty()) {
+      schedule.start[static_cast<std::size_t>(waiting.front())] = slot;
+      waiting.pop_front();
+    }
+  }
+  return schedule;
+}
+
+MultitypeSchedule online_multitype(
+    const Instance& instance, const std::vector<CalibrationType>& types) {
+  CALIB_CHECK_MSG(instance.machines() == 1,
+                  "multitype scheduling is single-machine");
+  CALIB_CHECK_MSG(instance.is_unweighted(),
+                  "the online multitype heuristic is unweighted");
+  TypedCalendar calendar(types);
+  std::vector<Time> start(static_cast<std::size_t>(instance.size()),
+                          kUnscheduled);
+  std::deque<JobId> waiting;
+  JobId next = 0;
+  Time t = instance.empty() ? 0 : instance.min_release();
+  int placed = 0;
+  // Generous guard: every trigger fires within min G_k steps of queue
+  // pressure existing.
+  Cost min_cost = types.front().cost;
+  for (const CalibrationType& type : types) {
+    min_cost = std::min(min_cost, type.cost);
+  }
+  const Time guard = instance.horizon() + min_cost +
+                     static_cast<Time>(instance.size()) + 8;
+  while (placed < instance.size()) {
+    CALIB_CHECK_MSG(t <= guard, "multitype online failed to drain");
+    while (next < instance.size() && instance.job(next).release <= t) {
+      waiting.push_back(next);
+      ++next;
+    }
+    if (!calendar.covers(t) && !waiting.empty()) {
+      // Hypothetical queue flow if drained from t + 1 (Algorithm 1's f).
+      Cost f = 0;
+      Time slot = t + 1;
+      for (const JobId j : waiting) {
+        f += slot + 1 - instance.job(j).release;
+        ++slot;
+      }
+      // Pick the type with the best cost per reachable job *first*,
+      // then wait for that type's own trigger — buying a type the
+      // moment some other type's trigger fires overpays on lone jobs
+      // (a full recalibration for one waiting job).
+      //
+      // "Reachable" counts the queue plus the arrivals the interval
+      // can expect to absorb, estimated from the observed arrival rate
+      // (online-legitimate: only the past is consulted). Without the
+      // rate term a long interval never looks good — queues stay short
+      // precisely because calibrating drains them.
+      int best_type = 0;
+      double best_score = std::numeric_limits<double>::infinity();
+      const auto queue_size = static_cast<Cost>(waiting.size());
+      const double elapsed =
+          static_cast<double>(t - instance.min_release() + 1);
+      const double rate = static_cast<double>(next) / elapsed;
+      for (std::size_t k = 0; k < types.size(); ++k) {
+        const double reachable = std::min(
+            static_cast<double>(types[k].length),
+            static_cast<double>(queue_size) +
+                rate * static_cast<double>(types[k].length));
+        const double score =
+            static_cast<double>(types[k].cost) / reachable;
+        if (score < best_score) {
+          best_score = score;
+          best_type = static_cast<int>(k);
+        }
+      }
+      const CalibrationType& chosen =
+          types[static_cast<std::size_t>(best_type)];
+      if (queue_size * chosen.length >= chosen.cost || f >= chosen.cost) {
+        calendar.add(t, best_type);
+      }
+    }
+    if (calendar.covers(t) && !waiting.empty()) {
+      start[static_cast<std::size_t>(waiting.front())] = t;
+      waiting.pop_front();
+      ++placed;
+    }
+    ++t;
+  }
+  return MultitypeSchedule{std::move(calendar), std::move(start)};
+}
+
+namespace {
+
+void search_multitype(const Instance& instance,
+                      const std::vector<CalibrationType>& types,
+                      const std::vector<Time>& candidate_starts,
+                      std::size_t from, int remaining,
+                      TypedCalendar& calendar, Cost& best_cost,
+                      MultitypeSchedule& best) {
+  // Evaluate the current calendar.
+  MultitypeSchedule schedule = assign_multitype(instance, calendar);
+  const bool complete =
+      std::none_of(schedule.start.begin(), schedule.start.end(),
+                   [](Time s) { return s == kUnscheduled; });
+  if (complete) {
+    const Cost cost = schedule.total_cost(instance);
+    if (best_cost < 0 || cost < best_cost) {
+      best_cost = cost;
+      best = schedule;
+    }
+  }
+  if (remaining == 0) return;
+  // Prune: even with every job at flow 1 (the minimum), this branch
+  // cannot beat the incumbent.
+  if (best_cost >= 0 &&
+      calendar.calibration_cost() + instance.total_weight() >= best_cost) {
+    return;
+  }
+  for (std::size_t i = from; i < candidate_starts.size(); ++i) {
+    for (std::size_t k = 0; k < types.size(); ++k) {
+      TypedCalendar extended = calendar;
+      extended.add(candidate_starts[i], static_cast<int>(k));
+      search_multitype(instance, types, candidate_starts, i + 1,
+                       remaining - 1, extended, best_cost, best);
+    }
+  }
+}
+
+}  // namespace
+
+MultitypeSchedule optimal_multitype(
+    const Instance& instance, const std::vector<CalibrationType>& types) {
+  CALIB_CHECK_MSG(instance.machines() == 1,
+                  "multitype scheduling is single-machine");
+  CALIB_CHECK(!instance.empty());
+  Time max_length = 0;
+  for (const CalibrationType& type : types) {
+    max_length = std::max(max_length, type.length);
+  }
+  std::vector<Time> candidates;
+  for (Time s = instance.min_release() + 1 - max_length;
+       s <= instance.max_release(); ++s) {
+    candidates.push_back(s);
+  }
+  TypedCalendar calendar(types);
+  Cost best_cost = -1;
+  MultitypeSchedule best{calendar, {}};
+  search_multitype(instance, types, candidates, 0, instance.size(),
+                   calendar, best_cost, best);
+  CALIB_CHECK_MSG(best_cost >= 0, "n calibrations always suffice");
+  return best;
+}
+
+}  // namespace calib

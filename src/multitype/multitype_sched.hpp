@@ -1,0 +1,44 @@
+// Scheduling with multiple calibration types (single machine,
+// unweighted): online heuristic + exact solvers for experiment E12.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "multitype/typed_calendar.hpp"
+
+namespace calib {
+
+struct MultitypeSchedule {
+  TypedCalendar calendar;
+  std::vector<Time> start;  ///< per job (instance order)
+
+  [[nodiscard]] Cost flow(const Instance& instance) const;
+  [[nodiscard]] Cost total_cost(const Instance& instance) const {
+    return calendar.calibration_cost() + flow(instance);
+  }
+  /// nullopt if correct; else the first violation.
+  [[nodiscard]] std::optional<std::string> validate(
+      const Instance& instance) const;
+};
+
+/// FIFO greedy assignment of an unweighted instance to a typed
+/// calendar's covered slots (the Observation 2.1 analogue). Jobs that
+/// find no slot have start == kUnscheduled.
+MultitypeSchedule assign_multitype(const Instance& instance,
+                                   const TypedCalendar& calendar);
+
+/// Online generalization of Algorithm 1: delay until some type's
+/// trigger fires (|Q| * T_k >= G_k or queue flow >= G_k), then buy the
+/// type with the best cost per reachable job, G_k / min(T_k, |Q|).
+/// Heuristic — no competitive claim; measured in E12.
+MultitypeSchedule online_multitype(const Instance& instance,
+                                   const std::vector<CalibrationType>& types);
+
+/// Exact optimum of calibration cost + flow by exhaustive search over
+/// (start, type) pairs; exponential, small instances only.
+MultitypeSchedule optimal_multitype(const Instance& instance,
+                                    const std::vector<CalibrationType>& types);
+
+}  // namespace calib

@@ -1,0 +1,69 @@
+#include "multitype/typed_calendar.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace calib {
+
+TypedCalendar::TypedCalendar(std::vector<CalibrationType> types)
+    : types_(std::move(types)) {
+  CALIB_CHECK_MSG(!types_.empty(), "need at least one calibration type");
+  for (const CalibrationType& type : types_) {
+    CALIB_CHECK(type.length >= 1);
+    CALIB_CHECK(type.cost >= 1);
+  }
+}
+
+void TypedCalendar::add(Time start, int type) {
+  CALIB_CHECK(type >= 0 && type < static_cast<int>(types_.size()));
+  const Entry entry{start, type};
+  entries_.insert(std::upper_bound(entries_.begin(), entries_.end(), entry,
+                                   [](const Entry& a, const Entry& b) {
+                                     return a.start < b.start;
+                                   }),
+                  entry);
+}
+
+Cost TypedCalendar::calibration_cost() const {
+  Cost total = 0;
+  for (const Entry& entry : entries_) {
+    total += types_[static_cast<std::size_t>(entry.type)].cost;
+  }
+  return total;
+}
+
+bool TypedCalendar::covers(Time t) const {
+  for (const Entry& entry : entries_) {
+    if (entry.start > t) break;
+    if (t < entry.start + types_[static_cast<std::size_t>(entry.type)].length)
+      return true;
+  }
+  return false;
+}
+
+std::vector<Time> TypedCalendar::covered_slots() const {
+  std::set<Time> slots;
+  for (const Entry& entry : entries_) {
+    const Time length = types_[static_cast<std::size_t>(entry.type)].length;
+    for (Time t = entry.start; t < entry.start + length; ++t) {
+      slots.insert(t);
+    }
+  }
+  return {slots.begin(), slots.end()};
+}
+
+std::string TypedCalendar::to_string() const {
+  std::ostringstream os;
+  os << "TypedCalendar(";
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (i > 0) os << ' ';
+    os << 't' << entries_[i].type << '@' << entries_[i].start;
+  }
+  os << ')';
+  return os.str();
+}
+
+}  // namespace calib

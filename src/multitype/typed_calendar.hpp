@@ -1,0 +1,66 @@
+// Multiple calibration types — the Angel, Bampis, Chau, Zissimopoulos
+// (FAW'17) generalization the paper cites in Related Work: each
+// calibration type k has its own length T_k and cost G_k (e.g. a quick
+// cheap touch-up vs a full expensive recalibration).
+//
+// This subsystem carries the extension experiment E12: an online policy
+// that picks types adaptively, against single-type baselines and a
+// brute-force optimum on small instances.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace calib {
+
+struct CalibrationType {
+  Time length = 2;  ///< steps the machine stays calibrated
+  Cost cost = 1;    ///< price of one calibration of this type
+
+  friend bool operator==(const CalibrationType&,
+                         const CalibrationType&) = default;
+};
+
+/// A calendar whose calibrations carry a type. Single machine (the
+/// FAW'17 setting); overlaps are legal and merge for coverage.
+class TypedCalendar {
+ public:
+  explicit TypedCalendar(std::vector<CalibrationType> types);
+
+  [[nodiscard]] const std::vector<CalibrationType>& types() const {
+    return types_;
+  }
+
+  void add(Time start, int type);
+
+  struct Entry {
+    Time start;
+    int type;
+    friend bool operator==(const Entry&, const Entry&) = default;
+  };
+  [[nodiscard]] const std::vector<Entry>& entries() const {
+    return entries_;
+  }
+  [[nodiscard]] int count() const {
+    return static_cast<int>(entries_.size());
+  }
+
+  /// Sum of the costs of all calibrations.
+  [[nodiscard]] Cost calibration_cost() const;
+
+  /// Is step t covered by any calibration?
+  [[nodiscard]] bool covers(Time t) const;
+
+  /// All covered steps, ascending, deduplicated.
+  [[nodiscard]] std::vector<Time> covered_slots() const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<CalibrationType> types_;
+  std::vector<Entry> entries_;  // sorted by start
+};
+
+}  // namespace calib

@@ -1,0 +1,257 @@
+#include "nonunit/nonunit.hpp"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <set>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace calib {
+
+NonUnitInstance::NonUnitInstance(std::vector<NonUnitJob> jobs,
+                                 Time calibration_length)
+    : jobs_(std::move(jobs)), T_(calibration_length) {
+  CALIB_CHECK(T_ >= 1);
+  for (const NonUnitJob& job : jobs_) {
+    CALIB_CHECK(job.processing >= 1);
+    CALIB_CHECK_MSG(job.release + job.processing <= job.deadline,
+                    "window [" << job.release << ", " << job.deadline
+                               << ") cannot fit processing "
+                               << job.processing);
+  }
+  std::stable_sort(jobs_.begin(), jobs_.end(),
+                   [](const NonUnitJob& a, const NonUnitJob& b) {
+                     if (a.deadline != b.deadline)
+                       return a.deadline < b.deadline;
+                     return a.release < b.release;
+                   });
+}
+
+const NonUnitJob& NonUnitInstance::job(JobId j) const {
+  CALIB_CHECK(j >= 0 && j < size());
+  return jobs_[static_cast<std::size_t>(j)];
+}
+
+Time NonUnitInstance::total_processing() const {
+  Time total = 0;
+  for (const NonUnitJob& job : jobs_) total += job.processing;
+  return total;
+}
+
+Time NonUnitInstance::min_release() const {
+  CALIB_CHECK(!jobs_.empty());
+  Time best = jobs_.front().release;
+  for (const NonUnitJob& job : jobs_) best = std::min(best, job.release);
+  return best;
+}
+
+Time NonUnitInstance::max_deadline() const {
+  CALIB_CHECK(!jobs_.empty());
+  return jobs_.back().deadline;
+}
+
+std::string NonUnitInstance::to_string() const {
+  std::ostringstream os;
+  os << "NonUnitInstance(T=" << T_ << ", jobs=[";
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << '[' << jobs_[i].release << ',' << jobs_[i].deadline << ")x"
+       << jobs_[i].processing;
+  }
+  os << "])";
+  return os.str();
+}
+
+namespace {
+
+/// Preemptive EDF of `jobs` over an arbitrary ascending slot list.
+bool edf_over_slots(std::vector<NonUnitJob> jobs,
+                    const std::vector<Time>& slots) {
+  std::sort(jobs.begin(), jobs.end(),
+            [](const NonUnitJob& a, const NonUnitJob& b) {
+              return a.release < b.release;
+            });
+  // (deadline, remaining) pairs, earliest deadline first.
+  std::multiset<std::pair<Time, Time>> active;
+  std::size_t next = 0;
+  for (const Time t : slots) {
+    while (next < jobs.size() && jobs[next].release <= t) {
+      active.insert({jobs[next].deadline, jobs[next].processing});
+      ++next;
+    }
+    if (!active.empty()) {
+      if (active.begin()->first <= t) return false;  // already missed
+      auto node = active.extract(active.begin());
+      if (--node.value().second > 0) active.insert(std::move(node));
+    }
+    if (!active.empty() && active.begin()->first <= t + 1) return false;
+  }
+  return next == jobs.size() && active.empty();
+}
+
+std::vector<Time> contiguous_slots(Time from, Time to) {
+  std::vector<Time> slots;
+  slots.reserve(static_cast<std::size_t>(std::max<Time>(0, to - from)));
+  for (Time t = from; t < to; ++t) slots.push_back(t);
+  return slots;
+}
+
+}  // namespace
+
+bool edf_feasible_nonunit(const NonUnitInstance& instance,
+                          const Calendar& calendar) {
+  CALIB_CHECK(calendar.machines() == 1);
+  CALIB_CHECK(calendar.T() == instance.T());
+  if (instance.empty()) return true;
+  std::vector<Time> slots;
+  for (const auto& slot : calendar.slots()) slots.push_back(slot.time);
+  return edf_over_slots(instance.jobs(), slots);
+}
+
+bool hall_feasible_nonunit(const NonUnitInstance& instance,
+                           const Calendar& calendar) {
+  CALIB_CHECK(calendar.machines() == 1);
+  if (instance.empty()) return true;
+  std::set<Time> releases;
+  std::set<Time> deadlines;
+  for (const NonUnitJob& job : instance.jobs()) {
+    releases.insert(job.release);
+    deadlines.insert(job.deadline);
+  }
+  const auto slots = calendar.slots();
+  for (const Time a : releases) {
+    for (const Time b : deadlines) {
+      if (b <= a) continue;
+      Time demand = 0;
+      for (const NonUnitJob& job : instance.jobs()) {
+        if (job.release >= a && job.deadline <= b) demand += job.processing;
+      }
+      Time capacity = 0;
+      for (const auto& slot : slots) {
+        if (slot.time >= a && slot.time < b) ++capacity;
+      }
+      if (demand > capacity) return false;
+    }
+  }
+  return true;
+}
+
+std::optional<Calendar> min_calibrations_nonunit(
+    const NonUnitInstance& instance, int max_calibrations) {
+  if (instance.empty()) return Calendar(instance.T(), 1);
+  std::vector<Time> candidates;
+  for (Time s = instance.min_release() + 1 - instance.T();
+       s < instance.max_deadline(); ++s) {
+    candidates.push_back(s);
+  }
+  const int cap =
+      max_calibrations < 0
+          ? static_cast<int>((instance.total_processing() + instance.T() -
+                              1) /
+                             instance.T()) +
+                instance.size()
+          : max_calibrations;
+  const int lower = static_cast<int>(
+      (instance.total_processing() + instance.T() - 1) / instance.T());
+  std::vector<Time> chosen;
+  auto search = [&](auto&& self, std::size_t from, int remaining) -> bool {
+    if (remaining == 0) {
+      Calendar calendar(instance.T(), 1);
+      for (const Time start : chosen) calendar.add(0, start);
+      return edf_feasible_nonunit(instance, calendar);
+    }
+    if (candidates.size() - from < static_cast<std::size_t>(remaining)) {
+      return false;
+    }
+    for (std::size_t i = from; i < candidates.size(); ++i) {
+      chosen.push_back(candidates[i]);
+      if (self(self, i + 1, remaining - 1)) return true;
+      chosen.pop_back();
+    }
+    return false;
+  };
+  for (int k = lower; k <= cap; ++k) {
+    chosen.clear();
+    if (search(search, 0, k)) {
+      Calendar calendar(instance.T(), 1);
+      for (const Time start : chosen) calendar.add(0, start);
+      return calendar;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Calendar> lazy_binning_nonunit(
+    const NonUnitInstance& instance) {
+  Calendar calendar(instance.T(), 1);
+  if (instance.empty()) return calendar;
+
+  std::vector<NonUnitJob> remaining = instance.jobs();
+  Time cursor = instance.min_release() + 1 - instance.T();
+  const Time horizon = instance.max_deadline();
+  auto feasible_from = [&](Time t) {
+    return edf_over_slots(remaining, contiguous_slots(t, horizon));
+  };
+  int guard = 2 * instance.size() +
+              static_cast<int>(instance.total_processing());
+  while (!remaining.empty()) {
+    CALIB_CHECK_MSG(--guard >= 0, "lazy_binning_nonunit failed to converge");
+    if (!feasible_from(cursor)) return std::nullopt;
+    Time lo = cursor;
+    Time hi = horizon - 1;
+    while (lo < hi) {
+      const Time mid = lo + (hi - lo + 1) / 2;
+      if (feasible_from(mid)) {
+        lo = mid;
+      } else {
+        hi = mid - 1;
+      }
+    }
+    const Time start = lo;
+    calendar.add(0, start);
+    // Commit the work the ideal schedule does inside [start, start+T):
+    // preemptive EDF, decrementing processing.
+    std::vector<NonUnitJob> pool = remaining;
+    std::sort(pool.begin(), pool.end(),
+              [](const NonUnitJob& a, const NonUnitJob& b) {
+                return a.release < b.release;
+              });
+    // index into `pool` alongside (deadline, remaining) so we can write
+    // back what is left.
+    std::multiset<std::pair<Time, std::size_t>> active;
+    std::vector<Time> left(pool.size());
+    for (std::size_t i = 0; i < pool.size(); ++i) left[i] = pool[i].processing;
+    std::size_t next = 0;
+    for (Time t = start; t < start + instance.T(); ++t) {
+      while (next < pool.size() && pool[next].release <= t) {
+        active.insert({pool[next].deadline, next});
+        ++next;
+      }
+      if (active.empty()) continue;
+      const auto [deadline, index] = *active.begin();
+      CALIB_CHECK_MSG(deadline > t,
+                      "lazy_binning_nonunit committed a missed job");
+      active.erase(active.begin());
+      if (--left[index] > 0) active.insert({deadline, index});
+    }
+    std::vector<NonUnitJob> still;
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      if (left[i] > 0) {
+        still.push_back(
+            NonUnitJob{pool[i].release, pool[i].deadline, left[i]});
+      }
+    }
+    // Residual jobs may have release < start + T but they can only run
+    // in future intervals; relax their windows' processing constraint
+    // check by keeping them as-is (the constructor invariant may no
+    // longer hold for residuals, so bypass it via direct assembly).
+    remaining = std::move(still);
+    cursor = start + instance.T();
+  }
+  if (!edf_feasible_nonunit(instance, calendar)) return std::nullopt;
+  return calendar;
+}
+
+}  // namespace calib

@@ -1,0 +1,79 @@
+// Non-unit, preemptible jobs with deadlines — the Fineman-Sheridan
+// (SPAA'15) / Angel et al. (FAW'17) generalization the paper's related
+// work builds on: job j needs p_j calibrated time steps (preemption
+// allowed at step granularity) inside its window [release, deadline).
+// Objective: fewest calibrations (single machine), experiment E14.
+//
+// Feasibility facts used (and tested):
+//   * preemptive EDF over the calendar's slots is feasibility-optimal;
+//   * equivalently, Hall's condition: for every window [a, b), the
+//     total processing of jobs with [r_j, d_j) inside [a, b) is at most
+//     the number of calibrated slots in [a, b).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/calendar.hpp"
+#include "core/types.hpp"
+
+namespace calib {
+
+struct NonUnitJob {
+  Time release = 0;
+  Time deadline = 1;
+  Time processing = 1;
+
+  friend bool operator==(const NonUnitJob&, const NonUnitJob&) = default;
+};
+
+class NonUnitInstance {
+ public:
+  NonUnitInstance() = default;
+  /// Jobs sorted by (deadline, release); every window must fit its
+  /// processing (release + processing <= deadline).
+  NonUnitInstance(std::vector<NonUnitJob> jobs, Time calibration_length);
+
+  [[nodiscard]] const std::vector<NonUnitJob>& jobs() const {
+    return jobs_;
+  }
+  [[nodiscard]] const NonUnitJob& job(JobId j) const;
+  [[nodiscard]] int size() const { return static_cast<int>(jobs_.size()); }
+  [[nodiscard]] bool empty() const { return jobs_.empty(); }
+  [[nodiscard]] Time T() const { return T_; }
+  [[nodiscard]] Time total_processing() const;
+  [[nodiscard]] Time min_release() const;
+  [[nodiscard]] Time max_deadline() const;
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const NonUnitInstance&,
+                         const NonUnitInstance&) = default;
+
+ private:
+  std::vector<NonUnitJob> jobs_;
+  Time T_ = 2;
+};
+
+/// Preemptive EDF over the calendar's single-machine slots; true iff
+/// every job finishes its processing before its deadline.
+bool edf_feasible_nonunit(const NonUnitInstance& instance,
+                          const Calendar& calendar);
+
+/// Hall's condition over all release/deadline windows — an independent
+/// feasibility oracle (tested to agree with EDF).
+bool hall_feasible_nonunit(const NonUnitInstance& instance,
+                           const Calendar& calendar);
+
+/// Exact minimum number of calibrations (exhaustive over starts with
+/// iterative deepening; small instances).
+std::optional<Calendar> min_calibrations_nonunit(
+    const NonUnitInstance& instance, int max_calibrations = -1);
+
+/// Lazy-binning generalization: push each interval as late as the
+/// remaining workload allows (feasibility with a fully calibrated
+/// machine from t onward), commit, recur. Optimality probed in E14.
+std::optional<Calendar> lazy_binning_nonunit(
+    const NonUnitInstance& instance);
+
+}  // namespace calib

@@ -1,0 +1,105 @@
+#include "offline/brute_force.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "core/list_scheduler.hpp"
+#include "util/check.hpp"
+
+namespace calib {
+namespace {
+
+std::vector<Time> candidate_starts(const Instance& instance,
+                                   StartCandidates mode) {
+  std::set<Time> starts;
+  if (mode == StartCandidates::kLemma42) {
+    for (const Job& job : instance.jobs()) {
+      starts.insert(job.release + 1 - instance.T());
+    }
+  } else {
+    CALIB_CHECK(!instance.empty());
+    const Time lo = instance.min_release() + 1 - instance.T();
+    const Time hi = instance.max_release();
+    for (Time t = lo; t <= hi; ++t) starts.insert(t);
+  }
+  return {starts.begin(), starts.end()};
+}
+
+/// Evaluate one calibration multiset; keep the best under `objective`.
+template <typename Objective>
+void consider(const Instance& instance, const std::vector<Time>& chosen,
+              const Objective& objective, Cost& best_value,
+              OfflineSolution& best) {
+  ListResult result = list_schedule(instance, chosen);
+  if (!result.feasible()) return;
+  const Cost flow = result.schedule.weighted_flow(instance);
+  const Cost value = objective(flow, static_cast<int>(chosen.size()));
+  if (best_value == kInfeasible || value < best_value) {
+    best_value = value;
+    best.flow = flow;
+    best.schedule = std::move(result.schedule);
+  }
+}
+
+/// Enumerate multisets of `starts` of size exactly `count`, each start
+/// used at most `machines` times (more never helps: the round-robin
+/// calendar would stack a third identical interval on a busy machine).
+template <typename Objective>
+void enumerate(const Instance& instance, const std::vector<Time>& starts,
+               int count, std::size_t from, int used_here,
+               std::vector<Time>& chosen, const Objective& objective,
+               Cost& best_value, OfflineSolution& best) {
+  if (count == 0) {
+    consider(instance, chosen, objective, best_value, best);
+    return;
+  }
+  for (std::size_t i = from; i < starts.size(); ++i) {
+    const int multiplicity = (i == from) ? used_here : 0;
+    if (multiplicity >= instance.machines()) continue;
+    chosen.push_back(starts[i]);
+    enumerate(instance, starts, count - 1, i, multiplicity + 1, chosen,
+              objective, best_value, best);
+    chosen.pop_back();
+  }
+}
+
+template <typename Objective>
+OfflineSolution search(const Instance& instance, int max_calibrations,
+                       StartCandidates candidates,
+                       const Objective& objective) {
+  OfflineSolution best;
+  if (instance.empty()) {
+    best.flow = 0;
+    best.schedule = Schedule(Calendar(instance.T(), instance.machines()), 0);
+    return best;
+  }
+  const std::vector<Time> starts = candidate_starts(instance, candidates);
+  Cost best_value = kInfeasible;
+  std::vector<Time> chosen;
+  for (int count = 1; count <= max_calibrations; ++count) {
+    enumerate(instance, starts, count, 0, 0, chosen, objective, best_value,
+              best);
+  }
+  return best;
+}
+
+}  // namespace
+
+OfflineSolution brute_force_budget(const Instance& instance, int budget,
+                                   StartCandidates candidates) {
+  CALIB_CHECK(budget >= 0);
+  return search(instance, budget, candidates,
+                [](Cost flow, int) { return flow; });
+}
+
+OfflineSolution brute_force_online_objective(const Instance& instance,
+                                             Cost G,
+                                             StartCandidates candidates) {
+  CALIB_CHECK(G >= 1);
+  // n calibrations always suffice (one fresh interval per job), and more
+  // than n can never be optimal with G >= 1.
+  return search(instance, instance.size(), candidates,
+                [G](Cost flow, int count) { return flow + G * count; });
+}
+
+}  // namespace calib

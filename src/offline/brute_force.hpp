@@ -1,0 +1,44 @@
+// Exhaustive offline solvers — the ground truth every other solver is
+// validated against. Exponential in the number of calibrations; intended
+// for small instances only.
+//
+// Two candidate regimes for calibration start times:
+//   * kLemma42: starts restricted to { r_j + 1 - T } (Lemma 4.2 says
+//     some optimal single-machine schedule ends every interval with an
+//     at-release job). Sound for P = 1.
+//   * kExhaustive: every integer start in [min release + 1 - T,
+//     max release]. Sound always; used to validate the Lemma 4.2
+//     restriction itself and for multi-machine instances.
+#pragma once
+
+#include <optional>
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+#include "offline/dp.hpp"  // kInfeasible
+
+namespace calib {
+
+enum class StartCandidates { kLemma42, kExhaustive };
+
+struct OfflineSolution {
+  Cost flow = kInfeasible;          ///< weighted flow; kInfeasible if none
+  std::optional<Schedule> schedule;  ///< a witness if feasible
+
+  [[nodiscard]] bool feasible() const { return flow != kInfeasible; }
+};
+
+/// Minimum weighted flow using at most `budget` calibrations. Supports
+/// multiple machines: calibration multisets (multiplicity up to P per
+/// start) are assigned round-robin per Observation 2.1.
+OfflineSolution brute_force_budget(
+    const Instance& instance, int budget,
+    StartCandidates candidates = StartCandidates::kLemma42);
+
+/// Minimum of G * #calibrations + weighted flow over every calibration
+/// count up to n (the Section 3 online objective, solved offline).
+OfflineSolution brute_force_online_objective(
+    const Instance& instance, Cost G,
+    StartCandidates candidates = StartCandidates::kLemma42);
+
+}  // namespace calib

@@ -1,0 +1,67 @@
+#include "offline/budget_search.hpp"
+
+#include "offline/dp.hpp"
+#include "util/check.hpp"
+
+namespace calib {
+namespace {
+
+OfflineDp make_dp(const Instance& instance) {
+  CALIB_CHECK_MSG(!instance.empty(),
+                  "budget search needs at least one job");
+  return OfflineDp(instance.releases_normalized() ? instance
+                                                  : instance.normalized());
+}
+
+}  // namespace
+
+BudgetSearchResult offline_online_optimum(const Instance& instance, Cost G) {
+  CALIB_CHECK(G >= 1);
+  OfflineDp dp = make_dp(instance);
+  const int n = dp.instance().size();
+  BudgetSearchResult result;
+  result.flow_curve = dp.flow_curve(n);
+  Cost best = -1;
+  for (int k = 1; k <= n; ++k) {
+    const Cost flow = result.flow_curve[static_cast<std::size_t>(k)];
+    if (flow == kInfeasible) continue;
+    const Cost value = G * k + flow;
+    if (best == -1 || value < best) {
+      best = value;
+      result.best_k = k;
+    }
+  }
+  CALIB_CHECK_MSG(best != -1, "n calibrations must always be feasible");
+  result.best_cost = best;
+  return result;
+}
+
+BudgetSearchResult offline_online_optimum_binary(const Instance& instance,
+                                                 Cost G) {
+  CALIB_CHECK(G >= 1);
+  OfflineDp dp = make_dp(instance);
+  const int n = dp.instance().size();
+  // Smallest feasible k: ceil(n / T); F is non-increasing from there.
+  const int k_min =
+      static_cast<int>((n + dp.instance().T() - 1) / dp.instance().T());
+  auto cost_at = [&](int k) { return G * k + dp.min_flow(k); };
+  // Binary search for the first k in [k_min, n] where taking one more
+  // calibration does not reduce the total cost (unimodality assumption).
+  int lo = k_min;
+  int hi = n;
+  while (lo < hi) {
+    const int mid = lo + (hi - lo) / 2;
+    if (cost_at(mid + 1) < cost_at(mid)) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  BudgetSearchResult result;
+  result.best_k = lo;
+  result.best_cost = cost_at(lo);
+  result.flow_curve = dp.flow_curve(n);
+  return result;
+}
+
+}  // namespace calib

@@ -1,0 +1,35 @@
+// Offline optimum of the *online* objective G * #calibrations + flow,
+// computed from the Section 4 DP (the paper's Section 4 remark: the
+// budget problem generalizes the cost problem; search over K).
+//
+// Two searches are provided:
+//   * exhaustive — evaluate G*k + F(k) for every k in [1, n]; exact.
+//   * binary     — the paper's suggested binary search on the marginal
+//     value of a calibration; exact when F is convex in k. The test
+//     suite and bench E8 compare the two, probing the footnote's claim.
+#pragma once
+
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/types.hpp"
+
+namespace calib {
+
+struct BudgetSearchResult {
+  int best_k = 0;        ///< optimal calibration count
+  Cost best_cost = 0;    ///< G * best_k + F(best_k)
+  std::vector<Cost> flow_curve;  ///< F(k) for k = 0..n (kInfeasible entries)
+};
+
+/// Exact offline optimum of the online objective (P = 1; releases are
+/// normalized internally). Requires a nonempty instance.
+BudgetSearchResult offline_online_optimum(const Instance& instance, Cost G);
+
+/// The footnote-5 binary search: assumes the marginal flow saving of an
+/// extra calibration is non-increasing, finds the first k where an extra
+/// calibration stops paying for itself.
+BudgetSearchResult offline_online_optimum_binary(const Instance& instance,
+                                                 Cost G);
+
+}  // namespace calib

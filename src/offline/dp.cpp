@@ -1,0 +1,303 @@
+#include "offline/dp.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <set>
+
+#include "util/check.hpp"
+
+namespace calib {
+namespace {
+
+// Internal sentinels: costs are nonnegative, so negatives are free.
+constexpr Cost kUnknown = -2;
+constexpr Cost kInf = std::numeric_limits<Cost>::max() / 4;
+
+Cost saturating_add(Cost a, Cost b) {
+  if (a >= kInf || b >= kInf) return kInf;
+  return a + b;
+}
+
+}  // namespace
+
+OfflineDp::OfflineDp(const Instance& instance) : instance_(instance) {
+  CALIB_CHECK_MSG(instance_.machines() == 1,
+                  "the Section 4 DP is a single-machine algorithm");
+  n_ = instance_.size();
+  release_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  weight_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  rank_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  for (int j = 1; j <= n_; ++j) {
+    release_[static_cast<std::size_t>(j)] =
+        instance_.job(static_cast<JobId>(j - 1)).release;
+    weight_[static_cast<std::size_t>(j)] =
+        instance_.job(static_cast<JobId>(j - 1)).weight;
+    if (j > 1) {
+      CALIB_CHECK_MSG(
+          release_[static_cast<std::size_t>(j)] >
+              release_[static_cast<std::size_t>(j - 1)],
+          "the DP requires distinct release times; call normalized()");
+    }
+  }
+  // Ranks: ascending weight, ties broken by *latest* release first
+  // (Definition preceding 4.5), so rank 1 is the lightest job and among
+  // equal weights the later-released one.
+  std::vector<int> order(static_cast<std::size_t>(n_));
+  std::iota(order.begin(), order.end(), 1);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    if (weight_[static_cast<std::size_t>(a)] !=
+        weight_[static_cast<std::size_t>(b)])
+      return weight_[static_cast<std::size_t>(a)] <
+             weight_[static_cast<std::size_t>(b)];
+    return release_[static_cast<std::size_t>(a)] >
+           release_[static_cast<std::size_t>(b)];
+  });
+  for (int pos = 0; pos < n_; ++pos) {
+    rank_[static_cast<std::size_t>(order[static_cast<std::size_t>(pos)])] =
+        pos + 1;
+  }
+  const auto states = static_cast<std::size_t>(n_ + 1);
+  const std::size_t cube = states * states * states;
+  dense_memo_ = cube <= (std::size_t{1} << 27);  // ~1 GiB of Cost
+  if (dense_memo_) {
+    f_memo_.assign(cube, kUnknown);
+  } else {
+    f_memo_sparse_.reserve(1 << 20);
+  }
+  F_memo_.assign(states * states, kUnknown);
+}
+
+std::size_t OfflineDp::f_key(int u, int v, int mu) const {
+  const auto states = static_cast<std::size_t>(n_ + 1);
+  return (static_cast<std::size_t>(u) * states + static_cast<std::size_t>(v)) *
+             states +
+         static_cast<std::size_t>(mu);
+}
+
+OfflineDp::StateInfo OfflineDp::analyze(int u, int v, int mu) const {
+  StateInfo info;
+  info.b = release_[static_cast<std::size_t>(v)] + 1 - instance_.T();
+  int best_rank = n_ + 1;
+  for (int j = u; j <= v; ++j) {
+    if (rank_[static_cast<std::size_t>(j)] <= mu) continue;
+    info.members.push_back(j);
+    if (rank_[static_cast<std::size_t>(j)] < best_rank) {
+      best_rank = rank_[static_cast<std::size_t>(j)];
+      info.e = j;
+    }
+    // Psi: members strictly below v whose prefix count is a multiple
+    // of T (Definition 4.5).
+    if (j < v &&
+        static_cast<Time>(info.members.size()) % instance_.T() == 0) {
+      info.psi.push_back(j);
+    }
+  }
+  // Lemma 4.6's s: smallest h with h == #{members released before b+h}
+  // (mod T). Scanning h in [0, T] suffices: beyond T the busy prefix
+  // would exceed the interval.
+  const Time T = instance_.T();
+  for (Time h = 0; h <= T; ++h) {
+    Time count = 0;
+    for (const int j : info.members) {
+      if (release_[static_cast<std::size_t>(j)] < info.b + h) ++count;
+    }
+    if (((h - count) % T + T) % T == 0) {
+      info.s = h;
+      break;
+    }
+  }
+  return info;
+}
+
+Cost OfflineDp::f(int u, int v, int mu) {
+  const std::size_t key = f_key(u, v, mu);
+  if (dense_memo_) {
+    const Cost cached = f_memo_[key];
+    if (cached != kUnknown) return cached;
+  } else {
+    const auto it = f_memo_sparse_.find(key);
+    if (it != f_memo_sparse_.end()) return it->second;
+  }
+  const Cost result = f_compute(u, v, mu);
+  if (dense_memo_) {
+    f_memo_[key] = result;
+  } else {
+    f_memo_sparse_[key] = result;
+  }
+  return result;
+}
+
+Cost OfflineDp::f_compute(int u, int v, int mu) {
+  const StateInfo info = analyze(u, v, mu);
+  if (info.members.empty()) return 0;
+  // Proposition 2's infeasibility guard: a multiple-of-T prefix whose
+  // last job is released at or after the pinned interval's start cannot
+  // be packed into full earlier intervals.
+  if (!info.psi.empty() &&
+      info.b <= release_[static_cast<std::size_t>(info.psi.back())]) {
+    return kInf;
+  }
+
+  Cost best = kInf;
+  const Weight we = weight_[static_cast<std::size_t>(info.e)];
+  const Time re = release_[static_cast<std::size_t>(info.e)];
+  if (info.s >= 0) {
+    const Cost sub = f(u, v, rank_[static_cast<std::size_t>(info.e)]);
+    if (re >= info.b + info.s) {
+      // e runs at its release, inside the at-release suffix.
+      best = std::min(best, saturating_add(sub, we * (re + 1)));
+    } else if (info.s > 0) {
+      // e takes the last slot of the busy prefix, completing at b + s.
+      best = std::min(best, saturating_add(sub, we * (info.b + info.s)));
+    }
+  }
+  for (const int j : info.psi) {
+    if (release_[static_cast<std::size_t>(j)] < re) continue;
+    best = std::min(
+        best, saturating_add(f(u, j, mu), f(j + 1, v, mu)));
+  }
+  return best;
+}
+
+Cost OfflineDp::F(int k, int v) {
+  if (v == 0) return 0;
+  if (k <= 0) return kInf;
+  if (static_cast<Cost>(k) * instance_.T() < v) return kInf;
+  const auto states = static_cast<std::size_t>(n_ + 1);
+  Cost& memo =
+      F_memo_[static_cast<std::size_t>(k) * states + static_cast<std::size_t>(v)];
+  if (memo != kUnknown) return memo;
+  memo = kInf;
+  const Time T = instance_.T();
+  Cost best = kInf;
+  for (int u = 1; u <= v; ++u) {
+    const int need = static_cast<int>((v - u + 1 + T - 1) / T);
+    if (need > k) continue;
+    best = std::min(best,
+                    saturating_add(F(k - need, u - 1), f(u, v, 0)));
+  }
+  return memo = best;
+}
+
+Cost OfflineDp::min_completion(int budget) {
+  if (n_ == 0) return 0;
+  budget = std::clamp(budget, 0, n_);
+  const Cost value = F(budget, n_);
+  return value >= kInf ? kInfeasible : value;
+}
+
+Cost OfflineDp::min_flow(int budget) {
+  const Cost completion = min_completion(budget);
+  if (completion == kInfeasible) return kInfeasible;
+  Cost release_weight = 0;
+  for (int j = 1; j <= n_; ++j) {
+    release_weight += weight_[static_cast<std::size_t>(j)] *
+                      release_[static_cast<std::size_t>(j)];
+  }
+  return completion - release_weight;
+}
+
+std::vector<Cost> OfflineDp::flow_curve(int k_max) {
+  std::vector<Cost> curve;
+  curve.reserve(static_cast<std::size_t>(k_max) + 1);
+  for (int k = 0; k <= k_max; ++k) curve.push_back(min_flow(k));
+  return curve;
+}
+
+void OfflineDp::rebuild_group(int u, int v, int mu, Schedule& schedule,
+                              std::vector<bool>& calibrated_anchor) {
+  const Cost value = f(u, v, mu);
+  CALIB_CHECK(value < kInf);
+  const StateInfo info = analyze(u, v, mu);
+  if (info.members.empty()) return;
+
+  const Weight we = weight_[static_cast<std::size_t>(info.e)];
+  const Time re = release_[static_cast<std::size_t>(info.e)];
+  auto ensure_calibration = [&] {
+    if (!calibrated_anchor[static_cast<std::size_t>(v)]) {
+      schedule.calendar().add(0, info.b);
+      calibrated_anchor[static_cast<std::size_t>(v)] = true;
+    }
+  };
+
+  if (info.s >= 0) {
+    const Cost sub = f(u, v, rank_[static_cast<std::size_t>(info.e)]);
+    if (re >= info.b + info.s &&
+        value == saturating_add(sub, we * (re + 1))) {
+      ensure_calibration();
+      schedule.place(static_cast<JobId>(info.e - 1), 0, re);
+      rebuild_group(u, v, rank_[static_cast<std::size_t>(info.e)], schedule,
+                    calibrated_anchor);
+      return;
+    }
+    if (re < info.b + info.s && info.s > 0 &&
+        value == saturating_add(sub, we * (info.b + info.s))) {
+      ensure_calibration();
+      schedule.place(static_cast<JobId>(info.e - 1), 0, info.b + info.s - 1);
+      rebuild_group(u, v, rank_[static_cast<std::size_t>(info.e)], schedule,
+                    calibrated_anchor);
+      return;
+    }
+  }
+  for (const int j : info.psi) {
+    if (release_[static_cast<std::size_t>(j)] < re) continue;
+    if (value == saturating_add(f(u, j, mu), f(j + 1, v, mu))) {
+      rebuild_group(u, j, mu, schedule, calibrated_anchor);
+      rebuild_group(j + 1, v, mu, schedule, calibrated_anchor);
+      return;
+    }
+  }
+  CALIB_CHECK_MSG(false, "DP reconstruction found no option matching f("
+                             << u << ',' << v << ',' << mu << ")=" << value);
+}
+
+std::optional<Schedule> OfflineDp::solve(int budget) {
+  if (n_ == 0) return Schedule(Calendar(instance_.T(), 1), 0);
+  budget = std::clamp(budget, 0, n_);
+  if (F(budget, n_) >= kInf) return std::nullopt;
+
+  Schedule schedule(Calendar(instance_.T(), 1), n_);
+  std::vector<bool> calibrated_anchor(static_cast<std::size_t>(n_) + 1,
+                                      false);
+  int k = budget;
+  int v = n_;
+  const Time T = instance_.T();
+  while (v > 0) {
+    const Cost value = F(k, v);
+    CALIB_CHECK(value < kInf);
+    bool advanced = false;
+    for (int u = 1; u <= v; ++u) {
+      const int need = static_cast<int>((v - u + 1 + T - 1) / T);
+      if (need > k) continue;
+      if (value == saturating_add(F(k - need, u - 1), f(u, v, 0))) {
+        rebuild_group(u, v, 0, schedule, calibrated_anchor);
+        k -= need;
+        v = u - 1;
+        advanced = true;
+        break;
+      }
+    }
+    CALIB_CHECK_MSG(advanced, "DP reconstruction stuck at F(" << k << ','
+                                                              << v << ')');
+  }
+
+  const auto error = schedule.validate(instance_);
+  CALIB_CHECK_MSG(!error.has_value(),
+                  "DP reconstructed an invalid schedule: " << *error);
+  CALIB_CHECK_MSG(schedule.weighted_flow(instance_) == min_flow(budget),
+                  "DP witness cost " << schedule.weighted_flow(instance_)
+                                     << " != DP value " << min_flow(budget));
+  CALIB_CHECK_MSG(schedule.calendar().count() <= budget,
+                  "DP witness uses more calibrations than the budget");
+  return schedule;
+}
+
+Cost optimal_flow_with_budget(const Instance& instance, int budget) {
+  const Instance normalized =
+      instance.releases_normalized() ? instance : instance.normalized();
+  OfflineDp dp(normalized);
+  return dp.min_flow(budget);
+}
+
+}  // namespace calib

@@ -1,0 +1,98 @@
+// Offline dynamic program (paper Section 4): minimum total weighted flow
+// time on one machine with a budget of K calibrations, unit jobs,
+// distinct integer release times. Optimal; O(K n^3) per Theorem 4.7.
+//
+// Structure (Propositions 1 and 2):
+//   * F(k, v) — optimum for jobs 1..v with k calibrations — splits the
+//     schedule at critical jobs (Definition 4.4) into *groups* of
+//     ceil(count / T) intervals whose last interval ends at r_v + 1
+//     (Lemma 4.2: the last step of each interval runs a job at its
+//     release).
+//   * f(u, v, mu) — optimum for the jobs released in [r_u, r_v] with
+//     rank above mu, packed into exactly ceil(count / T) intervals, all
+//     full except possibly the last, which is pinned to
+//     [r_v + 1 - T, r_v + 1). The recursion peels the rank-minimal
+//     (lightest) job e: it runs at its release (in the interval's
+//     at-release suffix), at the end of the busy prefix (Lemma 4.6's s),
+//     or the group splits at a prefix whose size is a multiple of T.
+//
+// The solver also reconstructs a witness schedule, which the test suite
+// validates and checks against the DP value — the DP can therefore never
+// silently report an unachievable cost.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+
+namespace calib {
+
+/// Sentinel for "no feasible schedule with this budget".
+inline constexpr Cost kInfeasible = -1;
+
+class OfflineDp {
+ public:
+  /// Requires P == 1 and distinct release times (apply
+  /// Instance::normalized() first if needed).
+  explicit OfflineDp(const Instance& instance);
+
+  [[nodiscard]] const Instance& instance() const { return instance_; }
+
+  /// Minimum total weighted flow with at most `budget` calibrations;
+  /// kInfeasible if budget * T < n.
+  [[nodiscard]] Cost min_flow(int budget);
+
+  /// Minimum total weighted completion time (the paper's F(K, n)).
+  [[nodiscard]] Cost min_completion(int budget);
+
+  /// min_flow(k) for k = 0..k_max (index = budget).
+  [[nodiscard]] std::vector<Cost> flow_curve(int k_max);
+
+  /// An optimal schedule witnessing min_flow(budget); nullopt if
+  /// infeasible. Validated against the instance before returning.
+  [[nodiscard]] std::optional<Schedule> solve(int budget);
+
+ private:
+  // f-state key: (u, v, mu) packed; u, v in [1, n], mu in [0, n].
+  [[nodiscard]] std::size_t f_key(int u, int v, int mu) const;
+  Cost f(int u, int v, int mu);
+  Cost f_compute(int u, int v, int mu);
+  Cost F(int k, int v);
+
+  // Reconstruction helpers (re-derive the argmins; the tables are small
+  // compared to re-walking them once).
+  void rebuild_group(int u, int v, int mu, Schedule& schedule,
+                     std::vector<bool>& calibrated_anchor);
+
+  // Definition 4.5 pieces for state (u, v, mu).
+  struct StateInfo {
+    std::vector<int> members;  // indices in [u, v] with rank > mu, ascending
+    std::vector<int> psi;      // prefix-multiple-of-T members below v
+    int e = 0;                 // rank-minimal member
+    Time b = 0;                // last interval start r_v + 1 - T
+    Time s = -1;               // Lemma 4.6's s; -1 if no h in [0, T] works
+  };
+  [[nodiscard]] StateInfo analyze(int u, int v, int mu) const;
+
+  Instance instance_;
+  int n_ = 0;
+  std::vector<Time> release_;   // 1-based
+  std::vector<Weight> weight_;  // 1-based
+  std::vector<int> rank_;       // 1-based; 1 = lightest (ties: latest
+                                // release ranks first)
+  // f-memo: dense cube for small n, hash map beyond (the cube would be
+  // (n+1)^3 entries; past ~1 GiB the sparse reachable-state set wins).
+  bool dense_memo_ = true;
+  std::vector<Cost> f_memo_;
+  std::unordered_map<std::size_t, Cost> f_memo_sparse_;
+  std::vector<Cost> F_memo_;  // (k, v) table
+};
+
+/// One-call helper: optimal flow for `instance` with `budget`
+/// calibrations (normalizes releases if needed).
+Cost optimal_flow_with_budget(const Instance& instance, int budget);
+
+}  // namespace calib

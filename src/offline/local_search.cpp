@@ -1,0 +1,84 @@
+#include "offline/local_search.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "core/list_scheduler.hpp"
+#include "util/check.hpp"
+
+namespace calib {
+namespace {
+
+/// Cost of a global start multiset, or nullopt if infeasible.
+std::optional<Cost> evaluate(const Instance& instance, Cost G,
+                             const std::vector<Time>& starts,
+                             Schedule* out = nullptr) {
+  ListResult result = list_schedule(instance, starts);
+  if (!result.feasible()) return std::nullopt;
+  const Cost cost = result.schedule.online_cost(instance, G);
+  if (out != nullptr) *out = std::move(result.schedule);
+  return cost;
+}
+
+}  // namespace
+
+Schedule local_search_offline(const Instance& instance, Cost G,
+                              const LocalSearchOptions& options) {
+  CALIB_CHECK(G >= 1);
+  CALIB_CHECK(!instance.empty());
+  const Time max_shift =
+      options.max_shift > 0 ? options.max_shift : instance.T();
+
+  // Seed: one calibration per job at its release. Always feasible (the
+  // greedy gets at least one fresh slot per job).
+  std::vector<Time> starts;
+  starts.reserve(static_cast<std::size_t>(instance.size()));
+  for (const Job& job : instance.jobs()) starts.push_back(job.release);
+  Schedule best(Calendar(instance.T(), instance.machines()),
+                instance.size());
+  auto best_cost = evaluate(instance, G, starts, &best);
+  CALIB_CHECK_MSG(best_cost.has_value(),
+                  "per-job release calibrations must be feasible");
+
+  for (int round = 0; round < options.max_rounds; ++round) {
+    bool improved = false;
+    // Move 1: drop a calibration.
+    for (std::size_t i = 0; i < starts.size() && starts.size() > 1; ++i) {
+      std::vector<Time> candidate = starts;
+      candidate.erase(candidate.begin() + static_cast<std::ptrdiff_t>(i));
+      Schedule schedule(Calendar(instance.T(), instance.machines()),
+                        instance.size());
+      const auto cost = evaluate(instance, G, candidate, &schedule);
+      if (cost.has_value() && *cost < *best_cost) {
+        starts = std::move(candidate);
+        best_cost = cost;
+        best = std::move(schedule);
+        improved = true;
+        break;  // restart the sweep on the smaller set
+      }
+    }
+    if (improved) continue;
+    // Move 2: shift one calibration by d in [-max_shift, max_shift].
+    for (std::size_t i = 0; i < starts.size() && !improved; ++i) {
+      for (Time d = -max_shift; d <= max_shift && !improved; ++d) {
+        if (d == 0) continue;
+        std::vector<Time> candidate = starts;
+        candidate[i] += d;
+        Schedule schedule(Calendar(instance.T(), instance.machines()),
+                          instance.size());
+        const auto cost = evaluate(instance, G, candidate, &schedule);
+        if (cost.has_value() && *cost < *best_cost) {
+          starts = std::move(candidate);
+          best_cost = cost;
+          best = std::move(schedule);
+          improved = true;
+        }
+      }
+    }
+    if (!improved) break;  // local optimum
+  }
+  CALIB_CHECK(!best.validate(instance).has_value());
+  return best;
+}
+
+}  // namespace calib

@@ -1,0 +1,29 @@
+// Offline local search for the online objective G * #calibrations +
+// weighted flow, on any number of machines.
+//
+// The paper gives an exact DP for P = 1 only; for P > 1 no offline
+// algorithm is known (brute force explodes). This hill climber is the
+// practical fallback: start from one calibration per job at its
+// release (always feasible), then repeatedly try removing a calibration
+// and shifting one by up to T steps, re-deriving the assignment through
+// Observation 2.1's greedy after every move. Monotone improvement, so
+// it terminates; quality is measured in bench_local_search (E16)
+// against the exact DP (P = 1) and the Figure 1 LP bound (P > 1).
+#pragma once
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+
+namespace calib {
+
+struct LocalSearchOptions {
+  int max_rounds = 256;      ///< safety cap on improvement sweeps
+  Time max_shift = 0;        ///< 0 = use the instance's T
+};
+
+/// Returns a valid schedule; cost is locally minimal under
+/// remove-one / shift-one moves.
+Schedule local_search_offline(const Instance& instance, Cost G,
+                              const LocalSearchOptions& options = {});
+
+}  // namespace calib

@@ -1,0 +1,38 @@
+#include "online/adversary.hpp"
+
+#include "util/check.hpp"
+
+namespace calib {
+
+AdversaryOutcome run_lower_bound_adversary(OnlinePolicy& policy, Cost G,
+                                           Time T) {
+  CALIB_CHECK(T >= 2);
+  OnlineDriver driver(T, /*machines=*/1, G, policy);
+  driver.add_job(/*weight=*/1);
+  driver.step();  // the policy's time-0 decision
+
+  AdversaryOutcome outcome;
+  outcome.calibrated_at_zero = driver.calendar().count() > 0;
+  if (outcome.calibrated_at_zero) {
+    // Branch 1: next job lands at T, one step after the interval ends.
+    while (driver.now() < T) driver.step();
+    driver.add_job(/*weight=*/1);
+    driver.drain();
+    // OPT: calibrate once at time 1; flows 2 and 1.
+    outcome.lemma_opt_cost = G + 3;
+  } else {
+    // Branch 2: a job per step until T-1 keeps the pressure on.
+    while (driver.now() <= T - 1) {
+      driver.add_job(/*weight=*/1);
+      driver.step();
+    }
+    driver.drain();
+    // OPT: calibrate at time 0; every job runs at release, flow 1 each.
+    outcome.lemma_opt_cost = T + G;
+  }
+  outcome.instance = driver.realized_instance();
+  outcome.algorithm_cost = driver.online_cost();
+  return outcome;
+}
+
+}  // namespace calib

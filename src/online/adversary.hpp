@@ -1,0 +1,31 @@
+// The Lemma 3.1 adaptive adversary: no deterministic online algorithm is
+// better than (2 - o(1))-competitive on one machine with unweighted jobs.
+//
+// The adversary releases a job at time 0 and watches the policy:
+//   * if the policy calibrates at time 0, one more job arrives at time T
+//     (the optimum instead calibrates once, at time 1);
+//   * if the policy waits, one job arrives at every step 1 .. T-1 (the
+//     optimum calibrates at time 0 and runs each at its release).
+// The branch ratios are 2 - 4/(G+3) and 2 - G/(T+G) respectively.
+#pragma once
+
+#include "core/instance.hpp"
+#include "online/driver.hpp"
+#include "online/policy.hpp"
+
+namespace calib {
+
+struct AdversaryOutcome {
+  Instance instance;          ///< the realized job sequence
+  Cost algorithm_cost = 0;    ///< policy's online objective on it
+  bool calibrated_at_zero = false;
+  /// The lemma's closed-form cost of the offline schedule it exhibits
+  /// for this branch (an upper bound on OPT; exact for these instances).
+  Cost lemma_opt_cost = 0;
+};
+
+/// Run the adversary against `policy` with parameters (G, T), P = 1.
+AdversaryOutcome run_lower_bound_adversary(OnlinePolicy& policy, Cost G,
+                                           Time T);
+
+}  // namespace calib

@@ -1,0 +1,34 @@
+#include "online/alg1_unweighted.hpp"
+
+#include "util/check.hpp"
+
+namespace calib {
+
+void Alg1Unweighted::decide(DriverHandle& handle) {
+  CALIB_CHECK_MSG(handle.machines() == 1,
+                  "Algorithm 1 is a single-machine policy");
+  const Time t = handle.now();
+  if (handle.calibrated(0, t)) return;  // line 6
+  if (handle.waiting().empty()) return;
+
+  const Cost G = handle.G();
+  const Time T = handle.T();
+  // line 7: flow if all waiting jobs ran back-to-back from t+1.
+  const Cost f = handle.queue_flow_from(t + 1, QueueOrder::kFifo);
+  // line 8: |Q| >= G/T (integer-exact: |Q| * T >= G) or f >= G.
+  const auto queue_size = static_cast<Cost>(handle.waiting().size());
+  if (queue_size * T >= G || f >= G) {
+    handle.calibrate();  // line 9
+    return;
+  }
+  if (!immediate_) return;
+  // lines 11-14: immediate calibration after a light interval. `p` is
+  // the realized flow of the most recent interval; p < 0 means no
+  // calibration has happened yet, in which case the rule cannot fire.
+  const Cost p = handle.last_interval_flow();
+  if (p >= 0 && 2 * p < G && handle.arrived_now()) {
+    handle.calibrate();  // line 13
+  }
+}
+
+}  // namespace calib

@@ -1,0 +1,32 @@
+// Algorithm 1 (paper Section 3.1): online unweighted calibration on one
+// machine, 3-competitive (Theorem 3.3).
+//
+// Delay arriving jobs until either their hypothetical flow reaches G or
+// G/T jobs wait; additionally, *immediately* recalibrate on an arrival
+// that follows an interval whose jobs had total flow below G/2.
+#pragma once
+
+#include "online/policy.hpp"
+
+namespace calib {
+
+class Alg1Unweighted final : public OnlinePolicy {
+ public:
+  /// `immediate_calibrations` = the line 11-14 rule; disabling it is the
+  /// simplification the paper describes for the T < G/T regime (E9).
+  explicit Alg1Unweighted(bool immediate_calibrations = true)
+      : immediate_(immediate_calibrations) {}
+
+  [[nodiscard]] QueueOrder order() const override {
+    return QueueOrder::kFifo;
+  }
+  void decide(DriverHandle& handle) override;
+  [[nodiscard]] const char* name() const override {
+    return immediate_ ? "alg1" : "alg1-noimm";
+  }
+
+ private:
+  bool immediate_;
+};
+
+}  // namespace calib

@@ -1,0 +1,28 @@
+#include "online/alg2_weighted.hpp"
+
+#include "util/check.hpp"
+
+namespace calib {
+
+void Alg2Weighted::decide(DriverHandle& handle) {
+  CALIB_CHECK_MSG(handle.machines() == 1,
+                  "Algorithm 2 is a single-machine policy");
+  const Time t = handle.now();
+  if (handle.calibrated(0, t)) return;  // line 6
+  if (handle.waiting().empty()) return;
+
+  const Cost G = handle.G();
+  const Time T = handle.T();
+  // line 7: hypothetical queue flow from t+1 in the extraction order.
+  const Cost f = handle.queue_flow_from(t + 1, extraction_);
+  // line 8: sum of waiting weights >= G/T (exact: sum * T >= G), or
+  // |Q| >= T, or f >= G. (|Q| can only reach T exactly on one machine
+  // with distinct releases; >= is the safe reading.)
+  const Weight queue_weight = handle.waiting_weight();
+  const auto queue_size = static_cast<Time>(handle.waiting().size());
+  if (queue_weight * T >= G || queue_size >= T || f >= G) {
+    handle.calibrate();  // line 9
+  }
+}
+
+}  // namespace calib

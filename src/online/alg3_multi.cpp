@@ -1,0 +1,48 @@
+#include "online/alg3_multi.hpp"
+
+#include <algorithm>
+
+#include "core/list_scheduler.hpp"
+#include "util/check.hpp"
+
+namespace calib {
+
+void Alg3Multi::decide(DriverHandle& handle) {
+  const Time t = handle.now();
+  const Cost G = handle.G();
+  const Time T = handle.T();
+  // Step 13's per-interval quota: G/T jobs, at least one so the loop
+  // always progresses (the G/T < 1 regime schedules arrivals at once),
+  // and at most T (an interval has only T slots).
+  const Time quota = std::clamp<Time>(G / T, 1, T);
+
+  // Steps 10-14.
+  for (;;) {
+    if (handle.waiting().empty()) return;
+    const Cost f = handle.queue_flow_from(t + 1, QueueOrder::kFifo);
+    const auto queue_size = static_cast<Cost>(handle.waiting().size());
+    if (!(queue_size * static_cast<Cost>(T) >= G || f >= G)) return;
+    const MachineId m = handle.calibrate();  // step 12, round-robin
+    // Step 13: commit up to `quota` queued jobs, release order, into the
+    // earliest free slots of the new interval [t, t + T).
+    for (Time placed = 0; placed < quota && !handle.waiting().empty();
+         ++placed) {
+      const JobId j = handle.waiting().front();
+      const Time slot = handle.first_free_slot(m, t, t + T);
+      if (slot == kUnscheduled) break;  // interval full (overlapping cals)
+      handle.assign(j, m, slot);
+    }
+  }
+}
+
+Schedule reassign_observation_2_1(const Instance& instance,
+                                  const Schedule& explicit_schedule) {
+  const ListResult result =
+      list_schedule(instance, explicit_schedule.calendar());
+  CALIB_CHECK_MSG(result.feasible(),
+                  "a calendar that carried an explicit schedule must be "
+                  "feasible for the greedy too");
+  return result.schedule;
+}
+
+}  // namespace calib

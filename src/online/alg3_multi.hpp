@@ -1,0 +1,40 @@
+// Algorithm 3 (paper Section 3.3): online unweighted calibration on P
+// machines, 12-competitive (Theorem 3.10, via the primal-dual analysis
+// of the Figure 1 / Figure 2 LP pair).
+//
+// Waits until G/T jobs wait or their hypothetical flow reaches G, then
+// calibrates machines round-robin, committing up to G/T queued jobs to
+// each new interval explicitly (step 13). The paper notes that in
+// practice one would keep only the calibration times and reassign via
+// Observation 2.1; `reassign_observation_2_1` implements that variant
+// for the E9 ablation.
+#pragma once
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+#include "online/policy.hpp"
+
+namespace calib {
+
+class Alg3Multi final : public OnlinePolicy {
+ public:
+  Alg3Multi() = default;
+
+  [[nodiscard]] QueueOrder order() const override {
+    return QueueOrder::kFifo;
+  }
+  // Steps 6-9 run before the calibration loop; new intervals receive
+  // their jobs explicitly inside decide(), so no post-assignment.
+  [[nodiscard]] bool assign_before_decide() const override { return true; }
+  [[nodiscard]] bool assign_after_decide() const override { return false; }
+  void decide(DriverHandle& handle) override;
+  [[nodiscard]] const char* name() const override { return "alg3"; }
+};
+
+/// The paper's practical variant: keep Algorithm 3's calibration times,
+/// discard its explicit placements, and re-run Observation 2.1's greedy.
+/// Never worse than the explicit schedule on total flow.
+Schedule reassign_observation_2_1(const Instance& instance,
+                                  const Schedule& explicit_schedule);
+
+}  // namespace calib

@@ -1,0 +1,21 @@
+#include "online/alg4_weighted_multi.hpp"
+
+namespace calib {
+
+void Alg4WeightedMulti::decide(DriverHandle& handle) {
+  if (handle.waiting().empty()) return;
+  const Time t = handle.now();
+  const Cost G = handle.G();
+  const Time T = handle.T();
+  // Only calibrate when no already-calibrated machine is about to free
+  // up this step (the pre-assignment has already run, so any remaining
+  // queue pressure is genuine).
+  const Cost f = handle.queue_flow_from(t + 1, QueueOrder::kHeaviestFirst);
+  const Weight queue_weight = handle.waiting_weight();
+  const auto queue_size = static_cast<Time>(handle.waiting().size());
+  if (queue_weight * T >= G || queue_size >= T || f >= G) {
+    handle.calibrate();
+  }
+}
+
+}  // namespace calib

@@ -1,0 +1,35 @@
+// Extension (the paper's open combination): weighted jobs on multiple
+// machines. The paper gives Algorithm 2 (weighted, P = 1) and
+// Algorithm 3 (unweighted, P machines) and leaves their combination
+// open; this policy is the natural merge, offered as a *heuristic* —
+// no competitive guarantee is claimed.
+//
+// Rules: Observation 2.1 assignment (heaviest first) on every
+// calibrated idle machine, and a calibration whenever the waiting queue
+// trips any Algorithm 2 trigger (weight G/T, count T, flow G), at most
+// one new machine per time step (the conservative choice — bursts then
+// calibrate on consecutive steps, which Observation 2.1 absorbs).
+//
+// Experiment E11 measures it against the Figure 1 LP lower bound.
+#pragma once
+
+#include "online/policy.hpp"
+
+namespace calib {
+
+class Alg4WeightedMulti final : public OnlinePolicy {
+ public:
+  Alg4WeightedMulti() = default;
+
+  [[nodiscard]] QueueOrder order() const override {
+    return QueueOrder::kHeaviestFirst;
+  }
+  [[nodiscard]] bool assign_before_decide() const override { return true; }
+  [[nodiscard]] bool assign_after_decide() const override { return true; }
+  void decide(DriverHandle& handle) override;
+  [[nodiscard]] const char* name() const override {
+    return "alg4-weighted-multi";
+  }
+};
+
+}  // namespace calib

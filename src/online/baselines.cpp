@@ -1,0 +1,58 @@
+#include "online/baselines.hpp"
+
+#include "util/check.hpp"
+
+namespace calib {
+namespace {
+
+/// Count machines with an uncovered current step (candidates to
+/// calibrate); the baselines calibrate one machine per waiting job that
+/// has no slot this step.
+int uncalibrated_machines(const DriverHandle& handle) {
+  int count = 0;
+  for (MachineId m = 0; m < handle.machines(); ++m) {
+    if (!handle.calibrated(m, handle.now())) ++count;
+  }
+  return count;
+}
+
+}  // namespace
+
+void EagerPolicy::decide(DriverHandle& handle) {
+  // Calibrate until every waiting job can start this very step.
+  auto waiting = static_cast<int>(handle.waiting().size());
+  int calibrated_free = handle.machines() - uncalibrated_machines(handle);
+  while (waiting > calibrated_free && calibrated_free < handle.machines()) {
+    handle.calibrate();
+    ++calibrated_free;
+  }
+}
+
+void SkiRentalPolicy::decide(DriverHandle& handle) {
+  if (handle.waiting().empty()) return;
+  // Rent (wait) until the queue's hypothetical flow pays for a buy
+  // (one calibration); no count trigger, no immediate calibrations.
+  for (MachineId m = 0; m < handle.machines(); ++m) {
+    if (handle.calibrated(m, handle.now())) return;  // already calibrated
+  }
+  const Cost f = handle.queue_flow_from(handle.now() + 1,
+                                        QueueOrder::kHeaviestFirst);
+  if (f >= handle.G()) handle.calibrate();
+}
+
+PeriodicPolicy::PeriodicPolicy(Time period) : period_(period) {
+  CALIB_CHECK(period >= 1);
+}
+
+void PeriodicPolicy::decide(DriverHandle& handle) {
+  if (handle.waiting().empty()) return;
+  if (handle.now() % period_ != 0) return;
+  for (MachineId m = 0; m < handle.machines(); ++m) {
+    if (!handle.calibrated(m, handle.now())) {
+      handle.calibrate();
+      return;
+    }
+  }
+}
+
+}  // namespace calib

@@ -1,0 +1,49 @@
+// Baseline online policies the paper's algorithms are measured against.
+//
+// None of these is constant-competitive — each fails on one side of the
+// flow/calibration tradeoff — which is exactly what the benchmark tables
+// show (E2/E3/E8):
+//   * Eager: calibrates the moment anything waits; flow-optimal,
+//     calibration cost unbounded relative to OPT.
+//   * SkiRental: pure delay-until-flow-G (the classic rent/buy rule
+//     Algorithm 1 refines); misses the G/T count trigger, so long trickles
+//     of jobs overpay flow.
+//   * Periodic: fixed calibration cadence, oblivious to the queue.
+#pragma once
+
+#include "online/policy.hpp"
+
+namespace calib {
+
+class EagerPolicy final : public OnlinePolicy {
+ public:
+  [[nodiscard]] QueueOrder order() const override {
+    return QueueOrder::kHeaviestFirst;
+  }
+  void decide(DriverHandle& handle) override;
+  [[nodiscard]] const char* name() const override { return "eager"; }
+};
+
+class SkiRentalPolicy final : public OnlinePolicy {
+ public:
+  [[nodiscard]] QueueOrder order() const override {
+    return QueueOrder::kHeaviestFirst;
+  }
+  void decide(DriverHandle& handle) override;
+  [[nodiscard]] const char* name() const override { return "ski-rental"; }
+};
+
+class PeriodicPolicy final : public OnlinePolicy {
+ public:
+  explicit PeriodicPolicy(Time period);
+  [[nodiscard]] QueueOrder order() const override {
+    return QueueOrder::kHeaviestFirst;
+  }
+  void decide(DriverHandle& handle) override;
+  [[nodiscard]] const char* name() const override { return "periodic"; }
+
+ private:
+  Time period_;
+};
+
+}  // namespace calib

@@ -1,0 +1,276 @@
+#include "online/driver.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace calib {
+
+// ---- DriverHandle forwarding ------------------------------------------
+
+Time DriverHandle::now() const { return driver_.now(); }
+Cost DriverHandle::G() const { return driver_.G(); }
+Time DriverHandle::T() const { return driver_.T(); }
+int DriverHandle::machines() const { return driver_.machines(); }
+const std::vector<JobId>& DriverHandle::waiting() const {
+  return driver_.waiting();
+}
+const Job& DriverHandle::job(JobId j) const {
+  return driver_.jobs()[static_cast<std::size_t>(j)];
+}
+Weight DriverHandle::waiting_weight() const {
+  Weight sum = 0;
+  for (const JobId j : driver_.waiting()) sum += job(j).weight;
+  return sum;
+}
+bool DriverHandle::arrived_now() const { return driver_.arrived_now(); }
+const Calendar& DriverHandle::calendar() const { return driver_.calendar(); }
+bool DriverHandle::calibrated(MachineId m, Time t) const {
+  return driver_.calendar().covers(m, t);
+}
+Cost DriverHandle::queue_flow_from(Time start, QueueOrder order) const {
+  return driver_.queue_flow_from(start, order);
+}
+Cost DriverHandle::last_interval_flow() const {
+  return driver_.last_interval_flow();
+}
+MachineId DriverHandle::calibrate() { return driver_.calibrate_round_robin(); }
+void DriverHandle::assign(JobId j, MachineId m, Time start) {
+  driver_.assign(j, m, start);
+}
+Time DriverHandle::first_free_slot(MachineId m, Time from, Time to) const {
+  return driver_.first_free_slot(m, from, to);
+}
+
+// ---- OnlineDriver ------------------------------------------------------
+
+OnlineDriver::OnlineDriver(Time T, int machines, Cost G,
+                           OnlinePolicy& policy)
+    : policy_(policy), G_(G), calendar_(T, machines) {
+  CALIB_CHECK(G >= 1);
+  occupied_.resize(static_cast<std::size_t>(machines));
+  policy_.reset();
+}
+
+JobId OnlineDriver::add_job(Weight weight) {
+  CALIB_CHECK(weight >= 1);
+  const auto j = static_cast<JobId>(jobs_.size());
+  jobs_.push_back(Job{now_, weight});
+  placements_.emplace_back();
+  waiting_.push_back(j);
+  arrived_now_ = true;
+  if (trace_ != nullptr) trace_->record_arrival(now_, j, weight);
+  return j;
+}
+
+Time OnlineDriver::start_of(JobId j) const {
+  CALIB_CHECK(j >= 0 && static_cast<std::size_t>(j) < placements_.size());
+  return placements_[static_cast<std::size_t>(j)].start;
+}
+
+MachineId OnlineDriver::machine_of(JobId j) const {
+  CALIB_CHECK(j >= 0 && static_cast<std::size_t>(j) < placements_.size());
+  return placements_[static_cast<std::size_t>(j)].machine;
+}
+
+bool OnlineDriver::all_placed() const {
+  return waiting_.empty() &&
+         std::all_of(placements_.begin(), placements_.end(),
+                     [](const Placement& p) { return p.start != kUnscheduled; });
+}
+
+Cost OnlineDriver::queue_flow_from(Time start, QueueOrder order) const {
+  std::vector<JobId> queue = waiting_;
+  switch (order) {
+    case QueueOrder::kFifo:
+      break;  // waiting_ is already in release order
+    case QueueOrder::kHeaviestFirst:
+      std::stable_sort(queue.begin(), queue.end(), [&](JobId a, JobId b) {
+        return jobs_[static_cast<std::size_t>(a)].weight >
+               jobs_[static_cast<std::size_t>(b)].weight;
+      });
+      break;
+    case QueueOrder::kLightestFirst:
+      std::stable_sort(queue.begin(), queue.end(), [&](JobId a, JobId b) {
+        return jobs_[static_cast<std::size_t>(a)].weight <
+               jobs_[static_cast<std::size_t>(b)].weight;
+      });
+      break;
+  }
+  Cost flow = 0;
+  Time t = start;
+  for (const JobId j : queue) {
+    const Job& job = jobs_[static_cast<std::size_t>(j)];
+    flow += job.weight * (t + 1 - job.release);
+    ++t;
+  }
+  return flow;
+}
+
+Cost OnlineDriver::last_interval_flow() const {
+  if (last_cal_start_ == kUnscheduled) return -1;
+  Cost flow = 0;
+  for (JobId j = 0; static_cast<std::size_t>(j) < jobs_.size(); ++j) {
+    const Placement& p = placements_[static_cast<std::size_t>(j)];
+    if (p.start == kUnscheduled || p.machine != last_cal_machine_) continue;
+    if (p.start >= last_cal_start_ && p.start < last_cal_start_ + T()) {
+      flow += jobs_[static_cast<std::size_t>(j)].weight *
+              (p.start + 1 - jobs_[static_cast<std::size_t>(j)].release);
+    }
+  }
+  return flow;
+}
+
+MachineId OnlineDriver::calibrate_round_robin() {
+  const MachineId m = next_rr_machine_;
+  next_rr_machine_ = static_cast<MachineId>((next_rr_machine_ + 1) %
+                                            calendar_.machines());
+  calendar_.add(m, now_);
+  last_cal_start_ = now_;
+  last_cal_machine_ = m;
+  if (trace_ != nullptr) trace_->record_calibration(now_, m);
+  return m;
+}
+
+void OnlineDriver::assign(JobId j, MachineId m, Time start) {
+  CALIB_CHECK(j >= 0 && static_cast<std::size_t>(j) < jobs_.size());
+  CALIB_CHECK_MSG(placements_[static_cast<std::size_t>(j)].start ==
+                      kUnscheduled,
+                  "job " << j << " assigned twice");
+  CALIB_CHECK_MSG(start >= jobs_[static_cast<std::size_t>(j)].release,
+                  "job " << j << " assigned before release");
+  CALIB_CHECK_MSG(start >= now_, "cannot assign into the past");
+  CALIB_CHECK_MSG(calendar_.covers(m, start),
+                  "slot (m" << m << ", t=" << start << ") is not calibrated");
+  auto& occ = occupied_[static_cast<std::size_t>(m)];
+  auto it = std::lower_bound(occ.begin(), occ.end(), start);
+  CALIB_CHECK_MSG(it == occ.end() || *it != start,
+                  "slot (m" << m << ", t=" << start << ") already occupied");
+  occ.insert(it, start);
+  placements_[static_cast<std::size_t>(j)] = Placement{start, m};
+  waiting_.erase(std::find(waiting_.begin(), waiting_.end(), j));
+  if (trace_ != nullptr) trace_->record_placement(now_, j, m, start);
+}
+
+Time OnlineDriver::first_free_slot(MachineId m, Time from, Time to) const {
+  const auto& occ = occupied_[static_cast<std::size_t>(m)];
+  for (Time t = from; t < to; ++t) {
+    if (!calendar_.covers(m, t)) continue;
+    if (!std::binary_search(occ.begin(), occ.end(), t)) return t;
+  }
+  return kUnscheduled;
+}
+
+void OnlineDriver::auto_assign() {
+  // Observation 2.1 step 3: every calibrated, free machine takes the
+  // best waiting job per the policy's order.
+  for (MachineId m = 0; m < calendar_.machines() && !waiting_.empty(); ++m) {
+    if (!calendar_.covers(m, now_)) continue;
+    const auto& occ = occupied_[static_cast<std::size_t>(m)];
+    if (std::binary_search(occ.begin(), occ.end(), now_)) continue;
+    // Pick per order; waiting_ is ascending release (and arrival) order,
+    // so stable selection gives the documented tie-breaks.
+    std::size_t best = 0;
+    if (policy_.order() != QueueOrder::kFifo) {
+      for (std::size_t i = 1; i < waiting_.size(); ++i) {
+        const Weight wi =
+            jobs_[static_cast<std::size_t>(waiting_[i])].weight;
+        const Weight wb =
+            jobs_[static_cast<std::size_t>(waiting_[best])].weight;
+        const bool better = policy_.order() == QueueOrder::kHeaviestFirst
+                                ? wi > wb
+                                : wi < wb;
+        if (better) best = i;
+      }
+    }
+    assign(waiting_[best], m, now_);
+  }
+}
+
+void OnlineDriver::step() {
+  DriverHandle handle(*this);
+  if (policy_.assign_before_decide()) auto_assign();
+  policy_.decide(handle);
+  if (policy_.assign_after_decide()) auto_assign();
+  arrived_now_ = false;
+  ++now_;
+}
+
+void OnlineDriver::drain() {
+  // Any sane policy calibrates within O(G) steps of work existing; the
+  // guard only trips on a policy that starves its queue.
+  const Time guard =
+      now_ + G_ + (static_cast<Time>(jobs_.size()) + 2) * (T() + 2) + 16;
+  while (!all_placed()) {
+    CALIB_CHECK_MSG(now_ <= guard, "policy failed to drain its queue (now="
+                                       << now_ << ", guard=" << guard << ")");
+    step();
+  }
+}
+
+Instance OnlineDriver::realized_instance() const {
+  return Instance(jobs_, T(), machines());
+}
+
+Schedule OnlineDriver::realized_schedule() const {
+  // Instance() re-sorts jobs by (release, weight desc); map placements
+  // through the same permutation so index i of the instance matches.
+  std::vector<std::size_t> perm(jobs_.size());
+  std::iota(perm.begin(), perm.end(), 0);
+  std::stable_sort(perm.begin(), perm.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     if (jobs_[a].release != jobs_[b].release)
+                       return jobs_[a].release < jobs_[b].release;
+                     return jobs_[a].weight > jobs_[b].weight;
+                   });
+  Schedule schedule(calendar_, static_cast<int>(jobs_.size()));
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    const Placement& p = placements_[perm[i]];
+    if (p.start != kUnscheduled) {
+      schedule.place(static_cast<JobId>(i), p.machine, p.start);
+    }
+  }
+  return schedule;
+}
+
+Cost OnlineDriver::online_cost() const {
+  Cost flow = 0;
+  for (std::size_t j = 0; j < jobs_.size(); ++j) {
+    const Placement& p = placements_[j];
+    CALIB_CHECK_MSG(p.start != kUnscheduled,
+                    "online_cost before drain(): job " << j << " unplaced");
+    flow += jobs_[j].weight * (p.start + 1 - jobs_[j].release);
+  }
+  return G_ * calendar_.count() + flow;
+}
+
+Schedule run_online(const Instance& instance, Cost G, OnlinePolicy& policy) {
+  OnlineDriver driver(instance.T(), instance.machines(), G, policy);
+  JobId next = 0;
+  // Jobs release at nonnegative times; the driver clock starts at 0.
+  while (next < instance.size() || !driver.all_placed()) {
+    while (next < instance.size() &&
+           instance.job(next).release == driver.now()) {
+      driver.add_job(instance.job(next).weight);
+      ++next;
+    }
+    if (next >= instance.size()) {
+      driver.drain();
+      break;
+    }
+    driver.step();
+  }
+  Schedule schedule = driver.realized_schedule();
+  const auto error = schedule.validate(instance);
+  CALIB_CHECK_MSG(!error.has_value(), "online run produced invalid schedule: "
+                                          << *error);
+  return schedule;
+}
+
+Cost online_objective(const Instance& instance, Cost G,
+                      OnlinePolicy& policy) {
+  return run_online(instance, G, policy).online_cost(instance, G);
+}
+
+}  // namespace calib

@@ -1,0 +1,97 @@
+// Time-stepped online simulation driver.
+//
+// The driver is the substrate every online experiment runs on: it owns
+// the clock, the set of revealed jobs, the calendar built so far, and the
+// placements. Jobs may be fed incrementally (add_job at the current
+// step), which is what lets the Lemma 3.1 adversary adapt to the
+// policy's observable decisions.
+#pragma once
+
+#include <vector>
+
+#include "core/calendar.hpp"
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+#include "online/policy.hpp"
+#include "online/trace.hpp"
+
+namespace calib {
+
+class OnlineDriver {
+ public:
+  OnlineDriver(Time T, int machines, Cost G, OnlinePolicy& policy);
+
+  /// Release a job at the current time step. Must be called before
+  /// step() processes that step.
+  JobId add_job(Weight weight);
+
+  /// Process the current time step (policy decision + assignments), then
+  /// advance the clock by one.
+  void step();
+
+  /// Keep stepping until every revealed job is placed. CHECKs against
+  /// runaway policies that never calibrate.
+  void drain();
+
+  [[nodiscard]] Time now() const { return now_; }
+  [[nodiscard]] Cost G() const { return G_; }
+  [[nodiscard]] Time T() const { return calendar_.T(); }
+  [[nodiscard]] int machines() const { return calendar_.machines(); }
+  [[nodiscard]] bool all_placed() const;
+
+  [[nodiscard]] const std::vector<Job>& jobs() const { return jobs_; }
+  [[nodiscard]] const std::vector<JobId>& waiting() const { return waiting_; }
+  [[nodiscard]] bool arrived_now() const { return arrived_now_; }
+  [[nodiscard]] const Calendar& calendar() const { return calendar_; }
+  [[nodiscard]] Time start_of(JobId j) const;
+  [[nodiscard]] MachineId machine_of(JobId j) const;
+
+  /// The realized instance (jobs in arrival order, re-sorted by the
+  /// Instance constructor) and the realized schedule. Call after drain().
+  [[nodiscard]] Instance realized_instance() const;
+  [[nodiscard]] Schedule realized_schedule() const;
+
+  /// G * #calibrations + weighted flow of what has been placed so far.
+  [[nodiscard]] Cost online_cost() const;
+
+  /// Flow of jobs in the latest completed interval; -1 if none yet.
+  [[nodiscard]] Cost last_interval_flow() const;
+
+  [[nodiscard]] Cost queue_flow_from(Time start, QueueOrder order) const;
+  [[nodiscard]] Time first_free_slot(MachineId m, Time from, Time to) const;
+
+  // Mutations used by DriverHandle on behalf of the policy.
+  MachineId calibrate_round_robin();
+  void assign(JobId j, MachineId m, Time start);
+
+  /// Attach an event trace (nullptr detaches). Not owned; must outlive
+  /// the driver while attached.
+  void set_trace(Trace* trace) { trace_ = trace; }
+
+ private:
+  void auto_assign();
+
+  OnlinePolicy& policy_;
+  Cost G_;
+  Calendar calendar_;
+  Time now_ = 0;
+  bool arrived_now_ = false;
+  std::vector<Job> jobs_;
+  std::vector<Placement> placements_;
+  std::vector<JobId> waiting_;  // ascending release (== arrival order)
+  std::vector<std::vector<Time>> occupied_;  // per machine, sorted starts
+  MachineId next_rr_machine_ = 0;
+  // Most recent calibration, for last_interval_flow().
+  Time last_cal_start_ = kUnscheduled;
+  MachineId last_cal_machine_ = 0;
+  Trace* trace_ = nullptr;
+};
+
+/// Run `policy` over a fixed instance: feed arrivals at their release
+/// times, drain, and return the realized schedule (validated).
+Schedule run_online(const Instance& instance, Cost G, OnlinePolicy& policy);
+
+/// Convenience: the online objective value achieved by `policy`.
+Cost online_objective(const Instance& instance, Cost G, OnlinePolicy& policy);
+
+}  // namespace calib

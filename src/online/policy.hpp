@@ -1,0 +1,98 @@
+// Online policy interface.
+//
+// The driver owns time and job state; a policy only decides *when to
+// calibrate* (and, for Algorithm 3's explicit mode, where to place jobs).
+// Job-to-slot assignment otherwise follows Observation 2.1's greedy,
+// parameterized by the queue order the policy requests.
+//
+// The split mirrors the paper: calibration timing is the hard, analyzed
+// decision; assignment is greedy-optimal given the calendar.
+#pragma once
+
+#include <vector>
+
+#include "core/calendar.hpp"
+#include "core/types.hpp"
+
+namespace calib {
+
+/// Which waiting job the driver's auto-assignment runs first.
+enum class QueueOrder {
+  kFifo,           ///< earliest release first (Algorithms 1 and 3)
+  kHeaviestFirst,  ///< Observation 2.1's optimal order (Algorithm 2)
+  kLightestFirst,  ///< Algorithm 2's literal line 13 (ablation only)
+};
+
+class OnlineDriver;
+
+/// The slice of driver state a policy may consult. Everything reachable
+/// from here is information an online algorithm legitimately has at time
+/// now(): revealed jobs, its own past decisions, the clock.
+class DriverHandle {
+ public:
+  explicit DriverHandle(OnlineDriver& driver) : driver_(driver) {}
+
+  [[nodiscard]] Time now() const;
+  [[nodiscard]] Cost G() const;
+  [[nodiscard]] Time T() const;
+  [[nodiscard]] int machines() const;
+
+  /// Waiting = released, not yet assigned to a slot. Ascending release.
+  [[nodiscard]] const std::vector<JobId>& waiting() const;
+  [[nodiscard]] const Job& job(JobId j) const;
+  [[nodiscard]] Weight waiting_weight() const;
+  [[nodiscard]] bool arrived_now() const;
+
+  [[nodiscard]] const Calendar& calendar() const;
+  /// Is step t calibrated on machine m?
+  [[nodiscard]] bool calibrated(MachineId m, Time t) const;
+
+  /// Hypothetical flow of draining the waiting queue back-to-back from
+  /// `start` in the given order (the `f` of Algorithms 1-3).
+  [[nodiscard]] Cost queue_flow_from(Time start, QueueOrder order) const;
+
+  /// Realized flow of the jobs placed in the most recent completed
+  /// calibration interval (the `p` of Algorithm 1, line 11); negative if
+  /// no calibration has happened yet.
+  [[nodiscard]] Cost last_interval_flow() const;
+
+  /// Calibrate at now() on the next machine in round-robin order;
+  /// returns the machine chosen.
+  MachineId calibrate();
+
+  /// Explicitly place a waiting job (Algorithm 3's step 13).
+  void assign(JobId j, MachineId m, Time start);
+
+  /// Earliest unoccupied calibrated slot on machine m in [from, to).
+  [[nodiscard]] Time first_free_slot(MachineId m, Time from, Time to) const;
+
+ private:
+  OnlineDriver& driver_;
+};
+
+class OnlinePolicy {
+ public:
+  virtual ~OnlinePolicy() = default;
+
+  /// Called before the first step of every run.
+  virtual void reset() {}
+
+  /// Queue order used by the driver's automatic assignment.
+  [[nodiscard]] virtual QueueOrder order() const {
+    return QueueOrder::kHeaviestFirst;
+  }
+
+  /// Run the automatic assignment before decide() (Algorithm 3's steps
+  /// 6-9) and/or after it (Algorithms 1-2's steps 17-20).
+  [[nodiscard]] virtual bool assign_before_decide() const { return false; }
+  [[nodiscard]] virtual bool assign_after_decide() const { return true; }
+
+  /// One decision round at handle.now(). Arrivals for this step have
+  /// already been revealed.
+  virtual void decide(DriverHandle& handle) = 0;
+
+  /// Short name for tables.
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+}  // namespace calib

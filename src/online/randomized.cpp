@@ -1,0 +1,37 @@
+#include "online/randomized.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace calib {
+
+void RandomizedSkiRental::draw_threshold() {
+  // Inverse-CDF sample of the density e^x / (e - 1) on [0, 1]:
+  // F(x) = (e^x - 1)/(e - 1)  =>  x = ln(1 + u (e - 1)).
+  const double u = prng_.uniform01();
+  theta_ = std::log(1.0 + u * (std::exp(1.0) - 1.0));
+  if (theta_ <= 0.0) theta_ = 1e-9;  // guard the u == 0 corner
+}
+
+void RandomizedSkiRental::decide(DriverHandle& handle) {
+  CALIB_CHECK_MSG(handle.machines() == 1,
+                  "RandomizedSkiRental is a single-machine policy");
+  const Time t = handle.now();
+  if (handle.calibrated(0, t)) return;
+  if (handle.waiting().empty()) return;
+
+  const Cost G = handle.G();
+  const Time T = handle.T();
+  const Cost f = handle.queue_flow_from(t + 1, QueueOrder::kFifo);
+  const auto queue_size = static_cast<Cost>(handle.waiting().size());
+  const bool count_trigger = queue_size * T >= G;
+  const bool flow_trigger =
+      static_cast<double>(f) >= theta_ * static_cast<double>(G);
+  if (count_trigger || flow_trigger) {
+    handle.calibrate();
+    draw_threshold();  // fresh randomness for the next epoch
+  }
+}
+
+}  // namespace calib

@@ -1,0 +1,114 @@
+#include "online/sequences.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace calib {
+
+bool interval_full(const Instance& instance, const Schedule& schedule,
+                   Time start) {
+  return static_cast<Time>(
+             schedule.jobs_in_interval(0, start).size()) == instance.T();
+}
+
+std::vector<Sequence> partition_into_sequences(const Instance& instance,
+                                               const Schedule& schedule) {
+  CALIB_CHECK(instance.machines() == 1);
+  const auto& starts = schedule.calendar().starts(0);
+  for (std::size_t i = 1; i < starts.size(); ++i) {
+    CALIB_CHECK_MSG(starts[i] >= starts[i - 1] + instance.T(),
+                    "sequences are defined for non-overlapping intervals");
+  }
+  std::vector<Sequence> sequences;
+  Sequence current;
+  Time previous_end = std::numeric_limits<Time>::min();
+  for (const Time start : starts) {
+    if (!current.interval_starts.empty()) {
+      current.interval_starts.push_back(start);
+    } else {
+      current.begin = previous_end == std::numeric_limits<Time>::min()
+                          ? 0
+                          : previous_end;
+      current.interval_starts.push_back(start);
+    }
+    if (!interval_full(instance, schedule, start)) {
+      // Non-full interval terminates the sequence.
+      current.end = start + instance.T();
+      previous_end = current.end;
+      sequences.push_back(std::move(current));
+      current = Sequence{};
+    }
+  }
+  if (!current.interval_starts.empty()) {
+    // Trailing all-full sequence (footnote 3: the last interval of the
+    // schedule may be full).
+    current.end = current.interval_starts.back() + instance.T();
+    sequences.push_back(std::move(current));
+  }
+  return sequences;
+}
+
+Schedule release_order_optimum(const Instance& instance, Cost G) {
+  CALIB_CHECK(instance.machines() == 1);
+  CALIB_CHECK(!instance.empty());
+  // FIFO assignment over a calendar: jobs in release order take slots
+  // in time order — exactly the unweighted list scheduler's behavior,
+  // so reuse its slot sweep with index order.
+  const auto evaluate = [&](const std::vector<Time>& starts,
+                            Schedule& out) -> Cost {
+    Calendar calendar = Calendar::round_robin(starts, instance.T(), 1);
+    Schedule schedule(calendar, instance.size());
+    JobId next = 0;
+    for (const auto& slot : calendar.slots()) {
+      if (next >= instance.size()) break;
+      if (instance.job(next).release <= slot.time) {
+        schedule.place(next, 0, slot.time);
+        ++next;
+      }
+    }
+    if (next < instance.size()) return -1;  // infeasible
+    out = schedule;
+    return schedule.online_cost(instance, G);
+  };
+
+  // Candidate starts: every integer in the instance's active range
+  // (exhaustive; OPT_r's structure is exactly what the tests probe, so
+  // no unvalidated restriction is applied).
+  std::vector<Time> candidates;
+  for (Time s = instance.min_release() + 1 - instance.T();
+       s <= instance.max_release(); ++s) {
+    candidates.push_back(s);
+  }
+  Cost best_cost = -1;
+  Schedule best(Calendar(instance.T(), 1), instance.size());
+  std::vector<Time> chosen;
+  auto search = [&](auto&& self, std::size_t from, int remaining) -> void {
+    Schedule schedule(Calendar(instance.T(), 1), instance.size());
+    if (!chosen.empty()) {
+      const Cost cost = evaluate(chosen, schedule);
+      if (cost >= 0 && (best_cost < 0 || cost < best_cost)) {
+        best_cost = cost;
+        best = schedule;
+      }
+    }
+    if (remaining == 0) return;
+    // Prune on calibration cost alone.
+    if (best_cost >= 0 &&
+        static_cast<Cost>(chosen.size() + 1) * G > best_cost) {
+      return;
+    }
+    for (std::size_t i = from; i < candidates.size(); ++i) {
+      chosen.push_back(candidates[i]);
+      self(self, i + 1, remaining - 1);
+      chosen.pop_back();
+    }
+  };
+  search(search, 0, instance.size());
+  CALIB_CHECK_MSG(best_cost >= 0, "n calibrations always feasible");
+  CALIB_CHECK(!best.validate(instance).has_value());
+  return best;
+}
+
+}  // namespace calib

@@ -1,0 +1,40 @@
+// Sequences — the charging structure behind Theorem 3.8 (Section 3.2).
+//
+// A *sequence* is a maximal group of consecutive intervals in a
+// single-machine schedule such that every interval but the last is
+// *full* (runs a job in all T of its steps). Lemma 3.6 relates each
+// sequence's intervals to intervals of OPT_r (the optimal schedule
+// restricted to release order); this module computes the partition and
+// the release-ordered optimum so the lemma can be checked empirically.
+#pragma once
+
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+
+namespace calib {
+
+struct Sequence {
+  /// Interval start times of this sequence, ascending.
+  std::vector<Time> interval_starts;
+  Time begin = 0;  ///< b_I: one step after the previous sequence ends
+  Time end = 0;    ///< e_I: end of the last interval
+};
+
+/// Partition a single-machine schedule's intervals into sequences.
+/// Requires non-overlapping intervals (the paper's online algorithms
+/// only produce such calendars).
+std::vector<Sequence> partition_into_sequences(const Instance& instance,
+                                               const Schedule& schedule);
+
+/// Is the interval starting at `start` full (a job in every step)?
+bool interval_full(const Instance& instance, const Schedule& schedule,
+                   Time start);
+
+/// OPT_r: the minimum online objective over schedules that process jobs
+/// in release order (FIFO assignment over every candidate calendar;
+/// exhaustive, small instances only). Returns the optimal schedule.
+Schedule release_order_optimum(const Instance& instance, Cost G);
+
+}  // namespace calib

@@ -1,0 +1,119 @@
+#include "online/trace.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace calib {
+
+void Trace::record_arrival(Time at, JobId job, Weight weight) {
+  events_.push_back(TraceEvent{TraceEvent::Kind::kArrival, at, job, weight,
+                               0, kUnscheduled});
+  ++arrivals_;
+}
+
+void Trace::record_calibration(Time at, MachineId machine) {
+  events_.push_back(TraceEvent{TraceEvent::Kind::kCalibration, at, -1, 0,
+                               machine, kUnscheduled});
+  ++calibrations_;
+}
+
+void Trace::record_placement(Time at, JobId job, MachineId machine,
+                             Time start) {
+  events_.push_back(
+      TraceEvent{TraceEvent::Kind::kPlacement, at, job, 0, machine, start});
+  ++placements_;
+}
+
+void Trace::clear() {
+  events_.clear();
+  arrivals_ = calibrations_ = placements_ = 0;
+}
+
+std::vector<int> Trace::queue_length_series(Time from, Time to) const {
+  CALIB_CHECK(from <= to);
+  // Queue delta per step: +1 on arrival at t, -1 when a job *starts*
+  // at its slot time (the job stops waiting when it runs, which for
+  // explicit placements can be later than the decision step).
+  std::map<Time, int> delta;
+  std::map<JobId, Time> release;
+  for (const TraceEvent& event : events_) {
+    if (event.kind == TraceEvent::Kind::kArrival) {
+      delta[event.at] += 1;
+      release[event.job] = event.at;
+    } else if (event.kind == TraceEvent::Kind::kPlacement) {
+      delta[event.start] -= 1;
+    }
+  }
+  std::vector<int> series;
+  series.reserve(static_cast<std::size_t>(to - from));
+  int running = 0;
+  auto it = delta.begin();
+  for (Time t = from; t < to; ++t) {
+    while (it != delta.end() && it->first <= t) {
+      running += it->second;
+      ++it;
+    }
+    series.push_back(running);
+  }
+  return series;
+}
+
+int Trace::peak_queue_length() const {
+  Time lo = 0;
+  Time hi = 0;
+  bool any = false;
+  for (const TraceEvent& event : events_) {
+    const Time t = std::max(event.at, event.start);
+    if (!any) {
+      lo = hi = t;
+      any = true;
+    }
+    lo = std::min(lo, event.at);
+    hi = std::max(hi, t);
+  }
+  if (!any) return 0;
+  const auto series = queue_length_series(lo, hi + 1);
+  return series.empty() ? 0
+                        : *std::max_element(series.begin(), series.end());
+}
+
+Summary Trace::waiting_times() const {
+  std::map<JobId, Time> release;
+  Summary waits;
+  for (const TraceEvent& event : events_) {
+    if (event.kind == TraceEvent::Kind::kArrival) {
+      release[event.job] = event.at;
+    } else if (event.kind == TraceEvent::Kind::kPlacement) {
+      const auto it = release.find(event.job);
+      CALIB_CHECK_MSG(it != release.end(),
+                      "placement without arrival for job " << event.job);
+      waits.add(static_cast<double>(event.start - it->second));
+    }
+  }
+  return waits;
+}
+
+double Trace::utilization(const Calendar& calendar) const {
+  const auto slots = calendar.slots().size();
+  if (slots == 0) return 0.0;
+  return static_cast<double>(placements_) / static_cast<double>(slots);
+}
+
+std::string Trace::summary(const Calendar& calendar) const {
+  std::ostringstream os;
+  os << "trace: " << arrivals_ << " arrivals, " << calibrations_
+     << " calibrations, " << placements_ << " placements\n";
+  if (placements_ > 0) {
+    const Summary waits = waiting_times();
+    os << "waiting steps: mean " << waits.mean() << ", median "
+       << waits.median() << ", max " << waits.max() << '\n';
+  }
+  os << "peak queue: " << peak_queue_length() << '\n';
+  os << "slot utilization: " << utilization(calendar) << '\n';
+  return os.str();
+}
+
+}  // namespace calib

@@ -1,0 +1,67 @@
+// Execution tracing and derived metrics for online runs.
+//
+// A Trace records the driver's event stream (arrivals, calibrations,
+// placements) and derives the operational metrics a fab/lab operator
+// reads off a shift: queue-length series, waiting-time distribution,
+// interval utilization. Attach with OnlineDriver::set_trace before
+// stepping; recording costs one append per event.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/calendar.hpp"
+#include "core/types.hpp"
+#include "util/stats.hpp"
+
+namespace calib {
+
+struct TraceEvent {
+  enum class Kind { kArrival, kCalibration, kPlacement };
+  Kind kind;
+  Time at;            ///< decision step the event happened on
+  JobId job = -1;     ///< arrival/placement
+  Weight weight = 0;  ///< arrival
+  MachineId machine = 0;  ///< calibration/placement
+  Time start = kUnscheduled;  ///< placement: the slot the job got
+};
+
+class Trace {
+ public:
+  void record_arrival(Time at, JobId job, Weight weight);
+  void record_calibration(Time at, MachineId machine);
+  void record_placement(Time at, JobId job, MachineId machine, Time start);
+  void clear();
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] int arrivals() const { return arrivals_; }
+  [[nodiscard]] int calibrations() const { return calibrations_; }
+  [[nodiscard]] int placements() const { return placements_; }
+
+  /// Number of jobs arrived but not yet *started* at the end of each
+  /// step in [from, to).
+  [[nodiscard]] std::vector<int> queue_length_series(Time from,
+                                                     Time to) const;
+  [[nodiscard]] int peak_queue_length() const;
+
+  /// Distribution of start - release over placed jobs (unweighted
+  /// waiting, in steps).
+  [[nodiscard]] Summary waiting_times() const;
+
+  /// Placed jobs per calibrated slot of `calendar` (1 = every slot
+  /// productive).
+  [[nodiscard]] double utilization(const Calendar& calendar) const;
+
+  /// Multi-line human-readable digest.
+  [[nodiscard]] std::string summary(const Calendar& calendar) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+  int arrivals_ = 0;
+  int calibrations_ = 0;
+  int placements_ = 0;
+};
+
+}  // namespace calib

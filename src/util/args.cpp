@@ -1,0 +1,67 @@
+#include "util/args.hpp"
+
+#include <stdexcept>
+
+namespace calib {
+
+Args::Args(int argc, const char* const* argv,
+           const std::set<std::string>& known_flags) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) {
+      positional_.push_back(token);
+      continue;
+    }
+    std::string key = token.substr(2);
+    std::string value;
+    const auto eq = key.find('=');
+    if (eq != std::string::npos) {
+      value = key.substr(eq + 1);
+      key = key.substr(0, eq);
+    } else if (i + 1 < argc &&
+               std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      value = argv[++i];
+    } else {
+      value = "true";  // bare boolean flag
+    }
+    if (!known_flags.contains(key)) {
+      throw std::runtime_error("unknown flag --" + key);
+    }
+    values_[key] = value;
+  }
+}
+
+bool Args::has(const std::string& key) const {
+  return values_.contains(key);
+}
+
+std::string Args::get(const std::string& key,
+                      const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t Args::get_int(const std::string& key,
+                           std::int64_t fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    return std::stoll(it->second);
+  } catch (const std::exception&) {
+    throw std::runtime_error("flag --" + key + " expects an integer, got '" +
+                             it->second + "'");
+  }
+}
+
+double Args::get_double(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    return std::stod(it->second);
+  } catch (const std::exception&) {
+    throw std::runtime_error("flag --" + key + " expects a number, got '" +
+                             it->second + "'");
+  }
+}
+
+}  // namespace calib

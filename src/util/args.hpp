@@ -1,0 +1,41 @@
+// Tiny command-line flag parser for the tools/ binaries.
+//
+// Syntax: --key=value or --key value; bare words are positional.
+// Unknown flags are an error (typos should not be silently ignored in a
+// tool that runs experiments).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace calib {
+
+class Args {
+ public:
+  /// Parse argv[1..]; `known_flags` is the full set of accepted keys.
+  /// Throws std::runtime_error on unknown flags or malformed input.
+  Args(int argc, const char* const* argv,
+       const std::set<std::string>& known_flags);
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& key,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace calib

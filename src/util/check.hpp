@@ -1,0 +1,41 @@
+// Checked assertions that stay on in release builds.
+//
+// A theory reproduction lives or dies on invariants; the cost of a branch
+// per check is negligible next to the cost of silently producing a wrong
+// schedule. CALIB_CHECK aborts with a message; CALIB_CHECK_MSG lets the
+// caller add context via stream syntax.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+namespace calib::detail {
+
+[[noreturn]] inline void check_failed(std::string_view expr,
+                                      std::string_view file, int line,
+                                      std::string_view msg) {
+  std::cerr << "CHECK failed: " << expr << "\n  at " << file << ':' << line;
+  if (!msg.empty()) std::cerr << "\n  " << msg;
+  std::cerr << std::endl;
+  std::abort();
+}
+
+}  // namespace calib::detail
+
+#define CALIB_CHECK(cond)                                                 \
+  do {                                                                    \
+    if (!(cond)) [[unlikely]]                                             \
+      ::calib::detail::check_failed(#cond, __FILE__, __LINE__, {});       \
+  } while (false)
+
+#define CALIB_CHECK_MSG(cond, ...)                                        \
+  do {                                                                    \
+    if (!(cond)) [[unlikely]] {                                           \
+      std::ostringstream calib_check_os_;                                 \
+      calib_check_os_ << __VA_ARGS__;                                     \
+      ::calib::detail::check_failed(#cond, __FILE__, __LINE__,            \
+                                    calib_check_os_.str());               \
+    }                                                                     \
+  } while (false)

@@ -1,0 +1,75 @@
+#include "util/csv.hpp"
+
+#include <stdexcept>
+
+namespace calib {
+namespace {
+
+bool needs_quoting(const std::string& field) {
+  return field.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string quote(const std::string& field) {
+  std::string out = "\"";
+  for (const char ch : field) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) os_ << ',';
+    os_ << (needs_quoting(cells[i]) ? quote(cells[i]) : cells[i]);
+  }
+  os_ << '\n';
+}
+
+std::vector<std::vector<std::string>> read_csv(std::istream& is) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool row_started = false;
+  char ch = 0;
+  while (is.get(ch)) {
+    row_started = true;
+    if (in_quotes) {
+      if (ch == '"') {
+        if (is.peek() == '"') {
+          is.get(ch);
+          field += '"';
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += ch;
+      }
+    } else if (ch == '"') {
+      in_quotes = true;
+    } else if (ch == ',') {
+      row.push_back(std::move(field));
+      field.clear();
+    } else if (ch == '\n') {
+      row.push_back(std::move(field));
+      field.clear();
+      rows.push_back(std::move(row));
+      row.clear();
+      row_started = false;
+    } else if (ch != '\r') {
+      field += ch;
+    }
+  }
+  if (in_quotes) throw std::runtime_error("csv: unterminated quoted field");
+  if (row_started) {
+    row.push_back(std::move(field));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace calib

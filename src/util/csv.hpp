@@ -1,0 +1,30 @@
+// Minimal CSV writer/reader used to persist experiment series and to load
+// the deterministic regression instances shipped with the examples.
+//
+// Dialect: comma-separated, fields containing comma/quote/newline are
+// quoted with '"' and embedded quotes doubled — enough for our own round
+// trips; this is not a general RFC-4180 validator.
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace calib {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+  void write_row(const std::vector<std::string>& cells);
+
+ private:
+  std::ostream& os_;
+};
+
+/// Parses an entire stream; throws std::runtime_error on malformed input
+/// (unterminated quote).
+std::vector<std::vector<std::string>> read_csv(std::istream& is);
+
+}  // namespace calib

@@ -1,0 +1,110 @@
+#include "util/prng.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace calib {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+void Prng::reseed(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+}
+
+Prng::result_type Prng::operator()() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::int64_t Prng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  CALIB_CHECK(lo <= hi);
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>((*this)());  // full range
+  // Lemire-style rejection to avoid modulo bias.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * span;
+  auto l = static_cast<std::uint64_t>(m);
+  if (l < span) {
+    const std::uint64_t threshold = (0 - span) % span;
+    while (l < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * span;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return lo + static_cast<std::int64_t>(m >> 64);
+}
+
+double Prng::uniform01() {
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+bool Prng::bernoulli(double p) { return uniform01() < p; }
+
+std::int64_t Prng::poisson(double lambda) {
+  CALIB_CHECK(lambda >= 0.0);
+  if (lambda == 0.0) return 0;
+  if (lambda < 30.0) {
+    const double limit = std::exp(-lambda);
+    double prod = uniform01();
+    std::int64_t k = 0;
+    while (prod > limit) {
+      ++k;
+      prod *= uniform01();
+    }
+    return k;
+  }
+  // Normal approximation with continuity correction; adequate for
+  // workload generation at high rates.
+  const double u1 = uniform01();
+  const double u2 = uniform01();
+  const double z =
+      std::sqrt(-2.0 * std::log(1.0 - u1)) * std::cos(6.283185307179586 * u2);
+  const double sample = lambda + std::sqrt(lambda) * z + 0.5;
+  return sample < 0.0 ? 0 : static_cast<std::int64_t>(sample);
+}
+
+std::int64_t Prng::zipf(std::int64_t n, double s) {
+  CALIB_CHECK(n >= 1);
+  CALIB_CHECK(s > 0.0);
+  // Cumulative inverse transform; O(n) per draw but n is small in all of
+  // our weight models.
+  double norm = 0.0;
+  for (std::int64_t k = 1; k <= n; ++k)
+    norm += 1.0 / std::pow(static_cast<double>(k), s);
+  double target = uniform01() * norm;
+  for (std::int64_t k = 1; k <= n; ++k) {
+    target -= 1.0 / std::pow(static_cast<double>(k), s);
+    if (target <= 0.0) return k;
+  }
+  return n;
+}
+
+Prng Prng::split(std::uint64_t label) {
+  std::uint64_t mix = (*this)() ^ (label * 0x9e3779b97f4a7c15ULL);
+  return Prng(splitmix64(mix));
+}
+
+}  // namespace calib

@@ -1,0 +1,59 @@
+// Deterministic pseudo-random number generation for reproducible
+// experiments.
+//
+// xoshiro256** (Blackman & Vigna) seeded through splitmix64, so that any
+// 64-bit seed — including 0 — yields a well-mixed state. Every workload
+// generator and every benchmark derives its randomness from an explicit
+// seed, so runs are bit-reproducible across machines.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace calib {
+
+/// xoshiro256** generator. Satisfies std::uniform_random_bit_generator.
+class Prng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Prng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  /// Re-initialize the state from a 64-bit seed via splitmix64.
+  void reseed(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()();
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool bernoulli(double p);
+
+  /// Geometric-like Poisson sample with mean lambda (Knuth for small
+  /// lambda, normal approximation above 30 — plenty for workload gen).
+  std::int64_t poisson(double lambda);
+
+  /// Zipf-distributed integer in [1, n] with exponent s > 0
+  /// (inverse-CDF over precomputed weights would be heavy; we use
+  /// rejection-free cumulative search, fine for n up to a few thousand).
+  std::int64_t zipf(std::int64_t n, double s);
+
+  /// Derive an independent child generator (for per-task streams in
+  /// parallel sweeps): mixes the label into a fresh splitmix64 seed.
+  Prng split(std::uint64_t label);
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace calib

@@ -1,0 +1,116 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace calib {
+
+void Summary::add(double x) {
+  samples_.push_back(x);
+  sorted_valid_ = false;
+}
+
+void Summary::add_all(const std::vector<double>& xs) {
+  samples_.insert(samples_.end(), xs.begin(), xs.end());
+  sorted_valid_ = false;
+}
+
+void Summary::ensure_sorted() const {
+  if (sorted_valid_) return;
+  sorted_ = samples_;
+  std::sort(sorted_.begin(), sorted_.end());
+  sorted_valid_ = true;
+}
+
+double Summary::mean() const {
+  CALIB_CHECK(!samples_.empty());
+  double sum = 0.0;
+  for (double x : samples_) sum += x;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double Summary::min() const {
+  ensure_sorted();
+  CALIB_CHECK(!sorted_.empty());
+  return sorted_.front();
+}
+
+double Summary::max() const {
+  ensure_sorted();
+  CALIB_CHECK(!sorted_.empty());
+  return sorted_.back();
+}
+
+double Summary::stddev() const {
+  CALIB_CHECK(samples_.size() >= 2);
+  const double m = mean();
+  double ss = 0.0;
+  for (double x : samples_) ss += (x - m) * (x - m);
+  return std::sqrt(ss / static_cast<double>(samples_.size() - 1));
+}
+
+double Summary::percentile(double p) const {
+  ensure_sorted();
+  CALIB_CHECK(!sorted_.empty());
+  CALIB_CHECK(p >= 0.0 && p <= 100.0);
+  if (sorted_.size() == 1) return sorted_.front();
+  const double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+LinearFit fit_line(const std::vector<double>& x,
+                   const std::vector<double>& y) {
+  CALIB_CHECK(x.size() == y.size());
+  CALIB_CHECK(x.size() >= 2);
+  const auto n = static_cast<double>(x.size());
+  double sx = 0.0;
+  double sy = 0.0;
+  double sxx = 0.0;
+  double sxy = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+    syy += y[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  LinearFit fit;
+  if (denom == 0.0) return fit;
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  if (ss_tot > 0.0) {
+    double ss_res = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double e = y[i] - (fit.intercept + fit.slope * x[i]);
+      ss_res += e * e;
+    }
+    fit.r2 = 1.0 - ss_res / ss_tot;
+  }
+  return fit;
+}
+
+PowerFit fit_power(const std::vector<double>& x,
+                   const std::vector<double>& y) {
+  CALIB_CHECK(x.size() == y.size());
+  std::vector<double> lx;
+  std::vector<double> ly;
+  lx.reserve(x.size());
+  ly.reserve(y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    CALIB_CHECK(x[i] > 0.0 && y[i] > 0.0);
+    lx.push_back(std::log(x[i]));
+    ly.push_back(std::log(y[i]));
+  }
+  const LinearFit line = fit_line(lx, ly);
+  return PowerFit{std::exp(line.intercept), line.slope, line.r2};
+}
+
+}  // namespace calib

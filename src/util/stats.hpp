@@ -1,0 +1,55 @@
+// Summary statistics for experiment reporting.
+//
+// Accumulates samples and reports mean / min / max / percentiles /
+// standard deviation. Percentiles use the nearest-rank method on the
+// sorted sample; exact enough for benchmark tables.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace calib {
+
+class Summary {
+ public:
+  void add(double x);
+  void add_all(const std::vector<double>& xs);
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double stddev() const;  // sample stddev (n-1)
+  /// p in [0, 100]; nearest-rank percentile.
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double median() const { return percentile(50.0); }
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+/// Ordinary least squares fit of y = a + b*x; returns {a, b, r2}.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r2 = 0.0;
+};
+LinearFit fit_line(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Fit y = c * x^p through log-log regression (requires positive data);
+/// returns {c, p, r2 of the log-log fit}. Used to verify the DP's
+/// O(K n^3) scaling empirically.
+struct PowerFit {
+  double coeff = 0.0;
+  double exponent = 0.0;
+  double r2 = 0.0;
+};
+PowerFit fit_power(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace calib

@@ -1,0 +1,69 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace calib {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  CALIB_CHECK(!headers_.empty());
+}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::add(const std::string& cell) {
+  CALIB_CHECK(!rows_.empty());
+  CALIB_CHECK_MSG(rows_.back().size() < headers_.size(),
+                  "row has more cells than headers");
+  rows_.back().push_back(cell);
+  return *this;
+}
+
+Table& Table::add(std::int64_t value) { return add(std::to_string(value)); }
+Table& Table::add(std::size_t value) { return add(std::to_string(value)); }
+Table& Table::add(int value) { return add(std::to_string(value)); }
+
+Table& Table::add(double value, int digits) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(digits) << value;
+  return add(os.str());
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& cells : rows_) {
+    for (std::size_t c = 0; c < cells.size(); ++c)
+      widths[c] = std::max(widths[c], cells[c].size());
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+      os << ' ' << std::setw(static_cast<int>(widths[c])) << cell << " |";
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  os << '|';
+  for (const std::size_t width : widths)
+    os << std::string(width + 2, '-') << '|';
+  os << '\n';
+  for (const auto& cells : rows_) print_row(cells);
+}
+
+std::string Table::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+}  // namespace calib

@@ -1,0 +1,37 @@
+// ASCII table rendering for benchmark/experiment output.
+//
+// Every bench binary prints the rows the paper's (hypothetical) table
+// would contain; this renderer keeps columns aligned and is the single
+// place formatting lives.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace calib {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Start a new row; subsequent add() calls fill it left to right.
+  Table& row();
+  Table& add(const std::string& cell);
+  Table& add(std::int64_t value);
+  Table& add(std::size_t value);
+  Table& add(int value);
+  /// Fixed-point formatting with `digits` decimals.
+  Table& add(double value, int digits = 3);
+
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace calib

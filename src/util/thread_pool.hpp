@@ -1,0 +1,65 @@
+// Fixed-size thread pool for embarrassingly parallel harness work.
+//
+// The scheduling algorithms themselves are sequential (they are online,
+// time-stepped state machines); all parallelism in this project lives at
+// the outermost independent loop — fanning a parameter sweep or a seed
+// ensemble across cores. parallel_for partitions [0, n) into contiguous
+// chunks, which keeps per-index state cache-local, and rethrows the
+// first worker exception on the caller thread.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace calib {
+
+class ThreadPool {
+ public:
+  /// threads == 0 means hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue an arbitrary task; the future carries its result/exception.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    {
+      const std::scoped_lock lock(mutex_);
+      queue_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  /// Run body(i) for all i in [0, n), blocking until every index is done.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Process-wide pool for benches/examples that don't want to own one.
+ThreadPool& global_pool();
+
+}  // namespace calib

@@ -1,0 +1,118 @@
+#include "workload/generators.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace calib {
+
+Weight sample_weight(WeightModel model, Weight w_max, Prng& prng) {
+  CALIB_CHECK(w_max >= 1);
+  switch (model) {
+    case WeightModel::kUnit:
+      return 1;
+    case WeightModel::kUniform:
+      return prng.uniform_int(1, w_max);
+    case WeightModel::kZipf:
+      return prng.zipf(w_max, 1.1);
+    case WeightModel::kBimodal:
+      return prng.bernoulli(0.9) ? 1 : w_max;
+  }
+  CALIB_CHECK(false);
+  return 1;
+}
+
+Instance poisson_instance(const PoissonConfig& config, Time T, int machines,
+                          Prng& prng) {
+  std::vector<Job> jobs;
+  for (Time t = 0; t < config.steps; ++t) {
+    const std::int64_t arrivals = prng.poisson(config.rate);
+    for (std::int64_t i = 0; i < arrivals; ++i) {
+      jobs.push_back(
+          Job{t, sample_weight(config.weights, config.w_max, prng)});
+    }
+  }
+  if (jobs.empty()) jobs.push_back(Job{0, 1});  // benches want >= 1 job
+  return Instance(std::move(jobs), T, machines).normalized();
+}
+
+Instance bursty_instance(const BurstyConfig& config, Time T, int machines,
+                         Prng& prng) {
+  std::vector<Job> jobs;
+  Time burst_remaining = 0;
+  for (Time t = 0; t < config.steps; ++t) {
+    if (burst_remaining == 0 && prng.bernoulli(config.burst_probability)) {
+      burst_remaining = config.burst_length;
+    }
+    if (burst_remaining > 0) {
+      --burst_remaining;
+      if (prng.bernoulli(config.burst_rate)) {
+        jobs.push_back(
+            Job{t, sample_weight(config.weights, config.w_max, prng)});
+      }
+    }
+  }
+  if (jobs.empty()) jobs.push_back(Job{0, 1});
+  return Instance(std::move(jobs), T, machines).normalized();
+}
+
+Instance sparse_uniform_instance(int count, Time span, Time T, int machines,
+                                 WeightModel weights, Weight w_max,
+                                 Prng& prng) {
+  CALIB_CHECK(count >= 1);
+  CALIB_CHECK_MSG(span >= count, "need span >= count for distinct releases");
+  // Sample `count` distinct releases from [0, span) by shuffling a
+  // partial Fisher-Yates over the window.
+  std::vector<Time> releases;
+  releases.reserve(static_cast<std::size_t>(count));
+  // Floyd's algorithm for a uniform distinct sample.
+  std::vector<Time> chosen;
+  for (Time j = span - count; j < span; ++j) {
+    const Time candidate = prng.uniform_int(0, j);
+    if (std::find(chosen.begin(), chosen.end(), candidate) == chosen.end()) {
+      chosen.push_back(candidate);
+    } else {
+      chosen.push_back(j);
+    }
+  }
+  std::vector<Job> jobs;
+  for (const Time r : chosen) {
+    jobs.push_back(Job{r, sample_weight(weights, w_max, prng)});
+  }
+  return Instance(std::move(jobs), T, machines);
+}
+
+Instance trickle_instance(Time T, int machines) {
+  std::vector<Job> jobs;
+  for (Time t = 0; t < T; ++t) jobs.push_back(Job{t, 1});
+  return Instance(std::move(jobs), T, machines);
+}
+
+DeadlineInstance deadline_uniform_instance(int count, Time span, Time T,
+                                           Time window_max, Prng& prng) {
+  CALIB_CHECK(count >= 1);
+  CALIB_CHECK(window_max >= 1);
+  std::vector<DeadlineJob> jobs;
+  jobs.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const Time release = prng.uniform_int(0, span - 1);
+    const Time window = prng.uniform_int(1, window_max);
+    jobs.push_back(DeadlineJob{release, release + window});
+  }
+  return DeadlineInstance(std::move(jobs), T, 1);
+}
+
+Instance regression_instance() {
+  return Instance(
+      {
+          Job{0, 3},
+          Job{1, 1},
+          Job{2, 5},
+          Job{9, 1},
+          Job{10, 2},
+          Job{11, 4},
+      },
+      /*calibration_length=*/4, /*machines=*/1);
+}
+
+}  // namespace calib

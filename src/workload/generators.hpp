@@ -1,0 +1,74 @@
+// Workload families for the benchmark harness (DESIGN.md substitution
+// #4: the paper ran no experiments, so synthetic families sweep the
+// regimes its analysis distinguishes).
+//
+// All generators are deterministic functions of their Prng; jobs respect
+// the Section 2 normalization (at most P per release time, enforced via
+// Instance::normalized()).
+#pragma once
+
+#include <cstdint>
+
+#include "core/instance.hpp"
+#include "deadline/deadline_instance.hpp"
+#include "util/prng.hpp"
+
+namespace calib {
+
+/// Weight models for the weighted experiments.
+enum class WeightModel {
+  kUnit,     ///< w = 1 (Algorithms 1 and 3)
+  kUniform,  ///< uniform on [1, w_max]
+  kZipf,     ///< Zipf(1.1) on [1, w_max] — heavy tail
+  kBimodal,  ///< 1 with prob 0.9, w_max otherwise (rare urgent jobs)
+};
+
+struct PoissonConfig {
+  double rate = 0.3;     ///< expected arrivals per step
+  Time steps = 200;      ///< arrival window [0, steps)
+  WeightModel weights = WeightModel::kUnit;
+  Weight w_max = 10;
+};
+
+/// Memoryless arrivals — the "steady fab" workload.
+Instance poisson_instance(const PoissonConfig& config, Time T, int machines,
+                          Prng& prng);
+
+struct BurstyConfig {
+  double burst_probability = 0.05;  ///< chance a burst starts per step
+  Time burst_length = 8;            ///< arrivals per step while bursting
+  double burst_rate = 1.0;          ///< arrival prob per step in a burst
+  Time steps = 200;
+  WeightModel weights = WeightModel::kUnit;
+  Weight w_max = 10;
+};
+
+/// On/off arrivals — stresses the G/T count trigger (Case 2 of the
+/// Theorem 3.3/3.10 analyses).
+Instance bursty_instance(const BurstyConfig& config, Time T, int machines,
+                         Prng& prng);
+
+/// `count` jobs with distinct releases drawn uniformly from a window of
+/// `span` steps — the random small instances the solver cross-checks use.
+Instance sparse_uniform_instance(int count, Time span, Time T, int machines,
+                                 WeightModel weights, Weight w_max,
+                                 Prng& prng);
+
+/// The Lemma 3.1 adversarial family, branch 2 shape: one job per step
+/// for `T` steps (what an algorithm that never calibrates early pays
+/// for). Deterministic.
+Instance trickle_instance(Time T, int machines);
+
+/// Deterministic regression instance used by docs and tests: 6 jobs,
+/// two bursts, mixed weights, T = 4.
+Instance regression_instance();
+
+/// Deadline-world workload (the SPAA'13 baseline model, E10): `count`
+/// jobs with releases uniform in [0, span) and window lengths uniform
+/// in [1, window_max].
+DeadlineInstance deadline_uniform_instance(int count, Time span, Time T,
+                                           Time window_max, Prng& prng);
+
+Weight sample_weight(WeightModel model, Weight w_max, Prng& prng);
+
+}  // namespace calib

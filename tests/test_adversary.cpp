@@ -1,0 +1,90 @@
+// The Lemma 3.1 adversary: branch selection, closed-form optimum
+// agreement with the exact DP, and the (2 - o(1)) bound's shape.
+#include <gtest/gtest.h>
+
+#include "offline/budget_search.hpp"
+#include "online/adversary.hpp"
+#include "online/alg1_unweighted.hpp"
+#include "online/baselines.hpp"
+
+namespace calib {
+namespace {
+
+TEST(Adversary, EagerTakesBranchOne) {
+  EagerPolicy policy;
+  const AdversaryOutcome outcome =
+      run_lower_bound_adversary(policy, /*G=*/10, /*T=*/5);
+  EXPECT_TRUE(outcome.calibrated_at_zero);
+  EXPECT_EQ(outcome.instance.size(), 2);
+  EXPECT_EQ(outcome.instance.job(1).release, 5);
+  // Eager pays two calibrations and flow 2: exactly the lemma's 2G + 2.
+  EXPECT_EQ(outcome.algorithm_cost, 2 * 10 + 2);
+  EXPECT_EQ(outcome.lemma_opt_cost, 10 + 3);
+}
+
+TEST(Adversary, PatientPolicyTakesBranchTwo) {
+  SkiRentalPolicy policy;  // waits until flow G = large
+  const AdversaryOutcome outcome =
+      run_lower_bound_adversary(policy, /*G=*/50, /*T=*/6);
+  EXPECT_FALSE(outcome.calibrated_at_zero);
+  EXPECT_EQ(outcome.instance.size(), 6);  // jobs at 0..T-1
+  EXPECT_EQ(outcome.lemma_opt_cost, 6 + 50);
+}
+
+TEST(Adversary, ClosedFormMatchesExactDpOptimum) {
+  // The lemma's hand schedules are optimal: for both branches and a
+  // range of (G, T), the DP-based exact optimum equals lemma_opt_cost.
+  for (const Cost G : {2, 5, 9, 20, 33}) {
+    for (const Time T : {2, 3, 7, 12}) {
+      for (const bool eager_branch : {true, false}) {
+        AdversaryOutcome outcome;
+        if (eager_branch) {
+          EagerPolicy policy;
+          outcome = run_lower_bound_adversary(policy, G, T);
+        } else {
+          SkiRentalPolicy policy;
+          outcome = run_lower_bound_adversary(policy, G, T);
+        }
+        if (!eager_branch && outcome.calibrated_at_zero) continue;
+        const Cost exact =
+            offline_online_optimum(outcome.instance, G).best_cost;
+        EXPECT_EQ(exact, outcome.lemma_opt_cost)
+            << "G=" << G << " T=" << T << " branch1=" << eager_branch;
+      }
+    }
+  }
+}
+
+TEST(Adversary, RatioApproachesTwoForLargeGAndHugeT) {
+  // 2 - 4/(G+3) on branch 1: with G = 997 the ratio must exceed 1.99.
+  EagerPolicy policy;
+  const AdversaryOutcome outcome =
+      run_lower_bound_adversary(policy, /*G=*/997, /*T=*/50);
+  const double ratio =
+      static_cast<double>(outcome.algorithm_cost) /
+      static_cast<double>(outcome.lemma_opt_cost);
+  EXPECT_GT(ratio, 1.99);
+  EXPECT_LT(ratio, 2.0);
+}
+
+TEST(Adversary, Alg1StaysBelowTwoAgainstTheAdversary) {
+  for (const Cost G : {3, 10, 40, 100}) {
+    for (const Time T : {2, 8, 32}) {
+      Alg1Unweighted policy;
+      const AdversaryOutcome outcome =
+          run_lower_bound_adversary(policy, G, T);
+      const Cost opt =
+          offline_online_optimum(outcome.instance, G).best_cost;
+      // Alg1's guarantee is 3; on this particular family it stays < 2G+2.
+      EXPECT_LE(outcome.algorithm_cost, 3 * opt) << "G=" << G << " T=" << T;
+    }
+  }
+}
+
+TEST(Adversary, RequiresTAtLeastTwo) {
+  EagerPolicy policy;
+  EXPECT_DEATH(run_lower_bound_adversary(policy, 5, 1), "T >= 2");
+}
+
+}  // namespace
+}  // namespace calib

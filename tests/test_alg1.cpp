@@ -1,0 +1,164 @@
+// Algorithm 1 (Theorem 3.3): behavioral unit tests plus the headline
+// property — online cost <= 3x the exact offline optimum — swept over
+// random and adversarial workloads.
+#include <gtest/gtest.h>
+
+#include "offline/budget_search.hpp"
+#include "online/alg1_unweighted.hpp"
+#include "online/driver.hpp"
+#include "util/prng.hpp"
+#include "workload/generators.hpp"
+
+namespace calib {
+namespace {
+
+TEST(Alg1, SchedulesSingleJob) {
+  const Instance instance({Job{0, 1}}, 4);
+  Alg1Unweighted policy;
+  const Schedule schedule = run_online(instance, /*G=*/3, policy);
+  EXPECT_EQ(schedule.calendar().count(), 1);
+  EXPECT_EQ(schedule.validate(instance), std::nullopt);
+}
+
+TEST(Alg1, DelaysUntilFlowReachesG) {
+  // Single job, G = 10, T = 5 (so the count trigger needs two jobs):
+  // flow if scheduled at t+1 is t+2, so the calibration fires at the
+  // first t with t + 2 >= 10, i.e. t = 8.
+  const Instance instance({Job{0, 1}}, 5);
+  Alg1Unweighted policy;
+  const Schedule schedule = run_online(instance, /*G=*/10, policy);
+  EXPECT_EQ(schedule.calendar().starts(0), (std::vector<Time>{8}));
+  EXPECT_EQ(schedule.placement(0).start, 8);
+}
+
+TEST(Alg1, CountTriggerDominatesWhenTExceedsG) {
+  // G/T < 1: one waiting job already satisfies |Q| * T >= G, so every
+  // job is served at its release (the paper's G/T < 1 remark).
+  const Instance instance({Job{0, 1}}, 100);
+  Alg1Unweighted policy;
+  const Schedule schedule = run_online(instance, /*G=*/10, policy);
+  EXPECT_EQ(schedule.placement(0).start, 0);
+}
+
+TEST(Alg1, CountTriggerFiresWithSmallTRatio) {
+  // G/T = 2: the second waiting job forces a calibration even though
+  // total flow is far below G.
+  const Instance instance({Job{0, 1}, Job{1, 1}}, 2);
+  Alg1Unweighted policy;
+  const Schedule schedule = run_online(instance, /*G=*/4, policy);
+  ASSERT_GE(schedule.calendar().count(), 1);
+  EXPECT_EQ(schedule.calendar().starts(0).front(), 1);
+}
+
+TEST(Alg1, ImmediateCalibrationAfterLightInterval) {
+  // T = 10, G = 20: two quick jobs trip the count trigger at t = 1 and
+  // finish with interval flow 4 < G/2 = 10 (a light interval). The job
+  // arriving at 12 — after that interval ends — must trigger an
+  // immediate calibration (line 13) rather than a fresh delay loop.
+  const Instance instance({Job{0, 1}, Job{1, 1}, Job{12, 1}}, 10);
+  const Cost G = 20;
+  Alg1Unweighted with_immediate(true);
+  const Schedule a = run_online(instance, G, with_immediate);
+  Alg1Unweighted without_immediate(false);
+  const Schedule b = run_online(instance, G, without_immediate);
+  EXPECT_EQ(a.placement(2).start, 12);
+  // Without the rule, the lone job waits for flow G: t + 2 - 12 >= 20.
+  EXPECT_EQ(b.placement(2).start, 30);
+}
+
+TEST(Alg1, NeverCalibratesWhileCalibrated) {
+  const Instance instance = trickle_instance(6, 1);
+  Alg1Unweighted policy;
+  const Schedule schedule = run_online(instance, /*G=*/6, policy);
+  const auto starts = schedule.calendar().starts(0);
+  for (std::size_t i = 1; i < starts.size(); ++i) {
+    EXPECT_GE(starts[i], starts[i - 1] + instance.T());
+  }
+}
+
+TEST(Alg1, GOverTLessThanOneSchedulesImmediately) {
+  // G < T: any waiting job trips |Q| * T >= G at its arrival step.
+  const Instance instance({Job{0, 1}, Job{5, 1}, Job{11, 1}}, 10);
+  Alg1Unweighted policy;
+  const Schedule schedule = run_online(instance, /*G=*/2, policy);
+  for (JobId j = 0; j < instance.size(); ++j) {
+    EXPECT_EQ(schedule.placement(j).start, instance.job(j).release);
+  }
+}
+
+struct Alg1SweepParams {
+  int jobs;
+  Time span;
+  Time T;
+  Cost G;
+  int trials;
+  std::uint64_t seed;
+};
+
+class Alg1Competitive : public ::testing::TestWithParam<Alg1SweepParams> {};
+
+TEST_P(Alg1Competitive, WithinThreeTimesOpt) {
+  const auto& p = GetParam();
+  Prng prng(p.seed);
+  double worst = 0.0;
+  for (int trial = 0; trial < p.trials; ++trial) {
+    const Instance instance = sparse_uniform_instance(
+        p.jobs, p.span, p.T, 1, WeightModel::kUnit, 1, prng);
+    Alg1Unweighted policy;
+    const Cost alg = online_objective(instance, p.G, policy);
+    const Cost opt = offline_online_optimum(instance, p.G).best_cost;
+    const double ratio =
+        static_cast<double>(alg) / static_cast<double>(opt);
+    worst = std::max(worst, ratio);
+    EXPECT_LE(alg, 3 * opt) << instance.to_string() << " G=" << p.G;
+  }
+  RecordProperty("worst_ratio", std::to_string(worst));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Alg1Competitive,
+    ::testing::Values(Alg1SweepParams{6, 20, 3, 5, 30, 501},
+                      Alg1SweepParams{6, 20, 3, 12, 30, 502},
+                      Alg1SweepParams{8, 30, 4, 8, 25, 503},
+                      Alg1SweepParams{8, 16, 2, 20, 25, 504},
+                      Alg1SweepParams{10, 40, 5, 15, 20, 505},
+                      Alg1SweepParams{10, 25, 6, 30, 20, 506},
+                      Alg1SweepParams{12, 48, 4, 10, 15, 507},
+                      Alg1SweepParams{12, 30, 8, 50, 15, 508},
+                      Alg1SweepParams{14, 56, 3, 6, 10, 509},
+                      Alg1SweepParams{14, 40, 10, 40, 10, 510}));
+
+TEST(Alg1, TrickleWorkloadStaysUnderThree) {
+  // The Lemma 3.1 branch-2 shape, across G/T regimes.
+  for (const Time T : {4, 8, 16}) {
+    for (const Cost G : {2, 6, 12, 40}) {
+      const Instance instance = trickle_instance(T, 1);
+      Alg1Unweighted policy;
+      const Cost alg = online_objective(instance, G, policy);
+      const Cost opt = offline_online_optimum(instance, G).best_cost;
+      EXPECT_LE(alg, 3 * opt) << "T=" << T << " G=" << G;
+    }
+  }
+}
+
+TEST(Alg1, DisablingImmediateCalibrationsStaysValid) {
+  Prng prng(511);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Instance instance = sparse_uniform_instance(
+        8, 24, 4, 1, WeightModel::kUnit, 1, prng);
+    Alg1Unweighted policy(false);
+    const Schedule schedule = run_online(instance, 9, policy);
+    EXPECT_EQ(schedule.validate(instance), std::nullopt);
+  }
+}
+
+TEST(Alg1, RejectsMultiMachine) {
+  OnlinePolicy* policy = new Alg1Unweighted();
+  OnlineDriver driver(/*T=*/3, /*machines=*/2, /*G=*/5, *policy);
+  driver.add_job(1);
+  EXPECT_DEATH(driver.step(), "single-machine");
+  delete policy;
+}
+
+}  // namespace
+}  // namespace calib

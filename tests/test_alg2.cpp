@@ -1,0 +1,133 @@
+// Algorithm 2 (Theorem 3.8): behavior, the Lemma 3.5 per-interval
+// invariant, and the 12-competitive property against exact OPT.
+#include <gtest/gtest.h>
+
+#include "offline/budget_search.hpp"
+#include "online/alg2_weighted.hpp"
+#include "online/driver.hpp"
+#include "util/prng.hpp"
+#include "workload/generators.hpp"
+
+namespace calib {
+namespace {
+
+TEST(Alg2, WeightTriggerFiresEarlyForHeavyJob) {
+  // One heavy job: w * T >= G immediately.
+  const Instance instance({Job{0, 10}}, 4);
+  Alg2Weighted policy;
+  const Schedule schedule = run_online(instance, /*G=*/20, policy);
+  EXPECT_EQ(schedule.placement(0).start, 0);
+}
+
+TEST(Alg2, LightJobWaitsForFlow) {
+  // w=1, T=2, G=12: weight trigger needs 6 weight, count trigger needs
+  // 2 jobs; a single light job waits until f = t + 2 >= 12, t = 10.
+  const Instance instance({Job{0, 1}}, 2);
+  Alg2Weighted policy;
+  const Schedule schedule = run_online(instance, /*G=*/12, policy);
+  EXPECT_EQ(schedule.placement(0).start, 10);
+}
+
+TEST(Alg2, QueueFullTriggerAtTJobs) {
+  // G huge so neither weight nor flow trigger fires; |Q| = T = 3 does.
+  const Instance instance({Job{0, 1}, Job{1, 1}, Job{2, 1}}, 3);
+  Alg2Weighted policy;
+  const Schedule schedule = run_online(instance, /*G=*/1000, policy);
+  EXPECT_EQ(schedule.calendar().starts(0).front(), 2);
+}
+
+TEST(Alg2, HeaviestScheduledFirstWithinInterval) {
+  const Instance instance({Job{0, 1}, Job{1, 7}, Job{2, 3}}, 3);
+  Alg2Weighted policy;
+  const Schedule schedule = run_online(instance, /*G=*/9, policy);
+  ASSERT_EQ(schedule.validate(instance), std::nullopt);
+  // Once calibrated, the w=7 job must not start after the w=3 job.
+  EXPECT_LE(schedule.placement(1).start, schedule.placement(2).start);
+  EXPECT_LE(schedule.placement(2).start, schedule.placement(0).start + 2);
+}
+
+// Lemma 3.5: per interval, the flow *beyond the unavoidable one step*
+// is below 2G: sum_j w_j (t_j - r_j) < 2G.
+void check_lemma_3_5(const Instance& instance, const Schedule& schedule,
+                     Cost G) {
+  for (const Time start : schedule.calendar().starts(0)) {
+    Cost excess = 0;
+    for (const JobId j : schedule.jobs_in_interval(0, start)) {
+      excess += instance.job(j).weight *
+                (schedule.placement(j).start - instance.job(j).release);
+    }
+    EXPECT_LT(excess, 2 * G)
+        << instance.to_string() << " interval@" << start;
+  }
+}
+
+struct Alg2SweepParams {
+  int jobs;
+  Time span;
+  Time T;
+  Cost G;
+  WeightModel weights;
+  int trials;
+  std::uint64_t seed;
+};
+
+class Alg2Competitive : public ::testing::TestWithParam<Alg2SweepParams> {};
+
+TEST_P(Alg2Competitive, WithinTwelveTimesOptAndLemma35Holds) {
+  const auto& p = GetParam();
+  Prng prng(p.seed);
+  double worst = 0.0;
+  for (int trial = 0; trial < p.trials; ++trial) {
+    const Instance instance = sparse_uniform_instance(
+        p.jobs, p.span, p.T, 1, p.weights, 8, prng);
+    Alg2Weighted policy;
+    const Schedule schedule = run_online(instance, p.G, policy);
+    check_lemma_3_5(instance, schedule, p.G);
+    const Cost alg = schedule.online_cost(instance, p.G);
+    const Cost opt = offline_online_optimum(instance, p.G).best_cost;
+    worst = std::max(worst,
+                     static_cast<double>(alg) / static_cast<double>(opt));
+    EXPECT_LE(alg, 12 * opt) << instance.to_string() << " G=" << p.G;
+  }
+  RecordProperty("worst_ratio", std::to_string(worst));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Alg2Competitive,
+    ::testing::Values(
+        Alg2SweepParams{6, 20, 3, 6, WeightModel::kUniform, 25, 601},
+        Alg2SweepParams{6, 20, 3, 15, WeightModel::kZipf, 25, 602},
+        Alg2SweepParams{8, 30, 4, 10, WeightModel::kUniform, 20, 603},
+        Alg2SweepParams{8, 16, 2, 24, WeightModel::kBimodal, 20, 604},
+        Alg2SweepParams{10, 40, 5, 18, WeightModel::kUniform, 15, 605},
+        Alg2SweepParams{10, 25, 6, 35, WeightModel::kZipf, 15, 606},
+        Alg2SweepParams{12, 48, 4, 12, WeightModel::kBimodal, 10, 607},
+        Alg2SweepParams{12, 36, 8, 60, WeightModel::kUniform, 10, 608}));
+
+TEST(Alg2, LightestFirstAblationStillValid) {
+  // The literal line-13 reading (DESIGN.md ambiguity #1) must still
+  // produce correct schedules — just worse flow.
+  Prng prng(609);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Instance instance = sparse_uniform_instance(
+        8, 24, 4, 1, WeightModel::kUniform, 6, prng);
+    Alg2Weighted heaviest(QueueOrder::kHeaviestFirst);
+    Alg2Weighted lightest(QueueOrder::kLightestFirst);
+    const Cost a = online_objective(instance, 10, heaviest);
+    const Cost b = online_objective(instance, 10, lightest);
+    EXPECT_GT(a, 0);
+    EXPECT_GT(b, 0);
+  }
+}
+
+TEST(Alg2, UnweightedInputBehavesLikeAlg1WithoutImmediates) {
+  // On unit weights the weight trigger equals the count trigger, so the
+  // schedule is valid and 12-competitiveness still holds.
+  const Instance instance = trickle_instance(6, 1);
+  Alg2Weighted policy;
+  const Schedule schedule = run_online(instance, /*G=*/9, policy);
+  EXPECT_EQ(schedule.validate(instance), std::nullopt);
+}
+
+}  // namespace
+}  // namespace calib

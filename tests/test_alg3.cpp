@@ -1,0 +1,144 @@
+// Algorithm 3 (Theorem 3.10): validity on multiple machines, the
+// Observation 3.9 invariants, the Observation 2.1 reassignment variant,
+// and 12-competitiveness against the exhaustive multi-machine optimum
+// on small instances.
+#include <gtest/gtest.h>
+
+#include "offline/brute_force.hpp"
+#include "online/alg3_multi.hpp"
+#include "online/driver.hpp"
+#include "util/prng.hpp"
+#include "workload/generators.hpp"
+
+namespace calib {
+namespace {
+
+Cost exact_multi_opt(const Instance& instance, Cost G) {
+  const OfflineSolution opt = brute_force_online_objective(
+      instance, G, StartCandidates::kExhaustive);
+  EXPECT_TRUE(opt.feasible());
+  return opt.schedule->online_cost(instance, G);
+}
+
+TEST(Alg3, SingleMachineSingleJob) {
+  const Instance instance({Job{0, 1}}, 4, 1);
+  Alg3Multi policy;
+  const Schedule schedule = run_online(instance, /*G=*/4, policy);
+  EXPECT_EQ(schedule.validate(instance), std::nullopt);
+}
+
+TEST(Alg3, SpreadsLoadOverMachines) {
+  // A burst of 2T jobs at once: the while loop calibrates both machines
+  // in the same step.
+  std::vector<Job> jobs;
+  for (int i = 0; i < 8; ++i) jobs.push_back(Job{i / 2, 1});
+  const Instance instance(jobs, 4, 2);
+  Alg3Multi policy;
+  const Schedule schedule = run_online(instance, /*G=*/4, policy);
+  ASSERT_EQ(schedule.validate(instance), std::nullopt);
+  EXPECT_GE(schedule.calendar().starts(0).size(), 1u);
+  EXPECT_GE(schedule.calendar().starts(1).size(), 1u);
+}
+
+TEST(Alg3, Observation39FlowBounds) {
+  Prng prng(701);
+  for (int trial = 0; trial < 15; ++trial) {
+    const Instance instance = sparse_uniform_instance(
+        10, 20, 4, 2, WeightModel::kUnit, 1, prng);
+    const Cost G = 8;
+    Alg3Multi policy;
+    const Schedule schedule = run_online(instance, G, policy);
+    ASSERT_EQ(schedule.validate(instance), std::nullopt);
+    // Observation 3.9: every job's flow after its interval's start is
+    // at most 2G/T + 1 slack, and the per-interval total flow <= 3G.
+    for (MachineId m = 0; m < instance.machines(); ++m) {
+      for (const Time start : schedule.calendar().starts(m)) {
+        Cost interval_flow = 0;
+        for (const JobId j : schedule.jobs_in_interval(m, start)) {
+          const Cost after_start =
+              schedule.placement(j).start + 1 - start;
+          EXPECT_LE(after_start, 2 * G / instance.T() + 1)
+              << instance.to_string();
+          interval_flow += schedule.placement(j).start + 1 -
+                           instance.job(j).release;
+        }
+        EXPECT_LE(interval_flow, 3 * G) << instance.to_string();
+      }
+    }
+  }
+}
+
+TEST(Alg3, ReassignmentNeverWorse) {
+  // The paper's practical note: keeping the calendar but re-running
+  // Observation 2.1's greedy cannot increase flow.
+  Prng prng(702);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Instance instance = sparse_uniform_instance(
+        9, 18, 3, 2, WeightModel::kUnit, 1, prng);
+    Alg3Multi policy;
+    const Schedule explicit_schedule = run_online(instance, 6, policy);
+    const Schedule reassigned =
+        reassign_observation_2_1(instance, explicit_schedule);
+    ASSERT_EQ(reassigned.validate(instance), std::nullopt);
+    EXPECT_EQ(reassigned.calendar(), explicit_schedule.calendar());
+    EXPECT_LE(reassigned.weighted_flow(instance),
+              explicit_schedule.weighted_flow(instance));
+  }
+}
+
+struct Alg3SweepParams {
+  int jobs;
+  Time span;
+  Time T;
+  int machines;
+  Cost G;
+  int trials;
+  std::uint64_t seed;
+};
+
+class Alg3Competitive : public ::testing::TestWithParam<Alg3SweepParams> {};
+
+TEST_P(Alg3Competitive, WithinTwelveTimesExhaustiveOpt) {
+  const auto& p = GetParam();
+  Prng prng(p.seed);
+  for (int trial = 0; trial < p.trials; ++trial) {
+    const Instance instance = sparse_uniform_instance(
+        p.jobs, p.span, p.T, p.machines, WeightModel::kUnit, 1, prng);
+    Alg3Multi policy;
+    const Cost alg = online_objective(instance, p.G, policy);
+    const Cost opt = exact_multi_opt(instance, p.G);
+    EXPECT_LE(alg, 12 * opt) << instance.to_string() << " G=" << p.G;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Alg3Competitive,
+    ::testing::Values(Alg3SweepParams{5, 10, 2, 2, 4, 12, 711},
+                      Alg3SweepParams{5, 8, 3, 2, 9, 12, 712},
+                      Alg3SweepParams{6, 10, 2, 3, 6, 10, 713},
+                      Alg3SweepParams{6, 12, 3, 2, 5, 10, 714},
+                      Alg3SweepParams{7, 10, 2, 2, 10, 8, 715},
+                      Alg3SweepParams{7, 14, 4, 3, 8, 8, 716}));
+
+TEST(Alg3, GOverTBelowOneSchedulesImmediately) {
+  const Instance instance({Job{0, 1}, Job{3, 1}, Job{7, 1}}, 6, 2);
+  Alg3Multi policy;
+  const Schedule schedule = run_online(instance, /*G=*/2, policy);
+  for (JobId j = 0; j < instance.size(); ++j) {
+    EXPECT_EQ(schedule.placement(j).start, instance.job(j).release);
+  }
+}
+
+TEST(Alg3, BigBurstTriggersMultipleCalibrationsInOneStep) {
+  std::vector<Job> jobs;
+  for (int i = 0; i < 12; ++i) jobs.push_back(Job{0, 1});
+  const Instance instance = Instance(jobs, 2, 4).normalized();
+  Alg3Multi policy;
+  const Schedule schedule = run_online(instance, /*G=*/2, policy);
+  ASSERT_EQ(schedule.validate(instance), std::nullopt);
+  // G/T = 1 job per interval: many intervals, spread round-robin.
+  EXPECT_GE(schedule.calendar().count(), 6);
+}
+
+}  // namespace
+}  // namespace calib

@@ -1,0 +1,81 @@
+// Alg4WeightedMulti (extension E11): validity on weighted multi-machine
+// inputs, degeneration to Algorithm-2-like behavior on one machine,
+// and sane cost against the LP lower bound.
+#include <gtest/gtest.h>
+
+#include "lp/calib_lp.hpp"
+#include "online/alg2_weighted.hpp"
+#include "online/alg4_weighted_multi.hpp"
+#include "online/driver.hpp"
+#include "util/prng.hpp"
+#include "workload/generators.hpp"
+
+namespace calib {
+namespace {
+
+TEST(Alg4, ValidOnWeightedMultiMachine) {
+  Prng prng(1701);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Instance instance = sparse_uniform_instance(
+        10, 20, 4, 3, WeightModel::kUniform, 7, prng);
+    Alg4WeightedMulti policy;
+    const Schedule schedule = run_online(instance, 12, policy);
+    EXPECT_EQ(schedule.validate(instance), std::nullopt)
+        << instance.to_string();
+  }
+}
+
+TEST(Alg4, UsesEveryMachineUnderLoad) {
+  std::vector<Job> jobs;
+  for (int i = 0; i < 18; ++i) jobs.push_back(Job{i / 3, 1 + i % 5});
+  const Instance instance = Instance(jobs, 3, 3).normalized();
+  Alg4WeightedMulti policy;
+  const Schedule schedule = run_online(instance, 6, policy);
+  ASSERT_EQ(schedule.validate(instance), std::nullopt);
+  for (MachineId m = 0; m < 3; ++m) {
+    EXPECT_GE(schedule.calendar().starts(m).size(), 1u) << "machine " << m;
+  }
+}
+
+TEST(Alg4, HeavyJobsDoNotWaitBehindLightOnes) {
+  const Instance instance({Job{0, 1}, Job{1, 9}, Job{2, 1}}, 4, 2);
+  Alg4WeightedMulti policy;
+  const Schedule schedule = run_online(instance, 6, policy);
+  ASSERT_EQ(schedule.validate(instance), std::nullopt);
+  EXPECT_LE(schedule.placement(1).start, schedule.placement(2).start);
+}
+
+TEST(Alg4, SingleMachineCostNearAlg2) {
+  // On P = 1 the policies differ only in assignment timing details;
+  // objectives should track each other within a small factor.
+  Prng prng(1702);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Instance instance = sparse_uniform_instance(
+        8, 24, 4, 1, WeightModel::kUniform, 6, prng);
+    Alg4WeightedMulti alg4;
+    Alg2Weighted alg2;
+    const Cost c4 = online_objective(instance, 10, alg4);
+    const Cost c2 = online_objective(instance, 10, alg2);
+    EXPECT_LE(c4, 3 * c2) << instance.to_string();
+    EXPECT_LE(c2, 3 * c4) << instance.to_string();
+  }
+}
+
+TEST(Alg4, WithinConstantOfLpBoundOnSmallInstances) {
+  // No guarantee is claimed; this regression bound (12x, the natural
+  // conjecture) documents the measured behavior.
+  Prng prng(1703);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Instance instance = sparse_uniform_instance(
+        6, 10, 3, 2, WeightModel::kUniform, 4, prng);
+    const Cost G = 6;
+    Alg4WeightedMulti policy;
+    const Cost cost = online_objective(instance, G, policy);
+    const double lower = lp_lower_bound(instance, G);
+    EXPECT_LE(static_cast<double>(cost), 12.0 * lower)
+        << instance.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace calib

@@ -1,0 +1,96 @@
+// Baseline policies: validity everywhere, plus the failure modes that
+// motivate the paper's algorithms (eager overpays calibrations,
+// ski-rental overpays flow on trickles).
+#include <gtest/gtest.h>
+
+#include "offline/budget_search.hpp"
+#include "online/alg1_unweighted.hpp"
+#include "online/baselines.hpp"
+#include "online/driver.hpp"
+#include "util/prng.hpp"
+#include "workload/generators.hpp"
+
+namespace calib {
+namespace {
+
+TEST(Baselines, EagerRunsEveryJobAtRelease) {
+  const Instance instance({Job{0, 2}, Job{4, 1}, Job{9, 3}}, 3);
+  EagerPolicy policy;
+  const Schedule schedule = run_online(instance, /*G=*/50, policy);
+  ASSERT_EQ(schedule.validate(instance), std::nullopt);
+  for (JobId j = 0; j < instance.size(); ++j) {
+    EXPECT_EQ(schedule.placement(j).start, instance.job(j).release);
+  }
+}
+
+TEST(Baselines, EagerOverpaysCalibrationsOnSparseJobs) {
+  // Jobs spaced > T apart: eager pays one calibration each; OPT delays
+  // jobs into batches of T. With T = 3 and G large the ratio tends to 3.
+  std::vector<Job> jobs;
+  for (int i = 0; i < 6; ++i) jobs.push_back(Job{8 * i, 1});
+  const Instance instance(jobs, 3, 1);
+  const Cost G = 300;
+  EagerPolicy eager;
+  Alg1Unweighted alg1;
+  const Cost eager_cost = online_objective(instance, G, eager);
+  const Cost alg1_cost = online_objective(instance, G, alg1);
+  const Cost opt = offline_online_optimum(instance, G).best_cost;
+  EXPECT_GT(eager_cost, 2 * opt);
+  EXPECT_LE(alg1_cost, 3 * opt);
+}
+
+TEST(Baselines, SkiRentalHandlesSingleJobLikeAlg1) {
+  // T = 5 keeps alg1's count trigger out of play (it needs 2 jobs), so
+  // both policies reduce to the same delay-until-flow-G rule.
+  const Instance instance({Job{0, 1}}, 5);
+  SkiRentalPolicy ski;
+  Alg1Unweighted alg1;
+  EXPECT_EQ(online_objective(instance, 10, ski),
+            online_objective(instance, 10, alg1));
+}
+
+TEST(Baselines, SkiRentalOverpaysOnTrickle) {
+  // One job per step: without the count trigger, every batch waits for
+  // flow G, paying ~2x per batch relative to calibrating early.
+  const Instance instance = trickle_instance(30, 1);
+  const Cost G = 30;
+  SkiRentalPolicy ski;
+  Alg1Unweighted alg1;
+  const Cost ski_cost = online_objective(instance, G, ski);
+  const Cost alg1_cost = online_objective(instance, G, alg1);
+  EXPECT_GT(ski_cost, alg1_cost);
+}
+
+TEST(Baselines, PeriodicIsValidAndServesEverything) {
+  Prng prng(801);
+  for (const Time period : {1, 3, 7}) {
+    const Instance instance = sparse_uniform_instance(
+        8, 30, 4, 1, WeightModel::kUniform, 5, prng);
+    PeriodicPolicy policy(period);
+    const Schedule schedule = run_online(instance, 10, policy);
+    EXPECT_EQ(schedule.validate(instance), std::nullopt);
+  }
+}
+
+TEST(Baselines, AllBaselinesValidOnMultiMachine) {
+  Prng prng(802);
+  const Instance instance = sparse_uniform_instance(
+      8, 16, 3, 2, WeightModel::kUnit, 1, prng);
+  EagerPolicy eager;
+  SkiRentalPolicy ski;
+  PeriodicPolicy periodic(2);
+  for (OnlinePolicy* policy :
+       std::initializer_list<OnlinePolicy*>{&eager, &ski, &periodic}) {
+    const Schedule schedule = run_online(instance, 5, *policy);
+    EXPECT_EQ(schedule.validate(instance), std::nullopt) << policy->name();
+  }
+}
+
+TEST(Baselines, NamesAreStable) {
+  EXPECT_STREQ(EagerPolicy{}.name(), "eager");
+  EXPECT_STREQ(SkiRentalPolicy{}.name(), "ski-rental");
+  EXPECT_STREQ(PeriodicPolicy{3}.name(), "periodic");
+}
+
+}  // namespace
+}  // namespace calib

@@ -1,0 +1,135 @@
+// Brute force: the Lemma 4.2 candidate restriction must agree with the
+// fully exhaustive start enumeration (this is the empirical test of
+// Lemma 4.2 itself), plus sanity on tiny closed-form instances.
+#include <gtest/gtest.h>
+
+#include "core/critical.hpp"
+#include "offline/brute_force.hpp"
+#include "util/prng.hpp"
+#include "workload/generators.hpp"
+
+namespace calib {
+namespace {
+
+TEST(BruteForce, SingleJobRunsAtRelease) {
+  const Instance instance({Job{4, 3}}, 5);
+  const OfflineSolution solution = brute_force_budget(instance, 1);
+  ASSERT_TRUE(solution.feasible());
+  EXPECT_EQ(solution.flow, 3);  // w * 1
+  EXPECT_EQ(solution.schedule->placement(0).start, 4);
+}
+
+TEST(BruteForce, InfeasibleWhenBudgetTooSmall) {
+  const Instance instance({Job{0, 1}, Job{1, 1}, Job{2, 1}}, 2);
+  EXPECT_FALSE(brute_force_budget(instance, 1).feasible());
+  EXPECT_TRUE(brute_force_budget(instance, 2).feasible());
+}
+
+TEST(BruteForce, EmptyInstanceCostsNothing) {
+  const Instance instance(std::vector<Job>{}, 3);
+  const OfflineSolution solution = brute_force_budget(instance, 2);
+  ASSERT_TRUE(solution.feasible());
+  EXPECT_EQ(solution.flow, 0);
+}
+
+TEST(BruteForce, OnlineObjectiveTradesCalibrationsForFlow) {
+  // Two jobs far apart. Cheap G: calibrate twice, run both at release
+  // (flow 2). Expensive G: one calibration near the second job; the
+  // first job waits.
+  const Instance instance({Job{0, 1}, Job{10, 1}}, 4);
+  const OfflineSolution cheap = brute_force_online_objective(instance, 2);
+  ASSERT_TRUE(cheap.feasible());
+  EXPECT_EQ(cheap.schedule->calendar().count(), 2);
+  EXPECT_EQ(cheap.schedule->online_cost(instance, 2), 2 * 2 + 2);
+
+  const OfflineSolution pricey =
+      brute_force_online_objective(instance, 100);
+  ASSERT_TRUE(pricey.feasible());
+  EXPECT_EQ(pricey.schedule->calendar().count(), 1);
+  // Interval [7, 11): job 0 at 7 (flow 8), job 1 at 10 (flow 1).
+  EXPECT_EQ(pricey.schedule->online_cost(instance, 100), 100 + 9);
+}
+
+TEST(BruteForce, MultiMachineUsesBothMachines) {
+  const Instance instance({Job{0, 1}, Job{0, 1}}, 2, 2);
+  const OfflineSolution solution = brute_force_budget(
+      instance, 2, StartCandidates::kExhaustive);
+  ASSERT_TRUE(solution.feasible());
+  EXPECT_EQ(solution.flow, 2);  // both at release on separate machines
+}
+
+struct Lemma42Params {
+  int jobs;
+  Time span;
+  Time T;
+  WeightModel weights;
+  int trials;
+  std::uint64_t seed;
+};
+
+class Lemma42Sweep : public ::testing::TestWithParam<Lemma42Params> {};
+
+// Lemma 4.2, empirically: restricting interval starts to
+// { r_j + 1 - T } never loses optimality on one machine.
+TEST_P(Lemma42Sweep, RestrictedCandidatesMatchExhaustive) {
+  const auto& p = GetParam();
+  Prng prng(p.seed);
+  for (int trial = 0; trial < p.trials; ++trial) {
+    const Instance instance = sparse_uniform_instance(
+        p.jobs, p.span, p.T, 1, p.weights, 4, prng);
+    for (int k = 1; k <= 3; ++k) {
+      const OfflineSolution restricted =
+          brute_force_budget(instance, k, StartCandidates::kLemma42);
+      const OfflineSolution exhaustive =
+          brute_force_budget(instance, k, StartCandidates::kExhaustive);
+      EXPECT_EQ(restricted.flow, exhaustive.flow)
+          << instance.to_string() << " k=" << k;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Lemma42Sweep,
+    ::testing::Values(Lemma42Params{4, 8, 2, WeightModel::kUnit, 25, 21},
+                      Lemma42Params{4, 8, 3, WeightModel::kUniform, 25, 22},
+                      Lemma42Params{5, 10, 2, WeightModel::kUniform, 20, 23},
+                      Lemma42Params{5, 9, 4, WeightModel::kZipf, 20, 24},
+                      Lemma42Params{6, 11, 3, WeightModel::kUniform, 12, 25},
+                      Lemma42Params{6, 12, 2, WeightModel::kBimodal, 12,
+                                    26}));
+
+// Lemma 4.1/4.2 structure: some brute-force optimum satisfies them; our
+// witness (greedy assignment over the best calendar) satisfies 4.1.
+TEST(BruteForce, WitnessSatisfiesLemma41) {
+  Prng prng(31);
+  for (int trial = 0; trial < 15; ++trial) {
+    const Instance instance = sparse_uniform_instance(
+        5, 10, 3, 1, WeightModel::kUniform, 4, prng);
+    const OfflineSolution solution = brute_force_budget(instance, 2);
+    if (!solution.feasible()) continue;
+    EXPECT_TRUE(satisfies_lemma_4_1(instance, *solution.schedule))
+        << instance.to_string();
+  }
+}
+
+TEST(BruteForce, OnlineObjectiveNeverWorseThanAnyFixedBudget) {
+  Prng prng(57);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Instance instance = sparse_uniform_instance(
+        5, 10, 3, 1, WeightModel::kUniform, 4, prng);
+    const Cost G = prng.uniform_int(1, 12);
+    const OfflineSolution combined =
+        brute_force_online_objective(instance, G);
+    ASSERT_TRUE(combined.feasible());
+    const Cost combined_cost =
+        combined.schedule->online_cost(instance, G);
+    for (int k = 1; k <= instance.size(); ++k) {
+      const OfflineSolution fixed = brute_force_budget(instance, k);
+      if (!fixed.feasible()) continue;
+      EXPECT_LE(combined_cost, G * k + fixed.flow);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace calib

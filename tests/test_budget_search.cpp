@@ -1,0 +1,79 @@
+// Budget search: exhaustive min_k (G k + F(k)) vs the footnote-5 binary
+// search, and agreement with brute force on the combined objective.
+#include <gtest/gtest.h>
+
+#include "offline/brute_force.hpp"
+#include "offline/budget_search.hpp"
+#include "offline/dp.hpp"
+#include "util/prng.hpp"
+#include "workload/generators.hpp"
+
+namespace calib {
+namespace {
+
+TEST(BudgetSearch, MatchesBruteForceCombinedObjective) {
+  Prng prng(901);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Instance instance = sparse_uniform_instance(
+        6, 14, 3, 1, WeightModel::kUniform, 5, prng);
+    const Cost G = prng.uniform_int(1, 25);
+    const BudgetSearchResult result = offline_online_optimum(instance, G);
+    const OfflineSolution truth = brute_force_online_objective(instance, G);
+    ASSERT_TRUE(truth.feasible());
+    EXPECT_EQ(result.best_cost, truth.schedule->online_cost(instance, G))
+        << instance.to_string() << " G=" << G;
+  }
+}
+
+TEST(BudgetSearch, FlowCurveEndsAtAllJobsAtRelease) {
+  // With k = n every job can run at its release: flow = total weight.
+  Prng prng(902);
+  const Instance instance = sparse_uniform_instance(
+      7, 20, 3, 1, WeightModel::kUniform, 5, prng);
+  const BudgetSearchResult result = offline_online_optimum(instance, 1);
+  EXPECT_EQ(result.flow_curve.back(), instance.total_weight());
+}
+
+TEST(BudgetSearch, LargeGPrefersFewCalibrations) {
+  const Instance instance({Job{0, 1}, Job{9, 1}, Job{18, 1}}, 3);
+  const BudgetSearchResult cheap = offline_online_optimum(instance, 1);
+  const BudgetSearchResult pricey = offline_online_optimum(instance, 500);
+  EXPECT_GE(cheap.best_k, pricey.best_k);
+  EXPECT_EQ(cheap.best_k, 3);   // calibrate per job
+  EXPECT_EQ(pricey.best_k, 1);  // tolerate flow
+}
+
+// The footnote-5 claim, probed empirically: binary search over the
+// marginal value agrees with the exhaustive scan. (This holds when
+// G k + F(k) is unimodal; the sweep reports any counterexample.)
+TEST(BudgetSearch, BinarySearchAgreesWithExhaustive) {
+  Prng prng(903);
+  int mismatches = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    const Instance instance = sparse_uniform_instance(
+        7, 16, 3, 1, WeightModel::kUniform, 6, prng);
+    const Cost G = prng.uniform_int(1, 30);
+    const BudgetSearchResult a = offline_online_optimum(instance, G);
+    const BudgetSearchResult b =
+        offline_online_optimum_binary(instance, G);
+    if (a.best_cost != b.best_cost) ++mismatches;
+  }
+  EXPECT_EQ(mismatches, 0)
+      << "G k + F(k) was not unimodal on " << mismatches
+      << " instances; the footnote's binary search is then a heuristic";
+}
+
+TEST(BudgetSearch, NormalizesCollidingReleases) {
+  const Instance instance({Job{0, 2}, Job{0, 1}, Job{4, 3}}, 3, 1);
+  const BudgetSearchResult result = offline_online_optimum(instance, 5);
+  EXPECT_GT(result.best_cost, 0);
+  EXPECT_GE(result.best_k, 1);
+}
+
+TEST(BudgetSearch, RejectsEmptyInstance) {
+  const Instance instance(std::vector<Job>{}, 3);
+  EXPECT_DEATH(offline_online_optimum(instance, 5), "at least one job");
+}
+
+}  // namespace
+}  // namespace calib

@@ -1,0 +1,148 @@
+// Calendar: coverage queries, run merging, round-robin distribution,
+// slot enumeration.
+#include <gtest/gtest.h>
+
+#include "core/calendar.hpp"
+#include "util/prng.hpp"
+
+namespace calib {
+namespace {
+
+TEST(Calendar, CoversExactlyTSteps) {
+  Calendar calendar(3, 1);
+  calendar.add(0, 10);
+  EXPECT_FALSE(calendar.covers(0, 9));
+  EXPECT_TRUE(calendar.covers(0, 10));
+  EXPECT_TRUE(calendar.covers(0, 11));
+  EXPECT_TRUE(calendar.covers(0, 12));
+  EXPECT_FALSE(calendar.covers(0, 13));
+}
+
+TEST(Calendar, CoversHandlesNegativeStarts) {
+  Calendar calendar(4, 1);
+  calendar.add(0, -2);
+  EXPECT_TRUE(calendar.covers(0, -2));
+  EXPECT_TRUE(calendar.covers(0, 1));
+  EXPECT_FALSE(calendar.covers(0, 2));
+}
+
+TEST(Calendar, OverlappingIntervalsMergeIntoRuns) {
+  Calendar calendar(3, 1);
+  calendar.add(0, 0);
+  calendar.add(0, 2);  // overlaps [0,3)
+  calendar.add(0, 10);
+  const auto runs = calendar.runs(0);
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_EQ(runs[0], (Calendar::Run{0, 5}));
+  EXPECT_EQ(runs[1], (Calendar::Run{10, 13}));
+}
+
+TEST(Calendar, BackToBackIntervalsMerge) {
+  Calendar calendar(2, 1);
+  calendar.add(0, 0);
+  calendar.add(0, 2);
+  const auto runs = calendar.runs(0);
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0], (Calendar::Run{0, 4}));
+}
+
+TEST(Calendar, CountAcrossMachines) {
+  Calendar calendar(2, 3);
+  calendar.add(0, 0);
+  calendar.add(2, 5);
+  calendar.add(2, 1);
+  EXPECT_EQ(calendar.count(), 3);
+  EXPECT_EQ(calendar.starts(2), (std::vector<Time>{1, 5}));
+}
+
+TEST(Calendar, AllStartsSortedWithMultiplicity) {
+  Calendar calendar(2, 2);
+  calendar.add(0, 4);
+  calendar.add(1, 4);
+  calendar.add(0, 1);
+  EXPECT_EQ(calendar.all_starts(), (std::vector<Time>{1, 4, 4}));
+}
+
+TEST(Calendar, RoundRobinCyclesMachines) {
+  const Calendar calendar =
+      Calendar::round_robin({5, 1, 3, 7}, /*T=*/2, /*machines=*/2);
+  // Sorted starts 1,3,5,7 alternate over machines 0,1,0,1.
+  EXPECT_EQ(calendar.starts(0), (std::vector<Time>{1, 5}));
+  EXPECT_EQ(calendar.starts(1), (std::vector<Time>{3, 7}));
+}
+
+TEST(Calendar, NextCalibratedFindsCurrentOrFuture) {
+  Calendar calendar(2, 1);
+  calendar.add(0, 4);
+  EXPECT_EQ(calendar.next_calibrated(0, 0), 4);
+  EXPECT_EQ(calendar.next_calibrated(0, 5), 5);
+  EXPECT_EQ(calendar.next_calibrated(0, 6), kUnscheduled);
+}
+
+TEST(Calendar, SlotsOrderedByTimeThenMachine) {
+  Calendar calendar(2, 2);
+  calendar.add(1, 0);
+  calendar.add(0, 1);
+  const auto slots = calendar.slots();
+  ASSERT_EQ(slots.size(), 4u);
+  EXPECT_EQ(slots[0], (Calendar::Slot{0, 1}));
+  EXPECT_EQ(slots[1], (Calendar::Slot{1, 0}));
+  EXPECT_EQ(slots[2], (Calendar::Slot{1, 1}));
+  EXPECT_EQ(slots[3], (Calendar::Slot{2, 0}));
+}
+
+TEST(Calendar, SlotsDeduplicateOverlaps) {
+  Calendar calendar(3, 1);
+  calendar.add(0, 0);
+  calendar.add(0, 1);
+  // Union is [0, 4): 4 slots, no duplicates.
+  EXPECT_EQ(calendar.slots().size(), 4u);
+}
+
+TEST(Calendar, HorizonIsLastIntervalEnd) {
+  Calendar calendar(3, 2);
+  EXPECT_EQ(calendar.horizon(), 0);
+  calendar.add(0, 2);
+  calendar.add(1, 7);
+  EXPECT_EQ(calendar.horizon(), 10);
+}
+
+// Observation 2.1 / [8, Lemma 7]: distributing a global list of
+// calibration times round-robin maximizes the number of distinct
+// calibrated (machine, step) slots, over any other machine assignment.
+TEST(Calendar, RoundRobinMaximizesUsableSlots) {
+  Prng prng(777);
+  for (int trial = 0; trial < 60; ++trial) {
+    const Time T = prng.uniform_int(2, 5);
+    const int machines = static_cast<int>(prng.uniform_int(2, 4));
+    const int count = static_cast<int>(prng.uniform_int(2, 6));
+    std::vector<Time> starts;
+    for (int c = 0; c < count; ++c) {
+      starts.push_back(prng.uniform_int(0, 8));
+    }
+    const auto round_robin_slots =
+        Calendar::round_robin(starts, T, machines).slots().size();
+    // Compare against random machine assignments of the same starts.
+    for (int probe = 0; probe < 30; ++probe) {
+      Calendar other(T, machines);
+      for (const Time start : starts) {
+        other.add(static_cast<MachineId>(
+                      prng.uniform_int(0, machines - 1)),
+                  start);
+      }
+      EXPECT_GE(round_robin_slots, other.slots().size());
+    }
+  }
+}
+
+TEST(Calendar, EqualityAndToString) {
+  Calendar a(2, 1);
+  Calendar b(2, 1);
+  EXPECT_EQ(a, b);
+  a.add(0, 3);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a.to_string().find("3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace calib

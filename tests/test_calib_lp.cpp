@@ -1,0 +1,100 @@
+// The Figure 1 LP: it must be a true relaxation (every schedule's
+// canonical point is feasible with objective = its cost) and its optimum
+// must lower-bound the exact OPT — with a nontrivial gap.
+#include <gtest/gtest.h>
+
+#include "lp/calib_lp.hpp"
+#include "offline/brute_force.hpp"
+#include "offline/budget_search.hpp"
+#include "util/prng.hpp"
+#include "workload/generators.hpp"
+
+namespace calib {
+namespace {
+
+TEST(CalibLp, CanonicalPointOfOptimumIsFeasibleWithMatchingObjective) {
+  Prng prng(1101);
+  for (int trial = 0; trial < 12; ++trial) {
+    const Instance instance = sparse_uniform_instance(
+        4, 8, 3, 1, WeightModel::kUniform, 4, prng);
+    const Cost G = prng.uniform_int(1, 10);
+    const CalibrationLp lp(instance, G);
+    const OfflineSolution opt = brute_force_online_objective(instance, G);
+    ASSERT_TRUE(opt.feasible());
+    const auto point = lp.canonical_point(*opt.schedule);
+    EXPECT_NEAR(lp.max_violation(point), 0.0, 1e-9) << instance.to_string();
+    EXPECT_NEAR(lp.objective_at(point),
+                static_cast<double>(opt.schedule->online_cost(instance, G)),
+                1e-9);
+  }
+}
+
+TEST(CalibLp, CanonicalPointOfArbitraryScheduleIsFeasible) {
+  // Not just optima: any valid schedule is a feasible primal point.
+  Prng prng(1102);
+  for (int trial = 0; trial < 12; ++trial) {
+    const Instance instance = sparse_uniform_instance(
+        4, 7, 2, 1, WeightModel::kUnit, 1, prng);
+    const Cost G = 4;
+    const CalibrationLp lp(instance, G);
+    const OfflineSolution any = brute_force_budget(instance, 3);
+    if (!any.feasible()) continue;
+    const auto point = lp.canonical_point(*any.schedule);
+    EXPECT_NEAR(lp.max_violation(point), 0.0, 1e-9);
+  }
+}
+
+TEST(CalibLp, OptimumLowerBoundsExactOpt) {
+  Prng prng(1103);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Instance instance = sparse_uniform_instance(
+        4, 8, 3, 1, WeightModel::kUniform, 3, prng);
+    const Cost G = prng.uniform_int(1, 8);
+    const double lp_value = lp_lower_bound(instance, G);
+    const Cost opt = offline_online_optimum(instance, G).best_cost;
+    EXPECT_LE(lp_value, static_cast<double>(opt) + 1e-6)
+        << instance.to_string() << " G=" << G;
+    // The bound is nontrivial: at least the everything-at-release flow
+    // plus one calibration... conservatively, positive.
+    EXPECT_GT(lp_value, 0.0);
+  }
+}
+
+TEST(CalibLp, MultiMachineRelaxationStillLowerBounds) {
+  Prng prng(1104);
+  for (int trial = 0; trial < 6; ++trial) {
+    const Instance instance = sparse_uniform_instance(
+        4, 6, 2, 2, WeightModel::kUnit, 1, prng);
+    const Cost G = 3;
+    const double lp_value = lp_lower_bound(instance, G);
+    const OfflineSolution opt = brute_force_online_objective(
+        instance, G, StartCandidates::kExhaustive);
+    ASSERT_TRUE(opt.feasible());
+    EXPECT_LE(lp_value,
+              static_cast<double>(opt.schedule->online_cost(instance, G)) +
+                  1e-6);
+  }
+}
+
+TEST(CalibLp, SingleJobBoundIsAlmostTight) {
+  // One job: OPT = G + w. The LP can pay the calibration fractionally
+  // over time but still must pay at least the job's final unit of flow.
+  const Instance instance({Job{0, 2}}, 3);
+  const double lp_value = lp_lower_bound(instance, 7);
+  EXPECT_GT(lp_value, 2.0 - 1e-6);   // at least f_{r_j} = 1 step of flow
+  EXPECT_LE(lp_value, 9.0 + 1e-6);  // at most OPT
+}
+
+TEST(CalibLp, VariableIndexingRoundTrips) {
+  const Instance instance({Job{1, 1}, Job{3, 2}}, 2, 2);
+  const CalibrationLp lp(instance, 5);
+  // Distinct variables for distinct (t, j), (t, m), (j, m).
+  EXPECT_NE(lp.f_var(1, 0), lp.f_var(2, 0));
+  EXPECT_NE(lp.c_var(0, 0), lp.c_var(0, 1));
+  EXPECT_NE(lp.a_var(0, 1), lp.a_var(1, 0));
+  EXPECT_LT(lp.f_var(1, 0), lp.problem().num_vars);
+  EXPECT_EQ(lp.calibration_lo(), 1 + 1 - 2);
+}
+
+}  // namespace
+}  // namespace calib

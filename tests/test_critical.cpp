@@ -1,0 +1,109 @@
+// Critical jobs (Definition 4.4) and the Lemma 4.1 / 4.2 predicates.
+#include <gtest/gtest.h>
+
+#include "core/critical.hpp"
+#include "offline/brute_force.hpp"
+#include "util/prng.hpp"
+#include "workload/generators.hpp"
+
+namespace calib {
+namespace {
+
+Instance three_jobs() {
+  return Instance({Job{0, 1}, Job{2, 1}, Job{5, 1}}, 3);
+}
+
+TEST(Critical, JobAtReleaseWithClearedBacklogIsCritical) {
+  const Instance instance = three_jobs();
+  Calendar calendar(3, 1);
+  calendar.add(0, 0);
+  calendar.add(0, 5);
+  Schedule schedule(calendar, 3);
+  schedule.place(0, 0, 0);
+  schedule.place(1, 0, 2);
+  schedule.place(2, 0, 5);
+  EXPECT_TRUE(is_critical(instance, schedule, 0));
+  EXPECT_TRUE(is_critical(instance, schedule, 1));
+  EXPECT_TRUE(is_critical(instance, schedule, 2));
+  EXPECT_EQ(critical_jobs(instance, schedule),
+            (std::vector<JobId>{0, 1, 2}));
+}
+
+TEST(Critical, DelayedJobIsNotCritical) {
+  const Instance instance = three_jobs();
+  Calendar calendar(3, 1);
+  calendar.add(0, 1);
+  calendar.add(0, 5);
+  Schedule schedule(calendar, 3);
+  schedule.place(0, 0, 1);  // delayed past release 0
+  schedule.place(1, 0, 2);
+  schedule.place(2, 0, 5);
+  EXPECT_FALSE(is_critical(instance, schedule, 0));
+  EXPECT_TRUE(is_critical(instance, schedule, 1));
+}
+
+TEST(Critical, AtReleaseButBacklogPendingIsNotCritical) {
+  // Job 1 runs at its release, but job 0 (released earlier) is still
+  // waiting at that moment -> not critical.
+  const Instance instance = three_jobs();
+  Calendar calendar(3, 1);
+  calendar.add(0, 2);
+  calendar.add(0, 5);
+  Schedule schedule(calendar, 3);
+  schedule.place(1, 0, 2);
+  schedule.place(0, 0, 3);
+  schedule.place(2, 0, 5);
+  EXPECT_FALSE(is_critical(instance, schedule, 1));
+}
+
+TEST(Critical, Lemma41ViolatedByGratuitousIdle) {
+  const Instance instance = three_jobs();
+  Calendar calendar(3, 1);
+  calendar.add(0, 0);
+  calendar.add(0, 3);
+  Schedule schedule(calendar, 3);
+  schedule.place(0, 0, 0);
+  schedule.place(1, 0, 4);  // idle at 2..3 although released at 2
+  schedule.place(2, 0, 5);
+  EXPECT_FALSE(satisfies_lemma_4_1(instance, schedule));
+}
+
+TEST(Critical, Lemma42RequiresAtReleaseJobAtRunEnd) {
+  const Instance instance = three_jobs();
+  Calendar calendar(3, 1);
+  calendar.add(0, 0);  // run [0, 3): last step 2 hosts job released at 2
+  calendar.add(0, 5);  // run [5, 8): last step 7 idle
+  Schedule schedule(calendar, 3);
+  schedule.place(0, 0, 0);
+  schedule.place(1, 0, 2);
+  schedule.place(2, 0, 5);
+  EXPECT_FALSE(satisfies_lemma_4_2(instance, schedule));
+}
+
+// Lemma 4.2 (existence form): for random instances, *some* optimal
+// budget schedule satisfies the predicate. The restricted brute force
+// constructs its calendars from { r_j + 1 - T } starts, so its witness
+// often does; instead we assert the theorem's consequence — the
+// restricted search already achieves the optimum (see
+// test_brute_force.cpp) — and that at least one optimal witness from
+// the restricted search has every run ending at an at-release job when
+// the greedy fills it. Weak form: predicate holds for a majority of
+// witnesses.
+TEST(Critical, RestrictedOptimaOftenSatisfyLemma42) {
+  Prng prng(410);
+  int holds = 0;
+  int total = 0;
+  for (int trial = 0; trial < 25; ++trial) {
+    const Instance instance = sparse_uniform_instance(
+        5, 12, 3, 1, WeightModel::kUniform, 4, prng);
+    const OfflineSolution solution = brute_force_budget(instance, 2);
+    if (!solution.feasible()) continue;
+    ++total;
+    if (satisfies_lemma_4_2(instance, *solution.schedule)) ++holds;
+  }
+  ASSERT_GT(total, 10);
+  EXPECT_GT(holds * 2, total);
+}
+
+}  // namespace
+}  // namespace calib

@@ -1,0 +1,217 @@
+// The deadline-world baseline (SPAA'13 model, experiment E10): EDF
+// optimality for feasibility, lazy binning vs the exact solver, and
+// the push-late candidate restriction vs full exhaustive search.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "deadline/edf.hpp"
+#include "deadline/min_calibrations.hpp"
+#include "util/prng.hpp"
+#include "workload/generators.hpp"
+
+namespace calib {
+namespace {
+
+/// Exhaustive feasibility: does ANY injective assignment of jobs to
+/// calibrated slots meet every deadline? Ground truth for EDF.
+bool exhaustive_feasible(const DeadlineInstance& instance,
+                         const Calendar& calendar) {
+  const auto slots = calendar.slots();
+  std::vector<bool> used(slots.size(), false);
+  std::function<bool(JobId)> recurse = [&](JobId j) -> bool {
+    if (j == instance.size()) return true;
+    const DeadlineJob& job = instance.job(j);
+    for (std::size_t s = 0; s < slots.size(); ++s) {
+      if (used[s] || slots[s].time < job.release ||
+          slots[s].time >= job.deadline) {
+        continue;
+      }
+      used[s] = true;
+      if (recurse(j + 1)) return true;
+      used[s] = false;
+    }
+    return false;
+  };
+  return recurse(0);
+}
+
+TEST(DeadlineInstance, SortsByDeadline) {
+  const DeadlineInstance instance(
+      {DeadlineJob{3, 9}, DeadlineJob{0, 4}, DeadlineJob{1, 4}}, 3);
+  EXPECT_EQ(instance.job(0).deadline, 4);
+  EXPECT_EQ(instance.job(0).release, 0);
+  EXPECT_EQ(instance.job(2).deadline, 9);
+  EXPECT_EQ(instance.max_deadline(), 9);
+  EXPECT_EQ(instance.min_release(), 0);
+}
+
+TEST(DeadlineInstance, RejectsEmptyWindow) {
+  EXPECT_DEATH(DeadlineInstance({DeadlineJob{3, 3}}, 2),
+               "cannot fit a unit job");
+}
+
+TEST(Edf, SchedulesTightJobFirst) {
+  const DeadlineInstance instance(
+      {DeadlineJob{0, 2}, DeadlineJob{0, 10}}, 4);
+  Calendar calendar(4, 1);
+  calendar.add(0, 0);
+  const EdfResult result = edf_schedule(instance, calendar);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_EQ(result.start[0], 0);  // deadline-2 job takes the first slot
+  EXPECT_EQ(result.start[1], 1);
+}
+
+TEST(Edf, ReportsMissedJobs) {
+  const DeadlineInstance instance(
+      {DeadlineJob{0, 2}, DeadlineJob{0, 2}}, 4);
+  Calendar calendar(4, 1);
+  calendar.add(0, 1);  // only slot 1 lands before both deadlines
+  const EdfResult result = edf_schedule(instance, calendar);
+  EXPECT_FALSE(result.feasible);
+  EXPECT_EQ(result.missed.size(), 1u);
+}
+
+TEST(Edf, JobsWithNoSlotAtAllAreMissed) {
+  const DeadlineInstance instance({DeadlineJob{10, 12}}, 3);
+  Calendar calendar(3, 1);
+  calendar.add(0, 0);
+  EXPECT_FALSE(edf_feasible(instance, calendar));
+}
+
+TEST(Edf, MatchesExhaustiveFeasibilityOnRandomInstances) {
+  Prng prng(1401);
+  for (int trial = 0; trial < 120; ++trial) {
+    const DeadlineInstance instance =
+        deadline_uniform_instance(5, 8, 3, 5, prng);
+    std::vector<Time> starts;
+    const auto calibrations = static_cast<int>(prng.uniform_int(1, 3));
+    for (int c = 0; c < calibrations; ++c) {
+      starts.push_back(prng.uniform_int(-2, 10));
+    }
+    const Calendar calendar = Calendar::round_robin(starts, 3, 1);
+    EXPECT_EQ(edf_feasible(instance, calendar),
+              exhaustive_feasible(instance, calendar))
+        << instance.to_string() << ' ' << calendar.to_string();
+  }
+}
+
+TEST(MinCalibrations, SingleJobNeedsOne) {
+  const DeadlineInstance instance({DeadlineJob{2, 5}}, 4);
+  const auto lazy = lazy_binning(instance);
+  ASSERT_TRUE(lazy.has_value());
+  EXPECT_EQ(lazy->count(), 1);
+  const auto exact = min_calibrations_exact(instance);
+  ASSERT_TRUE(exact.has_value());
+  EXPECT_EQ(exact->count(), 1);
+}
+
+TEST(MinCalibrations, LazyPushesIntervalLate) {
+  // One job with window [0, 10), T = 4: the lazy interval should start
+  // as late as possible (9), not at the release.
+  const DeadlineInstance instance({DeadlineJob{0, 10}}, 4);
+  const auto lazy = lazy_binning(instance);
+  ASSERT_TRUE(lazy.has_value());
+  ASSERT_EQ(lazy->count(), 1);
+  EXPECT_EQ(lazy->starts(0).front(), 9);
+}
+
+TEST(MinCalibrations, TwoDistantJobsNeedTwo) {
+  const DeadlineInstance instance(
+      {DeadlineJob{0, 2}, DeadlineJob{50, 52}}, 3);
+  const auto exact = min_calibrations_exact(instance);
+  ASSERT_TRUE(exact.has_value());
+  EXPECT_EQ(exact->count(), 2);
+}
+
+TEST(MinCalibrations, SharedWindowBatchesIntoOne) {
+  const DeadlineInstance instance(
+      {DeadlineJob{0, 6}, DeadlineJob{1, 6}, DeadlineJob{2, 6}}, 3);
+  const auto exact = min_calibrations_exact(instance);
+  ASSERT_TRUE(exact.has_value());
+  EXPECT_EQ(exact->count(), 1);
+}
+
+TEST(MinCalibrations, OverfullWindowInfeasible) {
+  // Three unit jobs all in window [0, 2): impossible on one machine.
+  const DeadlineInstance instance(
+      {DeadlineJob{0, 2}, DeadlineJob{0, 2}, DeadlineJob{0, 2}}, 4);
+  EXPECT_FALSE(min_calibrations_exact(instance).has_value());
+  EXPECT_FALSE(lazy_binning(instance).has_value());
+}
+
+struct DeadlineSweepParams {
+  int jobs;
+  Time span;
+  Time T;
+  Time window_max;
+  int trials;
+  std::uint64_t seed;
+};
+
+class DeadlineSweep
+    : public ::testing::TestWithParam<DeadlineSweepParams> {};
+
+// The counterexample that killed the tempting push-late candidate
+// restriction (see min_calibrations.hpp): starts { d - 1, d - 2 } alone
+// cannot serve three jobs ending at 4 with T = 2; the optimum needs an
+// interval at 1.
+TEST(MinCalibrations, BlockLockingCounterexample) {
+  const DeadlineInstance instance(
+      {DeadlineJob{0, 4}, DeadlineJob{1, 4}, DeadlineJob{2, 4}}, 2);
+  const auto exact = min_calibrations_exact(instance);
+  ASSERT_TRUE(exact.has_value());
+  EXPECT_EQ(exact->count(), 2);
+  Calendar restricted(2, 1);
+  restricted.add(0, 2);
+  restricted.add(0, 3);
+  EXPECT_FALSE(edf_feasible(instance, restricted));
+}
+
+// Exact solver witnesses are genuinely feasible and match the EDF
+// oracle across randomized instances.
+TEST_P(DeadlineSweep, ExactWitnessIsFeasible) {
+  const auto& p = GetParam();
+  Prng prng(p.seed);
+  for (int trial = 0; trial < p.trials; ++trial) {
+    const DeadlineInstance instance = deadline_uniform_instance(
+        p.jobs, p.span, p.T, p.window_max, prng);
+    const auto exact = min_calibrations_exact(instance);
+    if (!exact.has_value()) continue;
+    EXPECT_TRUE(edf_feasible(instance, *exact)) << instance.to_string();
+    // Minimality: one fewer calibration must be infeasible.
+    EXPECT_FALSE(
+        min_calibrations_exact(instance, exact->count() - 1).has_value())
+        << instance.to_string();
+  }
+}
+
+// Lazy binning reproduces the exact optimum (Bender et al.'s headline
+// claim for the single-machine case).
+TEST_P(DeadlineSweep, LazyBinningMatchesExact) {
+  const auto& p = GetParam();
+  Prng prng(p.seed + 1);
+  for (int trial = 0; trial < p.trials; ++trial) {
+    const DeadlineInstance instance = deadline_uniform_instance(
+        p.jobs, p.span, p.T, p.window_max, prng);
+    const auto lazy = lazy_binning(instance);
+    const auto exact = min_calibrations_exact(instance);
+    ASSERT_EQ(lazy.has_value(), exact.has_value()) << instance.to_string();
+    if (lazy.has_value()) {
+      EXPECT_TRUE(edf_feasible(instance, *lazy)) << instance.to_string();
+      EXPECT_EQ(lazy->count(), exact->count()) << instance.to_string();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DeadlineSweep,
+    ::testing::Values(DeadlineSweepParams{3, 6, 2, 4, 30, 1501},
+                      DeadlineSweepParams{4, 8, 2, 5, 25, 1502},
+                      DeadlineSweepParams{4, 8, 3, 6, 25, 1503},
+                      DeadlineSweepParams{5, 10, 3, 5, 15, 1504},
+                      DeadlineSweepParams{5, 9, 4, 7, 15, 1505},
+                      DeadlineSweepParams{6, 12, 2, 6, 10, 1506}));
+
+}  // namespace
+}  // namespace calib

@@ -1,0 +1,133 @@
+// OnlineDriver corner cases: the simulation substrate's own contract,
+// independent of any particular policy.
+#include <gtest/gtest.h>
+
+#include "online/driver.hpp"
+#include "online/policy.hpp"
+
+namespace calib {
+namespace {
+
+/// Never calibrates — must trip the drain guard.
+class StarvingPolicy final : public OnlinePolicy {
+ public:
+  void decide(DriverHandle&) override {}
+  [[nodiscard]] const char* name() const override { return "starving"; }
+};
+
+/// Calibrates on every uncalibrated step with waiting jobs.
+class PromptPolicy final : public OnlinePolicy {
+ public:
+  void decide(DriverHandle& handle) override {
+    if (handle.waiting().empty()) return;
+    for (MachineId m = 0; m < handle.machines(); ++m) {
+      if (handle.calibrated(m, handle.now())) return;
+    }
+    handle.calibrate();
+  }
+  [[nodiscard]] const char* name() const override { return "prompt"; }
+};
+
+TEST(Driver, DrainGuardTripsOnStarvingPolicy) {
+  StarvingPolicy policy;
+  OnlineDriver driver(/*T=*/3, /*machines=*/1, /*G=*/5, policy);
+  driver.add_job(1);
+  EXPECT_DEATH(driver.drain(), "failed to drain");
+}
+
+TEST(Driver, QueueFlowRespectsOrder) {
+  PromptPolicy policy;
+  OnlineDriver driver(/*T=*/5, /*machines=*/1, /*G=*/100, policy);
+  // Two jobs at t=0 (multi-arrival is legal at the driver level).
+  driver.add_job(1);
+  driver.add_job(10);
+  // FIFO from t+1: 1*(2) + 10*(3) = 32. Heaviest first: 10*2 + 1*3 = 23.
+  EXPECT_EQ(driver.queue_flow_from(1, QueueOrder::kFifo), 32);
+  EXPECT_EQ(driver.queue_flow_from(1, QueueOrder::kHeaviestFirst), 23);
+  EXPECT_EQ(driver.queue_flow_from(1, QueueOrder::kLightestFirst), 32);
+}
+
+TEST(Driver, LastIntervalFlowUndefinedBeforeFirstCalibration) {
+  PromptPolicy policy;
+  OnlineDriver driver(3, 1, 5, policy);
+  EXPECT_EQ(driver.last_interval_flow(), -1);
+  driver.add_job(2);
+  driver.step();  // calibrates and runs the job
+  EXPECT_EQ(driver.last_interval_flow(), 2);  // w=2, flow 1 step
+}
+
+TEST(Driver, AssignRejectsPastAndUncalibratedSlots) {
+  StarvingPolicy policy;
+  OnlineDriver driver(3, 1, 5, policy);
+  const JobId j = driver.add_job(1);
+  EXPECT_DEATH(driver.assign(j, 0, 0), "not calibrated");
+  driver.calibrate_round_robin();
+  driver.assign(j, 0, 1);  // fine: future calibrated slot
+  EXPECT_EQ(driver.start_of(j), 1);
+  EXPECT_EQ(driver.machine_of(j), 0);
+}
+
+TEST(Driver, AssignRejectsDoubleBooking) {
+  StarvingPolicy policy;
+  OnlineDriver driver(3, 1, 5, policy);
+  const JobId a = driver.add_job(1);
+  const JobId b = driver.add_job(1);
+  driver.calibrate_round_robin();
+  driver.assign(a, 0, 1);
+  EXPECT_DEATH(driver.assign(b, 0, 1), "already occupied");
+}
+
+TEST(Driver, RoundRobinCyclesThroughMachines) {
+  StarvingPolicy policy;
+  OnlineDriver driver(3, /*machines=*/3, 5, policy);
+  EXPECT_EQ(driver.calibrate_round_robin(), 0);
+  EXPECT_EQ(driver.calibrate_round_robin(), 1);
+  EXPECT_EQ(driver.calibrate_round_robin(), 2);
+  EXPECT_EQ(driver.calibrate_round_robin(), 0);
+}
+
+TEST(Driver, RealizedScheduleAlignsSortedTies) {
+  // Two same-release jobs, lighter added first: the realized instance
+  // sorts weight-descending, and placements must follow the jobs.
+  PromptPolicy policy;
+  OnlineDriver driver(4, 2, 3, policy);
+  const JobId light = driver.add_job(1);
+  const JobId heavy = driver.add_job(7);
+  driver.drain();
+  const Instance instance = driver.realized_instance();
+  const Schedule schedule = driver.realized_schedule();
+  ASSERT_EQ(schedule.validate(instance), std::nullopt);
+  // Index 0 of the instance is the heavy job.
+  EXPECT_EQ(instance.job(0).weight, 7);
+  EXPECT_EQ(schedule.placement(0).start, driver.start_of(heavy));
+  EXPECT_EQ(schedule.placement(1).start, driver.start_of(light));
+}
+
+TEST(Driver, OnlineCostMatchesScheduleCost) {
+  PromptPolicy policy;
+  OnlineDriver driver(4, 1, 9, policy);
+  driver.add_job(3);
+  driver.step();
+  driver.add_job(2);
+  driver.drain();
+  const Instance instance = driver.realized_instance();
+  const Schedule schedule = driver.realized_schedule();
+  EXPECT_EQ(driver.online_cost(), schedule.online_cost(instance, 9));
+}
+
+TEST(Driver, ArrivedNowResetsAfterStep) {
+  PromptPolicy policy;
+  OnlineDriver driver(3, 1, 5, policy);
+  driver.add_job(1);
+  EXPECT_TRUE(driver.arrived_now());
+  driver.step();
+  EXPECT_FALSE(driver.arrived_now());
+}
+
+TEST(Driver, RejectsNonPositiveG) {
+  StarvingPolicy policy;
+  EXPECT_DEATH(OnlineDriver(3, 1, 0, policy), "G >= 1");
+}
+
+}  // namespace
+}  // namespace calib

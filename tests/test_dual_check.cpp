@@ -1,0 +1,95 @@
+// The Figure 2 dual checker: zero point feasibility, the Theorem 3.10
+// static certificate, and weak duality against both the LP optimum and
+// exact schedules.
+#include <gtest/gtest.h>
+
+#include "lp/dual_check.hpp"
+#include "offline/budget_search.hpp"
+#include "util/prng.hpp"
+#include "workload/generators.hpp"
+
+namespace calib {
+namespace {
+
+TEST(DualCheck, ZeroPointIsFeasibleWithZeroObjective) {
+  const Instance instance({Job{0, 1}, Job{3, 2}}, 3);
+  const CalibrationLp lp(instance, 6);
+  const DualChecker checker(lp);
+  const DualPoint zero = checker.zero_point();
+  EXPECT_NEAR(checker.max_violation(zero), 0.0, 1e-12);
+  EXPECT_EQ(zero.objective(), 0.0);
+}
+
+TEST(DualCheck, StaticCertificateIsFeasible) {
+  Prng prng(1201);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Instance instance = sparse_uniform_instance(
+        5, 10, 3, 1, WeightModel::kUniform, 4, prng);
+    const Cost G = prng.uniform_int(2, 15);
+    const CalibrationLp lp(instance, G);
+    const DualChecker checker(lp);
+    const DualPoint certificate = checker.static_point();
+    EXPECT_NEAR(checker.max_violation(certificate), 0.0, 1e-9)
+        << instance.to_string() << " G=" << G;
+  }
+}
+
+TEST(DualCheck, WeakDualityAgainstLpOptimum) {
+  Prng prng(1202);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Instance instance = sparse_uniform_instance(
+        4, 8, 2, 1, WeightModel::kUnit, 1, prng);
+    const Cost G = prng.uniform_int(2, 8);
+    const CalibrationLp lp(instance, G);
+    const DualChecker checker(lp);
+    const DualPoint certificate = checker.static_point();
+    ASSERT_NEAR(checker.max_violation(certificate), 0.0, 1e-9);
+    const double primal = lp.solve().value;
+    EXPECT_LE(certificate.objective(), primal + 1e-6);
+  }
+}
+
+TEST(DualCheck, CertificateLowerBoundsExactOpt) {
+  // The full chain the paper's analysis relies on:
+  // dual objective <= LP optimum <= OPT.
+  Prng prng(1203);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Instance instance = sparse_uniform_instance(
+        5, 9, 3, 1, WeightModel::kUnit, 1, prng);
+    const Cost G = prng.uniform_int(2, 12);
+    const CalibrationLp lp(instance, G);
+    const DualChecker checker(lp);
+    const DualPoint certificate = checker.static_point();
+    ASSERT_NEAR(checker.max_violation(certificate), 0.0, 1e-9);
+    const Cost opt = offline_online_optimum(instance, G).best_cost;
+    EXPECT_LE(certificate.objective(), static_cast<double>(opt) + 1e-6);
+  }
+}
+
+TEST(DualCheck, InfeasiblePointIsFlagged) {
+  const Instance instance({Job{0, 1}}, 2);
+  const CalibrationLp lp(instance, 4);
+  const DualChecker checker(lp);
+  DualPoint bad = checker.zero_point();
+  bad.z[0] = 100.0;  // z_j alone can exceed the f_{r_j,j} column bound
+  EXPECT_GT(checker.max_violation(bad), 1.0);
+  DualPoint negative = checker.zero_point();
+  negative.v[0] = -1.0;
+  EXPECT_GT(checker.max_violation(negative), 0.5);
+}
+
+TEST(DualCheck, StaticObjectiveTracksNG2T) {
+  // With a generous horizon, the certificate's value approaches
+  // n * G / (2T) (Theorem 3.10's Case 2 accounting).
+  const Instance instance(
+      {Job{0, 5}, Job{2, 5}, Job{4, 5}, Job{6, 5}}, 2);
+  const Cost G = 8;  // G/2T = 2 <= w_min = 5, so no tapering bites
+  const CalibrationLp lp(instance, G);
+  const DualChecker checker(lp);
+  const DualPoint certificate = checker.static_point();
+  ASSERT_NEAR(checker.max_violation(certificate), 0.0, 1e-9);
+  EXPECT_NEAR(certificate.objective(), 4.0 * 8.0 / 4.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace calib

@@ -1,0 +1,119 @@
+// Fuzzing the simulation substrate: a chaos policy makes arbitrary
+// (but legal) decisions; every invariant the library promises must
+// survive — valid schedules, consistent costs, deterministic replay.
+#include <gtest/gtest.h>
+
+#include "core/transform.hpp"
+#include "online/driver.hpp"
+#include "online/policy.hpp"
+#include "util/prng.hpp"
+#include "workload/generators.hpp"
+
+namespace calib {
+namespace {
+
+/// Calibrates at random moments, sometimes several machines at once,
+/// sometimes explicitly placing a random waiting job in a random free
+/// calibrated slot — a stress generator for the driver's bookkeeping.
+class ChaosPolicy final : public OnlinePolicy {
+ public:
+  explicit ChaosPolicy(std::uint64_t seed) : prng_(seed) {}
+
+  [[nodiscard]] QueueOrder order() const override {
+    return QueueOrder::kHeaviestFirst;
+  }
+  [[nodiscard]] bool assign_before_decide() const override { return true; }
+
+  void decide(DriverHandle& handle) override {
+    // Random calibrations, biased to act when jobs wait (so runs end).
+    const double pressure = handle.waiting().empty() ? 0.02 : 0.35;
+    while (prng_.bernoulli(pressure)) {
+      const MachineId m = handle.calibrate();
+      // Occasionally pre-commit a waiting job somewhere legal.
+      if (!handle.waiting().empty() && prng_.bernoulli(0.5)) {
+        const auto pick = static_cast<std::size_t>(prng_.uniform_int(
+            0, static_cast<std::int64_t>(handle.waiting().size()) - 1));
+        const JobId j = handle.waiting()[pick];
+        const Time slot = handle.first_free_slot(
+            m, std::max(handle.now(), handle.job(j).release),
+            handle.now() + handle.T());
+        if (slot != kUnscheduled) handle.assign(j, m, slot);
+      }
+      if (handle.calendar().count() > 512) break;  // don't run away
+    }
+  }
+  [[nodiscard]] const char* name() const override { return "chaos"; }
+
+ private:
+  Prng prng_;
+};
+
+struct FuzzParams {
+  int jobs;
+  Time span;
+  Time T;
+  int machines;
+  WeightModel weights;
+  int trials;
+  std::uint64_t seed;
+};
+
+class DriverFuzz : public ::testing::TestWithParam<FuzzParams> {};
+
+TEST_P(DriverFuzz, ChaosRunsProduceValidSchedules) {
+  const auto& p = GetParam();
+  Prng prng(p.seed);
+  for (int trial = 0; trial < p.trials; ++trial) {
+    const Instance instance = sparse_uniform_instance(
+        p.jobs, p.span, p.T, p.machines, p.weights, 9, prng);
+    ChaosPolicy policy(p.seed * 7919 + static_cast<std::uint64_t>(trial));
+    const Schedule schedule = run_online(instance, /*G=*/5, policy);
+    ASSERT_EQ(schedule.validate(instance), std::nullopt)
+        << instance.to_string();
+    // Cost identity: online objective == G * count + flow.
+    EXPECT_EQ(schedule.online_cost(instance, 5),
+              5 * schedule.calendar().count() +
+                  schedule.weighted_flow(instance));
+  }
+}
+
+TEST_P(DriverFuzz, ChaosRunsAreDeterministicPerSeed) {
+  const auto& p = GetParam();
+  Prng prng(p.seed + 1);
+  const Instance instance = sparse_uniform_instance(
+      p.jobs, p.span, p.T, p.machines, p.weights, 9, prng);
+  ChaosPolicy a(1234);
+  ChaosPolicy b(1234);
+  const Schedule first = run_online(instance, 5, a);
+  const Schedule second = run_online(instance, 5, b);
+  EXPECT_EQ(first, second);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DriverFuzz,
+    ::testing::Values(
+        FuzzParams{6, 18, 3, 1, WeightModel::kUnit, 40, 2101},
+        FuzzParams{8, 24, 4, 1, WeightModel::kUniform, 40, 2102},
+        FuzzParams{10, 20, 3, 2, WeightModel::kZipf, 30, 2103},
+        FuzzParams{12, 24, 5, 3, WeightModel::kBimodal, 30, 2104},
+        FuzzParams{16, 32, 2, 2, WeightModel::kUniform, 20, 2105},
+        FuzzParams{20, 40, 6, 4, WeightModel::kUniform, 20, 2106}));
+
+TEST(DriverFuzz, TransformSurvivesChaoticSingleMachineSchedules) {
+  Prng prng(2107);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Instance instance = sparse_uniform_instance(
+        8, 24, 4, 1, WeightModel::kUniform, 9, prng);
+    ChaosPolicy policy(static_cast<std::uint64_t>(trial) * 31 + 7);
+    const Schedule schedule = run_online(instance, 5, policy);
+    const Schedule ordered = to_release_order(instance, schedule);
+    ASSERT_EQ(ordered.validate(instance), std::nullopt);
+    EXPECT_LE(ordered.weighted_flow(instance),
+              schedule.weighted_flow(instance));
+    EXPECT_LE(ordered.calendar().count(),
+              2 * schedule.calendar().count());
+  }
+}
+
+}  // namespace
+}  // namespace calib

@@ -1,0 +1,111 @@
+// Golden regression values on the deterministic regression instance
+// (two 3-job bursts, mixed weights, T = 4). These pin the exact end-to-
+// end numbers of every solver; any behavioral drift — however subtle —
+// lands here first.
+//
+// Values were produced by the validated pipeline (DP == brute force,
+// LP <= OPT certified) and are exact integers.
+#include <gtest/gtest.h>
+
+#include "lp/calib_lp.hpp"
+#include "offline/budget_search.hpp"
+#include "offline/dp.hpp"
+#include "online/alg1_unweighted.hpp"
+#include "online/alg2_weighted.hpp"
+#include "online/baselines.hpp"
+#include "online/driver.hpp"
+#include "workload/generators.hpp"
+
+namespace calib {
+namespace {
+
+struct GoldenRow {
+  Cost G;
+  Cost alg2;
+  Cost eager;
+  Cost ski;
+  Cost opt;
+  double lp;
+};
+
+constexpr GoldenRow kWeightedRows[] = {
+    {3, 22, 22, 25, 22, 22.0},
+    {7, 33, 30, 38, 30, 30.0},
+    {15, 59, 46, 66, 46, 46.0},
+    {40, 155, 96, 155, 96, 96.0},
+};
+
+TEST(Golden, WeightedPoliciesAndOptimum) {
+  const Instance instance = regression_instance();
+  for (const GoldenRow& row : kWeightedRows) {
+    Alg2Weighted alg2;
+    EagerPolicy eager;
+    SkiRentalPolicy ski;
+    EXPECT_EQ(online_objective(instance, row.G, alg2), row.alg2)
+        << "G=" << row.G;
+    EXPECT_EQ(online_objective(instance, row.G, eager), row.eager)
+        << "G=" << row.G;
+    EXPECT_EQ(online_objective(instance, row.G, ski), row.ski)
+        << "G=" << row.G;
+    EXPECT_EQ(offline_online_optimum(instance, row.G).best_cost, row.opt)
+        << "G=" << row.G;
+  }
+}
+
+TEST(Golden, LpBoundIsIntegralOnRegressionInstance) {
+  // On this instance the Figure 1 LP is tight (equals OPT) for every
+  // listed G — a zero-integrality-gap family worth pinning.
+  const Instance instance = regression_instance();
+  for (const GoldenRow& row : kWeightedRows) {
+    EXPECT_NEAR(lp_lower_bound(instance, row.G), row.lp, 1e-6)
+        << "G=" << row.G;
+  }
+}
+
+TEST(Golden, FlowCurve) {
+  // F(k): infeasible below 2 calibrations; two intervals already give
+  // the unconstrained-best flow of 16 (each burst fits one interval).
+  const Instance instance = regression_instance();
+  OfflineDp dp(instance);
+  const auto curve = dp.flow_curve(6);
+  EXPECT_EQ(curve[0], kInfeasible);
+  EXPECT_EQ(curve[1], kInfeasible);
+  for (std::size_t k = 2; k < curve.size(); ++k) {
+    EXPECT_EQ(curve[k], 16) << "k=" << k;
+  }
+}
+
+TEST(Golden, UnweightedAlg1) {
+  const Instance weighted = regression_instance();
+  std::vector<Job> unit_jobs;
+  for (const Job& job : weighted.jobs()) {
+    unit_jobs.push_back(Job{job.release, 1});
+  }
+  const Instance instance(unit_jobs, 4, 1);
+  const struct {
+    Cost G;
+    Cost alg1;
+    Cost opt;
+  } rows[] = {{3, 12, 12}, {7, 26, 20}, {15, 54, 36}};
+  for (const auto& row : rows) {
+    Alg1Unweighted policy;
+    EXPECT_EQ(online_objective(instance, row.G, policy), row.alg1)
+        << "G=" << row.G;
+    EXPECT_EQ(offline_online_optimum(instance, row.G).best_cost, row.opt)
+        << "G=" << row.G;
+  }
+}
+
+TEST(Golden, DpWitnessShapeIsStable) {
+  const Instance instance = regression_instance();
+  OfflineDp dp(instance);
+  const auto witness = dp.solve(2);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_EQ(witness->calendar().count(), 2);
+  EXPECT_EQ(witness->weighted_flow(instance), 16);
+  // Both bursts run back-to-back from their first release.
+  EXPECT_EQ(witness->placement(0).start + 1 - instance.job(0).release, 1);
+}
+
+}  // namespace
+}  // namespace calib

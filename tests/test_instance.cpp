@@ -1,0 +1,113 @@
+// Instance: construction invariants, footnote-1 normalization, CSV
+// round trip.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/instance.hpp"
+
+namespace calib {
+namespace {
+
+TEST(Instance, SortsJobsByReleaseThenWeightDesc) {
+  const Instance instance({Job{5, 1}, Job{2, 3}, Job{2, 7}}, 3);
+  EXPECT_EQ(instance.job(0).release, 2);
+  EXPECT_EQ(instance.job(0).weight, 7);
+  EXPECT_EQ(instance.job(1).release, 2);
+  EXPECT_EQ(instance.job(1).weight, 3);
+  EXPECT_EQ(instance.job(2).release, 5);
+}
+
+TEST(Instance, BasicAccessors) {
+  const Instance instance({Job{1, 2}, Job{4, 3}}, 5, 2);
+  EXPECT_EQ(instance.size(), 2);
+  EXPECT_EQ(instance.T(), 5);
+  EXPECT_EQ(instance.machines(), 2);
+  EXPECT_EQ(instance.min_release(), 1);
+  EXPECT_EQ(instance.max_release(), 4);
+  EXPECT_EQ(instance.total_weight(), 5);
+  EXPECT_FALSE(instance.is_unweighted());
+  EXPECT_FALSE(instance.empty());
+}
+
+TEST(Instance, UnweightedDetection) {
+  EXPECT_TRUE(Instance({Job{0, 1}, Job{1, 1}}, 2).is_unweighted());
+  EXPECT_FALSE(Instance({Job{0, 1}, Job{1, 2}}, 2).is_unweighted());
+}
+
+TEST(Instance, ReleasesNormalizedDetection) {
+  EXPECT_TRUE(Instance({Job{0, 1}, Job{1, 1}}, 2, 1).releases_normalized());
+  EXPECT_FALSE(Instance({Job{0, 1}, Job{0, 1}}, 2, 1).releases_normalized());
+  EXPECT_TRUE(Instance({Job{0, 1}, Job{0, 1}}, 2, 2).releases_normalized());
+}
+
+TEST(Instance, NormalizedBumpsLightestJob) {
+  // Footnote 1: the lightest of a colliding group moves one step later.
+  const Instance instance({Job{0, 5}, Job{0, 2}, Job{3, 1}}, 2, 1);
+  const Instance normalized = instance.normalized();
+  EXPECT_TRUE(normalized.releases_normalized());
+  EXPECT_EQ(normalized.job(0).release, 0);
+  EXPECT_EQ(normalized.job(0).weight, 5);
+  EXPECT_EQ(normalized.job(1).release, 1);
+  EXPECT_EQ(normalized.job(1).weight, 2);
+  EXPECT_EQ(normalized.job(2).release, 3);
+}
+
+TEST(Instance, NormalizedCascades) {
+  // Three colliding unit jobs need two bumps, and the bumped job can
+  // collide again with a later release.
+  const Instance instance({Job{0, 1}, Job{0, 1}, Job{0, 1}, Job{1, 1}}, 2,
+                          1);
+  const Instance normalized = instance.normalized();
+  EXPECT_TRUE(normalized.releases_normalized());
+  EXPECT_EQ(normalized.size(), 4);
+  // Releases must be 0, 1, 2, 3 after cascading.
+  for (JobId j = 0; j < 4; ++j) {
+    EXPECT_EQ(normalized.job(j).release, j);
+  }
+}
+
+TEST(Instance, NormalizedRespectsMachineCount) {
+  const Instance instance({Job{0, 1}, Job{0, 1}, Job{0, 1}}, 2, 2);
+  const Instance normalized = instance.normalized();
+  EXPECT_TRUE(normalized.releases_normalized());
+  // Two may stay at 0, the third (lightest = any of the unit jobs)
+  // moves to 1.
+  EXPECT_EQ(normalized.job(0).release, 0);
+  EXPECT_EQ(normalized.job(1).release, 0);
+  EXPECT_EQ(normalized.job(2).release, 1);
+}
+
+TEST(Instance, NormalizedIsIdempotentOnCleanInput) {
+  const Instance instance({Job{0, 2}, Job{4, 1}}, 3, 1);
+  EXPECT_EQ(instance.normalized(), instance);
+}
+
+TEST(Instance, HorizonBoundsGreedyCompletion) {
+  const Instance instance({Job{0, 1}, Job{9, 1}}, 4, 1);
+  EXPECT_EQ(instance.horizon(), 9 + 2 + 4);
+}
+
+TEST(Instance, CsvRoundTrip) {
+  const Instance instance({Job{0, 3}, Job{5, 1}}, 7, 2);
+  std::ostringstream os;
+  instance.save_csv(os);
+  std::istringstream is(os.str());
+  const Instance loaded = Instance::load_csv(is);
+  EXPECT_EQ(loaded, instance);
+}
+
+TEST(Instance, CsvRejectsBadHeader) {
+  std::istringstream is("bogus\n1,2\n");
+  EXPECT_THROW(Instance::load_csv(is), std::runtime_error);
+}
+
+TEST(Instance, ToStringMentionsParameters) {
+  const Instance instance({Job{1, 2}}, 3, 1);
+  const std::string repr = instance.to_string();
+  EXPECT_NE(repr.find("T=3"), std::string::npos);
+  EXPECT_NE(repr.find("(1, w2)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace calib

@@ -1,0 +1,161 @@
+// Cross-module integration: full pipelines an application would run —
+// generate a workload, run every online policy, solve offline exactly,
+// certify with the LP, and check every theorem's inequality end to end.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/list_scheduler.hpp"
+#include "core/transform.hpp"
+#include "lp/calib_lp.hpp"
+#include "offline/brute_force.hpp"
+#include "offline/budget_search.hpp"
+#include "offline/dp.hpp"
+#include "online/alg1_unweighted.hpp"
+#include "online/alg2_weighted.hpp"
+#include "online/alg3_multi.hpp"
+#include "online/baselines.hpp"
+#include "online/driver.hpp"
+#include "util/prng.hpp"
+#include "workload/generators.hpp"
+
+namespace calib {
+namespace {
+
+TEST(Integration, FullPipelineUnweightedSingleMachine) {
+  Prng prng(1301);
+  PoissonConfig config;
+  config.rate = 0.25;
+  config.steps = 60;
+  const Instance instance = poisson_instance(config, 4, 1, prng);
+  const Cost G = 10;
+
+  Alg1Unweighted alg1;
+  EagerPolicy eager;
+  SkiRentalPolicy ski;
+  const Cost opt = offline_online_optimum(instance, G).best_cost;
+  for (OnlinePolicy* policy :
+       std::initializer_list<OnlinePolicy*>{&alg1, &eager, &ski}) {
+    const Schedule schedule = run_online(instance, G, *policy);
+    ASSERT_EQ(schedule.validate(instance), std::nullopt) << policy->name();
+    EXPECT_GE(schedule.online_cost(instance, G), opt) << policy->name();
+  }
+  Alg1Unweighted fresh;
+  EXPECT_LE(online_objective(instance, G, fresh), 3 * opt);
+}
+
+TEST(Integration, FullPipelineWeightedSingleMachine) {
+  Prng prng(1302);
+  const Instance instance = sparse_uniform_instance(
+      9, 36, 4, 1, WeightModel::kZipf, 9, prng);
+  const Cost G = 14;
+
+  Alg2Weighted alg2;
+  const Schedule online = run_online(instance, G, alg2);
+  ASSERT_EQ(online.validate(instance), std::nullopt);
+
+  const BudgetSearchResult opt = offline_online_optimum(instance, G);
+  EXPECT_LE(online.online_cost(instance, G), 12 * opt.best_cost);
+
+  // The DP witness at the optimal budget reproduces the optimal cost.
+  OfflineDp dp(instance);
+  const auto witness = dp.solve(opt.best_k);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_EQ(witness->online_cost(instance, G), opt.best_cost);
+}
+
+TEST(Integration, OnlineCostsSandwichedBetweenLpAndThreeOpt) {
+  Prng prng(1303);
+  const Instance instance = sparse_uniform_instance(
+      5, 10, 3, 1, WeightModel::kUnit, 1, prng);
+  const Cost G = 6;
+  const double lp = lp_lower_bound(instance, G);
+  const Cost opt = offline_online_optimum(instance, G).best_cost;
+  Alg1Unweighted policy;
+  const Cost alg = online_objective(instance, G, policy);
+  EXPECT_LE(lp, static_cast<double>(opt) + 1e-6);
+  EXPECT_LE(opt, alg);
+  EXPECT_LE(alg, 3 * opt);
+}
+
+TEST(Integration, MultiMachinePipelineWithReassignment) {
+  Prng prng(1304);
+  const Instance instance = sparse_uniform_instance(
+      10, 20, 3, 2, WeightModel::kUnit, 1, prng);
+  const Cost G = 6;
+  Alg3Multi policy;
+  const Schedule explicit_schedule = run_online(instance, G, policy);
+  ASSERT_EQ(explicit_schedule.validate(instance), std::nullopt);
+  const Schedule reassigned =
+      reassign_observation_2_1(instance, explicit_schedule);
+  EXPECT_LE(reassigned.online_cost(instance, G),
+            explicit_schedule.online_cost(instance, G));
+}
+
+TEST(Integration, TransformOfOnlineScheduleKeepsGuarantees) {
+  // Chain: online weighted run -> release-order transform -> still
+  // valid, flow no worse, calibrations at most doubled.
+  Prng prng(1305);
+  const Instance instance = sparse_uniform_instance(
+      8, 24, 3, 1, WeightModel::kUniform, 5, prng);
+  Alg2Weighted policy;
+  const Schedule online = run_online(instance, 9, policy);
+  const Schedule ordered = to_release_order(instance, online);
+  ASSERT_EQ(ordered.validate(instance), std::nullopt);
+  EXPECT_TRUE(is_release_ordered(instance, ordered));
+  EXPECT_LE(ordered.weighted_flow(instance),
+            online.weighted_flow(instance));
+  EXPECT_LE(ordered.calendar().count(), 2 * online.calendar().count());
+}
+
+TEST(Integration, CsvRoundTripPreservesSolverResults) {
+  const Instance instance = regression_instance();
+  std::stringstream buffer;
+  instance.save_csv(buffer);
+  const Instance loaded = Instance::load_csv(buffer);
+  const Cost G = 7;
+  EXPECT_EQ(offline_online_optimum(instance, G).best_cost,
+            offline_online_optimum(loaded, G).best_cost);
+}
+
+TEST(Integration, DriverIncrementalFeedMatchesBatchRun) {
+  // Feeding the driver job-by-job at release times must equal
+  // run_online on the same instance.
+  const Instance instance = regression_instance();
+  const Cost G = 7;
+  Alg2Weighted policy_a;
+  const Cost batch = online_objective(instance, G, policy_a);
+
+  Alg2Weighted policy_b;
+  OnlineDriver driver(instance.T(), instance.machines(), G, policy_b);
+  JobId next = 0;
+  while (next < instance.size() || !driver.all_placed()) {
+    while (next < instance.size() &&
+           instance.job(next).release == driver.now()) {
+      driver.add_job(instance.job(next).weight);
+      ++next;
+    }
+    driver.step();
+  }
+  EXPECT_EQ(driver.online_cost(), batch);
+}
+
+TEST(Integration, ScalesToThousandJobInstanceOnline) {
+  // Online policies are near-linear; make sure nothing degrades into
+  // accidental quadratic blowups on realistic sizes.
+  Prng prng(1306);
+  PoissonConfig config;
+  config.rate = 0.5;
+  config.steps = 2000;
+  config.weights = WeightModel::kUniform;
+  config.w_max = 9;
+  const Instance instance = poisson_instance(config, 8, 1, prng);
+  ASSERT_GT(instance.size(), 800);
+  Alg2Weighted policy;
+  const Schedule schedule = run_online(instance, 25, policy);
+  EXPECT_EQ(schedule.validate(instance), std::nullopt);
+}
+
+}  // namespace
+}  // namespace calib

@@ -1,0 +1,168 @@
+// Observation 2.1's greedy: validity, maximality, and — the paper's
+// claim — optimality against exhaustive assignment for a fixed calendar.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+
+#include "core/list_scheduler.hpp"
+#include "util/prng.hpp"
+#include "workload/generators.hpp"
+
+namespace calib {
+namespace {
+
+/// Exhaustive minimum weighted flow of assigning all jobs to the
+/// calendar's slots (kInf if impossible). Ground truth for tiny cases.
+Cost exhaustive_assignment_flow(const Instance& instance,
+                                const Calendar& calendar) {
+  const auto slots = calendar.slots();
+  constexpr Cost kInf = std::numeric_limits<Cost>::max() / 4;
+  Cost best = kInf;
+  std::vector<bool> used(slots.size(), false);
+  auto recurse = [&](auto&& self, JobId j, Cost flow) -> void {
+    if (flow >= best) return;
+    if (j == instance.size()) {
+      best = flow;
+      return;
+    }
+    const Job& job = instance.job(static_cast<JobId>(j));
+    for (std::size_t s = 0; s < slots.size(); ++s) {
+      if (used[s] || slots[s].time < job.release) continue;
+      used[s] = true;
+      self(self, j + 1,
+           flow + job.weight * (slots[s].time + 1 - job.release));
+      used[s] = false;
+    }
+  };
+  recurse(recurse, 0, 0);
+  return best == kInf ? -1 : best;
+}
+
+TEST(ListScheduler, SchedulesFifoWhenUnweighted) {
+  const Instance instance({Job{0, 1}, Job{1, 1}, Job{2, 1}}, 4);
+  Calendar calendar(4, 1);
+  calendar.add(0, 0);
+  const ListResult result = list_schedule(instance, calendar);
+  ASSERT_TRUE(result.feasible());
+  EXPECT_EQ(result.schedule.placement(0).start, 0);
+  EXPECT_EQ(result.schedule.placement(1).start, 1);
+  EXPECT_EQ(result.schedule.placement(2).start, 2);
+}
+
+TEST(ListScheduler, PrefersHeavierJob) {
+  // Both jobs waiting at t=2; the heavier goes first.
+  const Instance instance({Job{0, 1}, Job{1, 9}}, 4);
+  Calendar calendar(4, 1);
+  calendar.add(0, 2);
+  const ListResult result = list_schedule(instance, calendar);
+  ASSERT_TRUE(result.feasible());
+  EXPECT_EQ(result.schedule.placement(1).start, 2);  // w=9 job
+  EXPECT_EQ(result.schedule.placement(0).start, 3);
+}
+
+TEST(ListScheduler, BreaksWeightTiesByRelease) {
+  const Instance instance({Job{0, 5}, Job{1, 5}}, 4);
+  Calendar calendar(4, 1);
+  calendar.add(0, 2);
+  const ListResult result = list_schedule(instance, calendar);
+  ASSERT_TRUE(result.feasible());
+  EXPECT_EQ(result.schedule.placement(0).start, 2);
+  EXPECT_EQ(result.schedule.placement(1).start, 3);
+}
+
+TEST(ListScheduler, ReportsUnscheduledJobs) {
+  const Instance instance({Job{0, 1}, Job{0, 2}, Job{0, 3}}, 2, 1);
+  Calendar calendar(2, 1);
+  calendar.add(0, 0);  // only two slots for three jobs
+  const ListResult result = list_schedule(instance, calendar);
+  EXPECT_FALSE(result.feasible());
+  ASSERT_EQ(result.unscheduled.size(), 1u);
+  // The lightest job (index 2 after weight-desc sort) is left over.
+  EXPECT_EQ(result.unscheduled[0], 2);
+}
+
+TEST(ListScheduler, JobsAfterAllSlotsAreUnscheduled) {
+  const Instance instance({Job{10, 1}}, 2, 1);
+  Calendar calendar(2, 1);
+  calendar.add(0, 0);
+  const ListResult result = list_schedule(instance, calendar);
+  EXPECT_FALSE(result.feasible());
+}
+
+TEST(ListScheduler, UsesMultipleMachines) {
+  const Instance instance({Job{0, 1}, Job{0, 2}}, 3, 2);
+  Calendar calendar(3, 2);
+  calendar.add(0, 0);
+  calendar.add(1, 0);
+  const ListResult result = list_schedule(instance, calendar);
+  ASSERT_TRUE(result.feasible());
+  EXPECT_EQ(result.schedule.placement(0).start, 0);
+  EXPECT_EQ(result.schedule.placement(1).start, 0);
+  EXPECT_NE(result.schedule.placement(0).machine,
+            result.schedule.placement(1).machine);
+}
+
+TEST(ListScheduler, GlobalStartsOverloadUsesRoundRobin) {
+  const Instance instance({Job{0, 1}, Job{0, 1}}, 2, 2);
+  const ListResult result =
+      list_schedule(instance, std::vector<Time>{0, 0});
+  ASSERT_TRUE(result.feasible());
+  EXPECT_EQ(result.schedule.calendar().starts(0).size(), 1u);
+  EXPECT_EQ(result.schedule.calendar().starts(1).size(), 1u);
+}
+
+struct GreedyOptimalityParams {
+  int jobs;
+  Time span;
+  Time T;
+  int machines;
+  int calibrations;
+  WeightModel weights;
+  std::uint64_t seed;
+};
+
+class GreedyOptimality
+    : public ::testing::TestWithParam<GreedyOptimalityParams> {};
+
+TEST_P(GreedyOptimality, MatchesExhaustiveAssignment) {
+  const auto& p = GetParam();
+  Prng prng(p.seed);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Instance instance =
+        sparse_uniform_instance(p.jobs, p.span, p.T, p.machines, p.weights,
+                                /*w_max=*/5, prng);
+    // Random calendar over plausible starts.
+    std::vector<Time> starts;
+    for (int c = 0; c < p.calibrations; ++c) {
+      starts.push_back(prng.uniform_int(0, p.span));
+    }
+    const Calendar calendar =
+        Calendar::round_robin(starts, p.T, p.machines);
+    const ListResult result = list_schedule(instance, calendar);
+    const Cost exhaustive = exhaustive_assignment_flow(instance, calendar);
+    if (!result.feasible()) {
+      // Greedy is maximal: if it fails, no assignment exists.
+      EXPECT_EQ(exhaustive, -1) << instance.to_string();
+      continue;
+    }
+    ASSERT_EQ(result.schedule.validate(instance), std::nullopt);
+    EXPECT_EQ(result.schedule.weighted_flow(instance), exhaustive)
+        << instance.to_string() << ' ' << calendar.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GreedyOptimality,
+    ::testing::Values(
+        GreedyOptimalityParams{4, 8, 2, 1, 3, WeightModel::kUnit, 101},
+        GreedyOptimalityParams{4, 8, 2, 1, 3, WeightModel::kUniform, 102},
+        GreedyOptimalityParams{5, 10, 3, 1, 2, WeightModel::kUniform, 103},
+        GreedyOptimalityParams{5, 10, 3, 1, 3, WeightModel::kZipf, 104},
+        GreedyOptimalityParams{4, 6, 2, 2, 3, WeightModel::kUniform, 105},
+        GreedyOptimalityParams{5, 8, 3, 2, 3, WeightModel::kBimodal, 106},
+        GreedyOptimalityParams{6, 12, 4, 1, 2, WeightModel::kUniform, 107},
+        GreedyOptimalityParams{6, 9, 2, 3, 4, WeightModel::kUnit, 108}));
+
+}  // namespace
+}  // namespace calib

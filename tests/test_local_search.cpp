@@ -1,0 +1,77 @@
+// Offline local search: validity, monotone improvement over the seed,
+// exactness gap against the DP optimum (P = 1) and the exhaustive
+// optimum (P = 2).
+#include <gtest/gtest.h>
+
+#include "offline/brute_force.hpp"
+#include "offline/budget_search.hpp"
+#include "offline/local_search.hpp"
+#include "util/prng.hpp"
+#include "workload/generators.hpp"
+
+namespace calib {
+namespace {
+
+TEST(LocalSearch, SingleJobFindsTheObviousSchedule) {
+  const Instance instance({Job{3, 2}}, 4);
+  const Schedule schedule = local_search_offline(instance, 10);
+  EXPECT_EQ(schedule.validate(instance), std::nullopt);
+  EXPECT_EQ(schedule.calendar().count(), 1);
+  EXPECT_EQ(schedule.online_cost(instance, 10), 12);
+}
+
+TEST(LocalSearch, MergesBatchableJobs) {
+  // Expensive G: the per-job seed (3 calibrations) must collapse.
+  const Instance instance({Job{0, 1}, Job{1, 1}, Job{2, 1}}, 4);
+  const Schedule schedule = local_search_offline(instance, 50);
+  EXPECT_EQ(schedule.validate(instance), std::nullopt);
+  EXPECT_EQ(schedule.calendar().count(), 1);
+}
+
+TEST(LocalSearch, NeverBelowOptNearOptOnSingleMachine) {
+  Prng prng(2401);
+  double worst = 1.0;
+  for (int trial = 0; trial < 25; ++trial) {
+    const Instance instance = sparse_uniform_instance(
+        7, 20, 3, 1, WeightModel::kUniform, 5, prng);
+    const Cost G = prng.uniform_int(2, 25);
+    const Schedule schedule = local_search_offline(instance, G);
+    const Cost cost = schedule.online_cost(instance, G);
+    const Cost opt = offline_online_optimum(instance, G).best_cost;
+    EXPECT_GE(cost, opt) << instance.to_string();
+    worst = std::max(worst, static_cast<double>(cost) /
+                                static_cast<double>(opt));
+  }
+  // Loose regression bound; E16 reports the measured distribution.
+  EXPECT_LE(worst, 1.5);
+}
+
+TEST(LocalSearch, TracksExhaustiveOptimumOnTwoMachines) {
+  Prng prng(2402);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Instance instance = sparse_uniform_instance(
+        5, 8, 2, 2, WeightModel::kUnit, 1, prng);
+    const Cost G = prng.uniform_int(2, 8);
+    const Schedule schedule = local_search_offline(instance, G);
+    ASSERT_EQ(schedule.validate(instance), std::nullopt);
+    const OfflineSolution opt = brute_force_online_objective(
+        instance, G, StartCandidates::kExhaustive);
+    const Cost opt_cost = opt.schedule->online_cost(instance, G);
+    EXPECT_GE(schedule.online_cost(instance, G), opt_cost);
+    EXPECT_LE(schedule.online_cost(instance, G), 2 * opt_cost)
+        << instance.to_string();
+  }
+}
+
+TEST(LocalSearch, RespectsMaxRoundsCap) {
+  Prng prng(2403);
+  const Instance instance = sparse_uniform_instance(
+      8, 24, 3, 1, WeightModel::kUniform, 5, prng);
+  LocalSearchOptions options;
+  options.max_rounds = 1;
+  const Schedule schedule = local_search_offline(instance, 10, options);
+  EXPECT_EQ(schedule.validate(instance), std::nullopt);
+}
+
+}  // namespace
+}  // namespace calib

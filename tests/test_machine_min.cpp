@@ -1,0 +1,127 @@
+// Machine minimization and the calibration connection (E13, paper
+// Section 5 / Fineman-Sheridan).
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "machmin/machine_min.hpp"
+#include "util/prng.hpp"
+#include "workload/generators.hpp"
+
+namespace calib {
+namespace {
+
+/// Ground truth for EDF-m: exhaustive assignment of jobs to
+/// (step, machine-slot) pairs within windows.
+bool exhaustive_feasible_machines(const DeadlineInstance& instance,
+                                  int machines) {
+  if (instance.empty()) return true;
+  if (machines == 0) return false;
+  std::map<Time, int> used;  // step -> machines busy
+  std::function<bool(JobId)> recurse = [&](JobId j) -> bool {
+    if (j == instance.size()) return true;
+    const DeadlineJob& job = instance.job(j);
+    for (Time t = job.release; t < job.deadline; ++t) {
+      if (used[t] >= machines) continue;
+      ++used[t];
+      if (recurse(j + 1)) return true;
+      --used[t];
+    }
+    return false;
+  };
+  return recurse(0);
+}
+
+TEST(MachineMin, SingleJobNeedsOneMachine) {
+  const DeadlineInstance instance({DeadlineJob{0, 3}}, 2);
+  EXPECT_EQ(min_machines(instance), 1);
+}
+
+TEST(MachineMin, ParallelWindowsNeedParallelMachines) {
+  const DeadlineInstance instance(
+      {DeadlineJob{0, 1}, DeadlineJob{0, 1}, DeadlineJob{0, 1}}, 2);
+  EXPECT_EQ(min_machines(instance), 3);
+}
+
+TEST(MachineMin, SlackWindowsShareAMachine) {
+  const DeadlineInstance instance(
+      {DeadlineJob{0, 4}, DeadlineJob{0, 4}, DeadlineJob{0, 4}}, 2);
+  EXPECT_EQ(min_machines(instance), 1);
+}
+
+TEST(MachineMin, EdfMatchesExhaustiveOnRandomInstances) {
+  Prng prng(1901);
+  for (int trial = 0; trial < 100; ++trial) {
+    const DeadlineInstance instance =
+        deadline_uniform_instance(5, 6, 3, 4, prng);
+    for (int m = 1; m <= 3; ++m) {
+      EXPECT_EQ(edf_feasible_machines(instance, m),
+                exhaustive_feasible_machines(instance, m))
+          << instance.to_string() << " m=" << m;
+    }
+  }
+}
+
+TEST(MachineMin, OneIntervalServesSequentialJobs) {
+  // Two jobs due at 2 fit serially in one interval's steps 0 and 1.
+  const DeadlineInstance instance(
+      {DeadlineJob{0, 2}, DeadlineJob{0, 2}}, 3);
+  EXPECT_TRUE(edf_feasible_intervals(instance, {0}));
+}
+
+TEST(MachineMin, IntervalsActAsTemporaryMachines) {
+  // Two jobs that must BOTH run at step 0 need two overlapping
+  // intervals (i.e. two machines at that step).
+  const DeadlineInstance instance(
+      {DeadlineJob{0, 1}, DeadlineJob{0, 1}}, 3);
+  EXPECT_FALSE(edf_feasible_intervals(instance, {0}));
+  EXPECT_TRUE(edf_feasible_intervals(instance, {0, 0}));
+  EXPECT_TRUE(edf_feasible_intervals(instance, {-1, 0}));
+  // An interval arriving after the deadline does not help.
+  EXPECT_FALSE(edf_feasible_intervals(instance, {0, 1}));
+}
+
+TEST(MachineMin, UnlimitedMachineCalibrationsLowerBoundedByMachines) {
+  Prng prng(1902);
+  for (int trial = 0; trial < 25; ++trial) {
+    const DeadlineInstance instance =
+        deadline_uniform_instance(4, 6, 2, 4, prng);
+    const auto calibrations =
+        min_calibrations_unlimited_machines(instance);
+    ASSERT_TRUE(calibrations.has_value()) << instance.to_string();
+    EXPECT_GE(static_cast<int>(calibrations->size()),
+              min_machines(instance))
+        << instance.to_string();
+  }
+}
+
+TEST(MachineMin, LargeTReducesToMachineMinimization) {
+  // The Fineman-Sheridan observation: once T spans the whole instance,
+  // a calibration is exactly a machine.
+  Prng prng(1903);
+  for (int trial = 0; trial < 20; ++trial) {
+    DeadlineInstance narrow =
+        deadline_uniform_instance(5, 6, 2, 3, prng);
+    // Rebuild with T covering the full span.
+    const Time span_T = narrow.max_deadline() - narrow.min_release() +
+                        narrow.T();
+    const DeadlineInstance wide(
+        std::vector<DeadlineJob>(narrow.jobs()), span_T, 1);
+    const auto calibrations = min_calibrations_unlimited_machines(wide);
+    ASSERT_TRUE(calibrations.has_value());
+    EXPECT_EQ(static_cast<int>(calibrations->size()), min_machines(wide))
+        << wide.to_string();
+  }
+}
+
+TEST(MachineMin, EmptyInstanceTrivial) {
+  const DeadlineInstance instance(std::vector<DeadlineJob>{}, 3);
+  EXPECT_EQ(min_machines(instance), 0);
+  EXPECT_TRUE(edf_feasible_machines(instance, 0));
+  const auto calibrations = min_calibrations_unlimited_machines(instance);
+  ASSERT_TRUE(calibrations.has_value());
+  EXPECT_TRUE(calibrations->empty());
+}
+
+}  // namespace
+}  // namespace calib

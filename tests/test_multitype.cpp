@@ -1,0 +1,155 @@
+// Multiple calibration types (extension E12, Angel et al. FAW'17):
+// typed calendar coverage, greedy assignment, the online heuristic's
+// validity and adaptivity, and the exhaustive optimum.
+#include <gtest/gtest.h>
+
+#include "multitype/multitype_sched.hpp"
+#include "util/prng.hpp"
+#include "workload/generators.hpp"
+
+namespace calib {
+namespace {
+
+// A quick touch-up that is cheap in absolute terms but pricey per slot,
+// vs a full recalibration that amortizes over long queues. (With a
+// too-cheap quick type the quick trigger fires before a queue can ever
+// build, and the myopic online heuristic would never choose full.)
+const std::vector<CalibrationType> kQuickAndFull = {
+    {/*length=*/2, /*cost=*/6},   // quick touch-up
+    {/*length=*/8, /*cost=*/12},  // full recalibration
+};
+
+TEST(TypedCalendar, CoverageAndCost) {
+  TypedCalendar calendar(kQuickAndFull);
+  calendar.add(0, 0);   // quick: [0, 2)
+  calendar.add(10, 1);  // full: [10, 18)
+  EXPECT_TRUE(calendar.covers(0));
+  EXPECT_TRUE(calendar.covers(1));
+  EXPECT_FALSE(calendar.covers(2));
+  EXPECT_TRUE(calendar.covers(17));
+  EXPECT_FALSE(calendar.covers(18));
+  EXPECT_EQ(calendar.calibration_cost(), 18);
+  EXPECT_EQ(calendar.count(), 2);
+  EXPECT_EQ(calendar.covered_slots().size(), 10u);
+}
+
+TEST(TypedCalendar, OverlapsMergeInCoveredSlots) {
+  TypedCalendar calendar(kQuickAndFull);
+  calendar.add(0, 1);  // [0, 8)
+  calendar.add(4, 0);  // [4, 6) inside
+  EXPECT_EQ(calendar.covered_slots().size(), 8u);
+  EXPECT_EQ(calendar.calibration_cost(), 18);  // both still paid
+}
+
+TEST(TypedCalendar, RejectsUnknownType) {
+  TypedCalendar calendar(kQuickAndFull);
+  EXPECT_DEATH(calendar.add(0, 2), "type");
+}
+
+TEST(Multitype, AssignIsFifoOverCoveredSlots) {
+  const Instance instance({Job{0, 1}, Job{1, 1}}, 2, 1);
+  TypedCalendar calendar(kQuickAndFull);
+  calendar.add(1, 0);  // [1, 3)
+  const MultitypeSchedule schedule = assign_multitype(instance, calendar);
+  EXPECT_EQ(schedule.start[0], 1);
+  EXPECT_EQ(schedule.start[1], 2);
+  EXPECT_EQ(schedule.validate(instance), std::nullopt);
+  EXPECT_EQ(schedule.flow(instance), 2 + 2);
+}
+
+TEST(Multitype, OnlineProducesValidSchedules) {
+  Prng prng(1801);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Instance instance = sparse_uniform_instance(
+        8, 24, 2, 1, WeightModel::kUnit, 1, prng);
+    const MultitypeSchedule schedule =
+        online_multitype(instance, kQuickAndFull);
+    EXPECT_EQ(schedule.validate(instance), std::nullopt)
+        << instance.to_string();
+  }
+}
+
+TEST(Multitype, OnlinePrefersFullCalibrationForLongQueues) {
+  // Six jobs back to back: one full (8-slot) calibration serves them
+  // all; six quick ones would cost 18. The heuristic must choose full.
+  std::vector<Job> jobs;
+  for (int i = 0; i < 6; ++i) jobs.push_back(Job{i, 1});
+  const Instance instance(jobs, 2, 1);
+  const MultitypeSchedule schedule =
+      online_multitype(instance, kQuickAndFull);
+  ASSERT_EQ(schedule.validate(instance), std::nullopt);
+  bool used_full = false;
+  for (const auto& entry : schedule.calendar.entries()) {
+    if (entry.type == 1) used_full = true;
+  }
+  EXPECT_TRUE(used_full);
+}
+
+TEST(Multitype, OnlinePrefersQuickForLoneJobs) {
+  const Instance instance({Job{0, 1}}, 2, 1);
+  const MultitypeSchedule schedule =
+      online_multitype(instance, kQuickAndFull);
+  ASSERT_EQ(schedule.validate(instance), std::nullopt);
+  ASSERT_EQ(schedule.calendar.count(), 1);
+  EXPECT_EQ(schedule.calendar.entries()[0].type, 0);
+}
+
+TEST(Multitype, OptimalSingleJobBuysCheapestType) {
+  const Instance instance({Job{3, 1}}, 2, 1);
+  const MultitypeSchedule best =
+      optimal_multitype(instance, kQuickAndFull);
+  ASSERT_EQ(best.validate(instance), std::nullopt);
+  EXPECT_EQ(best.calendar.count(), 1);
+  EXPECT_EQ(best.calendar.entries()[0].type, 0);
+  EXPECT_EQ(best.total_cost(instance), 6 + 1);
+}
+
+TEST(Multitype, OptimalMixesTypesWhenItPays) {
+  // A dense six-job batch (full calibration amortizes: 12 + flow 6 vs
+  // three quicks at 18 + flow 6) plus one distant straggler (quick:
+  // 6 + 1 vs full: 12 + 1).
+  const Instance instance({Job{0, 1}, Job{1, 1}, Job{2, 1}, Job{3, 1},
+                           Job{4, 1}, Job{5, 1}, Job{20, 1}},
+                          2, 1);
+  const MultitypeSchedule best =
+      optimal_multitype(instance, kQuickAndFull);
+  ASSERT_EQ(best.validate(instance), std::nullopt);
+  std::set<int> used;
+  for (const auto& entry : best.calendar.entries()) used.insert(entry.type);
+  EXPECT_EQ(used.size(), 2u) << best.calendar.to_string();
+}
+
+TEST(Multitype, OnlineWithinSmallFactorOfOptimal) {
+  Prng prng(1802);
+  double worst = 0.0;
+  for (int trial = 0; trial < 15; ++trial) {
+    const Instance instance = sparse_uniform_instance(
+        5, 10, 2, 1, WeightModel::kUnit, 1, prng);
+    const MultitypeSchedule online =
+        online_multitype(instance, kQuickAndFull);
+    const MultitypeSchedule best =
+        optimal_multitype(instance, kQuickAndFull);
+    const double ratio =
+        static_cast<double>(online.total_cost(instance)) /
+        static_cast<double>(best.total_cost(instance));
+    worst = std::max(worst, ratio);
+    // Loose regression bound; E12 reports the real distribution.
+    EXPECT_LE(ratio, 6.0) << instance.to_string();
+  }
+  EXPECT_GE(worst, 1.0);
+}
+
+TEST(Multitype, SingleTypeReducesToClassicModel) {
+  // With one type the typed model is the Section 3 model; the optimal
+  // multitype cost must match the classic brute force.
+  const Instance instance({Job{0, 1}, Job{4, 1}, Job{9, 1}}, 3, 1);
+  const std::vector<CalibrationType> single = {{3, 5}};
+  const MultitypeSchedule best = optimal_multitype(instance, single);
+  // Best: intervals [2,5) (jobs 0 and 4, flows 3 + 1) and [9,12)
+  // (job 9, flow 1): 2 * 5 + 5 = 15. Matches the classic model's
+  // offline optimum for (T=3, G=5).
+  EXPECT_EQ(best.total_cost(instance), 15);
+}
+
+}  // namespace
+}  // namespace calib

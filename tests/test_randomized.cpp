@@ -1,0 +1,98 @@
+// RandomizedSkiRental (extension E11): distributional correctness of
+// the threshold, schedule validity, worst-case safety (Theorem 3.3's
+// count trigger is retained), and the expected-ratio advantage on the
+// Lemma 3.1 family against an oblivious adversary.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "offline/budget_search.hpp"
+#include "online/alg1_unweighted.hpp"
+#include "online/baselines.hpp"
+#include "online/driver.hpp"
+#include "online/randomized.hpp"
+#include "util/stats.hpp"
+#include "workload/generators.hpp"
+
+namespace calib {
+namespace {
+
+TEST(Randomized, ThresholdFollowsSkiRentalDensity) {
+  // Density e^x/(e-1) on [0,1]: mean = 1/(e-1) ~ 0.582.
+  Summary thresholds;
+  for (std::uint64_t seed = 0; seed < 4000; ++seed) {
+    RandomizedSkiRental policy(seed);
+    const double theta = policy.threshold();
+    EXPECT_GT(theta, 0.0);
+    EXPECT_LE(theta, 1.0);
+    thresholds.add(theta);
+  }
+  EXPECT_NEAR(thresholds.mean(), 1.0 / (std::exp(1.0) - 1.0), 0.02);
+}
+
+TEST(Randomized, ProducesValidSchedules) {
+  Prng prng(1601);
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const Instance instance = sparse_uniform_instance(
+        8, 24, 4, 1, WeightModel::kUnit, 1, prng);
+    RandomizedSkiRental policy(seed);
+    const Schedule schedule = run_online(instance, 9, policy);
+    EXPECT_EQ(schedule.validate(instance), std::nullopt);
+  }
+}
+
+TEST(Randomized, CountTriggerStillProtectsTrickles) {
+  // Even with a tiny threshold the G/T count trigger fires, so a long
+  // trickle cannot starve: the schedule must stay within 3x-ish of OPT
+  // (we assert a loose 4x to avoid flaking on unlucky draws).
+  const Instance instance = trickle_instance(20, 1);
+  const Cost G = 20;
+  const Cost opt = offline_online_optimum(instance, G).best_cost;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    RandomizedSkiRental policy(seed);
+    const Cost cost = online_objective(instance, G, policy);
+    EXPECT_LE(cost, 4 * opt) << "seed=" << seed;
+  }
+}
+
+TEST(Randomized, BeatsDeterministicSkiRentalOnLoneJob) {
+  // The textbook rent/buy subgame: a lone job with T < G, so the count
+  // trigger stays silent and only the delay threshold matters. The deterministic
+  // threshold (SkiRentalPolicy) pays ~2x OPT; the randomized threshold's
+  // expected cost approaches (e/(e-1)) * OPT ~ 1.582.
+  const Cost G = 100;
+  const Time T = 60;  // T < G keeps the count trigger out of play
+  const Instance lone({Job{0, 1}}, T);
+  const Cost opt = offline_online_optimum(lone, G).best_cost;
+  ASSERT_EQ(opt, G + 1);
+
+  SkiRentalPolicy deterministic;
+  const Cost det = online_objective(lone, G, deterministic);
+  const double det_ratio =
+      static_cast<double>(det) / static_cast<double>(opt);
+  EXPECT_GT(det_ratio, 1.9);
+
+  Summary ratios;
+  for (std::uint64_t seed = 0; seed < 500; ++seed) {
+    RandomizedSkiRental policy(seed * 977 + 3);
+    ratios.add(static_cast<double>(online_objective(lone, G, policy)) /
+               static_cast<double>(opt));
+  }
+  EXPECT_LT(ratios.mean(), 1.70);  // expected ~ e/(e-1) = 1.582
+  EXPECT_GT(ratios.mean(), 1.45);
+  EXPECT_LT(ratios.mean(), det_ratio);
+}
+
+TEST(Randomized, ResetRedrawsThreshold) {
+  RandomizedSkiRental policy(12345);
+  const double before = policy.threshold();
+  double changed = before;
+  for (int i = 0; i < 16 && changed == before; ++i) {
+    policy.reset();
+    changed = policy.threshold();
+  }
+  EXPECT_NE(changed, before);
+}
+
+}  // namespace
+}  // namespace calib

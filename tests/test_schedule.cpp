@@ -1,0 +1,152 @@
+// Schedule: cost accounting and validation (every corruption type must
+// be caught with a useful message).
+#include <gtest/gtest.h>
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+
+namespace calib {
+namespace {
+
+Instance two_job_instance() { return Instance({Job{0, 2}, Job{3, 1}}, 3); }
+
+Schedule valid_schedule(const Instance& instance) {
+  Calendar calendar(instance.T(), instance.machines());
+  calendar.add(0, 1);
+  Schedule schedule(calendar, instance.size());
+  schedule.place(0, 0, 1);
+  schedule.place(1, 0, 3);
+  return schedule;
+}
+
+TEST(Schedule, ValidScheduleValidates) {
+  const Instance instance = two_job_instance();
+  const Schedule schedule = valid_schedule(instance);
+  EXPECT_EQ(schedule.validate(instance), std::nullopt);
+}
+
+TEST(Schedule, WeightedFlowAccountsWeights) {
+  const Instance instance = two_job_instance();
+  const Schedule schedule = valid_schedule(instance);
+  // Job 0: w=2, start 1, release 0 -> 2 * 2 = 4. Job 1: w=1, start 3,
+  // release 3 -> 1.
+  EXPECT_EQ(schedule.weighted_flow(instance), 5);
+}
+
+TEST(Schedule, WeightedCompletionDiffersByReleaseConstant) {
+  const Instance instance = two_job_instance();
+  const Schedule schedule = valid_schedule(instance);
+  Cost release_weight = 0;
+  for (JobId j = 0; j < instance.size(); ++j) {
+    release_weight += instance.job(j).weight * instance.job(j).release;
+  }
+  EXPECT_EQ(schedule.weighted_completion(instance) - release_weight,
+            schedule.weighted_flow(instance));
+}
+
+TEST(Schedule, OnlineCostAddsCalibrations) {
+  const Instance instance = two_job_instance();
+  const Schedule schedule = valid_schedule(instance);
+  EXPECT_EQ(schedule.online_cost(instance, 10), 10 + 5);
+}
+
+TEST(Schedule, ValidationCatchesUnscheduledJob) {
+  const Instance instance = two_job_instance();
+  Calendar calendar(instance.T(), 1);
+  calendar.add(0, 0);
+  Schedule schedule(calendar, instance.size());
+  schedule.place(0, 0, 0);
+  const auto error = schedule.validate(instance);
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("unscheduled"), std::string::npos);
+}
+
+TEST(Schedule, ValidationCatchesEarlyStart) {
+  const Instance instance = two_job_instance();
+  Schedule schedule = valid_schedule(instance);
+  schedule.calendar().add(0, 2);
+  schedule.place(1, 0, 2);  // release is 3
+  const auto error = schedule.validate(instance);
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("before its release"), std::string::npos);
+}
+
+TEST(Schedule, ValidationCatchesUncalibratedStep) {
+  const Instance instance = two_job_instance();
+  Schedule schedule = valid_schedule(instance);
+  schedule.place(1, 0, 5);  // calendar only covers [1, 4)
+  const auto error = schedule.validate(instance);
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("uncalibrated"), std::string::npos);
+}
+
+TEST(Schedule, ValidationCatchesCollision) {
+  const Instance instance = two_job_instance();
+  Schedule schedule = valid_schedule(instance);
+  schedule.place(1, 0, 1);  // same slot as job 0 (after release? no: 1<3)
+  // Collision check happens per slot; use a colliding-but-released pair.
+  Calendar calendar(instance.T(), 1);
+  calendar.add(0, 3);
+  Schedule colliding(calendar, instance.size());
+  colliding.place(0, 0, 3);
+  colliding.place(1, 0, 3);
+  const auto error = colliding.validate(instance);
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("collides"), std::string::npos);
+}
+
+TEST(Schedule, ValidationCatchesSizeMismatch) {
+  const Instance instance = two_job_instance();
+  Schedule schedule(Calendar(instance.T(), 1), 1);
+  EXPECT_TRUE(schedule.validate(instance).has_value());
+}
+
+TEST(Schedule, ValidationCatchesWrongT) {
+  const Instance instance = two_job_instance();
+  Schedule schedule(Calendar(instance.T() + 1, 1), instance.size());
+  const auto error = schedule.validate(instance);
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("calendar T"), std::string::npos);
+}
+
+TEST(Schedule, ValidationCatchesWrongMachineCount) {
+  const Instance instance = two_job_instance();
+  Schedule schedule(Calendar(instance.T(), 2), instance.size());
+  EXPECT_TRUE(schedule.validate(instance).has_value());
+}
+
+TEST(Schedule, JobsInIntervalFiltersByMachineAndWindow) {
+  Calendar calendar(3, 2);
+  calendar.add(0, 0);
+  calendar.add(1, 0);
+  Schedule schedule(calendar, 3);
+  schedule.place(0, 0, 0);
+  schedule.place(1, 0, 2);
+  schedule.place(2, 1, 1);
+  EXPECT_EQ(schedule.jobs_in_interval(0, 0), (std::vector<JobId>{0, 1}));
+  EXPECT_EQ(schedule.jobs_in_interval(1, 0), (std::vector<JobId>{2}));
+  EXPECT_TRUE(schedule.jobs_in_interval(0, 5).empty());
+}
+
+TEST(Schedule, PlaceUnplaceRoundTrip) {
+  Schedule schedule(Calendar(2, 1), 1);
+  EXPECT_FALSE(schedule.is_placed(0));
+  schedule.place(0, 0, 4);
+  EXPECT_TRUE(schedule.is_placed(0));
+  EXPECT_EQ(schedule.placed_count(), 1);
+  schedule.unplace(0);
+  EXPECT_FALSE(schedule.is_placed(0));
+  EXPECT_EQ(schedule.placed_count(), 0);
+}
+
+TEST(Schedule, RenderShowsJobsAndCalibration) {
+  const Instance instance = two_job_instance();
+  const Schedule schedule = valid_schedule(instance);
+  const std::string art = schedule.render(instance);
+  EXPECT_NE(art.find("machine0"), std::string::npos);
+  EXPECT_NE(art.find('a'), std::string::npos);
+  EXPECT_NE(art.find('b'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace calib

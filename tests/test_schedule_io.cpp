@@ -1,0 +1,80 @@
+// Schedule serialization round trips and error handling.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/schedule_io.hpp"
+#include "offline/dp.hpp"
+#include "online/alg2_weighted.hpp"
+#include "online/driver.hpp"
+#include "util/prng.hpp"
+#include "workload/generators.hpp"
+
+namespace calib {
+namespace {
+
+TEST(ScheduleIo, RoundTripsOnlineSchedule) {
+  const Instance instance = regression_instance();
+  Alg2Weighted policy;
+  const Schedule original = run_online(instance, 7, policy);
+  std::stringstream buffer;
+  save_schedule_csv(original, buffer);
+  const Schedule loaded = load_schedule_csv(buffer);
+  EXPECT_EQ(loaded, original);
+  EXPECT_EQ(loaded.validate(instance), std::nullopt);
+  EXPECT_EQ(loaded.online_cost(instance, 7),
+            original.online_cost(instance, 7));
+}
+
+TEST(ScheduleIo, RoundTripsMultiMachineAndDpWitness) {
+  // DP witness.
+  const Instance instance = regression_instance();
+  OfflineDp dp(instance);
+  const auto witness = dp.solve(3);
+  ASSERT_TRUE(witness.has_value());
+  std::stringstream buffer;
+  save_schedule_csv(*witness, buffer);
+  EXPECT_EQ(load_schedule_csv(buffer), *witness);
+
+  // Multi-machine schedule.
+  Prng prng(2501);
+  const Instance multi = sparse_uniform_instance(
+      6, 10, 3, 2, WeightModel::kUnit, 1, prng);
+  Calendar calendar(3, 2);
+  calendar.add(0, 0);
+  calendar.add(1, 4);
+  calendar.add(0, 8);
+  Schedule schedule(calendar, multi.size());
+  // Any placement set round-trips, valid or not; use a trivial one.
+  for (JobId j = 0; j < multi.size(); ++j) {
+    schedule.place(j, j % 2, 100 + j);
+  }
+  std::stringstream multi_buffer;
+  save_schedule_csv(schedule, multi_buffer);
+  EXPECT_EQ(load_schedule_csv(multi_buffer), schedule);
+}
+
+TEST(ScheduleIo, RejectsBadHeader) {
+  std::istringstream is("bogus\n");
+  EXPECT_THROW(load_schedule_csv(is), std::runtime_error);
+}
+
+TEST(ScheduleIo, RejectsMalformedRows) {
+  std::istringstream missing_field("# T=3 P=1 N=1\ncalibration,0\n");
+  EXPECT_THROW(load_schedule_csv(missing_field), std::runtime_error);
+  std::istringstream bad_kind("# T=3 P=1 N=1\nfrobnicate,1,2,3\n");
+  EXPECT_THROW(load_schedule_csv(bad_kind), std::runtime_error);
+  std::istringstream bad_job("# T=3 P=1 N=1\nplacement,7,0,0\n");
+  EXPECT_THROW(load_schedule_csv(bad_job), std::runtime_error);
+}
+
+TEST(ScheduleIo, EmptyScheduleRoundTrips) {
+  const Schedule empty(Calendar(4, 2), 0);
+  std::stringstream buffer;
+  save_schedule_csv(empty, buffer);
+  const Schedule loaded = load_schedule_csv(buffer);
+  EXPECT_EQ(loaded, empty);
+}
+
+}  // namespace
+}  // namespace calib

@@ -1,0 +1,228 @@
+// The from-scratch simplex solver: textbook cases, degeneracy,
+// infeasibility/unboundedness detection, and randomized verification
+// against feasibility of the reported optimum.
+#include <gtest/gtest.h>
+
+#include "lp/simplex.hpp"
+#include "util/prng.hpp"
+
+namespace calib {
+namespace {
+
+TEST(Simplex, SolvesTextbookMaximization) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  (as min of -obj).
+  LpProblem problem;
+  const int x = problem.add_variable(-3.0);
+  const int y = problem.add_variable(-5.0);
+  problem.add_row({{{x, 1.0}}, Relation::kLe, 4.0});
+  problem.add_row({{{y, 2.0}}, Relation::kLe, 12.0});
+  problem.add_row({{{x, 3.0}, {y, 2.0}}, Relation::kLe, 18.0});
+  const LpSolution solution = solve_lp(problem);
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  EXPECT_NEAR(solution.value, -36.0, 1e-7);
+  EXPECT_NEAR(solution.x[static_cast<std::size_t>(x)], 2.0, 1e-7);
+  EXPECT_NEAR(solution.x[static_cast<std::size_t>(y)], 6.0, 1e-7);
+}
+
+TEST(Simplex, HandlesGeAndEqRows) {
+  // min x + y s.t. x + y >= 2, x = 0.5.
+  LpProblem problem;
+  const int x = problem.add_variable(1.0);
+  const int y = problem.add_variable(1.0);
+  problem.add_row({{{x, 1.0}, {y, 1.0}}, Relation::kGe, 2.0});
+  problem.add_row({{{x, 1.0}}, Relation::kEq, 0.5});
+  const LpSolution solution = solve_lp(problem);
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  EXPECT_NEAR(solution.value, 2.0, 1e-7);
+  EXPECT_NEAR(solution.x[static_cast<std::size_t>(y)], 1.5, 1e-7);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  LpProblem problem;
+  const int x = problem.add_variable(1.0);
+  problem.add_row({{{x, 1.0}}, Relation::kGe, 3.0});
+  problem.add_row({{{x, 1.0}}, Relation::kLe, 1.0});
+  EXPECT_EQ(solve_lp(problem).status, LpStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  LpProblem problem;
+  const int x = problem.add_variable(-1.0);  // min -x, x free upward
+  problem.add_row({{{x, 1.0}}, Relation::kGe, 0.0});
+  EXPECT_EQ(solve_lp(problem).status, LpStatus::kUnbounded);
+}
+
+TEST(Simplex, NegativeRhsNormalization) {
+  // min x s.t. -x <= -3  (i.e. x >= 3).
+  LpProblem problem;
+  const int x = problem.add_variable(1.0);
+  problem.add_row({{{x, -1.0}}, Relation::kLe, -3.0});
+  const LpSolution solution = solve_lp(problem);
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  EXPECT_NEAR(solution.value, 3.0, 1e-7);
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // Klee-Minty-style degeneracy: many redundant constraints through the
+  // same vertex. Bland's rule must terminate.
+  LpProblem problem;
+  const int x = problem.add_variable(-1.0);
+  const int y = problem.add_variable(-1.0);
+  for (int i = 0; i < 8; ++i) {
+    problem.add_row({{{x, 1.0 + 0.1 * i}, {y, 1.0}}, Relation::kLe, 1.0});
+  }
+  problem.add_row({{{x, 1.0}}, Relation::kLe, 1.0});
+  const LpSolution solution = solve_lp(problem);
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  EXPECT_LE(solution.value, -1.0 + 1e-7);
+}
+
+TEST(Simplex, EmptyProblemIsZero) {
+  LpProblem problem;
+  problem.add_variable(2.0);
+  const LpSolution solution = solve_lp(problem);
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  EXPECT_EQ(solution.value, 0.0);
+}
+
+TEST(Simplex, EmptyProblemNegativeCostUnbounded) {
+  LpProblem problem;
+  problem.add_variable(-1.0);
+  EXPECT_EQ(solve_lp(problem).status, LpStatus::kUnbounded);
+}
+
+TEST(Simplex, RedundantEqualityRowsAreTolerated) {
+  LpProblem problem;
+  const int x = problem.add_variable(1.0);
+  problem.add_row({{{x, 1.0}}, Relation::kEq, 2.0});
+  problem.add_row({{{x, 2.0}}, Relation::kEq, 4.0});  // same constraint
+  const LpSolution solution = solve_lp(problem);
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  EXPECT_NEAR(solution.value, 2.0, 1e-7);
+}
+
+// Strong duality, explicitly: for random covering LPs
+// (min c^T x, A x >= b, x >= 0), the hand-built dual
+// (max b^T y, A^T y <= c, y >= 0) must reach the same optimum.
+TEST(Simplex, StrongDualityOnRandomCoveringLps) {
+  Prng prng(1002);
+  for (int trial = 0; trial < 25; ++trial) {
+    const int nv = 3 + static_cast<int>(prng.uniform_int(0, 2));
+    const int nr = 3 + static_cast<int>(prng.uniform_int(0, 2));
+    std::vector<std::vector<double>> a(
+        static_cast<std::size_t>(nr),
+        std::vector<double>(static_cast<std::size_t>(nv)));
+    std::vector<double> b(static_cast<std::size_t>(nr));
+    std::vector<double> c(static_cast<std::size_t>(nv));
+    for (auto& row : a) {
+      for (auto& entry : row) {
+        entry = static_cast<double>(prng.uniform_int(1, 5));
+      }
+    }
+    for (auto& value : b) {
+      value = static_cast<double>(prng.uniform_int(1, 9));
+    }
+    for (auto& value : c) {
+      value = static_cast<double>(prng.uniform_int(1, 9));
+    }
+
+    LpProblem primal;
+    for (int v = 0; v < nv; ++v) {
+      primal.add_variable(c[static_cast<std::size_t>(v)]);
+    }
+    for (int r = 0; r < nr; ++r) {
+      LpRow row;
+      row.relation = Relation::kGe;
+      row.rhs = b[static_cast<std::size_t>(r)];
+      for (int v = 0; v < nv; ++v) {
+        row.coefficients.emplace_back(
+            v, a[static_cast<std::size_t>(r)][static_cast<std::size_t>(v)]);
+      }
+      primal.add_row(std::move(row));
+    }
+
+    LpProblem dual;  // min -b^T y s.t. A^T y <= c
+    for (int r = 0; r < nr; ++r) {
+      dual.add_variable(-b[static_cast<std::size_t>(r)]);
+    }
+    for (int v = 0; v < nv; ++v) {
+      LpRow row;
+      row.relation = Relation::kLe;
+      row.rhs = c[static_cast<std::size_t>(v)];
+      for (int r = 0; r < nr; ++r) {
+        row.coefficients.emplace_back(
+            r, a[static_cast<std::size_t>(r)][static_cast<std::size_t>(v)]);
+      }
+      dual.add_row(std::move(row));
+    }
+
+    const LpSolution primal_solution = solve_lp(primal);
+    const LpSolution dual_solution = solve_lp(dual);
+    ASSERT_EQ(primal_solution.status, LpStatus::kOptimal);
+    ASSERT_EQ(dual_solution.status, LpStatus::kOptimal);
+    EXPECT_NEAR(primal_solution.value, -dual_solution.value, 1e-6)
+        << "trial " << trial;
+  }
+}
+
+// Randomized property: the reported optimum is feasible and no random
+// feasible point beats it.
+TEST(Simplex, RandomizedOptimalitySpotCheck) {
+  Prng prng(1001);
+  for (int trial = 0; trial < 20; ++trial) {
+    LpProblem problem;
+    const int nv = 4;
+    for (int v = 0; v < nv; ++v) {
+      problem.add_variable(static_cast<double>(prng.uniform_int(1, 5)));
+    }
+    // Covering rows keep the problem feasible and bounded.
+    for (int r = 0; r < 5; ++r) {
+      LpRow row;
+      row.relation = Relation::kGe;
+      row.rhs = static_cast<double>(prng.uniform_int(1, 6));
+      for (int v = 0; v < nv; ++v) {
+        row.coefficients.emplace_back(
+            v, static_cast<double>(prng.uniform_int(1, 4)));
+      }
+      problem.add_row(std::move(row));
+    }
+    const LpSolution solution = solve_lp(problem);
+    ASSERT_EQ(solution.status, LpStatus::kOptimal);
+    // Feasibility of the reported point.
+    for (const LpRow& row : problem.rows) {
+      double lhs = 0.0;
+      for (const auto& [var, coef] : row.coefficients) {
+        lhs += coef * solution.x[static_cast<std::size_t>(var)];
+      }
+      EXPECT_GE(lhs, row.rhs - 1e-6);
+    }
+    // No cheaper random feasible point (coarse dominance check).
+    for (int probe = 0; probe < 50; ++probe) {
+      std::vector<double> x(nv);
+      for (auto& value : x) {
+        value = prng.uniform01() * 6.0;
+      }
+      bool feasible = true;
+      for (const LpRow& row : problem.rows) {
+        double lhs = 0.0;
+        for (const auto& [var, coef] : row.coefficients) {
+          lhs += coef * x[static_cast<std::size_t>(var)];
+        }
+        if (lhs < row.rhs) {
+          feasible = false;
+          break;
+        }
+      }
+      if (!feasible) continue;
+      double value = 0.0;
+      for (int v = 0; v < nv; ++v) {
+        value += problem.objective[static_cast<std::size_t>(v)] *
+                 x[static_cast<std::size_t>(v)];
+      }
+      EXPECT_GE(value, solution.value - 1e-6);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace calib

@@ -1,0 +1,105 @@
+// SVG renderer and the Args flag parser (the tools/ substrate).
+#include <gtest/gtest.h>
+
+#include "core/svg.hpp"
+#include "util/args.hpp"
+
+namespace calib {
+namespace {
+
+Instance svg_instance() {
+  return Instance({Job{0, 1}, Job{2, 5}}, 3, 2);
+}
+
+Schedule svg_schedule(const Instance& instance) {
+  Calendar calendar(instance.T(), instance.machines());
+  calendar.add(0, 0);
+  calendar.add(1, 2);
+  Schedule schedule(calendar, instance.size());
+  schedule.place(0, 0, 0);
+  schedule.place(1, 1, 2);
+  return schedule;
+}
+
+TEST(Svg, EmitsWellFormedDocument) {
+  const Instance instance = svg_instance();
+  const std::string svg = render_svg(instance, svg_schedule(instance));
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // One calibration band per machine, one block per job.
+  EXPECT_NE(svg.find("m0"), std::string::npos);
+  EXPECT_NE(svg.find("m1"), std::string::npos);
+  EXPECT_NE(svg.find("job 0"), std::string::npos);
+  EXPECT_NE(svg.find("job 1"), std::string::npos);
+}
+
+TEST(Svg, TitleIsEscaped) {
+  const Instance instance = svg_instance();
+  SvgOptions options;
+  options.title = "a < b & c";
+  const std::string svg =
+      render_svg(instance, svg_schedule(instance), options);
+  EXPECT_NE(svg.find("a &lt; b &amp; c"), std::string::npos);
+  EXPECT_EQ(svg.find("a < b"), std::string::npos);
+}
+
+TEST(Svg, HeavierJobsAreMoreOpaque) {
+  const Instance instance = svg_instance();
+  const std::string svg = render_svg(instance, svg_schedule(instance));
+  // w=5 job gets opacity 1.0, w=1 job less.
+  EXPECT_NE(svg.find("fill-opacity=\"1\""), std::string::npos);
+  EXPECT_NE(svg.find("fill-opacity=\"0.56\""), std::string::npos);
+}
+
+TEST(Svg, RejectsInvalidSchedule) {
+  const Instance instance = svg_instance();
+  Schedule broken(Calendar(instance.T(), instance.machines()),
+                  instance.size());
+  EXPECT_DEATH(render_svg(instance, broken), "validate");
+}
+
+TEST(Args, ParsesEqualsAndSpaceForms) {
+  const char* argv[] = {"prog", "--alpha=3", "--beta", "7", "pos1"};
+  const Args args(5, argv, {"alpha", "beta"});
+  EXPECT_EQ(args.get_int("alpha", 0), 3);
+  EXPECT_EQ(args.get_int("beta", 0), 7);
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "pos1");
+}
+
+TEST(Args, BareFlagIsTrue) {
+  const char* argv[] = {"prog", "--verbose"};
+  const Args args(2, argv, {"verbose"});
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_EQ(args.get("verbose", ""), "true");
+}
+
+TEST(Args, UnknownFlagThrows) {
+  const char* argv[] = {"prog", "--typo=1"};
+  EXPECT_THROW(Args(2, argv, {"alpha"}), std::runtime_error);
+}
+
+TEST(Args, MalformedNumberThrows) {
+  const char* argv[] = {"prog", "--alpha=xyz"};
+  const Args args(2, argv, {"alpha"});
+  EXPECT_THROW(static_cast<void>(args.get_int("alpha", 0)),
+               std::runtime_error);
+}
+
+TEST(Args, FallbacksApply) {
+  const char* argv[] = {"prog"};
+  const Args args(1, argv, {"alpha"});
+  EXPECT_EQ(args.get_int("alpha", 42), 42);
+  EXPECT_DOUBLE_EQ(args.get_double("alpha", 1.5), 1.5);
+  EXPECT_EQ(args.get("alpha", "dflt"), "dflt");
+  EXPECT_FALSE(args.has("alpha"));
+}
+
+TEST(Args, DoubleParsing) {
+  const char* argv[] = {"prog", "--rate=0.35"};
+  const Args args(2, argv, {"rate"});
+  EXPECT_DOUBLE_EQ(args.get_double("rate", 0.0), 0.35);
+}
+
+}  // namespace
+}  // namespace calib

@@ -1,0 +1,152 @@
+// Lemma 3.4: the release-order transformation never delays a job, never
+// increases flow, at most doubles the calibrations, and yields a valid,
+// release-ordered schedule.
+#include <gtest/gtest.h>
+
+#include "core/list_scheduler.hpp"
+#include "core/transform.hpp"
+#include "offline/brute_force.hpp"
+#include "util/prng.hpp"
+#include "workload/generators.hpp"
+
+namespace calib {
+namespace {
+
+/// A random valid single-machine schedule: random calendar, jobs placed
+/// heaviest-first by the greedy — then shuffled within intervals by
+/// re-placing some pairs to break release order on purpose.
+std::optional<Schedule> random_schedule(const Instance& instance,
+                                        Prng& prng) {
+  std::vector<Time> starts;
+  const int calibrations =
+      static_cast<int>(prng.uniform_int(1, instance.size()));
+  for (int c = 0; c < calibrations; ++c) {
+    starts.push_back(prng.uniform_int(instance.min_release() + 1 -
+                                          instance.T(),
+                                      instance.max_release()));
+  }
+  ListResult result = list_schedule(instance, starts);
+  if (!result.feasible()) return std::nullopt;
+  return std::move(result.schedule);
+}
+
+TEST(Transform, IdentityOnAlreadyOrderedSchedule) {
+  const Instance instance({Job{0, 1}, Job{1, 1}}, 3);
+  Calendar calendar(3, 1);
+  calendar.add(0, 0);
+  Schedule schedule(calendar, 2);
+  schedule.place(0, 0, 0);
+  schedule.place(1, 0, 1);
+  const Schedule transformed = to_release_order(instance, schedule);
+  EXPECT_EQ(transformed.placement(0).start, 0);
+  EXPECT_EQ(transformed.placement(1).start, 1);
+  EXPECT_EQ(transformed.calendar().count(), 1);
+}
+
+TEST(Transform, ReordersOutOfOrderPair) {
+  // Heaviest-first puts the late-released heavy job before the early
+  // light one; the transformation must swap them back into release
+  // order without delaying either past its original slot.
+  const Instance instance({Job{0, 1}, Job{2, 9}}, 4);
+  Calendar calendar(4, 1);
+  calendar.add(0, 2);
+  Schedule schedule(calendar, 2);
+  schedule.place(1, 0, 2);  // heavy job first
+  schedule.place(0, 0, 3);  // light early job waits
+  ASSERT_EQ(schedule.validate(instance), std::nullopt);
+
+  const Schedule transformed = to_release_order(instance, schedule);
+  ASSERT_EQ(transformed.validate(instance), std::nullopt);
+  EXPECT_TRUE(is_release_ordered(instance, transformed));
+  // The lemma moves the early job to the step immediately before the
+  // later-released one (adding a calibration for it), never delaying
+  // either job.
+  EXPECT_EQ(transformed.placement(0).start, 1);
+  EXPECT_EQ(transformed.placement(1).start, 2);
+  EXPECT_LE(transformed.calendar().count(), 2 * schedule.calendar().count());
+}
+
+TEST(Transform, IsReleaseOrderedDetector) {
+  const Instance instance({Job{0, 1}, Job{2, 9}}, 4);
+  Calendar calendar(4, 1);
+  calendar.add(0, 2);
+  Schedule ordered(calendar, 2);
+  ordered.place(0, 0, 2);
+  ordered.place(1, 0, 3);
+  EXPECT_TRUE(is_release_ordered(instance, ordered));
+  Schedule unordered(calendar, 2);
+  unordered.place(1, 0, 2);
+  unordered.place(0, 0, 3);
+  EXPECT_FALSE(is_release_ordered(instance, unordered));
+}
+
+struct TransformParams {
+  int jobs;
+  Time span;
+  Time T;
+  WeightModel weights;
+  int trials;
+  std::uint64_t seed;
+};
+
+class TransformSweep : public ::testing::TestWithParam<TransformParams> {};
+
+TEST_P(TransformSweep, Lemma34PropertiesHold) {
+  const auto& p = GetParam();
+  Prng prng(p.seed);
+  int checked = 0;
+  for (int trial = 0; trial < p.trials; ++trial) {
+    const Instance instance = sparse_uniform_instance(
+        p.jobs, p.span, p.T, 1, p.weights, 6, prng);
+    const auto schedule = random_schedule(instance, prng);
+    if (!schedule.has_value()) continue;
+    ++checked;
+    const Schedule transformed = to_release_order(instance, *schedule);
+    ASSERT_EQ(transformed.validate(instance), std::nullopt)
+        << instance.to_string();
+    EXPECT_TRUE(is_release_ordered(instance, transformed));
+    // No job is delayed.
+    for (JobId j = 0; j < instance.size(); ++j) {
+      EXPECT_LE(transformed.placement(j).start,
+                schedule->placement(j).start);
+    }
+    // Flow never increases; calibrations at most double.
+    EXPECT_LE(transformed.weighted_flow(instance),
+              schedule->weighted_flow(instance));
+    EXPECT_LE(transformed.calendar().count(),
+              2 * schedule->calendar().count())
+        << instance.to_string();
+  }
+  EXPECT_GT(checked, p.trials / 4);  // the sweep actually exercised cases
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TransformSweep,
+    ::testing::Values(
+        TransformParams{4, 9, 2, WeightModel::kUniform, 40, 301},
+        TransformParams{5, 11, 3, WeightModel::kUniform, 40, 302},
+        TransformParams{6, 13, 3, WeightModel::kZipf, 40, 303},
+        TransformParams{7, 15, 4, WeightModel::kBimodal, 40, 304},
+        TransformParams{8, 18, 2, WeightModel::kUniform, 30, 305},
+        TransformParams{10, 24, 5, WeightModel::kUniform, 30, 306}));
+
+// Corollary of Lemma 3.4 as used by Theorem 3.8: the best release-order
+// schedule costs at most twice OPT. Verified against brute force by
+// transforming the true optimum.
+TEST(Transform, ReleaseOrderOptimumWithinTwiceOpt) {
+  Prng prng(99);
+  for (int trial = 0; trial < 15; ++trial) {
+    const Instance instance = sparse_uniform_instance(
+        5, 10, 3, 1, WeightModel::kUniform, 5, prng);
+    const Cost G = prng.uniform_int(2, 20);
+    const OfflineSolution opt = brute_force_online_objective(instance, G);
+    ASSERT_TRUE(opt.feasible());
+    const Schedule ordered = to_release_order(instance, *opt.schedule);
+    const Cost opt_cost = opt.schedule->online_cost(instance, G);
+    EXPECT_LE(ordered.online_cost(instance, G), 2 * opt_cost)
+        << instance.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace calib

@@ -1,0 +1,224 @@
+// Unit tests for the utility substrate: PRNG determinism and
+// distributional sanity, summary statistics, fits, thread pool, table
+// and CSV round trips.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/prng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace calib {
+namespace {
+
+TEST(Prng, DeterministicForSeed) {
+  Prng a(42);
+  Prng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Prng, DifferentSeedsDiffer) {
+  Prng a(1);
+  Prng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Prng, ZeroSeedIsWellMixed) {
+  Prng prng(0);
+  // splitmix64 seeding must not leave the state degenerate.
+  EXPECT_NE(prng(), 0u);
+  EXPECT_NE(prng(), prng());
+}
+
+TEST(Prng, UniformIntRespectsBounds) {
+  Prng prng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t x = prng.uniform_int(-3, 5);
+    EXPECT_GE(x, -3);
+    EXPECT_LE(x, 5);
+  }
+}
+
+TEST(Prng, UniformIntSingleton) {
+  Prng prng(7);
+  EXPECT_EQ(prng.uniform_int(9, 9), 9);
+}
+
+TEST(Prng, UniformIntCoversRange) {
+  Prng prng(11);
+  std::array<int, 4> histogram{};
+  for (int i = 0; i < 4000; ++i) {
+    histogram[static_cast<std::size_t>(prng.uniform_int(0, 3))]++;
+  }
+  for (const int count : histogram) EXPECT_GT(count, 800);
+}
+
+TEST(Prng, Uniform01InHalfOpenRange) {
+  Prng prng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = prng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Prng, PoissonMeanApproximatesLambda) {
+  Prng prng(5);
+  for (const double lambda : {0.5, 3.0, 50.0}) {
+    double sum = 0.0;
+    const int trials = 20000;
+    for (int i = 0; i < trials; ++i) {
+      sum += static_cast<double>(prng.poisson(lambda));
+    }
+    const double mean = sum / trials;
+    EXPECT_NEAR(mean, lambda, 0.15 * lambda + 0.05) << "lambda=" << lambda;
+  }
+}
+
+TEST(Prng, PoissonZeroLambda) {
+  Prng prng(5);
+  EXPECT_EQ(prng.poisson(0.0), 0);
+}
+
+TEST(Prng, ZipfFavorsSmallValues) {
+  Prng prng(9);
+  int ones = 0;
+  int top = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const std::int64_t x = prng.zipf(10, 1.1);
+    EXPECT_GE(x, 1);
+    EXPECT_LE(x, 10);
+    if (x == 1) ++ones;
+    if (x == 10) ++top;
+  }
+  EXPECT_GT(ones, top * 3);
+}
+
+TEST(Prng, SplitStreamsAreIndependentlySeeded) {
+  Prng parent(13);
+  Prng child_a = parent.split(1);
+  Prng child_b = parent.split(2);
+  EXPECT_NE(child_a(), child_b());
+}
+
+TEST(Summary, BasicMoments) {
+  Summary s;
+  s.add_all({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(5.0 / 3.0), 1e-12);
+  EXPECT_EQ(s.count(), 4u);
+}
+
+TEST(Summary, PercentileInterpolates) {
+  Summary s;
+  s.add_all({0.0, 10.0});
+  EXPECT_DOUBLE_EQ(s.percentile(0), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 5.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 10.0);
+}
+
+TEST(Summary, PercentileSingleSample) {
+  Summary s;
+  s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.median(), 7.0);
+}
+
+TEST(Stats, FitLineRecoversExactLine) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  const std::vector<double> y{3, 5, 7, 9, 11};  // y = 1 + 2x
+  const LinearFit fit = fit_line(x, y);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-9);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-9);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-9);
+}
+
+TEST(Stats, FitPowerRecoversExponent) {
+  std::vector<double> x;
+  std::vector<double> y;
+  for (double v = 2.0; v <= 64.0; v *= 2.0) {
+    x.push_back(v);
+    y.push_back(0.5 * v * v * v);  // y = 0.5 x^3
+  }
+  const PowerFit fit = fit_power(x, y);
+  EXPECT_NEAR(fit.exponent, 3.0, 1e-9);
+  EXPECT_NEAR(fit.coeff, 0.5, 1e-9);
+}
+
+TEST(ThreadPool, ParallelForVisitsAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> visits(257);
+  pool.parallel_for(visits.size(), [&](std::size_t i) { visits[i]++; });
+  for (const auto& count : visits) EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroIsNoop) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, SubmitReturnsValue) {
+  ThreadPool pool(2);
+  auto future = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPool, ExceptionPropagates) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(8,
+                        [](std::size_t i) {
+                          if (i == 3) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table table({"name", "value"});
+  table.row().add("alpha").add(static_cast<std::int64_t>(10));
+  table.row().add("b").add(3.14159, 2);
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("3.14"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(Csv, RoundTripsQuotedFields) {
+  std::ostringstream os;
+  CsvWriter writer(os);
+  writer.write_row({"plain", "with,comma", "with\"quote", "multi\nline"});
+  std::istringstream is(os.str());
+  const auto rows = read_csv(is);
+  ASSERT_EQ(rows.size(), 1u);
+  ASSERT_EQ(rows[0].size(), 4u);
+  EXPECT_EQ(rows[0][0], "plain");
+  EXPECT_EQ(rows[0][1], "with,comma");
+  EXPECT_EQ(rows[0][2], "with\"quote");
+  EXPECT_EQ(rows[0][3], "multi\nline");
+}
+
+TEST(Csv, RejectsUnterminatedQuote) {
+  std::istringstream is("\"oops");
+  EXPECT_THROW(read_csv(is), std::runtime_error);
+}
+
+TEST(Timer, MeasuresNonNegativeDurations) {
+  Timer timer;
+  EXPECT_GE(timer.seconds(), 0.0);
+  timer.reset();
+  EXPECT_GE(timer.millis(), 0.0);
+}
+
+}  // namespace
+}  // namespace calib

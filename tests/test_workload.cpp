@@ -1,0 +1,126 @@
+// Workload generators: determinism, normalization, distribution shape.
+#include <gtest/gtest.h>
+
+#include "workload/generators.hpp"
+
+namespace calib {
+namespace {
+
+TEST(Workload, PoissonDeterministicPerSeed) {
+  PoissonConfig config;
+  Prng a(5);
+  Prng b(5);
+  EXPECT_EQ(poisson_instance(config, 3, 1, a),
+            poisson_instance(config, 3, 1, b));
+}
+
+TEST(Workload, PoissonRespectsNormalization) {
+  PoissonConfig config;
+  config.rate = 2.5;  // frequent collisions before normalization
+  config.steps = 50;
+  Prng prng(6);
+  const Instance instance = poisson_instance(config, 4, 2, prng);
+  EXPECT_TRUE(instance.releases_normalized());
+  EXPECT_EQ(instance.machines(), 2);
+}
+
+TEST(Workload, PoissonArrivalCountTracksRate) {
+  PoissonConfig config;
+  config.rate = 0.4;
+  config.steps = 1000;
+  Prng prng(7);
+  const Instance instance = poisson_instance(config, 3, 1, prng);
+  EXPECT_GT(instance.size(), 300);
+  EXPECT_LT(instance.size(), 520);
+}
+
+TEST(Workload, PoissonNeverEmpty) {
+  PoissonConfig config;
+  config.rate = 0.0;
+  config.steps = 5;
+  Prng prng(8);
+  EXPECT_GE(poisson_instance(config, 2, 1, prng).size(), 1);
+}
+
+TEST(Workload, BurstyProducesClusters) {
+  BurstyConfig config;
+  config.burst_probability = 0.1;
+  config.burst_length = 6;
+  config.steps = 400;
+  Prng prng(9);
+  const Instance instance = bursty_instance(config, 3, 1, prng);
+  ASSERT_GT(instance.size(), 10);
+  // Clustering: mean gap within the smallest quartile of gaps is 1
+  // (consecutive arrivals) while the max gap is much larger.
+  Time max_gap = 0;
+  int unit_gaps = 0;
+  for (JobId j = 1; j < instance.size(); ++j) {
+    const Time gap = instance.job(j).release - instance.job(j - 1).release;
+    max_gap = std::max(max_gap, gap);
+    if (gap <= 1) ++unit_gaps;
+  }
+  EXPECT_GT(unit_gaps, instance.size() / 3);
+  EXPECT_GT(max_gap, 5);
+}
+
+TEST(Workload, SparseUniformHasDistinctReleases) {
+  Prng prng(10);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Instance instance = sparse_uniform_instance(
+        8, 15, 3, 1, WeightModel::kUniform, 5, prng);
+    EXPECT_EQ(instance.size(), 8);
+    EXPECT_TRUE(instance.releases_normalized());
+    for (JobId j = 1; j < instance.size(); ++j) {
+      EXPECT_LT(instance.job(j - 1).release, instance.job(j).release);
+    }
+    for (JobId j = 0; j < instance.size(); ++j) {
+      EXPECT_GE(instance.job(j).release, 0);
+      EXPECT_LT(instance.job(j).release, 15);
+      EXPECT_GE(instance.job(j).weight, 1);
+      EXPECT_LE(instance.job(j).weight, 5);
+    }
+  }
+}
+
+TEST(Workload, TrickleMatchesLemma31Branch2) {
+  const Instance instance = trickle_instance(5, 1);
+  ASSERT_EQ(instance.size(), 5);
+  for (JobId j = 0; j < 5; ++j) {
+    EXPECT_EQ(instance.job(j).release, j);
+    EXPECT_EQ(instance.job(j).weight, 1);
+  }
+}
+
+TEST(Workload, WeightModelsRespectBounds) {
+  Prng prng(11);
+  for (const WeightModel model :
+       {WeightModel::kUnit, WeightModel::kUniform, WeightModel::kZipf,
+        WeightModel::kBimodal}) {
+    for (int i = 0; i < 200; ++i) {
+      const Weight w = sample_weight(model, 7, prng);
+      EXPECT_GE(w, 1);
+      EXPECT_LE(w, 7);
+    }
+  }
+}
+
+TEST(Workload, BimodalIsMostlyLight) {
+  Prng prng(12);
+  int heavy = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (sample_weight(WeightModel::kBimodal, 50, prng) == 50) ++heavy;
+  }
+  EXPECT_GT(heavy, 100);
+  EXPECT_LT(heavy, 350);
+}
+
+TEST(Workload, RegressionInstanceIsStable) {
+  const Instance instance = regression_instance();
+  EXPECT_EQ(instance.size(), 6);
+  EXPECT_EQ(instance.T(), 4);
+  EXPECT_TRUE(instance.releases_normalized());
+  EXPECT_EQ(instance.job(2).weight, 5);
+}
+
+}  // namespace
+}  // namespace calib

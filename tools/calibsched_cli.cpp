@@ -1,0 +1,214 @@
+// calibsched — command-line front end for the library.
+//
+// Subcommands:
+//   generate  --kind poisson|bursty|sparse --jobs N --steps N --rate R
+//             --T N --machines P --weights unit|uniform|zipf|bimodal
+//             --seed S [--out file]           -> instance CSV
+//   solve     --in file --G N [--policy alg1|alg2|alg3|eager|ski|
+//             periodic|random] [--offline] [--svg file]
+//             -> cost report (and optional SVG of the schedule)
+//   frontier  --in file [--kmax N]            -> the F(k) curve
+//   lowerbound --in file --G N                -> Figure 1 LP bound
+//
+// Examples:
+//   calibsched_cli generate --kind poisson --steps 100 --rate 0.3
+//       --T 6 --seed 7 --out day.csv
+//   calibsched_cli solve --in day.csv --G 15 --policy alg2 --offline
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+
+#include "core/schedule_io.hpp"
+#include "core/svg.hpp"
+#include "lp/calib_lp.hpp"
+#include "offline/budget_search.hpp"
+#include "offline/dp.hpp"
+#include "online/alg1_unweighted.hpp"
+#include "online/alg2_weighted.hpp"
+#include "online/alg3_multi.hpp"
+#include "online/baselines.hpp"
+#include "online/driver.hpp"
+#include "online/randomized.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+using namespace calib;
+
+int usage() {
+  std::cerr <<
+      "usage: calibsched_cli <generate|solve|frontier|lowerbound> "
+      "[flags]\n"
+      "  generate   --kind poisson|bursty|sparse --T N [--jobs N]\n"
+      "             [--steps N] [--rate R] [--machines P] [--weights W]\n"
+      "             [--wmax N] [--seed S] [--out FILE]\n"
+      "  solve      --in FILE --G N [--policy P] [--offline] [--svg FILE]\n"
+      "             [--save-schedule FILE]\n"
+      "  frontier   --in FILE [--kmax N]\n"
+      "  lowerbound --in FILE --G N\n";
+  return 2;
+}
+
+WeightModel parse_weights(const std::string& name) {
+  if (name == "unit") return WeightModel::kUnit;
+  if (name == "uniform") return WeightModel::kUniform;
+  if (name == "zipf") return WeightModel::kZipf;
+  if (name == "bimodal") return WeightModel::kBimodal;
+  throw std::runtime_error("unknown weight model: " + name);
+}
+
+std::unique_ptr<OnlinePolicy> parse_policy(const std::string& name,
+                                           std::uint64_t seed) {
+  if (name == "alg1") return std::make_unique<Alg1Unweighted>();
+  if (name == "alg2") return std::make_unique<Alg2Weighted>();
+  if (name == "alg3") return std::make_unique<Alg3Multi>();
+  if (name == "eager") return std::make_unique<EagerPolicy>();
+  if (name == "ski") return std::make_unique<SkiRentalPolicy>();
+  if (name == "periodic") return std::make_unique<PeriodicPolicy>(5);
+  if (name == "random") return std::make_unique<RandomizedSkiRental>(seed);
+  throw std::runtime_error("unknown policy: " + name);
+}
+
+Instance load_instance(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return Instance::load_csv(in);
+}
+
+int cmd_generate(const Args& args) {
+  Prng prng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
+  const Time T = args.get_int("T", 6);
+  const int machines = static_cast<int>(args.get_int("machines", 1));
+  const WeightModel weights = parse_weights(args.get("weights", "unit"));
+  const Weight w_max = args.get_int("wmax", 9);
+  const std::string kind = args.get("kind", "poisson");
+
+  Instance instance({}, T, machines);
+  if (kind == "poisson") {
+    PoissonConfig config;
+    config.rate = args.get_double("rate", 0.3);
+    config.steps = args.get_int("steps", 100);
+    config.weights = weights;
+    config.w_max = w_max;
+    instance = poisson_instance(config, T, machines, prng);
+  } else if (kind == "bursty") {
+    BurstyConfig config;
+    config.steps = args.get_int("steps", 100);
+    config.weights = weights;
+    config.w_max = w_max;
+    instance = bursty_instance(config, T, machines, prng);
+  } else if (kind == "sparse") {
+    const auto jobs = static_cast<int>(args.get_int("jobs", 10));
+    instance = sparse_uniform_instance(
+        jobs, args.get_int("steps", 3 * jobs), T, machines, weights, w_max,
+        prng);
+  } else {
+    throw std::runtime_error("unknown kind: " + kind);
+  }
+
+  const std::string out = args.get("out", "");
+  if (out.empty()) {
+    instance.save_csv(std::cout);
+  } else {
+    std::ofstream file(out);
+    if (!file) throw std::runtime_error("cannot write " + out);
+    instance.save_csv(file);
+    std::cout << "wrote " << instance.size() << " jobs to " << out << '\n';
+  }
+  return 0;
+}
+
+int cmd_solve(const Args& args) {
+  const Instance instance = load_instance(args.get("in", ""));
+  const Cost G = args.get_int("G", 10);
+  const std::string policy_name = args.get("policy", "alg2");
+  auto policy = parse_policy(policy_name,
+                             static_cast<std::uint64_t>(
+                                 args.get_int("seed", 1)));
+  const Schedule schedule = run_online(instance, G, *policy);
+
+  Table table({"solver", "calibrations", "weighted flow", "objective"});
+  table.row()
+      .add(policy->name())
+      .add(static_cast<std::int64_t>(schedule.calendar().count()))
+      .add(schedule.weighted_flow(instance))
+      .add(schedule.online_cost(instance, G));
+  if (args.has("offline") && instance.machines() == 1) {
+    const BudgetSearchResult opt = offline_online_optimum(instance, G);
+    table.row()
+        .add("offline OPT")
+        .add(static_cast<std::int64_t>(opt.best_k))
+        .add(opt.flow_curve[static_cast<std::size_t>(opt.best_k)])
+        .add(opt.best_cost);
+  }
+  table.print(std::cout);
+
+  const std::string svg_path = args.get("svg", "");
+  if (!svg_path.empty()) {
+    std::ofstream svg(svg_path);
+    if (!svg) throw std::runtime_error("cannot write " + svg_path);
+    SvgOptions options;
+    options.title = policy_name + " on " + args.get("in", "") +
+                    " (G=" + std::to_string(G) + ")";
+    svg << render_svg(instance, schedule, options);
+    std::cout << "wrote " << svg_path << '\n';
+  }
+  const std::string schedule_path = args.get("save-schedule", "");
+  if (!schedule_path.empty()) {
+    std::ofstream out(schedule_path);
+    if (!out) throw std::runtime_error("cannot write " + schedule_path);
+    save_schedule_csv(schedule, out);
+    std::cout << "wrote " << schedule_path << '\n';
+  }
+  return 0;
+}
+
+int cmd_frontier(const Args& args) {
+  const Instance instance = load_instance(args.get("in", ""));
+  OfflineDp dp(instance.releases_normalized() ? instance
+                                              : instance.normalized());
+  const auto k_max = static_cast<int>(
+      args.get_int("kmax", dp.instance().size()));
+  const auto curve = dp.flow_curve(k_max);
+  Table table({"k", "optimal flow F(k)"});
+  for (int k = 0; k <= k_max; ++k) {
+    const Cost flow = curve[static_cast<std::size_t>(k)];
+    table.row().add(static_cast<std::int64_t>(k)).add(
+        flow == kInfeasible ? std::string("infeasible")
+                            : std::to_string(flow));
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_lowerbound(const Args& args) {
+  const Instance instance = load_instance(args.get("in", ""));
+  const Cost G = args.get_int("G", 10);
+  std::cout << "Figure 1 LP lower bound on G*#calibrations + flow: "
+            << lp_lower_bound(instance, G) << '\n';
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    const Args args(argc - 1, argv + 1,
+                    {"kind", "jobs", "steps", "rate", "T", "machines",
+                     "weights", "wmax", "seed", "out", "in", "G", "policy",
+                     "offline", "svg", "save-schedule", "kmax"});
+    if (command == "generate") return cmd_generate(args);
+    if (command == "solve") return cmd_solve(args);
+    if (command == "frontier") return cmd_frontier(args);
+    if (command == "lowerbound") return cmd_lowerbound(args);
+    return usage();
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << '\n';
+    return 1;
+  }
+}
