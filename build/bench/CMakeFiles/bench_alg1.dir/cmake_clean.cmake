@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_alg1.dir/bench_alg1.cpp.o"
+  "CMakeFiles/bench_alg1.dir/bench_alg1.cpp.o.d"
+  "bench_alg1"
+  "bench_alg1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_alg1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

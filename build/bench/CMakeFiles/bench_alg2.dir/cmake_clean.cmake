@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_alg2.dir/bench_alg2.cpp.o"
+  "CMakeFiles/bench_alg2.dir/bench_alg2.cpp.o.d"
+  "bench_alg2"
+  "bench_alg2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_alg2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_machine_min.dir/bench_machine_min.cpp.o"
+  "CMakeFiles/bench_machine_min.dir/bench_machine_min.cpp.o.d"
+  "bench_machine_min"
+  "bench_machine_min.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_machine_min.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nonunit.dir/bench_nonunit.cpp.o"
+  "CMakeFiles/bench_nonunit.dir/bench_nonunit.cpp.o.d"
+  "bench_nonunit"
+  "bench_nonunit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nonunit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camera_lab.dir/camera_lab.cpp.o"
+  "CMakeFiles/camera_lab.dir/camera_lab.cpp.o.d"
+  "camera_lab"
+  "camera_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camera_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

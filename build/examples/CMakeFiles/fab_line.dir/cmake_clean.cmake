@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fab_line.dir/fab_line.cpp.o"
+  "CMakeFiles/fab_line.dir/fab_line.cpp.o.d"
+  "fab_line"
+  "fab_line.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fab_line.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shift_report.dir/shift_report.cpp.o"
+  "CMakeFiles/shift_report.dir/shift_report.cpp.o.d"
+  "shift_report"
+  "shift_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shift_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

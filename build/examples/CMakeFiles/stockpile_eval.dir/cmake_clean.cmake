@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stockpile_eval.dir/stockpile_eval.cpp.o"
+  "CMakeFiles/stockpile_eval.dir/stockpile_eval.cpp.o.d"
+  "stockpile_eval"
+  "stockpile_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stockpile_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

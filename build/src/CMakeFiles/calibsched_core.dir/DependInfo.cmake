@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/calendar.cpp" "src/CMakeFiles/calibsched_core.dir/core/calendar.cpp.o" "gcc" "src/CMakeFiles/calibsched_core.dir/core/calendar.cpp.o.d"
+  "/root/repo/src/core/critical.cpp" "src/CMakeFiles/calibsched_core.dir/core/critical.cpp.o" "gcc" "src/CMakeFiles/calibsched_core.dir/core/critical.cpp.o.d"
+  "/root/repo/src/core/instance.cpp" "src/CMakeFiles/calibsched_core.dir/core/instance.cpp.o" "gcc" "src/CMakeFiles/calibsched_core.dir/core/instance.cpp.o.d"
+  "/root/repo/src/core/list_scheduler.cpp" "src/CMakeFiles/calibsched_core.dir/core/list_scheduler.cpp.o" "gcc" "src/CMakeFiles/calibsched_core.dir/core/list_scheduler.cpp.o.d"
+  "/root/repo/src/core/schedule.cpp" "src/CMakeFiles/calibsched_core.dir/core/schedule.cpp.o" "gcc" "src/CMakeFiles/calibsched_core.dir/core/schedule.cpp.o.d"
+  "/root/repo/src/core/schedule_io.cpp" "src/CMakeFiles/calibsched_core.dir/core/schedule_io.cpp.o" "gcc" "src/CMakeFiles/calibsched_core.dir/core/schedule_io.cpp.o.d"
+  "/root/repo/src/core/svg.cpp" "src/CMakeFiles/calibsched_core.dir/core/svg.cpp.o" "gcc" "src/CMakeFiles/calibsched_core.dir/core/svg.cpp.o.d"
+  "/root/repo/src/core/transform.cpp" "src/CMakeFiles/calibsched_core.dir/core/transform.cpp.o" "gcc" "src/CMakeFiles/calibsched_core.dir/core/transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/calibsched_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

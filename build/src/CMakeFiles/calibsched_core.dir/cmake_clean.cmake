@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibsched_core.dir/core/calendar.cpp.o"
+  "CMakeFiles/calibsched_core.dir/core/calendar.cpp.o.d"
+  "CMakeFiles/calibsched_core.dir/core/critical.cpp.o"
+  "CMakeFiles/calibsched_core.dir/core/critical.cpp.o.d"
+  "CMakeFiles/calibsched_core.dir/core/instance.cpp.o"
+  "CMakeFiles/calibsched_core.dir/core/instance.cpp.o.d"
+  "CMakeFiles/calibsched_core.dir/core/list_scheduler.cpp.o"
+  "CMakeFiles/calibsched_core.dir/core/list_scheduler.cpp.o.d"
+  "CMakeFiles/calibsched_core.dir/core/schedule.cpp.o"
+  "CMakeFiles/calibsched_core.dir/core/schedule.cpp.o.d"
+  "CMakeFiles/calibsched_core.dir/core/schedule_io.cpp.o"
+  "CMakeFiles/calibsched_core.dir/core/schedule_io.cpp.o.d"
+  "CMakeFiles/calibsched_core.dir/core/svg.cpp.o"
+  "CMakeFiles/calibsched_core.dir/core/svg.cpp.o.d"
+  "CMakeFiles/calibsched_core.dir/core/transform.cpp.o"
+  "CMakeFiles/calibsched_core.dir/core/transform.cpp.o.d"
+  "libcalibsched_core.a"
+  "libcalibsched_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibsched_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/deadline/deadline_instance.cpp" "src/CMakeFiles/calibsched_deadline.dir/deadline/deadline_instance.cpp.o" "gcc" "src/CMakeFiles/calibsched_deadline.dir/deadline/deadline_instance.cpp.o.d"
+  "/root/repo/src/deadline/edf.cpp" "src/CMakeFiles/calibsched_deadline.dir/deadline/edf.cpp.o" "gcc" "src/CMakeFiles/calibsched_deadline.dir/deadline/edf.cpp.o.d"
+  "/root/repo/src/deadline/min_calibrations.cpp" "src/CMakeFiles/calibsched_deadline.dir/deadline/min_calibrations.cpp.o" "gcc" "src/CMakeFiles/calibsched_deadline.dir/deadline/min_calibrations.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/calibsched_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/calibsched_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibsched_deadline.dir/deadline/deadline_instance.cpp.o"
+  "CMakeFiles/calibsched_deadline.dir/deadline/deadline_instance.cpp.o.d"
+  "CMakeFiles/calibsched_deadline.dir/deadline/edf.cpp.o"
+  "CMakeFiles/calibsched_deadline.dir/deadline/edf.cpp.o.d"
+  "CMakeFiles/calibsched_deadline.dir/deadline/min_calibrations.cpp.o"
+  "CMakeFiles/calibsched_deadline.dir/deadline/min_calibrations.cpp.o.d"
+  "libcalibsched_deadline.a"
+  "libcalibsched_deadline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibsched_deadline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibsched_lp.dir/lp/calib_lp.cpp.o"
+  "CMakeFiles/calibsched_lp.dir/lp/calib_lp.cpp.o.d"
+  "CMakeFiles/calibsched_lp.dir/lp/dual_check.cpp.o"
+  "CMakeFiles/calibsched_lp.dir/lp/dual_check.cpp.o.d"
+  "CMakeFiles/calibsched_lp.dir/lp/simplex.cpp.o"
+  "CMakeFiles/calibsched_lp.dir/lp/simplex.cpp.o.d"
+  "libcalibsched_lp.a"
+  "libcalibsched_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibsched_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibsched_machmin.dir/machmin/machine_min.cpp.o"
+  "CMakeFiles/calibsched_machmin.dir/machmin/machine_min.cpp.o.d"
+  "libcalibsched_machmin.a"
+  "libcalibsched_machmin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibsched_machmin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

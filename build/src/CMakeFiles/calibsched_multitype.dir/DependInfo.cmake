@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/multitype/multitype_sched.cpp" "src/CMakeFiles/calibsched_multitype.dir/multitype/multitype_sched.cpp.o" "gcc" "src/CMakeFiles/calibsched_multitype.dir/multitype/multitype_sched.cpp.o.d"
+  "/root/repo/src/multitype/typed_calendar.cpp" "src/CMakeFiles/calibsched_multitype.dir/multitype/typed_calendar.cpp.o" "gcc" "src/CMakeFiles/calibsched_multitype.dir/multitype/typed_calendar.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/calibsched_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/calibsched_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

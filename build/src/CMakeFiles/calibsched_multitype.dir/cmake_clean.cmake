@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibsched_multitype.dir/multitype/multitype_sched.cpp.o"
+  "CMakeFiles/calibsched_multitype.dir/multitype/multitype_sched.cpp.o.d"
+  "CMakeFiles/calibsched_multitype.dir/multitype/typed_calendar.cpp.o"
+  "CMakeFiles/calibsched_multitype.dir/multitype/typed_calendar.cpp.o.d"
+  "libcalibsched_multitype.a"
+  "libcalibsched_multitype.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibsched_multitype.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibsched_nonunit.dir/nonunit/nonunit.cpp.o"
+  "CMakeFiles/calibsched_nonunit.dir/nonunit/nonunit.cpp.o.d"
+  "libcalibsched_nonunit.a"
+  "libcalibsched_nonunit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibsched_nonunit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcalibsched_nonunit.a"
+)

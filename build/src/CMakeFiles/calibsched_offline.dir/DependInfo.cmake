@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/offline/brute_force.cpp" "src/CMakeFiles/calibsched_offline.dir/offline/brute_force.cpp.o" "gcc" "src/CMakeFiles/calibsched_offline.dir/offline/brute_force.cpp.o.d"
+  "/root/repo/src/offline/budget_search.cpp" "src/CMakeFiles/calibsched_offline.dir/offline/budget_search.cpp.o" "gcc" "src/CMakeFiles/calibsched_offline.dir/offline/budget_search.cpp.o.d"
+  "/root/repo/src/offline/dp.cpp" "src/CMakeFiles/calibsched_offline.dir/offline/dp.cpp.o" "gcc" "src/CMakeFiles/calibsched_offline.dir/offline/dp.cpp.o.d"
+  "/root/repo/src/offline/local_search.cpp" "src/CMakeFiles/calibsched_offline.dir/offline/local_search.cpp.o" "gcc" "src/CMakeFiles/calibsched_offline.dir/offline/local_search.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/calibsched_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/calibsched_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibsched_offline.dir/offline/brute_force.cpp.o"
+  "CMakeFiles/calibsched_offline.dir/offline/brute_force.cpp.o.d"
+  "CMakeFiles/calibsched_offline.dir/offline/budget_search.cpp.o"
+  "CMakeFiles/calibsched_offline.dir/offline/budget_search.cpp.o.d"
+  "CMakeFiles/calibsched_offline.dir/offline/dp.cpp.o"
+  "CMakeFiles/calibsched_offline.dir/offline/dp.cpp.o.d"
+  "CMakeFiles/calibsched_offline.dir/offline/local_search.cpp.o"
+  "CMakeFiles/calibsched_offline.dir/offline/local_search.cpp.o.d"
+  "libcalibsched_offline.a"
+  "libcalibsched_offline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibsched_offline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

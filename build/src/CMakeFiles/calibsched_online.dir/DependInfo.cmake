@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/online/adversary.cpp" "src/CMakeFiles/calibsched_online.dir/online/adversary.cpp.o" "gcc" "src/CMakeFiles/calibsched_online.dir/online/adversary.cpp.o.d"
+  "/root/repo/src/online/alg1_unweighted.cpp" "src/CMakeFiles/calibsched_online.dir/online/alg1_unweighted.cpp.o" "gcc" "src/CMakeFiles/calibsched_online.dir/online/alg1_unweighted.cpp.o.d"
+  "/root/repo/src/online/alg2_weighted.cpp" "src/CMakeFiles/calibsched_online.dir/online/alg2_weighted.cpp.o" "gcc" "src/CMakeFiles/calibsched_online.dir/online/alg2_weighted.cpp.o.d"
+  "/root/repo/src/online/alg3_multi.cpp" "src/CMakeFiles/calibsched_online.dir/online/alg3_multi.cpp.o" "gcc" "src/CMakeFiles/calibsched_online.dir/online/alg3_multi.cpp.o.d"
+  "/root/repo/src/online/alg4_weighted_multi.cpp" "src/CMakeFiles/calibsched_online.dir/online/alg4_weighted_multi.cpp.o" "gcc" "src/CMakeFiles/calibsched_online.dir/online/alg4_weighted_multi.cpp.o.d"
+  "/root/repo/src/online/baselines.cpp" "src/CMakeFiles/calibsched_online.dir/online/baselines.cpp.o" "gcc" "src/CMakeFiles/calibsched_online.dir/online/baselines.cpp.o.d"
+  "/root/repo/src/online/driver.cpp" "src/CMakeFiles/calibsched_online.dir/online/driver.cpp.o" "gcc" "src/CMakeFiles/calibsched_online.dir/online/driver.cpp.o.d"
+  "/root/repo/src/online/randomized.cpp" "src/CMakeFiles/calibsched_online.dir/online/randomized.cpp.o" "gcc" "src/CMakeFiles/calibsched_online.dir/online/randomized.cpp.o.d"
+  "/root/repo/src/online/sequences.cpp" "src/CMakeFiles/calibsched_online.dir/online/sequences.cpp.o" "gcc" "src/CMakeFiles/calibsched_online.dir/online/sequences.cpp.o.d"
+  "/root/repo/src/online/trace.cpp" "src/CMakeFiles/calibsched_online.dir/online/trace.cpp.o" "gcc" "src/CMakeFiles/calibsched_online.dir/online/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/calibsched_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/calibsched_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibsched_online.dir/online/adversary.cpp.o"
+  "CMakeFiles/calibsched_online.dir/online/adversary.cpp.o.d"
+  "CMakeFiles/calibsched_online.dir/online/alg1_unweighted.cpp.o"
+  "CMakeFiles/calibsched_online.dir/online/alg1_unweighted.cpp.o.d"
+  "CMakeFiles/calibsched_online.dir/online/alg2_weighted.cpp.o"
+  "CMakeFiles/calibsched_online.dir/online/alg2_weighted.cpp.o.d"
+  "CMakeFiles/calibsched_online.dir/online/alg3_multi.cpp.o"
+  "CMakeFiles/calibsched_online.dir/online/alg3_multi.cpp.o.d"
+  "CMakeFiles/calibsched_online.dir/online/alg4_weighted_multi.cpp.o"
+  "CMakeFiles/calibsched_online.dir/online/alg4_weighted_multi.cpp.o.d"
+  "CMakeFiles/calibsched_online.dir/online/baselines.cpp.o"
+  "CMakeFiles/calibsched_online.dir/online/baselines.cpp.o.d"
+  "CMakeFiles/calibsched_online.dir/online/driver.cpp.o"
+  "CMakeFiles/calibsched_online.dir/online/driver.cpp.o.d"
+  "CMakeFiles/calibsched_online.dir/online/randomized.cpp.o"
+  "CMakeFiles/calibsched_online.dir/online/randomized.cpp.o.d"
+  "CMakeFiles/calibsched_online.dir/online/sequences.cpp.o"
+  "CMakeFiles/calibsched_online.dir/online/sequences.cpp.o.d"
+  "CMakeFiles/calibsched_online.dir/online/trace.cpp.o"
+  "CMakeFiles/calibsched_online.dir/online/trace.cpp.o.d"
+  "libcalibsched_online.a"
+  "libcalibsched_online.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibsched_online.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

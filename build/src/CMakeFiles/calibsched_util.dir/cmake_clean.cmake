@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibsched_util.dir/util/args.cpp.o"
+  "CMakeFiles/calibsched_util.dir/util/args.cpp.o.d"
+  "CMakeFiles/calibsched_util.dir/util/csv.cpp.o"
+  "CMakeFiles/calibsched_util.dir/util/csv.cpp.o.d"
+  "CMakeFiles/calibsched_util.dir/util/prng.cpp.o"
+  "CMakeFiles/calibsched_util.dir/util/prng.cpp.o.d"
+  "CMakeFiles/calibsched_util.dir/util/stats.cpp.o"
+  "CMakeFiles/calibsched_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/calibsched_util.dir/util/table.cpp.o"
+  "CMakeFiles/calibsched_util.dir/util/table.cpp.o.d"
+  "CMakeFiles/calibsched_util.dir/util/thread_pool.cpp.o"
+  "CMakeFiles/calibsched_util.dir/util/thread_pool.cpp.o.d"
+  "libcalibsched_util.a"
+  "libcalibsched_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibsched_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibsched_workload.dir/workload/generators.cpp.o"
+  "CMakeFiles/calibsched_workload.dir/workload/generators.cpp.o.d"
+  "libcalibsched_workload.a"
+  "libcalibsched_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibsched_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

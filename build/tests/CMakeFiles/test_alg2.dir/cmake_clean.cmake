@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alg2.dir/test_alg2.cpp.o"
+  "CMakeFiles/test_alg2.dir/test_alg2.cpp.o.d"
+  "test_alg2"
+  "test_alg2.pdb"
+  "test_alg2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alg2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

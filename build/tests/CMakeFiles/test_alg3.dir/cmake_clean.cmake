@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alg3.dir/test_alg3.cpp.o"
+  "CMakeFiles/test_alg3.dir/test_alg3.cpp.o.d"
+  "test_alg3"
+  "test_alg3.pdb"
+  "test_alg3[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alg3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

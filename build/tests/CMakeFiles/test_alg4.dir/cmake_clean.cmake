@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alg4.dir/test_alg4.cpp.o"
+  "CMakeFiles/test_alg4.dir/test_alg4.cpp.o.d"
+  "test_alg4"
+  "test_alg4.pdb"
+  "test_alg4[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alg4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_brute_force.dir/test_brute_force.cpp.o"
+  "CMakeFiles/test_brute_force.dir/test_brute_force.cpp.o.d"
+  "test_brute_force"
+  "test_brute_force.pdb"
+  "test_brute_force[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_brute_force.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

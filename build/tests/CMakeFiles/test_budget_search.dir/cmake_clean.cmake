@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_budget_search.dir/test_budget_search.cpp.o"
+  "CMakeFiles/test_budget_search.dir/test_budget_search.cpp.o.d"
+  "test_budget_search"
+  "test_budget_search.pdb"
+  "test_budget_search[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_budget_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_calib_lp.dir/test_calib_lp.cpp.o"
+  "CMakeFiles/test_calib_lp.dir/test_calib_lp.cpp.o.d"
+  "test_calib_lp"
+  "test_calib_lp.pdb"
+  "test_calib_lp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_calib_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

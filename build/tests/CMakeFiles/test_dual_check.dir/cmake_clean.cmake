@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dual_check.dir/test_dual_check.cpp.o"
+  "CMakeFiles/test_dual_check.dir/test_dual_check.cpp.o.d"
+  "test_dual_check"
+  "test_dual_check.pdb"
+  "test_dual_check[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dual_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

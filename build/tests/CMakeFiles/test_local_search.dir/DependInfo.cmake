@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_local_search.cpp" "tests/CMakeFiles/test_local_search.dir/test_local_search.cpp.o" "gcc" "tests/CMakeFiles/test_local_search.dir/test_local_search.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/calibsched_online.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/calibsched_offline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/calibsched_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/calibsched_machmin.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/calibsched_nonunit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/calibsched_multitype.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/calibsched_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/calibsched_deadline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/calibsched_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/calibsched_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_machine_min.dir/test_machine_min.cpp.o"
+  "CMakeFiles/test_machine_min.dir/test_machine_min.cpp.o.d"
+  "test_machine_min"
+  "test_machine_min.pdb"
+  "test_machine_min[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_machine_min.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

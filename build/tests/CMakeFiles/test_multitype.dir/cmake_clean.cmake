@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multitype.dir/test_multitype.cpp.o"
+  "CMakeFiles/test_multitype.dir/test_multitype.cpp.o.d"
+  "test_multitype"
+  "test_multitype.pdb"
+  "test_multitype[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multitype.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

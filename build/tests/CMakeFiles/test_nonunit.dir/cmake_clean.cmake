@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nonunit.dir/test_nonunit.cpp.o"
+  "CMakeFiles/test_nonunit.dir/test_nonunit.cpp.o.d"
+  "test_nonunit"
+  "test_nonunit.pdb"
+  "test_nonunit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nonunit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

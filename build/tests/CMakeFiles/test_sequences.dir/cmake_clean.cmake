@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sequences.dir/test_sequences.cpp.o"
+  "CMakeFiles/test_sequences.dir/test_sequences.cpp.o.d"
+  "test_sequences"
+  "test_sequences.pdb"
+  "test_sequences[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sequences.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

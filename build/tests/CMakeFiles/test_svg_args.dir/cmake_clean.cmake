@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_svg_args.dir/test_svg_args.cpp.o"
+  "CMakeFiles/test_svg_args.dir/test_svg_args.cpp.o.d"
+  "test_svg_args"
+  "test_svg_args.pdb"
+  "test_svg_args[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_svg_args.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

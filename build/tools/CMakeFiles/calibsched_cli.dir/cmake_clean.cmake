@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibsched_cli.dir/calibsched_cli.cpp.o"
+  "CMakeFiles/calibsched_cli.dir/calibsched_cli.cpp.o.d"
+  "calibsched_cli"
+  "calibsched_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibsched_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
