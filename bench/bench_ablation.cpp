@@ -10,14 +10,18 @@
 // Expected shape: immediate calibrations help exactly when T >= G/T;
 // heaviest-first dominates lightest-first on weighted flow; the
 // reassignment is never worse and often strictly better.
+//
+// Every ensemble runs through the harness sweep engine. Paired
+// comparisons (alg1 vs alg1-noimm, alg2 vs alg2-lightest) are honest by
+// construction: the engine derives each instance stream from (workload,
+// seed) only, so both solvers of a grid see identical instances.
 #include <benchmark/benchmark.h>
 
 #include <iostream>
-#include <mutex>
 
 #include "bench_common.hpp"
+#include "harness/sweep.hpp"
 #include "online/alg1_unweighted.hpp"
-#include "online/alg2_weighted.hpp"
 #include "online/alg3_multi.hpp"
 #include "util/table.hpp"
 #include "workload/generators.hpp"
@@ -43,6 +47,25 @@ void BM_Alg1ImmediateToggle(benchmark::State& state) {
 BENCHMARK(BM_Alg1ImmediateToggle)->Arg(1)->Arg(0)
     ->Unit(benchmark::kMillisecond);
 
+/// Mean of a row statistic over the cells matching one solver.
+double solver_mean(const harness::SweepReport& report,
+                   const std::string& solver,
+                   double (*stat)(const harness::SweepRow&)) {
+  Summary summary;
+  for (const harness::SweepRow& row : report.rows) {
+    if (row.solver == solver) summary.add(stat(row));
+  }
+  return summary.mean();
+}
+
+double objective_of(const harness::SweepRow& row) {
+  return static_cast<double>(row.result.objective);
+}
+double flow_of(const harness::SweepRow& row) {
+  return static_cast<double>(row.result.flow);
+}
+double extra_of(const harness::SweepRow& row) { return row.extra; }
+
 struct TablePrinter {
   ~TablePrinter() {
     std::cout << "\nE9.1 - Algorithm 1 immediate calibrations on/off "
@@ -60,31 +83,31 @@ struct TablePrinter {
              {11, 6},    //   "
              {20, 12},   //   "
              {40, 24}}) {
-      Summary with_rule;
-      Summary without_rule;
-      std::mutex mutex;
-      global_pool().parallel_for(80, [&, G, T](std::size_t seed) {
-        Prng prng(seed * 911382323u + static_cast<std::uint64_t>(G));
-        PoissonConfig config;
-        config.rate = 0.2;
-        config.steps = 200;
-        const Instance instance = poisson_instance(config, T, 1, prng);
-        Alg1Unweighted a(true);
-        Alg1Unweighted b(false);
-        const auto ca = static_cast<double>(online_objective(instance, G, a));
-        const auto cb = static_cast<double>(online_objective(instance, G, b));
-        const std::scoped_lock lock(mutex);
-        with_rule.add(ca);
-        without_rule.add(cb);
-      });
+      harness::SweepGrid grid;
+      harness::WorkloadSpec spec;
+      spec.kind = "poisson";
+      spec.rate = 0.2;
+      spec.steps = 200;
+      spec.T = T;
+      grid.workloads = {spec};
+      grid.solvers = {"alg1", "alg1-noimm"};
+      grid.G_values = {G};
+      grid.seeds = 80;
+      grid.base_seed = 911382323u + static_cast<std::uint64_t>(G);
+      grid.collect_trace = false;
+      const harness::SweepReport report =
+          harness::SweepEngine(std::move(grid)).run();
+      const double with_rule = solver_mean(report, "alg1", objective_of);
+      const double without_rule =
+          solver_mean(report, "alg1-noimm", objective_of);
       t1.row()
           .add(T < G / T ? "T < G/T" : (G > T && G < 2 * T ? "T < G < 2T"
                                                            : "other"))
           .add(static_cast<std::int64_t>(G))
           .add(static_cast<std::int64_t>(T))
-          .add(with_rule.mean(), 1)
-          .add(without_rule.mean(), 1)
-          .add(without_rule.mean() / with_rule.mean(), 3);
+          .add(with_rule, 1)
+          .add(without_rule, 1)
+          .add(without_rule / with_rule, 3);
     }
     t1.print(std::cout);
 
@@ -95,32 +118,30 @@ struct TablePrinter {
     for (const WeightModel weights :
          {WeightModel::kUniform, WeightModel::kZipf,
           WeightModel::kBimodal}) {
-      Summary heavy;
-      Summary light;
-      std::mutex mutex;
-      global_pool().parallel_for(80, [&, weights](std::size_t seed) {
-        Prng prng(seed * 69069u + static_cast<std::uint64_t>(weights));
-        PoissonConfig config;
-        config.rate = 0.35;
-        config.steps = 120;
-        config.weights = weights;
-        config.w_max = 9;
-        const Instance instance = poisson_instance(config, 5, 1, prng);
-        Alg2Weighted a(QueueOrder::kHeaviestFirst);
-        Alg2Weighted b(QueueOrder::kLightestFirst);
-        const auto ca = static_cast<double>(online_objective(instance, 15, a));
-        const auto cb = static_cast<double>(online_objective(instance, 15, b));
-        const std::scoped_lock lock(mutex);
-        heavy.add(ca);
-        light.add(cb);
-      });
+      harness::SweepGrid grid;
+      harness::WorkloadSpec spec;
+      spec.kind = "poisson";
+      spec.rate = 0.35;
+      spec.steps = 120;
+      spec.weights = weights;
+      spec.w_max = 9;
+      spec.T = 5;
+      grid.workloads = {spec};
+      grid.solvers = {"alg2", "alg2-lightest"};
+      grid.G_values = {15};
+      grid.seeds = 80;
+      grid.base_seed = 69069u + static_cast<std::uint64_t>(weights);
+      grid.collect_trace = false;
+      const harness::SweepReport report =
+          harness::SweepEngine(std::move(grid)).run();
+      const double heavy = solver_mean(report, "alg2", objective_of);
+      const double light =
+          solver_mean(report, "alg2-lightest", objective_of);
       t2.row()
-          .add(weights == WeightModel::kUniform
-                   ? "uniform"
-                   : (weights == WeightModel::kZipf ? "zipf" : "bimodal"))
-          .add(heavy.mean(), 1)
-          .add(light.mean(), 1)
-          .add(light.mean() / heavy.mean(), 3);
+          .add(weight_model_name(weights))
+          .add(heavy, 1)
+          .add(light, 1)
+          .add(light / heavy, 3);
     }
     t2.print(std::cout);
 
@@ -128,40 +149,42 @@ struct TablePrinter {
                  "Observation 2.1 reassignment (mean flow, 60 seeds):\n";
     Table t3({"P", "explicit flow", "reassigned flow", "improvement %"});
     for (const int machines : {2, 4}) {
-      Summary explicit_flow;
-      Summary reassigned_flow;
-      std::mutex mutex;
-      global_pool().parallel_for(60, [&, machines](std::size_t seed) {
-        Prng prng(seed * 2246822519u +
-                  static_cast<std::uint64_t>(machines));
-        // Heavy bursts force several calibrations in one step — the
-        // situation where the paper warns explicit placement can park
-        // jobs late in a largely-empty concurrent interval.
-        BurstyConfig config;
-        config.burst_probability = 0.08;
-        config.burst_length = 12;
-        config.burst_rate = 1.0;
-        config.steps = 120;
-        // G/T = 5: step 13 commits jobs several slots deep into a new
-        // interval, which is when greedy reassignment can do better.
-        const Instance instance =
-            bursty_instance(config, 8, machines, prng);
-        Alg3Multi policy;
-        const Schedule explicit_schedule = run_online(instance, 40, policy);
-        const Schedule reassigned =
-            reassign_observation_2_1(instance, explicit_schedule);
-        const std::scoped_lock lock(mutex);
-        explicit_flow.add(
-            static_cast<double>(explicit_schedule.weighted_flow(instance)));
-        reassigned_flow.add(
-            static_cast<double>(reassigned.weighted_flow(instance)));
-      });
+      // Heavy bursts force several calibrations in one step — the
+      // situation where the paper warns explicit placement can park
+      // jobs late in a largely-empty concurrent interval. G/T = 5:
+      // step 13 commits jobs several slots deep into a new interval,
+      // which is when greedy reassignment can do better.
+      harness::SweepGrid grid;
+      harness::WorkloadSpec spec;
+      spec.kind = "bursty";
+      spec.burst_probability = 0.08;
+      spec.burst_length = 12;
+      spec.burst_rate = 1.0;
+      spec.steps = 120;
+      spec.T = 8;
+      spec.machines = machines;
+      grid.workloads = {spec};
+      grid.solvers = {"alg3"};
+      grid.G_values = {40};
+      grid.seeds = 60;
+      grid.base_seed = 2246822519u + static_cast<std::uint64_t>(machines);
+      grid.collect_trace = false;
+      grid.extra_metric_name = "reassigned_flow";
+      grid.extra_metric = [](const Instance& instance,
+                             const Schedule& schedule, Cost) {
+        return static_cast<double>(
+            reassign_observation_2_1(instance, schedule)
+                .weighted_flow(instance));
+      };
+      const harness::SweepReport report =
+          harness::SweepEngine(std::move(grid)).run();
+      const double explicit_flow = solver_mean(report, "alg3", flow_of);
+      const double reassigned_flow = solver_mean(report, "alg3", extra_of);
       t3.row()
           .add(machines)
-          .add(explicit_flow.mean(), 1)
-          .add(reassigned_flow.mean(), 1)
-          .add(100.0 * (1.0 - reassigned_flow.mean() / explicit_flow.mean()),
-               2);
+          .add(explicit_flow, 1)
+          .add(reassigned_flow, 1)
+          .add(100.0 * (1.0 - reassigned_flow / explicit_flow), 2);
     }
     // The paper's warning made concrete: two staggered five-job waves
     // trigger calibrations on different machines; step 13 strands the
@@ -201,20 +224,31 @@ struct TablePrinter {
              {"G/T < 1 (serve at release)", 3, 8},
              {"T < G/T (immediates removable)", 64, 4},
              {"balanced", 16, 4}}) {
-      const Summary summary = benchutil::ensemble(40, [&](std::uint64_t
-                                                              seed) {
-        Prng prng(seed * 123457u + static_cast<std::uint64_t>(G));
-        const Instance instance = sparse_uniform_instance(
-            10, 40, T, 1, WeightModel::kUnit, 1, prng);
-        Alg1Unweighted policy;
-        return benchutil::ratio_vs_opt(instance, G, policy);
-      });
+      harness::SweepGrid grid;
+      harness::WorkloadSpec spec;
+      spec.kind = "sparse";
+      spec.jobs = 10;
+      spec.steps = 40;  // release span
+      spec.T = T;
+      grid.workloads = {spec};
+      grid.solvers = {"alg1"};
+      grid.G_values = {G};
+      grid.seeds = 40;
+      grid.base_seed = 123457u + static_cast<std::uint64_t>(G);
+      grid.collect_trace = false;
+      grid.compare_to_opt = true;
+      const harness::SweepReport report =
+          harness::SweepEngine(std::move(grid)).run();
+      Summary ratios;
+      for (const harness::SweepRow& row : report.rows) {
+        ratios.add(row.ratio);
+      }
       t4.row()
           .add(label)
           .add(static_cast<std::int64_t>(G))
           .add(static_cast<std::int64_t>(T))
-          .add(summary.mean(), 3)
-          .add(summary.max(), 3);
+          .add(ratios.mean(), 3)
+          .add(ratios.max(), 3);
     }
     t4.print(std::cout);
   }

@@ -6,13 +6,17 @@
 // Lemma 3.5 per-interval excess-flow statistic (must stay below 2G).
 // Expected shape: max ratio well below 12 (typically under 2.5); the
 // Lemma 3.5 excess approaches but never reaches 2G.
+//
+// The grid runs through the harness sweep engine (ratio and the
+// Lemma 3.5 hook per cell, DP flow-curves cached across G values); this
+// file only aggregates rows into the headline table.
 #include <benchmark/benchmark.h>
 
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "harness/sweep.hpp"
 #include "online/alg2_weighted.hpp"
-#include "online/baselines.hpp"
 #include "util/table.hpp"
 #include "workload/generators.hpp"
 
@@ -68,57 +72,57 @@ BENCHMARK(BM_Alg2Ratio)
                     static_cast<int>(WeightModel::kBimodal)}})
     ->Unit(benchmark::kMillisecond);
 
-const char* weight_name(WeightModel model) {
-  switch (model) {
-    case WeightModel::kUnit:
-      return "unit";
-    case WeightModel::kUniform:
-      return "uniform";
-    case WeightModel::kZipf:
-      return "zipf";
-    case WeightModel::kBimodal:
-      return "bimodal";
-  }
-  return "?";
-}
-
 struct TablePrinter {
   ~TablePrinter() {
+    // One workload spec per (weights, T); G is a grid axis, so each
+    // instance's DP flow-curve is computed once and reused for all 3 G
+    // values.
+    harness::SweepGrid grid;
+    const std::vector<WeightModel> weight_models{
+        WeightModel::kUniform, WeightModel::kZipf, WeightModel::kBimodal};
+    const std::vector<Time> T_values{3, 8};
+    for (const WeightModel weights : weight_models) {
+      for (const Time T : T_values) {
+        harness::WorkloadSpec spec;
+        spec.kind = "poisson";
+        spec.rate = 0.3;
+        spec.steps = 100;
+        spec.weights = weights;
+        spec.w_max = 9;
+        spec.T = T;
+        grid.workloads.push_back(spec);
+      }
+    }
+    grid.solvers = {"alg2"};
+    grid.G_values = {6, 20, 60};
+    grid.seeds = 50;
+    grid.base_seed = 40503;
+    grid.compare_to_opt = true;
+    grid.extra_metric_name = "lemma35_util";
+    grid.extra_metric = lemma35_utilization;
+    const harness::SweepReport report =
+        harness::SweepEngine(std::move(grid)).run();
+
     std::cout << "\nE3 / Theorem 3.8 - Algorithm 2 competitive ratio vs "
                  "exact OPT (50 seeds per cell, bound = 12) and the "
                  "Lemma 3.5 interval-excess utilization (< 1 required):\n";
     Table table({"weights", "G", "T", "ratio mean", "ratio p95",
                  "ratio max", "lemma3.5 max util"});
-    for (const WeightModel weights :
-         {WeightModel::kUniform, WeightModel::kZipf,
-          WeightModel::kBimodal}) {
+    for (std::size_t wi = 0; wi < weight_models.size(); ++wi) {
       for (const Cost G : {6, 20, 60}) {
-        for (const Time T : {3, 8}) {
+        for (std::size_t ti = 0; ti < T_values.size(); ++ti) {
+          const std::size_t w = wi * T_values.size() + ti;
           Summary ratios;
           Summary utils;
-          std::mutex mutex;
-          global_pool().parallel_for(50, [&](std::size_t seed) {
-            Prng prng(seed * 40503u +
-                      static_cast<std::uint64_t>(G * 17 + T * 3 +
-                                                 static_cast<int>(weights)));
-            const Instance instance = make_workload(weights, T, prng);
-            Alg2Weighted policy;
-            const Schedule schedule = run_online(instance, G, policy);
-            const Cost opt =
-                offline_online_optimum(instance, G).best_cost;
-            const double ratio =
-                static_cast<double>(schedule.online_cost(instance, G)) /
-                static_cast<double>(opt);
-            const double util =
-                lemma35_utilization(instance, schedule, G);
-            const std::scoped_lock lock(mutex);
-            ratios.add(ratio);
-            utils.add(util);
-          });
+          for (const harness::SweepRow& row : report.rows) {
+            if (row.workload_index != w || row.G != G) continue;
+            ratios.add(row.ratio);
+            utils.add(row.extra);
+          }
           table.row()
-              .add(weight_name(weights))
+              .add(weight_model_name(weight_models[wi]))
               .add(G)
-              .add(T)
+              .add(T_values[ti])
               .add(ratios.mean(), 3)
               .add(ratios.percentile(95), 3)
               .add(ratios.max(), 3)
@@ -127,6 +131,7 @@ struct TablePrinter {
       }
     }
     table.print(std::cout);
+    std::cerr << "[sweep] " << report.timing_summary() << '\n';
   }
 };
 const TablePrinter printer;  // NOLINT(cert-err58-cpp)

@@ -15,23 +15,18 @@
 #include "offline/brute_force.hpp"
 #include "offline/budget_search.hpp"
 #include "online/adversary.hpp"
-#include "online/alg1_unweighted.hpp"
-#include "online/baselines.hpp"
+#include "online/registry.hpp"
 #include "util/table.hpp"
 
 namespace {
 
 using namespace calib;
 
-std::unique_ptr<OnlinePolicy> make_policy(int id) {
-  switch (id) {
-    case 0:
-      return std::make_unique<Alg1Unweighted>();
-    case 1:
-      return std::make_unique<EagerPolicy>();
-    default:
-      return std::make_unique<SkiRentalPolicy>();
-  }
+// Registry names of the policies the adversary is run against.
+constexpr const char* kPolicies[] = {"alg1", "eager", "ski"};
+
+std::unique_ptr<OnlinePolicy> adversary_policy(int id) {
+  return make_policy(kPolicies[id]);
 }
 
 /// Exact offline optimum of an adversary instance. The DP is exact but
@@ -51,7 +46,7 @@ void BM_AdversaryRatio(benchmark::State& state) {
   const int policy_id = static_cast<int>(state.range(2));
   double ratio = 0.0;
   for (auto _ : state) {
-    auto policy = make_policy(policy_id);
+    auto policy = adversary_policy(policy_id);
     const AdversaryOutcome outcome =
         run_lower_bound_adversary(*policy, G, T);
     ratio = static_cast<double>(outcome.algorithm_cost) /
@@ -78,7 +73,7 @@ struct TablePrinter {
     for (const Cost G : {4, 16, 64, 256, 1024}) {
       for (const Time T : {8, 64, 512, 4096}) {
         for (int policy_id = 0; policy_id < 3; ++policy_id) {
-          auto policy = make_policy(policy_id);
+          auto policy = adversary_policy(policy_id);
           const AdversaryOutcome outcome =
               run_lower_bound_adversary(*policy, G, T);
           const Cost opt = exact_opt(outcome, G);

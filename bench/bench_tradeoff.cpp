@@ -11,11 +11,15 @@
 // Expected shape: F(k) is non-increasing with steeply diminishing
 // returns; as G grows the optimum shifts from many calibrations to few;
 // binary search agrees with exhaustive everywhere it is unimodal.
+// The E8b G-sweep runs through the harness sweep engine: one workload
+// cell, the "offline" solver, eight G values — the DP flow-curve is
+// computed once and every G reads the cached curve.
 #include <benchmark/benchmark.h>
 
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "harness/sweep.hpp"
 #include "offline/dp.hpp"
 #include "util/table.hpp"
 #include "workload/generators.hpp"
@@ -32,6 +36,24 @@ Instance representative_day(std::uint64_t seed) {
   config.weights = WeightModel::kUniform;
   config.w_max = 6;
   return poisson_instance(config, 6, 1, prng);
+}
+
+/// The E8 grid: one representative day, offline optimum, a G ladder.
+harness::SweepGrid tradeoff_grid() {
+  harness::WorkloadSpec day;
+  day.kind = "poisson";
+  day.rate = 0.35;
+  day.steps = 80;
+  day.weights = WeightModel::kUniform;
+  day.w_max = 6;
+  day.T = 6;
+  harness::SweepGrid grid;
+  grid.workloads = {day};
+  grid.solvers = {harness::kOfflineSolver};
+  grid.G_values = {1, 3, 7, 15, 30, 60, 120, 250};
+  grid.seeds = 1;
+  grid.base_seed = 11;
+  return grid;
 }
 
 void BM_FlowCurve(benchmark::State& state) {
@@ -62,7 +84,11 @@ BENCHMARK(BM_BudgetSearchExhaustiveVsBinary)->Arg(0)->Arg(1)
 
 struct TablePrinter {
   ~TablePrinter() {
-    const Instance day = representative_day(11);
+    const harness::SweepGrid grid = tradeoff_grid();
+    // Exactly the instance the engine materializes for its cells, so
+    // the frontier (E8a) and the binary-search cross-check read the
+    // same day the harness swept.
+    const Instance day = harness::materialize_instance(grid, 0, 0);
     OfflineDp dp(day);
     const auto curve = dp.flow_curve(day.size());
 
@@ -83,23 +109,25 @@ struct TablePrinter {
     }
     frontier.print(std::cout);
 
+    const harness::SweepReport report =
+        harness::SweepEngine(grid).run();
     std::cout << "\nE8b - offline optimum's cost split as G grows, and "
                  "footnote-5 binary search agreement:\n";
     Table split({"G", "best k", "calibration spend", "flow", "total",
                  "binary agrees"});
-    for (const Cost G : {1, 3, 7, 15, 30, 60, 120, 250}) {
-      const BudgetSearchResult exhaustive = offline_online_optimum(day, G);
+    for (const harness::SweepRow& row : report.rows) {
       const BudgetSearchResult binary =
-          offline_online_optimum_binary(day, G);
+          offline_online_optimum_binary(day, row.G);
       split.row()
-          .add(static_cast<std::int64_t>(G))
-          .add(exhaustive.best_k)
-          .add(G * exhaustive.best_k)
-          .add(exhaustive.best_cost - G * exhaustive.best_k)
-          .add(exhaustive.best_cost)
-          .add(binary.best_cost == exhaustive.best_cost ? "yes" : "NO");
+          .add(static_cast<std::int64_t>(row.G))
+          .add(row.result.best_k)
+          .add(row.G * row.result.best_k)
+          .add(row.result.flow)
+          .add(row.result.objective)
+          .add(binary.best_cost == row.result.objective ? "yes" : "NO");
     }
     split.print(std::cout);
+    std::cerr << "[sweep] " << report.timing_summary() << '\n';
   }
 };
 const TablePrinter printer;  // NOLINT(cert-err58-cpp)

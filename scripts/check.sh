@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# The tier-1 verify line: configure, build everything, run the full test
+# suite. Set SANITIZE=1 to run the same line under ASan + UBSan (separate
+# build tree so it never poisons the regular one).
+# Usage: scripts/check.sh [build-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+EXTRA_FLAGS=()
+if [ "${SANITIZE:-0}" = "1" ]; then
+  BUILD="${1:-build-asan}"
+  EXTRA_FLAGS+=(-DCALIBSCHED_SANITIZE=ON)
+fi
+
+cmake -B "$BUILD" -S . "${EXTRA_FLAGS[@]}"
+cmake --build "$BUILD" -j
+ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)"

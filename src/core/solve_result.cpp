@@ -1,0 +1,21 @@
+#include "core/solve_result.hpp"
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+
+namespace calib {
+
+SolveResult summarize_schedule(const std::string& solver,
+                               const Instance& instance,
+                               const Schedule& schedule, Cost G,
+                               double wall_ms) {
+  SolveResult result;
+  result.solver = solver;
+  result.calibrations = static_cast<int>(schedule.calendar().count());
+  result.flow = schedule.weighted_flow(instance);
+  result.objective = schedule.online_cost(instance, G);
+  result.wall_ms = wall_ms;
+  return result;
+}
+
+}  // namespace calib

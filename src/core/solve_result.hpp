@@ -1,0 +1,33 @@
+// Uniform result of one solver run, online or offline.
+//
+// Every path that answers "what did solving this instance cost?" —
+// run_online_result(), offline_optimum_result(), each sweep-engine cell —
+// returns this one struct, so reports, tables, and JSONL rows never
+// format online and offline runs through different code paths.
+#pragma once
+
+#include <string>
+
+#include "core/types.hpp"
+
+namespace calib {
+
+class Instance;
+class Schedule;
+
+struct SolveResult {
+  std::string solver;    ///< registry name / policy name / "offline-opt"
+  Cost objective = 0;    ///< G * calibrations + weighted flow
+  int calibrations = 0;  ///< intervals opened (== best_k offline)
+  Cost flow = 0;         ///< total weighted flow time
+  int best_k = -1;       ///< offline budget-search argmin; -1 when n/a
+  double wall_ms = 0.0;  ///< wall-clock of the solve itself
+};
+
+/// Read a SolveResult off a realized schedule (the online paths).
+[[nodiscard]] SolveResult summarize_schedule(const std::string& solver,
+                                             const Instance& instance,
+                                             const Schedule& schedule, Cost G,
+                                             double wall_ms);
+
+}  // namespace calib

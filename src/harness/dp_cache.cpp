@@ -1,0 +1,89 @@
+#include "harness/dp_cache.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "offline/dp.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace calib::harness {
+namespace {
+
+// Exact content key; a 64-bit hash would risk silent collisions, and the
+// serialized form is tiny next to the DP tables it guards.
+std::string instance_key(const Instance& instance) {
+  std::ostringstream os;
+  os << instance.T() << ';' << instance.machines() << ';';
+  for (const Job& job : instance.jobs()) {
+    os << job.release << ',' << job.weight << ';';
+  }
+  return os.str();
+}
+
+}  // namespace
+
+CurveOptimum optimum_from_curve(const std::vector<Cost>& curve, Cost G) {
+  CALIB_CHECK(G >= 1);
+  CurveOptimum best;
+  bool found = false;
+  for (std::size_t k = 1; k < curve.size(); ++k) {
+    const Cost flow = curve[k];
+    if (flow == kInfeasible) continue;
+    const Cost value = G * static_cast<Cost>(k) + flow;
+    if (!found || value < best.best_cost) {
+      found = true;
+      best.best_k = static_cast<int>(k);
+      best.best_cost = value;
+      best.flow = flow;
+    }
+  }
+  CALIB_CHECK_MSG(found, "flow curve has no feasible budget");
+  return best;
+}
+
+std::shared_ptr<const std::vector<Cost>> FlowCurveCache::curve(
+    const Instance& instance) {
+  CALIB_CHECK_MSG(instance.machines() == 1,
+                  "the Section 4 DP requires P == 1");
+  const std::string key = instance_key(instance);
+
+  std::promise<CurvePtr> promise;
+  std::shared_future<CurvePtr> future;
+  bool owner = false;
+  {
+    const std::scoped_lock lock(mutex_);
+    const auto it = curves_.find(key);
+    if (it != curves_.end()) {
+      hits_.fetch_add(1);
+      future = it->second;
+    } else {
+      misses_.fetch_add(1);
+      owner = true;
+      future = promise.get_future().share();
+      curves_.emplace(key, future);
+    }
+  }
+
+  if (owner) {
+    try {
+      const Timer timer;
+      OfflineDp dp(instance.releases_normalized() ? instance
+                                                  : instance.normalized());
+      auto curve = std::make_shared<const std::vector<Cost>>(
+          dp.flow_curve(dp.instance().size()));
+      compute_micros_.fetch_add(
+          static_cast<std::int64_t>(timer.seconds() * 1e6));
+      promise.set_value(std::move(curve));
+    } catch (...) {
+      promise.set_exception(std::current_exception());
+    }
+  }
+  return future.get();
+}
+
+double FlowCurveCache::compute_seconds() const {
+  return static_cast<double>(compute_micros_.load()) * 1e-6;
+}
+
+}  // namespace calib::harness

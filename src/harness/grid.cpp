@@ -1,0 +1,99 @@
+#include "harness/grid.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace calib::harness {
+namespace {
+
+// Stream labels: instance streams must not collide with policy streams
+// (sweep.cpp) no matter the grid shape, so each family gets a high tag
+// bit and the coordinates live in disjoint bit ranges.
+constexpr std::uint64_t kInstanceStreamTag = 1ULL << 62;
+
+std::string format_double(double value) {
+  std::ostringstream os;
+  os << value;  // shortest default formatting; labels only
+  return os.str();
+}
+
+}  // namespace
+
+Instance WorkloadSpec::instantiate(Prng& prng) const {
+  if (kind == "poisson") {
+    PoissonConfig config;
+    config.rate = rate;
+    config.steps = steps;
+    config.weights = weights;
+    config.w_max = w_max;
+    return poisson_instance(config, T, machines, prng);
+  }
+  if (kind == "bursty") {
+    BurstyConfig config;
+    config.burst_probability = burst_probability;
+    config.burst_length = burst_length;
+    config.burst_rate = burst_rate;
+    config.steps = steps;
+    config.weights = weights;
+    config.w_max = w_max;
+    return bursty_instance(config, T, machines, prng);
+  }
+  if (kind == "sparse") {
+    return sparse_uniform_instance(jobs, steps, T, machines, weights, w_max,
+                                   prng);
+  }
+  if (kind == "trickle") {
+    return trickle_instance(T, machines);
+  }
+  throw std::runtime_error("unknown workload kind: " + kind);
+}
+
+std::string WorkloadSpec::label() const {
+  std::ostringstream os;
+  os << kind << '(';
+  if (kind == "poisson") {
+    os << "rate=" << format_double(rate) << ",steps=" << steps << ',';
+  } else if (kind == "bursty") {
+    os << "p=" << format_double(burst_probability) << ",len=" << burst_length
+       << ",rate=" << format_double(burst_rate) << ",steps=" << steps << ',';
+  } else if (kind == "sparse") {
+    os << "jobs=" << jobs << ",span=" << steps << ',';
+  }
+  os << "w=" << weight_model_name(weights);
+  if (weights != WeightModel::kUnit) os << ",wmax=" << w_max;
+  os << ",T=" << T << ",P=" << machines << ')';
+  return os.str();
+}
+
+CellCoords cell_coords(const SweepGrid& grid, std::size_t index) {
+  CALIB_CHECK(index < grid.cells());
+  const auto seeds = static_cast<std::size_t>(grid.seeds);
+  CellCoords coords;
+  coords.index = index;
+  coords.seed = static_cast<int>(index % seeds);
+  index /= seeds;
+  coords.solver = index % grid.solvers.size();
+  index /= grid.solvers.size();
+  coords.g = index % grid.G_values.size();
+  coords.workload = index / grid.G_values.size();
+  return coords;
+}
+
+Instance materialize_instance(const SweepGrid& grid,
+                              std::size_t workload_index, int seed_index) {
+  CALIB_CHECK(workload_index < grid.workloads.size());
+  CALIB_CHECK(seed_index >= 0 && seed_index < grid.seeds);
+  // Fresh root per call: Prng::split advances the parent, so a shared
+  // root would make the stream depend on evaluation order.
+  Prng root(grid.base_seed);
+  const std::uint64_t label = kInstanceStreamTag |
+                              (static_cast<std::uint64_t>(workload_index)
+                               << 32) |
+                              static_cast<std::uint64_t>(seed_index);
+  Prng stream = root.split(label);
+  return grid.workloads[workload_index].instantiate(stream);
+}
+
+}  // namespace calib::harness

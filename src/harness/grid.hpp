@@ -1,0 +1,101 @@
+// Declarative sweep grids for the experiment harness.
+//
+// A SweepGrid names a cross-product — workload specs × solvers × G
+// values × seed indices — without running anything; the SweepEngine
+// (sweep.hpp) fans the cells across a thread pool. Keeping the grid a
+// plain value type is what makes sweeps reproducible: the cell
+// enumeration order and every per-cell PRNG stream are pure functions of
+// the grid, never of thread scheduling.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+#include "util/prng.hpp"
+#include "workload/generators.hpp"
+
+namespace calib::harness {
+
+/// One generator configuration. `kind` selects the family; the family
+/// reads only the fields it uses (mirroring the generators' configs).
+struct WorkloadSpec {
+  std::string kind = "poisson";  ///< poisson | bursty | sparse | trickle
+  Time T = 6;
+  int machines = 1;
+  WeightModel weights = WeightModel::kUnit;
+  Weight w_max = 9;
+  // poisson / bursty / sparse window:
+  Time steps = 100;
+  double rate = 0.3;  ///< poisson arrivals per step
+  // bursty:
+  double burst_probability = 0.05;
+  Time burst_length = 8;
+  double burst_rate = 1.0;
+  // sparse:
+  int jobs = 10;
+
+  /// Generate the instance this spec + stream describes. Throws
+  /// std::runtime_error on an unknown kind.
+  [[nodiscard]] Instance instantiate(Prng& prng) const;
+
+  /// Compact human/JSON label, e.g. "poisson(rate=0.3,steps=100,w=unit,
+  /// T=6,P=1)". Deterministic; used as the workload column of every row.
+  [[nodiscard]] std::string label() const;
+};
+
+/// The solver name that routes a cell through the Section-4 DP optimum
+/// instead of an online policy.
+inline constexpr const char* kOfflineSolver = "offline";
+
+struct SweepGrid {
+  std::vector<WorkloadSpec> workloads;
+  /// Registry policy names and/or kOfflineSolver.
+  std::vector<std::string> solvers;
+  std::vector<Cost> G_values;
+  int seeds = 1;                 ///< seed indices 0..seeds-1 per combination
+  std::uint64_t base_seed = 1;   ///< root of every derived PRNG stream
+  Time periodic_period = 5;      ///< plumbed to the "periodic" baseline
+  bool compare_to_opt = false;   ///< add opt cost/k + ratio (needs P == 1)
+  bool collect_trace = true;     ///< add peak queue + utilization columns
+  std::size_t threads = 0;       ///< 0 = calib::global_pool()
+
+  /// Optional bespoke per-run metric (the benches' ablation hooks),
+  /// evaluated on online cells only; emitted as the "extra" column under
+  /// `extra_metric_name`.
+  std::string extra_metric_name;
+  std::function<double(const Instance&, const Schedule&, Cost G)>
+      extra_metric;
+
+  [[nodiscard]] std::size_t cells() const {
+    return workloads.size() * G_values.size() * solvers.size() *
+           static_cast<std::size_t>(seeds);
+  }
+};
+
+/// Coordinates of one cell in the grid's row-major enumeration
+/// (workload, then G, then solver, then seed — so all solvers and G
+/// values of a given (workload, seed) share one instance stream).
+struct CellCoords {
+  std::size_t index = 0;
+  std::size_t workload = 0;
+  std::size_t g = 0;
+  std::size_t solver = 0;
+  int seed = 0;
+};
+
+[[nodiscard]] CellCoords cell_coords(const SweepGrid& grid,
+                                     std::size_t index);
+
+/// The instance a given (workload, seed) cell sees — a pure function of
+/// (grid.base_seed, workload index, seed index), independent of solver,
+/// G, and thread count. Exposed so callers can re-materialize exactly
+/// what the engine ran (cross-checks, failure reproduction).
+[[nodiscard]] Instance materialize_instance(const SweepGrid& grid,
+                                            std::size_t workload_index,
+                                            int seed_index);
+
+}  // namespace calib::harness

@@ -1,0 +1,244 @@
+#include "harness/sweep.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "online/driver.hpp"
+#include "online/registry.hpp"
+#include "online/trace.hpp"
+#include "util/csv.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace calib::harness {
+namespace {
+
+// Must stay disjoint from grid.cpp's kInstanceStreamTag: instance
+// streams and policy streams are derived from the same base seed.
+constexpr std::uint64_t kPolicyStreamTag = 1ULL << 63;
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+// Deterministic double formatting for both writers: enough digits to
+// round-trip the values we emit, no locale dependence.
+std::string fmt(double value) {
+  std::ostringstream os;
+  os << std::setprecision(12) << value;
+  return os.str();
+}
+
+}  // namespace
+
+SweepEngine::SweepEngine(SweepGrid grid) : grid_(std::move(grid)) {
+  if (grid_.workloads.empty()) throw std::runtime_error("sweep: no workloads");
+  if (grid_.solvers.empty()) throw std::runtime_error("sweep: no solvers");
+  if (grid_.G_values.empty()) throw std::runtime_error("sweep: no G values");
+  if (grid_.seeds < 1) throw std::runtime_error("sweep: seeds must be >= 1");
+  for (const Cost G : grid_.G_values) {
+    if (G < 1) throw std::runtime_error("sweep: G must be >= 1");
+  }
+  bool needs_dp = grid_.compare_to_opt;
+  for (const std::string& solver : grid_.solvers) {
+    if (solver == kOfflineSolver) {
+      needs_dp = true;
+    } else if (!PolicyRegistry::instance().contains(solver)) {
+      throw std::runtime_error("sweep: unknown solver: " + solver);
+    }
+  }
+  if (needs_dp) {
+    for (const WorkloadSpec& spec : grid_.workloads) {
+      if (spec.machines != 1) {
+        throw std::runtime_error(
+            "sweep: offline optimum needs P == 1 workloads (got " +
+            spec.label() + ")");
+      }
+    }
+  }
+}
+
+SweepRow SweepEngine::run_cell(const CellCoords& coords,
+                               FlowCurveCache& cache) const {
+  const WorkloadSpec& spec = grid_.workloads[coords.workload];
+  const std::string& solver = grid_.solvers[coords.solver];
+  const Cost G = grid_.G_values[coords.g];
+  const Instance instance =
+      materialize_instance(grid_, coords.workload, coords.seed);
+
+  SweepRow row;
+  row.cell = coords.index;
+  row.workload_index = coords.workload;
+  row.workload = spec.label();
+  row.solver = solver;
+  row.G = G;
+  row.seed = coords.seed;
+  row.jobs = instance.size();
+
+  if (solver == kOfflineSolver) {
+    const Timer timer;
+    const CurveOptimum opt = optimum_from_curve(*cache.curve(instance), G);
+    row.result.solver = solver;
+    row.result.objective = opt.best_cost;
+    row.result.calibrations = opt.best_k;
+    row.result.flow = opt.flow;
+    row.result.best_k = opt.best_k;
+    row.result.wall_ms = timer.millis();
+    if (grid_.compare_to_opt) {
+      row.has_opt = true;
+      row.opt_cost = opt.best_cost;
+      row.opt_k = opt.best_k;
+      row.ratio = 1.0;
+    }
+    return row;
+  }
+
+  PolicyParams params;
+  params.period = grid_.periodic_period;
+  Prng root(grid_.base_seed);
+  params.seed = root.split(kPolicyStreamTag | coords.index)();
+  const auto policy = make_policy(solver, params);
+
+  Trace trace;
+  const Timer timer;
+  const Schedule schedule = run_online(
+      instance, G, *policy, grid_.collect_trace ? &trace : nullptr);
+  row.result =
+      summarize_schedule(solver, instance, schedule, G, timer.millis());
+
+  if (grid_.collect_trace) {
+    row.has_trace = true;
+    row.peak_queue = trace.peak_queue_length();
+    row.utilization = trace.utilization(schedule.calendar());
+  }
+  if (grid_.extra_metric) {
+    row.has_extra = true;
+    row.extra = grid_.extra_metric(instance, schedule, G);
+  }
+  if (grid_.compare_to_opt) {
+    const CurveOptimum opt = optimum_from_curve(*cache.curve(instance), G);
+    row.has_opt = true;
+    row.opt_cost = opt.best_cost;
+    row.opt_k = opt.best_k;
+    row.ratio = static_cast<double>(row.result.objective) /
+                static_cast<double>(opt.best_cost);
+  }
+  return row;
+}
+
+SweepReport SweepEngine::run() {
+  const Timer wall;
+  FlowCurveCache cache;
+  SweepReport report;
+  report.extra_metric_name = grid_.extra_metric_name;
+  report.rows.resize(grid_.cells());
+
+  const auto body = [&](std::size_t i) {
+    report.rows[i] = run_cell(cell_coords(grid_, i), cache);
+  };
+  if (grid_.threads == 0) {
+    report.timing.threads = global_pool().size();
+    global_pool().parallel_for(grid_.cells(), body);
+  } else {
+    ThreadPool pool(grid_.threads);
+    report.timing.threads = pool.size();
+    pool.parallel_for(grid_.cells(), body);
+  }
+
+  report.timing.wall_seconds = wall.seconds();
+  for (const SweepRow& row : report.rows) {
+    report.timing.cell_seconds += row.result.wall_ms * 1e-3;
+  }
+  report.timing.dp_cache_hits = cache.hits();
+  report.timing.dp_cache_misses = cache.misses();
+  report.timing.dp_seconds = cache.compute_seconds();
+  return report;
+}
+
+void SweepReport::write_jsonl(std::ostream& os, bool include_timing) const {
+  for (const SweepRow& row : rows) {
+    os << "{\"cell\":" << row.cell << ",\"workload\":\""
+       << json_escape(row.workload) << "\",\"solver\":\""
+       << json_escape(row.solver) << "\",\"G\":" << row.G
+       << ",\"seed\":" << row.seed << ",\"jobs\":" << row.jobs
+       << ",\"objective\":" << row.result.objective
+       << ",\"calibrations\":" << row.result.calibrations
+       << ",\"flow\":" << row.result.flow;
+    if (row.result.best_k >= 0) os << ",\"best_k\":" << row.result.best_k;
+    if (row.has_opt) {
+      os << ",\"opt_cost\":" << row.opt_cost << ",\"opt_k\":" << row.opt_k
+         << ",\"ratio\":" << fmt(row.ratio);
+    }
+    if (row.has_trace) {
+      os << ",\"peak_queue\":" << row.peak_queue
+         << ",\"utilization\":" << fmt(row.utilization);
+    }
+    if (row.has_extra) {
+      os << ",\"" << json_escape(extra_metric_name.empty()
+                                     ? std::string("extra")
+                                     : extra_metric_name)
+         << "\":" << fmt(row.extra);
+    }
+    if (include_timing) os << ",\"wall_ms\":" << fmt(row.result.wall_ms);
+    os << "}\n";
+  }
+}
+
+void SweepReport::write_csv(std::ostream& os, bool include_timing) const {
+  CsvWriter writer(os);
+  std::vector<std::string> header{
+      "cell",     "workload",     "solver", "G",
+      "seed",     "jobs",         "objective", "calibrations",
+      "flow",     "best_k",       "opt_cost",  "opt_k",
+      "ratio",    "peak_queue",   "utilization"};
+  header.push_back(extra_metric_name.empty() ? std::string("extra")
+                                             : extra_metric_name);
+  if (include_timing) header.emplace_back("wall_ms");
+  writer.write_row(header);
+  for (const SweepRow& row : rows) {
+    std::vector<std::string> cells{
+        std::to_string(row.cell),
+        row.workload,
+        row.solver,
+        std::to_string(row.G),
+        std::to_string(row.seed),
+        std::to_string(row.jobs),
+        std::to_string(row.result.objective),
+        std::to_string(row.result.calibrations),
+        std::to_string(row.result.flow),
+        row.result.best_k >= 0 ? std::to_string(row.result.best_k)
+                               : std::string(),
+        row.has_opt ? std::to_string(row.opt_cost) : std::string(),
+        row.has_opt ? std::to_string(row.opt_k) : std::string(),
+        row.has_opt ? fmt(row.ratio) : std::string(),
+        row.has_trace ? std::to_string(row.peak_queue) : std::string(),
+        row.has_trace ? fmt(row.utilization) : std::string()};
+    cells.push_back(row.has_extra ? fmt(row.extra) : std::string());
+    if (include_timing) cells.push_back(fmt(row.result.wall_ms));
+    writer.write_row(cells);
+  }
+}
+
+std::string SweepReport::timing_summary() const {
+  std::ostringstream os;
+  os << rows.size() << " cells in " << std::fixed << std::setprecision(3)
+     << timing.wall_seconds << "s wall on " << timing.threads
+     << " threads (" << timing.cell_seconds << "s of solver time";
+  if (timing.dp_cache_hits + timing.dp_cache_misses > 0) {
+    os << "; DP cache: " << timing.dp_cache_hits << " hits / "
+       << timing.dp_cache_misses << " misses, " << timing.dp_seconds
+       << "s in the DP";
+  }
+  os << ')';
+  return os.str();
+}
+
+}  // namespace calib::harness

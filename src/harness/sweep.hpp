@@ -1,0 +1,98 @@
+// The parallel sweep engine: run a SweepGrid's cross-product, emit
+// structured rows.
+//
+// Design invariants (tested in tests/test_sweep.cpp):
+//   * Determinism — every per-cell PRNG stream is derived from
+//     (base_seed, cell coordinates) via fresh splitmix roots, rows are
+//     stored at their cell index, and the writers can exclude wall-clock
+//     fields; the JSONL/CSV output is then byte-identical at any thread
+//     count.
+//   * Instance sharing — all solvers and all G values of a given
+//     (workload, seed) see the *same* instance, which is what makes
+//     paired policy comparisons honest and lets the FlowCurveCache
+//     compute the O(K n³) DP once per instance instead of once per cell.
+//   * One result shape — each cell produces a SolveResult plus optional
+//     opt/trace/extra columns, the same struct the CLI's `solve` prints.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "core/solve_result.hpp"
+#include "harness/dp_cache.hpp"
+#include "harness/grid.hpp"
+
+namespace calib::harness {
+
+/// One cell's structured result. Optional groups (opt, trace, extra) are
+/// present iff the corresponding grid switch was on.
+struct SweepRow {
+  // Coordinates (deterministic; identify the cell independent of order).
+  std::size_t cell = 0;
+  std::size_t workload_index = 0;
+  std::string workload;  ///< WorkloadSpec::label()
+  std::string solver;
+  Cost G = 0;
+  int seed = 0;
+  int jobs = 0;  ///< instance size
+
+  SolveResult result;
+
+  bool has_opt = false;
+  Cost opt_cost = 0;
+  int opt_k = 0;
+  double ratio = 0.0;  ///< result.objective / opt_cost
+
+  bool has_trace = false;
+  int peak_queue = 0;
+  double utilization = 0.0;
+
+  bool has_extra = false;
+  double extra = 0.0;
+};
+
+/// Wall-clock accounting for the whole sweep (never part of the
+/// deterministic row serialization).
+struct SweepTiming {
+  double wall_seconds = 0.0;      ///< end-to-end engine time
+  double cell_seconds = 0.0;      ///< sum of per-cell solve times
+  std::size_t dp_cache_hits = 0;
+  std::size_t dp_cache_misses = 0;
+  double dp_seconds = 0.0;        ///< time inside DP computations
+  std::size_t threads = 0;        ///< pool size actually used
+};
+
+struct SweepReport {
+  std::vector<SweepRow> rows;  ///< always in cell order
+  SweepTiming timing;
+  std::string extra_metric_name;  ///< column name for SweepRow::extra
+
+  /// One JSON object per row. `include_timing` adds the nondeterministic
+  /// "wall_ms" field; leave it off when byte-stability matters.
+  void write_jsonl(std::ostream& os, bool include_timing = false) const;
+  /// Same rows as CSV with a header line; absent optionals are blank.
+  void write_csv(std::ostream& os, bool include_timing = false) const;
+  /// Human-readable timing digest (stderr material, not row data).
+  [[nodiscard]] std::string timing_summary() const;
+};
+
+class SweepEngine {
+ public:
+  /// Validates the grid eagerly (unknown solver names, offline/opt with
+  /// P > 1, empty axes) by throwing std::runtime_error.
+  explicit SweepEngine(SweepGrid grid);
+
+  /// Fan every cell across the pool (grid.threads == 0 → global_pool())
+  /// and collect rows in cell order.
+  [[nodiscard]] SweepReport run();
+
+  [[nodiscard]] const SweepGrid& grid() const { return grid_; }
+
+ private:
+  [[nodiscard]] SweepRow run_cell(const CellCoords& coords,
+                                  FlowCurveCache& cache) const;
+
+  SweepGrid grid_;
+};
+
+}  // namespace calib::harness

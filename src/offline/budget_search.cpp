@@ -2,6 +2,7 @@
 
 #include "offline/dp.hpp"
 #include "util/check.hpp"
+#include "util/timer.hpp"
 
 namespace calib {
 namespace {
@@ -61,6 +62,19 @@ BudgetSearchResult offline_online_optimum_binary(const Instance& instance,
   result.best_k = lo;
   result.best_cost = cost_at(lo);
   result.flow_curve = dp.flow_curve(n);
+  return result;
+}
+
+SolveResult offline_optimum_result(const Instance& instance, Cost G) {
+  const Timer timer;
+  const BudgetSearchResult opt = offline_online_optimum(instance, G);
+  SolveResult result;
+  result.solver = "offline-opt";
+  result.objective = opt.best_cost;
+  result.calibrations = opt.best_k;
+  result.flow = opt.flow_curve[static_cast<std::size_t>(opt.best_k)];
+  result.best_k = opt.best_k;
+  result.wall_ms = timer.millis();
   return result;
 }
 

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/instance.hpp"
+#include "core/solve_result.hpp"
 #include "core/types.hpp"
 
 namespace calib {
@@ -31,5 +32,9 @@ BudgetSearchResult offline_online_optimum(const Instance& instance, Cost G);
 /// calibration stops paying for itself.
 BudgetSearchResult offline_online_optimum_binary(const Instance& instance,
                                                  Cost G);
+
+/// The exhaustive offline optimum as a uniform SolveResult (solver name
+/// "offline-opt"; best_k doubles as the calibration count).
+SolveResult offline_optimum_result(const Instance& instance, Cost G);
 
 }  // namespace calib

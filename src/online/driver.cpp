@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "util/check.hpp"
+#include "util/timer.hpp"
 
 namespace calib {
 
@@ -245,8 +246,10 @@ Cost OnlineDriver::online_cost() const {
   return G_ * calendar_.count() + flow;
 }
 
-Schedule run_online(const Instance& instance, Cost G, OnlinePolicy& policy) {
+Schedule run_online(const Instance& instance, Cost G, OnlinePolicy& policy,
+                    Trace* trace) {
   OnlineDriver driver(instance.T(), instance.machines(), G, policy);
+  driver.set_trace(trace);
   JobId next = 0;
   // Jobs release at nonnegative times; the driver clock starts at 0.
   while (next < instance.size() || !driver.all_placed()) {
@@ -271,6 +274,14 @@ Schedule run_online(const Instance& instance, Cost G, OnlinePolicy& policy) {
 Cost online_objective(const Instance& instance, Cost G,
                       OnlinePolicy& policy) {
   return run_online(instance, G, policy).online_cost(instance, G);
+}
+
+SolveResult run_online_result(const Instance& instance, Cost G,
+                              OnlinePolicy& policy, Trace* trace) {
+  const Timer timer;
+  const Schedule schedule = run_online(instance, G, policy, trace);
+  return summarize_schedule(policy.name(), instance, schedule, G,
+                            timer.millis());
 }
 
 }  // namespace calib

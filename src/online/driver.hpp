@@ -12,6 +12,7 @@
 #include "core/calendar.hpp"
 #include "core/instance.hpp"
 #include "core/schedule.hpp"
+#include "core/solve_result.hpp"
 #include "online/policy.hpp"
 #include "online/trace.hpp"
 
@@ -88,10 +89,17 @@ class OnlineDriver {
 };
 
 /// Run `policy` over a fixed instance: feed arrivals at their release
-/// times, drain, and return the realized schedule (validated).
-Schedule run_online(const Instance& instance, Cost G, OnlinePolicy& policy);
+/// times, drain, and return the realized schedule (validated). If
+/// `trace` is non-null it records the run's event stream (for derived
+/// metrics — queue lengths, utilization).
+Schedule run_online(const Instance& instance, Cost G, OnlinePolicy& policy,
+                    Trace* trace = nullptr);
 
 /// Convenience: the online objective value achieved by `policy`.
 Cost online_objective(const Instance& instance, Cost G, OnlinePolicy& policy);
+
+/// Run `policy` and report the uniform SolveResult (timed internally).
+SolveResult run_online_result(const Instance& instance, Cost G,
+                              OnlinePolicy& policy, Trace* trace = nullptr);
 
 }  // namespace calib

@@ -1,0 +1,103 @@
+#include "online/registry.hpp"
+
+#include <stdexcept>
+
+#include "online/alg1_unweighted.hpp"
+#include "online/alg2_weighted.hpp"
+#include "online/alg3_multi.hpp"
+#include "online/alg4_weighted_multi.hpp"
+#include "online/baselines.hpp"
+#include "online/randomized.hpp"
+
+namespace calib {
+
+PolicyRegistry& PolicyRegistry::instance() {
+  static PolicyRegistry registry;
+  return registry;
+}
+
+PolicyRegistry::PolicyRegistry() {
+  add("alg1", "Algorithm 1: unweighted, 1 machine, 3-competitive",
+      [](const PolicyParams&) { return std::make_unique<Alg1Unweighted>(); });
+  add("alg1-noimm",
+      "Algorithm 1 without immediate calibrations (Section 3 remark)",
+      [](const PolicyParams&) {
+        return std::make_unique<Alg1Unweighted>(false);
+      });
+  add("alg2", "Algorithm 2: weighted, 1 machine, 12-competitive",
+      [](const PolicyParams&) { return std::make_unique<Alg2Weighted>(); });
+  add("alg2-lightest",
+      "Algorithm 2 with the literal line-13 lightest-first extraction",
+      [](const PolicyParams&) {
+        return std::make_unique<Alg2Weighted>(QueueOrder::kLightestFirst);
+      });
+  add("alg3", "Algorithm 3: unweighted, P machines, 12-competitive",
+      [](const PolicyParams&) { return std::make_unique<Alg3Multi>(); });
+  add("alg4", "weighted multi-machine heuristic (open combination)",
+      [](const PolicyParams&) {
+        return std::make_unique<Alg4WeightedMulti>();
+      });
+  add("eager", "baseline: calibrate whenever anything waits",
+      [](const PolicyParams&) { return std::make_unique<EagerPolicy>(); });
+  add("ski", "baseline: deterministic ski-rental (delay until flow G)",
+      [](const PolicyParams&) { return std::make_unique<SkiRentalPolicy>(); });
+  add("periodic", "baseline: fixed calibration cadence (params.period)",
+      [](const PolicyParams& params) {
+        return std::make_unique<PeriodicPolicy>(params.period);
+      });
+  add("random", "randomized ski-rental threshold (params.seed)",
+      [](const PolicyParams& params) {
+        return std::make_unique<RandomizedSkiRental>(params.seed);
+      });
+}
+
+void PolicyRegistry::add(const std::string& name,
+                         const std::string& description, Factory factory) {
+  if (contains(name)) {
+    throw std::runtime_error("policy already registered: " + name);
+  }
+  names_.push_back(name);
+  entries_.push_back(Entry{description, std::move(factory)});
+}
+
+const PolicyRegistry::Entry* PolicyRegistry::find(
+    const std::string& name) const {
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return &entries_[i];
+  }
+  return nullptr;
+}
+
+bool PolicyRegistry::contains(const std::string& name) const {
+  return find(name) != nullptr;
+}
+
+const std::string& PolicyRegistry::description(
+    const std::string& name) const {
+  const Entry* entry = find(name);
+  if (entry == nullptr) throw std::runtime_error("unknown policy: " + name);
+  return entry->description;
+}
+
+std::unique_ptr<OnlinePolicy> PolicyRegistry::make(
+    const std::string& name, const PolicyParams& params) const {
+  const Entry* entry = find(name);
+  if (entry == nullptr) throw std::runtime_error("unknown policy: " + name);
+  return entry->factory(params);
+}
+
+std::unique_ptr<OnlinePolicy> make_policy(const std::string& name,
+                                          const PolicyParams& params) {
+  return PolicyRegistry::instance().make(name, params);
+}
+
+std::string policy_names_joined(char separator) {
+  std::string joined;
+  for (const std::string& name : PolicyRegistry::instance().names()) {
+    if (!joined.empty()) joined += separator;
+    joined += name;
+  }
+  return joined;
+}
+
+}  // namespace calib

@@ -1,0 +1,76 @@
+// Name → factory registry for online policies.
+//
+// Every front end (CLI, benches, the sweep engine) used to hand-roll the
+// same if-chain mapping "alg2" to Alg2Weighted; the registry is the one
+// place that mapping lives. Names are enumerable so tools can list what
+// is runnable, and construction goes through PolicyParams so per-policy
+// knobs (randomized seed, periodic cadence, ablation toggles) are plumbed
+// uniformly instead of growing per-binary flag parsing.
+//
+// External baselines (e.g. the arbitrary-calibration-length policies of
+// Angel et al., or Azar–Touitou-style flow algorithms) plug in through
+// PolicyRegistry::add without touching any front end.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "online/policy.hpp"
+
+namespace calib {
+
+/// Per-policy construction knobs. Policies read only the fields they
+/// care about; unused fields are ignored.
+struct PolicyParams {
+  std::uint64_t seed = 1;  ///< randomized policies (rand-ski)
+  Time period = 5;         ///< periodic baseline cadence
+};
+
+class PolicyRegistry {
+ public:
+  using Factory =
+      std::function<std::unique_ptr<OnlinePolicy>(const PolicyParams&)>;
+
+  /// The process-wide registry, pre-populated with the built-ins:
+  /// alg1, alg1-noimm, alg2, alg2-lightest, alg3, alg4, eager, ski,
+  /// periodic, random.
+  static PolicyRegistry& instance();
+
+  /// Register a policy. Throws std::runtime_error on duplicate names.
+  void add(const std::string& name, const std::string& description,
+           Factory factory);
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+  /// Registered names in registration order (built-ins first).
+  [[nodiscard]] const std::vector<std::string>& names() const {
+    return names_;
+  }
+  [[nodiscard]] const std::string& description(const std::string& name) const;
+
+  /// Construct by name. Throws std::runtime_error on unknown names.
+  [[nodiscard]] std::unique_ptr<OnlinePolicy> make(
+      const std::string& name, const PolicyParams& params = {}) const;
+
+ private:
+  PolicyRegistry();
+
+  struct Entry {
+    std::string description;
+    Factory factory;
+  };
+  std::vector<std::string> names_;
+  std::vector<Entry> entries_;  // parallel to names_
+  [[nodiscard]] const Entry* find(const std::string& name) const;
+};
+
+/// Shorthand for PolicyRegistry::instance().make(...).
+[[nodiscard]] std::unique_ptr<OnlinePolicy> make_policy(
+    const std::string& name, const PolicyParams& params = {});
+
+/// "alg1|alg1-noimm|..." — for usage strings.
+[[nodiscard]] std::string policy_names_joined(char separator = '|');
+
+}  // namespace calib

@@ -1,10 +1,33 @@
 #include "workload/generators.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "util/check.hpp"
 
 namespace calib {
+
+const char* weight_model_name(WeightModel model) {
+  switch (model) {
+    case WeightModel::kUnit:
+      return "unit";
+    case WeightModel::kUniform:
+      return "uniform";
+    case WeightModel::kZipf:
+      return "zipf";
+    case WeightModel::kBimodal:
+      return "bimodal";
+  }
+  return "?";
+}
+
+WeightModel parse_weight_model(const std::string& name) {
+  if (name == "unit") return WeightModel::kUnit;
+  if (name == "uniform") return WeightModel::kUniform;
+  if (name == "zipf") return WeightModel::kZipf;
+  if (name == "bimodal") return WeightModel::kBimodal;
+  throw std::runtime_error("unknown weight model: " + name);
+}
 
 Weight sample_weight(WeightModel model, Weight w_max, Prng& prng) {
   CALIB_CHECK(w_max >= 1);

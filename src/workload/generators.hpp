@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "core/instance.hpp"
 #include "deadline/deadline_instance.hpp"
@@ -22,6 +23,11 @@ enum class WeightModel {
   kZipf,     ///< Zipf(1.1) on [1, w_max] — heavy tail
   kBimodal,  ///< 1 with prob 0.9, w_max otherwise (rare urgent jobs)
 };
+
+/// "unit" / "uniform" / "zipf" / "bimodal" — the flag spelling every
+/// front end accepts. parse throws std::runtime_error on unknown names.
+[[nodiscard]] const char* weight_model_name(WeightModel model);
+[[nodiscard]] WeightModel parse_weight_model(const std::string& name);
 
 struct PoissonConfig {
   double rate = 0.3;     ///< expected arrivals per step

@@ -1,0 +1,199 @@
+// Sweep engine: thread-count-invariant determinism, DP flow-curve cache
+// correctness, instance sharing across solvers/G, and the uniform
+// SolveResult surface.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "harness/sweep.hpp"
+#include "offline/budget_search.hpp"
+#include "online/driver.hpp"
+#include "online/registry.hpp"
+#include "workload/generators.hpp"
+
+namespace calib {
+namespace {
+
+using harness::SweepEngine;
+using harness::SweepGrid;
+using harness::SweepReport;
+using harness::SweepRow;
+using harness::WorkloadSpec;
+
+SweepGrid small_grid() {
+  WorkloadSpec poisson;
+  poisson.kind = "poisson";
+  poisson.rate = 0.3;
+  poisson.steps = 25;
+  poisson.T = 4;
+  WorkloadSpec sparse;
+  sparse.kind = "sparse";
+  sparse.jobs = 6;
+  sparse.steps = 18;
+  sparse.T = 3;
+  sparse.weights = WeightModel::kUniform;
+  sparse.w_max = 5;
+
+  SweepGrid grid;
+  grid.workloads = {poisson, sparse};
+  grid.solvers = {"alg1", "alg2", "random", harness::kOfflineSolver};
+  grid.G_values = {4, 9, 15, 25};
+  grid.seeds = 3;
+  grid.base_seed = 99;
+  grid.compare_to_opt = true;
+  return grid;
+}
+
+std::string jsonl_of(const SweepReport& report) {
+  std::ostringstream os;
+  report.write_jsonl(os);
+  return os.str();
+}
+
+TEST(Sweep, SameRowsAtAnyThreadCount) {
+  SweepGrid one = small_grid();
+  one.threads = 1;
+  SweepGrid many = small_grid();
+  many.threads = 4;
+  const SweepReport serial = SweepEngine(one).run();
+  const SweepReport parallel = SweepEngine(many).run();
+
+  // Byte-identical structured output is the determinism contract.
+  EXPECT_EQ(jsonl_of(serial), jsonl_of(parallel));
+  std::ostringstream csv_serial;
+  std::ostringstream csv_parallel;
+  serial.write_csv(csv_serial);
+  parallel.write_csv(csv_parallel);
+  EXPECT_EQ(csv_serial.str(), csv_parallel.str());
+  ASSERT_EQ(serial.rows.size(), one.cells());
+}
+
+TEST(Sweep, AllSolversOfACellShareTheInstance) {
+  const SweepReport report = SweepEngine(small_grid()).run();
+  // Row jobs-count is an instance fingerprint: for fixed (workload,
+  // seed) it must not depend on solver or G.
+  for (const SweepRow& a : report.rows) {
+    for (const SweepRow& b : report.rows) {
+      if (a.workload_index == b.workload_index && a.seed == b.seed) {
+        EXPECT_EQ(a.jobs, b.jobs);
+      }
+    }
+  }
+}
+
+TEST(Sweep, CachedCurveMatchesUncachedOptimum) {
+  const SweepGrid grid = small_grid();
+  const SweepReport report = SweepEngine(grid).run();
+  for (const SweepRow& row : report.rows) {
+    const Instance instance =
+        harness::materialize_instance(grid, row.workload_index, row.seed);
+    ASSERT_EQ(instance.size(), row.jobs);
+    const BudgetSearchResult opt = offline_online_optimum(instance, row.G);
+    ASSERT_TRUE(row.has_opt);
+    EXPECT_EQ(row.opt_cost, opt.best_cost) << row.cell;
+    EXPECT_EQ(row.opt_k, opt.best_k) << row.cell;
+    if (row.solver == harness::kOfflineSolver) {
+      EXPECT_EQ(row.result.objective, opt.best_cost) << row.cell;
+      EXPECT_EQ(row.result.best_k, opt.best_k) << row.cell;
+      EXPECT_EQ(row.result.flow, opt.best_cost - row.G * opt.best_k)
+          << row.cell;
+    } else {
+      EXPECT_DOUBLE_EQ(row.ratio,
+                       static_cast<double>(row.result.objective) /
+                           static_cast<double>(opt.best_cost));
+      EXPECT_GE(row.result.objective, opt.best_cost) << row.cell;
+    }
+  }
+}
+
+TEST(Sweep, DpCurveComputedOncePerInstance) {
+  const SweepGrid grid = small_grid();
+  const SweepReport report = SweepEngine(grid).run();
+  // 2 workloads x 3 seeds = 6 distinct instances; every other (G,
+  // solver) lookup must hit. With compare_to_opt on, every cell does
+  // exactly one lookup.
+  EXPECT_EQ(report.timing.dp_cache_misses, 6u);
+  EXPECT_GT(report.timing.dp_cache_hits, 0u);
+  const std::size_t lookups =
+      report.timing.dp_cache_hits + report.timing.dp_cache_misses;
+  EXPECT_EQ(lookups, grid.cells());
+}
+
+TEST(Sweep, OnlineRowsMatchDirectRuns) {
+  const SweepGrid grid = small_grid();
+  const SweepReport report = SweepEngine(grid).run();
+  for (const SweepRow& row : report.rows) {
+    if (row.solver != "alg1" && row.solver != "alg2") continue;
+    const Instance instance =
+        harness::materialize_instance(grid, row.workload_index, row.seed);
+    const auto policy = make_policy(row.solver);
+    const SolveResult direct = run_online_result(instance, row.G, *policy);
+    EXPECT_EQ(row.result.objective, direct.objective) << row.cell;
+    EXPECT_EQ(row.result.calibrations, direct.calibrations) << row.cell;
+    EXPECT_EQ(row.result.flow, direct.flow) << row.cell;
+  }
+}
+
+TEST(Sweep, ExtraMetricIsEmitted) {
+  SweepGrid grid = small_grid();
+  grid.solvers = {"alg2"};
+  grid.extra_metric_name = "jobs_twice";
+  grid.extra_metric = [](const Instance& instance, const Schedule&, Cost) {
+    return 2.0 * static_cast<double>(instance.size());
+  };
+  const SweepReport report = SweepEngine(grid).run();
+  for (const SweepRow& row : report.rows) {
+    ASSERT_TRUE(row.has_extra);
+    EXPECT_DOUBLE_EQ(row.extra, 2.0 * static_cast<double>(row.jobs));
+  }
+  EXPECT_NE(jsonl_of(report).find("\"jobs_twice\":"), std::string::npos);
+}
+
+TEST(Sweep, TraceMetricsPresentWhenRequested) {
+  SweepGrid grid = small_grid();
+  grid.solvers = {"eager"};
+  const SweepReport report = SweepEngine(grid).run();
+  for (const SweepRow& row : report.rows) {
+    ASSERT_TRUE(row.has_trace);
+    EXPECT_GE(row.peak_queue, 0);
+    EXPECT_GT(row.utilization, 0.0);
+    EXPECT_LE(row.utilization, 1.0);
+  }
+}
+
+TEST(Sweep, RejectsBadGrids) {
+  SweepGrid no_solver = small_grid();
+  no_solver.solvers.clear();
+  EXPECT_THROW(SweepEngine{no_solver}, std::runtime_error);
+
+  SweepGrid unknown = small_grid();
+  unknown.solvers = {"definitely-not-registered"};
+  EXPECT_THROW(SweepEngine{unknown}, std::runtime_error);
+
+  SweepGrid multi_machine_opt = small_grid();
+  multi_machine_opt.workloads[0].machines = 2;
+  EXPECT_THROW(SweepEngine{multi_machine_opt}, std::runtime_error);
+
+  SweepGrid bad_kind = small_grid();
+  bad_kind.workloads[0].kind = "martian";
+  EXPECT_THROW((void)SweepEngine(bad_kind).run(), std::runtime_error);
+}
+
+TEST(SolveResult, OnlineAndOfflinePathsAgreeOnShape) {
+  const Instance instance = regression_instance();
+  const auto policy = make_policy("alg2");
+  const SolveResult online = run_online_result(instance, /*G=*/9, *policy);
+  EXPECT_EQ(online.solver, "alg2");
+  EXPECT_EQ(online.objective, 9 * online.calibrations + online.flow);
+  EXPECT_EQ(online.best_k, -1);
+
+  const SolveResult offline = offline_optimum_result(instance, /*G=*/9);
+  EXPECT_EQ(offline.solver, "offline-opt");
+  EXPECT_EQ(offline.best_k, offline.calibrations);
+  EXPECT_EQ(offline.objective, 9 * offline.best_k + offline.flow);
+  EXPECT_LE(offline.objective, online.objective);
+}
+
+}  // namespace
+}  // namespace calib

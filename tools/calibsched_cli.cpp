@@ -4,16 +4,21 @@
 //   generate  --kind poisson|bursty|sparse --jobs N --steps N --rate R
 //             --T N --machines P --weights unit|uniform|zipf|bimodal
 //             --seed S [--out file]           -> instance CSV
-//   solve     --in file --G N [--policy alg1|alg2|alg3|eager|ski|
-//             periodic|random] [--offline] [--svg file]
-//             -> cost report (and optional SVG of the schedule)
+//   solve     --in file --G N [--policy NAME] [--offline] [--svg file]
+//             (policy names come from the registry; see `policies`)
+//             -> uniform SolveResult report (and optional schedule SVG)
+//   sweep     declarative grid -> JSONL/CSV rows, fanned across the
+//             thread pool with deterministic per-cell PRNG streams
 //   frontier  --in file [--kmax N]            -> the F(k) curve
 //   lowerbound --in file --G N                -> Figure 1 LP bound
+//   policies                                  -> registry listing
 //
 // Examples:
 //   calibsched_cli generate --kind poisson --steps 100 --rate 0.3
 //       --T 6 --seed 7 --out day.csv
 //   calibsched_cli solve --in day.csv --G 15 --policy alg2 --offline
+//   calibsched_cli sweep --kinds poisson,bursty --policies alg1,alg2,offline
+//       --G 6,20,60 --seeds 20 --T 6 --opt --out rows.jsonl
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -21,17 +26,15 @@
 
 #include "core/schedule_io.hpp"
 #include "core/svg.hpp"
+#include "harness/sweep.hpp"
 #include "lp/calib_lp.hpp"
 #include "offline/budget_search.hpp"
 #include "offline/dp.hpp"
-#include "online/alg1_unweighted.hpp"
-#include "online/alg2_weighted.hpp"
-#include "online/alg3_multi.hpp"
-#include "online/baselines.hpp"
 #include "online/driver.hpp"
-#include "online/randomized.hpp"
+#include "online/registry.hpp"
 #include "util/args.hpp"
 #include "util/table.hpp"
+#include "util/timer.hpp"
 #include "workload/generators.hpp"
 
 namespace {
@@ -40,36 +43,23 @@ using namespace calib;
 
 int usage() {
   std::cerr <<
-      "usage: calibsched_cli <generate|solve|frontier|lowerbound> "
-      "[flags]\n"
+      "usage: calibsched_cli "
+      "<generate|solve|sweep|frontier|lowerbound|policies> [flags]\n"
       "  generate   --kind poisson|bursty|sparse --T N [--jobs N]\n"
       "             [--steps N] [--rate R] [--machines P] [--weights W]\n"
       "             [--wmax N] [--seed S] [--out FILE]\n"
       "  solve      --in FILE --G N [--policy P] [--offline] [--svg FILE]\n"
-      "             [--save-schedule FILE]\n"
+      "             [--save-schedule FILE]  (P one of: "
+            << policy_names_joined() << ")\n"
+      "  sweep      --kinds K[,K...] --policies P[,P...|offline] --G N[,N...]\n"
+      "             [--seeds N] [--seed S] [--T N] [--steps N] [--rate R]\n"
+      "             [--weights W[,W...]] [--wmax N] [--machines P] [--jobs N]\n"
+      "             [--period N] [--threads N] [--opt] [--no-trace]\n"
+      "             [--format jsonl|csv] [--timing] [--out FILE]\n"
       "  frontier   --in FILE [--kmax N]\n"
-      "  lowerbound --in FILE --G N\n";
+      "  lowerbound --in FILE --G N\n"
+      "  policies   (list the registry's solver names)\n";
   return 2;
-}
-
-WeightModel parse_weights(const std::string& name) {
-  if (name == "unit") return WeightModel::kUnit;
-  if (name == "uniform") return WeightModel::kUniform;
-  if (name == "zipf") return WeightModel::kZipf;
-  if (name == "bimodal") return WeightModel::kBimodal;
-  throw std::runtime_error("unknown weight model: " + name);
-}
-
-std::unique_ptr<OnlinePolicy> parse_policy(const std::string& name,
-                                           std::uint64_t seed) {
-  if (name == "alg1") return std::make_unique<Alg1Unweighted>();
-  if (name == "alg2") return std::make_unique<Alg2Weighted>();
-  if (name == "alg3") return std::make_unique<Alg3Multi>();
-  if (name == "eager") return std::make_unique<EagerPolicy>();
-  if (name == "ski") return std::make_unique<SkiRentalPolicy>();
-  if (name == "periodic") return std::make_unique<PeriodicPolicy>(5);
-  if (name == "random") return std::make_unique<RandomizedSkiRental>(seed);
-  throw std::runtime_error("unknown policy: " + name);
 }
 
 Instance load_instance(const std::string& path) {
@@ -78,11 +68,29 @@ Instance load_instance(const std::string& path) {
   return Instance::load_csv(in);
 }
 
+std::vector<std::string> split_list(const std::string& csv) {
+  std::vector<std::string> items;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) items.push_back(item);
+  }
+  return items;
+}
+
+std::vector<Cost> split_costs(const std::string& csv) {
+  std::vector<Cost> values;
+  for (const std::string& item : split_list(csv)) {
+    values.push_back(static_cast<Cost>(std::stoll(item)));
+  }
+  return values;
+}
+
 int cmd_generate(const Args& args) {
   Prng prng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
   const Time T = args.get_int("T", 6);
   const int machines = static_cast<int>(args.get_int("machines", 1));
-  const WeightModel weights = parse_weights(args.get("weights", "unit"));
+  const WeightModel weights = parse_weight_model(args.get("weights", "unit"));
   const Weight w_max = args.get_int("wmax", 9);
   const std::string kind = args.get("kind", "poisson");
 
@@ -121,28 +129,37 @@ int cmd_generate(const Args& args) {
   return 0;
 }
 
+void add_result_row(Table& table, const SolveResult& result) {
+  table.row()
+      .add(result.solver)
+      .add(result.calibrations)
+      .add(result.flow)
+      .add(result.objective)
+      .add(result.best_k >= 0 ? std::to_string(result.best_k)
+                              : std::string("-"))
+      .add(result.wall_ms, 2);
+}
+
 int cmd_solve(const Args& args) {
   const Instance instance = load_instance(args.get("in", ""));
   const Cost G = args.get_int("G", 10);
   const std::string policy_name = args.get("policy", "alg2");
-  auto policy = parse_policy(policy_name,
-                             static_cast<std::uint64_t>(
-                                 args.get_int("seed", 1)));
-  const Schedule schedule = run_online(instance, G, *policy);
+  PolicyParams params;
+  params.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  params.period = args.get_int("period", 5);
+  const auto policy = make_policy(policy_name, params);
 
-  Table table({"solver", "calibrations", "weighted flow", "objective"});
-  table.row()
-      .add(policy->name())
-      .add(static_cast<std::int64_t>(schedule.calendar().count()))
-      .add(schedule.weighted_flow(instance))
-      .add(schedule.online_cost(instance, G));
+  const Timer timer;
+  const Schedule schedule = run_online(instance, G, *policy);
+  const SolveResult online = summarize_schedule(
+      policy->name(), instance, schedule, G, timer.millis());
+
+  // Online and offline print through the same SolveResult columns.
+  Table table({"solver", "calibrations", "weighted flow", "objective",
+               "best k", "wall ms"});
+  add_result_row(table, online);
   if (args.has("offline") && instance.machines() == 1) {
-    const BudgetSearchResult opt = offline_online_optimum(instance, G);
-    table.row()
-        .add("offline OPT")
-        .add(static_cast<std::int64_t>(opt.best_k))
-        .add(opt.flow_curve[static_cast<std::size_t>(opt.best_k)])
-        .add(opt.best_cost);
+    add_result_row(table, offline_optimum_result(instance, G));
   }
   table.print(std::cout);
 
@@ -163,6 +180,64 @@ int cmd_solve(const Args& args) {
     save_schedule_csv(schedule, out);
     std::cout << "wrote " << schedule_path << '\n';
   }
+  return 0;
+}
+
+int cmd_sweep(const Args& args) {
+  harness::SweepGrid grid;
+  // One WorkloadSpec per kind × weight model; the scalar knobs are
+  // shared across the grid (run several sweeps for per-kind knobs).
+  const auto kinds = split_list(args.get("kinds", args.get("kind", "poisson")));
+  const auto weight_names = split_list(args.get("weights", "unit"));
+  for (const std::string& kind : kinds) {
+    for (const std::string& weight_name : weight_names) {
+      harness::WorkloadSpec spec;
+      spec.kind = kind;
+      spec.T = args.get_int("T", 6);
+      spec.machines = static_cast<int>(args.get_int("machines", 1));
+      spec.weights = parse_weight_model(weight_name);
+      spec.w_max = args.get_int("wmax", 9);
+      spec.steps = args.get_int("steps", 100);
+      spec.rate = args.get_double("rate", 0.3);
+      spec.jobs = static_cast<int>(args.get_int("jobs", 10));
+      grid.workloads.push_back(spec);
+    }
+  }
+  grid.solvers = split_list(args.get("policies", "alg2"));
+  grid.G_values = split_costs(args.get("G", "10"));
+  grid.seeds = static_cast<int>(args.get_int("seeds", 1));
+  grid.base_seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  grid.periodic_period = args.get_int("period", 5);
+  grid.compare_to_opt = args.has("opt");
+  grid.collect_trace = !args.has("no-trace");
+  grid.threads = static_cast<std::size_t>(args.get_int("threads", 0));
+
+  harness::SweepEngine engine(std::move(grid));
+  const harness::SweepReport report = engine.run();
+
+  const bool timing = args.has("timing");
+  const std::string format = args.get("format", "jsonl");
+  std::ostringstream body;
+  if (format == "jsonl") {
+    report.write_jsonl(body, timing);
+  } else if (format == "csv") {
+    report.write_csv(body, timing);
+  } else {
+    throw std::runtime_error("unknown format: " + format);
+  }
+
+  const std::string out = args.get("out", "");
+  if (out.empty()) {
+    std::cout << body.str();
+  } else {
+    std::ofstream file(out);
+    if (!file) throw std::runtime_error("cannot write " + out);
+    file << body.str();
+    std::cerr << "wrote " << report.rows.size() << " rows to " << out
+              << '\n';
+  }
+  // Timing goes to stderr so stdout rows stay byte-stable across runs.
+  std::cerr << report.timing_summary() << '\n';
   return 0;
 }
 
@@ -192,6 +267,16 @@ int cmd_lowerbound(const Args& args) {
   return 0;
 }
 
+int cmd_policies() {
+  Table table({"name", "description"});
+  for (const std::string& name : PolicyRegistry::instance().names()) {
+    table.row().add(name).add(PolicyRegistry::instance().description(name));
+  }
+  table.print(std::cout);
+  std::cout << "plus \"offline\" (sweep only): Section 4 DP optimum\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -199,13 +284,17 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   try {
     const Args args(argc - 1, argv + 1,
-                    {"kind", "jobs", "steps", "rate", "T", "machines",
-                     "weights", "wmax", "seed", "out", "in", "G", "policy",
-                     "offline", "svg", "save-schedule", "kmax"});
+                    {"kind", "kinds", "jobs", "steps", "rate", "T",
+                     "machines", "weights", "wmax", "seed", "seeds", "out",
+                     "in", "G", "policy", "policies", "offline", "svg",
+                     "save-schedule", "kmax", "period", "threads", "opt",
+                     "no-trace", "format", "timing"});
     if (command == "generate") return cmd_generate(args);
     if (command == "solve") return cmd_solve(args);
+    if (command == "sweep") return cmd_sweep(args);
     if (command == "frontier") return cmd_frontier(args);
     if (command == "lowerbound") return cmd_lowerbound(args);
+    if (command == "policies") return cmd_policies();
     return usage();
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << '\n';
