@@ -1,17 +1,35 @@
 // Shared helpers for the experiment harness: ratio measurement against
-// the exact offline optimum, seed-ensemble averaging on the thread pool.
+// the exact offline optimum, seed-ensemble averaging on the thread pool,
+// opt-in checkpoint journaling for the sweep-driven benches.
 #pragma once
 
+#include <cstdlib>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 
+#include "harness/sweep.hpp"
 #include "offline/budget_search.hpp"
 #include "online/driver.hpp"
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
 
 namespace calib::benchutil {
+
+/// Benches opt into the sweep engine's checkpoint journal by exporting
+/// CALIBSCHED_JOURNAL=<directory>: each bench then appends its rows to
+/// <dir>/<tag>.journal.jsonl and a re-run resumes instead of recomputing
+/// completed cells. Unset (the default) → no journaling, no files.
+inline harness::SweepOptions sweep_options_from_env(const std::string& tag) {
+  harness::SweepOptions options;
+  if (const char* dir = std::getenv("CALIBSCHED_JOURNAL");
+      dir != nullptr && *dir != '\0') {
+    options.journal_path = std::string(dir) + "/" + tag + ".journal.jsonl";
+    options.resume = true;
+  }
+  return options;
+}
 
 /// Competitive ratio of `policy` on `instance` against the exact
 /// offline optimum (Section 4 DP searched over budgets).

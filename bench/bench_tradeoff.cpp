@@ -109,8 +109,8 @@ struct TablePrinter {
     }
     frontier.print(std::cout);
 
-    const harness::SweepReport report =
-        harness::SweepEngine(grid).run();
+    const harness::SweepReport report = harness::SweepEngine(grid).run(
+        benchutil::sweep_options_from_env("bench_tradeoff"));
     std::cout << "\nE8b - offline optimum's cost split as G grows, and "
                  "footnote-5 binary search agreement:\n";
     Table split({"G", "best k", "calibration spend", "flow", "total",

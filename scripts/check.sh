@@ -14,5 +14,15 @@ if [ "${SANITIZE:-0}" = "1" ]; then
 fi
 
 cmake -B "$BUILD" -S . "${EXTRA_FLAGS[@]}"
-cmake --build "$BUILD" -j
+
+# Build with the log captured: the harness is the reliability layer, so
+# even non-fatal compiler warnings in src/harness/ fail the check.
+BUILD_LOG="$(mktemp)"
+trap 'rm -f "$BUILD_LOG"' EXIT
+cmake --build "$BUILD" -j 2>&1 | tee "$BUILD_LOG"
+if grep "warning:" "$BUILD_LOG" | grep -q "src/harness/"; then
+  echo "error: compiler warnings in src/harness/ (see above)" >&2
+  exit 1
+fi
+
 ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)"

@@ -1,5 +1,6 @@
 #include "core/schedule_io.hpp"
 
+#include <charconv>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -8,6 +9,39 @@
 #include "util/csv.hpp"
 
 namespace calib {
+namespace {
+
+// Any coordinate this large is corruption, not a schedule; capping here
+// keeps later arithmetic (start + T, horizon sums) away from int64
+// overflow.
+constexpr std::int64_t kMaxCoordinate = 1'000'000'000'000'000;
+
+// Strict full-token integer parse. stoll-style parsing would accept
+// "3garbage" as 3 (silent misparse) and feed unchecked values into
+// CALIB_CHECK-guarded core calls (process abort); malformed input must
+// instead surface as std::runtime_error.
+std::int64_t parse_int(const std::string& field, const char* what) {
+  std::int64_t value = 0;
+  const char* first = field.data();
+  const char* last = first + field.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (field.empty() || ec != std::errc{} || ptr != last ||
+      value > kMaxCoordinate || value < -kMaxCoordinate) {
+    throw std::runtime_error(std::string("schedule csv: bad ") + what +
+                             ": \"" + field + "\"");
+  }
+  return value;
+}
+
+int parse_machine(const std::string& field, int machines) {
+  const std::int64_t m = parse_int(field, "machine");
+  if (m < 0 || m >= machines) {
+    throw std::runtime_error("schedule csv: machine out of range: " + field);
+  }
+  return static_cast<int>(m);
+}
+
+}  // namespace
 
 void save_schedule_csv(const Schedule& schedule, std::ostream& os) {
   const Calendar& calendar = schedule.calendar();
@@ -45,11 +79,14 @@ Schedule load_schedule_csv(std::istream& is) {
         p_field.rfind("P=", 0) != 0 || n_field.rfind("N=", 0) != 0) {
       throw std::runtime_error("schedule csv: bad header: " + header);
     }
-    T = std::stoll(t_field.substr(2));
-    machines = std::stoi(p_field.substr(2));
-    jobs = std::stoi(n_field.substr(2));
+    T = parse_int(t_field.substr(2), "T");
+    machines = static_cast<int>(parse_int(p_field.substr(2), "P"));
+    jobs = static_cast<int>(parse_int(n_field.substr(2), "N"));
   }
-  if (T < 1 || machines < 1 || jobs < 0) {
+  // The size caps reject absurd headers before the Schedule constructor
+  // tries to allocate for them.
+  if (T < 1 || machines < 1 || jobs < 0 || machines > 1'000'000 ||
+      jobs > 10'000'000) {
     throw std::runtime_error("schedule csv: invalid header values");
   }
   Calendar calendar(T, machines);
@@ -61,18 +98,26 @@ Schedule load_schedule_csv(std::istream& is) {
       if (row.size() != 3) {
         throw std::runtime_error("schedule csv: bad calibration row");
       }
-      schedule.calendar().add(std::stoi(row[1]), std::stoll(row[2]));
+      const int m = parse_machine(row[1], machines);
+      // Negative starts are legal (the DP witness can calibrate before
+      // t = 0 on shifted instances); only the magnitude is bounded.
+      const Time start = parse_int(row[2], "calibration start");
+      schedule.calendar().add(m, start);
       any_calibration = true;
     } else if (row[0] == "placement") {
       if (row.size() != 4) {
         throw std::runtime_error("schedule csv: bad placement row");
       }
-      const int j = std::stoi(row[1]);
+      const std::int64_t j = parse_int(row[1], "job");
       if (j < 0 || j >= jobs) {
         throw std::runtime_error("schedule csv: placement job out of range");
       }
-      schedule.place(static_cast<JobId>(j), std::stoi(row[2]),
-                     std::stoll(row[3]));
+      const int m = parse_machine(row[2], machines);
+      const Time start = parse_int(row[3], "placement start");
+      if (start < kUnscheduled) {
+        throw std::runtime_error("schedule csv: invalid placement start");
+      }
+      schedule.place(static_cast<JobId>(j), m, start);
     } else {
       throw std::runtime_error("schedule csv: unknown row kind " + row[0]);
     }

@@ -1,9 +1,33 @@
 #include "core/solve_result.hpp"
 
+#include <stdexcept>
+
 #include "core/instance.hpp"
 #include "core/schedule.hpp"
 
 namespace calib {
+
+const char* run_status_name(RunStatus status) {
+  switch (status) {
+    case RunStatus::kOk:
+      return "ok";
+    case RunStatus::kError:
+      return "error";
+    case RunStatus::kTimeout:
+      return "timeout";
+    case RunStatus::kSkipped:
+      return "skipped";
+  }
+  return "error";  // unreachable; keeps -Wreturn-type quiet
+}
+
+RunStatus parse_run_status(const std::string& name) {
+  if (name == "ok") return RunStatus::kOk;
+  if (name == "error") return RunStatus::kError;
+  if (name == "timeout") return RunStatus::kTimeout;
+  if (name == "skipped") return RunStatus::kSkipped;
+  throw std::runtime_error("unknown run status: " + name);
+}
 
 SolveResult summarize_schedule(const std::string& solver,
                                const Instance& instance,

@@ -15,6 +15,24 @@ namespace calib {
 class Instance;
 class Schedule;
 
+/// Outcome of one solve attempt. Everything that runs cells — the sweep
+/// engine, journaled resumes, the CLI — speaks this vocabulary, so
+/// degraded runs serialize through the same columns as healthy ones.
+enum class RunStatus {
+  kOk,       ///< solve completed; result fields are meaningful
+  kError,    ///< solve threw; error message captured, result zeroed
+  kTimeout,  ///< per-cell budget exceeded (deadline or step limit)
+  kSkipped,  ///< never attempted (run interrupted before this cell)
+};
+
+/// Stable lowercase names ("ok", "error", "timeout", "skipped") used in
+/// JSONL/CSV rows and journal lines.
+[[nodiscard]] const char* run_status_name(RunStatus status);
+
+/// Inverse of run_status_name; throws std::runtime_error on unknown
+/// names (journal corruption must not silently misparse).
+[[nodiscard]] RunStatus parse_run_status(const std::string& name);
+
 struct SolveResult {
   std::string solver;    ///< registry name / policy name / "offline-opt"
   Cost objective = 0;    ///< G * calibrations + weighted flow

@@ -43,7 +43,7 @@ CurveOptimum optimum_from_curve(const std::vector<Cost>& curve, Cost G) {
 }
 
 std::shared_ptr<const std::vector<Cost>> FlowCurveCache::curve(
-    const Instance& instance) {
+    const Instance& instance, Budget* budget) {
   CALIB_CHECK_MSG(instance.machines() == 1,
                   "the Section 4 DP requires P == 1");
   const std::string key = instance_key(instance);
@@ -70,12 +70,19 @@ std::shared_ptr<const std::vector<Cost>> FlowCurveCache::curve(
       const Timer timer;
       OfflineDp dp(instance.releases_normalized() ? instance
                                                   : instance.normalized());
+      dp.set_budget(budget);
       auto curve = std::make_shared<const std::vector<Cost>>(
           dp.flow_curve(dp.instance().size()));
       compute_micros_.fetch_add(
           static_cast<std::int64_t>(timer.seconds() * 1e6));
       promise.set_value(std::move(curve));
     } catch (...) {
+      // Evict before publishing the failure so later requests retry
+      // instead of inheriting this cell's exception forever.
+      {
+        const std::scoped_lock lock(mutex_);
+        curves_.erase(key);
+      }
       promise.set_exception(std::current_exception());
     }
   }

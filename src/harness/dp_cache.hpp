@@ -9,6 +9,13 @@
 // Thread-safe with compute-once semantics: concurrent requests for the
 // same instance block on a single computation instead of duplicating it
 // (duplication would erase exactly the saving the cache exists for).
+//
+// Failure semantics: if the computing thread throws (including
+// BudgetExceeded from its cell budget), every waiter currently blocked
+// on that computation receives the same exception — their cells degrade
+// to error/timeout rows together — but the failed entry is evicted, so
+// any *later* request recomputes from scratch (possibly under a larger
+// budget) instead of inheriting a stale failure forever.
 #pragma once
 
 #include <atomic>
@@ -21,6 +28,7 @@
 
 #include "core/instance.hpp"
 #include "core/types.hpp"
+#include "util/budget.hpp"
 
 namespace calib::harness {
 
@@ -39,9 +47,11 @@ class FlowCurveCache {
  public:
   /// The flow curve F(0..n) of `instance` (normalized internally, like
   /// offline_online_optimum). Computes on first request; every later
-  /// request for an identical instance returns the shared copy.
+  /// request for an identical instance returns the shared copy. A
+  /// non-null `budget` is charged per DP state while *this* call owns
+  /// the computation (see the failure semantics above).
   [[nodiscard]] std::shared_ptr<const std::vector<Cost>> curve(
-      const Instance& instance);
+      const Instance& instance, Budget* budget = nullptr);
 
   [[nodiscard]] std::size_t hits() const { return hits_.load(); }
   [[nodiscard]] std::size_t misses() const { return misses_.load(); }

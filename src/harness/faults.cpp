@@ -1,0 +1,45 @@
+#include "harness/faults.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/prng.hpp"
+
+namespace calib::harness {
+
+bool FaultPlan::empty() const {
+  return throw_cells.empty() && timeout_cells.empty() &&
+         throw_probability == 0.0 && timeout_probability == 0.0;
+}
+
+FaultPlan::Action FaultPlan::action(const CellCoords& coords) const {
+  const auto listed = [&](const std::vector<std::size_t>& cells) {
+    return std::find(cells.begin(), cells.end(), coords.index) != cells.end();
+  };
+  if (listed(throw_cells)) return Action::kThrow;
+  if (listed(timeout_cells)) return Action::kTimeout;
+  if (throw_probability == 0.0 && timeout_probability == 0.0) {
+    return Action::kNone;
+  }
+  // Fresh root per cell, exactly like the instance/policy streams: the
+  // draw depends only on (seed, cell index), never on evaluation order.
+  Prng root(seed);
+  Prng stream = root.split(coords.index);
+  const double draw = stream.uniform01();
+  if (draw < throw_probability) return Action::kThrow;
+  if (draw < throw_probability + timeout_probability) {
+    return Action::kTimeout;
+  }
+  return Action::kNone;
+}
+
+void FaultPlan::validate() const {
+  if (throw_probability < 0.0 || throw_probability > 1.0 ||
+      timeout_probability < 0.0 || timeout_probability > 1.0 ||
+      throw_probability + timeout_probability > 1.0) {
+    throw std::runtime_error(
+        "fault plan: probabilities must lie in [0, 1] and sum to <= 1");
+  }
+}
+
+}  // namespace calib::harness

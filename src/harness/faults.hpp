@@ -1,0 +1,42 @@
+// Deterministic fault injection for the sweep engine.
+//
+// A FaultPlan decides, per cell, whether to force a throw or a timeout —
+// as a pure function of (plan seed, cell coordinates), never of wall
+// clock or thread scheduling. That determinism is the point: the same
+// plan injects the same faults on every run at every thread count, so
+// tests can drive every degradation path (error rows, timeout rows,
+// journal resume around failed cells) and byte-compare the results.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "harness/grid.hpp"
+
+namespace calib::harness {
+
+struct FaultPlan {
+  enum class Action { kNone, kThrow, kTimeout };
+
+  /// Explicit cell indices (grid enumeration order) to fail. Checked
+  /// before the probabilistic draw; a cell in both lists throws.
+  std::vector<std::size_t> throw_cells;
+  std::vector<std::size_t> timeout_cells;
+
+  /// Independent per-cell probabilities, drawn from a PRNG stream
+  /// derived from (seed, cell index). Both zero = no random faults.
+  double throw_probability = 0.0;
+  double timeout_probability = 0.0;
+  std::uint64_t seed = 0;
+
+  [[nodiscard]] bool empty() const;
+
+  /// The action for one cell. Pure; callable concurrently.
+  [[nodiscard]] Action action(const CellCoords& coords) const;
+
+  /// Throws std::runtime_error if probabilities are outside [0, 1] or
+  /// sum above 1.
+  void validate() const;
+};
+
+}  // namespace calib::harness

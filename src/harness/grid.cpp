@@ -50,6 +50,17 @@ Instance WorkloadSpec::instantiate(Prng& prng) const {
   throw std::runtime_error("unknown workload kind: " + kind);
 }
 
+void WorkloadSpec::validate() const {
+  if (kind != "poisson" && kind != "bursty" && kind != "sparse" &&
+      kind != "trickle") {
+    throw std::runtime_error("unknown workload kind: " + kind);
+  }
+  if (T < 1) throw std::runtime_error("workload: T must be >= 1");
+  if (machines < 1) {
+    throw std::runtime_error("workload: machines must be >= 1");
+  }
+}
+
 std::string WorkloadSpec::label() const {
   std::ostringstream os;
   os << kind << '(';
@@ -94,6 +105,26 @@ Instance materialize_instance(const SweepGrid& grid,
                               static_cast<std::uint64_t>(seed_index);
   Prng stream = root.split(label);
   return grid.workloads[workload_index].instantiate(stream);
+}
+
+std::uint64_t grid_fingerprint(const SweepGrid& grid) {
+  std::ostringstream os;
+  os << "grid-v1|seeds=" << grid.seeds << "|base=" << grid.base_seed
+     << "|period=" << grid.periodic_period << "|opt=" << grid.compare_to_opt
+     << "|trace=" << grid.collect_trace
+     << "|extra=" << grid.extra_metric_name;
+  for (const WorkloadSpec& spec : grid.workloads) os << "|w:" << spec.label();
+  for (const std::string& solver : grid.solvers) os << "|s:" << solver;
+  for (const Cost G : grid.G_values) os << "|g:" << G;
+  // FNV-1a: stable across platforms, and a collision only matters if two
+  // *different* grids share a journal file — vanishingly unlikely and
+  // caught downstream by the per-line cell coordinates.
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : os.str()) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
 }
 
 }  // namespace calib::harness

@@ -42,6 +42,11 @@ struct WorkloadSpec {
   /// std::runtime_error on an unknown kind.
   [[nodiscard]] Instance instantiate(Prng& prng) const;
 
+  /// Eager validation (unknown kind, nonpositive T/machines); throws
+  /// std::runtime_error. Lets the SweepEngine reject a bad grid at
+  /// construction instead of failing cell-by-cell at run time.
+  void validate() const;
+
   /// Compact human/JSON label, e.g. "poisson(rate=0.3,steps=100,w=unit,
   /// T=6,P=1)". Deterministic; used as the workload column of every row.
   [[nodiscard]] std::string label() const;
@@ -97,5 +102,13 @@ struct CellCoords {
 [[nodiscard]] Instance materialize_instance(const SweepGrid& grid,
                                             std::size_t workload_index,
                                             int seed_index);
+
+/// Deterministic 64-bit fingerprint of everything that shapes a sweep's
+/// rows: workload labels, solvers, G values, seeds, base_seed, the
+/// periodic period and the opt/trace/extra switches. Thread count and
+/// other execution knobs are deliberately excluded — they never change
+/// the rows. Used to key checkpoint journals: a journal written for one
+/// grid must never be replayed into another.
+[[nodiscard]] std::uint64_t grid_fingerprint(const SweepGrid& grid);
 
 }  // namespace calib::harness

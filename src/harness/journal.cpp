@@ -1,0 +1,179 @@
+#include "harness/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace calib::harness {
+namespace {
+
+[[noreturn]] void malformed(const std::string& line) {
+  throw std::runtime_error("journal: malformed JSON line: " + line);
+}
+
+void skip_spaces(const std::string& s, std::size_t& i) {
+  while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
+}
+
+std::string parse_string(const std::string& s, std::size_t& i) {
+  if (i >= s.size() || s[i] != '"') malformed(s);
+  ++i;
+  std::string out;
+  while (i < s.size() && s[i] != '"') {
+    if (s[i] == '\\') {
+      ++i;
+      if (i >= s.size()) malformed(s);
+      switch (s[i]) {
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'u': {
+          // Only \u00XX is ever emitted (control characters).
+          if (i + 4 >= s.size()) malformed(s);
+          const std::string hex = s.substr(i + 1, 4);
+          out += static_cast<char>(std::stoi(hex, nullptr, 16));
+          i += 4;
+          break;
+        }
+        default: out += s[i]; break;
+      }
+    } else {
+      out += s[i];
+    }
+    ++i;
+  }
+  if (i >= s.size()) malformed(s);
+  ++i;  // closing quote
+  return out;
+}
+
+}  // namespace
+
+std::map<std::string, std::string> parse_flat_json(const std::string& line) {
+  std::map<std::string, std::string> fields;
+  std::size_t i = 0;
+  skip_spaces(line, i);
+  if (i >= line.size() || line[i] != '{') malformed(line);
+  ++i;
+  skip_spaces(line, i);
+  if (i < line.size() && line[i] == '}') return fields;
+  for (;;) {
+    skip_spaces(line, i);
+    const std::string key = parse_string(line, i);
+    skip_spaces(line, i);
+    if (i >= line.size() || line[i] != ':') malformed(line);
+    ++i;
+    skip_spaces(line, i);
+    std::string value;
+    if (i < line.size() && line[i] == '"') {
+      value = parse_string(line, i);
+    } else {
+      // Bare token (number / true / false) up to ',' or '}'.
+      const std::size_t start = i;
+      while (i < line.size() && line[i] != ',' && line[i] != '}') ++i;
+      if (i >= line.size()) malformed(line);
+      value = line.substr(start, i - start);
+      while (!value.empty() && (value.back() == ' ' || value.back() == '\t')) {
+        value.pop_back();
+      }
+      if (value.empty()) malformed(line);
+    }
+    fields[key] = value;
+    skip_spaces(line, i);
+    if (i >= line.size()) malformed(line);
+    if (line[i] == '}') break;
+    if (line[i] != ',') malformed(line);
+    ++i;
+  }
+  return fields;
+}
+
+std::string SweepJournal::fingerprint_hex(std::uint64_t value) {
+  std::ostringstream os;
+  os << std::hex << std::setw(16) << std::setfill('0') << value;
+  return os.str();
+}
+
+SweepJournal::SweepJournal(const std::string& path, std::uint64_t fingerprint,
+                           std::size_t cells, bool resume) {
+  const std::string expected = fingerprint_hex(fingerprint);
+  bool have_header = false;
+  if (resume) {
+    std::ifstream in(path);
+    std::string line;
+    bool first = true;
+    while (in && std::getline(in, line)) {
+      if (line.empty()) continue;
+      if (first) {
+        first = false;
+        // A corrupt header is not recoverable — refusing is safer than
+        // silently restarting over a file we cannot interpret.
+        const auto header = parse_flat_json(line);
+        const auto version = header.find("calibsched_journal");
+        const auto print = header.find("fingerprint");
+        if (version == header.end() || print == header.end()) {
+          throw std::runtime_error("journal: " + path +
+                                   " has no calibsched header");
+        }
+        if (print->second != expected) {
+          throw std::runtime_error(
+              "journal: " + path + " was written for a different grid "
+              "(fingerprint " + print->second + ", expected " + expected +
+              ")");
+        }
+        have_header = true;
+        continue;
+      }
+      try {
+        entries_.push_back(parse_flat_json(line));
+      } catch (const std::exception&) {
+        // Torn trailing write from a killed run: drop the line; that
+        // cell re-runs. (Also drops interior corruption — equally safe.)
+      }
+    }
+  }
+
+  int flags = O_WRONLY | O_CREAT | O_APPEND;
+  if (!have_header) flags |= O_TRUNC;
+  fd_ = ::open(path.c_str(), flags, 0644);
+  if (fd_ < 0) {
+    throw std::runtime_error("journal: cannot open " + path + ": " +
+                             std::strerror(errno));
+  }
+  if (!have_header) {
+    append("{\"calibsched_journal\":1,\"fingerprint\":\"" + expected +
+           "\",\"cells\":" + std::to_string(cells) + "}");
+  }
+}
+
+SweepJournal::~SweepJournal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void SweepJournal::append(const std::string& line) {
+  const std::string out = line + "\n";
+  const std::scoped_lock lock(mutex_);
+  std::size_t written = 0;
+  while (written < out.size()) {
+    const ssize_t n =
+        ::write(fd_, out.data() + written, out.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("journal: write failed: ") +
+                               std::strerror(errno));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd_) != 0) {
+    throw std::runtime_error(std::string("journal: fsync failed: ") +
+                             std::strerror(errno));
+  }
+}
+
+}  // namespace calib::harness

@@ -1,0 +1,66 @@
+// Append-only checkpoint journal for sweeps.
+//
+// Line format (JSONL, one flat object per line):
+//   header (first line):
+//     {"calibsched_journal":1,"fingerprint":"<16 hex digits>","cells":N}
+//   then one line per completed cell — exactly the row's JSONL
+//   serialization (including "status", and "wall_ms" for bookkeeping),
+//   keyed by its "cell" index.
+//
+// Durability: every line is written with a single write(2) and fsync'd
+// before append() returns, so a killed run loses at most the cell it was
+// mid-writing. The reader therefore tolerates a malformed *trailing*
+// line (torn write) by ignoring any line that fails to parse — the
+// corresponding cell simply re-runs on resume, which is always safe
+// because cells are pure functions of their coordinates.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace calib::harness {
+
+/// Parse one flat JSON object ({"key":value,...}; string values may use
+/// \" and \\ escapes, everything else is kept verbatim). Returns
+/// key -> raw value text (strings unescaped, numbers as written).
+/// Throws std::runtime_error on malformed input. Nested objects/arrays
+/// are not supported — the journal never emits them.
+[[nodiscard]] std::map<std::string, std::string> parse_flat_json(
+    const std::string& line);
+
+class SweepJournal {
+ public:
+  /// Open `path` for appending. With `resume` false (or the file absent/
+  /// empty) the file is created/truncated and a fresh header written.
+  /// With `resume` true and an existing file, the header must carry the
+  /// same fingerprint (std::runtime_error otherwise) and every readable
+  /// row line is returned via entries().
+  SweepJournal(const std::string& path, std::uint64_t fingerprint,
+               std::size_t cells, bool resume);
+  ~SweepJournal();
+
+  SweepJournal(const SweepJournal&) = delete;
+  SweepJournal& operator=(const SweepJournal&) = delete;
+
+  /// Rows recovered from an existing journal (empty unless resuming).
+  [[nodiscard]] const std::vector<std::map<std::string, std::string>>&
+  entries() const {
+    return entries_;
+  }
+
+  /// Append one row line (no trailing newline needed) and fsync. Safe to
+  /// call from multiple threads.
+  void append(const std::string& line);
+
+  [[nodiscard]] static std::string fingerprint_hex(std::uint64_t value);
+
+ private:
+  int fd_ = -1;
+  std::mutex mutex_;
+  std::vector<std::map<std::string, std::string>> entries_;
+};
+
+}  // namespace calib::harness

@@ -1,13 +1,18 @@
 #include "harness/sweep.hpp"
 
+#include <atomic>
+#include <cstdio>
 #include <iomanip>
+#include <memory>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
 
+#include "harness/journal.hpp"
 #include "online/driver.hpp"
 #include "online/registry.hpp"
 #include "online/trace.hpp"
+#include "util/budget.hpp"
 #include "util/csv.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
@@ -19,25 +24,136 @@ namespace {
 // streams and policy streams are derived from the same base seed.
 constexpr std::uint64_t kPolicyStreamTag = 1ULL << 63;
 
+// Escapes everything that could break JSONL framing — quotes,
+// backslashes, and control characters (error messages are arbitrary
+// text). The journal's parse_flat_json understands exactly this set.
 std::string json_escape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
-  for (const char c : s) {
-    if (c == '"' || c == '\\') out += '\\';
-    out += c;
+  for (const char raw : s) {
+    const auto c = static_cast<unsigned char>(raw);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += raw;
+        }
+    }
   }
   return out;
 }
 
 // Deterministic double formatting for both writers: enough digits to
-// round-trip the values we emit, no locale dependence.
+// round-trip the values we emit, no locale dependence. Stable under a
+// parse/re-format cycle (fmt(stod(fmt(x))) == fmt(x)), which is what
+// lets journal-restored rows serialize byte-identically.
 std::string fmt(double value) {
   std::ostringstream os;
   os << std::setprecision(12) << value;
   return os.str();
 }
 
+std::string extra_column_name(const std::string& extra_metric_name) {
+  return extra_metric_name.empty() ? std::string("extra")
+                                   : extra_metric_name;
+}
+
+// Rebuild a row from one journal entry. Coordinates come from the grid
+// (the fingerprint guarantees it is the grid the journal was written
+// for); only the solve *outputs* are read from the entry. Returns false
+// if the entry is unusable — the cell then simply re-runs.
+bool restore_row(const std::map<std::string, std::string>& entry,
+                 const CellCoords& coords, const SweepGrid& grid,
+                 SweepRow& row) {
+  try {
+    row = SweepRow{};
+    row.cell = coords.index;
+    row.workload_index = coords.workload;
+    row.workload = grid.workloads[coords.workload].label();
+    row.solver = grid.solvers[coords.solver];
+    row.G = grid.G_values[coords.g];
+    row.seed = coords.seed;
+    row.jobs = std::stoi(entry.at("jobs"));
+    row.status = parse_run_status(entry.at("status"));
+    if (const auto it = entry.find("error"); it != entry.end()) {
+      row.error = it->second;
+    }
+    row.result.solver = row.solver;
+    row.result.objective =
+        static_cast<Cost>(std::stoll(entry.at("objective")));
+    row.result.calibrations = std::stoi(entry.at("calibrations"));
+    row.result.flow = static_cast<Cost>(std::stoll(entry.at("flow")));
+    if (const auto it = entry.find("best_k"); it != entry.end()) {
+      row.result.best_k = std::stoi(it->second);
+    }
+    if (const auto it = entry.find("wall_ms"); it != entry.end()) {
+      row.result.wall_ms = std::stod(it->second);
+    }
+    if (const auto it = entry.find("opt_cost"); it != entry.end()) {
+      row.has_opt = true;
+      row.opt_cost = static_cast<Cost>(std::stoll(it->second));
+      row.opt_k = std::stoi(entry.at("opt_k"));
+      row.ratio = std::stod(entry.at("ratio"));
+    }
+    if (const auto it = entry.find("peak_queue"); it != entry.end()) {
+      row.has_trace = true;
+      row.peak_queue = std::stoi(it->second);
+      row.utilization = std::stod(entry.at("utilization"));
+    }
+    if (const auto it =
+            entry.find(extra_column_name(grid.extra_metric_name));
+        it != entry.end()) {
+      row.has_extra = true;
+      row.extra = std::stod(it->second);
+    }
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
 }  // namespace
+
+std::string row_to_json(const SweepRow& row,
+                        const std::string& extra_metric_name,
+                        bool include_timing) {
+  std::ostringstream os;
+  os << "{\"cell\":" << row.cell << ",\"workload\":\""
+     << json_escape(row.workload) << "\",\"solver\":\""
+     << json_escape(row.solver) << "\",\"G\":" << row.G
+     << ",\"seed\":" << row.seed << ",\"jobs\":" << row.jobs
+     << ",\"status\":\"" << run_status_name(row.status) << '"';
+  if (!row.error.empty()) {
+    os << ",\"error\":\"" << json_escape(row.error) << '"';
+  }
+  os << ",\"objective\":" << row.result.objective
+     << ",\"calibrations\":" << row.result.calibrations
+     << ",\"flow\":" << row.result.flow;
+  if (row.result.best_k >= 0) os << ",\"best_k\":" << row.result.best_k;
+  if (row.has_opt) {
+    os << ",\"opt_cost\":" << row.opt_cost << ",\"opt_k\":" << row.opt_k
+       << ",\"ratio\":" << fmt(row.ratio);
+  }
+  if (row.has_trace) {
+    os << ",\"peak_queue\":" << row.peak_queue
+       << ",\"utilization\":" << fmt(row.utilization);
+  }
+  if (row.has_extra) {
+    os << ",\"" << json_escape(extra_column_name(extra_metric_name))
+       << "\":" << fmt(row.extra);
+  }
+  if (include_timing) os << ",\"wall_ms\":" << fmt(row.result.wall_ms);
+  os << '}';
+  return os.str();
+}
 
 SweepEngine::SweepEngine(SweepGrid grid) : grid_(std::move(grid)) {
   if (grid_.workloads.empty()) throw std::runtime_error("sweep: no workloads");
@@ -47,6 +163,7 @@ SweepEngine::SweepEngine(SweepGrid grid) : grid_(std::move(grid)) {
   for (const Cost G : grid_.G_values) {
     if (G < 1) throw std::runtime_error("sweep: G must be >= 1");
   }
+  for (const WorkloadSpec& spec : grid_.workloads) spec.validate();
   bool needs_dp = grid_.compare_to_opt;
   for (const std::string& solver : grid_.solvers) {
     if (solver == kOfflineSolver) {
@@ -66,26 +183,18 @@ SweepEngine::SweepEngine(SweepGrid grid) : grid_(std::move(grid)) {
   }
 }
 
-SweepRow SweepEngine::run_cell(const CellCoords& coords,
-                               FlowCurveCache& cache) const {
-  const WorkloadSpec& spec = grid_.workloads[coords.workload];
+void SweepEngine::solve_cell(const CellCoords& coords, FlowCurveCache& cache,
+                             Budget* budget, SweepRow& row) const {
   const std::string& solver = grid_.solvers[coords.solver];
   const Cost G = grid_.G_values[coords.g];
   const Instance instance =
       materialize_instance(grid_, coords.workload, coords.seed);
-
-  SweepRow row;
-  row.cell = coords.index;
-  row.workload_index = coords.workload;
-  row.workload = spec.label();
-  row.solver = solver;
-  row.G = G;
-  row.seed = coords.seed;
   row.jobs = instance.size();
 
   if (solver == kOfflineSolver) {
     const Timer timer;
-    const CurveOptimum opt = optimum_from_curve(*cache.curve(instance), G);
+    const CurveOptimum opt =
+        optimum_from_curve(*cache.curve(instance, budget), G);
     row.result.solver = solver;
     row.result.objective = opt.best_cost;
     row.result.calibrations = opt.best_k;
@@ -98,7 +207,7 @@ SweepRow SweepEngine::run_cell(const CellCoords& coords,
       row.opt_k = opt.best_k;
       row.ratio = 1.0;
     }
-    return row;
+    return;
   }
 
   PolicyParams params;
@@ -109,8 +218,9 @@ SweepRow SweepEngine::run_cell(const CellCoords& coords,
 
   Trace trace;
   const Timer timer;
-  const Schedule schedule = run_online(
-      instance, G, *policy, grid_.collect_trace ? &trace : nullptr);
+  const Schedule schedule =
+      run_online(instance, G, *policy,
+                 grid_.collect_trace ? &trace : nullptr, budget);
   row.result =
       summarize_schedule(solver, instance, schedule, G, timer.millis());
 
@@ -124,33 +234,157 @@ SweepRow SweepEngine::run_cell(const CellCoords& coords,
     row.extra = grid_.extra_metric(instance, schedule, G);
   }
   if (grid_.compare_to_opt) {
-    const CurveOptimum opt = optimum_from_curve(*cache.curve(instance), G);
+    const CurveOptimum opt =
+        optimum_from_curve(*cache.curve(instance, budget), G);
     row.has_opt = true;
     row.opt_cost = opt.best_cost;
     row.opt_k = opt.best_k;
     row.ratio = static_cast<double>(row.result.objective) /
                 static_cast<double>(opt.best_cost);
   }
+}
+
+SweepRow SweepEngine::run_cell(const CellCoords& coords,
+                               FlowCurveCache& cache,
+                               const SweepOptions& options) const {
+  SweepRow row;
+  row.cell = coords.index;
+  row.workload_index = coords.workload;
+  row.workload = grid_.workloads[coords.workload].label();
+  row.solver = grid_.solvers[coords.solver];
+  row.G = grid_.G_values[coords.g];
+  row.seed = coords.seed;
+  row.result.solver = row.solver;
+
+  Budget budget;
+  if (options.cell_budget_ms > 0.0) {
+    budget.set_deadline_ms(options.cell_budget_ms);
+  }
+  if (options.cell_step_budget > 0) {
+    budget.set_step_limit(options.cell_step_budget);
+  }
+
+  const Timer timer;
+  // On failure: keep the coordinates (and jobs, if the instance was
+  // materialized), zero the solve outputs, drop the optional column
+  // groups — every degraded row then serializes deterministically.
+  const auto degrade = [&](RunStatus status, const char* what) {
+    const std::string solver_name = row.result.solver;
+    row.status = status;
+    row.error = what;
+    row.result = SolveResult{};
+    row.result.solver = solver_name;
+    row.result.wall_ms = timer.millis();
+    row.has_opt = false;
+    row.has_trace = false;
+    row.has_extra = false;
+  };
+
+  try {
+    switch (options.faults.action(coords)) {
+      case FaultPlan::Action::kThrow:
+        throw std::runtime_error("injected fault (cell " +
+                                 std::to_string(coords.index) + ")");
+      case FaultPlan::Action::kTimeout:
+        throw BudgetExceeded("injected timeout (cell " +
+                             std::to_string(coords.index) + ")");
+      case FaultPlan::Action::kNone:
+        break;
+    }
+    solve_cell(coords, cache, budget.unlimited() ? nullptr : &budget, row);
+    row.status = RunStatus::kOk;
+  } catch (const BudgetExceeded& e) {
+    degrade(RunStatus::kTimeout, e.what());
+  } catch (const std::exception& e) {
+    degrade(RunStatus::kError, e.what());
+  }
   return row;
 }
 
-SweepReport SweepEngine::run() {
+SweepReport SweepEngine::run(const SweepOptions& options) {
+  options.faults.validate();
+  if (options.cell_budget_ms < 0.0) {
+    throw std::runtime_error("sweep: cell budget must be >= 0");
+  }
+  if (options.resume && options.journal_path.empty()) {
+    throw std::runtime_error("sweep: resume requires a journal path");
+  }
+  if (options.retry_failed && !options.resume) {
+    throw std::runtime_error("sweep: retry_failed requires resume");
+  }
+
   const Timer wall;
   FlowCurveCache cache;
   SweepReport report;
   report.extra_metric_name = grid_.extra_metric_name;
-  report.rows.resize(grid_.cells());
+  const std::size_t cells = grid_.cells();
+  report.rows.resize(cells);
 
+  std::unique_ptr<SweepJournal> journal;
+  std::vector<char> done(cells, 0);
+  if (!options.journal_path.empty()) {
+    journal = std::make_unique<SweepJournal>(
+        options.journal_path, grid_fingerprint(grid_), cells,
+        options.resume);
+    // Later entries win: a retried cell appends a second line, and the
+    // next resume must replay the retry's outcome, not the failure.
+    for (const auto& entry : journal->entries()) {
+      const auto it = entry.find("cell");
+      if (it == entry.end()) continue;
+      std::size_t index = 0;
+      try {
+        index = std::stoull(it->second);
+      } catch (const std::exception&) {
+        continue;
+      }
+      if (index >= cells) continue;
+      SweepRow row;
+      if (!restore_row(entry, cell_coords(grid_, index), grid_, row)) {
+        continue;
+      }
+      if (options.retry_failed && row.status != RunStatus::kOk) {
+        done[index] = 0;
+        continue;
+      }
+      report.rows[index] = std::move(row);
+      done[index] = 1;
+    }
+    for (const char d : done) report.timing.resumed += (d != 0);
+  }
+
+  std::atomic<std::size_t> attempted{0};
   const auto body = [&](std::size_t i) {
-    report.rows[i] = run_cell(cell_coords(grid_, i), cache);
+    if (done[i] != 0) return;
+    const CellCoords coords = cell_coords(grid_, i);
+    // Tickets are handed out per *attempted* cell; once max_cells are
+    // taken, the rest become skipped stubs (and are never journaled, so
+    // a resume re-runs them). At threads == 1 the skip set is exactly
+    // the trailing cells — what the kill-and-resume tests rely on.
+    if (attempted.fetch_add(1) >= options.max_cells) {
+      SweepRow& row = report.rows[i];
+      row.cell = coords.index;
+      row.workload_index = coords.workload;
+      row.workload = grid_.workloads[coords.workload].label();
+      row.solver = grid_.solvers[coords.solver];
+      row.G = grid_.G_values[coords.g];
+      row.seed = coords.seed;
+      row.result.solver = row.solver;
+      row.status = RunStatus::kSkipped;
+      return;
+    }
+    report.rows[i] = run_cell(coords, cache, options);
+    if (journal != nullptr) {
+      journal->append(row_to_json(report.rows[i], grid_.extra_metric_name,
+                                  /*include_timing=*/true));
+    }
   };
   if (grid_.threads == 0) {
     report.timing.threads = global_pool().size();
-    global_pool().parallel_for(grid_.cells(), body);
+    global_pool().parallel_for(cells, body);
   } else {
     ThreadPool pool(grid_.threads);
     report.timing.threads = pool.size();
-    pool.parallel_for(grid_.cells(), body);
+    pool.parallel_for(cells, body);
   }
 
   report.timing.wall_seconds = wall.seconds();
@@ -163,32 +397,22 @@ SweepReport SweepEngine::run() {
   return report;
 }
 
+SweepStatusCounts SweepReport::status_counts() const {
+  SweepStatusCounts counts;
+  for (const SweepRow& row : rows) {
+    switch (row.status) {
+      case RunStatus::kOk: ++counts.ok; break;
+      case RunStatus::kError: ++counts.error; break;
+      case RunStatus::kTimeout: ++counts.timeout; break;
+      case RunStatus::kSkipped: ++counts.skipped; break;
+    }
+  }
+  return counts;
+}
+
 void SweepReport::write_jsonl(std::ostream& os, bool include_timing) const {
   for (const SweepRow& row : rows) {
-    os << "{\"cell\":" << row.cell << ",\"workload\":\""
-       << json_escape(row.workload) << "\",\"solver\":\""
-       << json_escape(row.solver) << "\",\"G\":" << row.G
-       << ",\"seed\":" << row.seed << ",\"jobs\":" << row.jobs
-       << ",\"objective\":" << row.result.objective
-       << ",\"calibrations\":" << row.result.calibrations
-       << ",\"flow\":" << row.result.flow;
-    if (row.result.best_k >= 0) os << ",\"best_k\":" << row.result.best_k;
-    if (row.has_opt) {
-      os << ",\"opt_cost\":" << row.opt_cost << ",\"opt_k\":" << row.opt_k
-         << ",\"ratio\":" << fmt(row.ratio);
-    }
-    if (row.has_trace) {
-      os << ",\"peak_queue\":" << row.peak_queue
-         << ",\"utilization\":" << fmt(row.utilization);
-    }
-    if (row.has_extra) {
-      os << ",\"" << json_escape(extra_metric_name.empty()
-                                     ? std::string("extra")
-                                     : extra_metric_name)
-         << "\":" << fmt(row.extra);
-    }
-    if (include_timing) os << ",\"wall_ms\":" << fmt(row.result.wall_ms);
-    os << "}\n";
+    os << row_to_json(row, extra_metric_name, include_timing) << '\n';
   }
 }
 
@@ -201,6 +425,8 @@ void SweepReport::write_csv(std::ostream& os, bool include_timing) const {
       "ratio",    "peak_queue",   "utilization"};
   header.push_back(extra_metric_name.empty() ? std::string("extra")
                                              : extra_metric_name);
+  header.emplace_back("status");
+  header.emplace_back("error");
   if (include_timing) header.emplace_back("wall_ms");
   writer.write_row(header);
   for (const SweepRow& row : rows) {
@@ -222,6 +448,8 @@ void SweepReport::write_csv(std::ostream& os, bool include_timing) const {
         row.has_trace ? std::to_string(row.peak_queue) : std::string(),
         row.has_trace ? fmt(row.utilization) : std::string()};
     cells.push_back(row.has_extra ? fmt(row.extra) : std::string());
+    cells.emplace_back(run_status_name(row.status));
+    cells.push_back(row.error);
     if (include_timing) cells.push_back(fmt(row.result.wall_ms));
     writer.write_row(cells);
   }
@@ -238,6 +466,14 @@ std::string SweepReport::timing_summary() const {
        << "s in the DP";
   }
   os << ')';
+  if (timing.resumed > 0) {
+    os << "; resumed " << timing.resumed << " cells from the journal";
+  }
+  const SweepStatusCounts counts = status_counts();
+  if (!counts.all_ok()) {
+    os << "; degraded: " << counts.error << " error, " << counts.timeout
+       << " timeout, " << counts.skipped << " skipped";
+  }
   return os.str();
 }
 

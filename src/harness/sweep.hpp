@@ -1,7 +1,8 @@
 // The parallel sweep engine: run a SweepGrid's cross-product, emit
 // structured rows.
 //
-// Design invariants (tested in tests/test_sweep.cpp):
+// Design invariants (tested in tests/test_sweep.cpp and
+// tests/test_sweep_faults.cpp):
 //   * Determinism — every per-cell PRNG stream is derived from
 //     (base_seed, cell coordinates) via fresh splitmix roots, rows are
 //     stored at their cell index, and the writers can exclude wall-clock
@@ -13,19 +14,32 @@
 //     compute the O(K n³) DP once per instance instead of once per cell.
 //   * One result shape — each cell produces a SolveResult plus optional
 //     opt/trace/extra columns, the same struct the CLI's `solve` prints.
+//   * Cell isolation — a throwing or over-budget cell becomes a
+//     structured error/timeout row (SweepRow::status); it never aborts
+//     the sweep or discards completed cells.
+//   * Journaled resume — with SweepOptions::journal_path set, every
+//     completed cell is fsync'd to an append-only JSONL journal keyed by
+//     the grid fingerprint; a resumed run skips journaled cells and its
+//     final JSONL/CSV output is byte-identical to an uninterrupted run
+//     (cells are pure functions of their coordinates).
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
+#include <limits>
 #include <vector>
 
 #include "core/solve_result.hpp"
 #include "harness/dp_cache.hpp"
+#include "harness/faults.hpp"
 #include "harness/grid.hpp"
 
 namespace calib::harness {
 
 /// One cell's structured result. Optional groups (opt, trace, extra) are
-/// present iff the corresponding grid switch was on.
+/// present iff the corresponding grid switch was on *and* the cell
+/// completed (status == kOk); failed cells keep their coordinates and a
+/// zeroed result so every row serializes through the same columns.
 struct SweepRow {
   // Coordinates (deterministic; identify the cell independent of order).
   std::size_t cell = 0;
@@ -34,7 +48,10 @@ struct SweepRow {
   std::string solver;
   Cost G = 0;
   int seed = 0;
-  int jobs = 0;  ///< instance size
+  int jobs = 0;  ///< instance size (0 if the cell never materialized it)
+
+  RunStatus status = RunStatus::kOk;
+  std::string error;  ///< what() of the failure; empty when status == kOk
 
   SolveResult result;
 
@@ -51,6 +68,44 @@ struct SweepRow {
   double extra = 0.0;
 };
 
+/// The row's JSONL serialization (no trailing newline). This is both the
+/// write_jsonl line and the journal line format, so a journaled row
+/// replays byte-identically. `include_timing` adds the nondeterministic
+/// "wall_ms" field.
+[[nodiscard]] std::string row_to_json(const SweepRow& row,
+                                      const std::string& extra_metric_name,
+                                      bool include_timing);
+
+/// Execution options for one SweepEngine::run — everything here changes
+/// *how* cells execute, never *what* a completed cell computes, so runs
+/// with different options agree on all rows they both complete.
+struct SweepOptions {
+  /// Append-only checkpoint journal (empty = no journaling). One fsync'd
+  /// line per completed cell; see harness/journal.hpp for the format.
+  std::string journal_path;
+  /// Skip cells already present in the journal (requires journal_path).
+  bool resume = false;
+  /// On resume, re-run journaled error/timeout cells instead of
+  /// replaying their failure rows.
+  bool retry_failed = false;
+
+  /// Per-cell wall-clock budget in milliseconds (0 = unlimited). Over
+  /// budget turns a cell into a timeout row. Nondeterministic by nature;
+  /// prefer cell_step_budget where reproducibility matters.
+  double cell_budget_ms = 0.0;
+  /// Per-cell cooperative step budget (0 = unlimited): driver steps plus
+  /// DP states, charged via calib::Budget. Deterministic.
+  std::uint64_t cell_step_budget = 0;
+
+  /// Deterministic fault injection (tests, CLI --inject-faults).
+  FaultPlan faults;
+
+  /// Stop attempting new cells once this many completed (simulates a
+  /// killed run for checkpoint tests): remaining cells become skipped
+  /// rows and are not journaled.
+  std::size_t max_cells = std::numeric_limits<std::size_t>::max();
+};
+
 /// Wall-clock accounting for the whole sweep (never part of the
 /// deterministic row serialization).
 struct SweepTiming {
@@ -60,6 +115,19 @@ struct SweepTiming {
   std::size_t dp_cache_misses = 0;
   double dp_seconds = 0.0;        ///< time inside DP computations
   std::size_t threads = 0;        ///< pool size actually used
+  std::size_t resumed = 0;        ///< rows replayed from the journal
+};
+
+/// Row counts by status; `ok == rows.size()` for a healthy sweep.
+struct SweepStatusCounts {
+  std::size_t ok = 0;
+  std::size_t error = 0;
+  std::size_t timeout = 0;
+  std::size_t skipped = 0;
+
+  [[nodiscard]] bool all_ok() const {
+    return error == 0 && timeout == 0 && skipped == 0;
+  }
 };
 
 struct SweepReport {
@@ -67,30 +135,40 @@ struct SweepReport {
   SweepTiming timing;
   std::string extra_metric_name;  ///< column name for SweepRow::extra
 
+  [[nodiscard]] SweepStatusCounts status_counts() const;
+
   /// One JSON object per row. `include_timing` adds the nondeterministic
   /// "wall_ms" field; leave it off when byte-stability matters.
   void write_jsonl(std::ostream& os, bool include_timing = false) const;
   /// Same rows as CSV with a header line; absent optionals are blank.
   void write_csv(std::ostream& os, bool include_timing = false) const;
-  /// Human-readable timing digest (stderr material, not row data).
+  /// Human-readable timing + degradation digest (stderr material, not
+  /// row data).
   [[nodiscard]] std::string timing_summary() const;
 };
 
 class SweepEngine {
  public:
-  /// Validates the grid eagerly (unknown solver names, offline/opt with
-  /// P > 1, empty axes) by throwing std::runtime_error.
+  /// Validates the grid eagerly (unknown solver names or workload kinds,
+  /// offline/opt with P > 1, empty axes) by throwing std::runtime_error.
   explicit SweepEngine(SweepGrid grid);
 
   /// Fan every cell across the pool (grid.threads == 0 → global_pool())
-  /// and collect rows in cell order.
-  [[nodiscard]] SweepReport run();
+  /// and collect rows in cell order. With options: journal/resume, per-
+  /// cell budgets, fault injection — see SweepOptions. Never throws for
+  /// per-cell failures (they become rows); throws std::runtime_error for
+  /// harness-level problems (bad options, unusable journal).
+  [[nodiscard]] SweepReport run() { return run(SweepOptions{}); }
+  [[nodiscard]] SweepReport run(const SweepOptions& options);
 
   [[nodiscard]] const SweepGrid& grid() const { return grid_; }
 
  private:
   [[nodiscard]] SweepRow run_cell(const CellCoords& coords,
-                                  FlowCurveCache& cache) const;
+                                  FlowCurveCache& cache,
+                                  const SweepOptions& options) const;
+  void solve_cell(const CellCoords& coords, FlowCurveCache& cache,
+                  Budget* budget, SweepRow& row) const;
 
   SweepGrid grid_;
 };

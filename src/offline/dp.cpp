@@ -129,6 +129,7 @@ Cost OfflineDp::f(int u, int v, int mu) {
 }
 
 Cost OfflineDp::f_compute(int u, int v, int mu) {
+  if (budget_ != nullptr) budget_->charge();
   const StateInfo info = analyze(u, v, mu);
   if (info.members.empty()) return 0;
   // Proposition 2's infeasibility guard: a multiple-of-T prefix whose
@@ -168,6 +169,7 @@ Cost OfflineDp::F(int k, int v) {
   Cost& memo =
       F_memo_[static_cast<std::size_t>(k) * states + static_cast<std::size_t>(v)];
   if (memo != kUnknown) return memo;
+  if (budget_ != nullptr) budget_->charge();
   memo = kInf;
   const Time T = instance_.T();
   Cost best = kInf;

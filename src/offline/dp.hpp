@@ -27,6 +27,7 @@
 
 #include "core/instance.hpp"
 #include "core/schedule.hpp"
+#include "util/budget.hpp"
 
 namespace calib {
 
@@ -40,6 +41,12 @@ class OfflineDp {
   explicit OfflineDp(const Instance& instance);
 
   [[nodiscard]] const Instance& instance() const { return instance_; }
+
+  /// Attach a cooperative budget (nullptr detaches; not owned). Charged
+  /// one unit per newly computed DP state — the row boundaries of the
+  /// O(K n³) recurrence — so BudgetExceeded cuts a runaway computation
+  /// at a state boundary instead of leaving a thread hung.
+  void set_budget(Budget* budget) { budget_ = budget; }
 
   /// Minimum total weighted flow with at most `budget` calibrations;
   /// kInfeasible if budget * T < n.
@@ -89,6 +96,7 @@ class OfflineDp {
   std::vector<Cost> f_memo_;
   std::unordered_map<std::size_t, Cost> f_memo_sparse_;
   std::vector<Cost> F_memo_;  // (k, v) table
+  Budget* budget_ = nullptr;
 };
 
 /// One-call helper: optimal flow for `instance` with `budget`

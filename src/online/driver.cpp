@@ -190,6 +190,7 @@ void OnlineDriver::auto_assign() {
 }
 
 void OnlineDriver::step() {
+  if (budget_ != nullptr) budget_->charge();
   DriverHandle handle(*this);
   if (policy_.assign_before_decide()) auto_assign();
   policy_.decide(handle);
@@ -247,9 +248,10 @@ Cost OnlineDriver::online_cost() const {
 }
 
 Schedule run_online(const Instance& instance, Cost G, OnlinePolicy& policy,
-                    Trace* trace) {
+                    Trace* trace, Budget* budget) {
   OnlineDriver driver(instance.T(), instance.machines(), G, policy);
   driver.set_trace(trace);
+  driver.set_budget(budget);
   JobId next = 0;
   // Jobs release at nonnegative times; the driver clock starts at 0.
   while (next < instance.size() || !driver.all_placed()) {

@@ -15,6 +15,7 @@
 #include "core/solve_result.hpp"
 #include "online/policy.hpp"
 #include "online/trace.hpp"
+#include "util/budget.hpp"
 
 namespace calib {
 
@@ -69,6 +70,11 @@ class OnlineDriver {
   /// the driver while attached.
   void set_trace(Trace* trace) { trace_ = trace; }
 
+  /// Attach a cooperative budget (nullptr detaches). Charged one unit
+  /// per step(); BudgetExceeded propagates to the caller mid-simulation,
+  /// which is how the harness turns runaway cells into timeout rows.
+  void set_budget(Budget* budget) { budget_ = budget; }
+
  private:
   void auto_assign();
 
@@ -86,14 +92,16 @@ class OnlineDriver {
   Time last_cal_start_ = kUnscheduled;
   MachineId last_cal_machine_ = 0;
   Trace* trace_ = nullptr;
+  Budget* budget_ = nullptr;
 };
 
 /// Run `policy` over a fixed instance: feed arrivals at their release
 /// times, drain, and return the realized schedule (validated). If
 /// `trace` is non-null it records the run's event stream (for derived
-/// metrics — queue lengths, utilization).
+/// metrics — queue lengths, utilization). If `budget` is non-null it is
+/// charged once per simulated step; BudgetExceeded propagates out.
 Schedule run_online(const Instance& instance, Cost G, OnlinePolicy& policy,
-                    Trace* trace = nullptr);
+                    Trace* trace = nullptr, Budget* budget = nullptr);
 
 /// Convenience: the online objective value achieved by `policy`.
 Cost online_objective(const Instance& instance, Cost G, OnlinePolicy& policy);

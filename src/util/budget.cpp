@@ -1,0 +1,44 @@
+#include "util/budget.hpp"
+
+#include <string>
+
+namespace calib {
+
+Budget Budget::deadline_ms(double ms) {
+  Budget budget;
+  budget.set_deadline_ms(ms);
+  return budget;
+}
+
+Budget Budget::steps(std::uint64_t limit) {
+  Budget budget;
+  budget.set_step_limit(limit);
+  return budget;
+}
+
+void Budget::set_deadline_ms(double ms) {
+  has_deadline_ = true;
+  deadline_ = std::chrono::steady_clock::now() +
+              std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double, std::milli>(ms));
+}
+
+void Budget::set_step_limit(std::uint64_t limit) { step_limit_ = limit; }
+
+void Budget::charge(std::uint64_t n) {
+  if (unlimited()) return;
+  used_ += n;
+  if (used_ > step_limit_) {
+    throw BudgetExceeded("step budget exhausted (limit " +
+                         std::to_string(step_limit_) + ")");
+  }
+  if (!has_deadline_) return;
+  since_clock_check_ += n;
+  if (since_clock_check_ < kClockCheckPeriod && used_ != n) return;
+  since_clock_check_ = 0;
+  if (std::chrono::steady_clock::now() > deadline_) {
+    throw BudgetExceeded("deadline exceeded");
+  }
+}
+
+}  // namespace calib

@@ -1,0 +1,63 @@
+// Cooperative per-task budgets: deadlines and step limits for long
+// solver loops.
+//
+// A Budget is checked (charge()) at the natural work-unit boundaries of
+// whatever it guards — one online-driver time step, one DP state — and
+// throws BudgetExceeded when a limit is hit, which the harness converts
+// into a structured `timeout` row instead of a hung thread. Step limits
+// are deterministic (a pure function of the work done); wall-clock
+// deadlines are the pragmatic guard against genuinely runaway cells and
+// are checked only every kClockCheckPeriod charges to keep the hot loop
+// free of syscalls.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+
+namespace calib {
+
+/// Thrown by Budget::charge(); carries no wall-clock values so that
+/// deterministically-budgeted runs produce byte-identical messages.
+class BudgetExceeded : public std::runtime_error {
+ public:
+  explicit BudgetExceeded(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+class Budget {
+ public:
+  /// Default-constructed budgets are unlimited; charge() never throws.
+  Budget() = default;
+
+  /// Wall-clock deadline `ms` milliseconds from now.
+  [[nodiscard]] static Budget deadline_ms(double ms);
+  /// At most `limit` charged steps (limit 0: the first charge throws).
+  [[nodiscard]] static Budget steps(std::uint64_t limit);
+
+  void set_deadline_ms(double ms);
+  void set_step_limit(std::uint64_t limit);
+
+  [[nodiscard]] bool unlimited() const {
+    return !has_deadline_ && step_limit_ == kNoLimit;
+  }
+  [[nodiscard]] std::uint64_t steps_used() const { return used_; }
+
+  /// Record `n` units of work; throws BudgetExceeded once a limit is
+  /// passed. Step limits are checked on every call, the wall clock every
+  /// kClockCheckPeriod charged units.
+  void charge(std::uint64_t n = 1);
+
+  static constexpr std::uint64_t kClockCheckPeriod = 64;
+
+ private:
+  static constexpr std::uint64_t kNoLimit = ~std::uint64_t{0};
+
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+  std::uint64_t step_limit_ = kNoLimit;
+  std::uint64_t used_ = 0;
+  std::uint64_t since_clock_check_ = 0;
+};
+
+}  // namespace calib

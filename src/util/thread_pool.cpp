@@ -53,15 +53,32 @@ void ThreadPool::parallel_for(std::size_t n,
       for (std::size_t i = begin; i < end; ++i) body(i);
     }));
   }
-  std::exception_ptr first_error;
+  // Drain every future before reporting: a single failed task must not
+  // hide the others, or multi-cell failures become undiagnosable.
+  std::vector<std::exception_ptr> errors;
   for (auto& future : futures) {
     try {
       future.get();
     } catch (...) {
-      if (!first_error) first_error = std::current_exception();
+      errors.push_back(std::current_exception());
     }
   }
-  if (first_error) std::rethrow_exception(first_error);
+  if (errors.empty()) return;
+  if (errors.size() == 1) std::rethrow_exception(errors.front());
+  constexpr std::size_t kMaxMessages = 8;
+  std::string message = "parallel_for: " + std::to_string(errors.size()) +
+                        " tasks failed:";
+  for (std::size_t i = 0; i < std::min(errors.size(), kMaxMessages); ++i) {
+    try {
+      std::rethrow_exception(errors[i]);
+    } catch (const std::exception& error) {
+      message += std::string(" [") + error.what() + "]";
+    } catch (...) {
+      message += " [non-standard exception]";
+    }
+  }
+  if (errors.size() > kMaxMessages) message += " ...";
+  throw std::runtime_error(message);
 }
 
 ThreadPool& global_pool() {

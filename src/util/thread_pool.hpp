@@ -4,8 +4,10 @@
 // time-stepped state machines); all parallelism in this project lives at
 // the outermost independent loop — fanning a parameter sweep or a seed
 // ensemble across cores. parallel_for partitions [0, n) into contiguous
-// chunks, which keeps per-index state cache-local, and rethrows the
-// first worker exception on the caller thread.
+// chunks, which keeps per-index state cache-local. Worker exceptions are
+// rethrown on the caller thread: a single failure is rethrown as-is
+// (preserving its type); multiple failures are aggregated into one
+// std::runtime_error carrying the count and each task's message.
 #pragma once
 
 #include <condition_variable>

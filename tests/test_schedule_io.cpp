@@ -76,5 +76,66 @@ TEST(ScheduleIo, EmptyScheduleRoundTrips) {
   EXPECT_EQ(loaded, empty);
 }
 
+TEST(ScheduleIo, RejectsNumbersWithTrailingGarbage) {
+  // stoll-style parsing would silently read "0x" as 0; the strict
+  // parser must reject the whole token instead.
+  std::istringstream bad_start("# T=3 P=1 N=1\nplacement,0,0,5x\n");
+  EXPECT_THROW(load_schedule_csv(bad_start), std::runtime_error);
+  std::istringstream bad_header("# T=3y P=1 N=1\n");
+  EXPECT_THROW(load_schedule_csv(bad_header), std::runtime_error);
+  std::istringstream empty_field("# T=3 P=1 N=1\ncalibration,0,\n");
+  EXPECT_THROW(load_schedule_csv(empty_field), std::runtime_error);
+}
+
+TEST(ScheduleIo, RejectsOutOfRangeCoordinates) {
+  // Out-of-range machines used to reach CALIB_CHECK in the Calendar and
+  // abort the process; they must surface as runtime_error instead.
+  std::istringstream bad_machine("# T=3 P=2 N=1\ncalibration,5,0\n");
+  EXPECT_THROW(load_schedule_csv(bad_machine), std::runtime_error);
+  std::istringstream negative_machine("# T=3 P=2 N=1\nplacement,0,-1,0\n");
+  EXPECT_THROW(load_schedule_csv(negative_machine), std::runtime_error);
+  std::istringstream pre_release("# T=3 P=1 N=1\nplacement,0,0,-2\n");
+  EXPECT_THROW(load_schedule_csv(pre_release), std::runtime_error);
+  std::istringstream overflow(
+      "# T=3 P=1 N=1\ncalibration,0,99999999999999999999\n");
+  EXPECT_THROW(load_schedule_csv(overflow), std::runtime_error);
+  std::istringstream huge_jobs("# T=3 P=1 N=99999999999\n");
+  EXPECT_THROW(load_schedule_csv(huge_jobs), std::runtime_error);
+}
+
+TEST(ScheduleIo, EveryTruncationAndMutationParsesOrThrows) {
+  // Serialize a real schedule, then feed the loader every prefix and
+  // every single-byte corruption. The contract: each attempt either
+  // yields a Schedule or throws — no aborts, no silent misparse into
+  // out-of-range coordinates (which would CALIB_CHECK-crash later).
+  const Instance instance = regression_instance();
+  Alg2Weighted policy;
+  const Schedule original = run_online(instance, 7, policy);
+  std::stringstream buffer;
+  save_schedule_csv(original, buffer);
+  const std::string text = buffer.str();
+  ASSERT_GT(text.size(), 0u);
+
+  for (std::size_t len = 0; len <= text.size(); ++len) {
+    std::istringstream is(text.substr(0, len));
+    try {
+      (void)load_schedule_csv(is);
+    } catch (const std::exception&) {
+      // Rejected cleanly — equally acceptable.
+    }
+  }
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    for (const char c : {'x', '9', '-', ',', '"', '\n', ' '}) {
+      std::string mutated = text;
+      mutated[i] = c;
+      std::istringstream is(mutated);
+      try {
+        (void)load_schedule_csv(is);
+      } catch (const std::exception&) {
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace calib

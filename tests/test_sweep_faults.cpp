@@ -1,0 +1,341 @@
+// Fault tolerance of the sweep engine: cell isolation (errors and
+// budget timeouts become structured rows), deterministic fault
+// injection, and journaled checkpoint/resume with byte-identical output.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "harness/journal.hpp"
+#include "harness/sweep.hpp"
+#include "workload/generators.hpp"
+
+namespace calib {
+namespace {
+
+using harness::FaultPlan;
+using harness::SweepEngine;
+using harness::SweepGrid;
+using harness::SweepOptions;
+using harness::SweepReport;
+using harness::SweepRow;
+using harness::WorkloadSpec;
+
+SweepGrid tiny_grid() {
+  WorkloadSpec spec;
+  spec.kind = "poisson";
+  spec.rate = 0.4;
+  spec.steps = 16;
+  spec.T = 3;
+  SweepGrid grid;
+  grid.workloads = {spec};
+  grid.solvers = {"alg1", "alg2"};
+  grid.G_values = {5, 9};
+  grid.seeds = 2;
+  grid.base_seed = 7;
+  grid.compare_to_opt = true;
+  grid.threads = 1;
+  return grid;
+}
+
+std::string jsonl_of(const SweepReport& report) {
+  std::ostringstream os;
+  report.write_jsonl(os);
+  return os.str();
+}
+
+std::string csv_of(const SweepReport& report) {
+  std::ostringstream os;
+  report.write_csv(os);
+  return os.str();
+}
+
+// Unique per test *and* per process so parallel ctest runs don't fight
+// over files.
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + "calibsched_" + name + "_" +
+         std::to_string(::getpid()) + ".jsonl";
+}
+
+TEST(SweepFaults, InjectedThrowsBecomeErrorRows) {
+  const SweepReport clean = SweepEngine(tiny_grid()).run();
+  SweepOptions options;
+  options.faults.throw_cells = {1, 4};
+  const SweepReport faulted = SweepEngine(tiny_grid()).run(options);
+  ASSERT_EQ(faulted.rows.size(), clean.rows.size());
+  for (std::size_t i = 0; i < faulted.rows.size(); ++i) {
+    const SweepRow& row = faulted.rows[i];
+    if (i == 1 || i == 4) {
+      EXPECT_EQ(row.status, RunStatus::kError);
+      EXPECT_NE(row.error.find("injected fault"), std::string::npos);
+      EXPECT_EQ(row.result.objective, 0);
+      EXPECT_FALSE(row.has_opt);
+      EXPECT_FALSE(row.has_trace);
+      // Coordinates survive so the row is still attributable.
+      EXPECT_EQ(row.cell, i);
+      EXPECT_EQ(row.solver, clean.rows[i].solver);
+    } else {
+      // Isolation: the other cells are untouched, byte for byte.
+      EXPECT_EQ(harness::row_to_json(row, "", false),
+                harness::row_to_json(clean.rows[i], "", false));
+    }
+  }
+  const harness::SweepStatusCounts counts = faulted.status_counts();
+  EXPECT_EQ(counts.error, 2u);
+  EXPECT_EQ(counts.ok, faulted.rows.size() - 2);
+  EXPECT_FALSE(counts.all_ok());
+  EXPECT_NE(faulted.timing_summary().find("degraded"), std::string::npos);
+}
+
+TEST(SweepFaults, InjectedTimeoutsBecomeTimeoutRows) {
+  SweepOptions options;
+  options.faults.timeout_cells = {0};
+  const SweepReport report = SweepEngine(tiny_grid()).run(options);
+  EXPECT_EQ(report.rows[0].status, RunStatus::kTimeout);
+  EXPECT_NE(report.rows[0].error.find("injected timeout"),
+            std::string::npos);
+  EXPECT_EQ(report.status_counts().timeout, 1u);
+}
+
+TEST(SweepFaults, ProbabilisticPlanIsThreadCountInvariant) {
+  SweepGrid serial = tiny_grid();
+  serial.threads = 1;
+  SweepGrid parallel = tiny_grid();
+  parallel.threads = 4;
+  SweepOptions options;
+  options.faults.throw_probability = 0.4;
+  options.faults.timeout_probability = 0.3;
+  options.faults.seed = 11;
+  const SweepReport a = SweepEngine(serial).run(options);
+  const SweepReport b = SweepEngine(parallel).run(options);
+  EXPECT_EQ(jsonl_of(a), jsonl_of(b));
+  EXPECT_EQ(csv_of(a), csv_of(b));
+  const harness::SweepStatusCounts counts = a.status_counts();
+  // The draw is a pure function of (seed, cell index); with these
+  // probabilities over 8 cells both degradation kinds occur.
+  EXPECT_GT(counts.error + counts.timeout, 0u);
+  EXPECT_LT(counts.ok, a.rows.size());
+}
+
+TEST(SweepFaults, StepBudgetTurnsRunawayCellsIntoTimeoutRows) {
+  SweepGrid grid = tiny_grid();
+  grid.solvers = {harness::kOfflineSolver, "alg2"};
+  grid.compare_to_opt = false;
+  SweepOptions options;
+  options.cell_step_budget = 5;  // far below any real cell's work
+  const SweepReport starved = SweepEngine(grid).run(options);
+  for (const SweepRow& row : starved.rows) {
+    EXPECT_EQ(row.status, RunStatus::kTimeout) << row.cell;
+    EXPECT_NE(row.error.find("step budget exhausted"), std::string::npos);
+  }
+  // Step budgets are deterministic: a rerun degrades identically.
+  const SweepReport again = SweepEngine(grid).run(options);
+  EXPECT_EQ(jsonl_of(starved), jsonl_of(again));
+
+  SweepOptions generous;
+  generous.cell_step_budget = 1u << 30;
+  const SweepReport healthy = SweepEngine(grid).run(generous);
+  EXPECT_TRUE(healthy.status_counts().all_ok());
+  EXPECT_EQ(jsonl_of(healthy), jsonl_of(SweepEngine(grid).run()));
+}
+
+TEST(SweepFaults, KillAndResumeIsByteIdentical) {
+  const std::string path = temp_path("resume");
+  std::remove(path.c_str());
+  const SweepGrid grid = tiny_grid();
+  const SweepReport full = SweepEngine(grid).run();
+
+  // "Kill" the first run after 3 journaled cells.
+  SweepOptions interrupted;
+  interrupted.journal_path = path;
+  interrupted.max_cells = 3;
+  const SweepReport partial = SweepEngine(grid).run(interrupted);
+  EXPECT_EQ(partial.status_counts().ok, 3u);
+  EXPECT_EQ(partial.status_counts().skipped, grid.cells() - 3);
+  EXPECT_NE(jsonl_of(partial).find("\"status\":\"skipped\""),
+            std::string::npos);
+
+  SweepOptions resume;
+  resume.journal_path = path;
+  resume.resume = true;
+  const SweepReport resumed = SweepEngine(grid).run(resume);
+  EXPECT_EQ(resumed.timing.resumed, 3u);
+  EXPECT_TRUE(resumed.status_counts().all_ok());
+  EXPECT_EQ(jsonl_of(resumed), jsonl_of(full));
+  EXPECT_EQ(csv_of(resumed), csv_of(full));
+
+  // A second resume replays everything without recomputing.
+  const SweepReport replayed = SweepEngine(grid).run(resume);
+  EXPECT_EQ(replayed.timing.resumed, grid.cells());
+  EXPECT_EQ(jsonl_of(replayed), jsonl_of(full));
+  std::remove(path.c_str());
+}
+
+TEST(SweepFaults, ResumeCompletesAroundFailedCellsAndRetries) {
+  const std::string path = temp_path("retry");
+  std::remove(path.c_str());
+  const SweepGrid grid = tiny_grid();
+  const SweepReport clean = SweepEngine(grid).run();
+
+  SweepOptions faulty;
+  faulty.journal_path = path;
+  faulty.faults.throw_cells = {2};
+  const SweepReport first = SweepEngine(grid).run(faulty);
+  EXPECT_EQ(first.rows[2].status, RunStatus::kError);
+  EXPECT_EQ(first.status_counts().ok, grid.cells() - 1);
+
+  // Plain resume replays the journaled failure row verbatim.
+  SweepOptions replay;
+  replay.journal_path = path;
+  replay.resume = true;
+  const SweepReport replayed = SweepEngine(grid).run(replay);
+  EXPECT_EQ(replayed.timing.resumed, grid.cells());
+  EXPECT_EQ(jsonl_of(replayed), jsonl_of(first));
+
+  // retry_failed re-runs it — without the fault plan it now succeeds.
+  SweepOptions retry = replay;
+  retry.retry_failed = true;
+  const SweepReport retried = SweepEngine(grid).run(retry);
+  EXPECT_EQ(retried.timing.resumed, grid.cells() - 1);
+  EXPECT_TRUE(retried.status_counts().all_ok());
+  EXPECT_EQ(jsonl_of(retried), jsonl_of(clean));
+
+  // The journal now holds both outcomes for cell 2; the *latest* line
+  // wins on the next resume.
+  const SweepReport final_replay = SweepEngine(grid).run(replay);
+  EXPECT_EQ(jsonl_of(final_replay), jsonl_of(clean));
+  std::remove(path.c_str());
+}
+
+TEST(SweepFaults, JournalForADifferentGridIsRejected) {
+  const std::string path = temp_path("fingerprint");
+  std::remove(path.c_str());
+  SweepOptions journaled;
+  journaled.journal_path = path;
+  (void)SweepEngine(tiny_grid()).run(journaled);
+
+  SweepGrid other = tiny_grid();
+  other.base_seed = 8;  // different rows → different fingerprint
+  SweepOptions resume;
+  resume.journal_path = path;
+  resume.resume = true;
+  EXPECT_THROW((void)SweepEngine(other).run(resume), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(SweepFaults, TornTrailingJournalLineIsIgnored) {
+  const std::string path = temp_path("torn");
+  std::remove(path.c_str());
+  const SweepGrid grid = tiny_grid();
+  const SweepReport full = SweepEngine(grid).run();
+
+  SweepOptions interrupted;
+  interrupted.journal_path = path;
+  interrupted.max_cells = 3;
+  (void)SweepEngine(grid).run(interrupted);
+  {
+    // Simulate a crash mid-write: a truncated row line with no newline.
+    std::ofstream torn(path, std::ios::app);
+    torn << "{\"cell\":3,\"workload\":\"pois";
+  }
+
+  SweepOptions resume;
+  resume.journal_path = path;
+  resume.resume = true;
+  const SweepReport resumed = SweepEngine(grid).run(resume);
+  EXPECT_EQ(resumed.timing.resumed, 3u);  // the torn cell re-ran
+  EXPECT_EQ(jsonl_of(resumed), jsonl_of(full));
+  std::remove(path.c_str());
+}
+
+TEST(SweepFaults, ThrowingExtraMetricBecomesErrorRow) {
+  const std::string path = temp_path("metric");
+  std::remove(path.c_str());
+  SweepGrid grid = tiny_grid();
+  grid.solvers = {"alg2"};
+  grid.extra_metric_name = "fussy";
+  grid.extra_metric = [](const Instance&, const Schedule&, Cost G) {
+    if (G == 5) {
+      // Hostile message: quotes, newline, control byte — must not break
+      // JSONL framing or the journal round trip.
+      throw std::runtime_error("metric \"exploded\"\n\x07 badly");
+    }
+    return 1.5;
+  };
+
+  SweepOptions journaled;
+  journaled.journal_path = path;
+  const SweepReport report = SweepEngine(grid).run(journaled);
+  for (const SweepRow& row : report.rows) {
+    if (row.G == 5) {
+      EXPECT_EQ(row.status, RunStatus::kError);
+      EXPECT_NE(row.error.find("exploded"), std::string::npos);
+      EXPECT_FALSE(row.has_extra);
+    } else {
+      EXPECT_EQ(row.status, RunStatus::kOk);
+      EXPECT_TRUE(row.has_extra);
+    }
+  }
+  // Every line (including the hostile error rows) must survive a parse.
+  const std::string jsonl = jsonl_of(report);
+  std::istringstream lines(jsonl);
+  std::string line;
+  while (std::getline(lines, line)) {
+    const auto fields = harness::parse_flat_json(line);
+    EXPECT_TRUE(fields.count("status")) << line;
+  }
+  // And the journal replays them byte-identically.
+  SweepOptions resume = journaled;
+  resume.resume = true;
+  const SweepReport resumed = SweepEngine(grid).run(resume);
+  EXPECT_EQ(resumed.timing.resumed, grid.cells());
+  EXPECT_EQ(jsonl_of(resumed), jsonl);
+  std::remove(path.c_str());
+}
+
+TEST(SweepFaults, RejectsBadOptions) {
+  SweepOptions no_journal;
+  no_journal.resume = true;
+  EXPECT_THROW((void)SweepEngine(tiny_grid()).run(no_journal),
+               std::runtime_error);
+
+  SweepOptions no_resume;
+  no_resume.journal_path = temp_path("unused");
+  no_resume.retry_failed = true;
+  EXPECT_THROW((void)SweepEngine(tiny_grid()).run(no_resume),
+               std::runtime_error);
+
+  SweepOptions negative_budget;
+  negative_budget.cell_budget_ms = -1.0;
+  EXPECT_THROW((void)SweepEngine(tiny_grid()).run(negative_budget),
+               std::runtime_error);
+
+  SweepOptions bad_plan;
+  bad_plan.faults.throw_probability = 0.8;
+  bad_plan.faults.timeout_probability = 0.8;
+  EXPECT_THROW((void)SweepEngine(tiny_grid()).run(bad_plan),
+               std::runtime_error);
+}
+
+TEST(SweepJournal, FlatJsonRoundTripsEscapes) {
+  const auto fields = harness::parse_flat_json(
+      "{\"a\":\"x\\n\\\"y\\\"\\u0007\",\"b\":3,\"c\":\"\"}");
+  EXPECT_EQ(fields.at("a"), "x\n\"y\"\a");
+  EXPECT_EQ(fields.at("b"), "3");
+  EXPECT_EQ(fields.at("c"), "");
+  EXPECT_THROW((void)harness::parse_flat_json("{\"a\":"),
+               std::runtime_error);
+  EXPECT_THROW((void)harness::parse_flat_json("not json"),
+               std::runtime_error);
+  EXPECT_THROW((void)harness::parse_flat_json("{\"a\":\"unterminated"),
+               std::runtime_error);
+  EXPECT_TRUE(harness::parse_flat_json("{}").empty());
+}
+
+}  // namespace
+}  // namespace calib

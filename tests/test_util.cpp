@@ -1,12 +1,15 @@
 // Unit tests for the utility substrate: PRNG determinism and
-// distributional sanity, summary statistics, fits, thread pool, table
-// and CSV round trips.
+// distributional sanity, summary statistics, fits, thread pool
+// (including exception aggregation), cooperative budgets, table and CSV
+// round trips plus malformed-input robustness.
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <cmath>
 #include <sstream>
+#include <stdexcept>
 
+#include "util/budget.hpp"
 #include "util/csv.hpp"
 #include "util/prng.hpp"
 #include "util/stats.hpp"
@@ -184,6 +187,83 @@ TEST(ThreadPool, ExceptionPropagates) {
       std::runtime_error);
 }
 
+TEST(ThreadPool, SingleFailureKeepsItsExceptionType) {
+  ThreadPool pool(2);
+  try {
+    pool.parallel_for(8, [](std::size_t i) {
+      if (i == 3) throw std::out_of_range("just me");
+    });
+    FAIL() << "expected a throw";
+  } catch (const std::out_of_range& error) {
+    EXPECT_STREQ(error.what(), "just me");
+  }
+}
+
+TEST(ThreadPool, MultipleFailuresAreAggregated) {
+  // 16 indices on a 4-thread pool → 16 single-index chunks, so each
+  // throwing index is its own failed task. Every message must survive
+  // into the aggregate (up to the cap), not just the first.
+  ThreadPool pool(4);
+  try {
+    pool.parallel_for(16, [](std::size_t i) {
+      if (i == 2 || i == 11) {
+        throw std::runtime_error("task " + std::to_string(i));
+      }
+    });
+    FAIL() << "expected a throw";
+  } catch (const std::runtime_error& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("2 tasks failed"), std::string::npos) << what;
+    EXPECT_NE(what.find("[task 2]"), std::string::npos) << what;
+    EXPECT_NE(what.find("[task 11]"), std::string::npos) << what;
+  }
+}
+
+TEST(ThreadPool, AggregationCapsMessageCount) {
+  ThreadPool pool(4);
+  try {
+    pool.parallel_for(16, [](std::size_t i) {
+      throw std::runtime_error("task " + std::to_string(i));
+    });
+    FAIL() << "expected a throw";
+  } catch (const std::runtime_error& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("16 tasks failed"), std::string::npos) << what;
+    EXPECT_NE(what.find(" ..."), std::string::npos) << what;
+  }
+}
+
+TEST(Budget, DefaultIsUnlimited) {
+  Budget budget;
+  EXPECT_TRUE(budget.unlimited());
+  for (int i = 0; i < 1000; ++i) budget.charge();
+  EXPECT_EQ(budget.steps_used(), 0u);  // unlimited budgets don't count
+}
+
+TEST(Budget, StepLimitThrowsDeterministically) {
+  Budget budget = Budget::steps(3);
+  budget.charge();
+  budget.charge(2);
+  EXPECT_EQ(budget.steps_used(), 3u);
+  EXPECT_THROW(budget.charge(), BudgetExceeded);
+}
+
+TEST(Budget, ZeroStepLimitThrowsOnFirstCharge) {
+  Budget budget = Budget::steps(0);
+  EXPECT_THROW(budget.charge(), BudgetExceeded);
+}
+
+TEST(Budget, ExpiredDeadlineThrowsOnFirstCharge) {
+  Budget budget = Budget::deadline_ms(-1.0);
+  EXPECT_THROW(budget.charge(), BudgetExceeded);
+}
+
+TEST(Budget, GenerousDeadlinePermitsWork) {
+  Budget budget = Budget::deadline_ms(60000.0);
+  for (int i = 0; i < 10000; ++i) budget.charge();
+  EXPECT_EQ(budget.steps_used(), 10000u);
+}
+
 TEST(Table, RendersAlignedColumns) {
   Table table({"name", "value"});
   table.row().add("alpha").add(static_cast<std::int64_t>(10));
@@ -211,6 +291,35 @@ TEST(Csv, RoundTripsQuotedFields) {
 TEST(Csv, RejectsUnterminatedQuote) {
   std::istringstream is("\"oops");
   EXPECT_THROW(read_csv(is), std::runtime_error);
+}
+
+TEST(Csv, EveryTruncationAndMutationParsesOrThrows) {
+  // The robustness contract for untrusted input: any corruption either
+  // parses into *some* row set or throws — never crashes or hangs
+  // (meaningful under ASan/UBSan in the sanitizer CI job).
+  std::ostringstream os;
+  CsvWriter writer(os);
+  writer.write_row({"plain", "with,comma", "with\"quote", "multi\nline"});
+  writer.write_row({"1", "-2", "", "last"});
+  const std::string text = os.str();
+  for (std::size_t len = 0; len <= text.size(); ++len) {
+    std::istringstream is(text.substr(0, len));
+    try {
+      (void)read_csv(is);
+    } catch (const std::runtime_error&) {
+    }
+  }
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    for (const char c : {'"', ',', '\n', '\r', 'x', '\0'}) {
+      std::string mutated = text;
+      mutated[i] = c;
+      std::istringstream is(mutated);
+      try {
+        (void)read_csv(is);
+      } catch (const std::runtime_error&) {
+      }
+    }
+  }
 }
 
 TEST(Timer, MeasuresNonNegativeDurations) {

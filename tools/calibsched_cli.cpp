@@ -56,6 +56,11 @@ int usage() {
       "             [--weights W[,W...]] [--wmax N] [--machines P] [--jobs N]\n"
       "             [--period N] [--threads N] [--opt] [--no-trace]\n"
       "             [--format jsonl|csv] [--timing] [--out FILE]\n"
+      "             [--journal FILE] [--resume] [--retry-failed]\n"
+      "             [--cell-budget-ms MS] [--cell-budget-steps N]\n"
+      "             [--inject-faults THROWP[,TIMEOUTP]] [--fault-seed S]\n"
+      "             [--stop-after N]\n"
+      "             (exits 3 if any cell ends in error/timeout/skipped)\n"
       "  frontier   --in FILE [--kmax N]\n"
       "  lowerbound --in FILE --G N\n"
       "  policies   (list the registry's solver names)\n";
@@ -140,9 +145,19 @@ void add_result_row(Table& table, const SolveResult& result) {
       .add(result.wall_ms, 2);
 }
 
+// Reject G < 1 here so bad input exits with `error: ...` instead of
+// tripping the driver's CALIB_CHECK (process abort).
+Cost checked_G(const Args& args) {
+  const Cost G = args.get_int("G", 10);
+  if (G < 1) {
+    throw std::runtime_error("--G must be >= 1, got " + std::to_string(G));
+  }
+  return G;
+}
+
 int cmd_solve(const Args& args) {
   const Instance instance = load_instance(args.get("in", ""));
-  const Cost G = args.get_int("G", 10);
+  const Cost G = checked_G(args);
   const std::string policy_name = args.get("policy", "alg2");
   PolicyParams params;
   params.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
@@ -212,8 +227,34 @@ int cmd_sweep(const Args& args) {
   grid.collect_trace = !args.has("no-trace");
   grid.threads = static_cast<std::size_t>(args.get_int("threads", 0));
 
+  harness::SweepOptions options;
+  options.journal_path = args.get("journal", "");
+  options.resume = args.has("resume");
+  options.retry_failed = args.has("retry-failed");
+  options.cell_budget_ms = args.get_double("cell-budget-ms", 0.0);
+  options.cell_step_budget =
+      static_cast<std::uint64_t>(args.get_int("cell-budget-steps", 0));
+  const std::string faults = args.get("inject-faults", "");
+  if (!faults.empty()) {
+    const auto probabilities = split_list(faults);
+    if (probabilities.empty() || probabilities.size() > 2) {
+      throw std::runtime_error(
+          "--inject-faults wants THROWP or THROWP,TIMEOUTP");
+    }
+    options.faults.throw_probability = std::stod(probabilities[0]);
+    if (probabilities.size() == 2) {
+      options.faults.timeout_probability = std::stod(probabilities[1]);
+    }
+    options.faults.seed =
+        static_cast<std::uint64_t>(args.get_int("fault-seed", 1));
+  }
+  if (args.has("stop-after")) {
+    options.max_cells =
+        static_cast<std::size_t>(args.get_int("stop-after", 0));
+  }
+
   harness::SweepEngine engine(std::move(grid));
-  const harness::SweepReport report = engine.run();
+  const harness::SweepReport report = engine.run(options);
 
   const bool timing = args.has("timing");
   const std::string format = args.get("format", "jsonl");
@@ -238,6 +279,16 @@ int cmd_sweep(const Args& args) {
   }
   // Timing goes to stderr so stdout rows stay byte-stable across runs.
   std::cerr << report.timing_summary() << '\n';
+
+  // A sweep with degraded cells must not look like a success to shell
+  // pipelines: summarize per status and exit nonzero.
+  const harness::SweepStatusCounts counts = report.status_counts();
+  if (!counts.all_ok()) {
+    std::cerr << "sweep degraded: " << counts.ok << " ok, " << counts.error
+              << " error, " << counts.timeout << " timeout, "
+              << counts.skipped << " skipped\n";
+    return 3;
+  }
   return 0;
 }
 
@@ -261,7 +312,7 @@ int cmd_frontier(const Args& args) {
 
 int cmd_lowerbound(const Args& args) {
   const Instance instance = load_instance(args.get("in", ""));
-  const Cost G = args.get_int("G", 10);
+  const Cost G = checked_G(args);
   std::cout << "Figure 1 LP lower bound on G*#calibrations + flow: "
             << lp_lower_bound(instance, G) << '\n';
   return 0;
@@ -288,7 +339,9 @@ int main(int argc, char** argv) {
                      "machines", "weights", "wmax", "seed", "seeds", "out",
                      "in", "G", "policy", "policies", "offline", "svg",
                      "save-schedule", "kmax", "period", "threads", "opt",
-                     "no-trace", "format", "timing"});
+                     "no-trace", "format", "timing", "journal", "resume",
+                     "retry-failed", "cell-budget-ms", "cell-budget-steps",
+                     "inject-faults", "fault-seed", "stop-after"});
     if (command == "generate") return cmd_generate(args);
     if (command == "solve") return cmd_solve(args);
     if (command == "sweep") return cmd_sweep(args);
