@@ -253,6 +253,10 @@ struct TablePrinter {
     t4.print(std::cout);
   }
 };
+// Declared before `printer` so it is destroyed after it: the snapshot
+// then includes everything the bench recorded. Opt in by exporting
+// CALIBSCHED_METRICS=<dir>.
+const benchutil::MetricsSidecar sidecar("bench_ablation");  // NOLINT(cert-err58-cpp)
 const TablePrinter printer;  // NOLINT(cert-err58-cpp)
 
 }  // namespace

@@ -155,6 +155,10 @@ struct TablePrinter {
                         << worst_util << " * 2G");
   }
 };
+// Declared before `printer` so it is destroyed after it: the snapshot
+// then includes everything the bench recorded. Opt in by exporting
+// CALIBSCHED_METRICS=<dir>.
+const benchutil::MetricsSidecar sidecar("bench_alg2");  // NOLINT(cert-err58-cpp)
 const TablePrinter printer;  // NOLINT(cert-err58-cpp)
 
 }  // namespace

@@ -4,12 +4,15 @@
 #pragma once
 
 #include <cstdlib>
+#include <fstream>
 #include <functional>
+#include <iostream>
 #include <memory>
 #include <mutex>
 #include <string>
 
 #include "harness/sweep.hpp"
+#include "obs/metrics.hpp"
 #include "offline/budget_search.hpp"
 #include "online/driver.hpp"
 #include "util/stats.hpp"
@@ -39,6 +42,43 @@ inline double ratio_vs_opt(const Instance& instance, Cost G,
   const Cost opt = offline_online_optimum(instance, G).best_cost;
   return static_cast<double>(alg) / static_cast<double>(opt);
 }
+
+/// Machine-readable metrics sidecar for the benches, mirroring the
+/// journal opt-in: export CALIBSCHED_METRICS=<directory> and a bench
+/// holding one of these writes the final registry snapshot to
+/// <dir>/<tag>.metrics.json when it exits (destructor = after main's
+/// tables print, while the thread pool's workers are quiescent). Unset
+/// (the default) → no file. Read it back with `calibsched_cli stats`.
+class MetricsSidecar {
+ public:
+  explicit MetricsSidecar(std::string tag) : tag_(std::move(tag)) {
+    // Touch the registry so it finishes constructing before we do:
+    // statics are destroyed in reverse completion order, so the
+    // snapshot in our destructor always has a live registry to read —
+    // including when the sidecar itself is a namespace-scope static.
+    obs::metrics();
+    if (const char* dir = std::getenv("CALIBSCHED_METRICS");
+        dir != nullptr && *dir != '\0') {
+      path_ = std::string(dir) + "/" + tag_ + ".metrics.json";
+    }
+  }
+  MetricsSidecar(const MetricsSidecar&) = delete;
+  MetricsSidecar& operator=(const MetricsSidecar&) = delete;
+  ~MetricsSidecar() {
+    if (path_.empty()) return;
+    std::ofstream file(path_);
+    if (!file) {
+      std::cerr << "metrics sidecar: cannot write " << path_ << '\n';
+      return;
+    }
+    obs::metrics().snapshot().write_json(file);
+    std::cerr << "wrote metrics to " << path_ << '\n';
+  }
+
+ private:
+  std::string tag_;
+  std::string path_;
+};
 
 /// Run `trial(seed_index)` for `trials` seeds in parallel; returns the
 /// pooled summary of its returned statistic.

@@ -130,6 +130,10 @@ struct TablePrinter {
     std::cerr << "[sweep] " << report.timing_summary() << '\n';
   }
 };
+// Declared before `printer` so it is destroyed after it: the snapshot
+// then includes everything the bench recorded. Opt in by exporting
+// CALIBSCHED_METRICS=<dir>.
+const benchutil::MetricsSidecar sidecar("bench_tradeoff");  // NOLINT(cert-err58-cpp)
 const TablePrinter printer;  // NOLINT(cert-err58-cpp)
 
 }  // namespace

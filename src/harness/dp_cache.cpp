@@ -3,9 +3,9 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "offline/dp.hpp"
 #include "util/check.hpp"
-#include "util/timer.hpp"
 
 namespace calib::harness {
 namespace {
@@ -42,6 +42,81 @@ CurveOptimum optimum_from_curve(const std::vector<Cost>& curve, Cost G) {
   return best;
 }
 
+#if CALIBSCHED_OBS
+
+FlowCurveCache::FlowCurveCache()
+    : hits_counter_(obs::metrics().counter("dp_cache.hits")),
+      misses_counter_(obs::metrics().counter("dp_cache.misses")),
+      evictions_counter_(obs::metrics().counter("dp_cache.evictions")),
+      wait_us_counter_(obs::metrics().counter("dp_cache.wait_us")),
+      compute_us_counter_(obs::metrics().counter("dp_cache.compute_us")) {
+  hits_base_ = hits_counter_.value();
+  misses_base_ = misses_counter_.value();
+  evictions_base_ = evictions_counter_.value();
+  wait_us_base_ = wait_us_counter_.value();
+  compute_us_base_ = compute_us_counter_.value();
+}
+
+std::size_t FlowCurveCache::hits() const {
+  return hits_counter_.value() - hits_base_;
+}
+
+std::size_t FlowCurveCache::misses() const {
+  return misses_counter_.value() - misses_base_;
+}
+
+std::size_t FlowCurveCache::evictions() const {
+  return evictions_counter_.value() - evictions_base_;
+}
+
+double FlowCurveCache::wait_seconds() const {
+  return static_cast<double>(wait_us_counter_.value() - wait_us_base_) * 1e-6;
+}
+
+double FlowCurveCache::compute_seconds() const {
+  return static_cast<double>(compute_us_counter_.value() -
+                             compute_us_base_) *
+         1e-6;
+}
+
+void FlowCurveCache::note_hit() { hits_counter_.add(); }
+void FlowCurveCache::note_miss() { misses_counter_.add(); }
+void FlowCurveCache::note_eviction() { evictions_counter_.add(); }
+void FlowCurveCache::note_wait_us(std::uint64_t us) {
+  wait_us_counter_.add(us);
+}
+void FlowCurveCache::note_compute_us(std::uint64_t us) {
+  compute_us_counter_.add(us);
+}
+
+#else  // !CALIBSCHED_OBS — plain atomics keep the accessors exact.
+
+FlowCurveCache::FlowCurveCache() = default;
+
+std::size_t FlowCurveCache::hits() const { return hits_.load(); }
+std::size_t FlowCurveCache::misses() const { return misses_.load(); }
+std::size_t FlowCurveCache::evictions() const { return evictions_.load(); }
+
+double FlowCurveCache::wait_seconds() const {
+  return static_cast<double>(wait_us_.load()) * 1e-6;
+}
+
+double FlowCurveCache::compute_seconds() const {
+  return static_cast<double>(compute_us_.load()) * 1e-6;
+}
+
+void FlowCurveCache::note_hit() { hits_.fetch_add(1); }
+void FlowCurveCache::note_miss() { misses_.fetch_add(1); }
+void FlowCurveCache::note_eviction() { evictions_.fetch_add(1); }
+void FlowCurveCache::note_wait_us(std::uint64_t us) {
+  wait_us_.fetch_add(us);
+}
+void FlowCurveCache::note_compute_us(std::uint64_t us) {
+  compute_us_.fetch_add(us);
+}
+
+#endif  // CALIBSCHED_OBS
+
 std::shared_ptr<const std::vector<Cost>> FlowCurveCache::curve(
     const Instance& instance, Budget* budget) {
   CALIB_CHECK_MSG(instance.machines() == 1,
@@ -55,10 +130,10 @@ std::shared_ptr<const std::vector<Cost>> FlowCurveCache::curve(
     const std::scoped_lock lock(mutex_);
     const auto it = curves_.find(key);
     if (it != curves_.end()) {
-      hits_.fetch_add(1);
+      note_hit();
       future = it->second;
     } else {
-      misses_.fetch_add(1);
+      note_miss();
       owner = true;
       future = promise.get_future().share();
       curves_.emplace(key, future);
@@ -67,14 +142,13 @@ std::shared_ptr<const std::vector<Cost>> FlowCurveCache::curve(
 
   if (owner) {
     try {
-      const Timer timer;
+      obs::ScopedSpan span("dp_cache.compute", "dp");
       OfflineDp dp(instance.releases_normalized() ? instance
                                                   : instance.normalized());
       dp.set_budget(budget);
       auto curve = std::make_shared<const std::vector<Cost>>(
           dp.flow_curve(dp.instance().size()));
-      compute_micros_.fetch_add(
-          static_cast<std::int64_t>(timer.seconds() * 1e6));
+      note_compute_us(span.elapsed_ns() / 1000);
       promise.set_value(std::move(curve));
     } catch (...) {
       // Evict before publishing the failure so later requests retry
@@ -83,14 +157,23 @@ std::shared_ptr<const std::vector<Cost>> FlowCurveCache::curve(
         const std::scoped_lock lock(mutex_);
         curves_.erase(key);
       }
+      note_eviction();
       promise.set_exception(std::current_exception());
     }
+    return future.get();
   }
-  return future.get();
-}
 
-double FlowCurveCache::compute_seconds() const {
-  return static_cast<double>(compute_micros_.load()) * 1e-6;
+  // Non-owner: time the block on the in-flight (or already finished)
+  // computation — this is the "waiter block time" the snapshot reports.
+  const std::uint64_t wait_start = obs::now_ns();
+  try {
+    auto result = future.get();
+    note_wait_us((obs::now_ns() - wait_start) / 1000);
+    return result;
+  } catch (...) {
+    note_wait_us((obs::now_ns() - wait_start) / 1000);
+    throw;
+  }
 }
 
 }  // namespace calib::harness

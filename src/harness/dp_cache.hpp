@@ -16,9 +16,18 @@
 // to error/timeout rows together — but the failed entry is evicted, so
 // any *later* request recomputes from scratch (possibly under a larger
 // budget) instead of inheriting a stale failure forever.
+//
+// Accounting lives in the obs registry (dp_cache.hits / .misses /
+// .evictions / .wait_us / .compute_us); the per-instance accessors
+// report this cache's share as deltas against values captured at
+// construction, so one process can run many sweeps and each report
+// still sees only its own cache traffic. With CALIBSCHED_OBS=0 the
+// registry stores nothing, so the cache keeps plain per-instance
+// atomics instead — the accessors are exact in every configuration.
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -28,6 +37,7 @@
 
 #include "core/instance.hpp"
 #include "core/types.hpp"
+#include "obs/metrics.hpp"
 #include "util/budget.hpp"
 
 namespace calib::harness {
@@ -45,6 +55,8 @@ struct CurveOptimum {
 
 class FlowCurveCache {
  public:
+  FlowCurveCache();
+
   /// The flow curve F(0..n) of `instance` (normalized internally, like
   /// offline_online_optimum). Computes on first request; every later
   /// request for an identical instance returns the shared copy. A
@@ -53,8 +65,15 @@ class FlowCurveCache {
   [[nodiscard]] std::shared_ptr<const std::vector<Cost>> curve(
       const Instance& instance, Budget* budget = nullptr);
 
-  [[nodiscard]] std::size_t hits() const { return hits_.load(); }
-  [[nodiscard]] std::size_t misses() const { return misses_.load(); }
+  /// Requests served from a present (or in-flight) entry.
+  [[nodiscard]] std::size_t hits() const;
+  /// Requests that had to start the DP themselves.
+  [[nodiscard]] std::size_t misses() const;
+  /// Failed computations evicted so later requests retry.
+  [[nodiscard]] std::size_t evictions() const;
+  /// Cumulative wall time non-owning requests spent blocked on an
+  /// in-flight computation (summed across threads).
+  [[nodiscard]] double wait_seconds() const;
   /// Total wall time spent inside DP computations (summed across
   /// threads; the saving of a hit is its instance's share of this).
   [[nodiscard]] double compute_seconds() const;
@@ -62,11 +81,38 @@ class FlowCurveCache {
  private:
   using CurvePtr = std::shared_ptr<const std::vector<Cost>>;
 
+  // Accounting seams so curve() stays #if-free in both configurations.
+  void note_hit();
+  void note_miss();
+  void note_eviction();
+  void note_wait_us(std::uint64_t us);
+  void note_compute_us(std::uint64_t us);
+
   std::mutex mutex_;
   std::unordered_map<std::string, std::shared_future<CurvePtr>> curves_;
-  std::atomic<std::size_t> hits_{0};
-  std::atomic<std::size_t> misses_{0};
-  std::atomic<std::int64_t> compute_micros_{0};
+
+#if CALIBSCHED_OBS
+  // Registry handles plus construction-time baselines for the deltas.
+  obs::Counter hits_counter_;
+  obs::Counter misses_counter_;
+  obs::Counter evictions_counter_;
+  obs::Counter wait_us_counter_;
+  obs::Counter compute_us_counter_;
+  std::uint64_t hits_base_ = 0;
+  std::uint64_t misses_base_ = 0;
+  std::uint64_t evictions_base_ = 0;
+  std::uint64_t wait_us_base_ = 0;
+  std::uint64_t compute_us_base_ = 0;
+#else
+  // With the obs layer compiled out the registry stores nothing, so the
+  // cache falls back to plain per-instance atomics: the accessors (and
+  // the sweep report's cache columns) stay exact in every build.
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> wait_us_{0};
+  std::atomic<std::uint64_t> compute_us_{0};
+#endif
 };
 
 }  // namespace calib::harness

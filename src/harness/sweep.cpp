@@ -9,6 +9,8 @@
 #include <stdexcept>
 
 #include "harness/journal.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "online/driver.hpp"
 #include "online/registry.hpp"
 #include "online/trace.hpp"
@@ -64,6 +66,25 @@ std::string fmt(double value) {
 std::string extra_column_name(const std::string& extra_metric_name) {
   return extra_metric_name.empty() ? std::string("extra")
                                    : extra_metric_name;
+}
+
+// Per-cell outcome accounting. Static handles: registration takes the
+// registry mutex once, every later call is a lock-free shard add.
+void note_cell(RunStatus status, std::uint64_t elapsed_ns) {
+  static const obs::Histogram cell_us =
+      obs::metrics().histogram("sweep.cell_us");
+  static const obs::Counter ok = obs::metrics().counter("sweep.cells_ok");
+  static const obs::Counter error =
+      obs::metrics().counter("sweep.cells_error");
+  static const obs::Counter timeout =
+      obs::metrics().counter("sweep.cells_timeout");
+  cell_us.record(elapsed_ns / 1000);
+  switch (status) {
+    case RunStatus::kOk: ok.add(); break;
+    case RunStatus::kError: error.add(); break;
+    case RunStatus::kTimeout: timeout.add(); break;
+    case RunStatus::kSkipped: break;  // skip stubs never reach run_cell
+  }
 }
 
 // Rebuild a row from one journal entry. Coordinates come from the grid
@@ -191,8 +212,13 @@ void SweepEngine::solve_cell(const CellCoords& coords, FlowCurveCache& cache,
       materialize_instance(grid_, coords.workload, coords.seed);
   row.jobs = instance.size();
 
+  // Solver-level span: nests under the cell span, and the DP spans
+  // (dp_cache.compute -> dp.flow_curve) nest under it in turn. wall_ms
+  // is NOT read off this span — the cell span in run_cell is the single
+  // source of truth for the journal.
+  const obs::ScopedSpan span(solver.c_str(), "solve");
+
   if (solver == kOfflineSolver) {
-    const Timer timer;
     const CurveOptimum opt =
         optimum_from_curve(*cache.curve(instance, budget), G);
     row.result.solver = solver;
@@ -200,7 +226,6 @@ void SweepEngine::solve_cell(const CellCoords& coords, FlowCurveCache& cache,
     row.result.calibrations = opt.best_k;
     row.result.flow = opt.flow;
     row.result.best_k = opt.best_k;
-    row.result.wall_ms = timer.millis();
     if (grid_.compare_to_opt) {
       row.has_opt = true;
       row.opt_cost = opt.best_cost;
@@ -217,12 +242,11 @@ void SweepEngine::solve_cell(const CellCoords& coords, FlowCurveCache& cache,
   const auto policy = make_policy(solver, params);
 
   Trace trace;
-  const Timer timer;
   const Schedule schedule =
       run_online(instance, G, *policy,
                  grid_.collect_trace ? &trace : nullptr, budget);
-  row.result =
-      summarize_schedule(solver, instance, schedule, G, timer.millis());
+  // wall_ms placeholder: run_cell overwrites it from the cell span.
+  row.result = summarize_schedule(solver, instance, schedule, G, 0.0);
 
   if (grid_.collect_trace) {
     row.has_trace = true;
@@ -264,7 +288,16 @@ SweepRow SweepEngine::run_cell(const CellCoords& coords,
     budget.set_step_limit(options.cell_step_budget);
   }
 
-  const Timer timer;
+  // The cell span is the single source of truth for wall time: the
+  // journal's wall_ms, the degraded-row wall_ms, and the trace event all
+  // read the same clock pair. It spans instance materialization too.
+  obs::ScopedSpan span("cell", "sweep");
+  span.arg("cell", std::to_string(coords.index));
+  span.arg("solver", row.solver);
+  span.arg("workload", row.workload);
+  span.arg("G", std::to_string(row.G));
+  span.arg("seed", std::to_string(coords.seed));
+
   // On failure: keep the coordinates (and jobs, if the instance was
   // materialized), zero the solve outputs, drop the optional column
   // groups — every degraded row then serializes deterministically.
@@ -274,7 +307,6 @@ SweepRow SweepEngine::run_cell(const CellCoords& coords,
     row.error = what;
     row.result = SolveResult{};
     row.result.solver = solver_name;
-    row.result.wall_ms = timer.millis();
     row.has_opt = false;
     row.has_trace = false;
     row.has_extra = false;
@@ -298,6 +330,13 @@ SweepRow SweepEngine::run_cell(const CellCoords& coords,
   } catch (const std::exception& e) {
     degrade(RunStatus::kError, e.what());
   }
+
+  row.result.wall_ms = span.elapsed_ms();
+  span.arg("status", run_status_name(row.status));
+  if (!budget.unlimited()) {
+    span.arg("budget_steps", std::to_string(budget.steps_used()));
+  }
+  note_cell(row.status, span.elapsed_ns());
   return row;
 }
 
@@ -314,6 +353,7 @@ SweepReport SweepEngine::run(const SweepOptions& options) {
   }
 
   const Timer wall;
+  obs::ScopedSpan run_span("sweep.run", "sweep");
   FlowCurveCache cache;
   SweepReport report;
   report.extra_metric_name = grid_.extra_metric_name;
@@ -350,6 +390,11 @@ SweepReport SweepEngine::run(const SweepOptions& options) {
       done[index] = 1;
     }
     for (const char d : done) report.timing.resumed += (d != 0);
+    if (report.timing.resumed > 0) {
+      obs::metrics()
+          .counter("sweep.cells_resumed")
+          .add(static_cast<std::uint64_t>(report.timing.resumed));
+    }
   }
 
   std::atomic<std::size_t> attempted{0};
@@ -370,6 +415,9 @@ SweepReport SweepEngine::run(const SweepOptions& options) {
       row.seed = coords.seed;
       row.result.solver = row.solver;
       row.status = RunStatus::kSkipped;
+      static const obs::Counter skipped =
+          obs::metrics().counter("sweep.cells_skipped");
+      skipped.add();
       return;
     }
     report.rows[i] = run_cell(coords, cache, options);

@@ -1,0 +1,35 @@
+// Minimal JSON string escaping shared by the obs exporters. Kept local
+// to obs (the layer below util) so the exporters depend on nothing but
+// the standard library.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace calib::obs {
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char raw : s) {
+    const auto c = static_cast<unsigned char>(raw);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += raw;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace calib::obs

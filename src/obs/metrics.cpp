@@ -1,0 +1,337 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/json_escape.hpp"
+
+namespace calib::obs {
+namespace {
+
+// Deterministic, locale-free double formatting (same contract as the
+// sweep writers: fmt(stod(fmt(x))) == fmt(x)).
+std::string fmt(double value) {
+  std::ostringstream os;
+  os << std::setprecision(12) << value;
+  return os.str();
+}
+
+// Flatten a snapshot into sorted (key, rendered-value) pairs — the one
+// serialization both write_json and write_text speak.
+std::map<std::string, std::string> flatten(const Snapshot& snapshot) {
+  std::map<std::string, std::string> flat;
+  for (const auto& [name, value] : snapshot.counters) {
+    flat[name] = std::to_string(value);
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    flat[name] = std::to_string(value);
+  }
+  for (const auto& [name, stats] : snapshot.histograms) {
+    flat[name + ".count"] = std::to_string(stats.count);
+    flat[name + ".sum"] = fmt(stats.sum);
+    flat[name + ".min"] = fmt(stats.min);
+    flat[name + ".max"] = fmt(stats.max);
+    flat[name + ".p50"] = fmt(stats.p50);
+    flat[name + ".p90"] = fmt(stats.p90);
+    flat[name + ".p99"] = fmt(stats.p99);
+  }
+  return flat;
+}
+
+}  // namespace
+
+void Snapshot::write_json(std::ostream& os) const {
+  os << '{';
+  bool first = true;
+  for (const auto& [key, value] : flatten(*this)) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << json_escape(key) << "\":" << value;
+  }
+  os << "}\n";
+}
+
+void Snapshot::write_text(std::ostream& os) const {
+  std::size_t width = 0;
+  const auto flat = flatten(*this);
+  for (const auto& [key, value] : flat) width = std::max(width, key.size());
+  for (const auto& [key, value] : flat) {
+    os << key << std::string(width - key.size() + 2, ' ') << value << '\n';
+  }
+}
+
+std::string Snapshot::to_json() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+std::string Snapshot::to_text() const {
+  std::ostringstream os;
+  write_text(os);
+  return os.str();
+}
+
+#if CALIBSCHED_OBS
+
+namespace {
+
+std::uint64_t next_registry_uid() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1);
+}
+
+// Single-writer add: the owning thread is the only writer of its shard
+// slot, so plain load+store (no lock prefix) is enough; snapshot()
+// reads the same atomic relaxed and may simply miss the in-flight add.
+inline void shard_add(std::atomic<std::uint64_t>& slot, std::uint64_t n) {
+  slot.store(slot.load(std::memory_order_relaxed) + n,
+             std::memory_order_relaxed);
+}
+
+inline std::size_t bucket_index(std::uint64_t value) {
+  return value == 0 ? 0 : static_cast<std::size_t>(std::bit_width(value));
+}
+
+double bucket_lower(std::size_t b) {
+  return b == 0 ? 0.0 : static_cast<double>(std::uint64_t{1} << (b - 1));
+}
+
+double bucket_upper(std::size_t b) {
+  if (b == 0) return 0.0;
+  if (b >= 64) return 18446744073709551616.0;  // 2^64
+  return static_cast<double>(std::uint64_t{1} << b);
+}
+
+// Bucket-interpolated q-quantile of a merged bucket array.
+double percentile(
+    const std::array<std::uint64_t, MetricsRegistry::kHistBuckets>& buckets,
+    std::uint64_t total, double q) {
+  if (total == 0) return 0.0;
+  const double target = std::max(1.0, q * static_cast<double>(total));
+  double cum = 0.0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    if (buckets[b] == 0) continue;
+    const auto in_bucket = static_cast<double>(buckets[b]);
+    cum += in_bucket;
+    if (cum >= target) {
+      const double frac = (target - (cum - in_bucket)) / in_bucket;
+      return bucket_lower(b) + (bucket_upper(b) - bucket_lower(b)) * frac;
+    }
+  }
+  return bucket_upper(buckets.size() - 1);
+}
+
+}  // namespace
+
+MetricsRegistry::MetricsRegistry() : uid_(next_registry_uid()) {}
+
+MetricsRegistry::Shard& MetricsRegistry::local_shard() {
+  // Per-thread cache keyed by registry uid (not pointer: uids are never
+  // reused, so a recycled registry address cannot alias a stale entry).
+  // The cache must stay trivially destructible: benches record metrics
+  // from static destructors (TablePrinter runs the sweep at exit), and a
+  // thread_local with a destructor is torn down *before* those run —
+  // re-entering it then corrupts the heap. A plain array registers no
+  // TLS destructor, so it stays valid for the whole process. Raw
+  // pointers are safe because entries are only dereferenced through a
+  // live registry, whose shards_ vector owns the shard storage; on
+  // overflow a slot is recycled round-robin (the orphaned shard stays
+  // owned by its registry and is still merged on snapshot).
+  struct TlEntry {
+    std::uint64_t uid;
+    Shard* shard;
+  };
+  constexpr std::size_t kTlCacheSlots = 8;
+  thread_local TlEntry entries[kTlCacheSlots] = {};
+  thread_local std::size_t used = 0;
+  thread_local std::size_t next_evict = 0;
+  for (std::size_t i = 0; i < used; ++i) {
+    if (entries[i].uid == uid_) return *entries[i].shard;
+  }
+  auto shard = std::make_shared<Shard>();
+  Shard* raw = shard.get();
+  {
+    const std::scoped_lock lock(mutex_);
+    shards_.push_back(std::move(shard));
+  }
+  std::size_t slot;
+  if (used < kTlCacheSlots) {
+    slot = used++;
+  } else {
+    slot = next_evict;
+    next_evict = (next_evict + 1) % kTlCacheSlots;
+  }
+  entries[slot] = TlEntry{uid_, raw};
+  return *raw;
+}
+
+std::size_t MetricsRegistry::register_name(std::vector<std::string>& names,
+                                           const std::string& name,
+                                           std::size_t cap,
+                                           const char* kind) {
+  const std::scoped_lock lock(mutex_);
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return i;
+  }
+  if (names.size() >= cap) {
+    throw std::runtime_error(std::string("obs: too many ") + kind +
+                             " metrics (cap " + std::to_string(cap) +
+                             ") registering " + name);
+  }
+  names.push_back(name);
+  return names.size() - 1;
+}
+
+Counter MetricsRegistry::counter(const std::string& name) {
+  return Counter(this,
+                 register_name(counter_names_, name, kMaxCounters, "counter"));
+}
+
+Gauge MetricsRegistry::gauge(const std::string& name) {
+  return Gauge(this, register_name(gauge_names_, name, kMaxGauges, "gauge"));
+}
+
+Histogram MetricsRegistry::histogram(const std::string& name) {
+  return Histogram(
+      this, register_name(histogram_names_, name, kMaxHistograms, "histogram"));
+}
+
+void Counter::add(std::uint64_t n) const {
+  if (registry_ == nullptr) return;
+  shard_add(registry_->local_shard().counters[id_], n);
+}
+
+std::uint64_t Counter::value() const {
+  if (registry_ == nullptr) return 0;
+  std::vector<std::shared_ptr<MetricsRegistry::Shard>> shards;
+  {
+    const std::scoped_lock lock(registry_->mutex_);
+    shards = registry_->shards_;
+  }
+  std::uint64_t total = 0;
+  for (const auto& shard : shards) {
+    total += shard->counters[id_].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Gauge::set(std::int64_t value) const {
+  if (registry_ == nullptr) return;
+  registry_->gauges_[id_].store(value, std::memory_order_relaxed);
+}
+
+void Gauge::add(std::int64_t delta) const {
+  if (registry_ == nullptr) return;
+  registry_->gauges_[id_].fetch_add(delta, std::memory_order_relaxed);
+}
+
+std::int64_t Gauge::value() const {
+  if (registry_ == nullptr) return 0;
+  return registry_->gauges_[id_].load(std::memory_order_relaxed);
+}
+
+void Histogram::record(std::uint64_t value) const {
+  if (registry_ == nullptr) return;
+  MetricsRegistry::HistShard& h =
+      registry_->local_shard().histograms[id_];
+  shard_add(h.count, 1);
+  shard_add(h.sum, value);
+  shard_add(h.buckets[bucket_index(value)], 1);
+  if (value < h.min.load(std::memory_order_relaxed)) {
+    h.min.store(value, std::memory_order_relaxed);
+  }
+  if (value > h.max.load(std::memory_order_relaxed)) {
+    h.max.store(value, std::memory_order_relaxed);
+  }
+}
+
+Snapshot MetricsRegistry::snapshot() const {
+  std::vector<std::string> counter_names;
+  std::vector<std::string> gauge_names;
+  std::vector<std::string> histogram_names;
+  std::vector<std::shared_ptr<Shard>> shards;
+  {
+    const std::scoped_lock lock(mutex_);
+    counter_names = counter_names_;
+    gauge_names = gauge_names_;
+    histogram_names = histogram_names_;
+    shards = shards_;
+  }
+
+  Snapshot snapshot;
+  for (std::size_t id = 0; id < counter_names.size(); ++id) {
+    std::uint64_t total = 0;
+    for (const auto& shard : shards) {
+      total += shard->counters[id].load(std::memory_order_relaxed);
+    }
+    snapshot.counters[counter_names[id]] = total;
+  }
+  for (std::size_t id = 0; id < gauge_names.size(); ++id) {
+    snapshot.gauges[gauge_names[id]] =
+        gauges_[id].load(std::memory_order_relaxed);
+  }
+  for (std::size_t id = 0; id < histogram_names.size(); ++id) {
+    std::array<std::uint64_t, kHistBuckets> buckets{};
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t lo = std::numeric_limits<std::uint64_t>::max();
+    std::uint64_t hi = 0;
+    for (const auto& shard : shards) {
+      const HistShard& h = shard->histograms[id];
+      count += h.count.load(std::memory_order_relaxed);
+      sum += h.sum.load(std::memory_order_relaxed);
+      lo = std::min(lo, h.min.load(std::memory_order_relaxed));
+      hi = std::max(hi, h.max.load(std::memory_order_relaxed));
+      for (std::size_t b = 0; b < kHistBuckets; ++b) {
+        buckets[b] += h.buckets[b].load(std::memory_order_relaxed);
+      }
+    }
+    HistogramStats stats;
+    stats.count = count;
+    stats.sum = static_cast<double>(sum);
+    stats.min = count == 0 ? 0.0 : static_cast<double>(lo);
+    stats.max = static_cast<double>(hi);
+    const auto clamp = [&](double v) {
+      return std::clamp(v, stats.min, std::max(stats.min, stats.max));
+    };
+    stats.p50 = clamp(percentile(buckets, count, 0.50));
+    stats.p90 = clamp(percentile(buckets, count, 0.90));
+    stats.p99 = clamp(percentile(buckets, count, 0.99));
+    snapshot.histograms[histogram_names[id]] = stats;
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::reset() {
+  std::vector<std::shared_ptr<Shard>> shards;
+  {
+    const std::scoped_lock lock(mutex_);
+    shards = shards_;
+  }
+  for (const auto& shard : shards) {
+    for (auto& c : shard->counters) c.store(0, std::memory_order_relaxed);
+    for (auto& h : shard->histograms) {
+      h.count.store(0, std::memory_order_relaxed);
+      h.sum.store(0, std::memory_order_relaxed);
+      h.min.store(std::numeric_limits<std::uint64_t>::max(),
+                  std::memory_order_relaxed);
+      h.max.store(0, std::memory_order_relaxed);
+      for (auto& b : h.buckets) b.store(0, std::memory_order_relaxed);
+    }
+  }
+  for (auto& g : gauges_) g.store(0, std::memory_order_relaxed);
+}
+
+#endif  // CALIBSCHED_OBS
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace calib::obs

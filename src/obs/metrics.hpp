@@ -1,0 +1,229 @@
+// calib::obs — process-wide metrics for the sweep/DP/online stack.
+//
+// A MetricsRegistry hands out named Counter, Gauge, and log-bucketed
+// Histogram handles. Counters and histograms are sharded per thread:
+// each thread owns a private shard it alone writes (relaxed atomic
+// stores, no read-modify-write, no locks on the hot path), and
+// snapshot() merges the shards. Gauges are a single shared atomic —
+// "current level" semantics (queue depth) don't decompose per thread.
+//
+// Handle pattern for hot paths: resolve the handle once into a
+// function-local static, then add()/record() freely —
+//
+//   static const obs::Counter hits = obs::metrics().counter("x.hits");
+//   hits.add();
+//
+// Name resolution takes the registry mutex; add()/record() never do.
+//
+// Compile-time gating: with -DCALIBSCHED_OBS=0 (CMake option
+// CALIBSCHED_OBS=OFF) every class here collapses to an inline no-op
+// with the same API, so instrumentation sites need no #ifdefs and the
+// instrumented hot loops compile to nothing.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#ifndef CALIBSCHED_OBS
+#define CALIBSCHED_OBS 1
+#endif
+
+namespace calib::obs {
+
+/// Merged view of one histogram. Percentiles are bucket-interpolated
+/// estimates (buckets are powers of two), clamped to [min, max].
+struct HistogramStats {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Point-in-time merge of every metric. The JSON form is one *flat*
+/// object (histograms expand to name.count / name.sum / ... keys) so it
+/// round-trips through harness::parse_flat_json and one-line python.
+struct Snapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, HistogramStats> histograms;
+
+  void write_json(std::ostream& os) const;
+  void write_text(std::ostream& os) const;
+  [[nodiscard]] std::string to_json() const;
+  [[nodiscard]] std::string to_text() const;
+};
+
+#if CALIBSCHED_OBS
+
+class MetricsRegistry;
+
+/// Monotone event count. Copyable value handle; add() is wait-free on
+/// the calling thread's shard.
+class Counter {
+ public:
+  Counter() = default;
+  void add(std::uint64_t n = 1) const;
+  /// Sum across all shards (threads). Intended for snapshot-delta
+  /// bookkeeping, not hot paths.
+  [[nodiscard]] std::uint64_t value() const;
+
+ private:
+  friend class MetricsRegistry;
+  Counter(MetricsRegistry* registry, std::size_t id)
+      : registry_(registry), id_(id) {}
+  MetricsRegistry* registry_ = nullptr;
+  std::size_t id_ = 0;
+};
+
+/// Signed level (queue depth, in-flight cells). One shared atomic:
+/// add(+1)/add(-1) from any thread, or set() from a single owner.
+class Gauge {
+ public:
+  Gauge() = default;
+  void set(std::int64_t value) const;
+  void add(std::int64_t delta) const;
+  [[nodiscard]] std::int64_t value() const;
+
+ private:
+  friend class MetricsRegistry;
+  Gauge(MetricsRegistry* registry, std::size_t id)
+      : registry_(registry), id_(id) {}
+  MetricsRegistry* registry_ = nullptr;
+  std::size_t id_ = 0;
+};
+
+/// Log2-bucketed distribution of nonnegative samples (by convention the
+/// name carries the unit: *_us, *_ns). record() is wait-free on the
+/// calling thread's shard.
+class Histogram {
+ public:
+  Histogram() = default;
+  void record(std::uint64_t value) const;
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(MetricsRegistry* registry, std::size_t id)
+      : registry_(registry), id_(id) {}
+  MetricsRegistry* registry_ = nullptr;
+  std::size_t id_ = 0;
+};
+
+class MetricsRegistry {
+ public:
+  // Fixed shard capacity keeps shards lock-free: a shard is a flat
+  // array of atomics that never reallocates, so snapshot() can read it
+  // while its owner writes. Registration past a cap throws.
+  static constexpr std::size_t kMaxCounters = 128;
+  static constexpr std::size_t kMaxGauges = 32;
+  static constexpr std::size_t kMaxHistograms = 64;
+  // Bucket b >= 1 holds values in [2^(b-1), 2^b); bucket 0 holds 0.
+  static constexpr std::size_t kHistBuckets = 65;
+
+  MetricsRegistry();
+  ~MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Find-or-register a metric by name. Handles stay valid for the
+  /// registry's lifetime; repeated calls with one name return handles
+  /// to the same metric.
+  [[nodiscard]] Counter counter(const std::string& name);
+  [[nodiscard]] Gauge gauge(const std::string& name);
+  [[nodiscard]] Histogram histogram(const std::string& name);
+
+  /// Merge every shard into one consistent-enough view (relaxed reads;
+  /// concurrent writers may or may not be included — fine for
+  /// monitoring, and exact once writers are quiescent).
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Zero all values (names and handles survive). Only meaningful while
+  /// writers are quiescent; meant for tests.
+  void reset();
+
+ private:
+  friend class Counter;
+  friend class Gauge;
+  friend class Histogram;
+
+  // One thread's private slice of every counter/histogram. The owning
+  // thread is the only writer, so it uses relaxed load+store (no lock
+  // prefix); snapshot() reads the same atomics relaxed from outside.
+  struct HistShard {
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum{0};
+    std::atomic<std::uint64_t> min{std::numeric_limits<std::uint64_t>::max()};
+    std::atomic<std::uint64_t> max{0};
+    std::array<std::atomic<std::uint64_t>, kHistBuckets> buckets{};
+  };
+  struct Shard {
+    std::array<std::atomic<std::uint64_t>, kMaxCounters> counters{};
+    std::array<HistShard, kMaxHistograms> histograms{};
+  };
+
+  [[nodiscard]] Shard& local_shard();
+  [[nodiscard]] std::size_t register_name(std::vector<std::string>& names,
+                                          const std::string& name,
+                                          std::size_t cap, const char* kind);
+
+  const std::uint64_t uid_;  // never-reused registry identity (ABA-safe
+                             // key for the per-thread shard cache)
+  mutable std::mutex mutex_;
+  std::vector<std::string> counter_names_;
+  std::vector<std::string> gauge_names_;
+  std::vector<std::string> histogram_names_;
+  std::vector<std::shared_ptr<Shard>> shards_;
+  std::array<std::atomic<std::int64_t>, kMaxGauges> gauges_{};
+};
+
+#else  // !CALIBSCHED_OBS — the whole layer is an inline no-op.
+
+class MetricsRegistry;
+
+class Counter {
+ public:
+  Counter() = default;
+  void add(std::uint64_t = 1) const {}
+  [[nodiscard]] std::uint64_t value() const { return 0; }
+};
+
+class Gauge {
+ public:
+  Gauge() = default;
+  void set(std::int64_t) const {}
+  void add(std::int64_t) const {}
+  [[nodiscard]] std::int64_t value() const { return 0; }
+};
+
+class Histogram {
+ public:
+  Histogram() = default;
+  void record(std::uint64_t) const {}
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  [[nodiscard]] Counter counter(const std::string&) { return {}; }
+  [[nodiscard]] Gauge gauge(const std::string&) { return {}; }
+  [[nodiscard]] Histogram histogram(const std::string&) { return {}; }
+  [[nodiscard]] Snapshot snapshot() const { return {}; }
+  void reset() {}
+};
+
+#endif  // CALIBSCHED_OBS
+
+/// The process-wide registry every instrumentation site records into.
+MetricsRegistry& metrics();
+
+}  // namespace calib::obs

@@ -1,0 +1,222 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <iomanip>
+
+#include "obs/json_escape.hpp"
+
+namespace calib::obs {
+
+std::uint64_t now_ns() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point epoch = clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                           epoch)
+          .count());
+}
+
+#if CALIBSCHED_OBS
+
+namespace {
+
+std::uint64_t next_collector_uid() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1);
+}
+
+// ts/dur in microseconds with nanosecond precision, as the trace_event
+// format expects.
+void write_us(std::ostream& os, std::uint64_t ns) {
+  os << ns / 1000 << '.' << std::setw(3) << std::setfill('0') << ns % 1000
+     << std::setfill(' ');
+}
+
+}  // namespace
+
+TraceCollector::TraceCollector() : uid_(next_collector_uid()) {}
+
+TraceCollector::Buffer& TraceCollector::local_buffer() {
+  // Same uid-keyed, trivially-destructible per-thread cache as
+  // MetricsRegistry::local_shard — see the rationale there.
+  struct TlEntry {
+    std::uint64_t uid;
+    Buffer* buffer;
+  };
+  constexpr std::size_t kTlCacheSlots = 8;
+  thread_local TlEntry entries[kTlCacheSlots] = {};
+  thread_local std::size_t used = 0;
+  thread_local std::size_t next_evict = 0;
+  for (std::size_t i = 0; i < used; ++i) {
+    if (entries[i].uid == uid_) return *entries[i].buffer;
+  }
+  auto buffer = std::make_shared<Buffer>();
+  buffer->tid = next_tid_.fetch_add(1);
+  Buffer* raw = buffer.get();
+  {
+    const std::scoped_lock lock(mutex_);
+    buffers_.push_back(std::move(buffer));
+  }
+  std::size_t slot;
+  if (used < kTlCacheSlots) {
+    slot = used++;
+  } else {
+    slot = next_evict;
+    next_evict = (next_evict + 1) % kTlCacheSlots;
+  }
+  entries[slot] = TlEntry{uid_, raw};
+  return *raw;
+}
+
+void TraceCollector::set_thread_name(const std::string& name) {
+  Buffer& buffer = local_buffer();
+  const std::scoped_lock lock(buffer.mutex);
+  buffer.name = name;
+}
+
+void TraceCollector::record(TraceEvent event) {
+  Buffer& buffer = local_buffer();
+  event.tid = buffer.tid;
+  const std::scoped_lock lock(buffer.mutex);
+  if (buffer.events.size() >= kMaxEventsPerThread) {
+    ++buffer.dropped;
+    return;
+  }
+  buffer.events.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> TraceCollector::events() const {
+  std::vector<std::shared_ptr<Buffer>> buffers;
+  {
+    const std::scoped_lock lock(mutex_);
+    buffers = buffers_;
+  }
+  std::vector<TraceEvent> merged;
+  for (const auto& buffer : buffers) {
+    const std::scoped_lock lock(buffer->mutex);
+    merged.insert(merged.end(), buffer->events.begin(),
+                  buffer->events.end());
+  }
+  // Spans are recorded at *end* time; sort to start order. Ties go to
+  // the longer span so an enclosing parent precedes its children.
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.ts_ns != b.ts_ns) return a.ts_ns < b.ts_ns;
+                     return a.dur_ns > b.dur_ns;
+                   });
+  return merged;
+}
+
+std::uint64_t TraceCollector::dropped() const {
+  std::vector<std::shared_ptr<Buffer>> buffers;
+  {
+    const std::scoped_lock lock(mutex_);
+    buffers = buffers_;
+  }
+  std::uint64_t total = 0;
+  for (const auto& buffer : buffers) {
+    const std::scoped_lock lock(buffer->mutex);
+    total += buffer->dropped;
+  }
+  return total;
+}
+
+void TraceCollector::clear() {
+  std::vector<std::shared_ptr<Buffer>> buffers;
+  {
+    const std::scoped_lock lock(mutex_);
+    buffers = buffers_;
+  }
+  for (const auto& buffer : buffers) {
+    const std::scoped_lock lock(buffer->mutex);
+    buffer->events.clear();
+    buffer->dropped = 0;
+  }
+}
+
+void TraceCollector::write_chrome_trace(std::ostream& os) const {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto comma = [&] {
+    if (!first) os << ',';
+    first = false;
+    os << "\n";
+  };
+
+  // One thread_name metadata record per track, so Perfetto labels the
+  // rows "worker-0", "worker-1", ... instead of bare tids.
+  std::vector<std::shared_ptr<Buffer>> buffers;
+  {
+    const std::scoped_lock lock(mutex_);
+    buffers = buffers_;
+  }
+  std::vector<std::pair<std::uint32_t, std::string>> names;
+  for (const auto& buffer : buffers) {
+    const std::scoped_lock lock(buffer->mutex);
+    if (!buffer->name.empty()) names.emplace_back(buffer->tid, buffer->name);
+  }
+  std::sort(names.begin(), names.end());
+  for (const auto& [tid, name] : names) {
+    comma();
+    os << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+       << json_escape(name) << "\"}}";
+  }
+
+  for (const TraceEvent& event : events()) {
+    comma();
+    os << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << event.tid << ",\"name\":\""
+       << json_escape(event.name) << '"';
+    if (!event.cat.empty()) {
+      os << ",\"cat\":\"" << json_escape(event.cat) << '"';
+    }
+    os << ",\"ts\":";
+    write_us(os, event.ts_ns);
+    os << ",\"dur\":";
+    write_us(os, event.dur_ns);
+    if (!event.args.empty()) {
+      os << ",\"args\":{";
+      bool first_arg = true;
+      for (const auto& [key, value] : event.args) {
+        if (!first_arg) os << ',';
+        first_arg = false;
+        os << '"' << json_escape(key) << "\":\"" << json_escape(value)
+           << '"';
+      }
+      os << '}';
+    }
+    os << '}';
+  }
+  os << "\n]}\n";
+}
+
+ScopedSpan::ScopedSpan(const char* name, const char* cat)
+    : name_(name),
+      cat_(cat),
+      start_(now_ns()),
+      record_(tracer().enabled()) {}
+
+void ScopedSpan::arg(const char* key, std::string value) {
+  if (record_) args_.emplace_back(key, std::move(value));
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!record_) return;
+  TraceEvent event;
+  event.name = name_;
+  event.cat = cat_;
+  event.ts_ns = start_;
+  event.dur_ns = now_ns() - start_;
+  event.args = std::move(args_);
+  tracer().record(std::move(event));
+}
+
+#endif  // CALIBSCHED_OBS
+
+TraceCollector& tracer() {
+  static TraceCollector collector;
+  return collector;
+}
+
+}  // namespace calib::obs

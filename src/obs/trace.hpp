@@ -1,0 +1,155 @@
+// calib::obs — RAII spans and Chrome trace_event export.
+//
+// A ScopedSpan measures one scoped region (a sweep cell, one solver
+// run, one DP curve). While the process-wide TraceCollector is enabled,
+// the span's completed event — name, category, start, duration, small
+// key/value args — lands in a bounded per-thread buffer; when the
+// buffer fills, further events are counted as dropped rather than
+// reallocating without bound. write_chrome_trace() emits the buffers as
+// Chrome trace_event JSON ("ph":"X" complete events, one track per
+// thread via tid + thread_name metadata) loadable in Perfetto or
+// chrome://tracing; nesting falls out of time containment per track.
+//
+// Spans always measure time — even with the collector disabled (two
+// steady_clock reads) and even with CALIBSCHED_OBS=0 — because the
+// sweep engine uses the cell span as the single source of truth for the
+// journal's wall_ms field.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"  // for the CALIBSCHED_OBS default
+
+namespace calib::obs {
+
+/// Nanoseconds on the steady clock since the first call in the process
+/// (one shared epoch, so timestamps compare across threads).
+[[nodiscard]] std::uint64_t now_ns();
+
+#if CALIBSCHED_OBS
+
+/// One completed span, timestamped relative to the now_ns() epoch.
+struct TraceEvent {
+  std::string name;
+  std::string cat;
+  std::uint64_t ts_ns = 0;
+  std::uint64_t dur_ns = 0;
+  std::uint32_t tid = 0;
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+class TraceCollector {
+ public:
+  /// Per-thread buffer capacity; events past this are dropped (and
+  /// counted), never reallocated — recording stays O(1) and bounded.
+  static constexpr std::size_t kMaxEventsPerThread = 1 << 16;
+
+  TraceCollector();
+  TraceCollector(const TraceCollector&) = delete;
+  TraceCollector& operator=(const TraceCollector&) = delete;
+
+  /// Recording is off by default; ScopedSpan checks this once at
+  /// construction (a span straddling the flip records per its start).
+  void set_enabled(bool enabled) { enabled_.store(enabled); }
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Label the calling thread's track ("worker-3") in the export.
+  void set_thread_name(const std::string& name);
+
+  void record(TraceEvent event);
+
+  /// All buffered events merged and sorted by (ts, dur desc) — so a
+  /// parent precedes the children it encloses even on timestamp ties.
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  /// Drop all buffered events (thread names and tids survive).
+  void clear();
+
+  /// Chrome trace_event JSON: thread_name metadata + "X" events, ts/dur
+  /// in microseconds. Valid (possibly empty) JSON even when disabled.
+  void write_chrome_trace(std::ostream& os) const;
+
+ private:
+  struct Buffer {
+    std::mutex mutex;
+    std::uint32_t tid = 0;
+    std::string name;
+    std::vector<TraceEvent> events;
+    std::uint64_t dropped = 0;
+  };
+
+  [[nodiscard]] Buffer& local_buffer();
+
+  const std::uint64_t uid_;
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint32_t> next_tid_{0};
+  mutable std::mutex mutex_;
+  std::vector<std::shared_ptr<Buffer>> buffers_;
+};
+
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name, const char* cat = "");
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Attach a key/value annotation (shown under the span in Perfetto).
+  /// No-op unless the collector was enabled when the span started.
+  void arg(const char* key, std::string value);
+
+  [[nodiscard]] std::uint64_t elapsed_ns() const { return now_ns() - start_; }
+  [[nodiscard]] double elapsed_ms() const {
+    return static_cast<double>(elapsed_ns()) * 1e-6;
+  }
+
+ private:
+  const char* name_;
+  const char* cat_;
+  std::uint64_t start_;
+  bool record_;
+  std::vector<std::pair<std::string, std::string>> args_;
+};
+
+#else  // !CALIBSCHED_OBS
+
+class TraceCollector {
+ public:
+  TraceCollector() = default;
+  void set_enabled(bool) {}
+  [[nodiscard]] bool enabled() const { return false; }
+  void set_thread_name(const std::string&) {}
+  [[nodiscard]] std::uint64_t dropped() const { return 0; }
+  void clear() {}
+  void write_chrome_trace(std::ostream& os) const {
+    os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}\n";
+  }
+};
+
+/// Still a (near-free) timer: the sweep engine reads wall_ms off it.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char*, const char* = "") : start_(now_ns()) {}
+  void arg(const char*, const std::string&) {}
+  [[nodiscard]] std::uint64_t elapsed_ns() const { return now_ns() - start_; }
+  [[nodiscard]] double elapsed_ms() const {
+    return static_cast<double>(elapsed_ns()) * 1e-6;
+  }
+
+ private:
+  std::uint64_t start_;
+};
+
+#endif  // CALIBSCHED_OBS
+
+/// The process-wide collector every ScopedSpan records into.
+TraceCollector& tracer();
+
+}  // namespace calib::obs

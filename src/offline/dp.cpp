@@ -5,6 +5,8 @@
 #include <numeric>
 #include <set>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace calib {
@@ -17,6 +19,18 @@ constexpr Cost kInf = std::numeric_limits<Cost>::max() / 4;
 Cost saturating_add(Cost a, Cost b) {
   if (a >= kInf || b >= kInf) return kInf;
   return a + b;
+}
+
+// States expanded (memo fills, not lookups) — the DP's true work unit,
+// mirroring what the cooperative budget charges.
+const obs::Counter& f_states_counter() {
+  static const obs::Counter counter = obs::metrics().counter("dp.f_states");
+  return counter;
+}
+
+const obs::Counter& F_states_counter() {
+  static const obs::Counter counter = obs::metrics().counter("dp.F_states");
+  return counter;
 }
 
 }  // namespace
@@ -130,6 +144,7 @@ Cost OfflineDp::f(int u, int v, int mu) {
 
 Cost OfflineDp::f_compute(int u, int v, int mu) {
   if (budget_ != nullptr) budget_->charge();
+  f_states_counter().add();
   const StateInfo info = analyze(u, v, mu);
   if (info.members.empty()) return 0;
   // Proposition 2's infeasibility guard: a multiple-of-T prefix whose
@@ -170,6 +185,7 @@ Cost OfflineDp::F(int k, int v) {
       F_memo_[static_cast<std::size_t>(k) * states + static_cast<std::size_t>(v)];
   if (memo != kUnknown) return memo;
   if (budget_ != nullptr) budget_->charge();
+  F_states_counter().add();
   memo = kInf;
   const Time T = instance_.T();
   Cost best = kInf;
@@ -201,9 +217,23 @@ Cost OfflineDp::min_flow(int budget) {
 }
 
 std::vector<Cost> OfflineDp::flow_curve(int k_max) {
+  static const obs::Histogram per_k =
+      obs::metrics().histogram("dp.curve_k_us");
+  static const obs::Histogram curve_len =
+      obs::metrics().histogram("dp.curve_len");
+  obs::ScopedSpan span("dp.flow_curve", "dp");
+  span.arg("jobs", std::to_string(n_));
+  span.arg("k_max", std::to_string(k_max));
   std::vector<Cost> curve;
   curve.reserve(static_cast<std::size_t>(k_max) + 1);
-  for (int k = 0; k <= k_max; ++k) curve.push_back(min_flow(k));
+  for (int k = 0; k <= k_max; ++k) {
+    // Per-k inner-loop time: because the memo persists across k, this
+    // shows where along the budget axis the DP actually burns time.
+    const std::uint64_t t0 = obs::now_ns();
+    curve.push_back(min_flow(k));
+    per_k.record((obs::now_ns() - t0) / 1000);
+  }
+  curve_len.record(static_cast<std::uint64_t>(k_max) + 1);
   return curve;
 }
 

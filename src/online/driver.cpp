@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/timer.hpp"
 
@@ -124,6 +126,9 @@ Cost OnlineDriver::last_interval_flow() const {
 }
 
 MachineId OnlineDriver::calibrate_round_robin() {
+  static const obs::Counter calibrations =
+      obs::metrics().counter("online.calibrations");
+  calibrations.add();
   const MachineId m = next_rr_machine_;
   next_rr_machine_ = static_cast<MachineId>((next_rr_machine_ + 1) %
                                             calendar_.machines());
@@ -190,11 +195,27 @@ void OnlineDriver::auto_assign() {
 }
 
 void OnlineDriver::step() {
+  static const obs::Counter steps = obs::metrics().counter("online.steps");
+  static const obs::Counter idle_steps =
+      obs::metrics().counter("online.idle_steps");
+  static const obs::Histogram decide_ns =
+      obs::metrics().histogram("online.decide_ns");
   if (budget_ != nullptr) budget_->charge();
+  steps.add();
+  const std::size_t waiting_before = waiting_.size();
+  const int calibrations_before = calendar_.count();
   DriverHandle handle(*this);
   if (policy_.assign_before_decide()) auto_assign();
+  const std::uint64_t decide_start = obs::now_ns();
   policy_.decide(handle);
+  decide_ns.record(obs::now_ns() - decide_start);
   if (policy_.assign_after_decide()) auto_assign();
+  // A step that had work queued but neither placed a job nor opened a
+  // calibration is idle time the policy chose (or was forced) to eat.
+  if (!waiting_.empty() && waiting_.size() == waiting_before &&
+      calendar_.count() == calibrations_before) {
+    idle_steps.add();
+  }
   arrived_now_ = false;
   ++now_;
 }

@@ -2,18 +2,44 @@
 
 #include <algorithm>
 #include <exception>
+#include <string>
 
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 
 namespace calib {
+
+void ThreadPool::note_enqueued() {
+  static const obs::Gauge depth = obs::metrics().gauge("pool.queue_depth");
+  static const obs::Counter tasks = obs::metrics().counter("pool.tasks");
+  depth.add(1);
+  tasks.add();
+}
+
+void ThreadPool::note_dequeued(std::uint64_t wait_ns) {
+  static const obs::Gauge depth = obs::metrics().gauge("pool.queue_depth");
+  static const obs::Histogram wait =
+      obs::metrics().histogram("pool.queue_wait_us");
+  depth.add(-1);
+  wait.record(wait_ns / 1000);
+}
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
+  // Touch the obs singletons before spawning workers: function-local
+  // statics are destroyed in reverse order of construction completion,
+  // so this guarantees the registry/collector outlive the pool (workers
+  // record into them right up until join).
+  obs::metrics();
+  obs::tracer();
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] {
+      obs::tracer().set_thread_name("worker-" + std::to_string(i));
+      worker_loop();
+    });
   }
 }
 

@@ -19,6 +19,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/trace.hpp"
+
 namespace calib {
 
 class ThreadPool {
@@ -33,16 +35,23 @@ class ThreadPool {
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
 
   /// Enqueue an arbitrary task; the future carries its result/exception.
+  /// Each task is stamped at enqueue so the obs layer can report queue
+  /// depth and queue-wait time (pool.queue_depth / pool.queue_wait_us).
   template <typename F>
   auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
     auto task =
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> result = task->get_future();
+    const std::uint64_t enqueued_ns = obs::now_ns();
     {
       const std::scoped_lock lock(mutex_);
-      queue_.emplace([task] { (*task)(); });
+      queue_.emplace([task, enqueued_ns] {
+        note_dequeued(obs::now_ns() - enqueued_ns);
+        (*task)();
+      });
     }
+    note_enqueued();
     cv_.notify_one();
     return result;
   }
@@ -53,6 +62,10 @@ class ThreadPool {
 
  private:
   void worker_loop();
+  // Metrics hooks (no-ops when CALIBSCHED_OBS=0); process-wide, since
+  // queue pressure is a property of the host, not of one pool.
+  static void note_enqueued();
+  static void note_dequeued(std::uint64_t wait_ns);
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> queue_;

@@ -1,7 +1,10 @@
-// Monotonic wall-clock timer for the DP scaling experiment (E6).
+// Monotonic wall-clock timer. Originally introduced for the DP scaling
+// experiment (E6); now used across the harness (per-cell wall time, DP
+// cache accounting), the benches, and the obs layer's span fallbacks.
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 
 namespace calib {
 
@@ -15,6 +18,12 @@ class Timer {
     return std::chrono::duration<double>(clock::now() - start_).count();
   }
   [[nodiscard]] double millis() const { return seconds() * 1e3; }
+  [[nodiscard]] std::uint64_t nanos() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                             start_)
+            .count());
+  }
 
  private:
   using clock = std::chrono::steady_clock;

@@ -1,0 +1,456 @@
+// Tests for the calib::obs layer: exact counter/histogram merges under
+// the thread pool, snapshot serialization round trips, trace-export
+// well-formedness (valid JSON, proper per-thread span nesting), and —
+// most importantly — that turning the instrumentation on changes no
+// solver output (golden objectives and sweep rows stay byte-identical).
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "harness/journal.hpp"
+#include "harness/sweep.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "offline/budget_search.hpp"
+#include "online/alg2_weighted.hpp"
+#include "online/driver.hpp"
+#include "util/thread_pool.hpp"
+#include "workload/generators.hpp"
+
+namespace calib {
+namespace {
+
+// Minimal JSON well-formedness checker (objects, arrays, strings with
+// escapes, numbers, literals). Enough to reject anything structurally
+// broken in the exported snapshot/trace without a JSON dependency.
+class JsonValidator {
+ public:
+  [[nodiscard]] static bool valid(const std::string& text) {
+    JsonValidator v(text);
+    v.ws();
+    if (!v.value()) return false;
+    v.ws();
+    return v.i_ == text.size();
+  }
+
+ private:
+  explicit JsonValidator(const std::string& text) : text_(text) {}
+
+  void ws() {
+    while (i_ < text_.size() &&
+           (text_[i_] == ' ' || text_[i_] == '\t' || text_[i_] == '\n' ||
+            text_[i_] == '\r')) {
+      ++i_;
+    }
+  }
+  [[nodiscard]] bool expect(char c) {
+    if (i_ >= text_.size() || text_[i_] != c) return false;
+    ++i_;
+    return true;
+  }
+  [[nodiscard]] bool peek(char c) const {
+    return i_ < text_.size() && text_[i_] == c;
+  }
+  [[nodiscard]] bool literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p) {
+      if (!expect(*p)) return false;
+    }
+    return true;
+  }
+  [[nodiscard]] bool value() {
+    if (i_ >= text_.size()) return false;
+    switch (text_[i_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  [[nodiscard]] bool object() {
+    if (!expect('{')) return false;
+    ws();
+    if (peek('}')) return expect('}');
+    for (;;) {
+      ws();
+      if (!string()) return false;
+      ws();
+      if (!expect(':')) return false;
+      ws();
+      if (!value()) return false;
+      ws();
+      if (peek(',')) {
+        ++i_;
+        continue;
+      }
+      return expect('}');
+    }
+  }
+  [[nodiscard]] bool array() {
+    if (!expect('[')) return false;
+    ws();
+    if (peek(']')) return expect(']');
+    for (;;) {
+      ws();
+      if (!value()) return false;
+      ws();
+      if (peek(',')) {
+        ++i_;
+        continue;
+      }
+      return expect(']');
+    }
+  }
+  [[nodiscard]] bool string() {
+    if (!expect('"')) return false;
+    while (i_ < text_.size()) {
+      const char c = text_[i_];
+      ++i_;
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (c != '\\') continue;
+      if (i_ >= text_.size()) return false;
+      const char escape = text_[i_];
+      ++i_;
+      if (escape == 'u') {
+        for (int k = 0; k < 4; ++k) {
+          if (i_ >= text_.size() ||
+              std::isxdigit(static_cast<unsigned char>(text_[i_])) == 0) {
+            return false;
+          }
+          ++i_;
+        }
+      } else if (std::string("\"\\/bfnrt").find(escape) ==
+                 std::string::npos) {
+        return false;
+      }
+    }
+    return false;
+  }
+  [[nodiscard]] bool number() {
+    const std::size_t start = i_;
+    if (peek('-')) ++i_;
+    while (i_ < text_.size()) {
+      const char c = text_[i_];
+      if (std::isdigit(static_cast<unsigned char>(c)) == 0 && c != '.' &&
+          c != 'e' && c != 'E' && c != '+' && c != '-') {
+        break;
+      }
+      ++i_;
+    }
+    return i_ > start;
+  }
+
+  const std::string& text_;
+  std::size_t i_ = 0;
+};
+
+harness::SweepGrid small_grid() {
+  harness::WorkloadSpec spec;
+  spec.kind = "poisson";
+  spec.rate = 0.4;
+  spec.steps = 16;
+  spec.T = 3;
+  harness::SweepGrid grid;
+  grid.workloads = {spec};
+  grid.solvers = {"alg1", "alg2"};
+  grid.G_values = {5, 9};
+  grid.seeds = 2;
+  grid.base_seed = 7;
+  grid.compare_to_opt = true;
+  grid.threads = 1;
+  return grid;
+}
+
+#if CALIBSCHED_OBS
+
+std::string strip_ws(std::string s) {
+  while (!s.empty() && (s.back() == '\n' || s.back() == ' ')) s.pop_back();
+  return s;
+}
+
+TEST(Metrics, CountersMergeExactlyAcrossThreads) {
+  obs::MetricsRegistry registry;
+  const obs::Counter ops = registry.counter("ops");
+  constexpr std::size_t kAdds = 100000;
+  ThreadPool pool(4);
+  pool.parallel_for(kAdds, [&](std::size_t) { ops.add(); });
+  EXPECT_EQ(registry.snapshot().counters.at("ops"), kAdds);
+  EXPECT_EQ(ops.value(), kAdds);
+}
+
+TEST(Metrics, SameNameResolvesToTheSameMetric) {
+  obs::MetricsRegistry registry;
+  const obs::Counter a = registry.counter("shared");
+  const obs::Counter b = registry.counter("shared");
+  a.add(3);
+  b.add(4);
+  EXPECT_EQ(registry.snapshot().counters.at("shared"), 7u);
+}
+
+TEST(Metrics, GaugeTracksTheCurrentLevel) {
+  obs::MetricsRegistry registry;
+  const obs::Gauge depth = registry.gauge("depth");
+  depth.set(5);
+  depth.add(-2);
+  depth.add(-4);
+  EXPECT_EQ(depth.value(), -1);
+  EXPECT_EQ(registry.snapshot().gauges.at("depth"), -1);
+}
+
+TEST(Metrics, HistogramStatsAreExactWhereExactnessIsPromised) {
+  obs::MetricsRegistry registry;
+  const obs::Histogram h = registry.histogram("h");
+  double sum = 0.0;
+  for (std::uint64_t v = 1; v <= 1000; ++v) {
+    h.record(v);
+    sum += static_cast<double>(v);
+  }
+  const obs::HistogramStats stats =
+      registry.snapshot().histograms.at("h");
+  EXPECT_EQ(stats.count, 1000u);
+  EXPECT_DOUBLE_EQ(stats.sum, sum);
+  EXPECT_DOUBLE_EQ(stats.min, 1.0);
+  EXPECT_DOUBLE_EQ(stats.max, 1000.0);
+  // Percentiles are bucket-interpolated estimates: ordered and inside
+  // [min, max], with p50 in the right power-of-two neighborhood.
+  EXPECT_LE(stats.min, stats.p50);
+  EXPECT_LE(stats.p50, stats.p90);
+  EXPECT_LE(stats.p90, stats.p99);
+  EXPECT_LE(stats.p99, stats.max);
+  EXPECT_GE(stats.p50, 256.0);
+  EXPECT_LE(stats.p50, 768.0);
+}
+
+TEST(Metrics, ConcurrentHistogramRecordsAreAllCounted) {
+  obs::MetricsRegistry registry;
+  const obs::Histogram h = registry.histogram("h");
+  constexpr std::size_t kRecords = 50000;
+  ThreadPool pool(4);
+  pool.parallel_for(kRecords,
+                    [&](std::size_t i) { h.record(i % 1024); });
+  const obs::HistogramStats stats =
+      registry.snapshot().histograms.at("h");
+  EXPECT_EQ(stats.count, kRecords);
+  EXPECT_DOUBLE_EQ(stats.min, 0.0);
+  EXPECT_DOUBLE_EQ(stats.max, 1023.0);
+}
+
+TEST(Metrics, RegistrationPastTheCapThrows) {
+  obs::MetricsRegistry registry;
+  for (std::size_t i = 0; i < obs::MetricsRegistry::kMaxCounters; ++i) {
+    std::string name = "c";
+    name += std::to_string(i);
+    (void)registry.counter(name);
+  }
+  EXPECT_THROW((void)registry.counter("one-too-many"),
+               std::runtime_error);
+  // Existing names still resolve after the cap is hit.
+  registry.counter("c0").add();
+  EXPECT_EQ(registry.snapshot().counters.at("c0"), 1u);
+}
+
+TEST(Metrics, ResetZeroesValuesButKeepsHandles) {
+  obs::MetricsRegistry registry;
+  const obs::Counter c = registry.counter("c");
+  const obs::Histogram h = registry.histogram("h");
+  c.add(9);
+  h.record(4);
+  registry.reset();
+  EXPECT_EQ(registry.snapshot().counters.at("c"), 0u);
+  EXPECT_EQ(registry.snapshot().histograms.at("h").count, 0u);
+  c.add(2);
+  EXPECT_EQ(registry.snapshot().counters.at("c"), 2u);
+}
+
+TEST(Metrics, SnapshotJsonRoundTripsThroughTheFlatParser) {
+  obs::MetricsRegistry registry;
+  registry.counter("sweep.cells").add(42);
+  registry.gauge("pool.depth").set(-3);
+  const obs::Histogram h = registry.histogram("cell_us");
+  h.record(10);
+  h.record(1000);
+  const std::string json = strip_ws(registry.snapshot().to_json());
+  EXPECT_TRUE(JsonValidator::valid(json)) << json;
+  const auto fields = harness::parse_flat_json(json);
+  EXPECT_EQ(fields.at("sweep.cells"), "42");
+  EXPECT_EQ(fields.at("pool.depth"), "-3");
+  EXPECT_EQ(fields.at("cell_us.count"), "2");
+  EXPECT_EQ(fields.at("cell_us.min"), "10");
+  EXPECT_EQ(fields.at("cell_us.max"), "1000");
+  EXPECT_EQ(fields.at("cell_us.sum"), "1010");
+  // The text form mentions every metric by name.
+  const std::string text = registry.snapshot().to_text();
+  EXPECT_NE(text.find("sweep.cells"), std::string::npos);
+  EXPECT_NE(text.find("cell_us.p99"), std::string::npos);
+}
+
+TEST(Trace, SpansNestProperlyAndExportValidChromeJson) {
+  obs::TraceCollector& collector = obs::tracer();
+  collector.clear();
+  collector.set_enabled(true);
+  {
+    obs::ScopedSpan outer("outer", "test");
+    outer.arg("grid", "e3 \"quoted\"");
+    const obs::ScopedSpan inner("inner", "test");
+  }
+  {
+    ThreadPool pool(3);
+    pool.parallel_for(32, [](std::size_t) {
+      const obs::ScopedSpan span("task", "test");
+    });
+  }
+  collector.set_enabled(false);
+
+  const std::vector<obs::TraceEvent> events = collector.events();
+  std::size_t outer_count = 0;
+  std::size_t inner_count = 0;
+  std::size_t task_count = 0;
+  const obs::TraceEvent* outer = nullptr;
+  const obs::TraceEvent* inner = nullptr;
+  for (const obs::TraceEvent& event : events) {
+    if (event.name == "outer") {
+      ++outer_count;
+      outer = &event;
+    } else if (event.name == "inner") {
+      ++inner_count;
+      inner = &event;
+    } else if (event.name == "task") {
+      ++task_count;
+    }
+  }
+  EXPECT_EQ(outer_count, 1u);
+  EXPECT_EQ(inner_count, 1u);
+  EXPECT_EQ(task_count, 32u);
+  EXPECT_EQ(collector.dropped(), 0u);
+
+  // The inner span is contained in the outer one, on the same track.
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->tid, inner->tid);
+  EXPECT_LE(outer->ts_ns, inner->ts_ns);
+  EXPECT_GE(outer->ts_ns + outer->dur_ns, inner->ts_ns + inner->dur_ns);
+
+  // Well-formedness per track: sorted by start, and any two spans on a
+  // track either nest or are disjoint — never partially overlap.
+  std::map<std::uint32_t, std::vector<const obs::TraceEvent*>> tracks;
+  for (const obs::TraceEvent& event : events) {
+    tracks[event.tid].push_back(&event);
+  }
+  for (const auto& [tid, track] : tracks) {
+    std::vector<std::uint64_t> open_ends;
+    std::uint64_t last_ts = 0;
+    for (const obs::TraceEvent* event : track) {
+      EXPECT_GE(event->ts_ns, last_ts) << "tid " << tid;
+      last_ts = event->ts_ns;
+      const std::uint64_t end = event->ts_ns + event->dur_ns;
+      while (!open_ends.empty() && open_ends.back() <= event->ts_ns) {
+        open_ends.pop_back();
+      }
+      if (!open_ends.empty()) {
+        EXPECT_LE(end, open_ends.back()) << "partial overlap on " << tid;
+      }
+      open_ends.push_back(end);
+    }
+  }
+
+  std::ostringstream os;
+  collector.write_chrome_trace(os);
+  const std::string json = os.str();
+  EXPECT_TRUE(JsonValidator::valid(json));
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  // The span arg made it through, escaped.
+  EXPECT_NE(json.find("e3 \\\"quoted\\\""), std::string::npos);
+  collector.clear();
+}
+
+TEST(Trace, EventsPastTheBufferCapAreDroppedNotGrown) {
+  obs::TraceCollector& collector = obs::tracer();
+  collector.clear();
+  collector.set_enabled(true);
+  const std::size_t cap = obs::TraceCollector::kMaxEventsPerThread;
+  for (std::size_t i = 0; i < cap + 100; ++i) {
+    const obs::ScopedSpan span("tick", "test");
+  }
+  collector.set_enabled(false);
+  EXPECT_EQ(collector.events().size(), cap);
+  EXPECT_GE(collector.dropped(), 100u);
+  // The export is still valid JSON at capacity.
+  std::ostringstream os;
+  collector.write_chrome_trace(os);
+  EXPECT_TRUE(JsonValidator::valid(os.str()));
+  collector.clear();
+}
+
+#endif  // CALIBSCHED_OBS
+
+TEST(ObsSpans, ScopedSpanMeasuresTimeEvenWhenRecordingIsOff) {
+  // The sweep engine reads wall_ms off spans with the collector
+  // disabled (and with CALIBSCHED_OBS=0), so elapsed time must be real
+  // in every configuration.
+  const obs::ScopedSpan span("probe", "test");
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + 1.0;
+  EXPECT_GT(span.elapsed_ns(), 0u);
+  EXPECT_GE(span.elapsed_ms(), 0.0);
+}
+
+TEST(ObsDeterminism, GoldenObjectivesUnchangedUnderTracing) {
+  // Instrumentation must be observation only: with the collector
+  // recording, every solver reproduces the exact golden values pinned
+  // by test_golden.
+  obs::tracer().clear();
+  obs::tracer().set_enabled(true);
+  const Instance instance = regression_instance();
+  const struct {
+    Cost G;
+    Cost alg2;
+    Cost opt;
+  } rows[] = {{3, 22, 22}, {7, 33, 30}, {15, 59, 46}, {40, 155, 96}};
+  for (const auto& row : rows) {
+    Alg2Weighted alg2;
+    EXPECT_EQ(online_objective(instance, row.G, alg2), row.alg2)
+        << "G=" << row.G;
+    EXPECT_EQ(offline_online_optimum(instance, row.G).best_cost, row.opt)
+        << "G=" << row.G;
+  }
+  obs::tracer().set_enabled(false);
+  obs::tracer().clear();
+}
+
+TEST(ObsDeterminism, SweepRowsAndCacheStatsAreIdenticalAcrossRuns) {
+  // The dp-cache accessors report per-cache deltas against the global
+  // registry, so a second sweep in the same process must see the same
+  // hit/miss profile as the first — and identical rows.
+  const harness::SweepGrid grid = small_grid();
+  const harness::SweepReport a = harness::SweepEngine(grid).run();
+  const harness::SweepReport b = harness::SweepEngine(grid).run();
+  // 8 cells over 2 distinct instances (1 workload x 2 seeds): the DP
+  // runs twice, every other lookup hits.
+  EXPECT_EQ(a.timing.dp_cache_misses, 2u);
+  EXPECT_EQ(a.timing.dp_cache_hits, 6u);
+  EXPECT_EQ(b.timing.dp_cache_misses, a.timing.dp_cache_misses);
+  EXPECT_EQ(b.timing.dp_cache_hits, a.timing.dp_cache_hits);
+  std::ostringstream ja;
+  std::ostringstream jb;
+  a.write_jsonl(ja);
+  b.write_jsonl(jb);
+  EXPECT_EQ(ja.str(), jb.str());
+  // Every executed cell carries a real wall-time reading.
+  for (const harness::SweepRow& row : a.rows) {
+    EXPECT_GT(row.result.wall_ms, 0.0) << "cell " << row.cell;
+  }
+}
+
+}  // namespace
+}  // namespace calib

@@ -13,6 +13,7 @@
 
 #include "harness/journal.hpp"
 #include "harness/sweep.hpp"
+#include "obs/trace.hpp"
 #include "workload/generators.hpp"
 
 namespace calib {
@@ -175,6 +176,56 @@ TEST(SweepFaults, KillAndResumeIsByteIdentical) {
   EXPECT_EQ(jsonl_of(replayed), jsonl_of(full));
   std::remove(path.c_str());
 }
+
+#if CALIBSCHED_OBS
+TEST(SweepFaults, ResumeWithTracingStaysByteIdenticalAndSkipsCachedCells) {
+  // Metrics/trace collection must not perturb the resume contract: the
+  // journal still ends up with exactly one line per cell, the replayed
+  // rows match an uninterrupted run byte for byte, and resumed (cached)
+  // rows do not re-emit cell spans — only actually-executed cells do.
+  const std::string path = temp_path("resume_obs");
+  std::remove(path.c_str());
+  const SweepGrid grid = tiny_grid();
+  const SweepReport full = SweepEngine(grid).run();
+
+  obs::tracer().clear();
+  obs::tracer().set_enabled(true);
+
+  SweepOptions interrupted;
+  interrupted.journal_path = path;
+  interrupted.max_cells = 3;
+  const SweepReport partial = SweepEngine(grid).run(interrupted);
+  EXPECT_EQ(partial.status_counts().ok, 3u);
+
+  SweepOptions resume;
+  resume.journal_path = path;
+  resume.resume = true;
+  const SweepReport resumed = SweepEngine(grid).run(resume);
+  obs::tracer().set_enabled(false);
+
+  EXPECT_EQ(resumed.timing.resumed, 3u);
+  EXPECT_TRUE(resumed.status_counts().all_ok());
+  EXPECT_EQ(jsonl_of(resumed), jsonl_of(full));
+
+  // One cell span per *executed* cell across both runs: 3 before the
+  // "kill", the remaining cells after — never one for a replayed row.
+  std::size_t cell_spans = 0;
+  for (const obs::TraceEvent& event : obs::tracer().events()) {
+    if (event.name == "cell") ++cell_spans;
+  }
+  EXPECT_EQ(cell_spans, grid.cells());
+  obs::tracer().clear();
+
+  // Journal: header plus exactly one line per cell — resumed rows must
+  // not have been appended again.
+  std::ifstream in(path);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, grid.cells() + 1);
+  std::remove(path.c_str());
+}
+#endif  // CALIBSCHED_OBS
 
 TEST(SweepFaults, ResumeCompletesAroundFailedCellsAndRetries) {
   const std::string path = temp_path("retry");

@@ -11,6 +11,8 @@
 //             thread pool with deterministic per-cell PRNG streams
 //   frontier  --in file [--kmax N]            -> the F(k) curve
 //   lowerbound --in file --G N                -> Figure 1 LP bound
+//   stats     --in metrics.json               -> pretty-print a metrics
+//             snapshot (from `sweep --metrics` or a bench sidecar)
 //   policies                                  -> registry listing
 //
 // Examples:
@@ -19,6 +21,7 @@
 //   calibsched_cli solve --in day.csv --G 15 --policy alg2 --offline
 //   calibsched_cli sweep --kinds poisson,bursty --policies alg1,alg2,offline
 //       --G 6,20,60 --seeds 20 --T 6 --opt --out rows.jsonl
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -26,7 +29,10 @@
 
 #include "core/schedule_io.hpp"
 #include "core/svg.hpp"
+#include "harness/journal.hpp"
 #include "harness/sweep.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "lp/calib_lp.hpp"
 #include "offline/budget_search.hpp"
 #include "offline/dp.hpp"
@@ -44,7 +50,7 @@ using namespace calib;
 int usage() {
   std::cerr <<
       "usage: calibsched_cli "
-      "<generate|solve|sweep|frontier|lowerbound|policies> [flags]\n"
+      "<generate|solve|sweep|frontier|lowerbound|stats|policies> [flags]\n"
       "  generate   --kind poisson|bursty|sparse --T N [--jobs N]\n"
       "             [--steps N] [--rate R] [--machines P] [--weights W]\n"
       "             [--wmax N] [--seed S] [--out FILE]\n"
@@ -60,9 +66,13 @@ int usage() {
       "             [--cell-budget-ms MS] [--cell-budget-steps N]\n"
       "             [--inject-faults THROWP[,TIMEOUTP]] [--fault-seed S]\n"
       "             [--stop-after N]\n"
+      "             [--metrics FILE] [--trace FILE]\n"
+      "             (--metrics: flat JSON snapshot; --trace: Chrome\n"
+      "              trace_event JSON, open in Perfetto / chrome://tracing)\n"
       "             (exits 3 if any cell ends in error/timeout/skipped)\n"
       "  frontier   --in FILE [--kmax N]\n"
       "  lowerbound --in FILE --G N\n"
+      "  stats      --in FILE   (pretty-print a --metrics snapshot)\n"
       "  policies   (list the registry's solver names)\n";
   return 2;
 }
@@ -253,6 +263,13 @@ int cmd_sweep(const Args& args) {
         static_cast<std::size_t>(args.get_int("stop-after", 0));
   }
 
+  const std::string metrics_path = args.get("metrics", "");
+  const std::string trace_path = args.get("trace", "");
+  // Enable span recording before the engine runs; ScopedSpan checks the
+  // flag at construction, so flipping it afterwards would capture
+  // nothing.
+  if (!trace_path.empty()) obs::tracer().set_enabled(true);
+
   harness::SweepEngine engine(std::move(grid));
   const harness::SweepReport report = engine.run(options);
 
@@ -279,6 +296,21 @@ int cmd_sweep(const Args& args) {
   }
   // Timing goes to stderr so stdout rows stay byte-stable across runs.
   std::cerr << report.timing_summary() << '\n';
+
+  // Sidecars are written even for degraded sweeps — a failed run is
+  // exactly when the metrics are most interesting.
+  if (!metrics_path.empty()) {
+    std::ofstream file(metrics_path);
+    if (!file) throw std::runtime_error("cannot write " + metrics_path);
+    obs::metrics().snapshot().write_json(file);
+    std::cerr << "wrote metrics to " << metrics_path << '\n';
+  }
+  if (!trace_path.empty()) {
+    std::ofstream file(trace_path);
+    if (!file) throw std::runtime_error("cannot write " + trace_path);
+    obs::tracer().write_chrome_trace(file);
+    std::cerr << "wrote trace to " << trace_path << '\n';
+  }
 
   // A sweep with degraded cells must not look like a success to shell
   // pipelines: summarize per status and exit nonzero.
@@ -318,6 +350,74 @@ int cmd_lowerbound(const Args& args) {
   return 0;
 }
 
+// Pretty-print a metrics snapshot (the flat JSON from `sweep --metrics`
+// or a bench sidecar): histogram stat families fold into one table row
+// each, everything else prints as a scalar.
+int cmd_stats(const Args& args) {
+  const std::string path = args.get("in", "");
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::string text = buffer.str();
+  // The snapshot is one flat object; tolerate trailing/embedded
+  // newlines by flattening them to spaces before parsing.
+  std::replace(text.begin(), text.end(), '\n', ' ');
+  std::replace(text.begin(), text.end(), '\r', ' ');
+  const auto fields = harness::parse_flat_json(text);
+
+  // A key family base.count / base.sum / ... / base.p99 is a histogram;
+  // requiring the *full* stat set keeps scalars that merely end in a
+  // stat-like suffix (e.g. a counter named foo.count) out of the fold.
+  const std::vector<std::string> suffixes{"count", "sum", "min", "max",
+                                          "p50",   "p90", "p99"};
+  std::map<std::string, std::map<std::string, std::string>> hists;
+  for (const auto& [key, value] : fields) {
+    const auto dot = key.rfind('.');
+    if (dot == std::string::npos || dot == 0) continue;
+    const std::string suffix = key.substr(dot + 1);
+    if (std::find(suffixes.begin(), suffixes.end(), suffix) !=
+        suffixes.end()) {
+      hists[key.substr(0, dot)][suffix] = value;
+    }
+  }
+  for (auto it = hists.begin(); it != hists.end();) {
+    if (it->second.size() != suffixes.size()) {
+      it = hists.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  const auto folded = [&](const std::string& key) {
+    const auto dot = key.rfind('.');
+    if (dot == std::string::npos || dot == 0) return false;
+    return hists.count(key.substr(0, dot)) != 0;
+  };
+
+  Table scalars({"metric", "value"});
+  bool any_scalar = false;
+  for (const auto& [key, value] : fields) {
+    if (folded(key)) continue;
+    any_scalar = true;
+    scalars.row().add(key).add(value);
+  }
+  if (any_scalar) scalars.print(std::cout);
+
+  if (!hists.empty()) {
+    if (any_scalar) std::cout << '\n';
+    Table table({"histogram", "count", "sum", "min", "max", "p50", "p90",
+                 "p99"});
+    for (const auto& [base, stats] : hists) {
+      auto& row = table.row();
+      row.add(base);
+      for (const std::string& suffix : suffixes) row.add(stats.at(suffix));
+    }
+    table.print(std::cout);
+  }
+  return 0;
+}
+
 int cmd_policies() {
   Table table({"name", "description"});
   for (const std::string& name : PolicyRegistry::instance().names()) {
@@ -341,12 +441,14 @@ int main(int argc, char** argv) {
                      "save-schedule", "kmax", "period", "threads", "opt",
                      "no-trace", "format", "timing", "journal", "resume",
                      "retry-failed", "cell-budget-ms", "cell-budget-steps",
-                     "inject-faults", "fault-seed", "stop-after"});
+                     "inject-faults", "fault-seed", "stop-after", "metrics",
+                     "trace"});
     if (command == "generate") return cmd_generate(args);
     if (command == "solve") return cmd_solve(args);
     if (command == "sweep") return cmd_sweep(args);
     if (command == "frontier") return cmd_frontier(args);
     if (command == "lowerbound") return cmd_lowerbound(args);
+    if (command == "stats") return cmd_stats(args);
     if (command == "policies") return cmd_policies();
     return usage();
   } catch (const std::exception& error) {
