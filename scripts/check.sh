@@ -15,13 +15,14 @@ fi
 
 cmake -B "$BUILD" -S . "${EXTRA_FLAGS[@]}"
 
-# Build with the log captured: the harness is the reliability layer, so
-# even non-fatal compiler warnings in src/harness/ fail the check.
+# Build with the log captured: the harness, observability, and core
+# model layers are where correctness lives, so even non-fatal compiler
+# warnings in src/harness/, src/obs/, or src/core/ fail the check.
 BUILD_LOG="$(mktemp)"
 trap 'rm -f "$BUILD_LOG"' EXIT
 cmake --build "$BUILD" -j 2>&1 | tee "$BUILD_LOG"
-if grep "warning:" "$BUILD_LOG" | grep -q "src/harness/"; then
-  echo "error: compiler warnings in src/harness/ (see above)" >&2
+if grep "warning:" "$BUILD_LOG" | grep -qE "src/(harness|obs|core)/"; then
+  echo "error: compiler warnings in src/harness|obs|core (see above)" >&2
   exit 1
 fi
 

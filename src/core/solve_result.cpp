@@ -17,6 +17,10 @@ const char* run_status_name(RunStatus status) {
       return "timeout";
     case RunStatus::kSkipped:
       return "skipped";
+    case RunStatus::kCrashed:
+      return "crashed";
+    case RunStatus::kInvalid:
+      return "invalid";
   }
   return "error";  // unreachable; keeps -Wreturn-type quiet
 }
@@ -26,6 +30,8 @@ RunStatus parse_run_status(const std::string& name) {
   if (name == "error") return RunStatus::kError;
   if (name == "timeout") return RunStatus::kTimeout;
   if (name == "skipped") return RunStatus::kSkipped;
+  if (name == "crashed") return RunStatus::kCrashed;
+  if (name == "invalid") return RunStatus::kInvalid;
   throw std::runtime_error("unknown run status: " + name);
 }
 

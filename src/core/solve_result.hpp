@@ -21,12 +21,14 @@ class Schedule;
 enum class RunStatus {
   kOk,       ///< solve completed; result fields are meaningful
   kError,    ///< solve threw; error message captured, result zeroed
-  kTimeout,  ///< per-cell budget exceeded (deadline or step limit)
+  kTimeout,  ///< per-cell budget exceeded (deadline, step limit, watchdog)
   kSkipped,  ///< never attempted (run interrupted before this cell)
+  kCrashed,  ///< sandboxed child died on a signal (segfault, abort, OOM)
+  kInvalid,  ///< solve "succeeded" but the validation oracle rejected it
 };
 
-/// Stable lowercase names ("ok", "error", "timeout", "skipped") used in
-/// JSONL/CSV rows and journal lines.
+/// Stable lowercase names ("ok", "error", "timeout", "skipped",
+/// "crashed", "invalid") used in JSONL/CSV rows and journal lines.
 [[nodiscard]] const char* run_status_name(RunStatus status);
 
 /// Inverse of run_status_name; throws std::runtime_error on unknown

@@ -1,0 +1,117 @@
+#include "core/validate.hpp"
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "core/calendar.hpp"
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+
+namespace calib {
+namespace {
+
+std::string job_tag(JobId j) { return "job " + std::to_string(j); }
+
+}  // namespace
+
+ValidationReport validate_schedule(const Instance& instance,
+                                   const Schedule& schedule, Cost G) {
+  ValidationReport report;
+  const auto fail = [&](std::string why) {
+    report.violation = std::move(why);
+    report.objective = 0;
+    report.flow = 0;
+    report.calibrations = 0;
+    return report;
+  };
+
+  if (G < 1) return fail("G must be >= 1, got " + std::to_string(G));
+  if (schedule.size() != instance.size()) {
+    return fail("schedule holds " + std::to_string(schedule.size()) +
+                " placements, instance has " +
+                std::to_string(instance.size()) + " jobs");
+  }
+  const Calendar& calendar = schedule.calendar();
+  if (calendar.T() != instance.T()) {
+    return fail("calendar T=" + std::to_string(calendar.T()) +
+                " != instance T=" + std::to_string(instance.T()));
+  }
+  if (calendar.machines() != instance.machines()) {
+    return fail("calendar has " + std::to_string(calendar.machines()) +
+                " machines, instance wants " +
+                std::to_string(instance.machines()));
+  }
+
+  // Footnote-1 normalization: at most P jobs may share a release time.
+  // The generators and solvers all run on normalized instances, so a
+  // violation here means the cell solved something the paper's model
+  // (and the DP optimum it may be compared against) does not describe.
+  std::map<Time, int> per_release;
+  for (const Job& job : instance.jobs()) {
+    if (job.weight < 1) {
+      return fail("instance job has weight " + std::to_string(job.weight) +
+                  " < 1");
+    }
+    if (++per_release[job.release] > instance.machines()) {
+      return fail(std::to_string(per_release[job.release]) +
+                  " jobs released at t=" + std::to_string(job.release) +
+                  " with only " + std::to_string(instance.machines()) +
+                  " machine(s): release-collision normalization violated");
+    }
+  }
+
+  // Per-job feasibility, recomputing the weighted flow as we go. The
+  // accumulation deliberately mirrors the *definition* (Section 2), not
+  // Schedule::weighted_flow's code path.
+  std::set<std::pair<MachineId, Time>> occupied;
+  Cost flow = 0;
+  for (JobId j = 0; j < instance.size(); ++j) {
+    const Placement& p = schedule.placement(j);
+    const Job& job = instance.job(j);
+    if (p.start == kUnscheduled) return fail(job_tag(j) + " is unscheduled");
+    if (p.machine < 0 || p.machine >= calendar.machines()) {
+      return fail(job_tag(j) + " runs on invalid machine " +
+                  std::to_string(p.machine));
+    }
+    if (p.start < job.release) {
+      return fail(job_tag(j) + " starts at t=" + std::to_string(p.start) +
+                  " before its release r=" + std::to_string(job.release));
+    }
+    if (!calendar.covers(p.machine, p.start)) {
+      return fail(job_tag(j) + " runs at uncalibrated step t=" +
+                  std::to_string(p.start) + " on machine " +
+                  std::to_string(p.machine));
+    }
+    if (!occupied.emplace(p.machine, p.start).second) {
+      return fail(job_tag(j) + " collides at (machine " +
+                  std::to_string(p.machine) +
+                  ", t=" + std::to_string(p.start) + ")");
+    }
+    flow += job.weight * (p.start + 1 - job.release);
+  }
+
+  // Calibration spend recomputed by walking every machine's start list
+  // (each start costs G even when intervals overlap — overlap is legal
+  // but paid for, exactly as Calendar::count() defines the model).
+  int calibrations = 0;
+  for (MachineId m = 0; m < calendar.machines(); ++m) {
+    Time previous = kUnscheduled;
+    for (const Time start : calendar.starts(m)) {
+      if (previous != kUnscheduled && start < previous) {
+        return fail("calendar starts out of order on machine " +
+                    std::to_string(m));
+      }
+      previous = start;
+      ++calibrations;
+    }
+  }
+
+  report.flow = flow;
+  report.calibrations = calibrations;
+  report.objective = G * calibrations + flow;
+  return report;
+}
+
+}  // namespace calib

@@ -1,0 +1,65 @@
+// Independent schedule validation oracle.
+//
+// validate_schedule() re-derives everything a reported SolveResult
+// claims — feasibility and the exact objective — from nothing but the
+// (instance, schedule) pair, deliberately *not* reusing Schedule's own
+// cost accessors (those CALIB_CHECK-abort on malformed schedules and
+// share code with the paths being checked). The sweep engine runs it on
+// every ok cell: a cell whose reported numbers disagree with the
+// oracle's recomputation, or whose schedule breaks a feasibility rule,
+// is demoted to a structured `invalid` row instead of being reported as
+// a correct result. This is the last line of defense against a
+// partially-written or silently-corrupted result — e.g. a cell that was
+// crash-interrupted mid-serialization, or a solver bug that produced a
+// schedule violating the paper's Section 2 model.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "core/types.hpp"
+
+namespace calib {
+
+class Instance;
+class Schedule;
+
+/// The oracle's verdict. `violation` is empty iff the schedule is
+/// feasible; the cost fields are the from-scratch recomputation of
+/// `G * (#calibrations) + sum_j w_j (t_j + 1 - r_j)` and are only
+/// meaningful when feasible() (an infeasible schedule has no
+/// well-defined objective).
+struct ValidationReport {
+  std::string violation;  ///< first rule broken; empty == feasible
+  Cost objective = 0;     ///< recomputed G * calibrations + flow
+  Cost flow = 0;          ///< recomputed total weighted flow time
+  int calibrations = 0;   ///< recomputed calendar calibration count
+
+  [[nodiscard]] bool feasible() const { return violation.empty(); }
+};
+
+/// Thrown by callers (the sweep engine) when the oracle rejects a
+/// result; a distinct type so the harness can map it to the `invalid`
+/// status instead of the generic `error`.
+class ScheduleInvalid : public std::runtime_error {
+ public:
+  explicit ScheduleInvalid(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Strict feasibility + exact cost recomputation (paper Section 2):
+///   - the schedule/calendar shape matches the instance (n, T, P),
+///   - the instance respects the footnote-1 release-collision
+///     normalization (at most P jobs per release time),
+///   - every job is placed, on a real machine, at a step >= its
+///     release, on a step its machine has calibrated,
+///   - no two jobs share a (machine, step) slot,
+///   - every calibration start is counted into the objective.
+/// Returns the first violation found, or the recomputed exact costs.
+/// Never throws and never aborts — unlike Schedule::weighted_flow(),
+/// it is safe to call on arbitrarily corrupted schedules.
+[[nodiscard]] ValidationReport validate_schedule(const Instance& instance,
+                                                 const Schedule& schedule,
+                                                 Cost G);
+
+}  // namespace calib

@@ -1,42 +1,88 @@
 #include "harness/faults.hpp"
 
 #include <algorithm>
+#include <array>
 #include <stdexcept>
 
 #include "util/prng.hpp"
 
 namespace calib::harness {
+namespace {
+
+struct KindRef {
+  FaultPlan::Action action;
+  const std::vector<std::size_t>* cells;
+  double probability;
+};
+
+// Enum order; both the listed-cell check and the cumulative draw walk
+// this table, so precedence and band layout stay in one place.
+std::array<KindRef, 6> kinds(const FaultPlan& plan) {
+  return {{
+      {FaultPlan::Action::kThrow, &plan.throw_cells, plan.throw_probability},
+      {FaultPlan::Action::kTimeout, &plan.timeout_cells,
+       plan.timeout_probability},
+      {FaultPlan::Action::kSegv, &plan.segv_cells, plan.segv_probability},
+      {FaultPlan::Action::kAbort, &plan.abort_cells, plan.abort_probability},
+      {FaultPlan::Action::kHang, &plan.hang_cells, plan.hang_probability},
+      {FaultPlan::Action::kCorrupt, &plan.corrupt_cells,
+       plan.corrupt_probability},
+  }};
+}
+
+}  // namespace
 
 bool FaultPlan::empty() const {
-  return throw_cells.empty() && timeout_cells.empty() &&
-         throw_probability == 0.0 && timeout_probability == 0.0;
+  for (const KindRef& kind : kinds(*this)) {
+    if (!kind.cells->empty() || kind.probability != 0.0) return false;
+  }
+  return true;
+}
+
+bool FaultPlan::has_crash_kinds() const {
+  return !segv_cells.empty() || !abort_cells.empty() || !hang_cells.empty() ||
+         segv_probability > 0.0 || abort_probability > 0.0 ||
+         hang_probability > 0.0;
+}
+
+bool FaultPlan::has_hangs() const {
+  return !hang_cells.empty() || hang_probability > 0.0;
 }
 
 FaultPlan::Action FaultPlan::action(const CellCoords& coords) const {
-  const auto listed = [&](const std::vector<std::size_t>& cells) {
-    return std::find(cells.begin(), cells.end(), coords.index) != cells.end();
-  };
-  if (listed(throw_cells)) return Action::kThrow;
-  if (listed(timeout_cells)) return Action::kTimeout;
-  if (throw_probability == 0.0 && timeout_probability == 0.0) {
-    return Action::kNone;
+  const auto table = kinds(*this);
+  for (const KindRef& kind : table) {
+    if (std::find(kind.cells->begin(), kind.cells->end(), coords.index) !=
+        kind.cells->end()) {
+      return kind.action;
+    }
   }
+  double total = 0.0;
+  for (const KindRef& kind : table) total += kind.probability;
+  if (total == 0.0) return Action::kNone;
   // Fresh root per cell, exactly like the instance/policy streams: the
   // draw depends only on (seed, cell index), never on evaluation order.
   Prng root(seed);
   Prng stream = root.split(coords.index);
   const double draw = stream.uniform01();
-  if (draw < throw_probability) return Action::kThrow;
-  if (draw < throw_probability + timeout_probability) {
-    return Action::kTimeout;
+  double cumulative = 0.0;
+  for (const KindRef& kind : table) {
+    cumulative += kind.probability;
+    if (draw < cumulative) return kind.action;
   }
   return Action::kNone;
 }
 
 void FaultPlan::validate() const {
-  if (throw_probability < 0.0 || throw_probability > 1.0 ||
-      timeout_probability < 0.0 || timeout_probability > 1.0 ||
-      throw_probability + timeout_probability > 1.0) {
+  double total = 0.0;
+  for (const KindRef& kind : kinds(*this)) {
+    if (kind.probability < 0.0 || kind.probability > 1.0) {
+      throw std::runtime_error(
+          "fault plan: probabilities must lie in [0, 1] and sum to <= 1");
+    }
+    total += kind.probability;
+  }
+  if (total > 1.0) {
     throw std::runtime_error(
         "fault plan: probabilities must lie in [0, 1] and sum to <= 1");
   }

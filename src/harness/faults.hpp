@@ -1,11 +1,23 @@
 // Deterministic fault injection for the sweep engine.
 //
-// A FaultPlan decides, per cell, whether to force a throw or a timeout —
-// as a pure function of (plan seed, cell coordinates), never of wall
-// clock or thread scheduling. That determinism is the point: the same
-// plan injects the same faults on every run at every thread count, so
-// tests can drive every degradation path (error rows, timeout rows,
-// journal resume around failed cells) and byte-compare the results.
+// A FaultPlan decides, per cell, whether to force a failure — and which
+// kind — as a pure function of (plan seed, cell coordinates), never of
+// wall clock or thread scheduling. That determinism is the point: the
+// same plan injects the same faults on every run at every thread count,
+// so tests can drive every degradation path (error rows, timeout rows,
+// crashed rows, invalid rows, journal resume around failed cells) and
+// byte-compare the results.
+//
+// Fault kinds:
+//   throw    in-process: the solver throws std::runtime_error
+//   timeout  in-process: the cell's Budget deadline is forced to expire
+//   segv     crash: raise(SIGSEGV) mid-cell — requires --sandbox
+//   abort    crash: std::abort() mid-cell — requires --sandbox
+//   hang     crash: spin/pause forever — requires --sandbox and a cell
+//            budget (the parent watchdog is the only thing that ends it)
+//   corrupt  silent wrong answer: the solved schedule is tampered with
+//            after the solver returns, so the validation oracle must
+//            catch it and demote the row to `invalid`
 #pragma once
 
 #include <cstdint>
@@ -16,26 +28,46 @@
 namespace calib::harness {
 
 struct FaultPlan {
-  enum class Action { kNone, kThrow, kTimeout };
+  enum class Action { kNone, kThrow, kTimeout, kSegv, kAbort, kHang, kCorrupt };
 
   /// Explicit cell indices (grid enumeration order) to fail. Checked
-  /// before the probabilistic draw; a cell in both lists throws.
+  /// before the probabilistic draw, in the Action enum's order — a cell
+  /// listed under several kinds gets the first one.
   std::vector<std::size_t> throw_cells;
   std::vector<std::size_t> timeout_cells;
+  std::vector<std::size_t> segv_cells;
+  std::vector<std::size_t> abort_cells;
+  std::vector<std::size_t> hang_cells;
+  std::vector<std::size_t> corrupt_cells;
 
-  /// Independent per-cell probabilities, drawn from a PRNG stream
-  /// derived from (seed, cell index). Both zero = no random faults.
+  /// Independent per-cell probabilities, resolved from one uniform draw
+  /// on a PRNG stream derived from (seed, cell index): the draw walks
+  /// the kinds in enum order and picks the first whose cumulative band
+  /// contains it. All zero = no random faults.
   double throw_probability = 0.0;
   double timeout_probability = 0.0;
+  double segv_probability = 0.0;
+  double abort_probability = 0.0;
+  double hang_probability = 0.0;
+  double corrupt_probability = 0.0;
   std::uint64_t seed = 0;
 
   [[nodiscard]] bool empty() const;
 
+  /// True when the plan can produce a fault that kills or wedges the
+  /// process (segv, abort, hang) — those are only survivable under
+  /// --sandbox, and the sweep engine refuses them in-process.
+  [[nodiscard]] bool has_crash_kinds() const;
+
+  /// True when the plan can produce a hang — which additionally needs a
+  /// cell budget, because only the watchdog SIGKILL ends a hung child.
+  [[nodiscard]] bool has_hangs() const;
+
   /// The action for one cell. Pure; callable concurrently.
   [[nodiscard]] Action action(const CellCoords& coords) const;
 
-  /// Throws std::runtime_error if probabilities are outside [0, 1] or
-  /// sum above 1.
+  /// Throws std::runtime_error if any probability is outside [0, 1] or
+  /// they sum above 1.
   void validate() const;
 };
 

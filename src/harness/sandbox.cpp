@@ -1,0 +1,262 @@
+#include "harness/sandbox.hpp"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/mman.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <new>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace calib::harness {
+namespace {
+
+constexpr std::uint32_t kFrameMagic = 0x43414C42u;
+
+// Serializes pipe()+fork()+close(write end in parent): without this, a
+// cell forked concurrently on another pool thread would inherit this
+// pipe's write end, and the parent would never see EOF after this
+// child's death. (fork is cheap; the children run outside the lock.)
+std::mutex& fork_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+bool write_all(int fd, const void* data, std::size_t size) {
+  const char* bytes = static_cast<const char*>(data);
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, bytes + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void apply_rlimit(int resource, std::uint64_t bytes) {
+  if (bytes == 0) return;
+  rlimit limit;
+  limit.rlim_cur = static_cast<rlim_t>(bytes);
+  limit.rlim_max = static_cast<rlim_t>(bytes);
+  // Failure to tighten a limit is not fatal: the cell then merely runs
+  // uncapped, exactly like the non-sandboxed path.
+  (void)::setrlimit(resource, &limit);
+}
+
+[[noreturn]] void child_main(int write_fd, obs::PhaseBreadcrumb* crumb,
+                             const SandboxLimits& limits,
+                             const std::function<std::string()>& job) {
+  apply_rlimit(RLIMIT_AS, limits.memory_bytes);
+  apply_rlimit(RLIMIT_STACK, limits.stack_bytes);
+  if (crumb != nullptr) obs::set_phase_breadcrumb(crumb);
+
+  std::string payload;
+  int code = 0;
+  try {
+    payload = job();
+  } catch (...) {
+    // The sweep's run_cell converts everything to a row before it gets
+    // here; an escaping exception is a harness bug, not a cell outcome.
+    code = 12;
+  }
+  if (code == 0 && payload.size() <= kMaxFrameBytes) {
+    const std::uint32_t magic = kFrameMagic;
+    const auto length = static_cast<std::uint32_t>(payload.size());
+    const bool ok = write_all(write_fd, &magic, sizeof magic) &&
+                    write_all(write_fd, &length, sizeof length) &&
+                    write_all(write_fd, payload.data(), payload.size());
+    if (!ok) code = 13;
+  } else if (code == 0) {
+    code = 14;
+  }
+  ::close(write_fd);
+  // _exit, not exit: no atexit handlers, no static destructors — the
+  // child shares the parent's registries and must not tear them down.
+  ::_exit(code);
+}
+
+double elapsed_ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// Handles resolved through functions so sandbox_metrics_warmup() can
+// force registration (which takes the registry mutex) before any fork:
+// a child forked while another thread holds that mutex would inherit it
+// locked and deadlock on its own first metric call.
+const obs::Counter& fork_counter() {
+  static const obs::Counter forks = obs::metrics().counter("sandbox.forks");
+  return forks;
+}
+
+const obs::Counter& watchdog_counter() {
+  static const obs::Counter kills =
+      obs::metrics().counter("sandbox.watchdog_kills");
+  return kills;
+}
+
+}  // namespace
+
+void sandbox_metrics_warmup() {
+  (void)fork_counter();
+  (void)watchdog_counter();
+}
+
+std::string signal_name(int sig) {
+  switch (sig) {
+    case SIGSEGV: return "SIGSEGV";
+    case SIGABRT: return "SIGABRT";
+    case SIGKILL: return "SIGKILL";
+    case SIGBUS: return "SIGBUS";
+    case SIGILL: return "SIGILL";
+    case SIGFPE: return "SIGFPE";
+    case SIGTERM: return "SIGTERM";
+    case SIGINT: return "SIGINT";
+    case SIGXCPU: return "SIGXCPU";
+    case SIGPIPE: return "SIGPIPE";
+    default: return "signal " + std::to_string(sig);
+  }
+}
+
+SandboxOutcome run_in_sandbox(const std::function<std::string()>& job,
+                              const SandboxLimits& limits) {
+  SandboxOutcome outcome;
+
+  // One PhaseBreadcrumb on a MAP_SHARED page: the child's spans write
+  // it, the parent reads it after reaping. Failure to map just loses
+  // the phase annotation, never the sandbox.
+  void* page =
+      ::mmap(nullptr, sizeof(obs::PhaseBreadcrumb), PROT_READ | PROT_WRITE,
+             MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  obs::PhaseBreadcrumb* crumb =
+      page == MAP_FAILED ? nullptr : new (page) obs::PhaseBreadcrumb{};
+
+  int pipe_fds[2] = {-1, -1};
+  pid_t pid = -1;
+  {
+    const std::scoped_lock lock(fork_mutex());
+    if (::pipe(pipe_fds) != 0) {
+      outcome.detail = std::string("sandbox: pipe failed: ") +
+                       std::strerror(errno);
+      if (crumb != nullptr) ::munmap(page, sizeof(obs::PhaseBreadcrumb));
+      return outcome;
+    }
+    pid = ::fork();
+    if (pid == 0) {
+      ::close(pipe_fds[0]);
+      child_main(pipe_fds[1], crumb, limits, job);  // never returns
+    }
+    ::close(pipe_fds[1]);
+    if (pid < 0) {
+      outcome.detail = std::string("sandbox: fork failed: ") +
+                       std::strerror(errno);
+      ::close(pipe_fds[0]);
+      if (crumb != nullptr) ::munmap(page, sizeof(obs::PhaseBreadcrumb));
+      return outcome;
+    }
+  }
+  fork_counter().add();
+
+  // Drain the pipe until the frame is complete or the child dies; kill
+  // at the watchdog deadline. Because the fork window is serialized and
+  // the parent closed its write end, child death always produces EOF.
+  const auto start = std::chrono::steady_clock::now();
+  bool killed_by_watchdog = false;
+  std::string frame;
+  bool frame_done = false;
+  bool eof = false;
+  char buffer[4096];
+  while (!eof && !frame_done) {
+    int timeout_ms = -1;
+    if (limits.watchdog_ms > 0.0 && !killed_by_watchdog) {
+      const double remaining = limits.watchdog_ms - elapsed_ms_since(start);
+      if (remaining <= 0.0) {
+        ::kill(pid, SIGKILL);
+        killed_by_watchdog = true;
+        watchdog_counter().add();
+        timeout_ms = -1;  // SIGKILL guarantees EOF shortly
+      } else {
+        timeout_ms = static_cast<int>(remaining) + 1;
+      }
+    }
+    pollfd poll_fd{pipe_fds[0], POLLIN, 0};
+    const int ready = ::poll(&poll_fd, 1, timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) continue;  // deadline check at loop top
+    const ssize_t n = ::read(pipe_fds[0], buffer, sizeof buffer);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) {
+      eof = true;
+      break;
+    }
+    frame.append(buffer, static_cast<std::size_t>(n));
+    if (frame.size() >= 2 * sizeof(std::uint32_t)) {
+      std::uint32_t magic = 0;
+      std::uint32_t length = 0;
+      std::memcpy(&magic, frame.data(), sizeof magic);
+      std::memcpy(&length, frame.data() + sizeof magic, sizeof length);
+      if (magic != kFrameMagic || length > kMaxFrameBytes) {
+        break;  // protocol breakage; reap and report below
+      }
+      frame_done = frame.size() >= 2 * sizeof(std::uint32_t) + length;
+    }
+  }
+  ::close(pipe_fds[0]);
+
+  // The child is at _exit (frame complete / EOF) or SIGKILLed, so a
+  // blocking reap terminates promptly.
+  int status = 0;
+  while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+  }
+
+  if (crumb != nullptr) {
+    crumb->phase[obs::PhaseBreadcrumb::kCapacity - 1] = '\0';
+    outcome.phase = crumb->phase;
+    ::munmap(page, sizeof(obs::PhaseBreadcrumb));
+  }
+
+  if (killed_by_watchdog) {
+    outcome.kind = SandboxOutcome::Kind::kWatchdog;
+    return outcome;
+  }
+  if (WIFSIGNALED(status)) {
+    outcome.kind = SandboxOutcome::Kind::kSignal;
+    outcome.signal = WTERMSIG(status);
+    return outcome;
+  }
+  const int exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : 255;
+  if (exit_code != 0) {
+    outcome.kind = SandboxOutcome::Kind::kExit;
+    outcome.exit_code = exit_code;
+    return outcome;
+  }
+  if (!frame_done) {
+    outcome.detail = "sandbox: child exited 0 without a complete frame";
+    return outcome;
+  }
+  std::uint32_t length = 0;
+  std::memcpy(&length, frame.data() + sizeof(std::uint32_t), sizeof length);
+  outcome.kind = SandboxOutcome::Kind::kOk;
+  outcome.payload = frame.substr(2 * sizeof(std::uint32_t), length);
+  return outcome;
+}
+
+}  // namespace calib::harness

@@ -1,0 +1,87 @@
+// Process-level crash containment for sweep cells.
+//
+// run_in_sandbox() forks a child, applies rlimit memory/stack caps, runs
+// a job in it, and returns the job's string result to the parent over a
+// pipe in a single length-prefixed frame. The parent watches the pipe
+// with a deadline: when the watchdog budget elapses it delivers SIGKILL,
+// which is what turns the sweep's --cell-budget-ms from a cooperative
+// hint (a hung DP that never reaches a budget checkpoint ignores it)
+// into a hard guarantee. A child that dies on a signal — segfault,
+// std::abort, stack overflow, OOM kill — is reported with the signal
+// name plus the deepest obs-span phase it was executing, read off a
+// small MAP_SHARED breadcrumb page (obs::PhaseBreadcrumb) that the
+// child's ScopedSpans keep current.
+//
+// IPC frame format (documented in DESIGN.md):
+//   magic   u32 LE  0x43414C42 ("BLAC" on disk, "CALB" in register order)
+//   length  u32 LE  payload byte count (capped at kMaxFrameBytes)
+//   payload bytes   the job's returned string, verbatim
+// The frame is written with blocking write(2) calls just before
+// _exit(0); a short or absent frame therefore always means the child
+// died (or broke protocol), never a timing race.
+//
+// Linux/POSIX only — exactly the platforms the sweep harness targets.
+// Forking from a multi-threaded parent is safe here because the child
+// runs ordinary (glibc-atfork-protected) code and the fork window is
+// serialized: a process-wide mutex spans pipe()+fork(), so no other
+// cell's child can inherit this pipe's write end and hold EOF open.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace calib::harness {
+
+struct SandboxLimits {
+  /// Parent-side watchdog: SIGKILL the child this many ms after the
+  /// fork (0 = no watchdog; a hung child then hangs its worker slot,
+  /// same as an in-process hang).
+  double watchdog_ms = 0.0;
+  /// RLIMIT_AS cap for the child, bytes (0 = inherit). Overruns surface
+  /// as std::bad_alloc (an error row) or a fatal signal (a crashed row).
+  std::uint64_t memory_bytes = 0;
+  /// RLIMIT_STACK cap for the child, bytes (0 = inherit). Overruns are
+  /// a SIGSEGV — contained like any other crash.
+  std::uint64_t stack_bytes = 0;
+};
+
+struct SandboxOutcome {
+  enum class Kind {
+    kOk,        ///< full frame received and child exited 0
+    kSignal,    ///< child died on a signal it raised itself
+    kWatchdog,  ///< parent delivered SIGKILL at the watchdog deadline
+    kExit,      ///< child exited nonzero (no usable frame)
+    kProtocol,  ///< fork/pipe failure or malformed frame; see detail
+  };
+
+  Kind kind = Kind::kProtocol;
+  int signal = 0;       ///< terminating signal when kind == kSignal
+  int exit_code = 0;    ///< exit status when kind == kExit
+  std::string payload;  ///< the job's returned string when kind == kOk
+  std::string phase;    ///< child's last obs-span name ("" if none)
+  std::string detail;   ///< human-readable description for kProtocol
+};
+
+/// "SIGSEGV", "SIGABRT", ...; falls back to "signal N" for numbers this
+/// table doesn't name.
+[[nodiscard]] std::string signal_name(int sig);
+
+/// Payloads above this are a protocol error (a sweep row is < 4 KiB; a
+/// frame this large means the child went haywire, not that rows grew).
+inline constexpr std::uint32_t kMaxFrameBytes = 16u << 20;
+
+/// Force registration of the sandbox's metric handles now. The sweep
+/// engine calls this before dispatching sandboxed cells so no fork can
+/// land while a worker thread holds the metrics-registry mutex (the
+/// child would inherit it locked and deadlock on its first counter).
+void sandbox_metrics_warmup();
+
+/// Run `job` in a forked child under `limits` and return its outcome.
+/// Never throws: every failure mode (fork failure, crash, kill, torn
+/// frame) is a structured SandboxOutcome. The job itself should not
+/// throw — an escaping exception makes the child exit nonzero (kExit).
+[[nodiscard]] SandboxOutcome run_in_sandbox(
+    const std::function<std::string()>& job, const SandboxLimits& limits);
+
+}  // namespace calib::harness

@@ -1,14 +1,20 @@
 #include "harness/sweep.hpp"
 
 #include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <iomanip>
 #include <memory>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
+#include "core/validate.hpp"
 #include "harness/journal.hpp"
+#include "harness/sandbox.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "online/driver.hpp"
@@ -68,22 +74,34 @@ std::string extra_column_name(const std::string& extra_metric_name) {
                                    : extra_metric_name;
 }
 
-// Per-cell outcome accounting. Static handles: registration takes the
-// registry mutex once, every later call is a lock-free shard add.
+// Per-cell outcome accounting. One static bundle: registration takes
+// the registry mutex exactly once — touching cell_metrics() before any
+// sandbox fork also guarantees no child can inherit that mutex locked.
+struct CellMetrics {
+  obs::Histogram cell_us = obs::metrics().histogram("sweep.cell_us");
+  obs::Counter ok = obs::metrics().counter("sweep.cells_ok");
+  obs::Counter error = obs::metrics().counter("sweep.cells_error");
+  obs::Counter timeout = obs::metrics().counter("sweep.cells_timeout");
+  obs::Counter skipped = obs::metrics().counter("sweep.cells_skipped");
+  obs::Counter crashed = obs::metrics().counter("sweep.cells_crashed");
+  obs::Counter invalid = obs::metrics().counter("sweep.cells_invalid");
+};
+
+const CellMetrics& cell_metrics() {
+  static const CellMetrics metrics;
+  return metrics;
+}
+
 void note_cell(RunStatus status, std::uint64_t elapsed_ns) {
-  static const obs::Histogram cell_us =
-      obs::metrics().histogram("sweep.cell_us");
-  static const obs::Counter ok = obs::metrics().counter("sweep.cells_ok");
-  static const obs::Counter error =
-      obs::metrics().counter("sweep.cells_error");
-  static const obs::Counter timeout =
-      obs::metrics().counter("sweep.cells_timeout");
-  cell_us.record(elapsed_ns / 1000);
+  const CellMetrics& m = cell_metrics();
+  m.cell_us.record(elapsed_ns / 1000);
   switch (status) {
-    case RunStatus::kOk: ok.add(); break;
-    case RunStatus::kError: error.add(); break;
-    case RunStatus::kTimeout: timeout.add(); break;
+    case RunStatus::kOk: m.ok.add(); break;
+    case RunStatus::kError: m.error.add(); break;
+    case RunStatus::kTimeout: m.timeout.add(); break;
     case RunStatus::kSkipped: break;  // skip stubs never reach run_cell
+    case RunStatus::kCrashed: m.crashed.add(); break;
+    case RunStatus::kInvalid: m.invalid.add(); break;
   }
 }
 
@@ -205,7 +223,8 @@ SweepEngine::SweepEngine(SweepGrid grid) : grid_(std::move(grid)) {
 }
 
 void SweepEngine::solve_cell(const CellCoords& coords, FlowCurveCache& cache,
-                             Budget* budget, SweepRow& row) const {
+                             Budget* budget, bool corrupt,
+                             SweepRow& row) const {
   const std::string& solver = grid_.solvers[coords.solver];
   const Cost G = grid_.G_values[coords.g];
   const Instance instance =
@@ -242,11 +261,51 @@ void SweepEngine::solve_cell(const CellCoords& coords, FlowCurveCache& cache,
   const auto policy = make_policy(solver, params);
 
   Trace trace;
-  const Schedule schedule =
+  Schedule schedule =
       run_online(instance, G, *policy,
                  grid_.collect_trace ? &trace : nullptr, budget);
+  if (corrupt && instance.size() > 0) {
+    // The `corrupt` fault kind: tamper with the solved schedule after
+    // run_online's own checks passed, so only the independent oracle
+    // below stands between a silent wrong answer and the results. Both
+    // tampers keep every job placed (weighted_flow aborts otherwise).
+    if (instance.size() >= 2) {
+      const Placement& p = schedule.placement(1);
+      schedule.place(0, p.machine, p.start);  // slot collision
+    } else {
+      const Placement& p = schedule.placement(0);
+      // Far past the last calibration: an uncalibrated step.
+      schedule.place(0, p.machine,
+                     p.start + static_cast<Time>(instance.T()) * 1000);
+    }
+  }
   // wall_ms placeholder: run_cell overwrites it from the cell span.
   row.result = summarize_schedule(solver, instance, schedule, G, 0.0);
+
+  // The oracle re-derives feasibility and cost from the Section 2
+  // definitions, sharing no code path with the solver or with
+  // summarize_schedule's accounting. Any disagreement is a harness or
+  // solver bug — surfaced as a ScheduleInvalid, which run_cell turns
+  // into an `invalid` row.
+  {
+    const obs::ScopedSpan oracle_span("validate.oracle", "validate");
+    const ValidationReport check = validate_schedule(instance, schedule, G);
+    if (!check.feasible()) {
+      throw ScheduleInvalid("validation: " + check.violation);
+    }
+    if (check.objective != row.result.objective ||
+        check.flow != row.result.flow ||
+        check.calibrations != row.result.calibrations) {
+      throw ScheduleInvalid(
+          "validation: cost mismatch (oracle objective " +
+          std::to_string(check.objective) + " flow " +
+          std::to_string(check.flow) + " calibrations " +
+          std::to_string(check.calibrations) + " vs reported " +
+          std::to_string(row.result.objective) + "/" +
+          std::to_string(row.result.flow) + "/" +
+          std::to_string(row.result.calibrations) + ")");
+    }
+  }
 
   if (grid_.collect_trace) {
     row.has_trace = true;
@@ -312,6 +371,7 @@ SweepRow SweepEngine::run_cell(const CellCoords& coords,
     row.has_extra = false;
   };
 
+  bool corrupt = false;
   try {
     switch (options.faults.action(coords)) {
       case FaultPlan::Action::kThrow:
@@ -320,11 +380,28 @@ SweepRow SweepEngine::run_cell(const CellCoords& coords,
       case FaultPlan::Action::kTimeout:
         throw BudgetExceeded("injected timeout (cell " +
                              std::to_string(coords.index) + ")");
+      // The crash kinds only execute inside a sandboxed child — run()
+      // refuses them in-process — so they may take the process down.
+      case FaultPlan::Action::kSegv:
+        std::raise(SIGSEGV);
+        break;
+      case FaultPlan::Action::kAbort:
+        std::abort();
+      case FaultPlan::Action::kHang:
+        for (;;) {  // only the parent watchdog's SIGKILL ends this
+          std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        }
+      case FaultPlan::Action::kCorrupt:
+        corrupt = true;
+        break;
       case FaultPlan::Action::kNone:
         break;
     }
-    solve_cell(coords, cache, budget.unlimited() ? nullptr : &budget, row);
+    solve_cell(coords, cache, budget.unlimited() ? nullptr : &budget, corrupt,
+               row);
     row.status = RunStatus::kOk;
+  } catch (const ScheduleInvalid& e) {
+    degrade(RunStatus::kInvalid, e.what());
   } catch (const BudgetExceeded& e) {
     degrade(RunStatus::kTimeout, e.what());
   } catch (const std::exception& e) {
@@ -340,6 +417,88 @@ SweepRow SweepEngine::run_cell(const CellCoords& coords,
   return row;
 }
 
+SweepRow SweepEngine::run_cell_sandboxed(const CellCoords& coords,
+                                         const SweepOptions& options) const {
+  SandboxLimits limits;
+  if (options.cell_budget_ms > 0.0) {
+    // The in-child cooperative Budget fires at 1x; the watchdog is the
+    // backstop for cells that never reach a checkpoint. 1.5x keeps total
+    // enforcement within 2x of the requested budget.
+    limits.watchdog_ms = options.cell_budget_ms * 1.5;
+  }
+  limits.memory_bytes = options.sandbox_memory_bytes;
+  limits.stack_bytes = options.sandbox_stack_bytes;
+
+  const std::uint64_t start_ns = obs::now_ns();
+  const SandboxOutcome outcome = run_in_sandbox(
+      [&]() -> std::string {
+        // Child-local cache: the child solves exactly one cell, so the
+        // cross-cell DP sharing happens only in in-process mode.
+        FlowCurveCache cache;
+        const SweepRow row = run_cell(coords, cache, options);
+        return row_to_json(row, grid_.extra_metric_name,
+                           /*include_timing=*/true);
+      },
+      limits);
+  const std::uint64_t elapsed_ns = obs::now_ns() - start_ns;
+
+  SweepRow row;
+  row.cell = coords.index;
+  row.workload_index = coords.workload;
+  row.workload = grid_.workloads[coords.workload].label();
+  row.solver = grid_.solvers[coords.solver];
+  row.G = grid_.G_values[coords.g];
+  row.seed = coords.seed;
+  row.result.solver = row.solver;
+  const SweepRow stub = row;  // coordinates-only fallback
+
+  // Error strings stay deterministic (no elapsed times, no pids): the
+  // same fault plan then yields byte-identical rows on every run.
+  switch (outcome.kind) {
+    case SandboxOutcome::Kind::kOk:
+      try {
+        const auto entry = parse_flat_json(outcome.payload);
+        if (!restore_row(entry, coords, grid_, row)) {
+          throw std::runtime_error("row restore failed");
+        }
+      } catch (const std::exception&) {
+        row = stub;
+        row.status = RunStatus::kError;
+        row.error = "sandbox: unparseable result frame";
+      }
+      break;
+    case SandboxOutcome::Kind::kSignal:
+      row.status = RunStatus::kCrashed;
+      row.error = "child killed by " + signal_name(outcome.signal);
+      if (!outcome.phase.empty()) row.error += " in " + outcome.phase;
+      break;
+    case SandboxOutcome::Kind::kWatchdog:
+      // A budget overrun, same vocabulary as the cooperative path. The
+      // phase is omitted on purpose: where the kill lands is a race.
+      row.status = RunStatus::kTimeout;
+      row.error = "cell budget exceeded (watchdog SIGKILL)";
+      break;
+    case SandboxOutcome::Kind::kExit:
+      row.status = RunStatus::kError;
+      row.error =
+          "sandbox: child exited with code " + std::to_string(outcome.exit_code);
+      break;
+    case SandboxOutcome::Kind::kProtocol:
+      row.status = RunStatus::kError;
+      row.error = outcome.detail.empty() ? std::string("sandbox: protocol error")
+                                         : outcome.detail;
+      break;
+  }
+
+  if (row.status != RunStatus::kOk || row.result.wall_ms == 0.0) {
+    row.result.wall_ms =
+        static_cast<double>(elapsed_ns) * 1e-6;  // parent-side wall
+  }
+  // The child's own counters died with it; account for the cell here.
+  note_cell(row.status, elapsed_ns);
+  return row;
+}
+
 SweepReport SweepEngine::run(const SweepOptions& options) {
   options.faults.validate();
   if (options.cell_budget_ms < 0.0) {
@@ -350,6 +509,21 @@ SweepReport SweepEngine::run(const SweepOptions& options) {
   }
   if (options.retry_failed && !options.resume) {
     throw std::runtime_error("sweep: retry_failed requires resume");
+  }
+  if (options.faults.has_crash_kinds() && !options.sandbox) {
+    throw std::runtime_error(
+        "sweep: crash fault kinds (segv/abort/hang) require sandbox mode");
+  }
+  if (options.faults.has_hangs() && options.cell_budget_ms <= 0.0) {
+    throw std::runtime_error(
+        "sweep: hang faults require a cell budget (only the watchdog can "
+        "end a hung cell)");
+  }
+  if (options.sandbox) {
+    // Register every parent-side metric handle before the first fork;
+    // see sandbox_metrics_warmup() for why this must precede dispatch.
+    cell_metrics();
+    sandbox_metrics_warmup();
   }
 
   const Timer wall;
@@ -415,12 +589,11 @@ SweepReport SweepEngine::run(const SweepOptions& options) {
       row.seed = coords.seed;
       row.result.solver = row.solver;
       row.status = RunStatus::kSkipped;
-      static const obs::Counter skipped =
-          obs::metrics().counter("sweep.cells_skipped");
-      skipped.add();
+      cell_metrics().skipped.add();
       return;
     }
-    report.rows[i] = run_cell(coords, cache, options);
+    report.rows[i] = options.sandbox ? run_cell_sandboxed(coords, options)
+                                     : run_cell(coords, cache, options);
     if (journal != nullptr) {
       journal->append(row_to_json(report.rows[i], grid_.extra_metric_name,
                                   /*include_timing=*/true));
@@ -453,6 +626,8 @@ SweepStatusCounts SweepReport::status_counts() const {
       case RunStatus::kError: ++counts.error; break;
       case RunStatus::kTimeout: ++counts.timeout; break;
       case RunStatus::kSkipped: ++counts.skipped; break;
+      case RunStatus::kCrashed: ++counts.crashed; break;
+      case RunStatus::kInvalid: ++counts.invalid; break;
     }
   }
   return counts;
@@ -520,7 +695,8 @@ std::string SweepReport::timing_summary() const {
   const SweepStatusCounts counts = status_counts();
   if (!counts.all_ok()) {
     os << "; degraded: " << counts.error << " error, " << counts.timeout
-       << " timeout, " << counts.skipped << " skipped";
+       << " timeout, " << counts.skipped << " skipped, " << counts.crashed
+       << " crashed, " << counts.invalid << " invalid";
   }
   return os.str();
 }

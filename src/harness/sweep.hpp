@@ -16,7 +16,17 @@
 //     opt/trace/extra columns, the same struct the CLI's `solve` prints.
 //   * Cell isolation — a throwing or over-budget cell becomes a
 //     structured error/timeout row (SweepRow::status); it never aborts
-//     the sweep or discards completed cells.
+//     the sweep or discards completed cells. With SweepOptions::sandbox
+//     the guarantee extends to crashes: each cell runs in a forked child
+//     (harness/sandbox.hpp), a segfault/abort/OOM becomes a crashed row
+//     naming the fatal signal and last obs-span phase, and a hung cell
+//     is SIGKILLed by the parent watchdog (a timeout row) instead of
+//     wedging a worker thread forever.
+//   * Validated results — every ok cell of an online solver is re-checked
+//     by the independent oracle in core/validate.hpp (feasibility plus a
+//     from-scratch objective recomputation); a mismatch demotes the row
+//     to status invalid rather than letting a silent wrong answer into
+//     the results.
 //   * Journaled resume — with SweepOptions::journal_path set, every
 //     completed cell is fsync'd to an append-only JSONL journal keyed by
 //     the grid fingerprint; a resumed run skips journaled cells and its
@@ -97,7 +107,22 @@ struct SweepOptions {
   /// DP states, charged via calib::Budget. Deterministic.
   std::uint64_t cell_step_budget = 0;
 
-  /// Deterministic fault injection (tests, CLI --inject-faults).
+  /// Run every cell in a forked child process (harness/sandbox.hpp):
+  /// crashes become crashed rows, and cell_budget_ms gains a hard
+  /// parent-side SIGKILL watchdog at 1.5x the budget (the cooperative
+  /// in-child Budget still fires at 1x, so enforcement lands within 2x
+  /// of the requested wall time). Crash-free cells produce rows
+  /// byte-identical to in-process execution; the price is one fork per
+  /// cell and no cross-cell DP cache sharing.
+  bool sandbox = false;
+  /// RLIMIT_AS for each sandboxed child, bytes (0 = inherit).
+  std::uint64_t sandbox_memory_bytes = 0;
+  /// RLIMIT_STACK for each sandboxed child, bytes (0 = inherit).
+  std::uint64_t sandbox_stack_bytes = 0;
+
+  /// Deterministic fault injection (tests, CLI --inject-faults). Crash
+  /// kinds (segv/abort/hang) require sandbox mode; hang additionally
+  /// requires cell_budget_ms, because only the watchdog can end it.
   FaultPlan faults;
 
   /// Stop attempting new cells once this many completed (simulates a
@@ -124,9 +149,12 @@ struct SweepStatusCounts {
   std::size_t error = 0;
   std::size_t timeout = 0;
   std::size_t skipped = 0;
+  std::size_t crashed = 0;  ///< sandboxed child died on a signal
+  std::size_t invalid = 0;  ///< validation oracle rejected an "ok" solve
 
   [[nodiscard]] bool all_ok() const {
-    return error == 0 && timeout == 0 && skipped == 0;
+    return error == 0 && timeout == 0 && skipped == 0 && crashed == 0 &&
+           invalid == 0;
   }
 };
 
@@ -167,8 +195,13 @@ class SweepEngine {
   [[nodiscard]] SweepRow run_cell(const CellCoords& coords,
                                   FlowCurveCache& cache,
                                   const SweepOptions& options) const;
+  /// Fork-per-cell wrapper: runs run_cell in a sandboxed child, parses
+  /// the returned frame back into a row, and maps child death (signal,
+  /// watchdog kill, bad exit, torn frame) to crashed/timeout/error rows.
+  [[nodiscard]] SweepRow run_cell_sandboxed(const CellCoords& coords,
+                                            const SweepOptions& options) const;
   void solve_cell(const CellCoords& coords, FlowCurveCache& cache,
-                  Budget* budget, SweepRow& row) const;
+                  Budget* budget, bool corrupt, SweepRow& row) const;
 
   SweepGrid grid_;
 };

@@ -17,6 +17,48 @@ std::uint64_t now_ns() {
           .count());
 }
 
+// ---- Phase breadcrumb (sandbox crash forensics) -----------------------
+//
+// Unsynchronized by design: only the single-threaded sandbox child ever
+// installs a sink, and the parent reads the shared page only after
+// reaping the child. Every other process pays one pointer test per span.
+namespace {
+
+PhaseBreadcrumb* g_phase_sink = nullptr;
+std::vector<const char*> g_phase_stack;
+
+void write_phase(const char* name) {
+  std::size_t i = 0;
+  for (; name[i] != '\0' && i + 1 < PhaseBreadcrumb::kCapacity; ++i) {
+    g_phase_sink->phase[i] = name[i];
+  }
+  g_phase_sink->phase[i] = '\0';
+}
+
+}  // namespace
+
+void set_phase_breadcrumb(PhaseBreadcrumb* sink) {
+  g_phase_sink = sink;
+  g_phase_stack.clear();
+  if (sink != nullptr) write_phase("");
+}
+
+namespace detail {
+
+void phase_enter(const char* name) {
+  if (g_phase_sink == nullptr) return;
+  g_phase_stack.push_back(name);
+  write_phase(name);
+}
+
+void phase_exit() {
+  if (g_phase_sink == nullptr) return;
+  if (!g_phase_stack.empty()) g_phase_stack.pop_back();
+  write_phase(g_phase_stack.empty() ? "" : g_phase_stack.back());
+}
+
+}  // namespace detail
+
 #if CALIBSCHED_OBS
 
 namespace {
@@ -195,13 +237,16 @@ ScopedSpan::ScopedSpan(const char* name, const char* cat)
     : name_(name),
       cat_(cat),
       start_(now_ns()),
-      record_(tracer().enabled()) {}
+      record_(tracer().enabled()) {
+  detail::phase_enter(name);
+}
 
 void ScopedSpan::arg(const char* key, std::string value) {
   if (record_) args_.emplace_back(key, std::move(value));
 }
 
 ScopedSpan::~ScopedSpan() {
+  detail::phase_exit();
   if (!record_) return;
   TraceEvent event;
   event.name = name_;

@@ -30,6 +30,31 @@ namespace calib::obs {
 /// (one shared epoch, so timestamps compare across threads).
 [[nodiscard]] std::uint64_t now_ns();
 
+/// Fixed-size last-known-phase cell for crash forensics. The sandbox
+/// (harness/sandbox.*) maps one of these MAP_SHARED before forking and
+/// installs it in the child via set_phase_breadcrumb(); from then on
+/// every ScopedSpan writes its name on entry and restores its parent's
+/// on exit, so when the child dies on a signal the parent can read the
+/// deepest span it was inside (e.g. "dp.flow_curve") straight off the
+/// shared page. Present in both CALIBSCHED_OBS configurations — spans
+/// always carry their name, and crash attribution must not disappear
+/// with the metrics layer.
+struct PhaseBreadcrumb {
+  static constexpr std::size_t kCapacity = 96;
+  char phase[kCapacity] = {};  ///< NUL-terminated, truncated to fit
+};
+
+/// Install (nullptr: remove) the process-wide breadcrumb sink. Intended
+/// for the single-threaded sandbox child only: the span stack behind it
+/// is deliberately unsynchronized, and the parent never installs one,
+/// so multi-threaded processes pay exactly one branch per span.
+void set_phase_breadcrumb(PhaseBreadcrumb* sink);
+
+namespace detail {
+void phase_enter(const char* name);
+void phase_exit();
+}  // namespace detail
+
 #if CALIBSCHED_OBS
 
 /// One completed span, timestamped relative to the now_ns() epoch.
@@ -134,9 +159,17 @@ class TraceCollector {
 };
 
 /// Still a (near-free) timer: the sweep engine reads wall_ms off it.
+/// Also still a phase marker — the sandbox's crash breadcrumb works in
+/// the no-op configuration too.
 class ScopedSpan {
  public:
-  explicit ScopedSpan(const char*, const char* = "") : start_(now_ns()) {}
+  explicit ScopedSpan(const char* name, const char* = "")
+      : start_(now_ns()) {
+    detail::phase_enter(name);
+  }
+  ~ScopedSpan() { detail::phase_exit(); }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
   void arg(const char*, const std::string&) {}
   [[nodiscard]] std::uint64_t elapsed_ns() const { return now_ns() - start_; }
   [[nodiscard]] double elapsed_ms() const {

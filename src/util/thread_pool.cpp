@@ -70,38 +70,47 @@ void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& body) {
   if (n == 0) return;
   const std::size_t chunks = std::min(n, size() * 4);
+  // Failures are caught per *index*, not per chunk: one throwing index
+  // neither aborts its chunk's remaining indices nor hides later
+  // failures, so the failure set — and the aggregate message below — is
+  // identical at every thread count and chunking.
+  std::mutex errors_mutex;
+  std::vector<std::pair<std::size_t, std::exception_ptr>> errors;
   std::vector<std::future<void>> futures;
   futures.reserve(chunks);
   for (std::size_t c = 0; c < chunks; ++c) {
     const std::size_t begin = n * c / chunks;
     const std::size_t end = n * (c + 1) / chunks;
-    futures.push_back(submit([begin, end, &body] {
-      for (std::size_t i = begin; i < end; ++i) body(i);
+    futures.push_back(submit([begin, end, &body, &errors, &errors_mutex] {
+      for (std::size_t i = begin; i < end; ++i) {
+        try {
+          body(i);
+        } catch (...) {
+          const std::scoped_lock lock(errors_mutex);
+          errors.emplace_back(i, std::current_exception());
+        }
+      }
     }));
   }
-  // Drain every future before reporting: a single failed task must not
-  // hide the others, or multi-cell failures become undiagnosable.
-  std::vector<std::exception_ptr> errors;
-  for (auto& future : futures) {
-    try {
-      future.get();
-    } catch (...) {
-      errors.push_back(std::current_exception());
-    }
-  }
+  for (auto& future : futures) future.get();
   if (errors.empty()) return;
-  if (errors.size() == 1) std::rethrow_exception(errors.front());
+  // Submission-index order, regardless of which worker caught what when.
+  std::sort(errors.begin(), errors.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  if (errors.size() == 1) std::rethrow_exception(errors.front().second);
   constexpr std::size_t kMaxMessages = 8;
   std::string message = "parallel_for: " + std::to_string(errors.size()) +
                         " tasks failed:";
   for (std::size_t i = 0; i < std::min(errors.size(), kMaxMessages); ++i) {
+    message += " [task " + std::to_string(errors[i].first) + ": ";
     try {
-      std::rethrow_exception(errors[i]);
+      std::rethrow_exception(errors[i].second);
     } catch (const std::exception& error) {
-      message += std::string(" [") + error.what() + "]";
+      message += error.what();
     } catch (...) {
-      message += " [non-standard exception]";
+      message += "non-standard exception";
     }
+    message += "]";
   }
   if (errors.size() > kMaxMessages) message += " ...";
   throw std::runtime_error(message);

@@ -1,0 +1,386 @@
+// Fork-per-cell sandbox execution: the run_in_sandbox primitive, the
+// sweep engine's --sandbox mode (crashed rows with signal names, the
+// watchdog backstop for --cell-budget-ms), the differential guarantee
+// that crash-free sandboxed runs are byte-identical to in-process runs,
+// and journal/resume across crashed cells and killed parents.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "harness/journal.hpp"
+#include "harness/sandbox.hpp"
+#include "harness/sweep.hpp"
+#include "obs/trace.hpp"
+#include "workload/generators.hpp"
+
+// ASan intercepts SIGSEGV and turns the death into a report + exit(1),
+// so segfault-specific assertions only hold in plain builds. SIGABRT is
+// not intercepted and works everywhere.
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define CALIBSCHED_TEST_ASAN 1
+#endif
+#endif
+#if !defined(CALIBSCHED_TEST_ASAN) && defined(__SANITIZE_ADDRESS__)
+#define CALIBSCHED_TEST_ASAN 1
+#endif
+#ifndef CALIBSCHED_TEST_ASAN
+#define CALIBSCHED_TEST_ASAN 0
+#endif
+
+namespace calib {
+namespace {
+
+using harness::run_in_sandbox;
+using harness::SandboxLimits;
+using harness::SandboxOutcome;
+using harness::signal_name;
+using harness::SweepEngine;
+using harness::SweepGrid;
+using harness::SweepOptions;
+using harness::SweepReport;
+using harness::SweepRow;
+using harness::WorkloadSpec;
+
+SweepGrid tiny_grid() {
+  WorkloadSpec spec;
+  spec.kind = "poisson";
+  spec.rate = 0.4;
+  spec.steps = 16;
+  spec.T = 3;
+  SweepGrid grid;
+  grid.workloads = {spec};
+  grid.solvers = {"alg1", "alg2"};
+  grid.G_values = {5, 9};
+  grid.seeds = 2;
+  grid.base_seed = 7;
+  grid.compare_to_opt = true;
+  grid.threads = 1;
+  return grid;
+}
+
+std::string jsonl_of(const SweepReport& report) {
+  std::ostringstream os;
+  report.write_jsonl(os);
+  return os.str();
+}
+
+std::string csv_of(const SweepReport& report) {
+  std::ostringstream os;
+  report.write_csv(os);
+  return os.str();
+}
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + "calibsched_" + name + "_" +
+         std::to_string(::getpid()) + ".jsonl";
+}
+
+// ---- run_in_sandbox unit tests ----------------------------------------
+
+TEST(Sandbox, PayloadRoundTripsThroughTheFrame) {
+  const SandboxOutcome outcome = run_in_sandbox(
+      [] { return std::string("hello from the child \"quoted\"\n"); }, {});
+  ASSERT_EQ(outcome.kind, SandboxOutcome::Kind::kOk)
+      << outcome.detail << " exit=" << outcome.exit_code;
+  EXPECT_EQ(outcome.payload, "hello from the child \"quoted\"\n");
+}
+
+TEST(Sandbox, EmptyPayloadIsAValidFrame) {
+  const SandboxOutcome outcome =
+      run_in_sandbox([] { return std::string(); }, {});
+  ASSERT_EQ(outcome.kind, SandboxOutcome::Kind::kOk) << outcome.detail;
+  EXPECT_TRUE(outcome.payload.empty());
+}
+
+TEST(Sandbox, ChildDeathBySignalIsReported) {
+  const SandboxOutcome outcome = run_in_sandbox(
+      []() -> std::string { std::abort(); }, {});
+  ASSERT_EQ(outcome.kind, SandboxOutcome::Kind::kSignal);
+  EXPECT_EQ(outcome.signal, SIGABRT);
+  EXPECT_EQ(signal_name(outcome.signal), "SIGABRT");
+}
+
+TEST(Sandbox, BreadcrumbNamesTheDeepestSpanAtDeath) {
+  const SandboxOutcome outcome = run_in_sandbox(
+      []() -> std::string {
+        const obs::ScopedSpan outer("outer.phase", "test");
+        const obs::ScopedSpan inner("inner.phase", "test");
+        std::abort();
+      },
+      {});
+  ASSERT_EQ(outcome.kind, SandboxOutcome::Kind::kSignal);
+  EXPECT_EQ(outcome.phase, "inner.phase");
+}
+
+TEST(Sandbox, BreadcrumbRestoresTheParentSpanOnExit) {
+  const SandboxOutcome outcome = run_in_sandbox(
+      []() -> std::string {
+        const obs::ScopedSpan outer("outer.phase", "test");
+        {
+          const obs::ScopedSpan inner("inner.phase", "test");
+        }
+        std::abort();
+      },
+      {});
+  ASSERT_EQ(outcome.kind, SandboxOutcome::Kind::kSignal);
+  EXPECT_EQ(outcome.phase, "outer.phase");
+}
+
+TEST(Sandbox, WatchdogKillsAHungChild) {
+  SandboxLimits limits;
+  limits.watchdog_ms = 150.0;
+  const auto start = std::chrono::steady_clock::now();
+  const SandboxOutcome outcome = run_in_sandbox(
+      []() -> std::string {
+        for (;;) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      },
+      limits);
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_EQ(outcome.kind, SandboxOutcome::Kind::kWatchdog);
+  EXPECT_GE(elapsed_ms, 150.0 * 0.9);
+  EXPECT_LE(elapsed_ms, 150.0 * 4);  // kill + reap, generous CI slack
+}
+
+TEST(Sandbox, EscapingExceptionBecomesANonzeroExit) {
+  const SandboxOutcome outcome = run_in_sandbox(
+      []() -> std::string { throw std::runtime_error("escape"); }, {});
+  ASSERT_EQ(outcome.kind, SandboxOutcome::Kind::kExit);
+  EXPECT_NE(outcome.exit_code, 0);
+}
+
+TEST(Sandbox, SignalNamesCoverTheCommonFatalSet) {
+  EXPECT_EQ(signal_name(SIGSEGV), "SIGSEGV");
+  EXPECT_EQ(signal_name(SIGKILL), "SIGKILL");
+  EXPECT_EQ(signal_name(SIGBUS), "SIGBUS");
+  EXPECT_EQ(signal_name(250), "signal 250");
+}
+
+// ---- sweep --sandbox integration --------------------------------------
+
+TEST(SweepSandbox, CrashFreeRunsAreByteIdenticalToInProcess) {
+  const SweepReport in_process = SweepEngine(tiny_grid()).run();
+  SweepOptions options;
+  options.sandbox = true;
+  const SweepReport sandboxed = SweepEngine(tiny_grid()).run(options);
+  EXPECT_EQ(jsonl_of(sandboxed), jsonl_of(in_process));
+  EXPECT_EQ(csv_of(sandboxed), csv_of(in_process));
+  EXPECT_TRUE(sandboxed.status_counts().all_ok());
+}
+
+TEST(SweepSandbox, CrashFreeRunsAreByteIdenticalAcrossThreadCounts) {
+  SweepGrid parallel = tiny_grid();
+  parallel.threads = 4;
+  SweepOptions options;
+  options.sandbox = true;
+  const SweepReport serial = SweepEngine(tiny_grid()).run(options);
+  const SweepReport threaded = SweepEngine(parallel).run(options);
+  EXPECT_EQ(jsonl_of(serial), jsonl_of(threaded));
+}
+
+TEST(SweepSandbox, InjectedAbortBecomesACrashedRowWithTheSignalName) {
+  SweepOptions options;
+  options.sandbox = true;
+  options.faults.abort_cells = {2};
+  const SweepReport clean = SweepEngine(tiny_grid()).run();
+  const SweepReport report = SweepEngine(tiny_grid()).run(options);
+  ASSERT_EQ(report.rows.size(), clean.rows.size());
+  const SweepRow& crashed = report.rows[2];
+  EXPECT_EQ(crashed.status, RunStatus::kCrashed);
+  EXPECT_NE(crashed.error.find("SIGABRT"), std::string::npos)
+      << crashed.error;
+  // The breadcrumb attributes the crash to the phase it happened in.
+  EXPECT_NE(crashed.error.find("in cell"), std::string::npos)
+      << crashed.error;
+  EXPECT_EQ(crashed.result.objective, 0);
+  // Every remaining cell completed, untouched by the neighbor's death.
+  for (std::size_t i = 0; i < report.rows.size(); ++i) {
+    if (i == 2) continue;
+    EXPECT_EQ(harness::row_to_json(report.rows[i], "", false),
+              harness::row_to_json(clean.rows[i], "", false));
+  }
+  const harness::SweepStatusCounts counts = report.status_counts();
+  EXPECT_EQ(counts.crashed, 1u);
+  EXPECT_EQ(counts.ok, report.rows.size() - 1);
+  EXPECT_NE(report.timing_summary().find("crashed"), std::string::npos);
+}
+
+TEST(SweepSandbox, InjectedSegvBecomesACrashedRow) {
+  if (CALIBSCHED_TEST_ASAN) {
+    GTEST_SKIP() << "ASan intercepts SIGSEGV; the child exits instead";
+  }
+  SweepOptions options;
+  options.sandbox = true;
+  options.faults.segv_cells = {0, 5};
+  const SweepReport report = SweepEngine(tiny_grid()).run(options);
+  for (const std::size_t i : {std::size_t{0}, std::size_t{5}}) {
+    EXPECT_EQ(report.rows[i].status, RunStatus::kCrashed);
+    EXPECT_NE(report.rows[i].error.find("SIGSEGV"), std::string::npos)
+        << report.rows[i].error;
+  }
+  EXPECT_EQ(report.status_counts().crashed, 2u);
+}
+
+TEST(SweepSandbox, CrashedRowsAreDeterministic) {
+  SweepOptions options;
+  options.sandbox = true;
+  options.faults.abort_cells = {1, 6};
+  const SweepReport a = SweepEngine(tiny_grid()).run(options);
+  const SweepReport b = SweepEngine(tiny_grid()).run(options);
+  EXPECT_EQ(jsonl_of(a), jsonl_of(b));
+  EXPECT_EQ(csv_of(a), csv_of(b));
+}
+
+TEST(SweepSandbox, WatchdogEnforcesTheCellBudgetWithinTwiceTheRequest) {
+  constexpr double kBudgetMs = 250.0;
+  SweepOptions options;
+  options.sandbox = true;
+  options.cell_budget_ms = kBudgetMs;
+  options.faults.hang_cells = {3};
+  const SweepReport report = SweepEngine(tiny_grid()).run(options);
+  const SweepRow& killed = report.rows[3];
+  EXPECT_EQ(killed.status, RunStatus::kTimeout);
+  EXPECT_NE(killed.error.find("watchdog"), std::string::npos)
+      << killed.error;
+  // The hard guarantee: the hung cell was ended within 2x the budget
+  // (the watchdog fires at 1.5x; the rest is fork/reap overhead).
+  EXPECT_LE(killed.result.wall_ms, kBudgetMs * 2) << killed.result.wall_ms;
+  EXPECT_GE(killed.result.wall_ms, kBudgetMs) << killed.result.wall_ms;
+  // Every other cell still completed.
+  EXPECT_EQ(report.status_counts().ok, report.rows.size() - 1);
+}
+
+TEST(SweepSandbox, CrashKindsWithoutSandboxAreRefused) {
+  SweepOptions options;
+  options.faults.segv_cells = {0};
+  EXPECT_THROW((void)SweepEngine(tiny_grid()).run(options),
+               std::runtime_error);
+  options = SweepOptions{};
+  options.faults.abort_probability = 0.5;
+  EXPECT_THROW((void)SweepEngine(tiny_grid()).run(options),
+               std::runtime_error);
+}
+
+TEST(SweepSandbox, HangsWithoutACellBudgetAreRefused) {
+  SweepOptions options;
+  options.sandbox = true;
+  options.faults.hang_cells = {0};  // no cell_budget_ms: nothing ends it
+  EXPECT_THROW((void)SweepEngine(tiny_grid()).run(options),
+               std::runtime_error);
+}
+
+TEST(SweepSandbox, CrashedCellsAreJournaledAndRetriable) {
+  const std::string path = temp_path("sandbox_retry");
+  std::remove(path.c_str());
+
+  SweepOptions faulted;
+  faulted.sandbox = true;
+  faulted.journal_path = path;
+  faulted.faults.abort_cells = {1, 4};
+  const SweepReport crashed = SweepEngine(tiny_grid()).run(faulted);
+  EXPECT_EQ(crashed.status_counts().crashed, 2u);
+
+  // A plain resume replays the crashed rows verbatim — a crash is a
+  // recorded outcome, not a hole in the journal.
+  SweepOptions replay;
+  replay.sandbox = true;
+  replay.journal_path = path;
+  replay.resume = true;
+  const SweepReport replayed = SweepEngine(tiny_grid()).run(replay);
+  EXPECT_EQ(jsonl_of(replayed), jsonl_of(crashed));
+  EXPECT_EQ(replayed.timing.resumed, replayed.rows.size());
+
+  // retry_failed + a healthy plan re-runs exactly the crashed cells and
+  // converges to the clean run, byte for byte.
+  SweepOptions retry;
+  retry.sandbox = true;
+  retry.journal_path = path;
+  retry.resume = true;
+  retry.retry_failed = true;
+  const SweepReport retried = SweepEngine(tiny_grid()).run(retry);
+  EXPECT_TRUE(retried.status_counts().all_ok());
+  EXPECT_EQ(retried.timing.resumed, retried.rows.size() - 2);
+  EXPECT_EQ(jsonl_of(retried), jsonl_of(SweepEngine(tiny_grid()).run()));
+
+  std::remove(path.c_str());
+}
+
+TEST(SweepSandbox, ResumeAfterAKilledParentIsByteIdentical) {
+  // Simulate a SIGKILLed parent with max_cells: the journal ends
+  // mid-sweep exactly as if the process died between cells (every
+  // completed cell was fsync'd; nothing else was written).
+  const std::string path = temp_path("sandbox_kill");
+  std::remove(path.c_str());
+
+  SweepOptions first;
+  first.sandbox = true;
+  first.journal_path = path;
+  first.max_cells = 3;
+  const SweepReport partial = SweepEngine(tiny_grid()).run(first);
+  EXPECT_EQ(partial.status_counts().skipped, partial.rows.size() - 3);
+
+  SweepOptions second;
+  second.sandbox = true;
+  second.journal_path = path;
+  second.resume = true;
+  const SweepReport resumed = SweepEngine(tiny_grid()).run(second);
+  EXPECT_EQ(resumed.timing.resumed, 3u);
+  EXPECT_TRUE(resumed.status_counts().all_ok());
+  EXPECT_EQ(jsonl_of(resumed), jsonl_of(SweepEngine(tiny_grid()).run()));
+
+  std::remove(path.c_str());
+}
+
+TEST(SweepSandbox, MixedFaultSweepCompletesEveryRemainingCell) {
+  // The acceptance scenario: segv + hang cells in one sandboxed sweep;
+  // every other cell still completes and the journal holds every
+  // attempted cell's outcome.
+  const std::string path = temp_path("sandbox_mixed");
+  std::remove(path.c_str());
+
+  SweepOptions options;
+  options.sandbox = true;
+  options.journal_path = path;
+  options.cell_budget_ms = 400.0;
+  options.faults.abort_cells = {0};
+  options.faults.hang_cells = {5};
+  if (!CALIBSCHED_TEST_ASAN) options.faults.segv_cells = {2};
+  const SweepReport report = SweepEngine(tiny_grid()).run(options);
+
+  const harness::SweepStatusCounts counts = report.status_counts();
+  EXPECT_EQ(counts.crashed, CALIBSCHED_TEST_ASAN ? 1u : 2u);
+  EXPECT_EQ(counts.timeout, 1u);
+  EXPECT_EQ(counts.skipped, 0u);
+  EXPECT_EQ(counts.ok, report.rows.size() - (CALIBSCHED_TEST_ASAN ? 2 : 3));
+
+  // Journal: one line per attempted cell (header + rows), each parseable.
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));  // header
+  std::size_t journaled = 0;
+  while (std::getline(in, line)) {
+    const auto entry = harness::parse_flat_json(line);
+    EXPECT_EQ(entry.count("cell"), 1u);
+    EXPECT_EQ(entry.count("status"), 1u);
+    ++journaled;
+  }
+  EXPECT_EQ(journaled, report.rows.size());
+
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace calib

@@ -200,22 +200,60 @@ TEST(ThreadPool, SingleFailureKeepsItsExceptionType) {
 }
 
 TEST(ThreadPool, MultipleFailuresAreAggregated) {
-  // 16 indices on a 4-thread pool → 16 single-index chunks, so each
-  // throwing index is its own failed task. Every message must survive
-  // into the aggregate (up to the cap), not just the first.
+  // Failures are caught per index, so every throwing index survives into
+  // the aggregate (up to the cap), labeled [task i: what()] — not just
+  // the first failure per chunk.
   ThreadPool pool(4);
   try {
     pool.parallel_for(16, [](std::size_t i) {
       if (i == 2 || i == 11) {
-        throw std::runtime_error("task " + std::to_string(i));
+        throw std::runtime_error("boom " + std::to_string(i));
       }
     });
     FAIL() << "expected a throw";
   } catch (const std::runtime_error& error) {
     const std::string what = error.what();
     EXPECT_NE(what.find("2 tasks failed"), std::string::npos) << what;
-    EXPECT_NE(what.find("[task 2]"), std::string::npos) << what;
-    EXPECT_NE(what.find("[task 11]"), std::string::npos) << what;
+    EXPECT_NE(what.find("[task 2: boom 2]"), std::string::npos) << what;
+    EXPECT_NE(what.find("[task 11: boom 11]"), std::string::npos) << what;
+  }
+}
+
+TEST(ThreadPool, FailedIndexDoesNotAbortItsChunk) {
+  // 64 indices on 2 threads → multi-index chunks; the throwing index
+  // must not stop the chunk's remaining indices from running.
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> visits(64);
+  try {
+    pool.parallel_for(visits.size(), [&](std::size_t i) {
+      visits[i]++;
+      if (i % 7 == 0) throw std::runtime_error("x");
+    });
+    FAIL() << "expected a throw";
+  } catch (const std::runtime_error&) {
+  }
+  for (const auto& count : visits) EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, AggregatedMessageIsDeterministicAcrossThreadCounts) {
+  // Submission-index ordering makes the aggregate identical no matter
+  // how the chunks interleave across workers.
+  const auto run = [](std::size_t threads) -> std::string {
+    ThreadPool pool(threads);
+    try {
+      pool.parallel_for(48, [](std::size_t i) {
+        if (i % 9 == 4) throw std::runtime_error("f" + std::to_string(i));
+      });
+    } catch (const std::runtime_error& error) {
+      return error.what();
+    }
+    return "";
+  };
+  const std::string reference = run(1);
+  EXPECT_NE(reference.find("[task 4: f4]"), std::string::npos) << reference;
+  for (int repeat = 0; repeat < 4; ++repeat) {
+    EXPECT_EQ(run(2), reference);
+    EXPECT_EQ(run(5), reference);
   }
 }
 

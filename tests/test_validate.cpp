@@ -1,0 +1,167 @@
+// The independent validation oracle (core/validate.hpp): exact cost
+// recomputation on feasible schedules, and detection of every
+// feasibility violation class — including deliberately corrupted
+// schedules that Schedule's own cost accessors would happily price.
+#include <gtest/gtest.h>
+
+#include "core/calendar.hpp"
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+#include "core/validate.hpp"
+#include "online/driver.hpp"
+#include "online/registry.hpp"
+#include "util/prng.hpp"
+#include "workload/generators.hpp"
+
+namespace calib {
+namespace {
+
+// Two jobs, one machine, T = 3: place both inside one calibration.
+Instance two_job_instance() {
+  return Instance({{0, 2}, {1, 1}}, /*calibration_length=*/3);
+}
+
+Schedule feasible_schedule(const Instance& instance) {
+  Calendar calendar(instance.T(), instance.machines());
+  calendar.add(0, 0);  // covers steps [0, 3)
+  Schedule schedule(calendar, instance.size());
+  schedule.place(0, 0, 0);
+  schedule.place(1, 0, 1);
+  return schedule;
+}
+
+TEST(ValidateOracle, AcceptsAFeasibleScheduleAndRecomputesTheCost) {
+  const Instance instance = two_job_instance();
+  const Schedule schedule = feasible_schedule(instance);
+  const ValidationReport report = validate_schedule(instance, schedule, 5);
+  EXPECT_TRUE(report.feasible()) << report.violation;
+  EXPECT_EQ(report.calibrations, 1);
+  // flow = 2*(0+1-0) + 1*(1+1-1) = 3; objective = 5*1 + 3.
+  EXPECT_EQ(report.flow, 3);
+  EXPECT_EQ(report.objective, 8);
+  // The oracle's recomputation must agree with Schedule's accessors on
+  // healthy input — they share no code, only the Section 2 definition.
+  EXPECT_EQ(report.flow, schedule.weighted_flow(instance));
+  EXPECT_EQ(report.objective, schedule.online_cost(instance, 5));
+}
+
+TEST(ValidateOracle, FlagsASlotCollision) {
+  const Instance instance = two_job_instance();
+  Schedule schedule = feasible_schedule(instance);
+  schedule.place(0, 0, 1);  // both jobs at (machine 0, t=1), both released
+  const ValidationReport report = validate_schedule(instance, schedule, 5);
+  EXPECT_FALSE(report.feasible());
+  EXPECT_NE(report.violation.find("collides"), std::string::npos)
+      << report.violation;
+  // Schedule::weighted_flow would still price this corrupted schedule;
+  // the oracle is what refuses it.
+  EXPECT_GT(schedule.weighted_flow(instance), 0);
+}
+
+TEST(ValidateOracle, FlagsAnUncalibratedStep) {
+  const Instance instance = two_job_instance();
+  Schedule schedule = feasible_schedule(instance);
+  schedule.place(1, 0, 7);  // the only calibration covers [0, 3)
+  const ValidationReport report = validate_schedule(instance, schedule, 5);
+  EXPECT_FALSE(report.feasible());
+  EXPECT_NE(report.violation.find("uncalibrated"), std::string::npos)
+      << report.violation;
+}
+
+TEST(ValidateOracle, FlagsAStartBeforeRelease) {
+  const Instance instance = two_job_instance();
+  Schedule schedule = feasible_schedule(instance);
+  schedule.place(1, 0, 0);   // job 1 released at t=1
+  schedule.place(0, 0, 1);   // keep the slots distinct
+  const ValidationReport report = validate_schedule(instance, schedule, 5);
+  EXPECT_FALSE(report.feasible());
+  EXPECT_NE(report.violation.find("before its release"), std::string::npos)
+      << report.violation;
+}
+
+TEST(ValidateOracle, FlagsAnUnscheduledJob) {
+  const Instance instance = two_job_instance();
+  Schedule schedule = feasible_schedule(instance);
+  schedule.unplace(1);
+  const ValidationReport report = validate_schedule(instance, schedule, 5);
+  EXPECT_FALSE(report.feasible());
+  EXPECT_NE(report.violation.find("unscheduled"), std::string::npos)
+      << report.violation;
+}
+
+TEST(ValidateOracle, FlagsShapeMismatches) {
+  const Instance instance = two_job_instance();
+  const Schedule schedule = feasible_schedule(instance);
+  // Same placements, instance with a different T: the calendar no
+  // longer describes the model the instance lives in.
+  const Instance other_T({{0, 2}, {1, 1}}, /*calibration_length=*/4);
+  EXPECT_FALSE(validate_schedule(other_T, schedule, 5).feasible());
+  // Wrong job count.
+  const Instance three_jobs({{0, 2}, {1, 1}, {2, 1}}, 3);
+  EXPECT_FALSE(validate_schedule(three_jobs, schedule, 5).feasible());
+  // G below 1 is outside the model.
+  EXPECT_FALSE(validate_schedule(instance, schedule, 0).feasible());
+}
+
+TEST(ValidateOracle, FlagsAReleaseCollisionNormalizationViolation) {
+  // Three jobs released at t=0 on one machine: footnote 1 requires at
+  // most P per release time, so this instance is outside the model even
+  // if the placements themselves are legal.
+  const Instance instance({{0, 1}, {0, 1}, {0, 1}}, 3);
+  Calendar calendar(3, 1);
+  calendar.add(0, 0);
+  Schedule schedule(calendar, 3);
+  schedule.place(0, 0, 0);
+  schedule.place(1, 0, 1);
+  schedule.place(2, 0, 2);
+  const ValidationReport report = validate_schedule(instance, schedule, 5);
+  EXPECT_FALSE(report.feasible());
+  EXPECT_NE(report.violation.find("normalization"), std::string::npos)
+      << report.violation;
+}
+
+TEST(ValidateOracle, InfeasibleReportsZeroTheCosts) {
+  const Instance instance = two_job_instance();
+  Schedule schedule = feasible_schedule(instance);
+  schedule.place(1, 0, 0);
+  const ValidationReport report = validate_schedule(instance, schedule, 5);
+  EXPECT_FALSE(report.feasible());
+  EXPECT_EQ(report.objective, 0);
+  EXPECT_EQ(report.flow, 0);
+  EXPECT_EQ(report.calibrations, 0);
+}
+
+TEST(ValidateOracle, AgreesWithEverySolverOnGeneratedInstances) {
+  // Cross-check the oracle against live solver output: for every policy
+  // in the registry, on a few generated instances, the from-scratch
+  // recomputation must match summarize_schedule's accounting exactly.
+  for (const std::uint64_t seed : {1u, 7u, 23u}) {
+    Prng prng(seed);
+    PoissonConfig config;
+    config.rate = 0.4;
+    config.steps = 20;
+    const Instance instance = poisson_instance(config, /*T=*/3,
+                                               /*machines=*/1, prng);
+    if (instance.empty()) continue;
+    for (const std::string& name : PolicyRegistry::instance().names()) {
+      PolicyParams params;
+      params.seed = seed;
+      const auto policy = make_policy(name, params);
+      const Cost G = 6;
+      const Schedule schedule =
+          run_online(instance, G, *policy, nullptr, nullptr);
+      const ValidationReport report =
+          validate_schedule(instance, schedule, G);
+      ASSERT_TRUE(report.feasible())
+          << name << " seed " << seed << ": " << report.violation;
+      EXPECT_EQ(report.flow, schedule.weighted_flow(instance)) << name;
+      EXPECT_EQ(report.objective, schedule.online_cost(instance, G)) << name;
+      EXPECT_EQ(report.calibrations,
+                static_cast<int>(schedule.calendar().count()))
+          << name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace calib

@@ -64,12 +64,19 @@ int usage() {
       "             [--format jsonl|csv] [--timing] [--out FILE]\n"
       "             [--journal FILE] [--resume] [--retry-failed]\n"
       "             [--cell-budget-ms MS] [--cell-budget-steps N]\n"
-      "             [--inject-faults THROWP[,TIMEOUTP]] [--fault-seed S]\n"
+      "             [--sandbox] [--sandbox-mem-mb N] [--sandbox-stack-kb N]\n"
+      "             [--inject-faults SPEC] [--fault-seed S]\n"
       "             [--stop-after N]\n"
       "             [--metrics FILE] [--trace FILE]\n"
+      "             (--sandbox: fork each cell; crashes become rows and\n"
+      "              --cell-budget-ms gains a SIGKILL watchdog)\n"
+      "             (--inject-faults SPEC: THROWP[,TIMEOUTP], or\n"
+      "              kind=P[,kind=P...] with kinds throw,timeout,segv,\n"
+      "              abort,hang,corrupt; crash kinds need --sandbox)\n"
       "             (--metrics: flat JSON snapshot; --trace: Chrome\n"
       "              trace_event JSON, open in Perfetto / chrome://tracing)\n"
-      "             (exits 3 if any cell ends in error/timeout/skipped)\n"
+      "             (exits 3 if any cell ends in error/timeout/skipped/\n"
+      "              crashed/invalid)\n"
       "  frontier   --in FILE [--kmax N]\n"
       "  lowerbound --in FILE --G N\n"
       "  stats      --in FILE   (pretty-print a --metrics snapshot)\n"
@@ -244,16 +251,51 @@ int cmd_sweep(const Args& args) {
   options.cell_budget_ms = args.get_double("cell-budget-ms", 0.0);
   options.cell_step_budget =
       static_cast<std::uint64_t>(args.get_int("cell-budget-steps", 0));
+  options.sandbox = args.has("sandbox");
+  options.sandbox_memory_bytes =
+      static_cast<std::uint64_t>(args.get_int("sandbox-mem-mb", 0)) << 20;
+  options.sandbox_stack_bytes =
+      static_cast<std::uint64_t>(args.get_int("sandbox-stack-kb", 0)) << 10;
   const std::string faults = args.get("inject-faults", "");
   if (!faults.empty()) {
-    const auto probabilities = split_list(faults);
-    if (probabilities.empty() || probabilities.size() > 2) {
-      throw std::runtime_error(
-          "--inject-faults wants THROWP or THROWP,TIMEOUTP");
-    }
-    options.faults.throw_probability = std::stod(probabilities[0]);
-    if (probabilities.size() == 2) {
-      options.faults.timeout_probability = std::stod(probabilities[1]);
+    const auto parts = split_list(faults);
+    if (faults.find('=') != std::string::npos) {
+      // Named syntax: kind=P[,kind=P...] over the full fault vocabulary.
+      for (const std::string& part : parts) {
+        const std::size_t eq = part.find('=');
+        if (eq == std::string::npos) {
+          throw std::runtime_error(
+              "--inject-faults: cannot mix named and positional parts");
+        }
+        const std::string kind = part.substr(0, eq);
+        const double probability = std::stod(part.substr(eq + 1));
+        if (kind == "throw") {
+          options.faults.throw_probability = probability;
+        } else if (kind == "timeout") {
+          options.faults.timeout_probability = probability;
+        } else if (kind == "segv") {
+          options.faults.segv_probability = probability;
+        } else if (kind == "abort") {
+          options.faults.abort_probability = probability;
+        } else if (kind == "hang") {
+          options.faults.hang_probability = probability;
+        } else if (kind == "corrupt") {
+          options.faults.corrupt_probability = probability;
+        } else {
+          throw std::runtime_error("--inject-faults: unknown fault kind: " +
+                                   kind);
+        }
+      }
+    } else {
+      // Positional compatibility syntax: THROWP[,TIMEOUTP].
+      if (parts.empty() || parts.size() > 2) {
+        throw std::runtime_error(
+            "--inject-faults wants THROWP[,TIMEOUTP] or kind=P[,kind=P...]");
+      }
+      options.faults.throw_probability = std::stod(parts[0]);
+      if (parts.size() == 2) {
+        options.faults.timeout_probability = std::stod(parts[1]);
+      }
     }
     options.faults.seed =
         static_cast<std::uint64_t>(args.get_int("fault-seed", 1));
@@ -318,7 +360,8 @@ int cmd_sweep(const Args& args) {
   if (!counts.all_ok()) {
     std::cerr << "sweep degraded: " << counts.ok << " ok, " << counts.error
               << " error, " << counts.timeout << " timeout, "
-              << counts.skipped << " skipped\n";
+              << counts.skipped << " skipped, " << counts.crashed
+              << " crashed, " << counts.invalid << " invalid\n";
     return 3;
   }
   return 0;
@@ -441,6 +484,7 @@ int main(int argc, char** argv) {
                      "save-schedule", "kmax", "period", "threads", "opt",
                      "no-trace", "format", "timing", "journal", "resume",
                      "retry-failed", "cell-budget-ms", "cell-budget-steps",
+                     "sandbox", "sandbox-mem-mb", "sandbox-stack-kb",
                      "inject-faults", "fault-seed", "stop-after", "metrics",
                      "trace"});
     if (command == "generate") return cmd_generate(args);
