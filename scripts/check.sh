@@ -1,17 +1,33 @@
 #!/usr/bin/env bash
 # The tier-1 verify line: configure, build everything, run the full test
-# suite. Set SANITIZE=1 to run the same line under ASan + UBSan (separate
-# build tree so it never poisons the regular one).
+# suite, then the three static-analysis gates (calib_lint, Clang
+# -Wthread-safety, clang-tidy).
+#
+# Sanitizers (separate build trees so they never poison the regular one):
+#   SANITIZE=1       ASan + UBSan            (build-asan)
+#   SANITIZE=thread  ThreadSanitizer, with tsan.supp loaded (build-tsan)
+#
+# The Clang-only gates (-Wthread-safety build, clang-tidy) auto-detect
+# their tools and skip with a notice when absent — local GCC-only boxes
+# still get the build+test+calib_lint line, CI pins clang and runs all
+# three. CLANGXX / CLANG_TIDY override the executables.
 # Usage: scripts/check.sh [build-dir]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD="${1:-build}"
 EXTRA_FLAGS=()
-if [ "${SANITIZE:-0}" = "1" ]; then
-  BUILD="${1:-build-asan}"
-  EXTRA_FLAGS+=(-DCALIBSCHED_SANITIZE=ON)
-fi
+case "${SANITIZE:-0}" in
+  1)
+    BUILD="${1:-build-asan}"
+    EXTRA_FLAGS+=(-DCALIBSCHED_SANITIZE=address)
+    ;;
+  thread)
+    BUILD="${1:-build-tsan}"
+    EXTRA_FLAGS+=(-DCALIBSCHED_SANITIZE=thread)
+    export TSAN_OPTIONS="suppressions=$PWD/tsan.supp ${TSAN_OPTIONS:-}"
+    ;;
+esac
 
 cmake -B "$BUILD" -S . "${EXTRA_FLAGS[@]}"
 
@@ -27,3 +43,39 @@ if grep "warning:" "$BUILD_LOG" | grep -qE "src/(harness|obs|core)/"; then
 fi
 
 ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)"
+
+# ---- Static-analysis gates (all must report zero findings) ----------
+
+# Gate 1: project lint, driven by the build's compilation database.
+echo "== gate: calib_lint =="
+python3 tools/lint/calib_lint.py --compdb "$BUILD/compile_commands.json"
+
+# Gate 2: Clang thread-safety analysis — the CALIB_GUARDED_BY /
+# CALIB_REQUIRES annotations become checked lock contracts. A separate
+# build tree: different compiler, and -Wthread-safety only exists there.
+CLANGXX="${CLANGXX:-$(command -v clang++ || true)}"
+if [ -n "$CLANGXX" ]; then
+  echo "== gate: clang -Wthread-safety =="
+  cmake -B build-tsa -S . \
+    -DCMAKE_CXX_COMPILER="$CLANGXX" \
+    -DCALIBSCHED_THREAD_SAFETY=ON -DCALIBSCHED_WERROR=ON
+  cmake --build build-tsa -j
+else
+  echo "== gate: clang -Wthread-safety == SKIPPED (no clang++ on PATH;" \
+       "runs in the lint CI job)"
+fi
+
+# Gate 3: clang-tidy with the pinned .clang-tidy config, over every
+# translation unit in the compilation database.
+CLANG_TIDY="${CLANG_TIDY:-$(command -v clang-tidy || true)}"
+RUN_CLANG_TIDY="${RUN_CLANG_TIDY:-$(command -v run-clang-tidy || true)}"
+if [ -n "$CLANG_TIDY" ] && [ -n "$RUN_CLANG_TIDY" ]; then
+  echo "== gate: clang-tidy =="
+  "$RUN_CLANG_TIDY" -clang-tidy-binary "$CLANG_TIDY" \
+    -p "$BUILD" -quiet "src/.*\.cpp$"
+else
+  echo "== gate: clang-tidy == SKIPPED (no clang-tidy/run-clang-tidy on" \
+       "PATH; runs in the lint CI job)"
+fi
+
+echo "check.sh: all gates passed"

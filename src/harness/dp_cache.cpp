@@ -127,7 +127,7 @@ std::shared_ptr<const std::vector<Cost>> FlowCurveCache::curve(
   std::shared_future<CurvePtr> future;
   bool owner = false;
   {
-    const std::scoped_lock lock(mutex_);
+    const MutexLock lock(mutex_);
     const auto it = curves_.find(key);
     if (it != curves_.end()) {
       note_hit();
@@ -154,7 +154,7 @@ std::shared_ptr<const std::vector<Cost>> FlowCurveCache::curve(
       // Evict before publishing the failure so later requests retry
       // instead of inheriting this cell's exception forever.
       {
-        const std::scoped_lock lock(mutex_);
+        const MutexLock lock(mutex_);
         curves_.erase(key);
       }
       note_eviction();

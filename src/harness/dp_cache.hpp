@@ -30,7 +30,6 @@
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -39,6 +38,7 @@
 #include "core/types.hpp"
 #include "obs/metrics.hpp"
 #include "util/budget.hpp"
+#include "util/sync.hpp"
 
 namespace calib::harness {
 
@@ -88,8 +88,12 @@ class FlowCurveCache {
   void note_wait_us(std::uint64_t us);
   void note_compute_us(std::uint64_t us);
 
-  std::mutex mutex_;
-  std::unordered_map<std::string, std::shared_future<CurvePtr>> curves_;
+  // Lock hierarchy: mutex_ is a leaf held only for map lookup/insert/
+  // erase; the DP itself (and every wait on the shared_future) runs
+  // outside it, so waiters never block a concurrent lookup.
+  Mutex mutex_;
+  std::unordered_map<std::string, std::shared_future<CurvePtr>> curves_
+      CALIB_GUARDED_BY(mutex_);
 
 #if CALIBSCHED_OBS
   // Registry handles plus construction-time baselines for the deltas.

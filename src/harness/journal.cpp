@@ -158,7 +158,7 @@ SweepJournal::~SweepJournal() {
 
 void SweepJournal::append(const std::string& line) {
   const std::string out = line + "\n";
-  const std::scoped_lock lock(mutex_);
+  const MutexLock lock(mutex_);
   std::size_t written = 0;
   while (written < out.size()) {
     const ssize_t n =

@@ -17,9 +17,10 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/sync.hpp"
 
 namespace calib::harness {
 
@@ -58,8 +59,12 @@ class SweepJournal {
   [[nodiscard]] static std::string fingerprint_hex(std::uint64_t value);
 
  private:
+  // fd_ and entries_ are written only in the constructor/destructor;
+  // mutex_ (a leaf lock) serializes append() so each row lands as one
+  // contiguous write+fsync — interleaved writes would tear lines, which
+  // the torn-trailing-line recovery only tolerates once per file.
   int fd_ = -1;
-  std::mutex mutex_;
+  Mutex mutex_;
   std::vector<std::map<std::string, std::string>> entries_;
 };
 

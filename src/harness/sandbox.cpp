@@ -10,26 +10,29 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
-#include <mutex>
 #include <new>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/sync.hpp"
 
 namespace calib::harness {
 namespace {
-
-constexpr std::uint32_t kFrameMagic = 0x43414C42u;
 
 // Serializes pipe()+fork()+close(write end in parent): without this, a
 // cell forked concurrently on another pool thread would inherit this
 // pipe's write end, and the parent would never see EOF after this
 // child's death. (fork is cheap; the children run outside the lock.)
-std::mutex& fork_mutex() {
-  static std::mutex mutex;
+Mutex& fork_mutex() {
+  static Mutex mutex;
   return mutex;
 }
 
+// calib-lint: signal-safe-begin
+// Runs in the forked child between fork() and _exit(): only
+// async-signal-safe calls (write(2), retry on EINTR) — no heap, no
+// stdio, no locks. Checked by tools/lint/calib_lint.py (rule
+// fork-child-signal-safety).
 bool write_all(int fd, const void* data, std::size_t size) {
   const char* bytes = static_cast<const char*>(data);
   std::size_t written = 0;
@@ -43,6 +46,22 @@ bool write_all(int fd, const void* data, std::size_t size) {
   }
   return true;
 }
+
+// The child's terminal path: ship the pre-serialized frame and die.
+// Nothing here may allocate, lock, use stdio, or run atexit handlers —
+// the child of a multi-threaded fork may hold no heap/stdio locks, and
+// any non-async-signal-safe call can deadlock on one another thread
+// held at fork time. `frame` was fully assembled before this is called.
+[[noreturn]] void child_exit_with_frame(int write_fd, int code,
+                                        const char* frame,
+                                        std::size_t frame_size) {
+  if (code == 0 && !write_all(write_fd, frame, frame_size)) code = 13;
+  ::close(write_fd);
+  // _exit, not exit: no atexit handlers, no static destructors — the
+  // child shares the parent's registries and must not tear them down.
+  ::_exit(code);
+}
+// calib-lint: signal-safe-end
 
 void apply_rlimit(int resource, std::uint64_t bytes) {
   if (bytes == 0) return;
@@ -61,29 +80,35 @@ void apply_rlimit(int resource, std::uint64_t bytes) {
   apply_rlimit(RLIMIT_STACK, limits.stack_bytes);
   if (crumb != nullptr) obs::set_phase_breadcrumb(crumb);
 
-  std::string payload;
+  // The job itself is ordinary C++ — it allocates, locks, and throws.
+  // Running it in the child of a multi-threaded fork is sound only
+  // because the parent serializes the fork window (fork_mutex) and
+  // pre-registers every metric handle the job records into
+  // (sandbox_metrics_warmup), so no inherited lock can be held at fork
+  // time — see the header comment. The frame (magic, length, payload)
+  // is pre-serialized into one contiguous buffer *here*, while the heap
+  // is still fair game, so that the terminal path below stays purely
+  // async-signal-safe.
+  std::string frame;
   int code = 0;
   try {
-    payload = job();
+    const std::string payload = job();
+    if (payload.size() > kMaxFrameBytes) {
+      code = 14;
+    } else {
+      const std::uint32_t magic = kFrameMagic;
+      const auto length = static_cast<std::uint32_t>(payload.size());
+      frame.reserve(sizeof magic + sizeof length + payload.size());
+      frame.append(reinterpret_cast<const char*>(&magic), sizeof magic);
+      frame.append(reinterpret_cast<const char*>(&length), sizeof length);
+      frame.append(payload);
+    }
   } catch (...) {
     // The sweep's run_cell converts everything to a row before it gets
     // here; an escaping exception is a harness bug, not a cell outcome.
     code = 12;
   }
-  if (code == 0 && payload.size() <= kMaxFrameBytes) {
-    const std::uint32_t magic = kFrameMagic;
-    const auto length = static_cast<std::uint32_t>(payload.size());
-    const bool ok = write_all(write_fd, &magic, sizeof magic) &&
-                    write_all(write_fd, &length, sizeof length) &&
-                    write_all(write_fd, payload.data(), payload.size());
-    if (!ok) code = 13;
-  } else if (code == 0) {
-    code = 14;
-  }
-  ::close(write_fd);
-  // _exit, not exit: no atexit handlers, no static destructors — the
-  // child shares the parent's registries and must not tear them down.
-  ::_exit(code);
+  child_exit_with_frame(write_fd, code, frame.data(), frame.size());
 }
 
 double elapsed_ms_since(std::chrono::steady_clock::time_point start) {
@@ -146,7 +171,7 @@ SandboxOutcome run_in_sandbox(const std::function<std::string()>& job,
   int pipe_fds[2] = {-1, -1};
   pid_t pid = -1;
   {
-    const std::scoped_lock lock(fork_mutex());
+    const MutexLock lock(fork_mutex());
     if (::pipe(pipe_fds) != 0) {
       outcome.detail = std::string("sandbox: pipe failed: ") +
                        std::strerror(errno);

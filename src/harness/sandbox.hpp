@@ -71,6 +71,13 @@ struct SandboxOutcome {
 /// frame this large means the child went haywire, not that rows grew).
 inline constexpr std::uint32_t kMaxFrameBytes = 16u << 20;
 
+/// The IPC frame magic ("BLAC" on disk, "CALB" in register order). This
+/// header is the single point of truth for the literal: every framed
+/// protocol (the sandbox result pipe today, the planned `calibsched
+/// serve` stream) must reference kFrameMagic rather than repeat the
+/// constant — enforced by tools/lint/calib_lint.py (rule ipc-magic).
+inline constexpr std::uint32_t kFrameMagic = 0x43414C42u;
+
 /// Force registration of the sandbox's metric handles now. The sweep
 /// engine calls this before dispatching sandboxed cells so no fork can
 /// land while a worker thread holds the metrics-registry mutex (the

@@ -571,6 +571,15 @@ SweepReport SweepEngine::run(const SweepOptions& options) {
     }
   }
 
+  // Engine shared state during the parallel_for (machine-checked:
+  // -Wthread-safety on the classes, TSan on this loop):
+  //   * report.rows — disjoint per-index writes, published to the
+  //     caller by the pool's future.get() barrier; no lock needed.
+  //   * done — written before dispatch, read-only inside the loop.
+  //   * attempted — the one genuinely shared counter (ticket handout),
+  //     hence the atomic.
+  //   * cache / journal / obs registries — internally synchronized
+  //     (calib::Mutex + GUARDED_BY; see each class).
   std::atomic<std::size_t> attempted{0};
   const auto body = [&](std::size_t i) {
     if (done[i] != 0) return;

@@ -156,7 +156,7 @@ MetricsRegistry::Shard& MetricsRegistry::local_shard() {
   auto shard = std::make_shared<Shard>();
   Shard* raw = shard.get();
   {
-    const std::scoped_lock lock(mutex_);
+    const MutexLock lock(mutex_);
     shards_.push_back(std::move(shard));
   }
   std::size_t slot;
@@ -174,7 +174,6 @@ std::size_t MetricsRegistry::register_name(std::vector<std::string>& names,
                                            const std::string& name,
                                            std::size_t cap,
                                            const char* kind) {
-  const std::scoped_lock lock(mutex_);
   for (std::size_t i = 0; i < names.size(); ++i) {
     if (names[i] == name) return i;
   }
@@ -188,15 +187,18 @@ std::size_t MetricsRegistry::register_name(std::vector<std::string>& names,
 }
 
 Counter MetricsRegistry::counter(const std::string& name) {
+  const MutexLock lock(mutex_);
   return Counter(this,
                  register_name(counter_names_, name, kMaxCounters, "counter"));
 }
 
 Gauge MetricsRegistry::gauge(const std::string& name) {
+  const MutexLock lock(mutex_);
   return Gauge(this, register_name(gauge_names_, name, kMaxGauges, "gauge"));
 }
 
 Histogram MetricsRegistry::histogram(const std::string& name) {
+  const MutexLock lock(mutex_);
   return Histogram(
       this, register_name(histogram_names_, name, kMaxHistograms, "histogram"));
 }
@@ -210,7 +212,7 @@ std::uint64_t Counter::value() const {
   if (registry_ == nullptr) return 0;
   std::vector<std::shared_ptr<MetricsRegistry::Shard>> shards;
   {
-    const std::scoped_lock lock(registry_->mutex_);
+    const MutexLock lock(registry_->mutex_);
     shards = registry_->shards_;
   }
   std::uint64_t total = 0;
@@ -256,7 +258,7 @@ Snapshot MetricsRegistry::snapshot() const {
   std::vector<std::string> histogram_names;
   std::vector<std::shared_ptr<Shard>> shards;
   {
-    const std::scoped_lock lock(mutex_);
+    const MutexLock lock(mutex_);
     counter_names = counter_names_;
     gauge_names = gauge_names_;
     histogram_names = histogram_names_;
@@ -310,7 +312,7 @@ Snapshot MetricsRegistry::snapshot() const {
 void MetricsRegistry::reset() {
   std::vector<std::shared_ptr<Shard>> shards;
   {
-    const std::scoped_lock lock(mutex_);
+    const MutexLock lock(mutex_);
     shards = shards_;
   }
   for (const auto& shard : shards) {

@@ -27,10 +27,11 @@
 #include <limits>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
+
+#include "util/sync.hpp"
 
 #ifndef CALIBSCHED_OBS
 #define CALIBSCHED_OBS 1
@@ -174,15 +175,20 @@ class MetricsRegistry {
   [[nodiscard]] Shard& local_shard();
   [[nodiscard]] std::size_t register_name(std::vector<std::string>& names,
                                           const std::string& name,
-                                          std::size_t cap, const char* kind);
+                                          std::size_t cap, const char* kind)
+      CALIB_REQUIRES(mutex_);
 
   const std::uint64_t uid_;  // never-reused registry identity (ABA-safe
                              // key for the per-thread shard cache)
-  mutable std::mutex mutex_;
-  std::vector<std::string> counter_names_;
-  std::vector<std::string> gauge_names_;
-  std::vector<std::string> histogram_names_;
-  std::vector<std::shared_ptr<Shard>> shards_;
+  // Lock hierarchy: mutex_ is a leaf guarding *structure* only (names,
+  // the shard list); the hot-path values live in the shards' atomics,
+  // which are single-writer relaxed and never touched under the lock
+  // (see DESIGN.md "Concurrency invariants & static analysis").
+  mutable Mutex mutex_;
+  std::vector<std::string> counter_names_ CALIB_GUARDED_BY(mutex_);
+  std::vector<std::string> gauge_names_ CALIB_GUARDED_BY(mutex_);
+  std::vector<std::string> histogram_names_ CALIB_GUARDED_BY(mutex_);
+  std::vector<std::shared_ptr<Shard>> shards_ CALIB_GUARDED_BY(mutex_);
   std::array<std::atomic<std::int64_t>, kMaxGauges> gauges_{};
 };
 

@@ -19,42 +19,49 @@ std::uint64_t now_ns() {
 
 // ---- Phase breadcrumb (sandbox crash forensics) -----------------------
 //
-// Unsynchronized by design: only the single-threaded sandbox child ever
-// installs a sink, and the parent reads the shared page only after
-// reaping the child. Every other process pays one pointer test per span.
+// The sink pointer is a relaxed atomic: every span on every thread
+// tests it, while install/remove happens on one thread (a test, or the
+// sandbox child right after fork) — an atomic makes that publication
+// race-free without ordering cost. The span *stack* behind it stays
+// deliberately unsynchronized: it is only touched once a sink is
+// installed, and the contract (see the header) is that only the
+// single-threaded sandbox child installs one; the parent reads the
+// shared page only after reaping the child.
 namespace {
 
-PhaseBreadcrumb* g_phase_sink = nullptr;
+std::atomic<PhaseBreadcrumb*> g_phase_sink{nullptr};
 std::vector<const char*> g_phase_stack;
 
-void write_phase(const char* name) {
+void write_phase(PhaseBreadcrumb* sink, const char* name) {
   std::size_t i = 0;
   for (; name[i] != '\0' && i + 1 < PhaseBreadcrumb::kCapacity; ++i) {
-    g_phase_sink->phase[i] = name[i];
+    sink->phase[i] = name[i];
   }
-  g_phase_sink->phase[i] = '\0';
+  sink->phase[i] = '\0';
 }
 
 }  // namespace
 
 void set_phase_breadcrumb(PhaseBreadcrumb* sink) {
-  g_phase_sink = sink;
+  g_phase_sink.store(sink, std::memory_order_relaxed);
   g_phase_stack.clear();
-  if (sink != nullptr) write_phase("");
+  if (sink != nullptr) write_phase(sink, "");
 }
 
 namespace detail {
 
 void phase_enter(const char* name) {
-  if (g_phase_sink == nullptr) return;
+  PhaseBreadcrumb* sink = g_phase_sink.load(std::memory_order_relaxed);
+  if (sink == nullptr) return;
   g_phase_stack.push_back(name);
-  write_phase(name);
+  write_phase(sink, name);
 }
 
 void phase_exit() {
-  if (g_phase_sink == nullptr) return;
+  PhaseBreadcrumb* sink = g_phase_sink.load(std::memory_order_relaxed);
+  if (sink == nullptr) return;
   if (!g_phase_stack.empty()) g_phase_stack.pop_back();
-  write_phase(g_phase_stack.empty() ? "" : g_phase_stack.back());
+  write_phase(sink, g_phase_stack.empty() ? "" : g_phase_stack.back());
 }
 
 }  // namespace detail
@@ -97,7 +104,7 @@ TraceCollector::Buffer& TraceCollector::local_buffer() {
   buffer->tid = next_tid_.fetch_add(1);
   Buffer* raw = buffer.get();
   {
-    const std::scoped_lock lock(mutex_);
+    const MutexLock lock(mutex_);
     buffers_.push_back(std::move(buffer));
   }
   std::size_t slot;
@@ -113,14 +120,14 @@ TraceCollector::Buffer& TraceCollector::local_buffer() {
 
 void TraceCollector::set_thread_name(const std::string& name) {
   Buffer& buffer = local_buffer();
-  const std::scoped_lock lock(buffer.mutex);
+  const MutexLock lock(buffer.mutex);
   buffer.name = name;
 }
 
 void TraceCollector::record(TraceEvent event) {
   Buffer& buffer = local_buffer();
   event.tid = buffer.tid;
-  const std::scoped_lock lock(buffer.mutex);
+  const MutexLock lock(buffer.mutex);
   if (buffer.events.size() >= kMaxEventsPerThread) {
     ++buffer.dropped;
     return;
@@ -131,12 +138,12 @@ void TraceCollector::record(TraceEvent event) {
 std::vector<TraceEvent> TraceCollector::events() const {
   std::vector<std::shared_ptr<Buffer>> buffers;
   {
-    const std::scoped_lock lock(mutex_);
+    const MutexLock lock(mutex_);
     buffers = buffers_;
   }
   std::vector<TraceEvent> merged;
   for (const auto& buffer : buffers) {
-    const std::scoped_lock lock(buffer->mutex);
+    const MutexLock lock(buffer->mutex);
     merged.insert(merged.end(), buffer->events.begin(),
                   buffer->events.end());
   }
@@ -153,12 +160,12 @@ std::vector<TraceEvent> TraceCollector::events() const {
 std::uint64_t TraceCollector::dropped() const {
   std::vector<std::shared_ptr<Buffer>> buffers;
   {
-    const std::scoped_lock lock(mutex_);
+    const MutexLock lock(mutex_);
     buffers = buffers_;
   }
   std::uint64_t total = 0;
   for (const auto& buffer : buffers) {
-    const std::scoped_lock lock(buffer->mutex);
+    const MutexLock lock(buffer->mutex);
     total += buffer->dropped;
   }
   return total;
@@ -167,11 +174,11 @@ std::uint64_t TraceCollector::dropped() const {
 void TraceCollector::clear() {
   std::vector<std::shared_ptr<Buffer>> buffers;
   {
-    const std::scoped_lock lock(mutex_);
+    const MutexLock lock(mutex_);
     buffers = buffers_;
   }
   for (const auto& buffer : buffers) {
-    const std::scoped_lock lock(buffer->mutex);
+    const MutexLock lock(buffer->mutex);
     buffer->events.clear();
     buffer->dropped = 0;
   }
@@ -190,12 +197,12 @@ void TraceCollector::write_chrome_trace(std::ostream& os) const {
   // rows "worker-0", "worker-1", ... instead of bare tids.
   std::vector<std::shared_ptr<Buffer>> buffers;
   {
-    const std::scoped_lock lock(mutex_);
+    const MutexLock lock(mutex_);
     buffers = buffers_;
   }
   std::vector<std::pair<std::uint32_t, std::string>> names;
   for (const auto& buffer : buffers) {
-    const std::scoped_lock lock(buffer->mutex);
+    const MutexLock lock(buffer->mutex);
     if (!buffer->name.empty()) names.emplace_back(buffer->tid, buffer->name);
   }
   std::sort(names.begin(), names.end());

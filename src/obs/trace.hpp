@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"  // for the CALIBSCHED_OBS default
+#include "util/sync.hpp"
 
 namespace calib::obs {
 
@@ -103,11 +104,12 @@ class TraceCollector {
 
  private:
   struct Buffer {
-    std::mutex mutex;
-    std::uint32_t tid = 0;
-    std::string name;
-    std::vector<TraceEvent> events;
-    std::uint64_t dropped = 0;
+    calib::Mutex mutex;  // leaf lock; never held while taking mutex_
+    std::uint32_t tid = 0;  // written once before publication, then
+                            // read-only — needs no lock
+    std::string name CALIB_GUARDED_BY(mutex);
+    std::vector<TraceEvent> events CALIB_GUARDED_BY(mutex);
+    std::uint64_t dropped CALIB_GUARDED_BY(mutex) = 0;
   };
 
   [[nodiscard]] Buffer& local_buffer();
@@ -115,8 +117,11 @@ class TraceCollector {
   const std::uint64_t uid_;
   std::atomic<bool> enabled_{false};
   std::atomic<std::uint32_t> next_tid_{0};
-  mutable std::mutex mutex_;
-  std::vector<std::shared_ptr<Buffer>> buffers_;
+  // Lock hierarchy: mutex_ (the buffer list) is acquired first, each
+  // Buffer::mutex second; readers copy the shared_ptr list under mutex_
+  // and only then lock individual buffers.
+  mutable calib::Mutex mutex_;
+  std::vector<std::shared_ptr<Buffer>> buffers_ CALIB_GUARDED_BY(mutex_);
 };
 
 class ScopedSpan {

@@ -6,19 +6,29 @@
 // caller add context via stream syntax.
 #pragma once
 
+#include <cstdio>
 #include <cstdlib>
-#include <iostream>
 #include <sstream>
 #include <string_view>
 
 namespace calib::detail {
 
+// stdio, not iostream: library code must not pull in the iostream
+// static-init machinery (enforced by tools/lint/calib_lint.py), and
+// stderr here must work even mid-teardown, when std::cerr may already
+// be gone.
 [[noreturn]] inline void check_failed(std::string_view expr,
                                       std::string_view file, int line,
                                       std::string_view msg) {
-  std::cerr << "CHECK failed: " << expr << "\n  at " << file << ':' << line;
-  if (!msg.empty()) std::cerr << "\n  " << msg;
-  std::cerr << std::endl;
+  std::fprintf(stderr, "CHECK failed: %.*s\n  at %.*s:%d",
+               static_cast<int>(expr.size()), expr.data(),
+               static_cast<int>(file.size()), file.data(), line);
+  if (!msg.empty()) {
+    std::fprintf(stderr, "\n  %.*s", static_cast<int>(msg.size()),
+                 msg.data());
+  }
+  std::fprintf(stderr, "\n");
+  std::fflush(stderr);
   std::abort();
 }
 

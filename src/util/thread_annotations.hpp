@@ -1,0 +1,57 @@
+// Clang thread-safety-analysis attribute shims.
+//
+// These macros expose Clang's static lock-checking attributes
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html) under stable
+// project-local names. Under Clang with -Wthread-safety (the CI lint
+// gate builds with -Wthread-safety -Werror via CALIBSCHED_THREAD_SAFETY)
+// they make lock discipline a compile error; under GCC and every other
+// compiler they expand to nothing, so the annotated code is identical
+// to the unannotated code everywhere except the analysis build.
+//
+// Annotate with the calib::Mutex / calib::MutexLock / calib::CondVar
+// wrappers from util/sync.hpp — std::mutex itself carries no capability
+// attributes in libstdc++, so the analysis cannot see through it.
+//
+// Naming follows the canonical capability vocabulary:
+//   CALIB_CAPABILITY(x)        class is a lockable capability
+//   CALIB_SCOPED_CAPABILITY    RAII class that acquires/releases one
+//   CALIB_GUARDED_BY(mu)       data member readable/writable only with
+//                              mu held
+//   CALIB_PT_GUARDED_BY(mu)    pointee guarded (pointer itself free)
+//   CALIB_REQUIRES(...)        function must be called with lock held
+//   CALIB_ACQUIRE/RELEASE(...) function takes/drops the lock itself
+//   CALIB_TRY_ACQUIRE(b, ...)  try-lock returning `b` on success
+//   CALIB_EXCLUDES(...)        function must NOT be called with lock
+//                              held (deadlock guard)
+//   CALIB_ACQUIRED_AFTER/BEFORE declare lock-ordering edges
+//   CALIB_RETURN_CAPABILITY(x) accessor returning a reference to x
+//   CALIB_NO_THREAD_SAFETY_ANALYSIS  opt a function out (with a comment
+//                              saying why)
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#define CALIB_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define CALIB_THREAD_ANNOTATION(x)  // no-op off Clang
+#endif
+
+#define CALIB_CAPABILITY(x) CALIB_THREAD_ANNOTATION(capability(x))
+#define CALIB_SCOPED_CAPABILITY CALIB_THREAD_ANNOTATION(scoped_lockable)
+#define CALIB_GUARDED_BY(x) CALIB_THREAD_ANNOTATION(guarded_by(x))
+#define CALIB_PT_GUARDED_BY(x) CALIB_THREAD_ANNOTATION(pt_guarded_by(x))
+#define CALIB_REQUIRES(...) \
+  CALIB_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define CALIB_ACQUIRE(...) \
+  CALIB_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define CALIB_RELEASE(...) \
+  CALIB_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define CALIB_TRY_ACQUIRE(...) \
+  CALIB_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define CALIB_EXCLUDES(...) CALIB_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define CALIB_ACQUIRED_AFTER(...) \
+  CALIB_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define CALIB_ACQUIRED_BEFORE(...) \
+  CALIB_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define CALIB_RETURN_CAPABILITY(x) CALIB_THREAD_ANNOTATION(lock_returned(x))
+#define CALIB_NO_THREAD_SAFETY_ANALYSIS \
+  CALIB_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -45,7 +45,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::scoped_lock lock(mutex_);
+    const MutexLock lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -56,8 +56,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) cv_.wait(lock);
       if (stopping_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop();
@@ -74,7 +74,7 @@ void ThreadPool::parallel_for(std::size_t n,
   // neither aborts its chunk's remaining indices nor hides later
   // failures, so the failure set — and the aggregate message below — is
   // identical at every thread count and chunking.
-  std::mutex errors_mutex;
+  Mutex errors_mutex;
   std::vector<std::pair<std::size_t, std::exception_ptr>> errors;
   std::vector<std::future<void>> futures;
   futures.reserve(chunks);
@@ -86,7 +86,7 @@ void ThreadPool::parallel_for(std::size_t n,
         try {
           body(i);
         } catch (...) {
-          const std::scoped_lock lock(errors_mutex);
+          const MutexLock lock(errors_mutex);
           errors.emplace_back(i, std::current_exception());
         }
       }

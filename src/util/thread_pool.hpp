@@ -10,16 +10,15 @@
 // std::runtime_error carrying the count and each task's message.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
 
 #include "obs/trace.hpp"
+#include "util/sync.hpp"
 
 namespace calib {
 
@@ -45,7 +44,7 @@ class ThreadPool {
     std::future<R> result = task->get_future();
     const std::uint64_t enqueued_ns = obs::now_ns();
     {
-      const std::scoped_lock lock(mutex_);
+      const MutexLock lock(mutex_);
       queue_.emplace([task, enqueued_ns] {
         note_dequeued(obs::now_ns() - enqueued_ns);
         (*task)();
@@ -67,11 +66,13 @@ class ThreadPool {
   static void note_enqueued();
   static void note_dequeued(std::uint64_t wait_ns);
 
-  std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  // Lock hierarchy: mutex_ is a leaf — no code path acquires another
+  // lock while holding it (tasks run after it is released).
+  std::vector<std::thread> workers_;  // written only in ctor/dtor
+  Mutex mutex_;
+  CondVar cv_;
+  std::queue<std::function<void()>> queue_ CALIB_GUARDED_BY(mutex_);
+  bool stopping_ CALIB_GUARDED_BY(mutex_) = false;
 };
 
 /// Process-wide pool for benches/examples that don't want to own one.

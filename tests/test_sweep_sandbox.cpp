@@ -23,19 +23,24 @@
 #include "obs/trace.hpp"
 #include "workload/generators.hpp"
 
-// ASan intercepts SIGSEGV and turns the death into a report + exit(1),
-// so segfault-specific assertions only hold in plain builds. SIGABRT is
-// not intercepted and works everywhere.
+// ASan and TSan install their own SIGSEGV handler and turn the death
+// into a report + plain exit(1), so segfault-specific assertions (the
+// parent seeing "killed by SIGSEGV") only hold in unsanitized builds.
+// SIGABRT is not intercepted and works everywhere. CALIBSCHED_TSAN is
+// the CMake-level definition (CALIBSCHED_SANITIZE=thread); the feature
+// probes cover builds that set -fsanitize directly.
 #if defined(__has_feature)
-#if __has_feature(address_sanitizer)
-#define CALIBSCHED_TEST_ASAN 1
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define CALIBSCHED_TEST_SAN_SEGV 1
 #endif
 #endif
-#if !defined(CALIBSCHED_TEST_ASAN) && defined(__SANITIZE_ADDRESS__)
-#define CALIBSCHED_TEST_ASAN 1
+#if !defined(CALIBSCHED_TEST_SAN_SEGV) && \
+    (defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__) || \
+     defined(CALIBSCHED_TSAN))
+#define CALIBSCHED_TEST_SAN_SEGV 1
 #endif
-#ifndef CALIBSCHED_TEST_ASAN
-#define CALIBSCHED_TEST_ASAN 0
+#ifndef CALIBSCHED_TEST_SAN_SEGV
+#define CALIBSCHED_TEST_SAN_SEGV 0
 #endif
 
 namespace calib {
@@ -219,8 +224,8 @@ TEST(SweepSandbox, InjectedAbortBecomesACrashedRowWithTheSignalName) {
 }
 
 TEST(SweepSandbox, InjectedSegvBecomesACrashedRow) {
-  if (CALIBSCHED_TEST_ASAN) {
-    GTEST_SKIP() << "ASan intercepts SIGSEGV; the child exits instead";
+  if (CALIBSCHED_TEST_SAN_SEGV) {
+    GTEST_SKIP() << "sanitizer intercepts SIGSEGV; the child exits instead";
   }
   SweepOptions options;
   options.sandbox = true;
@@ -357,14 +362,14 @@ TEST(SweepSandbox, MixedFaultSweepCompletesEveryRemainingCell) {
   options.cell_budget_ms = 400.0;
   options.faults.abort_cells = {0};
   options.faults.hang_cells = {5};
-  if (!CALIBSCHED_TEST_ASAN) options.faults.segv_cells = {2};
+  if (!CALIBSCHED_TEST_SAN_SEGV) options.faults.segv_cells = {2};
   const SweepReport report = SweepEngine(tiny_grid()).run(options);
 
   const harness::SweepStatusCounts counts = report.status_counts();
-  EXPECT_EQ(counts.crashed, CALIBSCHED_TEST_ASAN ? 1u : 2u);
+  EXPECT_EQ(counts.crashed, CALIBSCHED_TEST_SAN_SEGV ? 1u : 2u);
   EXPECT_EQ(counts.timeout, 1u);
   EXPECT_EQ(counts.skipped, 0u);
-  EXPECT_EQ(counts.ok, report.rows.size() - (CALIBSCHED_TEST_ASAN ? 2 : 3));
+  EXPECT_EQ(counts.ok, report.rows.size() - (CALIBSCHED_TEST_SAN_SEGV ? 2 : 3));
 
   // Journal: one line per attempted cell (header + rows), each parseable.
   std::ifstream in(path);

@@ -1,0 +1,400 @@
+#!/usr/bin/env python3
+"""calib_lint — repo-specific lint rules a generic tool cannot express.
+
+Driven by the CMake compilation database: the file set is every
+translation unit in compile_commands.json that lives under src/, plus
+every header under src/ (headers do not appear in the database). Rules:
+
+  fork-child-signal-safety
+      The regions of src/harness/sandbox.cpp marked
+      `calib-lint: signal-safe-begin/end` — the code that runs in the
+      forked child between fork() and _exit() — may only call
+      async-signal-safe functions: no heap allocation, no stdio, no
+      locking, no exceptions, no std::string building. The markers
+      themselves are mandatory (removing them is a finding), so the
+      guarantee cannot be silently deleted.
+
+  ipc-magic
+      The 0x43414C42 frame magic must be defined in exactly one header
+      (src/harness/sandbox.hpp); every other occurrence in code must
+      spell kFrameMagic. Two definitions can drift apart; framing bugs
+      between the sandbox pipe and future socket protocols are exactly
+      the silent kind.
+
+  calib-check
+      No raw assert()/<cassert> in src/ — assert vanishes in NDEBUG
+      builds, while CALIB_CHECK (util/check.hpp) stays on in release,
+      which is the project's invariant-checking contract.
+
+  no-iostream
+      Library layers (src/core, src/online, src/util) must not include
+      <iostream>: it drags static-init order dependencies into every
+      consumer and its operators lock around shared streams. The
+      harness/CLI layers, which own process output, are exempt.
+
+  no-naked-new
+      No naked new/delete expressions in src/ — ownership goes through
+      containers and smart pointers. Placement new (e.g. onto the
+      sandbox's MAP_SHARED page) is allowed: it expresses construction
+      at an address, not heap ownership.
+
+Usage:
+  calib_lint.py --compdb build/compile_commands.json   # lint the tree
+  calib_lint.py --files a.cpp b.hpp                    # lint a file set
+Exit status: 0 = clean, 1 = findings, 2 = usage/environment error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+# ---------------------------------------------------------------------------
+# Source model
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments, string literals, and char literals, keeping
+    line structure (newlines survive) so finding line numbers stay true.
+    Lint *markers* live in comments, so callers that need them must look
+    at the raw text; every code-pattern rule runs on the stripped text.
+    """
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":  # line comment
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and nxt == "*":  # block comment
+            j = text.find("*/", i + 2)
+            j = n - 2 if j < 0 else j
+            chunk = text[i : j + 2]
+            out.append("".join(ch if ch == "\n" else " " for ch in chunk))
+            i = j + 2
+        elif c == '"' or c == "'":  # string / char literal
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            out.append(quote + " " * max(0, j - i - 1) + quote)
+            i = j + 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+class Finding:
+    def __init__(self, rule: str, path: Path, line: int, message: str):
+        self.rule = rule
+        self.path = path
+        self.line = line
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def line_of(text: str, offset: int) -> int:
+    return text.count("\n", 0, offset) + 1
+
+
+# ---------------------------------------------------------------------------
+# Rule: fork-child-signal-safety
+
+# Callables that are definitely not async-signal-safe, by family. The
+# check is an identifier denylist rather than an allowlist so ordinary
+# arithmetic/control flow stays unrestricted; every family named here is
+# one the child path historically wanted to use.
+SIGNAL_UNSAFE = {
+    # heap
+    "malloc", "calloc", "realloc", "free", "new", "delete",
+    # stdio / iostream
+    "printf", "fprintf", "sprintf", "snprintf", "puts", "fputs", "fopen",
+    "fclose", "fflush", "fwrite", "fread", "cout", "cerr", "clog",
+    # process teardown that runs handlers
+    "exit", "atexit", "abort",
+    # locking / waiting
+    "mutex", "lock", "unlock", "MutexLock", "scoped_lock", "unique_lock",
+    "condition_variable", "wait",
+    # allocation-happy C++ vocabulary
+    "string", "vector", "make_shared", "make_unique", "to_string",
+    "ostringstream", "stringstream",
+    # exceptions
+    "throw", "try", "catch",
+}
+
+MARKER_BEGIN = "calib-lint: signal-safe-begin"
+MARKER_END = "calib-lint: signal-safe-end"
+SANDBOX_FILE = "src/harness/sandbox.cpp"
+
+IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+
+def check_signal_safety(path: Path, raw: str, rel: str) -> list[Finding]:
+    findings: list[Finding] = []
+    if rel != SANDBOX_FILE:
+        return findings
+    begins = [m.start() for m in re.finditer(re.escape(MARKER_BEGIN), raw)]
+    ends = [m.start() for m in re.finditer(re.escape(MARKER_END), raw)]
+    if not begins or len(begins) != len(ends):
+        findings.append(
+            Finding(
+                "fork-child-signal-safety", path, 1,
+                "sandbox.cpp must carry matched "
+                f"'{MARKER_BEGIN}'/'{MARKER_END}' markers around the "
+                "fork()-to-_exit() child path",
+            )
+        )
+        return findings
+    stripped = strip_comments_and_strings(raw)
+    for begin, end in zip(begins, ends):
+        if end <= begin:
+            findings.append(
+                Finding("fork-child-signal-safety", path, line_of(raw, end),
+                        "signal-safe-end marker precedes its begin marker"))
+            continue
+        region = stripped[begin:end]
+        for m in IDENT_RE.finditer(region):
+            word = m.group(0)
+            if word in SIGNAL_UNSAFE:
+                findings.append(
+                    Finding(
+                        "fork-child-signal-safety", path,
+                        line_of(raw, begin + m.start()),
+                        f"'{word}' is not async-signal-safe; the marked "
+                        "child path may only use write/close/_exit-class "
+                        "calls",
+                    )
+                )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Rule: ipc-magic
+
+MAGIC_RE = re.compile(r"0x43414C42", re.IGNORECASE)
+MAGIC_HEADER = "src/harness/sandbox.hpp"
+
+
+def check_ipc_magic(path: Path, stripped: str, rel: str) -> list[Finding]:
+    findings = []
+    for m in MAGIC_RE.finditer(stripped):
+        if rel != MAGIC_HEADER:
+            findings.append(
+                Finding(
+                    "ipc-magic", path, line_of(stripped, m.start()),
+                    "IPC frame magic 0x43414C42 must be referenced via "
+                    f"kFrameMagic from {MAGIC_HEADER}, not respelled",
+                )
+            )
+    return findings
+
+
+def check_ipc_magic_defined(files: dict[str, str]) -> list[Finding]:
+    header = files.get(MAGIC_HEADER)
+    if header is None:
+        return []
+    count = len(MAGIC_RE.findall(strip_comments_and_strings(header)))
+    if count == 1:
+        return []
+    return [
+        Finding(
+            "ipc-magic", Path(MAGIC_HEADER), 1,
+            f"expected exactly one 0x43414C42 definition in {MAGIC_HEADER}, "
+            f"found {count}",
+        )
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Rule: calib-check
+
+ASSERT_RE = re.compile(r"(?<![A-Za-z0-9_])assert\s*\(")
+CASSERT_RE = re.compile(r'#\s*include\s*[<"](cassert|assert\.h)[>"]')
+
+
+def check_calib_check(path: Path, stripped: str, rel: str) -> list[Finding]:
+    findings = []
+    for m in ASSERT_RE.finditer(stripped):
+        # static_assert is compile-time and fine; the lookbehind already
+        # excludes it via the identifier boundary, but be explicit about
+        # the only sanctioned dynamic form.
+        findings.append(
+            Finding(
+                "calib-check", path, line_of(stripped, m.start()),
+                "raw assert() vanishes under NDEBUG; use CALIB_CHECK / "
+                "CALIB_CHECK_MSG (util/check.hpp)",
+            )
+        )
+    for m in CASSERT_RE.finditer(stripped):
+        findings.append(
+            Finding("calib-check", path, line_of(stripped, m.start()),
+                    "do not include <cassert>; use util/check.hpp"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Rule: no-iostream
+
+IOSTREAM_RE = re.compile(r"#\s*include\s*<iostream>")
+LIBRARY_LAYERS = ("src/core/", "src/online/", "src/util/")
+
+
+def check_no_iostream(path: Path, stripped: str, rel: str) -> list[Finding]:
+    if not rel.startswith(LIBRARY_LAYERS):
+        return []
+    return [
+        Finding(
+            "no-iostream", path, line_of(stripped, m.start()),
+            "library code (src/core, src/online, src/util) must not "
+            "include <iostream>; use <cstdio>, <sstream>, or take an "
+            "std::ostream&",
+        )
+        for m in IOSTREAM_RE.finditer(stripped)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Rule: no-naked-new
+
+# A `new` expression not immediately preceded by an operator-overload
+# context and not placement-new (`new (addr) T`). `delete` expressions
+# including `delete[]`.
+NEW_RE = re.compile(r"(?<![A-Za-z0-9_])new\s+(?!\()")
+PLACEMENT_NEW_RE = re.compile(r"(?<![A-Za-z0-9_])new\s*\(")
+DELETE_RE = re.compile(r"(?<![A-Za-z0-9_])delete(\s*\[\s*\])?\s")
+OPERATOR_RE = re.compile(r"operator\s*$")
+
+
+def check_no_naked_new(path: Path, stripped: str, rel: str) -> list[Finding]:
+    findings = []
+    for m in NEW_RE.finditer(stripped):
+        if OPERATOR_RE.search(stripped, max(0, m.start() - 12), m.start()):
+            continue
+        findings.append(
+            Finding(
+                "no-naked-new", path, line_of(stripped, m.start()),
+                "naked new expression; use std::make_unique / "
+                "std::make_shared / a container (placement new is exempt)",
+            )
+        )
+    for m in DELETE_RE.finditer(stripped):
+        context = stripped[max(0, m.start() - 12):m.start()]
+        if re.search(r"operator\s*$", context):
+            continue
+        if re.search(r"=\s*$", context):  # `= delete;` declarations
+            continue
+        findings.append(
+            Finding("no-naked-new", path, line_of(stripped, m.start()),
+                    "naked delete expression; owners should be RAII types"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Driver
+
+RULES = [
+    check_signal_safety,
+    check_ipc_magic,
+    check_calib_check,
+    check_no_iostream,
+    check_no_naked_new,
+]
+
+
+def collect_files(args: argparse.Namespace, repo: Path) -> list[Path]:
+    if args.files:
+        return [Path(f).resolve() for f in args.files]
+    compdb = Path(args.compdb)
+    if not compdb.is_file():
+        print(
+            f"calib_lint: compilation database not found: {compdb}\n"
+            "  configure first (cmake -B build -S .) — "
+            "CMAKE_EXPORT_COMPILE_COMMANDS is on by default",
+            file=sys.stderr,
+        )
+        sys.exit(2)
+    entries = json.loads(compdb.read_text())
+    files = set()
+    for entry in entries:
+        source = Path(entry["file"])
+        if not source.is_absolute():
+            source = Path(entry["directory"]) / source
+        source = source.resolve()
+        try:
+            rel = source.relative_to(repo)
+        except ValueError:
+            continue
+        if rel.parts[0] == "src":
+            files.add(source)
+    # Headers are not translation units; sweep them from the tree.
+    for header in (repo / "src").rglob("*.hpp"):
+        files.add(header.resolve())
+    return sorted(files)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--compdb", default="build/compile_commands.json",
+                        help="compilation database (default: %(default)s)")
+    parser.add_argument("--files", nargs="*", default=None,
+                        help="explicit file list (bypasses the compdb; "
+                        "used by the fixture tests)")
+    parser.add_argument("--repo", default=None,
+                        help="repository root (default: two dirs up from "
+                        "this script)")
+    args = parser.parse_args()
+
+    repo = Path(args.repo).resolve() if args.repo else \
+        Path(__file__).resolve().parents[2]
+    paths = collect_files(args, repo)
+    if not paths:
+        print("calib_lint: no files to lint", file=sys.stderr)
+        return 2
+
+    contents: dict[str, str] = {}
+    findings: list[Finding] = []
+    for path in paths:
+        try:
+            raw = path.read_text(encoding="utf-8", errors="replace")
+        except OSError as error:
+            print(f"calib_lint: cannot read {path}: {error}", file=sys.stderr)
+            return 2
+        try:
+            rel = str(path.relative_to(repo))
+        except ValueError:
+            rel = path.name  # fixture mode: rules keyed on layout are
+            # matched by basename convention below
+        contents[rel] = raw
+        stripped = strip_comments_and_strings(raw)
+        for rule in RULES:
+            if rule is check_signal_safety:
+                findings.extend(rule(path, raw, rel))
+            else:
+                findings.extend(rule(path, stripped, rel))
+
+    # The single-definition check needs the whole-tree view; it applies
+    # whenever the canonical header is part of the linted set (always in
+    # compdb mode, opt-in for fixtures).
+    findings.extend(check_ipc_magic_defined(contents))
+
+    for finding in sorted(findings, key=lambda f: (str(f.path), f.line)):
+        print(finding)
+    if findings:
+        print(f"calib_lint: {len(findings)} finding(s) in "
+              f"{len(paths)} file(s)", file=sys.stderr)
+        return 1
+    print(f"calib_lint: clean ({len(paths)} files)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,18 @@
+// Known-bad fixture: <iostream> in a library layer (rule no-iostream),
+// a raw assert (rule calib-check), and a naked new/delete pair (rule
+// no-naked-new). The commented-out and string-literal occurrences below
+// must NOT be flagged — the linter strips comments and strings first.
+#include <cassert>   // calib-check finding (include form)
+#include <iostream>  // no-iostream finding
+
+// assert(false) in a comment is fine; so is "new Widget" in a comment.
+const char* kDecoy = "assert(true) new delete #include <iostream>";
+
+int compute(int x) {
+  assert(x > 0);  // calib-check finding (call form)
+  int* box = new int(x);  // no-naked-new finding
+  const int y = *box;
+  delete box;  // no-naked-new finding
+  std::cout << y << '\n';
+  return y;
+}

@@ -1,0 +1,19 @@
+// Known-bad fixture for rule fork-child-signal-safety: the marked child
+// path allocates (std::string, new), uses stdio (fprintf), and locks —
+// each one a distinct finding. Also respells the IPC magic in a .cpp
+// (rule ipc-magic).
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+constexpr std::uint32_t kLocalMagic = 0x43414C42u;  // ipc-magic finding
+
+void child_path(int fd) {
+  // calib-lint: signal-safe-begin
+  std::string message = "hello";           // 'string' finding
+  std::fprintf(stderr, "in child %d", fd); // 'fprintf' finding
+  char* buffer = new char[16];             // 'new' finding
+  delete[] buffer;                         // 'delete' finding
+  // calib-lint: signal-safe-end
+  (void)kLocalMagic;
+}

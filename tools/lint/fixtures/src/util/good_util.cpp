@@ -1,0 +1,27 @@
+// Known-good fixture: everything here is allowed and must produce zero
+// findings — placement new, `= delete` declarations, static_assert,
+// <sstream> (only <iostream> is banned), and the words assert/new in
+// comments and strings.
+#include <memory>
+#include <new>
+#include <sstream>
+
+static_assert(sizeof(int) >= 4, "static_assert is compile-time, allowed");
+
+struct Pinned {
+  Pinned() = default;
+  Pinned(const Pinned&) = delete;
+  Pinned& operator=(const Pinned&) = delete;
+};
+
+void construct_at(void* page) {
+  Pinned* p = new (page) Pinned{};  // placement new: exempt
+  p->~Pinned();
+}
+
+std::string render(int x) {
+  auto owned = std::make_unique<int>(x);  // sanctioned ownership
+  std::ostringstream os;
+  os << "a new beginning, no assert here" << *owned;
+  return os.str();
+}

@@ -1,0 +1,7 @@
+// Known-bad fixture: the canonical header defines the IPC magic twice —
+// exactly the drift the single-definition check exists to catch.
+#pragma once
+#include <cstdint>
+
+inline constexpr std::uint32_t kFrameMagic = 0x43414C42u;
+inline constexpr std::uint32_t kFrameMagicLegacy = 0x43414C42u;

@@ -1,0 +1,4 @@
+// Known-bad fixture: a sandbox.cpp whose signal-safe markers were
+// deleted. The linter must flag the missing markers themselves —
+// otherwise removing the annotation would silently disable the rule.
+void child_path(int fd) { (void)fd; }

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Fixture tests for calib_lint.py.
+
+Each known-bad fixture must trip its rule (detection), the known-good
+fixture must stay silent (precision), and — run from ctest with a
+compilation database — the real tree must be clean (the zero-finding
+gate). Run directly:  python3 tools/lint/test_calib_lint.py
+"""
+
+import subprocess
+import sys
+import unittest
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+LINT = HERE / "calib_lint.py"
+
+
+def run_lint(repo: Path, files: list[Path]):
+    process = subprocess.run(
+        [sys.executable, str(LINT), "--repo", str(repo), "--files",
+         *map(str, files)],
+        capture_output=True, text=True, check=False)
+    return process.returncode, process.stdout, process.stderr
+
+
+class FixtureDetection(unittest.TestCase):
+    def test_signal_safety_and_magic_respelled(self):
+        fixtures = HERE / "fixtures"
+        rc, out, _ = run_lint(fixtures,
+                              [fixtures / "src/harness/sandbox.cpp"])
+        self.assertEqual(rc, 1, out)
+        self.assertIn("[fork-child-signal-safety]", out)
+        self.assertIn("[ipc-magic]", out)
+        for word in ("'string'", "'fprintf'", "'new'", "'delete'"):
+            self.assertIn(word, out, f"missing finding for {word}\n{out}")
+
+    def test_missing_markers_are_a_finding(self):
+        fixtures = HERE / "fixtures_no_markers"
+        rc, out, _ = run_lint(fixtures,
+                              [fixtures / "src/harness/sandbox.cpp"])
+        self.assertEqual(rc, 1, out)
+        self.assertIn("[fork-child-signal-safety]", out)
+        self.assertIn("markers", out)
+
+    def test_duplicate_magic_definition(self):
+        fixtures = HERE / "fixtures_magic"
+        rc, out, _ = run_lint(fixtures,
+                              [fixtures / "src/harness/sandbox.hpp"])
+        self.assertEqual(rc, 1, out)
+        self.assertIn("exactly one 0x43414C42", out)
+
+    def test_core_layer_rules(self):
+        fixtures = HERE / "fixtures"
+        rc, out, _ = run_lint(fixtures, [fixtures / "src/core/bad_core.cpp"])
+        self.assertEqual(rc, 1, out)
+        self.assertIn("[no-iostream]", out)
+        self.assertIn("[calib-check]", out)
+        self.assertIn("[no-naked-new]", out)
+        # Both the include and call forms of assert are caught.
+        self.assertEqual(out.count("[calib-check]"), 2, out)
+        # new + delete are two separate findings.
+        self.assertEqual(out.count("[no-naked-new]"), 2, out)
+
+    def test_comments_and_strings_do_not_count(self):
+        fixtures = HERE / "fixtures"
+        rc, out, _ = run_lint(fixtures, [fixtures / "src/util/good_util.cpp"])
+        self.assertEqual(rc, 0, out)
+        self.assertEqual(out.strip(), "", out)
+
+
+class TreeIsClean(unittest.TestCase):
+    """The real tree must pass with zero findings (compdb mode). Skipped
+    when no compilation database exists (e.g. running the file directly
+    before configuring)."""
+
+    def test_tree_clean(self):
+        repo = HERE.parents[1]
+        compdb = repo / "build" / "compile_commands.json"
+        if not compdb.is_file():
+            self.skipTest("no compile_commands.json; configure first")
+        process = subprocess.run(
+            [sys.executable, str(LINT), "--compdb", str(compdb)],
+            capture_output=True, text=True, check=False)
+        self.assertEqual(process.returncode, 0,
+                         process.stdout + process.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)
