@@ -9,6 +9,7 @@
 #include <benchmark/benchmark.h>
 
 #include <iostream>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "online/alg1_unweighted.hpp"
@@ -55,15 +56,21 @@ BENCHMARK(BM_Alg1Ratio)
 
 struct TablePrinter {
   ~TablePrinter() {
+    const bool small = benchutil::small_mode();
+    const int seeds = small ? 8 : 60;
+    const std::vector<Cost> G_values = small ? std::vector<Cost>{4, 36}
+                                             : std::vector<Cost>{4, 12, 36};
+    const std::vector<Time> T_values = small ? std::vector<Time>{3, 6}
+                                             : std::vector<Time>{3, 6, 12};
     std::cout << "\nE2 / Theorem 3.3 - Algorithm 1 competitive ratio vs "
-                 "exact OPT (60 seeds per cell, bound = 3):\n";
+                 "exact OPT (" << seeds << " seeds per cell, bound = 3):\n";
     Table table({"workload", "G", "T", "policy", "mean", "p95", "max"});
     for (const int family : {0, 1}) {
-      for (const Cost G : {4, 12, 36}) {
-        for (const Time T : {3, 6, 12}) {
+      for (const Cost G : G_values) {
+        for (const Time T : T_values) {
           auto add_row = [&](const char* name, auto make_policy) {
             const Summary summary = benchutil::ensemble(
-                60, [&](std::uint64_t seed) {
+                seeds, [&](std::uint64_t seed) {
                   Prng prng(seed * 2654435761u + static_cast<std::uint64_t>(
                                                      G * 31 + T * 7 +
                                                      family));
@@ -90,6 +97,10 @@ struct TablePrinter {
     table.print(std::cout);
   }
 };
+// Sidecar declared first so it is destroyed last: the snapshot then
+// includes everything the table run recorded. Opt in by exporting
+// CALIBSCHED_METRICS=<dir>.
+const benchutil::MetricsSidecar sidecar("bench_alg1");  // NOLINT(cert-err58-cpp)
 const TablePrinter printer;  // NOLINT(cert-err58-cpp)
 
 }  // namespace

@@ -88,10 +88,14 @@ struct TablePrinter {
     // One workload spec per (weights, T); G is a grid axis, so each
     // instance's DP flow-curve is computed once and reused for all 3 G
     // values.
+    const bool small = benchutil::small_mode();
     harness::SweepGrid grid;
     const std::vector<WeightModel> weight_models{
         WeightModel::kUniform, WeightModel::kZipf, WeightModel::kBimodal};
-    const std::vector<Time> T_values{3, 8};
+    const std::vector<Time> T_values =
+        small ? std::vector<Time>{3} : std::vector<Time>{3, 8};
+    const std::vector<Cost> G_values =
+        small ? std::vector<Cost>{6, 20} : std::vector<Cost>{6, 20, 60};
     for (const WeightModel weights : weight_models) {
       for (const Time T : T_values) {
         harness::WorkloadSpec spec;
@@ -104,9 +108,10 @@ struct TablePrinter {
         grid.workloads.push_back(spec);
       }
     }
+    const int seeds = small ? 6 : 50;
     grid.solvers = {"alg2"};
-    grid.G_values = {6, 20, 60};
-    grid.seeds = 50;
+    grid.G_values = G_values;
+    grid.seeds = seeds;
     grid.base_seed = 40503;
     grid.compare_to_opt = true;
     grid.extra_metric_name = "lemma35_util";
@@ -115,12 +120,13 @@ struct TablePrinter {
         .run(benchutil::sweep_options_from_env("bench_alg2"));
 
     std::cout << "\nE3 / Theorem 3.8 - Algorithm 2 competitive ratio vs "
-                 "exact OPT (50 seeds per cell, bound = 12) and the "
-                 "Lemma 3.5 interval-excess utilization (< 1 required):\n";
+                 "exact OPT (" << seeds << " seeds per cell, bound = "
+                 "12) and the Lemma 3.5 interval-excess utilization (< 1 "
+                 "required):\n";
     Table table({"weights", "G", "T", "ratio mean", "ratio p95",
                  "ratio max", "lemma3.5 max util"});
     for (std::size_t wi = 0; wi < weight_models.size(); ++wi) {
-      for (const Cost G : {6, 20, 60}) {
+      for (const Cost G : G_values) {
         for (std::size_t ti = 0; ti < T_values.size(); ++ti) {
           const std::size_t w = wi * T_values.size() + ti;
           Summary ratios;

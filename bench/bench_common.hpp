@@ -34,6 +34,17 @@ inline harness::SweepOptions sweep_options_from_env(const std::string& tag) {
   return options;
 }
 
+/// CALIBSCHED_BENCH_SMALL=1 switches the headline tables to reduced,
+/// fully deterministic grids (fewer cells, fewer seeds). That is the
+/// mode the committed BENCH_*.json baselines are generated in and the
+/// mode CI's bench-gate regenerates them in: small enough for a CI
+/// budget, deterministic so scripts/bench_compare.py can diff the
+/// non-timing metrics exactly.
+inline bool small_mode() {
+  const char* value = std::getenv("CALIBSCHED_BENCH_SMALL");
+  return value != nullptr && *value != '\0' && *value != '0';
+}
+
 /// Competitive ratio of `policy` on `instance` against the exact
 /// offline optimum (Section 4 DP searched over budgets).
 inline double ratio_vs_opt(const Instance& instance, Cost G,

@@ -9,6 +9,7 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "offline/dp.hpp"
 #include "util/prng.hpp"
 #include "util/stats.hpp"
@@ -61,12 +62,16 @@ BENCHMARK(BM_DpBudgetSweep)->Arg(5)->Arg(15)->Arg(30)->Arg(60)
 
 struct TablePrinter {
   ~TablePrinter() {
+    const std::vector<int> n_values =
+        benchutil::small_mode() ? std::vector<int>{16, 24, 36, 54}
+                                : std::vector<int>{16, 24, 36, 54, 80, 120,
+                                                   180};
     std::cout << "\nE6 / Theorem 4.7 - DP runtime scaling "
                  "(K = n/4, median of 3 runs):\n";
     Table table({"n", "K", "runtime ms", "flow"});
     std::vector<double> xs;
     std::vector<double> ys;
-    for (const int jobs : {16, 24, 36, 54, 80, 120, 180}) {
+    for (const int jobs : n_values) {
       Prng prng(static_cast<std::uint64_t>(jobs) * 31337u);
       const Instance instance = dp_instance(jobs, prng);
       const int budget = std::max(1, jobs / 4);
@@ -94,6 +99,9 @@ struct TablePrinter {
                  "of at most 4.\n";
   }
 };
+// Sidecar declared first so it is destroyed last (snapshot covers the
+// table run). Opt in via CALIBSCHED_METRICS=<dir>.
+const benchutil::MetricsSidecar sidecar("bench_dp_scaling");  // NOLINT(cert-err58-cpp)
 const TablePrinter printer;  // NOLINT(cert-err58-cpp)
 
 }  // namespace

@@ -1,0 +1,177 @@
+// E17 — driver microbenchmark: decision-round throughput vs queue depth.
+//
+// The incremental driver's claim is that one decision round — queue
+// flows, prefix weights, best-job selection — costs O(log n) against
+// maintained state, where the seed (legacy) driver re-sorted and
+// re-scanned the waiting set per query. This bench measures exactly
+// that: steps/second and per-decision latency while `depth` jobs wait,
+// for both backends, at depths up to 10^5. The committed expectation
+// (gated by scripts/bench_compare.py --min) is a >= 10x steps/sec
+// advantage at depth 10^4.
+//
+// Metrics sidecar (CALIBSCHED_METRICS=<dir>): gauges
+//   driver.steps_per_sec.incremental.d<depth>
+//   driver.steps_per_sec.legacy.d<depth>        (when compiled in)
+//   driver.speedup_x100.d<depth>
+// plus the driver's own online.* counters.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "bench_common.hpp"
+#include "obs/metrics.hpp"
+#include "online/alg4_weighted_multi.hpp"
+#include "online/driver.hpp"
+#include "util/timer.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+using namespace calib;
+
+const benchutil::MetricsSidecar sidecar("bench_driver");  // NOLINT
+
+/// A policy whose decide() is one full query round (the three queue
+/// flows, the aggregate weight, the front job) but which never
+/// calibrates or assigns — so the queue depth stays constant and the
+/// bench isolates query cost at a fixed n.
+class QueryRoundPolicy final : public OnlinePolicy {
+ public:
+  void decide(DriverHandle& handle) override {
+    if (handle.waiting_empty()) return;
+    Cost probe = handle.queue_flow_from(handle.now() + 1, QueueOrder::kFifo);
+    probe += handle.queue_flow_from(handle.now() + 1,
+                                    QueueOrder::kHeaviestFirst);
+    probe += handle.queue_flow_from(handle.now() + 1,
+                                    QueueOrder::kLightestFirst);
+    probe += handle.waiting_weight();
+    probe += handle.front(QueueOrder::kHeaviestFirst);
+    benchmark::DoNotOptimize(probe);
+  }
+  [[nodiscard]] const char* name() const override { return "query-round"; }
+};
+
+/// Driver with `depth` jobs waiting at t=0 and no calendar. Weights
+/// cycle so the by-weight structures see real ordering work.
+std::unique_ptr<OnlineDriver> loaded_driver(OnlinePolicy& policy, int depth,
+                                            DriverBackend backend) {
+  auto driver = std::make_unique<OnlineDriver>(/*T=*/8, /*machines=*/4,
+                                               /*G=*/1 << 30, policy, backend);
+  for (int j = 0; j < depth; ++j) {
+    driver->add_job(1 + (j * 7919) % 97);
+  }
+  return driver;
+}
+
+void BM_DecisionStep(benchmark::State& state) {
+  const auto backend = state.range(0) == 0 ? DriverBackend::kIncremental
+                                           : DriverBackend::kLegacy;
+  const int depth = static_cast<int>(state.range(1));
+  QueryRoundPolicy policy;
+  const auto driver = loaded_driver(policy, depth, backend);
+  for (auto _ : state) {
+    driver->step();
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["depth"] = depth;
+}
+
+// Legacy rows exist only while the equivalence window is open.
+#if CALIBSCHED_LEGACY_DRIVER
+BENCHMARK(BM_DecisionStep)
+    ->ArgsProduct({{0, 1}, {100, 1000, 10000, 100000}})
+    ->Unit(benchmark::kMicrosecond);
+#else
+BENCHMARK(BM_DecisionStep)
+    ->ArgsProduct({{0}, {100, 1000, 10000, 100000}})
+    ->Unit(benchmark::kMicrosecond);
+#endif
+
+/// End-to-end run_online throughput on a bursty multi-machine workload:
+/// exercises arrivals, calibrations, assignment, and the event-driven
+/// advance together (items = jobs placed).
+void BM_RunOnline(benchmark::State& state) {
+  const auto backend = state.range(0) == 0 ? DriverBackend::kIncremental
+                                           : DriverBackend::kLegacy;
+  const int jobs = static_cast<int>(state.range(1));
+  Prng prng(20260808);
+  BurstyConfig config;
+  config.burst_probability = 0.08;
+  config.burst_length = 8;
+  config.steps = std::max(64, jobs / 2);
+  const Instance instance =
+      bursty_instance(config, /*T=*/6, /*machines=*/3, prng);
+  for (auto _ : state) {
+    Alg4WeightedMulti policy;
+    const Schedule schedule =
+        run_online(instance, /*G=*/24, policy, nullptr, nullptr, backend);
+    benchmark::DoNotOptimize(schedule.online_cost(instance, 24));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(instance.size()));
+  state.counters["jobs"] = static_cast<double>(instance.size());
+}
+
+#if CALIBSCHED_LEGACY_DRIVER
+BENCHMARK(BM_RunOnline)
+    ->ArgsProduct({{0, 1}, {256, 2048}})
+    ->Unit(benchmark::kMillisecond);
+#else
+BENCHMARK(BM_RunOnline)
+    ->ArgsProduct({{0}, {256, 2048}})
+    ->Unit(benchmark::kMillisecond);
+#endif
+
+/// Measures steps/sec for one backend at one depth with a steady-state
+/// loaded driver (outside google-benchmark so the number lands in the
+/// metrics registry for the bench_compare gate).
+double steps_per_second(DriverBackend backend, int depth) {
+  QueryRoundPolicy policy;
+  const auto driver = loaded_driver(policy, depth, backend);
+  // Warm up one step, then time enough rounds for a stable estimate:
+  // cheap rounds get many iterations, expensive ones fewer.
+  driver->step();
+  const int rounds = std::max(8, 2'000'000 / (depth + 1));
+  const Timer timer;
+  for (int i = 0; i < rounds; ++i) driver->step();
+  const double seconds = timer.millis() / 1000.0;
+  return static_cast<double>(rounds) / std::max(seconds, 1e-9);
+}
+
+/// Computes the committed perf trajectory at exit: steps/sec per depth
+/// per backend, and the incremental/legacy speedup (x100, as an integer
+/// gauge) that scripts/bench_compare.py --min gates on.
+struct SpeedupReporter {
+  ~SpeedupReporter() {
+    std::cout << "\nE17 - decision-round throughput (steps/sec) by queue "
+                 "depth:\n";
+    for (const int depth : {1000, 10000, 100000}) {
+      const double inc = steps_per_second(DriverBackend::kIncremental, depth);
+      const std::string suffix = ".d" + std::to_string(depth);
+      obs::metrics()
+          .gauge("driver.steps_per_sec.incremental" + suffix)
+          .set(static_cast<std::int64_t>(inc));
+      std::cout << "  depth " << depth
+                << ": incremental " << static_cast<std::int64_t>(inc);
+#if CALIBSCHED_LEGACY_DRIVER
+      const double leg = steps_per_second(DriverBackend::kLegacy, depth);
+      obs::metrics()
+          .gauge("driver.steps_per_sec.legacy" + suffix)
+          .set(static_cast<std::int64_t>(leg));
+      obs::metrics()
+          .gauge("driver.speedup_x100" + suffix)
+          .set(static_cast<std::int64_t>(inc / leg * 100.0));
+      std::cout << ", legacy " << static_cast<std::int64_t>(leg)
+                << ", speedup " << inc / leg << "x";
+#endif
+      std::cout << "\n";
+    }
+  }
+};
+const SpeedupReporter reporter;  // NOLINT(cert-err58-cpp)
+
+}  // namespace

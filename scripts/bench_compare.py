@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""bench_compare — diff a fresh metrics sidecar against a committed
+baseline, with tolerance, and gate minimum-performance claims.
+
+The benches write flat-JSON metrics sidecars (CALIBSCHED_METRICS=<dir>,
+see bench/bench_common.hpp). In CALIBSCHED_BENCH_SMALL=1 mode their
+headline tables run reduced, fully deterministic grids, so the
+*non-timing* metrics (work counters: steps, calibrations, DP cells,
+cache hits) must reproduce run to run. This script is the gate:
+
+  bench_compare.py --baseline bench/baselines/BENCH_alg1.json \
+                   --current  /tmp/metrics/bench_alg1.metrics.json
+
+Comparison rules:
+  * Keys matching a timing/nondeterminism pattern (durations, wall
+    clock, queue-depth gauges, pool scheduling, throughput readings)
+    are skipped — they measure the machine, not the code.
+  * Remaining numeric keys must agree within --tolerance (relative).
+  * Keys present on one side only are findings (a silently vanished
+    counter usually means an instrumented path stopped running).
+  * --min KEY=VALUE asserts current[KEY] >= VALUE — the committed perf
+    trajectory (e.g. the driver speedup gauge) is enforced here.
+
+Exit status: 0 = within tolerance and all --min gates hold, 1 =
+regression/drift, 2 = usage error (missing files, bad keys).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+# Metrics whose values depend on wall clock, machine speed, or thread
+# scheduling rather than on the code path taken. Matched as substrings
+# of the (dotted) metric name.
+NONDETERMINISTIC_PATTERNS = [
+    r"_ns(\.|$)",        # nanosecond histograms (decide_ns, span_ns, ...)
+    r"_us(\.|$)",
+    r"_ms(\.|$)",
+    r"seconds",
+    r"wall",
+    r"wait",             # queue waits depend on pool scheduling
+    r"queue_depth",      # gauge sampled mid-flight
+    r"steps_per_sec",    # throughput readings (gated via --min instead)
+    r"speedup",          # ditto
+    r"dp_cache",         # cross-thread eviction order varies
+    r"pool\.",           # thread-pool internals
+]
+NONDETERMINISTIC_RE = re.compile("|".join(NONDETERMINISTIC_PATTERNS))
+
+
+def load_flat(path: Path) -> dict[str, float]:
+    try:
+        data = json.loads(path.read_text())
+    except OSError as error:
+        print(f"bench_compare: cannot read {path}: {error}", file=sys.stderr)
+        sys.exit(2)
+    except json.JSONDecodeError as error:
+        print(f"bench_compare: {path} is not JSON: {error}", file=sys.stderr)
+        sys.exit(2)
+    if not isinstance(data, dict):
+        print(f"bench_compare: {path} must hold one flat JSON object",
+              file=sys.stderr)
+        sys.exit(2)
+    flat: dict[str, float] = {}
+    for key, value in data.items():
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            flat[key] = float(value)
+    return flat
+
+
+def relative_delta(old: float, new: float) -> float:
+    if old == new:
+        return 0.0
+    scale = max(abs(old), abs(new), 1.0)
+    return abs(new - old) / scale
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--baseline", required=True, type=Path,
+                        help="committed BENCH_*.json baseline")
+    parser.add_argument("--current", required=True, type=Path,
+                        help="freshly generated *.metrics.json sidecar")
+    parser.add_argument("--tolerance", type=float, default=0.0,
+                        help="allowed relative drift for compared keys "
+                        "(default %(default)s — exact match)")
+    parser.add_argument("--min", action="append", default=[],
+                        metavar="KEY=VALUE", dest="minimums",
+                        help="require current[KEY] >= VALUE; repeatable "
+                        "(perf-trajectory gates)")
+    parser.add_argument("--allow-missing", action="store_true",
+                        help="do not fail on keys present in only one file "
+                        "(for transitional metric renames)")
+    args = parser.parse_args()
+
+    baseline = load_flat(args.baseline)
+    current = load_flat(args.current)
+
+    failures: list[str] = []
+    compared = 0
+    skipped = 0
+    for key in sorted(set(baseline) | set(current)):
+        if NONDETERMINISTIC_RE.search(key):
+            skipped += 1
+            continue
+        if key not in current:
+            if not args.allow_missing:
+                failures.append(f"{key}: present in baseline, missing from "
+                                "current run")
+            continue
+        if key not in baseline:
+            if not args.allow_missing:
+                failures.append(f"{key}: new metric not in baseline "
+                                "(regenerate the baseline to adopt it)")
+            continue
+        compared += 1
+        delta = relative_delta(baseline[key], current[key])
+        if delta > args.tolerance:
+            failures.append(
+                f"{key}: baseline {baseline[key]:g} vs current "
+                f"{current[key]:g} (drift {delta:.2%} > "
+                f"{args.tolerance:.2%})")
+
+    for gate in args.minimums:
+        key, sep, value_text = gate.partition("=")
+        if not sep:
+            print(f"bench_compare: --min needs KEY=VALUE, got '{gate}'",
+                  file=sys.stderr)
+            return 2
+        try:
+            threshold = float(value_text)
+        except ValueError:
+            print(f"bench_compare: --min value not numeric: '{gate}'",
+                  file=sys.stderr)
+            return 2
+        actual = current.get(key)
+        if actual is None:
+            failures.append(f"--min {key}: metric absent from current run")
+        elif actual < threshold:
+            failures.append(f"--min {key}: {actual:g} < required "
+                            f"{threshold:g}")
+
+    for failure in failures:
+        print(f"bench_compare: {failure}")
+    status = "FAIL" if failures else "OK"
+    print(f"bench_compare: {status} — {compared} compared, {skipped} "
+          f"timing keys skipped, {len(args.minimums)} min-gate(s), "
+          f"{len(failures)} failure(s)", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

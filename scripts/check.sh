@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # The tier-1 verify line: configure, build everything, run the full test
-# suite, then the three static-analysis gates (calib_lint, Clang
-# -Wthread-safety, clang-tidy).
+# suite, then the static-analysis gates (calib_lint, Clang
+# -Wthread-safety, clang-tidy) and the bench-baseline gate.
 #
 # Sanitizers (separate build trees so they never poison the regular one):
 #   SANITIZE=1       ASan + UBSan            (build-asan)
@@ -65,7 +65,36 @@ else
        "runs in the lint CI job)"
 fi
 
-# Gate 3: clang-tidy with the pinned .clang-tidy config, over every
+# Gate 3: bench baselines — regenerate the deterministic small-mode
+# sidecars (CALIBSCHED_BENCH_SMALL=1, BM_* timing loops filtered out)
+# and diff them against the committed bench/baselines/BENCH_* files,
+# including the bench_driver incremental-vs-legacy speedup floor.
+# Skipped in sanitized trees: the counters would match, but the legacy
+# driver's O(n log n) steps at depth 1e5 are unusably slow under ASan.
+if [ "${SANITIZE:-0}" = "0" ] && [ -x "$BUILD/bench/bench_driver" ]; then
+  echo "== gate: bench baselines =="
+  BENCH_OUT="$(mktemp -d)"
+  trap 'rm -f "$BUILD_LOG"; rm -rf "$BENCH_OUT"' EXIT
+  for b in alg1 alg2 dp_scaling driver; do
+    CALIBSCHED_BENCH_SMALL=1 CALIBSCHED_METRICS="$BENCH_OUT" \
+      "$BUILD/bench/bench_$b" --benchmark_filter=DISABLED_none \
+      > "$BENCH_OUT/$b.out" 2>&1
+  done
+  for b in alg1 alg2 dp_scaling; do
+    python3 scripts/bench_compare.py \
+      --baseline "bench/baselines/BENCH_$b.json" \
+      --current "$BENCH_OUT/bench_$b.metrics.json" --tolerance 0.05
+  done
+  python3 scripts/bench_compare.py \
+    --baseline bench/baselines/BENCH_driver.json \
+    --current "$BENCH_OUT/bench_driver.metrics.json" --tolerance 0.05 \
+    --min driver.speedup_x100.d10000=1000
+else
+  echo "== gate: bench baselines == SKIPPED (sanitized build or benches" \
+       "not built; runs in the bench-gate CI job)"
+fi
+
+# Gate 4: clang-tidy with the pinned .clang-tidy config, over every
 # translation unit in the compilation database.
 CLANG_TIDY="${CLANG_TIDY:-$(command -v clang-tidy || true)}"
 RUN_CLANG_TIDY="${RUN_CLANG_TIDY:-$(command -v run-clang-tidy || true)}"

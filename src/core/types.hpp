@@ -18,6 +18,17 @@ using MachineId = std::int32_t;
 /// Sentinel for "not scheduled" job times.
 inline constexpr Time kUnscheduled = -1;
 
+/// Which waiting job runs first — the queue order the driver's automatic
+/// assignment and the hypothetical drain flows are parameterized by.
+/// Fundamental vocabulary: the online policies request it, and the
+/// order-statistics structures underneath (util/pending_set.hpp) index
+/// the waiting set per order.
+enum class QueueOrder {
+  kFifo,           ///< earliest release first (Algorithms 1 and 3)
+  kHeaviestFirst,  ///< Observation 2.1's optimal order (Algorithm 2)
+  kLightestFirst,  ///< Algorithm 2's literal line 13 (ablation only)
+};
+
 /// A unit-length job: released at `release`, contributes
 /// weight * (start + 1 - release) to the objective when started at
 /// `start >= release`.

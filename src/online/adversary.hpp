@@ -25,7 +25,10 @@ struct AdversaryOutcome {
 };
 
 /// Run the adversary against `policy` with parameters (G, T), P = 1.
-AdversaryOutcome run_lower_bound_adversary(OnlinePolicy& policy, Cost G,
-                                           Time T);
+/// `backend` exists for test_driver_equiv (byte-identical adversary
+/// branches across driver backends); production callers use the default.
+AdversaryOutcome run_lower_bound_adversary(
+    OnlinePolicy& policy, Cost G, Time T,
+    DriverBackend backend = DriverBackend::kIncremental);
 
 }  // namespace calib

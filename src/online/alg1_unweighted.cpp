@@ -9,14 +9,14 @@ void Alg1Unweighted::decide(DriverHandle& handle) {
                   "Algorithm 1 is a single-machine policy");
   const Time t = handle.now();
   if (handle.calibrated(0, t)) return;  // line 6
-  if (handle.waiting().empty()) return;
+  if (handle.waiting_empty()) return;
 
   const Cost G = handle.G();
   const Time T = handle.T();
   // line 7: flow if all waiting jobs ran back-to-back from t+1.
   const Cost f = handle.queue_flow_from(t + 1, QueueOrder::kFifo);
   // line 8: |Q| >= G/T (integer-exact: |Q| * T >= G) or f >= G.
-  const auto queue_size = static_cast<Cost>(handle.waiting().size());
+  const auto queue_size = static_cast<Cost>(handle.waiting_count());
   if (queue_size * T >= G || f >= G) {
     handle.calibrate();  // line 9
     return;

@@ -9,7 +9,7 @@ void Alg2Weighted::decide(DriverHandle& handle) {
                   "Algorithm 2 is a single-machine policy");
   const Time t = handle.now();
   if (handle.calibrated(0, t)) return;  // line 6
-  if (handle.waiting().empty()) return;
+  if (handle.waiting_empty()) return;
 
   const Cost G = handle.G();
   const Time T = handle.T();
@@ -19,7 +19,7 @@ void Alg2Weighted::decide(DriverHandle& handle) {
   // |Q| >= T, or f >= G. (|Q| can only reach T exactly on one machine
   // with distinct releases; >= is the safe reading.)
   const Weight queue_weight = handle.waiting_weight();
-  const auto queue_size = static_cast<Time>(handle.waiting().size());
+  const auto queue_size = static_cast<Time>(handle.waiting_count());
   if (queue_weight * T >= G || queue_size >= T || f >= G) {
     handle.calibrate();  // line 9
   }

@@ -18,16 +18,16 @@ void Alg3Multi::decide(DriverHandle& handle) {
 
   // Steps 10-14.
   for (;;) {
-    if (handle.waiting().empty()) return;
+    if (handle.waiting_empty()) return;
     const Cost f = handle.queue_flow_from(t + 1, QueueOrder::kFifo);
-    const auto queue_size = static_cast<Cost>(handle.waiting().size());
+    const auto queue_size = static_cast<Cost>(handle.waiting_count());
     if (!(queue_size * static_cast<Cost>(T) >= G || f >= G)) return;
     const MachineId m = handle.calibrate();  // step 12, round-robin
     // Step 13: commit up to `quota` queued jobs, release order, into the
     // earliest free slots of the new interval [t, t + T).
-    for (Time placed = 0; placed < quota && !handle.waiting().empty();
+    for (Time placed = 0; placed < quota && !handle.waiting_empty();
          ++placed) {
-      const JobId j = handle.waiting().front();
+      const JobId j = handle.front(QueueOrder::kFifo);
       const Time slot = handle.first_free_slot(m, t, t + T);
       if (slot == kUnscheduled) break;  // interval full (overlapping cals)
       handle.assign(j, m, slot);

@@ -3,7 +3,7 @@
 namespace calib {
 
 void Alg4WeightedMulti::decide(DriverHandle& handle) {
-  if (handle.waiting().empty()) return;
+  if (handle.waiting_empty()) return;
   const Time t = handle.now();
   const Cost G = handle.G();
   const Time T = handle.T();
@@ -12,7 +12,7 @@ void Alg4WeightedMulti::decide(DriverHandle& handle) {
   // queue pressure is genuine).
   const Cost f = handle.queue_flow_from(t + 1, QueueOrder::kHeaviestFirst);
   const Weight queue_weight = handle.waiting_weight();
-  const auto queue_size = static_cast<Time>(handle.waiting().size());
+  const auto queue_size = static_cast<Time>(handle.waiting_count());
   if (queue_weight * T >= G || queue_size >= T || f >= G) {
     handle.calibrate();
   }

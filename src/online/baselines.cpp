@@ -20,7 +20,7 @@ int uncalibrated_machines(const DriverHandle& handle) {
 
 void EagerPolicy::decide(DriverHandle& handle) {
   // Calibrate until every waiting job can start this very step.
-  auto waiting = static_cast<int>(handle.waiting().size());
+  auto waiting = static_cast<int>(handle.waiting_count());
   int calibrated_free = handle.machines() - uncalibrated_machines(handle);
   while (waiting > calibrated_free && calibrated_free < handle.machines()) {
     handle.calibrate();
@@ -29,7 +29,7 @@ void EagerPolicy::decide(DriverHandle& handle) {
 }
 
 void SkiRentalPolicy::decide(DriverHandle& handle) {
-  if (handle.waiting().empty()) return;
+  if (handle.waiting_empty()) return;
   // Rent (wait) until the queue's hypothetical flow pays for a buy
   // (one calibration); no count trigger, no immediate calibrations.
   for (MachineId m = 0; m < handle.machines(); ++m) {
@@ -45,7 +45,7 @@ PeriodicPolicy::PeriodicPolicy(Time period) : period_(period) {
 }
 
 void PeriodicPolicy::decide(DriverHandle& handle) {
-  if (handle.waiting().empty()) return;
+  if (handle.waiting_empty()) return;
   if (handle.now() % period_ != 0) return;
   for (MachineId m = 0; m < handle.machines(); ++m) {
     if (!handle.calibrated(m, handle.now())) {

@@ -16,21 +16,26 @@ Time DriverHandle::now() const { return driver_.now(); }
 Cost DriverHandle::G() const { return driver_.G(); }
 Time DriverHandle::T() const { return driver_.T(); }
 int DriverHandle::machines() const { return driver_.machines(); }
-const std::vector<JobId>& DriverHandle::waiting() const {
-  return driver_.waiting();
+std::size_t DriverHandle::waiting_count() const {
+  return driver_.waiting_count();
+}
+bool DriverHandle::waiting_empty() const { return driver_.waiting_empty(); }
+Weight DriverHandle::waiting_weight() const {
+  return driver_.waiting_weight();
+}
+JobId DriverHandle::waiting_at(std::size_t rank) const {
+  return driver_.waiting_at(rank);
+}
+JobId DriverHandle::front(QueueOrder order) const {
+  return driver_.front(order);
 }
 const Job& DriverHandle::job(JobId j) const {
   return driver_.jobs()[static_cast<std::size_t>(j)];
 }
-Weight DriverHandle::waiting_weight() const {
-  Weight sum = 0;
-  for (const JobId j : driver_.waiting()) sum += job(j).weight;
-  return sum;
-}
 bool DriverHandle::arrived_now() const { return driver_.arrived_now(); }
 const Calendar& DriverHandle::calendar() const { return driver_.calendar(); }
 bool DriverHandle::calibrated(MachineId m, Time t) const {
-  return driver_.calendar().covers(m, t);
+  return driver_.covers(m, t);
 }
 Cost DriverHandle::queue_flow_from(Time start, QueueOrder order) const {
   return driver_.queue_flow_from(start, order);
@@ -49,10 +54,16 @@ Time DriverHandle::first_free_slot(MachineId m, Time from, Time to) const {
 // ---- OnlineDriver ------------------------------------------------------
 
 OnlineDriver::OnlineDriver(Time T, int machines, Cost G,
-                           OnlinePolicy& policy)
-    : policy_(policy), G_(G), calendar_(T, machines) {
+                           OnlinePolicy& policy, DriverBackend backend)
+    : policy_(policy), G_(G), calendar_(T, machines), backend_(backend) {
   CALIB_CHECK(G >= 1);
+#if !CALIBSCHED_LEGACY_DRIVER
+  CALIB_CHECK_MSG(backend_ == DriverBackend::kIncremental,
+                  "legacy driver backend compiled out "
+                  "(CALIBSCHED_LEGACY_DRIVER=OFF)");
+#endif
   occupied_.resize(static_cast<std::size_t>(machines));
+  coverage_.resize(static_cast<std::size_t>(machines));
   policy_.reset();
 }
 
@@ -61,7 +72,10 @@ JobId OnlineDriver::add_job(Weight weight) {
   const auto j = static_cast<JobId>(jobs_.size());
   jobs_.push_back(Job{now_, weight});
   placements_.emplace_back();
+  pending_.insert(j, weight, now_);
+#if CALIBSCHED_LEGACY_DRIVER
   waiting_.push_back(j);
+#endif
   arrived_now_ = true;
   if (trace_ != nullptr) trace_->record_arrival(now_, j, weight);
   return j;
@@ -78,51 +92,89 @@ MachineId OnlineDriver::machine_of(JobId j) const {
 }
 
 bool OnlineDriver::all_placed() const {
-  return waiting_.empty() &&
-         std::all_of(placements_.begin(), placements_.end(),
-                     [](const Placement& p) { return p.start != kUnscheduled; });
+#if CALIBSCHED_LEGACY_DRIVER
+  if (backend_ == DriverBackend::kLegacy) {
+    return waiting_.empty() &&
+           std::all_of(placements_.begin(), placements_.end(),
+                       [](const Placement& p) {
+                         return p.start != kUnscheduled;
+                       });
+  }
+#endif
+  return placed_count_ == jobs_.size();
+}
+
+std::size_t OnlineDriver::waiting_count() const { return pending_.size(); }
+
+Weight OnlineDriver::waiting_weight() const {
+  return pending_.total_weight();
+}
+
+JobId OnlineDriver::waiting_at(std::size_t rank) const {
+#if CALIBSCHED_LEGACY_DRIVER
+  if (backend_ == DriverBackend::kLegacy) return waiting_[rank];
+#endif
+  return pending_.at(rank);
+}
+
+JobId OnlineDriver::front(QueueOrder order) const {
+#if CALIBSCHED_LEGACY_DRIVER
+  if (backend_ == DriverBackend::kLegacy) {
+    // Seed selection: stable scan of the arrival-ordered vector.
+    CALIB_CHECK(!waiting_.empty());
+    std::size_t best = 0;
+    if (order != QueueOrder::kFifo) {
+      for (std::size_t i = 1; i < waiting_.size(); ++i) {
+        const Weight wi = jobs_[static_cast<std::size_t>(waiting_[i])].weight;
+        const Weight wb =
+            jobs_[static_cast<std::size_t>(waiting_[best])].weight;
+        const bool better =
+            order == QueueOrder::kHeaviestFirst ? wi > wb : wi < wb;
+        if (better) best = i;
+      }
+    }
+    return waiting_[best];
+  }
+#endif
+  return pending_.first(order);
+}
+
+bool OnlineDriver::covers(MachineId m, Time t) const {
+  const auto& runs = coverage_[static_cast<std::size_t>(m)];
+  const auto it = std::upper_bound(
+      runs.begin(), runs.end(), t,
+      [](Time value, const CoverageRun& run) { return value < run.end; });
+  return it != runs.end() && it->begin <= t;
 }
 
 Cost OnlineDriver::queue_flow_from(Time start, QueueOrder order) const {
-  std::vector<JobId> queue = waiting_;
-  switch (order) {
-    case QueueOrder::kFifo:
-      break;  // waiting_ is already in release order
-    case QueueOrder::kHeaviestFirst:
-      std::stable_sort(queue.begin(), queue.end(), [&](JobId a, JobId b) {
-        return jobs_[static_cast<std::size_t>(a)].weight >
-               jobs_[static_cast<std::size_t>(b)].weight;
-      });
-      break;
-    case QueueOrder::kLightestFirst:
-      std::stable_sort(queue.begin(), queue.end(), [&](JobId a, JobId b) {
-        return jobs_[static_cast<std::size_t>(a)].weight <
-               jobs_[static_cast<std::size_t>(b)].weight;
-      });
-      break;
+#if CALIBSCHED_LEGACY_DRIVER
+  if (backend_ == DriverBackend::kLegacy) {
+    return legacy_queue_flow_from(start, order);
   }
+#endif
+  return pending_.queue_flow_from(start, order);
+}
+
+Cost OnlineDriver::interval_flow(MachineId m, Time start) const {
+  const auto& occ = occupied_[static_cast<std::size_t>(m)];
+  auto it = std::lower_bound(
+      occ.begin(), occ.end(), start,
+      [](const OccupiedSlot& slot, Time value) { return slot.start < value; });
   Cost flow = 0;
-  Time t = start;
-  for (const JobId j : queue) {
-    const Job& job = jobs_[static_cast<std::size_t>(j)];
-    flow += job.weight * (t + 1 - job.release);
-    ++t;
+  for (; it != occ.end() && it->start < start + T(); ++it) {
+    const Job& job = jobs_[static_cast<std::size_t>(it->job)];
+    flow += job.weight * (it->start + 1 - job.release);
   }
   return flow;
 }
 
 Cost OnlineDriver::last_interval_flow() const {
+#if CALIBSCHED_LEGACY_DRIVER
+  if (backend_ == DriverBackend::kLegacy) return legacy_last_interval_flow();
+#endif
   if (last_cal_start_ == kUnscheduled) return -1;
-  Cost flow = 0;
-  for (JobId j = 0; static_cast<std::size_t>(j) < jobs_.size(); ++j) {
-    const Placement& p = placements_[static_cast<std::size_t>(j)];
-    if (p.start == kUnscheduled || p.machine != last_cal_machine_) continue;
-    if (p.start >= last_cal_start_ && p.start < last_cal_start_ + T()) {
-      flow += jobs_[static_cast<std::size_t>(j)].weight *
-              (p.start + 1 - jobs_[static_cast<std::size_t>(j)].release);
-    }
-  }
-  return flow;
+  return last_cal_flow_;
 }
 
 MachineId OnlineDriver::calibrate_round_robin() {
@@ -133,10 +185,29 @@ MachineId OnlineDriver::calibrate_round_robin() {
   next_rr_machine_ = static_cast<MachineId>((next_rr_machine_ + 1) %
                                             calendar_.machines());
   calendar_.add(m, now_);
+  // Calibrations only open at now_, so coverage merging happens at the
+  // back and the run list stays sorted.
+  auto& runs = coverage_[static_cast<std::size_t>(m)];
+  if (!runs.empty() && now_ <= runs.back().end) {
+    runs.back().end = std::max(runs.back().end, now_ + T());
+  } else {
+    runs.push_back(CoverageRun{now_, now_ + T()});
+  }
   last_cal_start_ = now_;
   last_cal_machine_ = m;
+  // Overlapping calibrations may already have booked slots in the new
+  // interval; re-aggregate once per calibration (O(slots in interval)).
+  last_cal_flow_ = interval_flow(m, now_);
   if (trace_ != nullptr) trace_->record_calibration(now_, m);
   return m;
+}
+
+bool OnlineDriver::occupied_at(MachineId m, Time t) const {
+  const auto& occ = occupied_[static_cast<std::size_t>(m)];
+  const auto it = std::lower_bound(
+      occ.begin(), occ.end(), t,
+      [](const OccupiedSlot& slot, Time value) { return slot.start < value; });
+  return it != occ.end() && it->start == t;
 }
 
 void OnlineDriver::assign(JobId j, MachineId m, Time start) {
@@ -147,50 +218,72 @@ void OnlineDriver::assign(JobId j, MachineId m, Time start) {
   CALIB_CHECK_MSG(start >= jobs_[static_cast<std::size_t>(j)].release,
                   "job " << j << " assigned before release");
   CALIB_CHECK_MSG(start >= now_, "cannot assign into the past");
-  CALIB_CHECK_MSG(calendar_.covers(m, start),
+  CALIB_CHECK_MSG(covers(m, start),
                   "slot (m" << m << ", t=" << start << ") is not calibrated");
   auto& occ = occupied_[static_cast<std::size_t>(m)];
-  auto it = std::lower_bound(occ.begin(), occ.end(), start);
-  CALIB_CHECK_MSG(it == occ.end() || *it != start,
+  auto it = std::lower_bound(
+      occ.begin(), occ.end(), start,
+      [](const OccupiedSlot& slot, Time value) { return slot.start < value; });
+  CALIB_CHECK_MSG(it == occ.end() || it->start != start,
                   "slot (m" << m << ", t=" << start << ") already occupied");
-  occ.insert(it, start);
+  occ.insert(it, OccupiedSlot{start, j});
   placements_[static_cast<std::size_t>(j)] = Placement{start, m};
+  const Job& job = jobs_[static_cast<std::size_t>(j)];
+  ++placed_count_;
+  placed_flow_ += job.weight * (start + 1 - job.release);
+  if (last_cal_start_ != kUnscheduled && m == last_cal_machine_ &&
+      start >= last_cal_start_ && start < last_cal_start_ + T()) {
+    last_cal_flow_ += job.weight * (start + 1 - job.release);
+  }
+  pending_.erase(j);
+#if CALIBSCHED_LEGACY_DRIVER
   waiting_.erase(std::find(waiting_.begin(), waiting_.end(), j));
+#endif
   if (trace_ != nullptr) trace_->record_placement(now_, j, m, start);
 }
 
 Time OnlineDriver::first_free_slot(MachineId m, Time from, Time to) const {
+#if CALIBSCHED_LEGACY_DRIVER
+  if (backend_ == DriverBackend::kLegacy) {
+    return legacy_first_free_slot(m, from, to);
+  }
+#endif
+  const auto& runs = coverage_[static_cast<std::size_t>(m)];
   const auto& occ = occupied_[static_cast<std::size_t>(m)];
-  for (Time t = from; t < to; ++t) {
-    if (!calendar_.covers(m, t)) continue;
-    if (!std::binary_search(occ.begin(), occ.end(), t)) return t;
+  auto run = std::upper_bound(
+      runs.begin(), runs.end(), from,
+      [](Time value, const CoverageRun& r) { return value < r.end; });
+  for (; run != runs.end() && run->begin < to; ++run) {
+    Time t = std::max(from, run->begin);
+    const Time end = std::min(run->end, to);
+    auto it = std::lower_bound(occ.begin(), occ.end(), t,
+                               [](const OccupiedSlot& slot, Time value) {
+                                 return slot.start < value;
+                               });
+    // Booked slots are sorted: walk the contiguous booked prefix, and
+    // the first hole (or the first step past the bookings) is free.
+    while (t < end && it != occ.end() && it->start == t) {
+      ++t;
+      ++it;
+    }
+    if (t < end) return t;
   }
   return kUnscheduled;
 }
 
 void OnlineDriver::auto_assign() {
+#if CALIBSCHED_LEGACY_DRIVER
+  if (backend_ == DriverBackend::kLegacy) {
+    legacy_auto_assign();
+    return;
+  }
+#endif
   // Observation 2.1 step 3: every calibrated, free machine takes the
   // best waiting job per the policy's order.
-  for (MachineId m = 0; m < calendar_.machines() && !waiting_.empty(); ++m) {
-    if (!calendar_.covers(m, now_)) continue;
-    const auto& occ = occupied_[static_cast<std::size_t>(m)];
-    if (std::binary_search(occ.begin(), occ.end(), now_)) continue;
-    // Pick per order; waiting_ is ascending release (and arrival) order,
-    // so stable selection gives the documented tie-breaks.
-    std::size_t best = 0;
-    if (policy_.order() != QueueOrder::kFifo) {
-      for (std::size_t i = 1; i < waiting_.size(); ++i) {
-        const Weight wi =
-            jobs_[static_cast<std::size_t>(waiting_[i])].weight;
-        const Weight wb =
-            jobs_[static_cast<std::size_t>(waiting_[best])].weight;
-        const bool better = policy_.order() == QueueOrder::kHeaviestFirst
-                                ? wi > wb
-                                : wi < wb;
-        if (better) best = i;
-      }
-    }
-    assign(waiting_[best], m, now_);
+  for (MachineId m = 0; m < calendar_.machines() && !pending_.empty(); ++m) {
+    if (!covers(m, now_)) continue;
+    if (occupied_at(m, now_)) continue;
+    assign(pending_.first(policy_.order()), m, now_);
   }
 }
 
@@ -202,7 +295,7 @@ void OnlineDriver::step() {
       obs::metrics().histogram("online.decide_ns");
   if (budget_ != nullptr) budget_->charge();
   steps.add();
-  const std::size_t waiting_before = waiting_.size();
+  const std::size_t waiting_before = waiting_count();
   const int calibrations_before = calendar_.count();
   DriverHandle handle(*this);
   if (policy_.assign_before_decide()) auto_assign();
@@ -212,12 +305,32 @@ void OnlineDriver::step() {
   if (policy_.assign_after_decide()) auto_assign();
   // A step that had work queued but neither placed a job nor opened a
   // calibration is idle time the policy chose (or was forced) to eat.
-  if (!waiting_.empty() && waiting_.size() == waiting_before &&
+  if (!waiting_empty() && waiting_count() == waiting_before &&
       calendar_.count() == calibrations_before) {
     idle_steps.add();
   }
   arrived_now_ = false;
   ++now_;
+}
+
+void OnlineDriver::advance_to(Time target) {
+  static const obs::Counter advances =
+      obs::metrics().counter("online.advances");
+  static const obs::Counter skipped =
+      obs::metrics().counter("online.skipped_steps");
+  CALIB_CHECK_MSG(target >= now_, "advance_to cannot move time backwards");
+  CALIB_CHECK_MSG(waiting_empty(),
+                  "advance_to with waiting jobs would skip decision points");
+  if (target == now_) return;
+  // Budget accounting matches per-step ticking: one unit per skipped
+  // step, so deterministic step budgets mean the same thing either way.
+  if (budget_ != nullptr) {
+    budget_->charge(static_cast<std::uint64_t>(target - now_));
+  }
+  advances.add();
+  skipped.add(static_cast<std::uint64_t>(target - now_));
+  arrived_now_ = false;
+  now_ = target;
 }
 
 void OnlineDriver::drain() {
@@ -258,19 +371,97 @@ Schedule OnlineDriver::realized_schedule() const {
 }
 
 Cost OnlineDriver::online_cost() const {
-  Cost flow = 0;
-  for (std::size_t j = 0; j < jobs_.size(); ++j) {
-    const Placement& p = placements_[j];
-    CALIB_CHECK_MSG(p.start != kUnscheduled,
-                    "online_cost before drain(): job " << j << " unplaced");
-    flow += jobs_[j].weight * (p.start + 1 - jobs_[j].release);
+#if CALIBSCHED_LEGACY_DRIVER
+  if (backend_ == DriverBackend::kLegacy) {
+    Cost flow = 0;
+    for (std::size_t j = 0; j < jobs_.size(); ++j) {
+      const Placement& p = placements_[j];
+      CALIB_CHECK_MSG(p.start != kUnscheduled,
+                      "online_cost before drain(): job " << j << " unplaced");
+      flow += jobs_[j].weight * (p.start + 1 - jobs_[j].release);
+    }
+    return G_ * calendar_.count() + flow;
   }
-  return G_ * calendar_.count() + flow;
+#endif
+  CALIB_CHECK_MSG(placed_count_ == jobs_.size(),
+                  "online_cost before drain(): "
+                      << jobs_.size() - placed_count_ << " job(s) unplaced");
+  return G_ * calendar_.count() + placed_flow_;
 }
 
+// ---- Legacy (seed) query paths ----------------------------------------
+
+#if CALIBSCHED_LEGACY_DRIVER
+
+Cost OnlineDriver::legacy_queue_flow_from(Time start,
+                                          QueueOrder order) const {
+  std::vector<JobId> queue = waiting_;
+  switch (order) {
+    case QueueOrder::kFifo:
+      break;  // waiting_ is already in release order
+    case QueueOrder::kHeaviestFirst:
+      std::stable_sort(queue.begin(), queue.end(), [&](JobId a, JobId b) {
+        return jobs_[static_cast<std::size_t>(a)].weight >
+               jobs_[static_cast<std::size_t>(b)].weight;
+      });
+      break;
+    case QueueOrder::kLightestFirst:
+      std::stable_sort(queue.begin(), queue.end(), [&](JobId a, JobId b) {
+        return jobs_[static_cast<std::size_t>(a)].weight <
+               jobs_[static_cast<std::size_t>(b)].weight;
+      });
+      break;
+  }
+  Cost flow = 0;
+  Time t = start;
+  for (const JobId j : queue) {
+    const Job& job = jobs_[static_cast<std::size_t>(j)];
+    flow += job.weight * (t + 1 - job.release);
+    ++t;
+  }
+  return flow;
+}
+
+Cost OnlineDriver::legacy_last_interval_flow() const {
+  if (last_cal_start_ == kUnscheduled) return -1;
+  Cost flow = 0;
+  for (JobId j = 0; static_cast<std::size_t>(j) < jobs_.size(); ++j) {
+    const Placement& p = placements_[static_cast<std::size_t>(j)];
+    if (p.start == kUnscheduled || p.machine != last_cal_machine_) continue;
+    if (p.start >= last_cal_start_ && p.start < last_cal_start_ + T()) {
+      flow += jobs_[static_cast<std::size_t>(j)].weight *
+              (p.start + 1 - jobs_[static_cast<std::size_t>(j)].release);
+    }
+  }
+  return flow;
+}
+
+Time OnlineDriver::legacy_first_free_slot(MachineId m, Time from,
+                                          Time to) const {
+  for (Time t = from; t < to; ++t) {
+    if (!calendar_.covers(m, t)) continue;
+    if (!occupied_at(m, t)) return t;
+  }
+  return kUnscheduled;
+}
+
+void OnlineDriver::legacy_auto_assign() {
+  for (MachineId m = 0; m < calendar_.machines() && !waiting_.empty(); ++m) {
+    if (!calendar_.covers(m, now_)) continue;
+    if (occupied_at(m, now_)) continue;
+    // Pick per order; waiting_ is ascending release (and arrival) order,
+    // so stable selection gives the documented tie-breaks.
+    assign(front(policy_.order()), m, now_);
+  }
+}
+
+#endif  // CALIBSCHED_LEGACY_DRIVER
+
+// ---- Entry points ------------------------------------------------------
+
 Schedule run_online(const Instance& instance, Cost G, OnlinePolicy& policy,
-                    Trace* trace, Budget* budget) {
-  OnlineDriver driver(instance.T(), instance.machines(), G, policy);
+                    Trace* trace, Budget* budget, DriverBackend backend) {
+  OnlineDriver driver(instance.T(), instance.machines(), G, policy, backend);
   driver.set_trace(trace);
   driver.set_budget(budget);
   JobId next = 0;
@@ -285,7 +476,13 @@ Schedule run_online(const Instance& instance, Cost G, OnlinePolicy& policy,
       driver.drain();
       break;
     }
-    driver.step();
+    if (driver.waiting_empty()) {
+      // Event-driven advance: an empty queue has no decision points
+      // (decide() contract), so jump straight to the next release.
+      driver.advance_to(instance.job(next).release);
+    } else {
+      driver.step();
+    }
   }
   Schedule schedule = driver.realized_schedule();
   const auto error = schedule.validate(instance);

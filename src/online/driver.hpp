@@ -5,8 +5,21 @@
 // placements. Jobs may be fed incrementally (add_job at the current
 // step), which is what lets the Lemma 3.1 adversary adapt to the
 // policy's observable decisions.
+//
+// State is maintained, not recomputed: the waiting set lives in a
+// PendingSet (order-statistics trees + spread sums), so a full decision
+// round — queue flows, prefix weights, best-job selection, slot search —
+// costs O(log n) amortized instead of the seed driver's O(n log n).
+// Occupancy carries job ids and calibration coverage is kept as merged
+// runs, which makes last_interval_flow an O(1) read, online_cost an O(1)
+// read, and first_free_slot a binary search that jumps occupied spans.
+// run_online additionally fast-forwards the clock across empty-queue
+// spans between arrivals (event-driven advance) rather than ticking
+// through them; see DESIGN.md §9 for the architecture and the exact
+// idle-skip semantics.
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "core/calendar.hpp"
@@ -16,12 +29,28 @@
 #include "online/policy.hpp"
 #include "online/trace.hpp"
 #include "util/budget.hpp"
+#include "util/pending_set.hpp"
+
+#ifndef CALIBSCHED_LEGACY_DRIVER
+#define CALIBSCHED_LEGACY_DRIVER 0
+#endif
 
 namespace calib {
 
+/// Which bookkeeping backend the driver runs on. kLegacy is the seed
+/// driver's recompute-per-query implementation, kept for exactly one PR
+/// behind the CALIBSCHED_LEGACY_DRIVER build flag so the equivalence
+/// suite (test_driver_equiv) can prove the incremental rewrite produces
+/// byte-identical schedules and costs. Do not use it in new code.
+enum class DriverBackend {
+  kIncremental,
+  kLegacy,
+};
+
 class OnlineDriver {
  public:
-  OnlineDriver(Time T, int machines, Cost G, OnlinePolicy& policy);
+  OnlineDriver(Time T, int machines, Cost G, OnlinePolicy& policy,
+               DriverBackend backend = DriverBackend::kIncremental);
 
   /// Release a job at the current time step. Must be called before
   /// step() processes that step.
@@ -35,6 +64,13 @@ class OnlineDriver {
   /// runaway policies that never calibrate.
   void drain();
 
+  /// Event-driven advance: jump the clock straight to `target` without
+  /// invoking the policy. Legal only while the waiting queue is empty
+  /// (no decision points exist in the skipped span — see the decide()
+  /// contract in policy.hpp). Charges the budget one unit per skipped
+  /// step, exactly as per-step ticking would.
+  void advance_to(Time target);
+
   [[nodiscard]] Time now() const { return now_; }
   [[nodiscard]] Cost G() const { return G_; }
   [[nodiscard]] Time T() const { return calendar_.T(); }
@@ -42,9 +78,18 @@ class OnlineDriver {
   [[nodiscard]] bool all_placed() const;
 
   [[nodiscard]] const std::vector<Job>& jobs() const { return jobs_; }
-  [[nodiscard]] const std::vector<JobId>& waiting() const { return waiting_; }
+  [[nodiscard]] std::size_t waiting_count() const;
+  [[nodiscard]] bool waiting_empty() const { return waiting_count() == 0; }
+  [[nodiscard]] Weight waiting_weight() const;
+  /// The waiting job `rank` positions into the arrival (FIFO) order.
+  [[nodiscard]] JobId waiting_at(std::size_t rank) const;
+  /// First waiting job under `order` (stable: arrival breaks ties).
+  [[nodiscard]] JobId front(QueueOrder order) const;
   [[nodiscard]] bool arrived_now() const { return arrived_now_; }
   [[nodiscard]] const Calendar& calendar() const { return calendar_; }
+  /// Is step t calibrated on machine m? O(log #runs) over maintained
+  /// merged coverage runs (faster than Calendar::covers on hot paths).
+  [[nodiscard]] bool covers(MachineId m, Time t) const;
   [[nodiscard]] Time start_of(JobId j) const;
   [[nodiscard]] MachineId machine_of(JobId j) const;
 
@@ -76,21 +121,62 @@ class OnlineDriver {
   void set_budget(Budget* budget) { budget_ = budget; }
 
  private:
+  /// A machine's maximal calibrated [begin, end) span. Calibrations are
+  /// only ever opened at now_ (monotone), so merging happens at the back
+  /// and the run list stays sorted — coverage checks are binary searches.
+  struct CoverageRun {
+    Time begin;
+    Time end;  // exclusive
+  };
+  /// One booked slot. Carrying the job id is what lets
+  /// last_interval_flow re-aggregate an interval in O(slots in interval)
+  /// when a calibration opens, instead of rescanning all placements per
+  /// query.
+  struct OccupiedSlot {
+    Time start;
+    JobId job;
+  };
+
   void auto_assign();
+  [[nodiscard]] bool occupied_at(MachineId m, Time t) const;
+  /// Recompute the maintained last-interval flow for the interval opened
+  /// at `start` on machine `m` (slots may already be booked in it when
+  /// calibrations overlap).
+  [[nodiscard]] Cost interval_flow(MachineId m, Time start) const;
+
+#if CALIBSCHED_LEGACY_DRIVER
+  // Seed-driver query paths (recompute per call). Kept verbatim for the
+  // one-PR equivalence window; removed together with DriverBackend.
+  [[nodiscard]] Cost legacy_queue_flow_from(Time start,
+                                            QueueOrder order) const;
+  [[nodiscard]] Cost legacy_last_interval_flow() const;
+  [[nodiscard]] Time legacy_first_free_slot(MachineId m, Time from,
+                                            Time to) const;
+  void legacy_auto_assign();
+#endif
 
   OnlinePolicy& policy_;
   Cost G_;
   Calendar calendar_;
+  DriverBackend backend_;
   Time now_ = 0;
   bool arrived_now_ = false;
   std::vector<Job> jobs_;
   std::vector<Placement> placements_;
-  std::vector<JobId> waiting_;  // ascending release (== arrival order)
-  std::vector<std::vector<Time>> occupied_;  // per machine, sorted starts
+  PendingSet pending_;  // the waiting set (released, unassigned)
+  std::vector<std::vector<OccupiedSlot>> occupied_;  // per machine, sorted
+  std::vector<std::vector<CoverageRun>> coverage_;   // per machine, sorted
   MachineId next_rr_machine_ = 0;
-  // Most recent calibration, for last_interval_flow().
+  // Maintained aggregates (incremental backend reads).
+  std::size_t placed_count_ = 0;
+  Cost placed_flow_ = 0;
+  // Most recent calibration and its maintained interval flow.
   Time last_cal_start_ = kUnscheduled;
   MachineId last_cal_machine_ = 0;
+  Cost last_cal_flow_ = 0;
+#if CALIBSCHED_LEGACY_DRIVER
+  std::vector<JobId> waiting_;  // legacy backend only: ascending release
+#endif
   Trace* trace_ = nullptr;
   Budget* budget_ = nullptr;
 };
@@ -99,9 +185,11 @@ class OnlineDriver {
 /// times, drain, and return the realized schedule (validated). If
 /// `trace` is non-null it records the run's event stream (for derived
 /// metrics — queue lengths, utilization). If `budget` is non-null it is
-/// charged once per simulated step; BudgetExceeded propagates out.
+/// charged once per simulated step (skipped spans included);
+/// BudgetExceeded propagates out.
 Schedule run_online(const Instance& instance, Cost G, OnlinePolicy& policy,
-                    Trace* trace = nullptr, Budget* budget = nullptr);
+                    Trace* trace = nullptr, Budget* budget = nullptr,
+                    DriverBackend backend = DriverBackend::kIncremental);
 
 /// Convenience: the online objective value achieved by `policy`.
 Cost online_objective(const Instance& instance, Cost G, OnlinePolicy& policy);

@@ -7,21 +7,20 @@
 //
 // The split mirrors the paper: calibration timing is the hard, analyzed
 // decision; assignment is greedy-optimal given the calendar.
+//
+// DriverHandle is the *entire* legal information surface of a policy
+// (enforced by the calib_lint `policy-driver-isolation` rule: policy
+// translation units may not name OnlineDriver). Every query below is
+// O(log n) or O(1) against the driver's incrementally maintained state —
+// a policy's whole decision round costs O(log n), never a rescan of the
+// waiting set. The flat waiting-vector accessor of the original driver
+// is gone; rank/front/weight queries replace it.
 #pragma once
-
-#include <vector>
 
 #include "core/calendar.hpp"
 #include "core/types.hpp"
 
 namespace calib {
-
-/// Which waiting job the driver's auto-assignment runs first.
-enum class QueueOrder {
-  kFifo,           ///< earliest release first (Algorithms 1 and 3)
-  kHeaviestFirst,  ///< Observation 2.1's optimal order (Algorithm 2)
-  kLightestFirst,  ///< Algorithm 2's literal line 13 (ablation only)
-};
 
 class OnlineDriver;
 
@@ -37,23 +36,31 @@ class DriverHandle {
   [[nodiscard]] Time T() const;
   [[nodiscard]] int machines() const;
 
-  /// Waiting = released, not yet assigned to a slot. Ascending release.
-  [[nodiscard]] const std::vector<JobId>& waiting() const;
-  [[nodiscard]] const Job& job(JobId j) const;
+  /// Waiting = released, not yet assigned to a slot.
+  [[nodiscard]] std::size_t waiting_count() const;    ///< O(1)
+  [[nodiscard]] bool waiting_empty() const;           ///< O(1)
+  /// Total weight of the waiting set (Algorithm 2 line 8). O(1).
   [[nodiscard]] Weight waiting_weight() const;
+  /// The job `rank` positions into the arrival (FIFO) order. O(log n).
+  [[nodiscard]] JobId waiting_at(std::size_t rank) const;
+  /// The job the driver's auto-assignment would run next under `order`
+  /// (ties break to the earliest arrival). O(log n), waiting non-empty.
+  [[nodiscard]] JobId front(QueueOrder order) const;
+
+  [[nodiscard]] const Job& job(JobId j) const;
   [[nodiscard]] bool arrived_now() const;
 
   [[nodiscard]] const Calendar& calendar() const;
-  /// Is step t calibrated on machine m?
+  /// Is step t calibrated on machine m? O(log #calibrations).
   [[nodiscard]] bool calibrated(MachineId m, Time t) const;
 
   /// Hypothetical flow of draining the waiting queue back-to-back from
-  /// `start` in the given order (the `f` of Algorithms 1-3).
+  /// `start` in the given order (the `f` of Algorithms 1-3). O(1).
   [[nodiscard]] Cost queue_flow_from(Time start, QueueOrder order) const;
 
   /// Realized flow of the jobs placed in the most recent completed
   /// calibration interval (the `p` of Algorithm 1, line 11); negative if
-  /// no calibration has happened yet.
+  /// no calibration has happened yet. O(1).
   [[nodiscard]] Cost last_interval_flow() const;
 
   /// Calibrate at now() on the next machine in round-robin order;
@@ -64,6 +71,8 @@ class DriverHandle {
   void assign(JobId j, MachineId m, Time start);
 
   /// Earliest unoccupied calibrated slot on machine m in [from, to).
+  /// O(log + occupied slots skipped) — idle spans are jumped, not
+  /// scanned.
   [[nodiscard]] Time first_free_slot(MachineId m, Time from, Time to) const;
 
  private:
@@ -88,7 +97,10 @@ class OnlinePolicy {
   [[nodiscard]] virtual bool assign_after_decide() const { return true; }
 
   /// One decision round at handle.now(). Arrivals for this step have
-  /// already been revealed.
+  /// already been revealed. Contract: an empty-queue round must be a
+  /// no-op — the driver fast-forwards through empty-queue spans between
+  /// arrivals (event-driven advance), so decide() is not guaranteed to
+  /// be polled while nothing waits, and a policy must not depend on it.
   virtual void decide(DriverHandle& handle) = 0;
 
   /// Short name for tables.

@@ -19,12 +19,12 @@ void RandomizedSkiRental::decide(DriverHandle& handle) {
                   "RandomizedSkiRental is a single-machine policy");
   const Time t = handle.now();
   if (handle.calibrated(0, t)) return;
-  if (handle.waiting().empty()) return;
+  if (handle.waiting_empty()) return;
 
   const Cost G = handle.G();
   const Time T = handle.T();
   const Cost f = handle.queue_flow_from(t + 1, QueueOrder::kFifo);
-  const auto queue_size = static_cast<Cost>(handle.waiting().size());
+  const auto queue_size = static_cast<Cost>(handle.waiting_count());
   const bool count_trigger = queue_size * T >= G;
   const bool flow_trigger =
       static_cast<double>(f) >= theta_ * static_cast<double>(G);

@@ -1,0 +1,305 @@
+#include "util/pending_set.hpp"
+
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace calib {
+namespace {
+
+/// splitmix64: deterministic, well-mixed treap priorities from the
+/// insertion sequence number alone — identical operation sequences give
+/// identical trees, which is what makes driver replays byte-stable.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+bool key_less(const OrderStatTree::Key& a, const OrderStatTree::Key& b) {
+  if (a.primary != b.primary) return a.primary < b.primary;
+  return a.secondary < b.secondary;
+}
+
+constexpr std::int64_t kMinKey = std::numeric_limits<std::int64_t>::min();
+constexpr std::int64_t kMaxKey = std::numeric_limits<std::int64_t>::max();
+
+}  // namespace
+
+// ---- OrderStatTree -----------------------------------------------------
+
+OrderStatTree::Agg OrderStatTree::node_agg(std::int32_t n) const {
+  if (n < 0) return Agg{};
+  const Node& node = nodes_[static_cast<std::size_t>(n)];
+  return Agg{node.count, node.weight_sum};
+}
+
+void OrderStatTree::pull(std::int32_t n) {
+  Node& node = nodes_[static_cast<std::size_t>(n)];
+  const Agg left = node_agg(node.left);
+  const Agg right = node_agg(node.right);
+  node.count = left.count + 1 + right.count;
+  node.weight_sum = left.weight_sum + node.weight + right.weight_sum;
+}
+
+std::int32_t OrderStatTree::merge(std::int32_t a, std::int32_t b) {
+  if (a < 0) return b;
+  if (b < 0) return a;
+  Node& na = nodes_[static_cast<std::size_t>(a)];
+  Node& nb = nodes_[static_cast<std::size_t>(b)];
+  if (na.priority >= nb.priority) {
+    na.right = merge(na.right, b);
+    pull(a);
+    return a;
+  }
+  nb.left = merge(a, nb.left);
+  pull(b);
+  return b;
+}
+
+void OrderStatTree::split(std::int32_t n, Key key, bool leq, std::int32_t& lo,
+                          std::int32_t& hi) {
+  if (n < 0) {
+    lo = hi = -1;
+    return;
+  }
+  Node& node = nodes_[static_cast<std::size_t>(n)];
+  const bool goes_lo =
+      leq ? !key_less(key, node.key) : key_less(node.key, key);
+  if (goes_lo) {
+    lo = n;
+    split(node.right, key, leq, node.right, hi);
+  } else {
+    hi = n;
+    split(node.left, key, leq, lo, node.left);
+  }
+  pull(n);
+}
+
+std::int32_t OrderStatTree::make_node(Key key, Weight weight) {
+  std::int32_t n;
+  if (!free_.empty()) {
+    n = free_.back();
+    free_.pop_back();
+    nodes_[static_cast<std::size_t>(n)] = Node{};
+  } else {
+    n = static_cast<std::int32_t>(nodes_.size());
+    nodes_.emplace_back();
+  }
+  Node& node = nodes_[static_cast<std::size_t>(n)];
+  node.key = key;
+  node.priority = mix(++sequence_);
+  node.weight = weight;
+  node.weight_sum = weight;
+  return n;
+}
+
+void OrderStatTree::free_node(std::int32_t n) { free_.push_back(n); }
+
+void OrderStatTree::insert(Key key, Weight weight) {
+  std::int32_t lo;
+  std::int32_t hi;
+  split(root_, key, /*leq=*/false, lo, hi);
+  root_ = merge(merge(lo, make_node(key, weight)), hi);
+}
+
+void OrderStatTree::erase(Key key) {
+  std::int32_t lo;
+  std::int32_t mid;
+  std::int32_t hi;
+  split(root_, key, /*leq=*/false, lo, hi);
+  split(hi, key, /*leq=*/true, mid, hi);
+  CALIB_CHECK_MSG(mid >= 0 &&
+                      nodes_[static_cast<std::size_t>(mid)].count == 1,
+                  "OrderStatTree::erase: key not present exactly once");
+  free_node(mid);
+  root_ = merge(lo, hi);
+}
+
+std::int64_t OrderStatTree::size() const { return node_agg(root_).count; }
+
+OrderStatTree::Agg OrderStatTree::total() const { return node_agg(root_); }
+
+OrderStatTree::Agg OrderStatTree::prefix_less(Key key) const {
+  Agg agg;
+  std::int32_t n = root_;
+  while (n >= 0) {
+    const Node& node = nodes_[static_cast<std::size_t>(n)];
+    if (key_less(node.key, key)) {
+      const Agg left = node_agg(node.left);
+      agg.count += left.count + 1;
+      agg.weight_sum += left.weight_sum + node.weight;
+      n = node.right;
+    } else {
+      n = node.left;
+    }
+  }
+  return agg;
+}
+
+OrderStatTree::Agg OrderStatTree::prefix_leq(Key key) const {
+  Agg agg;
+  std::int32_t n = root_;
+  while (n >= 0) {
+    const Node& node = nodes_[static_cast<std::size_t>(n)];
+    if (!key_less(key, node.key)) {
+      const Agg left = node_agg(node.left);
+      agg.count += left.count + 1;
+      agg.weight_sum += left.weight_sum + node.weight;
+      n = node.right;
+    } else {
+      n = node.left;
+    }
+  }
+  return agg;
+}
+
+OrderStatTree::Key OrderStatTree::min_key() const {
+  CALIB_CHECK_MSG(root_ >= 0, "min_key on empty OrderStatTree");
+  std::int32_t n = root_;
+  while (nodes_[static_cast<std::size_t>(n)].left >= 0) {
+    n = nodes_[static_cast<std::size_t>(n)].left;
+  }
+  return nodes_[static_cast<std::size_t>(n)].key;
+}
+
+OrderStatTree::Key OrderStatTree::max_key() const {
+  CALIB_CHECK_MSG(root_ >= 0, "max_key on empty OrderStatTree");
+  std::int32_t n = root_;
+  while (nodes_[static_cast<std::size_t>(n)].right >= 0) {
+    n = nodes_[static_cast<std::size_t>(n)].right;
+  }
+  return nodes_[static_cast<std::size_t>(n)].key;
+}
+
+OrderStatTree::Key OrderStatTree::kth(std::int64_t rank) const {
+  CALIB_CHECK_MSG(rank >= 0 && rank < size(),
+                  "OrderStatTree::kth: rank out of range");
+  std::int32_t n = root_;
+  for (;;) {
+    const Node& node = nodes_[static_cast<std::size_t>(n)];
+    const std::int64_t left = node_agg(node.left).count;
+    if (rank < left) {
+      n = node.left;
+    } else if (rank == left) {
+      return node.key;
+    } else {
+      rank -= left + 1;
+      n = node.right;
+    }
+  }
+}
+
+// ---- PendingSet --------------------------------------------------------
+
+PendingSet::Delta PendingSet::delta(QueueOrder order, JobId id,
+                                    Weight weight) const {
+  const std::int64_t key_id = id;
+  const Cost W = total_weight_;
+  switch (order) {
+    case QueueOrder::kFifo: {
+      const OrderStatTree::Agg before = fifo_.prefix_less({key_id, 0});
+      return Delta{before.count, W - before.weight_sum};
+    }
+    case QueueOrder::kHeaviestFirst:
+    case QueueOrder::kLightestFirst: {
+      const std::int64_t n = by_weight_.size();
+      // Three prefix queries carve (weight, id) space around the key:
+      //   A = {w' <  w}, B = A + {w' == w, id' < id}, C = {w' <= w}.
+      const OrderStatTree::Agg a = by_weight_.prefix_less({weight, kMinKey});
+      const OrderStatTree::Agg b = by_weight_.prefix_less({weight, key_id});
+      const OrderStatTree::Agg c = by_weight_.prefix_leq({weight, kMaxKey});
+      if (order == QueueOrder::kLightestFirst) {
+        // Preceded by lighter jobs and equal-weight earlier arrivals.
+        return Delta{b.count, W - b.weight_sum};
+      }
+      // Heaviest first: preceded by heavier jobs and equal-weight earlier
+      // arrivals; followed by lighter jobs and equal-weight later arrivals.
+      return Delta{(n - c.count) + (b.count - a.count),
+                   a.weight_sum + (c.weight_sum - b.weight_sum)};
+    }
+  }
+  CALIB_CHECK_MSG(false, "unreachable queue order");
+  return Delta{};
+}
+
+void PendingSet::insert(JobId id, Weight weight, Time release) {
+  CALIB_CHECK(id >= 0);
+  CALIB_CHECK(weight >= 1);
+  if (static_cast<std::size_t>(id) >= entries_.size()) {
+    entries_.resize(static_cast<std::size_t>(id) + 1);
+  }
+  Entry& entry = entries_[static_cast<std::size_t>(id)];
+  CALIB_CHECK_MSG(!entry.active, "PendingSet::insert: id already present");
+  for (const QueueOrder order :
+       {QueueOrder::kFifo, QueueOrder::kHeaviestFirst,
+        QueueOrder::kLightestFirst}) {
+    const Delta d = delta(order, id, weight);
+    spread_[static_cast<int>(order)] +=
+        static_cast<Cost>(weight) * d.rank + d.suffix_weight;
+  }
+  total_weight_ += weight;
+  weighted_release_ += static_cast<Cost>(weight) * release;
+  fifo_.insert({id, 0}, weight);
+  by_weight_.insert({weight, id}, weight);
+  entry = Entry{weight, release, true};
+}
+
+void PendingSet::erase(JobId id) {
+  CALIB_CHECK_MSG(contains(id), "PendingSet::erase: id not present");
+  Entry& entry = entries_[static_cast<std::size_t>(id)];
+  fifo_.erase({id, 0});
+  by_weight_.erase({entry.weight, id});
+  total_weight_ -= entry.weight;
+  weighted_release_ -= static_cast<Cost>(entry.weight) * entry.release;
+  for (const QueueOrder order :
+       {QueueOrder::kFifo, QueueOrder::kHeaviestFirst,
+        QueueOrder::kLightestFirst}) {
+    const Delta d = delta(order, id, entry.weight);
+    spread_[static_cast<int>(order)] -=
+        static_cast<Cost>(entry.weight) * d.rank + d.suffix_weight;
+  }
+  entry.active = false;
+}
+
+bool PendingSet::contains(JobId id) const {
+  return id >= 0 && static_cast<std::size_t>(id) < entries_.size() &&
+         entries_[static_cast<std::size_t>(id)].active;
+}
+
+std::size_t PendingSet::size() const {
+  return static_cast<std::size_t>(fifo_.size());
+}
+
+JobId PendingSet::at(std::size_t rank) const {
+  return static_cast<JobId>(fifo_.kth(static_cast<std::int64_t>(rank)).primary);
+}
+
+JobId PendingSet::first(QueueOrder order) const {
+  CALIB_CHECK_MSG(!empty(), "PendingSet::first on empty set");
+  switch (order) {
+    case QueueOrder::kFifo:
+      return static_cast<JobId>(fifo_.min_key().primary);
+    case QueueOrder::kLightestFirst:
+      // Tree order is (weight asc, id asc): the minimum is the lightest
+      // job, earliest arrival among ties.
+      return static_cast<JobId>(by_weight_.min_key().secondary);
+    case QueueOrder::kHeaviestFirst: {
+      const Weight heaviest = by_weight_.max_key().primary;
+      const std::int64_t rank =
+          by_weight_.prefix_less({heaviest, kMinKey}).count;
+      return static_cast<JobId>(by_weight_.kth(rank).secondary);
+    }
+  }
+  CALIB_CHECK_MSG(false, "unreachable queue order");
+  return -1;
+}
+
+Cost PendingSet::queue_flow_from(Time start, QueueOrder order) const {
+  // f(start) = (start + 1) * W + S - R; see the header derivation.
+  return (static_cast<Cost>(start) + 1) * total_weight_ +
+         spread_[static_cast<int>(order)] - weighted_release_;
+}
+
+}  // namespace calib

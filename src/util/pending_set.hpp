@@ -1,0 +1,139 @@
+// PendingSet: the online driver's waiting queue as an order-statistics
+// structure instead of a flat vector.
+//
+// The paper's decision quantities (Algorithms 1-4, line 7) are all
+// order-statistics over the waiting set under a fixed queue order:
+// prefix weights, ranks, and the hypothetical drain flow
+//   f(start) = sum_j w_j * (start + pos_j + 1 - r_j)
+// where pos_j is job j's position in the queue order. Expanding,
+//   f(start) = (start + 1) * W + S - R
+// with W = sum w_j, R = sum w_j r_j, and S = sum pos_j * w_j. W and R
+// are plain scalars; S ("spread") changes under insert/erase by exactly
+//   w_x * rank(x) + suffix_weight(x)
+// (every element after x shifts one slot; x lands at its rank), so all
+// three are maintainable aggregates and f becomes an O(1) read — the
+// "don't recompute, maintain" discipline the ROADMAP asks for.
+//
+// Two order-statistics trees back the rank/suffix queries: one keyed by
+// arrival (JobId, for kFifo) and one keyed by (weight, JobId), which
+// answers both weight orders (kHeaviestFirst is the reverse order with
+// arrival-ascending ties; all its range sums decompose into prefix
+// queries on the ascending tree). Insert/erase are O(log n);
+// queue_flow_from is O(1); rank-select and per-order front are O(log n).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace calib {
+
+/// Order-statistics treap over (primary, secondary) int64 keys, with
+/// subtree count and weight sums. Deterministic: priorities are derived
+/// from an internal insertion sequence, so identical operation sequences
+/// build identical trees. Not thread-safe (single-owner, like the
+/// driver it serves).
+class OrderStatTree {
+ public:
+  struct Agg {
+    std::int64_t count = 0;
+    Cost weight_sum = 0;
+  };
+  struct Key {
+    std::int64_t primary = 0;
+    std::int64_t secondary = 0;
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+
+  void insert(Key key, Weight weight);
+  /// Erase the element with exactly this key (must be present).
+  void erase(Key key);
+
+  [[nodiscard]] std::int64_t size() const;
+  [[nodiscard]] bool empty() const { return size() == 0; }
+  [[nodiscard]] Agg total() const;
+
+  /// Aggregate of elements with key strictly less than `key`.
+  [[nodiscard]] Agg prefix_less(Key key) const;
+  /// Aggregate of elements with key less than or equal to `key`.
+  [[nodiscard]] Agg prefix_leq(Key key) const;
+
+  [[nodiscard]] Key min_key() const;  ///< requires non-empty
+  [[nodiscard]] Key max_key() const;  ///< requires non-empty
+  /// Key with exactly `rank` elements before it (0-based; rank < size).
+  [[nodiscard]] Key kth(std::int64_t rank) const;
+
+ private:
+  struct Node {
+    Key key;
+    std::uint64_t priority = 0;
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    std::int64_t count = 1;  // subtree size
+    Weight weight = 0;       // this element
+    Cost weight_sum = 0;     // subtree weight sum
+  };
+
+  [[nodiscard]] Agg node_agg(std::int32_t n) const;
+  void pull(std::int32_t n);
+  std::int32_t merge(std::int32_t a, std::int32_t b);
+  /// Split into (< key) and (>= key) when `leq` is false, or
+  /// (<= key) and (> key) when `leq` is true.
+  void split(std::int32_t n, Key key, bool leq, std::int32_t& lo,
+             std::int32_t& hi);
+  [[nodiscard]] std::int32_t make_node(Key key, Weight weight);
+  void free_node(std::int32_t n);
+
+  std::vector<Node> nodes_;
+  std::vector<std::int32_t> free_;
+  std::int32_t root_ = -1;
+  std::uint64_t sequence_ = 0;
+};
+
+/// The waiting set of an online run: insert on release, erase on
+/// assignment, O(1) hypothetical drain flows per queue order.
+class PendingSet {
+ public:
+  void insert(JobId id, Weight weight, Time release);
+  void erase(JobId id);
+  [[nodiscard]] bool contains(JobId id) const;
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] bool empty() const { return size() == 0; }
+  [[nodiscard]] Weight total_weight() const { return total_weight_; }
+
+  /// The job `rank` positions into the arrival (FIFO) order. O(log n).
+  [[nodiscard]] JobId at(std::size_t rank) const;
+  /// The first job of the given queue order (ties resolve to the
+  /// earliest arrival, matching a stable sort). O(log n), non-empty.
+  [[nodiscard]] JobId first(QueueOrder order) const;
+
+  /// Hypothetical flow of draining the set back-to-back from `start` in
+  /// the given order: sum_j w_j * (start + pos_j + 1 - r_j). O(1).
+  [[nodiscard]] Cost queue_flow_from(Time start, QueueOrder order) const;
+
+ private:
+  struct Entry {
+    Weight weight = 0;
+    Time release = 0;
+    bool active = false;
+  };
+
+  /// rank/suffix-weight of `id` against the *current* contents (which
+  /// must not include `id`), per order — the S-delta of insert/erase.
+  struct Delta {
+    std::int64_t rank = 0;
+    Cost suffix_weight = 0;
+  };
+  [[nodiscard]] Delta delta(QueueOrder order, JobId id, Weight weight) const;
+
+  OrderStatTree fifo_;       // key (id, 0)
+  OrderStatTree by_weight_;  // key (weight, id)
+  std::vector<Entry> entries_;
+  Weight total_weight_ = 0;
+  Cost weighted_release_ = 0;
+  Cost spread_[3] = {0, 0, 0};  // S per QueueOrder enumerator
+};
+
+}  // namespace calib

@@ -19,7 +19,7 @@ class StarvingPolicy final : public OnlinePolicy {
 class PromptPolicy final : public OnlinePolicy {
  public:
   void decide(DriverHandle& handle) override {
-    if (handle.waiting().empty()) return;
+    if (handle.waiting_empty()) return;
     for (MachineId m = 0; m < handle.machines(); ++m) {
       if (handle.calibrated(m, handle.now())) return;
     }

@@ -1,0 +1,326 @@
+// Driver-backend equivalence: the incremental OnlineDriver must produce
+// BYTE-IDENTICAL schedules and costs to the seed (legacy) driver for
+// every registered policy, both adversary branches, and randomized
+// chaos histories. The legacy backend is compiled behind
+// CALIBSCHED_LEGACY_DRIVER for exactly this one-PR window; when it is
+// compiled out these tests skip.
+//
+// Also home to the regression pins for the queries the rewrite made
+// incremental (queue_flow_from, last_interval_flow, first_free_slot):
+// the pinned integers are the seed driver's answers, asserted against
+// both backends.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "online/adversary.hpp"
+#include "online/driver.hpp"
+#include "online/registry.hpp"
+#include "util/prng.hpp"
+#include "workload/generators.hpp"
+
+namespace calib {
+namespace {
+
+#if CALIBSCHED_LEGACY_DRIVER
+constexpr bool kHaveLegacy = true;
+#else
+constexpr bool kHaveLegacy = false;
+#endif
+
+void expect_identical_schedules(const Instance& instance, Cost G,
+                                const Schedule& legacy,
+                                const Schedule& incremental,
+                                const std::string& label) {
+  for (MachineId m = 0; m < instance.machines(); ++m) {
+    ASSERT_EQ(legacy.calendar().starts(m), incremental.calendar().starts(m))
+        << label << ": calendar diverged on machine " << m;
+  }
+  for (JobId j = 0; j < instance.size(); ++j) {
+    ASSERT_EQ(legacy.is_placed(j), incremental.is_placed(j)) << label;
+    if (!legacy.is_placed(j)) continue;
+    ASSERT_EQ(legacy.placement(j).start, incremental.placement(j).start)
+        << label << ": job " << j << " start diverged";
+    ASSERT_EQ(legacy.placement(j).machine, incremental.placement(j).machine)
+        << label << ": job " << j << " machine diverged";
+  }
+  ASSERT_EQ(legacy.online_cost(instance, G),
+            incremental.online_cost(instance, G))
+      << label;
+}
+
+/// Run `name` from the registry on both backends (fresh policy instance
+/// each run, same params) and require identical realized schedules.
+void expect_backend_equivalence(const std::string& name,
+                                const Instance& instance, Cost G) {
+  PolicyParams params;
+  params.seed = 99;
+  const auto legacy_policy = PolicyRegistry::instance().make(name, params);
+  const auto incremental_policy =
+      PolicyRegistry::instance().make(name, params);
+  const Schedule legacy =
+      run_online(instance, G, *legacy_policy, nullptr, nullptr,
+                 DriverBackend::kLegacy);
+  const Schedule incremental =
+      run_online(instance, G, *incremental_policy, nullptr, nullptr,
+                 DriverBackend::kIncremental);
+  expect_identical_schedules(instance, G, legacy, incremental,
+                             "policy " + name);
+}
+
+/// Single-machine-only policies (they CALIB_CHECK machines() == 1).
+bool single_machine_only(const std::string& name) {
+  static const std::vector<std::string> kSingle{
+      "alg1", "alg1-noimm", "alg2", "alg2-lightest", "random"};
+  return std::find(kSingle.begin(), kSingle.end(), name) != kSingle.end();
+}
+
+TEST(DriverEquiv, RegistryPoliciesSingleMachine) {
+  if (!kHaveLegacy) GTEST_SKIP() << "legacy backend compiled out";
+  Prng prng(4242);
+  for (int trial = 0; trial < 4; ++trial) {
+    const Instance instance = sparse_uniform_instance(
+        /*jobs=*/30, /*span=*/80, /*T=*/5, /*machines=*/1,
+        WeightModel::kZipf, /*w_max=*/9, prng);
+    for (const std::string& name : PolicyRegistry::instance().names()) {
+      if (name == "alg3" || name == "alg4") continue;  // multi-machine home
+      expect_backend_equivalence(name, instance, /*G=*/11 + trial * 9);
+    }
+  }
+}
+
+TEST(DriverEquiv, RegistryPoliciesMultiMachine) {
+  if (!kHaveLegacy) GTEST_SKIP() << "legacy backend compiled out";
+  Prng prng(777);
+  for (int trial = 0; trial < 4; ++trial) {
+    const Instance instance = sparse_uniform_instance(
+        /*jobs=*/40, /*span=*/60, /*T=*/4, /*machines=*/3,
+        WeightModel::kBimodal, /*w_max=*/7, prng);
+    for (const std::string& name : PolicyRegistry::instance().names()) {
+      if (single_machine_only(name)) continue;
+      expect_backend_equivalence(name, instance, /*G=*/8 + trial * 5);
+    }
+  }
+}
+
+TEST(DriverEquiv, AdversaryBranchesIdentical) {
+  if (!kHaveLegacy) GTEST_SKIP() << "legacy backend compiled out";
+  // Alg1 calibrates early (branch 1); ski-rental waits (branch 2);
+  // sweep (G, T) so both code paths run at several shapes.
+  for (const std::string name : {"alg1", "alg2", "ski", "eager"}) {
+    for (const Cost G : {3, 9, 20}) {
+      for (const Time T : {2, 5, 9}) {
+        const auto legacy_policy = PolicyRegistry::instance().make(name);
+        const auto incremental_policy = PolicyRegistry::instance().make(name);
+        const AdversaryOutcome legacy = run_lower_bound_adversary(
+            *legacy_policy, G, T, DriverBackend::kLegacy);
+        const AdversaryOutcome incremental = run_lower_bound_adversary(
+            *incremental_policy, G, T, DriverBackend::kIncremental);
+        ASSERT_EQ(legacy.calibrated_at_zero, incremental.calibrated_at_zero)
+            << name << " G=" << G << " T=" << T;
+        ASSERT_EQ(legacy.algorithm_cost, incremental.algorithm_cost)
+            << name << " G=" << G << " T=" << T;
+        ASSERT_EQ(legacy.lemma_opt_cost, incremental.lemma_opt_cost);
+        ASSERT_EQ(legacy.instance.size(), incremental.instance.size());
+        for (JobId j = 0; j < legacy.instance.size(); ++j) {
+          ASSERT_EQ(legacy.instance.job(j), incremental.instance.job(j));
+        }
+      }
+    }
+  }
+}
+
+/// The fuzz chaos policy, duplicated here with the empty-queue no-op
+/// contract: identical PRNG draws on both backends (the legacy driver
+/// polls decide() during empty-queue spans, the incremental one skips
+/// them — returning before any draw keeps the streams aligned).
+class ChaosPolicy final : public OnlinePolicy {
+ public:
+  explicit ChaosPolicy(std::uint64_t seed) : prng_(seed) {}
+  [[nodiscard]] QueueOrder order() const override {
+    return QueueOrder::kHeaviestFirst;
+  }
+  [[nodiscard]] bool assign_before_decide() const override { return true; }
+  void decide(DriverHandle& handle) override {
+    if (handle.waiting_empty()) return;
+    while (prng_.bernoulli(0.35)) {
+      const MachineId m = handle.calibrate();
+      if (!handle.waiting_empty() && prng_.bernoulli(0.5)) {
+        const auto pick = static_cast<std::size_t>(prng_.uniform_int(
+            0, static_cast<std::int64_t>(handle.waiting_count()) - 1));
+        const JobId j = handle.waiting_at(pick);
+        const Time slot = handle.first_free_slot(
+            m, std::max(handle.now(), handle.job(j).release),
+            handle.now() + handle.T());
+        if (slot != kUnscheduled) handle.assign(j, m, slot);
+      }
+      if (handle.calendar().count() > 512) break;
+    }
+  }
+  [[nodiscard]] const char* name() const override { return "chaos"; }
+
+ private:
+  Prng prng_;
+};
+
+TEST(DriverEquiv, ChaosFuzzIdenticalAcrossBackends) {
+  if (!kHaveLegacy) GTEST_SKIP() << "legacy backend compiled out";
+  Prng prng(20110519);
+  for (std::uint64_t trial = 0; trial < 12; ++trial) {
+    const Instance instance = sparse_uniform_instance(
+        /*jobs=*/25, /*span=*/70, /*T=*/4, /*machines=*/2,
+        WeightModel::kUniform, /*w_max=*/9, prng);
+    ChaosPolicy legacy_policy(trial * 6151 + 3);
+    ChaosPolicy incremental_policy(trial * 6151 + 3);
+    const Schedule legacy =
+        run_online(instance, /*G=*/6, legacy_policy, nullptr, nullptr,
+                   DriverBackend::kLegacy);
+    const Schedule incremental =
+        run_online(instance, /*G=*/6, incremental_policy, nullptr, nullptr,
+                   DriverBackend::kIncremental);
+    expect_identical_schedules(instance, 6, legacy, incremental,
+                               "chaos trial " + std::to_string(trial));
+  }
+}
+
+// ---- Regression pins for the incrementalized queries -------------------
+
+/// Policy that never acts; lets tests drive the driver by hand.
+class NullPolicy final : public OnlinePolicy {
+ public:
+  void decide(DriverHandle&) override {}
+  [[nodiscard]] const char* name() const override { return "null"; }
+};
+
+/// Calibrates whenever uncovered with jobs waiting (test_driver's
+/// PromptPolicy).
+class PromptPolicy final : public OnlinePolicy {
+ public:
+  void decide(DriverHandle& handle) override {
+    if (handle.waiting_empty()) return;
+    for (MachineId m = 0; m < handle.machines(); ++m) {
+      if (handle.calibrated(m, handle.now())) return;
+    }
+    handle.calibrate();
+  }
+  [[nodiscard]] const char* name() const override { return "prompt"; }
+};
+
+class DriverEquivPins : public ::testing::TestWithParam<DriverBackend> {};
+
+TEST_P(DriverEquivPins, QueueFlowFromStaggeredReleases) {
+  NullPolicy policy;
+  OnlineDriver driver(/*T=*/6, /*machines=*/1, /*G=*/1000, policy,
+                      GetParam());
+  driver.add_job(2);   // r=0
+  driver.add_job(5);   // r=0
+  driver.step();
+  driver.add_job(5);   // r=1 (tie weight with job 1 — arrival breaks it)
+  driver.step();
+  driver.add_job(1);   // r=2
+  // Seed-driver answers, computed by the O(n log n) sort-and-scan:
+  // FIFO from 4: 2*5 + 5*6 + 5*6 + 1*6 = 76.
+  EXPECT_EQ(driver.queue_flow_from(4, QueueOrder::kFifo), 76);
+  // Heaviest: 5(r0)@4, 5(r1)@5, 2(r0)@6, 1(r2)@7 -> 25+25+14+6 = 70.
+  EXPECT_EQ(driver.queue_flow_from(4, QueueOrder::kHeaviestFirst), 70);
+  // Lightest: 1(r2)@4, 2(r0)@5, 5(r0)@6, 5(r1)@7 -> 3+12+35+35 = 85.
+  EXPECT_EQ(driver.queue_flow_from(4, QueueOrder::kLightestFirst), 85);
+}
+
+TEST_P(DriverEquivPins, LastIntervalFlowTracksOnlyLatestInterval) {
+  PromptPolicy policy;
+  OnlineDriver driver(/*T=*/3, /*machines=*/1, /*G=*/100, policy,
+                      GetParam());
+  EXPECT_EQ(driver.last_interval_flow(), -1);
+  driver.add_job(2);
+  driver.add_job(3);
+  driver.step();  // calibrate at 0, heaviest (w=3) runs at 0: flow 3
+  EXPECT_EQ(driver.last_interval_flow(), 3);
+  driver.step();  // w=2 runs at 1: flow 2*(1+1-0)=4, same interval
+  EXPECT_EQ(driver.last_interval_flow(), 7);
+  driver.step();
+  driver.add_job(4);
+  driver.step();  // new interval at t=3; job runs at 3: flow 4
+  EXPECT_EQ(driver.last_interval_flow(), 4);
+}
+
+TEST_P(DriverEquivPins, FirstFreeSlotSkipsBookedAndUncovered) {
+  PromptPolicy policy;
+  OnlineDriver driver(/*T=*/4, /*machines=*/1, /*G=*/100, policy,
+                      GetParam());
+  driver.add_job(1);
+  driver.add_job(1);
+  driver.step();  // calibrates [0,4); slots 0 occupied
+  // Slot 0 booked at t=0; one job remains, auto-assigned at t=1 next
+  // step. Before that, the first free covered slot from 0 is 1.
+  EXPECT_EQ(driver.first_free_slot(0, 0, 10), 1);
+  driver.step();  // second job placed at 1
+  EXPECT_EQ(driver.first_free_slot(0, 0, 10), 2);
+  EXPECT_EQ(driver.first_free_slot(0, 3, 10), 3);
+  // [4, 10) is uncovered: no slot.
+  EXPECT_EQ(driver.first_free_slot(0, 4, 10), kUnscheduled);
+  // Window entirely before coverage start has covered slots only in
+  // the intersection.
+  EXPECT_EQ(driver.first_free_slot(0, 2, 3), 2);
+  EXPECT_EQ(driver.first_free_slot(0, 0, 1), kUnscheduled);  // 0 booked
+}
+
+#if CALIBSCHED_LEGACY_DRIVER
+INSTANTIATE_TEST_SUITE_P(BothBackends, DriverEquivPins,
+                         ::testing::Values(DriverBackend::kIncremental,
+                                           DriverBackend::kLegacy),
+                         [](const auto& param_info) {
+                           return param_info.param ==
+                                          DriverBackend::kIncremental
+                                      ? "incremental"
+                                      : "legacy";
+                         });
+#else
+INSTANTIATE_TEST_SUITE_P(Incremental, DriverEquivPins,
+                         ::testing::Values(DriverBackend::kIncremental),
+                         [](const auto&) { return std::string("incremental"); });
+#endif
+
+// ---- Event-driven advance semantics ------------------------------------
+
+TEST(DriverEquiv, AdvanceToSkipsIdleSpans) {
+  NullPolicy policy;
+  OnlineDriver driver(/*T=*/3, /*machines=*/1, /*G=*/5, policy);
+  EXPECT_EQ(driver.now(), 0);
+  driver.advance_to(17);
+  EXPECT_EQ(driver.now(), 17);
+  driver.advance_to(17);  // no-op
+  EXPECT_EQ(driver.now(), 17);
+}
+
+TEST(DriverEquivDeath, AdvanceToRequiresEmptyQueue) {
+  NullPolicy policy;
+  OnlineDriver driver(/*T=*/3, /*machines=*/1, /*G=*/5, policy);
+  driver.add_job(1);
+  EXPECT_DEATH(driver.advance_to(5), "waiting jobs");
+  EXPECT_DEATH(driver.advance_to(-1), "backwards");
+}
+
+TEST(DriverEquiv, RunOnlineSkipsLongGapsAndMatchesStepping) {
+  if (!kHaveLegacy) GTEST_SKIP() << "legacy backend compiled out";
+  // A widely spaced instance: the incremental run advances across the
+  // gaps while the legacy run ticks through them; results must agree.
+  std::vector<Job> jobs{{0, 3}, {1000, 1}, {5000, 7}, {5000, 2}};
+  const Instance instance(jobs, /*T=*/4, /*machines=*/1);
+  const auto legacy_policy = PolicyRegistry::instance().make("alg2");
+  const auto incremental_policy = PolicyRegistry::instance().make("alg2");
+  const Schedule legacy =
+      run_online(instance, /*G=*/7, *legacy_policy, nullptr, nullptr,
+                 DriverBackend::kLegacy);
+  const Schedule incremental =
+      run_online(instance, /*G=*/7, *incremental_policy, nullptr, nullptr,
+                 DriverBackend::kIncremental);
+  expect_identical_schedules(instance, 7, legacy, incremental,
+                             "sparse gaps");
+}
+
+}  // namespace
+}  // namespace calib

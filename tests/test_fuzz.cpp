@@ -25,15 +25,17 @@ class ChaosPolicy final : public OnlinePolicy {
   [[nodiscard]] bool assign_before_decide() const override { return true; }
 
   void decide(DriverHandle& handle) override {
-    // Random calibrations, biased to act when jobs wait (so runs end).
-    const double pressure = handle.waiting().empty() ? 0.02 : 0.35;
-    while (prng_.bernoulli(pressure)) {
+    // Empty-queue rounds must be no-ops (decide() contract): return
+    // before drawing randomness so replay streams are identical whether
+    // or not the driver polls during empty-queue spans.
+    if (handle.waiting_empty()) return;
+    while (prng_.bernoulli(0.35)) {
       const MachineId m = handle.calibrate();
       // Occasionally pre-commit a waiting job somewhere legal.
-      if (!handle.waiting().empty() && prng_.bernoulli(0.5)) {
+      if (!handle.waiting_empty() && prng_.bernoulli(0.5)) {
         const auto pick = static_cast<std::size_t>(prng_.uniform_int(
-            0, static_cast<std::int64_t>(handle.waiting().size()) - 1));
-        const JobId j = handle.waiting()[pick];
+            0, static_cast<std::int64_t>(handle.waiting_count()) - 1));
+        const JobId j = handle.waiting_at(pick);
         const Time slot = handle.first_free_slot(
             m, std::max(handle.now(), handle.job(j).release),
             handle.now() + handle.T());

@@ -1,0 +1,170 @@
+// PendingSet differential tests: the order-statistics waiting set must
+// agree with a brute-force reference model on every query, across
+// randomized insert/erase histories — flows are closed-form sums, so a
+// single off-by-one in a rank/suffix delta shows up as an exact integer
+// mismatch.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/pending_set.hpp"
+#include "util/prng.hpp"
+
+namespace calib {
+namespace {
+
+struct RefJob {
+  JobId id;
+  Weight weight;
+  Time release;
+};
+
+constexpr QueueOrder kAllOrders[] = {QueueOrder::kFifo,
+                                     QueueOrder::kHeaviestFirst,
+                                     QueueOrder::kLightestFirst};
+
+/// Seed-driver semantics: the queue is the arrival-ordered (ascending
+/// id) list, stable-sorted by weight for the non-FIFO orders.
+std::vector<RefJob> ordered(std::vector<RefJob> queue, QueueOrder order) {
+  switch (order) {
+    case QueueOrder::kFifo:
+      break;
+    case QueueOrder::kHeaviestFirst:
+      std::stable_sort(queue.begin(), queue.end(),
+                       [](const RefJob& a, const RefJob& b) {
+                         return a.weight > b.weight;
+                       });
+      break;
+    case QueueOrder::kLightestFirst:
+      std::stable_sort(queue.begin(), queue.end(),
+                       [](const RefJob& a, const RefJob& b) {
+                         return a.weight < b.weight;
+                       });
+      break;
+  }
+  return queue;
+}
+
+Cost brute_flow(const std::vector<RefJob>& arrival_order, Time start,
+                QueueOrder order) {
+  Cost flow = 0;
+  Time t = start;
+  for (const RefJob& job : ordered(arrival_order, order)) {
+    flow += job.weight * (t + 1 - job.release);
+    ++t;
+  }
+  return flow;
+}
+
+TEST(PendingSet, EmptySet) {
+  PendingSet set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.size(), 0u);
+  EXPECT_EQ(set.total_weight(), 0);
+  for (const QueueOrder order : kAllOrders) {
+    EXPECT_EQ(set.queue_flow_from(7, order), 0);
+  }
+}
+
+TEST(PendingSet, ClosedFormMatchesHandComputedFlows) {
+  // The pinned example from test_driver: w=1 at r=0, then w=10 at r=0.
+  PendingSet set;
+  set.insert(0, 1, 0);
+  set.insert(1, 10, 0);
+  EXPECT_EQ(set.queue_flow_from(1, QueueOrder::kFifo), 32);
+  EXPECT_EQ(set.queue_flow_from(1, QueueOrder::kHeaviestFirst), 23);
+  EXPECT_EQ(set.queue_flow_from(1, QueueOrder::kLightestFirst), 32);
+  set.erase(1);
+  EXPECT_EQ(set.queue_flow_from(1, QueueOrder::kFifo), 2);
+}
+
+TEST(PendingSet, TiesBreakToEarliestArrival) {
+  PendingSet set;
+  set.insert(3, 5, 0);
+  set.insert(7, 5, 1);
+  set.insert(9, 2, 2);
+  // Equal weights: the earlier id wins in both weight orders.
+  EXPECT_EQ(set.first(QueueOrder::kHeaviestFirst), 3);
+  EXPECT_EQ(set.first(QueueOrder::kLightestFirst), 9);
+  EXPECT_EQ(set.first(QueueOrder::kFifo), 3);
+  set.erase(9);
+  EXPECT_EQ(set.first(QueueOrder::kLightestFirst), 3);
+}
+
+TEST(PendingSet, RanksFollowArrivalOrder) {
+  PendingSet set;
+  set.insert(2, 9, 0);
+  set.insert(5, 1, 1);
+  set.insert(8, 4, 2);
+  ASSERT_EQ(set.size(), 3u);
+  EXPECT_EQ(set.at(0), 2);
+  EXPECT_EQ(set.at(1), 5);
+  EXPECT_EQ(set.at(2), 8);
+  set.erase(5);
+  EXPECT_EQ(set.at(1), 8);
+}
+
+TEST(PendingSet, DifferentialAgainstBruteForce) {
+  for (const std::uint64_t seed : {1u, 7u, 42u, 1234u}) {
+    Prng prng(seed);
+    PendingSet set;
+    std::vector<RefJob> reference;  // kept in ascending-id order
+    JobId next_id = 0;
+    for (int op = 0; op < 400; ++op) {
+      const bool do_insert =
+          reference.empty() || prng.bernoulli(0.6);
+      if (do_insert) {
+        const Weight weight = prng.uniform_int(1, 9);
+        const Time release = prng.uniform_int(0, 50);
+        set.insert(next_id, weight, release);
+        reference.push_back(RefJob{next_id, weight, release});
+        ++next_id;
+      } else {
+        const auto pick = static_cast<std::size_t>(prng.uniform_int(
+            0, static_cast<std::int64_t>(reference.size()) - 1));
+        set.erase(reference[pick].id);
+        reference.erase(reference.begin() +
+                        static_cast<std::ptrdiff_t>(pick));
+      }
+
+      ASSERT_EQ(set.size(), reference.size());
+      Weight total = 0;
+      for (const RefJob& job : reference) total += job.weight;
+      ASSERT_EQ(set.total_weight(), total);
+      for (const QueueOrder order : kAllOrders) {
+        for (const Time start : {0, 3, 60}) {
+          ASSERT_EQ(set.queue_flow_from(start, order),
+                    brute_flow(reference, start, order))
+              << "seed " << seed << " op " << op << " order "
+              << static_cast<int>(order) << " start " << start;
+        }
+        if (!reference.empty()) {
+          ASSERT_EQ(set.first(order), ordered(reference, order).front().id)
+              << "seed " << seed << " op " << op << " order "
+              << static_cast<int>(order);
+        }
+      }
+      if (!reference.empty()) {
+        const auto rank = static_cast<std::size_t>(prng.uniform_int(
+            0, static_cast<std::int64_t>(reference.size()) - 1));
+        ASSERT_EQ(set.at(rank), reference[rank].id);
+        ASSERT_TRUE(set.contains(reference[rank].id));
+      }
+      ASSERT_FALSE(set.contains(next_id));
+    }
+  }
+}
+
+TEST(PendingSetDeath, RejectsDuplicateInsertAndMissingErase) {
+  PendingSet set;
+  set.insert(1, 2, 0);
+  EXPECT_DEATH(set.insert(1, 5, 3), "already present");
+  EXPECT_DEATH(set.erase(0), "not present");
+  set.erase(1);
+  EXPECT_DEATH(set.erase(1), "not present");
+  EXPECT_DEATH((void)set.first(QueueOrder::kFifo), "empty");
+}
+
+}  // namespace
+}  // namespace calib

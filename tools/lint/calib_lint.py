@@ -38,6 +38,14 @@ every header under src/ (headers do not appear in the database). Rules:
       sandbox's MAP_SHARED page) is allowed: it expresses construction
       at an address, not heap ownership.
 
+  policy-driver-isolation
+      Files under src/online/ other than the driver itself, policy.hpp
+      (which defines DriverHandle), and the adversary may neither name
+      OnlineDriver nor include online/driver.hpp. DriverHandle is the
+      entire legal information surface of an online policy; reaching
+      past it would let a policy read state the online model does not
+      reveal.
+
 Usage:
   calib_lint.py --compdb build/compile_commands.json   # lint the tree
   calib_lint.py --files a.cpp b.hpp                    # lint a file set
@@ -299,7 +307,58 @@ def check_no_naked_new(path: Path, stripped: str, rel: str) -> list[Finding]:
 
 
 # ---------------------------------------------------------------------------
+# Rule: policy-driver-isolation
+
+# DriverHandle (online/policy.hpp) is the *entire* legal information
+# surface of a policy. Only the driver itself, the handle that wraps it,
+# and the adversary (which legitimately drives simulations step by step)
+# may name OnlineDriver; a policy translation unit that reaches past the
+# handle can read state an online algorithm does not have.
+DRIVER_ALLOWLIST = {
+    "src/online/driver.hpp",
+    "src/online/driver.cpp",
+    "src/online/policy.hpp",  # DriverHandle stores the OnlineDriver&
+    "src/online/adversary.hpp",
+    "src/online/adversary.cpp",
+}
+ONLINE_DRIVER_RE = re.compile(r"(?<![A-Za-z0-9_])OnlineDriver(?![A-Za-z0-9_])")
+DRIVER_INCLUDE_RE = re.compile(r'#\s*include\s*"online/driver\.hpp"')
+
+
+def check_policy_driver_isolation(path: Path, raw: str,
+                                  rel: str) -> list[Finding]:
+    if not rel.startswith("src/online/") or rel in DRIVER_ALLOWLIST:
+        return []
+    findings = []
+    # The include directive's path is a string literal, so this must run
+    # on the raw text (stripping blanks it out).
+    for m in DRIVER_INCLUDE_RE.finditer(raw):
+        findings.append(
+            Finding(
+                "policy-driver-isolation", path, line_of(raw, m.start()),
+                "policy code must not include online/driver.hpp; the "
+                "DriverHandle surface (online/policy.hpp) is the entire "
+                "legal view of driver state",
+            )
+        )
+    stripped = strip_comments_and_strings(raw)
+    for m in ONLINE_DRIVER_RE.finditer(stripped):
+        findings.append(
+            Finding(
+                "policy-driver-isolation", path, line_of(stripped, m.start()),
+                "'OnlineDriver' named outside the driver/adversary "
+                "allowlist; policies consume DriverHandle only",
+            )
+        )
+    return findings
+
+
+# ---------------------------------------------------------------------------
 # Driver
+
+# Rules that need the raw (unstripped) text: markers live in comments,
+# include paths are string literals.
+RAW_TEXT_RULES = {"check_signal_safety", "check_policy_driver_isolation"}
 
 RULES = [
     check_signal_safety,
@@ -307,6 +366,7 @@ RULES = [
     check_calib_check,
     check_no_iostream,
     check_no_naked_new,
+    check_policy_driver_isolation,
 ]
 
 
@@ -376,7 +436,7 @@ def main() -> int:
         contents[rel] = raw
         stripped = strip_comments_and_strings(raw)
         for rule in RULES:
-            if rule is check_signal_safety:
+            if rule.__name__ in RAW_TEXT_RULES:
                 findings.extend(rule(path, raw, rel))
             else:
                 findings.extend(rule(path, stripped, rel))

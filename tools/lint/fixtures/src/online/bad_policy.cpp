@@ -1,0 +1,16 @@
+// Known-bad fixture for the policy-driver-isolation rule: a policy
+// translation unit that includes the driver header and names
+// OnlineDriver directly instead of going through DriverHandle.
+#include "online/driver.hpp"
+
+namespace calib {
+
+void peek_past_the_handle(OnlineDriver& driver) {
+  // A policy reading driver internals sees state the online model does
+  // not reveal; both the include above and the identifier here must be
+  // findings. This mention of OnlineDriver inside a comment must NOT
+  // count.
+  (void)driver;
+}
+
+}  // namespace calib

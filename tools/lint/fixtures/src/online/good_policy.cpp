@@ -1,0 +1,20 @@
+// Known-good fixture for the policy-driver-isolation rule: a policy
+// that consumes only the DriverHandle surface. The OnlineDriver mention
+// in this comment (and in the string below) must not trip the rule.
+#include "online/policy.hpp"
+
+namespace calib {
+
+const char* surface_note() {
+  return "policies never name OnlineDriver";
+}
+
+void decide_via_handle(DriverHandle& handle) {
+  if (handle.waiting_empty()) return;
+  if (handle.queue_flow_from(handle.now() + 1, QueueOrder::kFifo) >=
+      handle.G()) {
+    handle.calibrate();
+  }
+}
+
+}  // namespace calib

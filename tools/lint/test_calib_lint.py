@@ -62,6 +62,25 @@ class FixtureDetection(unittest.TestCase):
         # new + delete are two separate findings.
         self.assertEqual(out.count("[no-naked-new]"), 2, out)
 
+    def test_policy_driver_isolation(self):
+        fixtures = HERE / "fixtures"
+        rc, out, _ = run_lint(fixtures,
+                              [fixtures / "src/online/bad_policy.cpp"])
+        self.assertEqual(rc, 1, out)
+        self.assertIn("[policy-driver-isolation]", out)
+        self.assertIn("online/driver.hpp", out)
+        self.assertIn("OnlineDriver", out)
+        # One finding for the include, one for the identifier; the
+        # comment mentions must not count.
+        self.assertEqual(out.count("[policy-driver-isolation]"), 2, out)
+
+    def test_policy_driver_isolation_good_policy_is_clean(self):
+        fixtures = HERE / "fixtures"
+        rc, out, _ = run_lint(fixtures,
+                              [fixtures / "src/online/good_policy.cpp"])
+        self.assertEqual(rc, 0, out)
+        self.assertEqual(out.strip(), "", out)
+
     def test_comments_and_strings_do_not_count(self):
         fixtures = HERE / "fixtures"
         rc, out, _ = run_lint(fixtures, [fixtures / "src/util/good_util.cpp"])
