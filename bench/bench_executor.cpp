@@ -1,0 +1,149 @@
+// E18 — sharded-executor scaling and failure-handling accounting.
+//
+// Timed side (BM_ShardedSweep): end-to-end sweep throughput across
+// worker-process counts, against the same grid solved in-process — the
+// executor's value is crash containment, so the interesting number is
+// how little the coordinator/lease protocol costs when nothing fails.
+//
+// Deterministic side (the exit reporter, what the bench-gate pins):
+// the executor's lease/retry/loss counters after one clean sharded run
+// and one run with an injected worker kill. Worker scheduling is free
+// to vary; the *accounting* may not — every cell is leased exactly
+// once per attempt, a killed worker costs exactly one retry, and the
+// workers' merged metrics account for every cell.
+//
+// Metrics sidecar (CALIBSCHED_METRICS=<dir>): counters executor.leases,
+// executor.results, executor.retries, executor.workers_lost,
+// executor.corrupt_frames (exact, gated at tolerance 0.05), gauge
+// executor.worker_cells_ok (merged from the workers' snapshots), plus
+// executor.cells_per_sec.w<N> throughput gauges (skipped by the gate's
+// nondeterminism patterns, like every *_per_sec reading).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "bench_common.hpp"
+#include "harness/sweep.hpp"
+#include "obs/metrics.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace calib;
+
+const benchutil::MetricsSidecar sidecar("bench_executor");  // NOLINT
+
+harness::SweepGrid bench_grid() {
+  harness::WorkloadSpec spec;
+  spec.kind = "poisson";
+  spec.rate = 0.35;
+  spec.steps = benchutil::small_mode() ? 24 : 64;
+  spec.T = 4;
+  harness::SweepGrid grid;
+  grid.workloads = {spec};
+  grid.solvers = {"alg1", "alg2"};
+  grid.G_values = {6, 18};
+  grid.seeds = benchutil::small_mode() ? 4 : 16;
+  grid.base_seed = 11;
+  grid.compare_to_opt = true;
+  grid.threads = 1;
+  return grid;
+}
+
+harness::SweepOptions executor_options(int workers) {
+  harness::SweepOptions options;
+  options.workers = workers;
+  options.heartbeat_interval_ms = 25.0;
+  options.retry_backoff_ms = 2.0;
+  options.retry_backoff_cap_ms = 20.0;
+  return options;
+}
+
+void BM_ShardedSweep(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  harness::SweepEngine engine(bench_grid());
+  const std::size_t cells = engine.grid().cells();
+  for (auto _ : state) {
+    const harness::SweepReport report =
+        workers == 0 ? engine.run() : engine.run(executor_options(workers));
+    benchmark::DoNotOptimize(report.rows.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(cells));
+  state.counters["workers"] = workers;
+}
+
+BENCHMARK(BM_ShardedSweep)
+    ->Arg(0)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+/// The deterministic accounting table, computed at exit so the numbers
+/// land in the sidecar the bench-gate diffs (the BM_* timing loops are
+/// filtered out in gate runs and never touch these runs' counters).
+struct AccountingReporter {
+  ~AccountingReporter() {
+    std::cout << "\nE18 - sharded executor accounting "
+              << (benchutil::small_mode() ? "(small mode)" : "") << ":\n";
+    std::uint64_t worker_cells_ok = 0;
+
+    // One clean run: leases == results == cells, nothing lost.
+    {
+      harness::SweepEngine engine(bench_grid());
+      const Timer timer;
+      const harness::SweepReport report = engine.run(executor_options(2));
+      const double seconds = timer.millis() / 1000.0;
+      const auto cells = static_cast<double>(report.rows.size());
+      obs::metrics()
+          .gauge("executor.cells_per_sec.w2")
+          .set(static_cast<std::int64_t>(cells / std::max(seconds, 1e-9)));
+      if (const auto it =
+              report.worker_metrics.counters.find("sweep.cells_ok");
+          it != report.worker_metrics.counters.end()) {
+        worker_cells_ok += it->second;
+      }
+      std::cout << "  clean (2 workers): " << report.rows.size()
+                << " cells, " << report.timing.retries << " retries, "
+                << report.timing.workers_lost << " workers lost\n";
+    }
+
+    // One faulted run: worker 1 is killed at its third lease, so the
+    // fleet loses exactly one worker and retries exactly one cell.
+    {
+      harness::SweepEngine engine(bench_grid());
+      harness::SweepOptions options = executor_options(3);
+      options.worker_faults = harness::parse_worker_faults("kill=1@2");
+      const Timer timer;
+      const harness::SweepReport report = engine.run(options);
+      const double seconds = timer.millis() / 1000.0;
+      const auto cells = static_cast<double>(report.rows.size());
+      obs::metrics()
+          .gauge("executor.cells_per_sec.w3_faulted")
+          .set(static_cast<std::int64_t>(cells / std::max(seconds, 1e-9)));
+      if (const auto it =
+              report.worker_metrics.counters.find("sweep.cells_ok");
+          it != report.worker_metrics.counters.end()) {
+        worker_cells_ok += it->second;
+      }
+      std::cout << "  kill=1@2 (3 workers): " << report.rows.size()
+                << " cells, " << report.timing.retries << " retries, "
+                << report.timing.workers_lost << " workers lost\n";
+    }
+
+    // Cross-process instrumentation check: the workers' merged final
+    // snapshots account for every ok cell of the clean run exactly; a
+    // SIGKILLed worker's counts since its last heartbeat die with it,
+    // so the faulted run undercounts by at most the fault's two
+    // pre-kill cells — well inside the gate's 5% tolerance.
+    obs::metrics()
+        .gauge("executor.worker_cells_ok")
+        .set(static_cast<std::int64_t>(worker_cells_ok));
+    std::cout << "  worker-merged cells_ok: " << worker_cells_ok << "\n";
+  }
+};
+
+const AccountingReporter reporter;  // NOLINT(cert-err58-cpp)
+
+}  // namespace

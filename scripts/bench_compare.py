@@ -44,10 +44,11 @@ NONDETERMINISTIC_PATTERNS = [
     r"wall",
     r"wait",             # queue waits depend on pool scheduling
     r"queue_depth",      # gauge sampled mid-flight
-    r"steps_per_sec",    # throughput readings (gated via --min instead)
+    r"per_sec",          # throughput readings (gated via --min instead)
     r"speedup",          # ditto
     r"dp_cache",         # cross-thread eviction order varies
     r"pool\.",           # thread-pool internals
+    r"heartbeat",        # executor heartbeat count scales with wall time
 ]
 NONDETERMINISTIC_RE = re.compile("|".join(NONDETERMINISTIC_PATTERNS))
 

@@ -68,14 +68,16 @@ fi
 # Gate 3: bench baselines — regenerate the deterministic small-mode
 # sidecars (CALIBSCHED_BENCH_SMALL=1, BM_* timing loops filtered out)
 # and diff them against the committed bench/baselines/BENCH_* files,
-# including the bench_driver incremental-vs-legacy speedup floor.
-# Skipped in sanitized trees: the counters would match, but the legacy
-# driver's O(n log n) steps at depth 1e5 are unusably slow under ASan.
+# including the bench_driver depth-scaling floor (O(log n) decision
+# rounds keep depth-1e5 throughput >= 5% of depth-1e2; the removed seed
+# driver's O(n log n) rounds sat near 0.1%). Skipped in sanitized
+# trees: the counters would match, but the deep-queue steps and the
+# executor's forked workers are unusably slow under sanitizers.
 if [ "${SANITIZE:-0}" = "0" ] && [ -x "$BUILD/bench/bench_driver" ]; then
   echo "== gate: bench baselines =="
   BENCH_OUT="$(mktemp -d)"
   trap 'rm -f "$BUILD_LOG"; rm -rf "$BENCH_OUT"' EXIT
-  for b in alg1 alg2 dp_scaling driver; do
+  for b in alg1 alg2 dp_scaling driver executor; do
     CALIBSCHED_BENCH_SMALL=1 CALIBSCHED_METRICS="$BENCH_OUT" \
       "$BUILD/bench/bench_$b" --benchmark_filter=DISABLED_none \
       > "$BENCH_OUT/$b.out" 2>&1
@@ -88,7 +90,10 @@ if [ "${SANITIZE:-0}" = "0" ] && [ -x "$BUILD/bench/bench_driver" ]; then
   python3 scripts/bench_compare.py \
     --baseline bench/baselines/BENCH_driver.json \
     --current "$BENCH_OUT/bench_driver.metrics.json" --tolerance 0.05 \
-    --min driver.speedup_x100.d10000=1000
+    --min driver.depth_scaling_speedup_x100=5
+  python3 scripts/bench_compare.py \
+    --baseline bench/baselines/BENCH_executor.json \
+    --current "$BENCH_OUT/bench_executor.metrics.json" --tolerance 0.05
 else
   echo "== gate: bench baselines == SKIPPED (sanitized build or benches" \
        "not built; runs in the bench-gate CI job)"

@@ -1,0 +1,708 @@
+#include "harness/executor/executor.hpp"
+
+#include <poll.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#ifdef __linux__
+#include <sys/prctl.h>
+#endif
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <deque>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "harness/executor/protocol.hpp"
+#include "harness/grid.hpp"
+#include "harness/journal.hpp"
+#include "harness/sandbox.hpp"
+#include "obs/trace.hpp"
+#include "util/sync.hpp"
+
+namespace calib::harness {
+namespace {
+
+// Parent-side executor accounting. One static bundle, registered before
+// the first fork (executor_metrics_warmup) so no child inherits the
+// registry mutex locked. The sweep.cells_* handles resolve to the same
+// underlying counters the in-process engine uses — the coordinator only
+// touches them for rows it synthesizes itself (terminal degraded rows,
+// skip stubs); worker-executed cells are counted in the workers' own
+// registries and arrive via the merged heartbeat snapshots.
+struct ExecutorMetrics {
+  obs::Counter leases = obs::metrics().counter("executor.leases");
+  obs::Counter results = obs::metrics().counter("executor.results");
+  obs::Counter retries = obs::metrics().counter("executor.retries");
+  obs::Counter workers_lost = obs::metrics().counter("executor.workers_lost");
+  obs::Counter corrupt_frames =
+      obs::metrics().counter("executor.corrupt_frames");
+  obs::Counter heartbeat_frames =
+      obs::metrics().counter("executor.heartbeat_frames");
+  obs::Gauge workers = obs::metrics().gauge("executor.workers");
+  obs::Counter cells_skipped = obs::metrics().counter("sweep.cells_skipped");
+  obs::Counter cells_error = obs::metrics().counter("sweep.cells_error");
+  obs::Counter cells_timeout = obs::metrics().counter("sweep.cells_timeout");
+  obs::Counter cells_crashed = obs::metrics().counter("sweep.cells_crashed");
+};
+
+const ExecutorMetrics& exec_metrics() {
+  static const ExecutorMetrics metrics;
+  return metrics;
+}
+
+// The coordinator writes into pipes whose reader may have just died;
+// without this, the resulting SIGPIPE would kill the whole sweep
+// instead of surfacing as an EPIPE on one worker. Set once, process-
+// wide, before any worker exists (children inherit the disposition, so
+// their response-pipe writes after a coordinator crash are equally
+// harmless — PDEATHSIG reaps them moments later anyway).
+void ignore_sigpipe() {
+  static const bool installed = [] {
+    (void)std::signal(SIGPIPE, SIG_IGN);
+    return true;
+  }();
+  (void)installed;
+}
+
+// ---- Worker process -------------------------------------------------
+
+// All frames share one pipe, and the heartbeat thread writes
+// concurrently with the lease loop: a mutex per worker keeps frames
+// from interleaving mid-header.
+bool locked_write(Mutex& mutex, int fd, FrameType type,
+                  const std::string& payload) {
+  const MutexLock lock(mutex);
+  return write_frame(fd, type, payload);
+}
+
+[[noreturn]] void worker_main(const SweepEngine& engine,
+                              const SweepOptions& options, int worker_index,
+                              int request_fd, int response_fd) {
+#ifdef PR_SET_PDEATHSIG
+  // Die with the coordinator: no worker outlives the sweep.
+  ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+#endif
+  // The fork copied the coordinator's counter values; zero them so this
+  // worker's snapshots report only its own work — otherwise the merge
+  // would re-add the parent's pre-fork counts once per worker.
+  obs::metrics().reset();
+
+  Mutex pipe_mutex;
+  std::atomic<bool> stop{false};
+
+  // Heartbeat thread: liveness plus the cumulative metrics snapshot.
+  // Sleeps in 10 ms slices so shutdown never waits a full interval.
+  std::thread heartbeat([&pipe_mutex, &stop, &options, response_fd] {
+    const double interval_ms = std::max(options.heartbeat_interval_ms, 1.0);
+    double slept_ms = interval_ms;  // emit one immediately at startup
+    while (!stop.load(std::memory_order_acquire)) {
+      if (slept_ms >= interval_ms) {
+        slept_ms = 0.0;
+        const std::string payload =
+            encode_metrics_payload(obs::metrics().snapshot());
+        if (!locked_write(pipe_mutex, response_fd, FrameType::kHeartbeat,
+                          payload)) {
+          return;  // coordinator gone; PDEATHSIG will end the process
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      slept_ms += 10.0;
+    }
+  });
+
+  // This worker's slice of the fault plan, armed by its own
+  // completed-cell count; each fault fires at most once.
+  std::vector<WorkerFault> faults;
+  for (const WorkerFault& fault : options.worker_faults.faults) {
+    if (fault.worker == worker_index) faults.push_back(fault);
+  }
+  std::vector<bool> fired(faults.size(), false);
+
+  FlowCurveCache cache;  // per-worker cross-cell DP sharing
+  FrameReader reader;
+  std::size_t completed = 0;
+  bool pipe_ok = true;
+
+  const auto read_frame = [&reader, request_fd](Frame& frame) {
+    char buf[4096];
+    while (!reader.next(frame)) {
+      const ssize_t n = ::read(request_fd, buf, sizeof buf);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return false;  // coordinator gone
+      reader.feed(buf, static_cast<std::size_t>(n));
+      if (reader.corrupted()) return false;
+    }
+    return true;
+  };
+
+  Frame frame;
+  while (pipe_ok && read_frame(frame)) {
+    if (frame.type == FrameType::kShutdown) break;
+    if (frame.type != FrameType::kLease) break;  // protocol breach: die
+    std::size_t index = 0;
+    try {
+      index = std::stoull(frame.payload);
+    } catch (const std::exception&) {
+      break;  // malformed lease; die and let the coordinator recover
+    }
+
+    bool corrupt_result = false;
+    for (std::size_t f = 0; f < faults.size(); ++f) {
+      if (fired[f] || completed < faults[f].after_cells) continue;
+      fired[f] = true;
+      switch (faults[f].kind) {
+        case WorkerFault::Kind::kKill:
+          // At the start of the lease, so an in-flight cell always dies.
+          (void)::kill(::getpid(), SIGKILL);
+          break;
+        case WorkerFault::Kind::kStall:
+          // SIGSTOP freezes every thread, heartbeats included — exactly
+          // the silent-wedge failure the heartbeat timeout exists for.
+          // SIGKILL still works on a stopped process, so the
+          // coordinator can reap us.
+          (void)::kill(::getpid(), SIGSTOP);
+          break;
+        case WorkerFault::Kind::kCorruptFrame:
+          corrupt_result = true;
+          break;
+      }
+    }
+
+    const SweepRow row = engine.execute_cell(index, cache, options);
+    ++completed;
+    if (corrupt_result) {
+      // A haywire worker: a garbage blob where a frame should start.
+      const MutexLock lock(pipe_mutex);
+      const char garbage[12] = {'\x7f', 'G', 'A', 'R',    'B',    'A',
+                                'G',    'E', '!', '\x01', '\x02', '\x03'};
+      ssize_t n = 0;
+      do {
+        n = ::write(response_fd, garbage, sizeof garbage);
+      } while (n < 0 && errno == EINTR);
+      (void)n;
+      continue;  // the coordinator will SIGKILL us
+    }
+    const std::string payload = row_to_json(
+        row, engine.grid().extra_metric_name, /*include_timing=*/true);
+    pipe_ok =
+        locked_write(pipe_mutex, response_fd, FrameType::kResult, payload);
+  }
+
+  stop.store(true, std::memory_order_release);
+  heartbeat.join();
+  // One final cumulative snapshot: interval heartbeats are stale by up
+  // to a period; this one is exact and is what the coordinator merges.
+  (void)locked_write(pipe_mutex, response_fd, FrameType::kHeartbeat,
+                     encode_metrics_payload(obs::metrics().snapshot()));
+  // _exit, not exit: a forked child must not flush the coordinator's
+  // inherited stdio buffers or run its static destructors.
+  ::_exit(0);
+}
+
+// ---- Coordinator ----------------------------------------------------
+
+struct WorkerState {
+  pid_t pid = -1;
+  int request_fd = -1;   // coordinator -> worker (leases, shutdown)
+  int response_fd = -1;  // worker -> coordinator (results, heartbeats)
+  FrameReader reader;
+  bool alive = false;
+  std::int64_t lease = -1;  // in-flight cell index (-1 = idle)
+  std::uint64_t lease_start_ns = 0;
+  std::uint64_t last_seen_ns = 0;  // any frame counts as liveness
+  std::string last_metrics;       // latest heartbeat payload (cumulative)
+};
+
+// Why a worker was declared dead. Picks the terminal row's status and
+// its deterministic error text — no pids, no durations, so the same
+// fault plan yields byte-identical rows on every run.
+enum class DeathCause { kPipe, kHeartbeat, kCorruptFrame, kWatchdog };
+
+std::uint64_t ms_to_ns(double ms) {
+  return static_cast<std::uint64_t>(ms * 1e6);
+}
+
+}  // namespace
+
+void executor_metrics_warmup() { (void)exec_metrics(); }
+
+ShardedRunStats run_sharded_sweep(const SweepEngine& engine,
+                                  const SweepOptions& options,
+                                  const std::vector<char>& done,
+                                  std::vector<SweepRow>& rows,
+                                  SweepJournal* journal) {
+  ignore_sigpipe();
+  const SweepGrid& grid = engine.grid();
+  const ExecutorMetrics& metrics = exec_metrics();
+  const auto worker_count = static_cast<std::size_t>(options.workers);
+  metrics.workers.set(options.workers);
+
+  ShardedRunStats stats;
+
+  // ---- Spawn the fleet. The coordinator-side fds accumulated so far
+  // are closed inside each new child, so every pipe end is held by
+  // exactly two processes and EOF detection stays crisp.
+  std::vector<WorkerState> workers(worker_count);
+  std::vector<int> parent_fds;
+  const auto kill_fleet = [&workers] {
+    for (WorkerState& w : workers) {
+      if (!w.alive) continue;
+      (void)::kill(w.pid, SIGKILL);
+      int status = 0;
+      while (::waitpid(w.pid, &status, 0) < 0 && errno == EINTR) {
+      }
+      ::close(w.request_fd);
+      ::close(w.response_fd);
+      w.alive = false;
+    }
+  };
+  for (std::size_t w = 0; w < worker_count; ++w) {
+    int request_pipe[2];
+    int response_pipe[2];
+    if (::pipe(request_pipe) != 0) {
+      kill_fleet();
+      throw std::runtime_error("executor: pipe() failed");
+    }
+    if (::pipe(response_pipe) != 0) {
+      ::close(request_pipe[0]);
+      ::close(request_pipe[1]);
+      kill_fleet();
+      throw std::runtime_error("executor: pipe() failed");
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(request_pipe[0]);
+      ::close(request_pipe[1]);
+      ::close(response_pipe[0]);
+      ::close(response_pipe[1]);
+      kill_fleet();
+      throw std::runtime_error("executor: fork() failed");
+    }
+    if (pid == 0) {
+      ::close(request_pipe[1]);
+      ::close(response_pipe[0]);
+      for (const int fd : parent_fds) ::close(fd);
+      worker_main(engine, options, static_cast<int>(w), request_pipe[0],
+                  response_pipe[1]);  // noreturn
+    }
+    ::close(request_pipe[0]);
+    ::close(response_pipe[1]);
+    WorkerState& state = workers[w];
+    state.pid = pid;
+    state.request_fd = request_pipe[1];
+    state.response_fd = response_pipe[0];
+    state.alive = true;
+    state.last_seen_ns = obs::now_ns();
+    parent_fds.push_back(state.request_fd);
+    parent_fds.push_back(state.response_fd);
+  }
+
+  // ---- Lease bookkeeping.
+  const std::size_t cells = rows.size();
+  std::deque<std::size_t> fresh;  // first-attempt leases, cell order
+  for (std::size_t i = 0; i < cells; ++i) {
+    if (i < done.size() && done[i] != 0) continue;
+    fresh.push_back(i);
+  }
+  struct Delayed {
+    std::uint64_t ready_ns;
+    std::size_t cell;
+  };
+  std::vector<Delayed> delayed;           // retries waiting out backoff
+  std::deque<std::size_t> ready_retries;  // retries cleared to dispatch
+  std::vector<int> attempts(cells, 0);    // failed dispatches per cell
+  std::size_t outstanding = fresh.size();
+  std::size_t tickets = 0;  // max_cells accounting (first attempts only)
+
+  // The lease watchdog is the third detection layer, past both the
+  // in-cell cooperative budget (1x) and the sandbox's per-cell SIGKILL
+  // (1.5x): it only fires when the worker process itself is wedged.
+  const double watchdog_ms =
+      options.cell_budget_ms > 0.0 ? options.cell_budget_ms * 3.0 : 0.0;
+  const std::uint64_t heartbeat_timeout_ns =
+      ms_to_ns(options.heartbeat_timeout_ms);
+
+  const auto stub_row = [&grid](std::size_t cell) {
+    const CellCoords coords = cell_coords(grid, cell);
+    SweepRow row;
+    row.cell = coords.index;
+    row.workload_index = coords.workload;
+    row.workload = grid.workloads[coords.workload].label();
+    row.solver = grid.solvers[coords.solver];
+    row.G = grid.G_values[coords.g];
+    row.seed = coords.seed;
+    row.result.solver = row.solver;
+    return row;
+  };
+
+  const auto finalize_terminal = [&](std::size_t cell, RunStatus status,
+                                     const std::string& error) {
+    SweepRow row = stub_row(cell);
+    row.status = status;
+    row.error = error;
+    rows[cell] = std::move(row);
+    if (journal != nullptr) {
+      journal->append(row_to_json(rows[cell], grid.extra_metric_name,
+                                  /*include_timing=*/true));
+    }
+    switch (status) {
+      case RunStatus::kCrashed: metrics.cells_crashed.add(); break;
+      case RunStatus::kTimeout: metrics.cells_timeout.add(); break;
+      default: metrics.cells_error.add(); break;
+    }
+    --outstanding;
+  };
+
+  // Pop the next cell to lease: aged retries first, then fresh cells.
+  // Fresh cells pay the max_cells ticket; once tickets run out they
+  // become skip stubs (not journaled — a resume re-runs them), exactly
+  // like the thread-pool path.
+  const auto next_cell = [&](std::size_t& cell, bool& is_retry) {
+    if (!ready_retries.empty()) {
+      cell = ready_retries.front();
+      ready_retries.pop_front();
+      is_retry = true;
+      return true;
+    }
+    while (!fresh.empty()) {
+      cell = fresh.front();
+      fresh.pop_front();
+      if (tickets++ >= options.max_cells) {
+        SweepRow row = stub_row(cell);
+        row.status = RunStatus::kSkipped;
+        rows[cell] = std::move(row);
+        metrics.cells_skipped.add();
+        --outstanding;
+        continue;
+      }
+      is_retry = false;
+      return true;
+    }
+    return false;
+  };
+
+  const auto reap = [](WorkerState& w) {
+    int status = 0;
+    while (::waitpid(w.pid, &status, 0) < 0 && errno == EINTR) {
+    }
+    ::close(w.request_fd);
+    ::close(w.response_fd);
+    w.request_fd = -1;
+    w.response_fd = -1;
+    return status;
+  };
+
+  // A worker is gone: reap it, then either re-queue its in-flight lease
+  // with backoff or — once max_cell_attempts is spent — write the
+  // cell's terminal row.
+  const auto handle_death = [&](WorkerState& w, DeathCause cause) {
+    if (!w.alive) return;
+    w.alive = false;
+    if (cause != DeathCause::kPipe) (void)::kill(w.pid, SIGKILL);
+    const int status = reap(w);
+    ++stats.workers_lost;
+    metrics.workers_lost.add();
+    if (w.lease < 0) return;
+    const auto cell = static_cast<std::size_t>(w.lease);
+    w.lease = -1;
+    const int attempt = ++attempts[cell];
+    if (attempt < options.max_cell_attempts) {
+      double backoff = options.retry_backoff_ms;
+      for (int i = 1; i < attempt; ++i) backoff *= 2.0;
+      backoff = std::min(backoff, options.retry_backoff_cap_ms);
+      delayed.push_back(Delayed{obs::now_ns() + ms_to_ns(backoff), cell});
+      ++stats.retries;
+      metrics.retries.add();
+      return;
+    }
+    const std::string suffix =
+        " (cell " + std::to_string(cell) + ", attempt " +
+        std::to_string(attempt) + " of " +
+        std::to_string(options.max_cell_attempts) + ")";
+    switch (cause) {
+      case DeathCause::kPipe:
+        if (WIFSIGNALED(status)) {
+          finalize_terminal(cell, RunStatus::kCrashed,
+                            "executor: worker killed by " +
+                                signal_name(WTERMSIG(status)) + suffix);
+        } else {
+          finalize_terminal(
+              cell, RunStatus::kError,
+              "executor: worker exited with code " +
+                  std::to_string(WIFEXITED(status) ? WEXITSTATUS(status)
+                                                   : -1) +
+                  suffix);
+        }
+        break;
+      case DeathCause::kHeartbeat:
+        finalize_terminal(cell, RunStatus::kCrashed,
+                          "executor: worker heartbeat timeout" + suffix);
+        break;
+      case DeathCause::kCorruptFrame:
+        finalize_terminal(cell, RunStatus::kError,
+                          "executor: corrupt result frame" + suffix);
+        break;
+      case DeathCause::kWatchdog:
+        break;  // the watchdog resolved the lease before killing
+    }
+  };
+
+  // Lease watchdog fire: the cell is a terminal timeout row (retrying a
+  // wedge would wedge again — same vocabulary as the sandbox watchdog),
+  // and the worker holding it is killed.
+  const auto handle_watchdog = [&](WorkerState& w) {
+    const auto cell = static_cast<std::size_t>(w.lease);
+    w.lease = -1;  // resolved here; the death path must not re-queue it
+    finalize_terminal(cell, RunStatus::kTimeout,
+                      "cell budget exceeded (executor watchdog SIGKILL)");
+    handle_death(w, DeathCause::kWatchdog);
+  };
+
+  // A result frame must match the outstanding lease and restore
+  // cleanly; anything else is a protocol breach and the caller treats
+  // the worker as corrupt.
+  const auto handle_result = [&](WorkerState& w, const std::string& payload) {
+    if (w.lease < 0) return false;
+    const auto cell = static_cast<std::size_t>(w.lease);
+    SweepRow row;
+    try {
+      const auto entry = parse_flat_json(payload);
+      const auto it = entry.find("cell");
+      if (it == entry.end() || std::stoull(it->second) != cell) return false;
+      if (!restore_row_from_entry(entry, cell_coords(grid, cell), grid,
+                                  row)) {
+        return false;
+      }
+    } catch (const std::exception&) {
+      return false;
+    }
+    w.lease = -1;
+    rows[cell] = std::move(row);
+    // The payload IS the row's journal serialization — appending it
+    // verbatim keeps the journal byte-identical to an in-process run.
+    if (journal != nullptr) journal->append(payload);
+    metrics.results.add();
+    --outstanding;
+    return true;
+  };
+
+  // ---- Decision loop: dispatch, poll, drain, detect.
+  while (outstanding > 0) {
+    const std::uint64_t now = obs::now_ns();
+
+    // Promote retries whose backoff has elapsed.
+    for (std::size_t i = 0; i < delayed.size();) {
+      if (delayed[i].ready_ns <= now) {
+        ready_retries.push_back(delayed[i].cell);
+        delayed[i] = delayed.back();
+        delayed.pop_back();
+      } else {
+        ++i;
+      }
+    }
+
+    // Elastic dispatch: any idle live worker takes the next lease, so
+    // the stream re-balances itself onto survivors.
+    for (WorkerState& w : workers) {
+      if (!w.alive || w.lease >= 0) continue;
+      std::size_t cell = 0;
+      bool is_retry = false;
+      if (!next_cell(cell, is_retry)) break;
+      w.lease = static_cast<std::int64_t>(cell);
+      w.lease_start_ns = obs::now_ns();
+      metrics.leases.add();
+      if (!write_frame(w.request_fd, FrameType::kLease,
+                       std::to_string(cell))) {
+        handle_death(w, DeathCause::kPipe);  // re-queues this lease
+      }
+    }
+    if (outstanding == 0) break;
+
+    const bool any_alive =
+        std::any_of(workers.begin(), workers.end(),
+                    [](const WorkerState& w) { return w.alive; });
+    if (!any_alive) {
+      // Total fleet loss: degrade, don't deadlock — every unfinished
+      // cell becomes a journaled error row a later retry-failed resume
+      // can re-run.
+      for (const Delayed& d : delayed) ready_retries.push_back(d.cell);
+      delayed.clear();
+      std::size_t cell = 0;
+      bool is_retry = false;
+      while (next_cell(cell, is_retry)) {
+        finalize_terminal(cell, RunStatus::kError,
+                          "executor: no workers remaining (cell " +
+                              std::to_string(cell) + ")");
+      }
+      break;
+    }
+
+    // Sleep until the earliest of: a heartbeat deadline, a lease
+    // watchdog, a retry becoming ready — capped at a 100 ms tick.
+    std::uint64_t deadline = now + 100'000'000ULL;
+    for (const WorkerState& w : workers) {
+      if (!w.alive) continue;
+      deadline = std::min(deadline, w.last_seen_ns + heartbeat_timeout_ns);
+      if (w.lease >= 0 && watchdog_ms > 0.0) {
+        deadline =
+            std::min(deadline, w.lease_start_ns + ms_to_ns(watchdog_ms));
+      }
+    }
+    for (const Delayed& d : delayed) {
+      deadline = std::min(deadline, d.ready_ns);
+    }
+    const std::uint64_t pre_poll = obs::now_ns();
+    const int timeout_ms =
+        deadline > pre_poll
+            ? static_cast<int>((deadline - pre_poll) / 1'000'000ULL) + 1
+            : 0;
+
+    std::vector<pollfd> fds;
+    std::vector<std::size_t> fd_worker;
+    for (std::size_t i = 0; i < workers.size(); ++i) {
+      if (!workers[i].alive) continue;
+      fds.push_back(pollfd{workers[i].response_fd, POLLIN, 0});
+      fd_worker.push_back(i);
+    }
+    const int npoll =
+        ::poll(fds.data(), static_cast<nfds_t>(fds.size()), timeout_ms);
+    if (npoll < 0 && errno != EINTR) {
+      kill_fleet();
+      throw std::runtime_error("executor: poll() failed");
+    }
+
+    for (std::size_t k = 0; npoll > 0 && k < fds.size(); ++k) {
+      if (fds[k].revents == 0) continue;
+      WorkerState& w = workers[fd_worker[k]];
+      if (!w.alive) continue;
+      char buf[65536];
+      const ssize_t n = ::read(w.response_fd, buf, sizeof buf);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) {  // EOF or hard error: the worker died
+        handle_death(w, DeathCause::kPipe);
+        continue;
+      }
+      w.reader.feed(buf, static_cast<std::size_t>(n));
+      if (w.reader.corrupted()) {
+        metrics.corrupt_frames.add();
+        handle_death(w, DeathCause::kCorruptFrame);
+        continue;
+      }
+      w.last_seen_ns = obs::now_ns();
+      Frame frame;
+      bool breach = false;
+      while (!breach && w.reader.next(frame)) {
+        switch (frame.type) {
+          case FrameType::kResult:
+            breach = !handle_result(w, frame.payload);
+            break;
+          case FrameType::kHeartbeat:
+            w.last_metrics = std::move(frame.payload);
+            metrics.heartbeat_frames.add();
+            break;
+          default:
+            breach = true;  // workers never send leases or shutdowns
+        }
+      }
+      if (breach) {
+        metrics.corrupt_frames.add();
+        handle_death(w, DeathCause::kCorruptFrame);
+      }
+    }
+
+    // Failure detection poll cannot see: frozen workers (heartbeats
+    // stopped but the pipe is still open) and wedged leases.
+    const std::uint64_t check = obs::now_ns();
+    for (WorkerState& w : workers) {
+      if (!w.alive) continue;
+      if (check - w.last_seen_ns > heartbeat_timeout_ns) {
+        handle_death(w, DeathCause::kHeartbeat);
+        continue;
+      }
+      if (w.lease >= 0 && watchdog_ms > 0.0 &&
+          check - w.lease_start_ns > ms_to_ns(watchdog_ms)) {
+        handle_watchdog(w);
+      }
+    }
+  }
+
+  // ---- Clean shutdown: ask survivors to exit, drain their final
+  // heartbeats (the authoritative metrics snapshots), reap on EOF. A
+  // worker that will not exit within the grace window is SIGKILLed —
+  // shutdown is watchdog-bounded like everything else.
+  for (WorkerState& w : workers) {
+    if (!w.alive) continue;
+    if (!write_frame(w.request_fd, FrameType::kShutdown, "")) {
+      handle_death(w, DeathCause::kPipe);  // no lease in flight by now
+    }
+  }
+  const std::uint64_t grace_deadline = obs::now_ns() + 5'000'000'000ULL;
+  for (;;) {
+    std::vector<pollfd> fds;
+    std::vector<std::size_t> fd_worker;
+    for (std::size_t i = 0; i < workers.size(); ++i) {
+      if (!workers[i].alive) continue;
+      fds.push_back(pollfd{workers[i].response_fd, POLLIN, 0});
+      fd_worker.push_back(i);
+    }
+    if (fds.empty()) break;
+    const std::uint64_t now = obs::now_ns();
+    if (now >= grace_deadline) {
+      for (const std::size_t i : fd_worker) {
+        handle_death(workers[i], DeathCause::kHeartbeat);
+      }
+      break;
+    }
+    const int timeout_ms =
+        static_cast<int>((grace_deadline - now) / 1'000'000ULL) + 1;
+    const int npoll =
+        ::poll(fds.data(), static_cast<nfds_t>(fds.size()), timeout_ms);
+    if (npoll < 0 && errno != EINTR) {
+      kill_fleet();
+      throw std::runtime_error("executor: poll() failed");
+    }
+    for (std::size_t k = 0; npoll > 0 && k < fds.size(); ++k) {
+      if (fds[k].revents == 0) continue;
+      WorkerState& w = workers[fd_worker[k]];
+      char buf[65536];
+      const ssize_t n = ::read(w.response_fd, buf, sizeof buf);
+      if (n < 0 && errno == EINTR) continue;
+      if (n > 0) {
+        w.reader.feed(buf, static_cast<std::size_t>(n));
+        Frame frame;
+        while (!w.reader.corrupted() && w.reader.next(frame)) {
+          if (frame.type == FrameType::kHeartbeat) {
+            w.last_metrics = std::move(frame.payload);
+          }
+        }
+        continue;
+      }
+      // EOF after shutdown: a clean exit, not a lost worker.
+      w.alive = false;
+      (void)reap(w);
+    }
+  }
+
+  // ---- Merge the workers' final snapshots: their counters died with
+  // their processes; this is how cross-process instrumentation reaches
+  // the caller. A torn sample from a dying worker is just dropped.
+  for (const WorkerState& w : workers) {
+    if (w.last_metrics.empty()) continue;
+    try {
+      stats.worker_metrics.merge(decode_metrics_payload(w.last_metrics));
+    } catch (const std::exception&) {
+    }
+  }
+  return stats;
+}
+
+}  // namespace calib::harness

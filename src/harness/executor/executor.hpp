@@ -1,0 +1,75 @@
+// The sharded sweep executor: a coordinator and N forked worker
+// processes, with failure detection, retry/backoff, and elastic
+// re-balancing.
+//
+// The thread-pool sweep (sweep.cpp) contains cell *crashes* only when
+// every cell pays for its own fork (--sandbox). The executor moves the
+// process boundary up one level: long-lived workers each solve many
+// cells, the coordinator leases cells one at a time over the framed
+// pipe protocol (executor/protocol.hpp), and a dying worker costs one
+// lease, not the sweep. Concretely:
+//
+//   * Failure detection is three-way — a worker is declared dead on
+//     (a) heartbeat silence past SweepOptions::heartbeat_timeout_ms,
+//     (b) EOF/garbage on its result pipe, or (c) the coordinator's
+//     lease watchdog (3x cell_budget_ms: past both the in-cell
+//     cooperative budget at 1x and the per-cell sandbox watchdog at
+//     1.5x, so it only fires when the worker itself is wedged).
+//   * A dead worker's in-flight lease returns to the queue and is
+//     re-dispatched to a surviving worker after capped exponential
+//     backoff, up to max_cell_attempts total tries; exhaustion turns
+//     the cell into a terminal crashed/error row. Workers are not
+//     respawned — elasticity means the remaining lease stream
+//     re-balances onto survivors, and when no workers remain every
+//     unfinished cell becomes an error row. The sweep degrades; it
+//     never deadlocks.
+//   * The coordinator is the only journal writer, so the journal keeps
+//     its byte-exact append-per-completed-cell contract and a
+//     mid-sweep coordinator kill resumes exactly like a thread-pool
+//     run (torn trailing line dropped, unjournaled cells re-run).
+//   * Workers stream cumulative obs-metrics snapshots inside their
+//     heartbeats; the coordinator merges the final snapshot of every
+//     worker into SweepReport::worker_metrics (obs::Snapshot::merge),
+//     so cross-process instrumentation survives the workers' exit.
+//
+// Crash-free cells produce rows byte-identical to in-process execution:
+// a cell is a pure function of its coordinates, and SweepOptions only
+// ever changes *how* cells execute.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "harness/sweep.hpp"
+#include "obs/metrics.hpp"
+
+namespace calib::harness {
+
+class SweepJournal;
+
+/// What the coordinator learned beyond the rows themselves.
+struct ShardedRunStats {
+  obs::Snapshot worker_metrics;   ///< merged final worker snapshots
+  std::size_t retries = 0;        ///< leases re-queued after a failure
+  std::size_t workers_lost = 0;   ///< workers dead before clean shutdown
+};
+
+/// Coordinator entry point, called by SweepEngine::run when
+/// options.workers > 0. Fills rows[i] for every cell with done[i] == 0
+/// (rows is pre-sized to grid.cells()), appending each completed or
+/// terminal row to `journal` (may be null). Throws std::runtime_error
+/// only for harness-level failures (pipe/fork exhaustion); per-cell and
+/// per-worker failures become rows.
+ShardedRunStats run_sharded_sweep(const SweepEngine& engine,
+                                  const SweepOptions& options,
+                                  const std::vector<char>& done,
+                                  std::vector<SweepRow>& rows,
+                                  SweepJournal* journal);
+
+/// Force registration of the executor's parent-side metric handles —
+/// called before the first worker fork for the same reason as
+/// sandbox_metrics_warmup() (no child may inherit the registry mutex
+/// locked).
+void executor_metrics_warmup();
+
+}  // namespace calib::harness

@@ -1,0 +1,191 @@
+#include "harness/executor/protocol.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+#include "harness/journal.hpp"
+#include "harness/sandbox.hpp"
+#include "obs/json_escape.hpp"
+
+namespace calib::harness {
+namespace {
+
+constexpr std::size_t kHeaderBytes = 12;  // magic + type + length
+
+void put_u32(std::string& out, std::uint32_t value) {
+  out.push_back(static_cast<char>(value & 0xFF));
+  out.push_back(static_cast<char>((value >> 8) & 0xFF));
+  out.push_back(static_cast<char>((value >> 16) & 0xFF));
+  out.push_back(static_cast<char>((value >> 24) & 0xFF));
+}
+
+std::uint32_t get_u32(const char* p) {
+  const auto b = [&](int i) {
+    return static_cast<std::uint32_t>(static_cast<unsigned char>(p[i]));
+  };
+  return b(0) | (b(1) << 8) | (b(2) << 16) | (b(3) << 24);
+}
+
+bool known_type(std::uint32_t type) {
+  return type >= static_cast<std::uint32_t>(FrameType::kLease) &&
+         type <= static_cast<std::uint32_t>(FrameType::kShutdown);
+}
+
+// Same deterministic double format as the sweep writers: stable under a
+// parse/re-format cycle, so a snapshot survives the pipe byte-exactly.
+std::string fmt(double value) {
+  std::ostringstream os;
+  os << std::setprecision(12) << value;
+  return os.str();
+}
+
+}  // namespace
+
+std::string encode_frame(FrameType type, std::string_view payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    throw std::runtime_error("executor frame payload too large: " +
+                             std::to_string(payload.size()) + " bytes");
+  }
+  std::string out;
+  out.reserve(kHeaderBytes + payload.size());
+  put_u32(out, kFrameMagic);
+  put_u32(out, static_cast<std::uint32_t>(type));
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  out.append(payload.data(), payload.size());
+  return out;
+}
+
+bool write_frame(int fd, FrameType type, std::string_view payload) {
+  const std::string bytes = encode_frame(type, payload);
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n =
+        ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void FrameReader::feed(const char* data, std::size_t n) {
+  if (corrupted_) return;
+  buffer_.append(data, n);
+  decode();
+}
+
+void FrameReader::decode() {
+  while (!corrupted_ && buffer_.size() >= kHeaderBytes) {
+    if (get_u32(buffer_.data()) != kFrameMagic) {
+      corrupted_ = true;
+      error_ = "bad frame magic";
+      return;
+    }
+    const std::uint32_t type = get_u32(buffer_.data() + 4);
+    const std::uint32_t length = get_u32(buffer_.data() + 8);
+    if (!known_type(type)) {
+      corrupted_ = true;
+      error_ = "unknown frame type " + std::to_string(type);
+      return;
+    }
+    if (length > kMaxFrameBytes) {
+      corrupted_ = true;
+      error_ = "oversized frame (" + std::to_string(length) + " bytes)";
+      return;
+    }
+    if (buffer_.size() < kHeaderBytes + length) return;  // partial frame
+    Frame frame;
+    frame.type = static_cast<FrameType>(type);
+    frame.payload = buffer_.substr(kHeaderBytes, length);
+    buffer_.erase(0, kHeaderBytes + length);
+    ready_.push_back(std::move(frame));
+  }
+}
+
+bool FrameReader::next(Frame& frame) {
+  if (ready_.empty()) return false;
+  frame = std::move(ready_.front());
+  ready_.pop_front();
+  return true;
+}
+
+std::string encode_metrics_payload(const obs::Snapshot& snapshot) {
+  std::ostringstream os;
+  os << '{';
+  bool first = true;
+  const auto emit = [&](const std::string& key, const std::string& value) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << obs::json_escape(key) << "\":" << value;
+  };
+  for (const auto& [name, value] : snapshot.counters) {
+    emit("c:" + name, std::to_string(value));
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    emit("g:" + name, std::to_string(value));
+  }
+  for (const auto& [name, stats] : snapshot.histograms) {
+    emit("h:" + name + ".count", std::to_string(stats.count));
+    emit("h:" + name + ".sum", fmt(stats.sum));
+    emit("h:" + name + ".min", fmt(stats.min));
+    emit("h:" + name + ".max", fmt(stats.max));
+    emit("h:" + name + ".p50", fmt(stats.p50));
+    emit("h:" + name + ".p90", fmt(stats.p90));
+    emit("h:" + name + ".p99", fmt(stats.p99));
+  }
+  os << '}';
+  return os.str();
+}
+
+obs::Snapshot decode_metrics_payload(const std::string& text) {
+  const auto fields = parse_flat_json(text);
+  obs::Snapshot snapshot;
+  for (const auto& [key, value] : fields) {
+    if (key.size() < 3 || key[1] != ':') {
+      throw std::runtime_error("metrics payload: unprefixed key " + key);
+    }
+    const std::string name = key.substr(2);
+    if (key[0] == 'c') {
+      snapshot.counters[name] = std::stoull(value);
+    } else if (key[0] == 'g') {
+      snapshot.gauges[name] = std::stoll(value);
+    } else if (key[0] == 'h') {
+      const std::size_t dot = name.rfind('.');
+      if (dot == std::string::npos) {
+        throw std::runtime_error("metrics payload: bad histogram key " + key);
+      }
+      const std::string base = name.substr(0, dot);
+      const std::string stat = name.substr(dot + 1);
+      obs::HistogramStats& stats = snapshot.histograms[base];
+      if (stat == "count") {
+        stats.count = std::stoull(value);
+      } else if (stat == "sum") {
+        stats.sum = std::stod(value);
+      } else if (stat == "min") {
+        stats.min = std::stod(value);
+      } else if (stat == "max") {
+        stats.max = std::stod(value);
+      } else if (stat == "p50") {
+        stats.p50 = std::stod(value);
+      } else if (stat == "p90") {
+        stats.p90 = std::stod(value);
+      } else if (stat == "p99") {
+        stats.p99 = std::stod(value);
+      } else {
+        throw std::runtime_error("metrics payload: unknown stat " + stat);
+      }
+    } else {
+      throw std::runtime_error("metrics payload: unknown prefix in " + key);
+    }
+  }
+  return snapshot;
+}
+
+}  // namespace calib::harness

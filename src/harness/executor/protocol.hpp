@@ -1,0 +1,90 @@
+// Wire protocol for the sharded sweep executor (executor.hpp).
+//
+// The coordinator and its worker processes speak length-prefixed frames
+// over plain pipes — the same framing the cell sandbox uses for its
+// one-shot result pipe (harness/sandbox.hpp), extended with a type word
+// so one stream can carry leases, results, heartbeats, and shutdowns:
+//
+//   magic   u32 LE  kFrameMagic (sandbox.hpp — the single point of truth)
+//   type    u32 LE  FrameType
+//   length  u32 LE  payload byte count (capped at kMaxFrameBytes)
+//   payload bytes   type-specific, see FrameType
+//
+// A malformed header (wrong magic, unknown type, oversized length)
+// poisons the stream permanently: the coordinator treats it as a worker
+// gone haywire, SIGKILLs the process, and re-queues its lease. There is
+// deliberately no resynchronization — inside a corrupted byte stream,
+// "the next frame boundary" is not a well-defined place.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+namespace calib::harness {
+
+enum class FrameType : std::uint32_t {
+  /// Coordinator -> worker: run one cell. Payload: decimal cell index.
+  kLease = 1,
+  /// Worker -> coordinator: a finished cell. Payload: the row's JSONL
+  /// serialization (row_to_json with timing), which carries its own
+  /// "cell" field for cross-checking against the outstanding lease.
+  kResult = 2,
+  /// Worker -> coordinator: liveness + metrics. Payload: the worker's
+  /// cumulative obs snapshot (encode_metrics_payload). Sent every
+  /// heartbeat interval and once more right before a clean exit.
+  kHeartbeat = 3,
+  /// Coordinator -> worker: drain and exit cleanly. Empty payload.
+  kShutdown = 4,
+};
+
+struct Frame {
+  FrameType type = FrameType::kLease;
+  std::string payload;
+};
+
+/// Serialize one frame (header + payload) into a byte string ready for
+/// a single write. Throws std::runtime_error on an oversized payload.
+[[nodiscard]] std::string encode_frame(FrameType type,
+                                       std::string_view payload);
+
+/// Write an encoded frame to `fd` with blocking write(2), retrying on
+/// EINTR. Returns false on any other error (EPIPE after the peer died);
+/// the caller decides whether that is fatal.
+[[nodiscard]] bool write_frame(int fd, FrameType type,
+                               std::string_view payload);
+
+/// Incremental frame decoder for one stream. Feed raw bytes as they
+/// arrive; pop complete frames with next(). Once a malformed header is
+/// seen the reader is poisoned: corrupted() stays true, next() never
+/// yields again, and error() names the reason.
+class FrameReader {
+ public:
+  void feed(const char* data, std::size_t n);
+  [[nodiscard]] bool next(Frame& frame);
+  [[nodiscard]] bool corrupted() const { return corrupted_; }
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+ private:
+  void decode();
+
+  std::string buffer_;
+  std::deque<Frame> ready_;
+  bool corrupted_ = false;
+  std::string error_;
+};
+
+/// Serialize an obs snapshot for a heartbeat payload. Flat JSON with a
+/// type prefix on every key ("c:" counter, "g:" gauge, "h:" histogram
+/// stat) so decode can rebuild the three sections unambiguously.
+[[nodiscard]] std::string encode_metrics_payload(
+    const obs::Snapshot& snapshot);
+
+/// Inverse of encode_metrics_payload. Throws std::runtime_error on
+/// payloads that do not parse (the coordinator then drops the sample).
+[[nodiscard]] obs::Snapshot decode_metrics_payload(const std::string& text);
+
+}  // namespace calib::harness

@@ -88,4 +88,53 @@ void FaultPlan::validate() const {
   }
 }
 
+void WorkerFaultPlan::validate(int workers) const {
+  for (const WorkerFault& fault : faults) {
+    if (fault.worker < 0 || fault.worker >= workers) {
+      throw std::runtime_error(
+          "worker fault plan: worker index " + std::to_string(fault.worker) +
+          " outside [0, " + std::to_string(workers) + ")");
+    }
+  }
+}
+
+WorkerFaultPlan parse_worker_faults(const std::string& spec) {
+  WorkerFaultPlan plan;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t comma = spec.find(',', start);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string part = spec.substr(start, comma - start);
+    start = comma + 1;
+    if (part.empty()) continue;
+    const std::size_t eq = part.find('=');
+    const std::size_t at = part.find('@');
+    if (eq == std::string::npos || at == std::string::npos || at < eq) {
+      throw std::runtime_error(
+          "worker faults: want kind=WORKER@AFTER, got '" + part + "'");
+    }
+    WorkerFault fault;
+    const std::string kind = part.substr(0, eq);
+    if (kind == "kill") {
+      fault.kind = WorkerFault::Kind::kKill;
+    } else if (kind == "stall") {
+      fault.kind = WorkerFault::Kind::kStall;
+    } else if (kind == "corrupt-frame") {
+      fault.kind = WorkerFault::Kind::kCorruptFrame;
+    } else {
+      throw std::runtime_error("worker faults: unknown kind '" + kind +
+                               "' (want kill|stall|corrupt-frame)");
+    }
+    try {
+      fault.worker = std::stoi(part.substr(eq + 1, at - eq - 1));
+      fault.after_cells = std::stoull(part.substr(at + 1));
+    } catch (const std::exception&) {
+      throw std::runtime_error(
+          "worker faults: non-numeric WORKER@AFTER in '" + part + "'");
+    }
+    plan.faults.push_back(fault);
+  }
+  return plan;
+}
+
 }  // namespace calib::harness

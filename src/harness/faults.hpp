@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "harness/grid.hpp"
@@ -70,5 +71,38 @@ struct FaultPlan {
   /// they sum above 1.
   void validate() const;
 };
+
+/// One worker-process fault for the sharded executor (executor.hpp) —
+/// the process-level counterpart of FaultPlan's cell faults. Each fault
+/// fires exactly once, on the named worker, when it receives its next
+/// lease after completing `after_cells` cells; the trigger is a pure
+/// function of that worker's own lease sequence, never of wall clock,
+/// so the same plan kills the same lease on every run.
+struct WorkerFault {
+  enum class Kind {
+    kKill,          ///< SIGKILL self on the next lease (in-flight cell dies)
+    kStall,         ///< SIGSTOP self: heartbeats freeze, watchdog must act
+    kCorruptFrame,  ///< answer the next lease with a garbage frame
+  };
+  Kind kind = Kind::kKill;
+  int worker = 0;                 ///< worker index in [0, workers)
+  std::size_t after_cells = 0;    ///< completed-cell count that arms it
+};
+
+struct WorkerFaultPlan {
+  std::vector<WorkerFault> faults;
+
+  [[nodiscard]] bool empty() const { return faults.empty(); }
+
+  /// Throws std::runtime_error when a fault names a worker outside
+  /// [0, workers) — a plan that can never fire is a harness bug.
+  void validate(int workers) const;
+};
+
+/// Parse the CLI spec `kind=WORKER@AFTER[,kind=WORKER@AFTER...]` with
+/// kinds kill | stall | corrupt-frame, e.g. "kill=1@2,stall=2@3" (kill
+/// worker 1 on its 3rd lease, stall worker 2 on its 4th). Throws
+/// std::runtime_error on malformed specs.
+[[nodiscard]] WorkerFaultPlan parse_worker_faults(const std::string& spec);
 
 }  // namespace calib::harness

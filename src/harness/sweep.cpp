@@ -13,6 +13,7 @@
 #include <thread>
 
 #include "core/validate.hpp"
+#include "harness/executor/executor.hpp"
 #include "harness/journal.hpp"
 #include "harness/sandbox.hpp"
 #include "obs/metrics.hpp"
@@ -105,13 +106,16 @@ void note_cell(RunStatus status, std::uint64_t elapsed_ns) {
   }
 }
 
-// Rebuild a row from one journal entry. Coordinates come from the grid
-// (the fingerprint guarantees it is the grid the journal was written
-// for); only the solve *outputs* are read from the entry. Returns false
-// if the entry is unusable — the cell then simply re-runs.
-bool restore_row(const std::map<std::string, std::string>& entry,
-                 const CellCoords& coords, const SweepGrid& grid,
-                 SweepRow& row) {
+}  // namespace
+
+// Rebuild a row from one row_to_json line (a journal entry or an
+// executor result frame). Coordinates come from the grid (the journal
+// fingerprint / the lease cross-check guarantees the entry belongs to
+// them); only the solve *outputs* are read from the entry. Returns
+// false if the entry is unusable — the cell then simply re-runs.
+bool restore_row_from_entry(const std::map<std::string, std::string>& entry,
+                            const CellCoords& coords, const SweepGrid& grid,
+                            SweepRow& row) {
   try {
     row = SweepRow{};
     row.cell = coords.index;
@@ -158,8 +162,6 @@ bool restore_row(const std::map<std::string, std::string>& entry,
     return false;
   }
 }
-
-}  // namespace
 
 std::string row_to_json(const SweepRow& row,
                         const std::string& extra_metric_name,
@@ -458,7 +460,7 @@ SweepRow SweepEngine::run_cell_sandboxed(const CellCoords& coords,
     case SandboxOutcome::Kind::kOk:
       try {
         const auto entry = parse_flat_json(outcome.payload);
-        if (!restore_row(entry, coords, grid_, row)) {
+        if (!restore_row_from_entry(entry, coords, grid_, row)) {
           throw std::runtime_error("row restore failed");
         }
       } catch (const std::exception&) {
@@ -499,31 +501,70 @@ SweepRow SweepEngine::run_cell_sandboxed(const CellCoords& coords,
   return row;
 }
 
-SweepReport SweepEngine::run(const SweepOptions& options) {
+SweepRow SweepEngine::execute_cell(std::size_t index, FlowCurveCache& cache,
+                                   const SweepOptions& options) const {
+  const CellCoords coords = cell_coords(grid_, index);
+  return options.sandbox ? run_cell_sandboxed(coords, options)
+                         : run_cell(coords, cache, options);
+}
+
+SweepReport SweepEngine::run(const SweepOptions& options_in) {
+  // Local copy so flag implications stay an engine concern, not a
+  // caller protocol: retry_failed only makes sense on top of a resume.
+  SweepOptions options = options_in;
+  if (options.retry_failed) options.resume = true;
+
   options.faults.validate();
   if (options.cell_budget_ms < 0.0) {
     throw std::runtime_error("sweep: cell budget must be >= 0");
   }
   if (options.resume && options.journal_path.empty()) {
-    throw std::runtime_error("sweep: resume requires a journal path");
-  }
-  if (options.retry_failed && !options.resume) {
-    throw std::runtime_error("sweep: retry_failed requires resume");
-  }
-  if (options.faults.has_crash_kinds() && !options.sandbox) {
     throw std::runtime_error(
-        "sweep: crash fault kinds (segv/abort/hang) require sandbox mode");
+        options.retry_failed
+            ? "sweep: retry_failed requires a journal path"
+            : "sweep: resume requires a journal path");
+  }
+  if (options.faults.has_crash_kinds() && !options.sandbox &&
+      options.workers == 0) {
+    throw std::runtime_error(
+        "sweep: crash fault kinds (segv/abort/hang) require sandbox mode "
+        "or the sharded executor (--workers)");
   }
   if (options.faults.has_hangs() && options.cell_budget_ms <= 0.0) {
     throw std::runtime_error(
         "sweep: hang faults require a cell budget (only the watchdog can "
         "end a hung cell)");
   }
-  if (options.sandbox) {
+  if (options.workers < 0 || options.workers > 256) {
+    throw std::runtime_error("sweep: workers must be in [0, 256]");
+  }
+  if (options.workers > 0) {
+    if (options.heartbeat_interval_ms <= 0.0) {
+      throw std::runtime_error("sweep: heartbeat interval must be > 0");
+    }
+    if (options.heartbeat_timeout_ms < options.heartbeat_interval_ms) {
+      throw std::runtime_error(
+          "sweep: heartbeat timeout must be >= the heartbeat interval");
+    }
+    if (options.max_cell_attempts < 1) {
+      throw std::runtime_error("sweep: max_cell_attempts must be >= 1");
+    }
+    if (options.retry_backoff_ms < 0.0 ||
+        options.retry_backoff_cap_ms < options.retry_backoff_ms) {
+      throw std::runtime_error(
+          "sweep: retry backoff must be >= 0 and <= its cap");
+    }
+    options.worker_faults.validate(options.workers);
+  } else if (!options.worker_faults.empty()) {
+    throw std::runtime_error(
+        "sweep: worker faults require the sharded executor (--workers)");
+  }
+  if (options.sandbox || options.workers > 0) {
     // Register every parent-side metric handle before the first fork;
     // see sandbox_metrics_warmup() for why this must precede dispatch.
     cell_metrics();
     sandbox_metrics_warmup();
+    if (options.workers > 0) executor_metrics_warmup();
   }
 
   const Timer wall;
@@ -553,7 +594,8 @@ SweepReport SweepEngine::run(const SweepOptions& options) {
       }
       if (index >= cells) continue;
       SweepRow row;
-      if (!restore_row(entry, cell_coords(grid_, index), grid_, row)) {
+      if (!restore_row_from_entry(entry, cell_coords(grid_, index), grid_,
+                                  row)) {
         continue;
       }
       if (options.retry_failed && row.status != RunStatus::kOk) {
@@ -608,7 +650,17 @@ SweepReport SweepEngine::run(const SweepOptions& options) {
                                   /*include_timing=*/true));
     }
   };
-  if (grid_.threads == 0) {
+  if (options.workers > 0) {
+    // Sharded executor: the coordinator thread drives forked workers;
+    // no in-process pool is involved.
+    report.timing.threads = 1;
+    report.timing.workers = static_cast<std::size_t>(options.workers);
+    ShardedRunStats stats =
+        run_sharded_sweep(*this, options, done, report.rows, journal.get());
+    report.worker_metrics = std::move(stats.worker_metrics);
+    report.timing.retries = stats.retries;
+    report.timing.workers_lost = stats.workers_lost;
+  } else if (grid_.threads == 0) {
     report.timing.threads = global_pool().size();
     global_pool().parallel_for(cells, body);
   } else {
@@ -700,6 +752,11 @@ std::string SweepReport::timing_summary() const {
   os << ')';
   if (timing.resumed > 0) {
     os << "; resumed " << timing.resumed << " cells from the journal";
+  }
+  if (timing.workers > 0) {
+    os << "; executor: " << timing.workers << " workers, "
+       << timing.workers_lost << " lost, " << timing.retries
+       << " leases retried";
   }
   const SweepStatusCounts counts = status_counts();
   if (!counts.all_ok()) {

@@ -37,12 +37,15 @@
 #include <cstdint>
 #include <iosfwd>
 #include <limits>
+#include <map>
+#include <string>
 #include <vector>
 
 #include "core/solve_result.hpp"
 #include "harness/dp_cache.hpp"
 #include "harness/faults.hpp"
 #include "harness/grid.hpp"
+#include "obs/metrics.hpp"
 
 namespace calib::harness {
 
@@ -86,6 +89,15 @@ struct SweepRow {
                                       const std::string& extra_metric_name,
                                       bool include_timing);
 
+/// Rebuild a row from one parsed row_to_json line (a journal entry or
+/// an executor result frame). Coordinates come from the grid — the
+/// caller has already established the entry belongs to `coords` — and
+/// only the solve *outputs* are read from the entry. Returns false if
+/// the entry is unusable; the cell then simply re-runs.
+[[nodiscard]] bool restore_row_from_entry(
+    const std::map<std::string, std::string>& entry, const CellCoords& coords,
+    const SweepGrid& grid, SweepRow& row);
+
 /// Execution options for one SweepEngine::run — everything here changes
 /// *how* cells execute, never *what* a completed cell computes, so runs
 /// with different options agree on all rows they both complete.
@@ -95,8 +107,8 @@ struct SweepOptions {
   std::string journal_path;
   /// Skip cells already present in the journal (requires journal_path).
   bool resume = false;
-  /// On resume, re-run journaled error/timeout cells instead of
-  /// replaying their failure rows.
+  /// Re-run journaled error/timeout cells instead of replaying their
+  /// failure rows. Implies resume (requires journal_path).
   bool retry_failed = false;
 
   /// Per-cell wall-clock budget in milliseconds (0 = unlimited). Over
@@ -127,8 +139,38 @@ struct SweepOptions {
 
   /// Stop attempting new cells once this many completed (simulates a
   /// killed run for checkpoint tests): remaining cells become skipped
-  /// rows and are not journaled.
+  /// rows and are not journaled. Under the sharded executor, retries of
+  /// a failed lease do not consume additional tickets.
   std::size_t max_cells = std::numeric_limits<std::size_t>::max();
+
+  // ---- Sharded executor (harness/executor/executor.hpp) ------------
+  // With workers > 0 the sweep runs across that many forked worker
+  // processes instead of the thread pool: a coordinator leases cells
+  // one at a time per worker, detects dead/stalled workers (pipe EOF,
+  // heartbeat timeout, lease watchdog), re-queues their in-flight
+  // leases onto survivors with capped exponential backoff, and is the
+  // only process that appends to the journal. Crash-free cells produce
+  // rows byte-identical to in-process execution.
+
+  /// Worker process count (0 = in-process thread pool, the default).
+  int workers = 0;
+  /// How often each worker sends a heartbeat (liveness + cumulative
+  /// metrics snapshot).
+  double heartbeat_interval_ms = 100.0;
+  /// Coordinator-side silence threshold: a worker whose last heartbeat
+  /// is older than this is SIGKILLed and its lease re-queued.
+  double heartbeat_timeout_ms = 2000.0;
+  /// Total dispatch attempts per cell (first try + retries). A cell
+  /// whose worker dies this many times becomes a terminal crashed or
+  /// error row — the sweep degrades, it never deadlocks.
+  int max_cell_attempts = 3;
+  /// Backoff before re-dispatching a failed lease: doubles per attempt
+  /// starting here, capped at retry_backoff_cap_ms.
+  double retry_backoff_ms = 50.0;
+  double retry_backoff_cap_ms = 2000.0;
+  /// Deterministic worker-process fault injection (tests, CLI
+  /// --worker-faults); requires workers > 0.
+  WorkerFaultPlan worker_faults;
 };
 
 /// Wall-clock accounting for the whole sweep (never part of the
@@ -141,6 +183,9 @@ struct SweepTiming {
   double dp_seconds = 0.0;        ///< time inside DP computations
   std::size_t threads = 0;        ///< pool size actually used
   std::size_t resumed = 0;        ///< rows replayed from the journal
+  std::size_t workers = 0;        ///< executor workers (0 = in-process)
+  std::size_t retries = 0;        ///< leases re-queued after worker loss
+  std::size_t workers_lost = 0;   ///< workers dead before clean shutdown
 };
 
 /// Row counts by status; `ok == rows.size()` for a healthy sweep.
@@ -162,6 +207,11 @@ struct SweepReport {
   std::vector<SweepRow> rows;  ///< always in cell order
   SweepTiming timing;
   std::string extra_metric_name;  ///< column name for SweepRow::extra
+  /// Merged final metrics snapshots of the executor's worker processes
+  /// (empty for in-process sweeps). The workers' counters die with
+  /// their processes, so this is how their instrumentation reaches the
+  /// parent — the CLI merges it into its own snapshot for --metrics.
+  obs::Snapshot worker_metrics;
 
   [[nodiscard]] SweepStatusCounts status_counts() const;
 
@@ -190,6 +240,14 @@ class SweepEngine {
   [[nodiscard]] SweepReport run(const SweepOptions& options);
 
   [[nodiscard]] const SweepGrid& grid() const { return grid_; }
+
+  /// Execute exactly one cell (in-process, or in a sandboxed child when
+  /// options.sandbox) — the executor workers' entry point. Never throws
+  /// for per-cell failures; they become degraded rows like everywhere
+  /// else. `cache` carries the caller's cross-cell DP sharing.
+  [[nodiscard]] SweepRow execute_cell(std::size_t index,
+                                      FlowCurveCache& cache,
+                                      const SweepOptions& options) const;
 
  private:
   [[nodiscard]] SweepRow run_cell(const CellCoords& coords,

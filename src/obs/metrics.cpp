@@ -76,6 +76,34 @@ std::string Snapshot::to_text() const {
   return os.str();
 }
 
+void Snapshot::merge(const Snapshot& other) {
+  for (const auto& [name, value] : other.counters) counters[name] += value;
+  for (const auto& [name, value] : other.gauges) gauges[name] += value;
+  for (const auto& [name, theirs] : other.histograms) {
+    if (theirs.count == 0) {
+      histograms.try_emplace(name, theirs);
+      continue;
+    }
+    auto [it, inserted] = histograms.try_emplace(name, theirs);
+    if (inserted) continue;
+    HistogramStats& mine = it->second;
+    if (mine.count == 0) {
+      mine = theirs;
+      continue;
+    }
+    const auto mine_n = static_cast<double>(mine.count);
+    const auto theirs_n = static_cast<double>(theirs.count);
+    const double total = mine_n + theirs_n;
+    mine.p50 = (mine.p50 * mine_n + theirs.p50 * theirs_n) / total;
+    mine.p90 = (mine.p90 * mine_n + theirs.p90 * theirs_n) / total;
+    mine.p99 = (mine.p99 * mine_n + theirs.p99 * theirs_n) / total;
+    mine.min = std::min(mine.min, theirs.min);
+    mine.max = std::max(mine.max, theirs.max);
+    mine.count += theirs.count;
+    mine.sum += theirs.sum;
+  }
+}
+
 #if CALIBSCHED_OBS
 
 namespace {

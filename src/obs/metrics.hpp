@@ -63,6 +63,19 @@ struct Snapshot {
   void write_text(std::ostream& os) const;
   [[nodiscard]] std::string to_json() const;
   [[nodiscard]] std::string to_text() const;
+
+  /// Fold another process's snapshot into this one (the sharded sweep
+  /// executor merges its workers' registries this way). Counters and
+  /// gauges add; histograms add count/sum, widen min/max, and
+  /// approximate the merged percentiles as the count-weighted mean of
+  /// the per-side estimates — the raw buckets never leave their
+  /// process, so this is the best available summary, and it is exact
+  /// whenever only one side saw samples.
+  void merge(const Snapshot& other);
+
+  [[nodiscard]] bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
 };
 
 #if CALIBSCHED_OBS

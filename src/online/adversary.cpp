@@ -5,9 +5,9 @@
 namespace calib {
 
 AdversaryOutcome run_lower_bound_adversary(OnlinePolicy& policy, Cost G,
-                                           Time T, DriverBackend backend) {
+                                           Time T) {
   CALIB_CHECK(T >= 2);
-  OnlineDriver driver(T, /*machines=*/1, G, policy, backend);
+  OnlineDriver driver(T, /*machines=*/1, G, policy);
   driver.add_job(/*weight=*/1);
   driver.step();  // the policy's time-0 decision
 

@@ -25,10 +25,7 @@ struct AdversaryOutcome {
 };
 
 /// Run the adversary against `policy` with parameters (G, T), P = 1.
-/// `backend` exists for test_driver_equiv (byte-identical adversary
-/// branches across driver backends); production callers use the default.
-AdversaryOutcome run_lower_bound_adversary(
-    OnlinePolicy& policy, Cost G, Time T,
-    DriverBackend backend = DriverBackend::kIncremental);
+AdversaryOutcome run_lower_bound_adversary(OnlinePolicy& policy, Cost G,
+                                           Time T);
 
 }  // namespace calib

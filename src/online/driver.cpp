@@ -54,14 +54,9 @@ Time DriverHandle::first_free_slot(MachineId m, Time from, Time to) const {
 // ---- OnlineDriver ------------------------------------------------------
 
 OnlineDriver::OnlineDriver(Time T, int machines, Cost G,
-                           OnlinePolicy& policy, DriverBackend backend)
-    : policy_(policy), G_(G), calendar_(T, machines), backend_(backend) {
+                           OnlinePolicy& policy)
+    : policy_(policy), G_(G), calendar_(T, machines) {
   CALIB_CHECK(G >= 1);
-#if !CALIBSCHED_LEGACY_DRIVER
-  CALIB_CHECK_MSG(backend_ == DriverBackend::kIncremental,
-                  "legacy driver backend compiled out "
-                  "(CALIBSCHED_LEGACY_DRIVER=OFF)");
-#endif
   occupied_.resize(static_cast<std::size_t>(machines));
   coverage_.resize(static_cast<std::size_t>(machines));
   policy_.reset();
@@ -73,9 +68,6 @@ JobId OnlineDriver::add_job(Weight weight) {
   jobs_.push_back(Job{now_, weight});
   placements_.emplace_back();
   pending_.insert(j, weight, now_);
-#if CALIBSCHED_LEGACY_DRIVER
-  waiting_.push_back(j);
-#endif
   arrived_now_ = true;
   if (trace_ != nullptr) trace_->record_arrival(now_, j, weight);
   return j;
@@ -92,15 +84,6 @@ MachineId OnlineDriver::machine_of(JobId j) const {
 }
 
 bool OnlineDriver::all_placed() const {
-#if CALIBSCHED_LEGACY_DRIVER
-  if (backend_ == DriverBackend::kLegacy) {
-    return waiting_.empty() &&
-           std::all_of(placements_.begin(), placements_.end(),
-                       [](const Placement& p) {
-                         return p.start != kUnscheduled;
-                       });
-  }
-#endif
   return placed_count_ == jobs_.size();
 }
 
@@ -111,31 +94,10 @@ Weight OnlineDriver::waiting_weight() const {
 }
 
 JobId OnlineDriver::waiting_at(std::size_t rank) const {
-#if CALIBSCHED_LEGACY_DRIVER
-  if (backend_ == DriverBackend::kLegacy) return waiting_[rank];
-#endif
   return pending_.at(rank);
 }
 
 JobId OnlineDriver::front(QueueOrder order) const {
-#if CALIBSCHED_LEGACY_DRIVER
-  if (backend_ == DriverBackend::kLegacy) {
-    // Seed selection: stable scan of the arrival-ordered vector.
-    CALIB_CHECK(!waiting_.empty());
-    std::size_t best = 0;
-    if (order != QueueOrder::kFifo) {
-      for (std::size_t i = 1; i < waiting_.size(); ++i) {
-        const Weight wi = jobs_[static_cast<std::size_t>(waiting_[i])].weight;
-        const Weight wb =
-            jobs_[static_cast<std::size_t>(waiting_[best])].weight;
-        const bool better =
-            order == QueueOrder::kHeaviestFirst ? wi > wb : wi < wb;
-        if (better) best = i;
-      }
-    }
-    return waiting_[best];
-  }
-#endif
   return pending_.first(order);
 }
 
@@ -148,11 +110,6 @@ bool OnlineDriver::covers(MachineId m, Time t) const {
 }
 
 Cost OnlineDriver::queue_flow_from(Time start, QueueOrder order) const {
-#if CALIBSCHED_LEGACY_DRIVER
-  if (backend_ == DriverBackend::kLegacy) {
-    return legacy_queue_flow_from(start, order);
-  }
-#endif
   return pending_.queue_flow_from(start, order);
 }
 
@@ -170,9 +127,6 @@ Cost OnlineDriver::interval_flow(MachineId m, Time start) const {
 }
 
 Cost OnlineDriver::last_interval_flow() const {
-#if CALIBSCHED_LEGACY_DRIVER
-  if (backend_ == DriverBackend::kLegacy) return legacy_last_interval_flow();
-#endif
   if (last_cal_start_ == kUnscheduled) return -1;
   return last_cal_flow_;
 }
@@ -236,18 +190,10 @@ void OnlineDriver::assign(JobId j, MachineId m, Time start) {
     last_cal_flow_ += job.weight * (start + 1 - job.release);
   }
   pending_.erase(j);
-#if CALIBSCHED_LEGACY_DRIVER
-  waiting_.erase(std::find(waiting_.begin(), waiting_.end(), j));
-#endif
   if (trace_ != nullptr) trace_->record_placement(now_, j, m, start);
 }
 
 Time OnlineDriver::first_free_slot(MachineId m, Time from, Time to) const {
-#if CALIBSCHED_LEGACY_DRIVER
-  if (backend_ == DriverBackend::kLegacy) {
-    return legacy_first_free_slot(m, from, to);
-  }
-#endif
   const auto& runs = coverage_[static_cast<std::size_t>(m)];
   const auto& occ = occupied_[static_cast<std::size_t>(m)];
   auto run = std::upper_bound(
@@ -272,12 +218,6 @@ Time OnlineDriver::first_free_slot(MachineId m, Time from, Time to) const {
 }
 
 void OnlineDriver::auto_assign() {
-#if CALIBSCHED_LEGACY_DRIVER
-  if (backend_ == DriverBackend::kLegacy) {
-    legacy_auto_assign();
-    return;
-  }
-#endif
   // Observation 2.1 step 3: every calibrated, free machine takes the
   // best waiting job per the policy's order.
   for (MachineId m = 0; m < calendar_.machines() && !pending_.empty(); ++m) {
@@ -371,97 +311,17 @@ Schedule OnlineDriver::realized_schedule() const {
 }
 
 Cost OnlineDriver::online_cost() const {
-#if CALIBSCHED_LEGACY_DRIVER
-  if (backend_ == DriverBackend::kLegacy) {
-    Cost flow = 0;
-    for (std::size_t j = 0; j < jobs_.size(); ++j) {
-      const Placement& p = placements_[j];
-      CALIB_CHECK_MSG(p.start != kUnscheduled,
-                      "online_cost before drain(): job " << j << " unplaced");
-      flow += jobs_[j].weight * (p.start + 1 - jobs_[j].release);
-    }
-    return G_ * calendar_.count() + flow;
-  }
-#endif
   CALIB_CHECK_MSG(placed_count_ == jobs_.size(),
                   "online_cost before drain(): "
                       << jobs_.size() - placed_count_ << " job(s) unplaced");
   return G_ * calendar_.count() + placed_flow_;
 }
 
-// ---- Legacy (seed) query paths ----------------------------------------
-
-#if CALIBSCHED_LEGACY_DRIVER
-
-Cost OnlineDriver::legacy_queue_flow_from(Time start,
-                                          QueueOrder order) const {
-  std::vector<JobId> queue = waiting_;
-  switch (order) {
-    case QueueOrder::kFifo:
-      break;  // waiting_ is already in release order
-    case QueueOrder::kHeaviestFirst:
-      std::stable_sort(queue.begin(), queue.end(), [&](JobId a, JobId b) {
-        return jobs_[static_cast<std::size_t>(a)].weight >
-               jobs_[static_cast<std::size_t>(b)].weight;
-      });
-      break;
-    case QueueOrder::kLightestFirst:
-      std::stable_sort(queue.begin(), queue.end(), [&](JobId a, JobId b) {
-        return jobs_[static_cast<std::size_t>(a)].weight <
-               jobs_[static_cast<std::size_t>(b)].weight;
-      });
-      break;
-  }
-  Cost flow = 0;
-  Time t = start;
-  for (const JobId j : queue) {
-    const Job& job = jobs_[static_cast<std::size_t>(j)];
-    flow += job.weight * (t + 1 - job.release);
-    ++t;
-  }
-  return flow;
-}
-
-Cost OnlineDriver::legacy_last_interval_flow() const {
-  if (last_cal_start_ == kUnscheduled) return -1;
-  Cost flow = 0;
-  for (JobId j = 0; static_cast<std::size_t>(j) < jobs_.size(); ++j) {
-    const Placement& p = placements_[static_cast<std::size_t>(j)];
-    if (p.start == kUnscheduled || p.machine != last_cal_machine_) continue;
-    if (p.start >= last_cal_start_ && p.start < last_cal_start_ + T()) {
-      flow += jobs_[static_cast<std::size_t>(j)].weight *
-              (p.start + 1 - jobs_[static_cast<std::size_t>(j)].release);
-    }
-  }
-  return flow;
-}
-
-Time OnlineDriver::legacy_first_free_slot(MachineId m, Time from,
-                                          Time to) const {
-  for (Time t = from; t < to; ++t) {
-    if (!calendar_.covers(m, t)) continue;
-    if (!occupied_at(m, t)) return t;
-  }
-  return kUnscheduled;
-}
-
-void OnlineDriver::legacy_auto_assign() {
-  for (MachineId m = 0; m < calendar_.machines() && !waiting_.empty(); ++m) {
-    if (!calendar_.covers(m, now_)) continue;
-    if (occupied_at(m, now_)) continue;
-    // Pick per order; waiting_ is ascending release (and arrival) order,
-    // so stable selection gives the documented tie-breaks.
-    assign(front(policy_.order()), m, now_);
-  }
-}
-
-#endif  // CALIBSCHED_LEGACY_DRIVER
-
 // ---- Entry points ------------------------------------------------------
 
 Schedule run_online(const Instance& instance, Cost G, OnlinePolicy& policy,
-                    Trace* trace, Budget* budget, DriverBackend backend) {
-  OnlineDriver driver(instance.T(), instance.machines(), G, policy, backend);
+                    Trace* trace, Budget* budget) {
+  OnlineDriver driver(instance.T(), instance.machines(), G, policy);
   driver.set_trace(trace);
   driver.set_budget(budget);
   JobId next = 0;

@@ -31,26 +31,11 @@
 #include "util/budget.hpp"
 #include "util/pending_set.hpp"
 
-#ifndef CALIBSCHED_LEGACY_DRIVER
-#define CALIBSCHED_LEGACY_DRIVER 0
-#endif
-
 namespace calib {
-
-/// Which bookkeeping backend the driver runs on. kLegacy is the seed
-/// driver's recompute-per-query implementation, kept for exactly one PR
-/// behind the CALIBSCHED_LEGACY_DRIVER build flag so the equivalence
-/// suite (test_driver_equiv) can prove the incremental rewrite produces
-/// byte-identical schedules and costs. Do not use it in new code.
-enum class DriverBackend {
-  kIncremental,
-  kLegacy,
-};
 
 class OnlineDriver {
  public:
-  OnlineDriver(Time T, int machines, Cost G, OnlinePolicy& policy,
-               DriverBackend backend = DriverBackend::kIncremental);
+  OnlineDriver(Time T, int machines, Cost G, OnlinePolicy& policy);
 
   /// Release a job at the current time step. Must be called before
   /// step() processes that step.
@@ -144,21 +129,9 @@ class OnlineDriver {
   /// calibrations overlap).
   [[nodiscard]] Cost interval_flow(MachineId m, Time start) const;
 
-#if CALIBSCHED_LEGACY_DRIVER
-  // Seed-driver query paths (recompute per call). Kept verbatim for the
-  // one-PR equivalence window; removed together with DriverBackend.
-  [[nodiscard]] Cost legacy_queue_flow_from(Time start,
-                                            QueueOrder order) const;
-  [[nodiscard]] Cost legacy_last_interval_flow() const;
-  [[nodiscard]] Time legacy_first_free_slot(MachineId m, Time from,
-                                            Time to) const;
-  void legacy_auto_assign();
-#endif
-
   OnlinePolicy& policy_;
   Cost G_;
   Calendar calendar_;
-  DriverBackend backend_;
   Time now_ = 0;
   bool arrived_now_ = false;
   std::vector<Job> jobs_;
@@ -174,9 +147,6 @@ class OnlineDriver {
   Time last_cal_start_ = kUnscheduled;
   MachineId last_cal_machine_ = 0;
   Cost last_cal_flow_ = 0;
-#if CALIBSCHED_LEGACY_DRIVER
-  std::vector<JobId> waiting_;  // legacy backend only: ascending release
-#endif
   Trace* trace_ = nullptr;
   Budget* budget_ = nullptr;
 };
@@ -188,8 +158,7 @@ class OnlineDriver {
 /// charged once per simulated step (skipped spans included);
 /// BudgetExceeded propagates out.
 Schedule run_online(const Instance& instance, Cost G, OnlinePolicy& policy,
-                    Trace* trace = nullptr, Budget* budget = nullptr,
-                    DriverBackend backend = DriverBackend::kIncremental);
+                    Trace* trace = nullptr, Budget* budget = nullptr);
 
 /// Convenience: the online objective value achieved by `policy`.
 Cost online_objective(const Instance& instance, Cost G, OnlinePolicy& policy);

@@ -1,14 +1,14 @@
-// Driver-backend equivalence: the incremental OnlineDriver must produce
-// BYTE-IDENTICAL schedules and costs to the seed (legacy) driver for
-// every registered policy, both adversary branches, and randomized
-// chaos histories. The legacy backend is compiled behind
-// CALIBSCHED_LEGACY_DRIVER for exactly this one-PR window; when it is
-// compiled out these tests skip.
+// Incremental-driver self-consistency. The legacy (seed) backend is
+// gone; what this suite now proves, across every registered policy and
+// randomized chaos histories, is that the incremental bookkeeping the
+// driver maintains (PendingSet queue flows, coverage runs, occupancy
+// aggregates) always agrees with brute-force recomputation from first
+// principles — the same recompute-per-query algorithms the seed driver
+// ran, now living here as test-local references.
 //
-// Also home to the regression pins for the queries the rewrite made
-// incremental (queue_flow_from, last_interval_flow, first_free_slot):
-// the pinned integers are the seed driver's answers, asserted against
-// both backends.
+// Also home to the regression pins for the incrementalized queries
+// (queue_flow_from, last_interval_flow, first_free_slot): the pinned
+// integers are the seed driver's answers, frozen before its removal.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -25,50 +25,38 @@
 namespace calib {
 namespace {
 
-#if CALIBSCHED_LEGACY_DRIVER
-constexpr bool kHaveLegacy = true;
-#else
-constexpr bool kHaveLegacy = false;
-#endif
-
 void expect_identical_schedules(const Instance& instance, Cost G,
-                                const Schedule& legacy,
-                                const Schedule& incremental,
+                                const Schedule& first,
+                                const Schedule& second,
                                 const std::string& label) {
   for (MachineId m = 0; m < instance.machines(); ++m) {
-    ASSERT_EQ(legacy.calendar().starts(m), incremental.calendar().starts(m))
+    ASSERT_EQ(first.calendar().starts(m), second.calendar().starts(m))
         << label << ": calendar diverged on machine " << m;
   }
   for (JobId j = 0; j < instance.size(); ++j) {
-    ASSERT_EQ(legacy.is_placed(j), incremental.is_placed(j)) << label;
-    if (!legacy.is_placed(j)) continue;
-    ASSERT_EQ(legacy.placement(j).start, incremental.placement(j).start)
+    ASSERT_EQ(first.is_placed(j), second.is_placed(j)) << label;
+    if (!first.is_placed(j)) continue;
+    ASSERT_EQ(first.placement(j).start, second.placement(j).start)
         << label << ": job " << j << " start diverged";
-    ASSERT_EQ(legacy.placement(j).machine, incremental.placement(j).machine)
+    ASSERT_EQ(first.placement(j).machine, second.placement(j).machine)
         << label << ": job " << j << " machine diverged";
   }
-  ASSERT_EQ(legacy.online_cost(instance, G),
-            incremental.online_cost(instance, G))
+  ASSERT_EQ(first.online_cost(instance, G), second.online_cost(instance, G))
       << label;
 }
 
-/// Run `name` from the registry on both backends (fresh policy instance
-/// each run, same params) and require identical realized schedules.
-void expect_backend_equivalence(const std::string& name,
-                                const Instance& instance, Cost G) {
+/// Run `name` from the registry twice (fresh policy instance each run,
+/// same params) and require identical realized schedules: the driver
+/// plus a seeded policy must be a pure function of the instance.
+void expect_run_determinism(const std::string& name, const Instance& instance,
+                            Cost G) {
   PolicyParams params;
   params.seed = 99;
-  const auto legacy_policy = PolicyRegistry::instance().make(name, params);
-  const auto incremental_policy =
-      PolicyRegistry::instance().make(name, params);
-  const Schedule legacy =
-      run_online(instance, G, *legacy_policy, nullptr, nullptr,
-                 DriverBackend::kLegacy);
-  const Schedule incremental =
-      run_online(instance, G, *incremental_policy, nullptr, nullptr,
-                 DriverBackend::kIncremental);
-  expect_identical_schedules(instance, G, legacy, incremental,
-                             "policy " + name);
+  const auto first_policy = PolicyRegistry::instance().make(name, params);
+  const auto second_policy = PolicyRegistry::instance().make(name, params);
+  const Schedule first = run_online(instance, G, *first_policy);
+  const Schedule second = run_online(instance, G, *second_policy);
+  expect_identical_schedules(instance, G, first, second, "policy " + name);
 }
 
 /// Single-machine-only policies (they CALIB_CHECK machines() == 1).
@@ -78,8 +66,7 @@ bool single_machine_only(const std::string& name) {
   return std::find(kSingle.begin(), kSingle.end(), name) != kSingle.end();
 }
 
-TEST(DriverEquiv, RegistryPoliciesSingleMachine) {
-  if (!kHaveLegacy) GTEST_SKIP() << "legacy backend compiled out";
+TEST(DriverConsistency, RegistryPoliciesDeterministicSingleMachine) {
   Prng prng(4242);
   for (int trial = 0; trial < 4; ++trial) {
     const Instance instance = sparse_uniform_instance(
@@ -87,13 +74,12 @@ TEST(DriverEquiv, RegistryPoliciesSingleMachine) {
         WeightModel::kZipf, /*w_max=*/9, prng);
     for (const std::string& name : PolicyRegistry::instance().names()) {
       if (name == "alg3" || name == "alg4") continue;  // multi-machine home
-      expect_backend_equivalence(name, instance, /*G=*/11 + trial * 9);
+      expect_run_determinism(name, instance, /*G=*/11 + trial * 9);
     }
   }
 }
 
-TEST(DriverEquiv, RegistryPoliciesMultiMachine) {
-  if (!kHaveLegacy) GTEST_SKIP() << "legacy backend compiled out";
+TEST(DriverConsistency, RegistryPoliciesDeterministicMultiMachine) {
   Prng prng(777);
   for (int trial = 0; trial < 4; ++trial) {
     const Instance instance = sparse_uniform_instance(
@@ -101,45 +87,129 @@ TEST(DriverEquiv, RegistryPoliciesMultiMachine) {
         WeightModel::kBimodal, /*w_max=*/7, prng);
     for (const std::string& name : PolicyRegistry::instance().names()) {
       if (single_machine_only(name)) continue;
-      expect_backend_equivalence(name, instance, /*G=*/8 + trial * 5);
+      expect_run_determinism(name, instance, /*G=*/8 + trial * 5);
     }
   }
 }
 
-TEST(DriverEquiv, AdversaryBranchesIdentical) {
-  if (!kHaveLegacy) GTEST_SKIP() << "legacy backend compiled out";
+TEST(DriverConsistency, AdversaryBranchesDeterministicAndCostSane) {
   // Alg1 calibrates early (branch 1); ski-rental waits (branch 2);
-  // sweep (G, T) so both code paths run at several shapes.
+  // sweep (G, T) so both branches run at several shapes.
   for (const std::string name : {"alg1", "alg2", "ski", "eager"}) {
     for (const Cost G : {3, 9, 20}) {
       for (const Time T : {2, 5, 9}) {
-        const auto legacy_policy = PolicyRegistry::instance().make(name);
-        const auto incremental_policy = PolicyRegistry::instance().make(name);
-        const AdversaryOutcome legacy = run_lower_bound_adversary(
-            *legacy_policy, G, T, DriverBackend::kLegacy);
-        const AdversaryOutcome incremental = run_lower_bound_adversary(
-            *incremental_policy, G, T, DriverBackend::kIncremental);
-        ASSERT_EQ(legacy.calibrated_at_zero, incremental.calibrated_at_zero)
+        const auto first_policy = PolicyRegistry::instance().make(name);
+        const auto second_policy = PolicyRegistry::instance().make(name);
+        const AdversaryOutcome first =
+            run_lower_bound_adversary(*first_policy, G, T);
+        const AdversaryOutcome second =
+            run_lower_bound_adversary(*second_policy, G, T);
+        ASSERT_EQ(first.calibrated_at_zero, second.calibrated_at_zero)
             << name << " G=" << G << " T=" << T;
-        ASSERT_EQ(legacy.algorithm_cost, incremental.algorithm_cost)
+        ASSERT_EQ(first.algorithm_cost, second.algorithm_cost)
             << name << " G=" << G << " T=" << T;
-        ASSERT_EQ(legacy.lemma_opt_cost, incremental.lemma_opt_cost);
-        ASSERT_EQ(legacy.instance.size(), incremental.instance.size());
-        for (JobId j = 0; j < legacy.instance.size(); ++j) {
-          ASSERT_EQ(legacy.instance.job(j), incremental.instance.job(j));
+        ASSERT_EQ(first.lemma_opt_cost, second.lemma_opt_cost);
+        ASSERT_EQ(first.instance.size(), second.instance.size());
+        for (JobId j = 0; j < first.instance.size(); ++j) {
+          ASSERT_EQ(first.instance.job(j), second.instance.job(j));
         }
+        // The lemma's exhibited offline schedule is feasible, so the
+        // online cost can never beat it on these instances.
+        ASSERT_GE(first.algorithm_cost, first.lemma_opt_cost)
+            << name << " G=" << G << " T=" << T;
       }
     }
   }
 }
 
-/// The fuzz chaos policy, duplicated here with the empty-queue no-op
-/// contract: identical PRNG draws on both backends (the legacy driver
-/// polls decide() during empty-queue spans, the incremental one skips
-/// them — returning before any draw keeps the streams aligned).
+// ---- Brute-force references (the seed driver's query algorithms) -------
+
+/// The waiting set in arrival (FIFO) order, read back rank by rank.
+std::vector<JobId> waiting_jobs(const OnlineDriver& driver) {
+  std::vector<JobId> queue;
+  queue.reserve(driver.waiting_count());
+  for (std::size_t rank = 0; rank < driver.waiting_count(); ++rank) {
+    queue.push_back(driver.waiting_at(rank));
+  }
+  return queue;
+}
+
+Cost reference_queue_flow_from(const OnlineDriver& driver, Time start,
+                               QueueOrder order) {
+  const std::vector<Job>& jobs = driver.jobs();
+  std::vector<JobId> queue = waiting_jobs(driver);
+  switch (order) {
+    case QueueOrder::kFifo:
+      break;  // already in release (arrival) order
+    case QueueOrder::kHeaviestFirst:
+      std::stable_sort(queue.begin(), queue.end(), [&](JobId a, JobId b) {
+        return jobs[static_cast<std::size_t>(a)].weight >
+               jobs[static_cast<std::size_t>(b)].weight;
+      });
+      break;
+    case QueueOrder::kLightestFirst:
+      std::stable_sort(queue.begin(), queue.end(), [&](JobId a, JobId b) {
+        return jobs[static_cast<std::size_t>(a)].weight <
+               jobs[static_cast<std::size_t>(b)].weight;
+      });
+      break;
+  }
+  Cost flow = 0;
+  Time t = start;
+  for (const JobId j : queue) {
+    const Job& job = jobs[static_cast<std::size_t>(j)];
+    flow += job.weight * (t + 1 - job.release);
+    ++t;
+  }
+  return flow;
+}
+
+bool reference_occupied_at(const OnlineDriver& driver, MachineId m, Time t) {
+  for (JobId j = 0; static_cast<std::size_t>(j) < driver.jobs().size(); ++j) {
+    if (driver.start_of(j) == kUnscheduled) continue;
+    if (driver.machine_of(j) == m && driver.start_of(j) == t) return true;
+  }
+  return false;
+}
+
+Time reference_first_free_slot(const OnlineDriver& driver, MachineId m,
+                               Time from, Time to) {
+  for (Time t = from; t < to; ++t) {
+    if (!driver.calendar().covers(m, t)) continue;
+    if (!reference_occupied_at(driver, m, t)) return t;
+  }
+  return kUnscheduled;
+}
+
+/// The latest calibration as the policy observed it (machine + start).
+struct CalRecord {
+  MachineId machine = 0;
+  Time start = kUnscheduled;
+};
+
+Cost reference_last_interval_flow(const OnlineDriver& driver,
+                                  const CalRecord& cal) {
+  if (cal.start == kUnscheduled) return -1;
+  Cost flow = 0;
+  for (JobId j = 0; static_cast<std::size_t>(j) < driver.jobs().size(); ++j) {
+    const Time start = driver.start_of(j);
+    if (start == kUnscheduled || driver.machine_of(j) != cal.machine) continue;
+    if (start >= cal.start && start < cal.start + driver.T()) {
+      const Job& job = driver.jobs()[static_cast<std::size_t>(j)];
+      flow += job.weight * (start + 1 - job.release);
+    }
+  }
+  return flow;
+}
+
+/// The fuzz chaos policy: random calibrations and out-of-order manual
+/// assignments exercise every maintained aggregate. Records the latest
+/// calibration so the test can recompute last_interval_flow from
+/// scratch. Empty-queue no-op keeps the PRNG stream independent of how
+/// idle spans are traversed (ticked or skipped).
 class ChaosPolicy final : public OnlinePolicy {
  public:
-  explicit ChaosPolicy(std::uint64_t seed) : prng_(seed) {}
+  ChaosPolicy(std::uint64_t seed, CalRecord* cal) : prng_(seed), cal_(cal) {}
   [[nodiscard]] QueueOrder order() const override {
     return QueueOrder::kHeaviestFirst;
   }
@@ -148,6 +218,10 @@ class ChaosPolicy final : public OnlinePolicy {
     if (handle.waiting_empty()) return;
     while (prng_.bernoulli(0.35)) {
       const MachineId m = handle.calibrate();
+      if (cal_ != nullptr) {
+        cal_->machine = m;
+        cal_->start = handle.now();
+      }
       if (!handle.waiting_empty() && prng_.bernoulli(0.5)) {
         const auto pick = static_cast<std::size_t>(prng_.uniform_int(
             0, static_cast<std::int64_t>(handle.waiting_count()) - 1));
@@ -164,25 +238,71 @@ class ChaosPolicy final : public OnlinePolicy {
 
  private:
   Prng prng_;
+  CalRecord* cal_;
 };
 
-TEST(DriverEquiv, ChaosFuzzIdenticalAcrossBackends) {
-  if (!kHaveLegacy) GTEST_SKIP() << "legacy backend compiled out";
+TEST(DriverConsistency, ChaosFuzzQueriesMatchBruteForce) {
   Prng prng(20110519);
   for (std::uint64_t trial = 0; trial < 12; ++trial) {
     const Instance instance = sparse_uniform_instance(
         /*jobs=*/25, /*span=*/70, /*T=*/4, /*machines=*/2,
         WeightModel::kUniform, /*w_max=*/9, prng);
-    ChaosPolicy legacy_policy(trial * 6151 + 3);
-    ChaosPolicy incremental_policy(trial * 6151 + 3);
-    const Schedule legacy =
-        run_online(instance, /*G=*/6, legacy_policy, nullptr, nullptr,
-                   DriverBackend::kLegacy);
-    const Schedule incremental =
-        run_online(instance, /*G=*/6, incremental_policy, nullptr, nullptr,
-                   DriverBackend::kIncremental);
-    expect_identical_schedules(instance, 6, legacy, incremental,
-                               "chaos trial " + std::to_string(trial));
+    const std::string label = "chaos trial " + std::to_string(trial);
+    CalRecord cal;
+    ChaosPolicy policy(trial * 6151 + 3, &cal);
+    OnlineDriver driver(instance.T(), instance.machines(), /*G=*/6, policy);
+    Prng probe(trial * 77 + 5);
+    JobId next = 0;
+    while (next < instance.size() || !driver.all_placed()) {
+      ASSERT_LT(driver.now(), 100000) << label << ": failed to drain";
+      while (next < instance.size() &&
+             instance.job(next).release == driver.now()) {
+        driver.add_job(instance.job(next).weight);
+        ++next;
+      }
+      driver.step();
+      // Every incremental query must agree with brute-force recompute.
+      const Time now = driver.now();
+      for (const QueueOrder order :
+           {QueueOrder::kFifo, QueueOrder::kHeaviestFirst,
+            QueueOrder::kLightestFirst}) {
+        const Time start = now + static_cast<Time>(probe.uniform_int(0, 6));
+        ASSERT_EQ(driver.queue_flow_from(start, order),
+                  reference_queue_flow_from(driver, start, order))
+            << label << " at t=" << now;
+      }
+      ASSERT_EQ(driver.last_interval_flow(),
+                reference_last_interval_flow(driver, cal))
+          << label << " at t=" << now;
+      for (MachineId m = 0; m < instance.machines(); ++m) {
+        const Time from = static_cast<Time>(probe.uniform_int(0, now + 4));
+        const Time to = from + static_cast<Time>(probe.uniform_int(0, 10));
+        ASSERT_EQ(driver.first_free_slot(m, from, to),
+                  reference_first_free_slot(driver, m, from, to))
+            << label << " m" << m << " [" << from << "," << to << ")";
+        const Time t = static_cast<Time>(probe.uniform_int(0, now + 8));
+        ASSERT_EQ(driver.covers(m, t), driver.calendar().covers(m, t))
+            << label << " m" << m << " t=" << t;
+      }
+      Weight total = 0;
+      for (const JobId j : waiting_jobs(driver)) {
+        total += driver.jobs()[static_cast<std::size_t>(j)].weight;
+      }
+      ASSERT_EQ(driver.waiting_weight(), total) << label;
+    }
+    // Drained: the maintained cost aggregate equals recompute-from-
+    // placements, and the realized schedule passes full validation.
+    Cost flow = 0;
+    for (JobId j = 0; static_cast<std::size_t>(j) < driver.jobs().size();
+         ++j) {
+      const Job& job = driver.jobs()[static_cast<std::size_t>(j)];
+      flow += job.weight * (driver.start_of(j) + 1 - job.release);
+    }
+    ASSERT_EQ(driver.online_cost(), 6 * driver.calendar().count() + flow)
+        << label;
+    const Schedule schedule = driver.realized_schedule();
+    const auto error = schedule.validate(driver.realized_instance());
+    ASSERT_FALSE(error.has_value()) << label << ": " << *error;
   }
 }
 
@@ -209,12 +329,9 @@ class PromptPolicy final : public OnlinePolicy {
   [[nodiscard]] const char* name() const override { return "prompt"; }
 };
 
-class DriverEquivPins : public ::testing::TestWithParam<DriverBackend> {};
-
-TEST_P(DriverEquivPins, QueueFlowFromStaggeredReleases) {
+TEST(DriverPins, QueueFlowFromStaggeredReleases) {
   NullPolicy policy;
-  OnlineDriver driver(/*T=*/6, /*machines=*/1, /*G=*/1000, policy,
-                      GetParam());
+  OnlineDriver driver(/*T=*/6, /*machines=*/1, /*G=*/1000, policy);
   driver.add_job(2);   // r=0
   driver.add_job(5);   // r=0
   driver.step();
@@ -230,10 +347,9 @@ TEST_P(DriverEquivPins, QueueFlowFromStaggeredReleases) {
   EXPECT_EQ(driver.queue_flow_from(4, QueueOrder::kLightestFirst), 85);
 }
 
-TEST_P(DriverEquivPins, LastIntervalFlowTracksOnlyLatestInterval) {
+TEST(DriverPins, LastIntervalFlowTracksOnlyLatestInterval) {
   PromptPolicy policy;
-  OnlineDriver driver(/*T=*/3, /*machines=*/1, /*G=*/100, policy,
-                      GetParam());
+  OnlineDriver driver(/*T=*/3, /*machines=*/1, /*G=*/100, policy);
   EXPECT_EQ(driver.last_interval_flow(), -1);
   driver.add_job(2);
   driver.add_job(3);
@@ -247,10 +363,9 @@ TEST_P(DriverEquivPins, LastIntervalFlowTracksOnlyLatestInterval) {
   EXPECT_EQ(driver.last_interval_flow(), 4);
 }
 
-TEST_P(DriverEquivPins, FirstFreeSlotSkipsBookedAndUncovered) {
+TEST(DriverPins, FirstFreeSlotSkipsBookedAndUncovered) {
   PromptPolicy policy;
-  OnlineDriver driver(/*T=*/4, /*machines=*/1, /*G=*/100, policy,
-                      GetParam());
+  OnlineDriver driver(/*T=*/4, /*machines=*/1, /*G=*/100, policy);
   driver.add_job(1);
   driver.add_job(1);
   driver.step();  // calibrates [0,4); slots 0 occupied
@@ -268,25 +383,9 @@ TEST_P(DriverEquivPins, FirstFreeSlotSkipsBookedAndUncovered) {
   EXPECT_EQ(driver.first_free_slot(0, 0, 1), kUnscheduled);  // 0 booked
 }
 
-#if CALIBSCHED_LEGACY_DRIVER
-INSTANTIATE_TEST_SUITE_P(BothBackends, DriverEquivPins,
-                         ::testing::Values(DriverBackend::kIncremental,
-                                           DriverBackend::kLegacy),
-                         [](const auto& param_info) {
-                           return param_info.param ==
-                                          DriverBackend::kIncremental
-                                      ? "incremental"
-                                      : "legacy";
-                         });
-#else
-INSTANTIATE_TEST_SUITE_P(Incremental, DriverEquivPins,
-                         ::testing::Values(DriverBackend::kIncremental),
-                         [](const auto&) { return std::string("incremental"); });
-#endif
-
 // ---- Event-driven advance semantics ------------------------------------
 
-TEST(DriverEquiv, AdvanceToSkipsIdleSpans) {
+TEST(DriverConsistency, AdvanceToSkipsIdleSpans) {
   NullPolicy policy;
   OnlineDriver driver(/*T=*/3, /*machines=*/1, /*G=*/5, policy);
   EXPECT_EQ(driver.now(), 0);
@@ -296,7 +395,7 @@ TEST(DriverEquiv, AdvanceToSkipsIdleSpans) {
   EXPECT_EQ(driver.now(), 17);
 }
 
-TEST(DriverEquivDeath, AdvanceToRequiresEmptyQueue) {
+TEST(DriverConsistencyDeath, AdvanceToRequiresEmptyQueue) {
   NullPolicy policy;
   OnlineDriver driver(/*T=*/3, /*machines=*/1, /*G=*/5, policy);
   driver.add_job(1);
@@ -304,22 +403,33 @@ TEST(DriverEquivDeath, AdvanceToRequiresEmptyQueue) {
   EXPECT_DEATH(driver.advance_to(-1), "backwards");
 }
 
-TEST(DriverEquiv, RunOnlineSkipsLongGapsAndMatchesStepping) {
-  if (!kHaveLegacy) GTEST_SKIP() << "legacy backend compiled out";
-  // A widely spaced instance: the incremental run advances across the
-  // gaps while the legacy run ticks through them; results must agree.
+TEST(DriverConsistency, RunOnlineMatchesNaivePerStepTicking) {
+  // A widely spaced instance: run_online advances across the gaps; the
+  // hand-rolled loop below ticks through every idle step instead. The
+  // decide() contract (no decision points while the queue is empty)
+  // means both must realize the same schedule.
   std::vector<Job> jobs{{0, 3}, {1000, 1}, {5000, 7}, {5000, 2}};
   const Instance instance(jobs, /*T=*/4, /*machines=*/1);
-  const auto legacy_policy = PolicyRegistry::instance().make("alg2");
-  const auto incremental_policy = PolicyRegistry::instance().make("alg2");
-  const Schedule legacy =
-      run_online(instance, /*G=*/7, *legacy_policy, nullptr, nullptr,
-                 DriverBackend::kLegacy);
-  const Schedule incremental =
-      run_online(instance, /*G=*/7, *incremental_policy, nullptr, nullptr,
-                 DriverBackend::kIncremental);
-  expect_identical_schedules(instance, 7, legacy, incremental,
-                             "sparse gaps");
+  for (const std::string name : {"alg1", "alg2"}) {
+    const auto fast_policy = PolicyRegistry::instance().make(name);
+    const Schedule fast = run_online(instance, /*G=*/7, *fast_policy);
+    const auto slow_policy = PolicyRegistry::instance().make(name);
+    OnlineDriver driver(instance.T(), instance.machines(), /*G=*/7,
+                        *slow_policy);
+    JobId next = 0;
+    while (next < instance.size() || !driver.all_placed()) {
+      while (next < instance.size() &&
+             instance.job(next).release == driver.now()) {
+        driver.add_job(instance.job(next).weight);
+        ++next;
+      }
+      driver.step();
+      ASSERT_LT(driver.now(), 10000) << name << ": failed to drain";
+    }
+    const Schedule slow = driver.realized_schedule();
+    expect_identical_schedules(instance, 7, fast, slow,
+                               "naive ticking vs run_online: " + name);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,581 @@
+// The sharded sweep executor: the frame protocol (encode/decode, the
+// poisoned-reader contract, metrics payload round-trips), Snapshot
+// merging, and the coordinator/worker integration — byte-identity with
+// in-process runs, the three failure-detection layers under injected
+// worker faults (kill, stall, corrupt-frame), retry exhaustion, total
+// fleet loss, and journal resume (including torn-line recovery) with
+// the coordinator as the only journal writer.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "harness/executor/executor.hpp"
+#include "harness/executor/protocol.hpp"
+#include "harness/faults.hpp"
+#include "harness/journal.hpp"
+#include "harness/sandbox.hpp"
+#include "harness/sweep.hpp"
+#include "obs/metrics.hpp"
+
+// Sanitizers intercept SIGSEGV (the report turns the death into a plain
+// exit), so assertions that name SIGSEGV only hold unsanitized — same
+// gate as test_sweep_sandbox.cpp.
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define CALIBSCHED_TEST_SAN_SEGV 1
+#endif
+#endif
+#if !defined(CALIBSCHED_TEST_SAN_SEGV) && \
+    (defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__) || \
+     defined(CALIBSCHED_TSAN))
+#define CALIBSCHED_TEST_SAN_SEGV 1
+#endif
+#ifndef CALIBSCHED_TEST_SAN_SEGV
+#define CALIBSCHED_TEST_SAN_SEGV 0
+#endif
+
+namespace calib {
+namespace {
+
+using harness::decode_metrics_payload;
+using harness::encode_frame;
+using harness::encode_metrics_payload;
+using harness::Frame;
+using harness::FrameReader;
+using harness::FrameType;
+using harness::parse_worker_faults;
+using harness::SweepEngine;
+using harness::SweepGrid;
+using harness::SweepOptions;
+using harness::SweepReport;
+using harness::SweepRow;
+using harness::WorkerFault;
+using harness::WorkloadSpec;
+
+SweepGrid tiny_grid(int seeds = 2) {
+  WorkloadSpec spec;
+  spec.kind = "poisson";
+  spec.rate = 0.4;
+  spec.steps = 16;
+  spec.T = 3;
+  SweepGrid grid;
+  grid.workloads = {spec};
+  grid.solvers = {"alg1", "alg2"};
+  grid.G_values = {5, 9};
+  grid.seeds = seeds;
+  grid.base_seed = 7;
+  grid.compare_to_opt = true;
+  grid.threads = 1;
+  return grid;
+}
+
+// Fast failure handling for tests: near-zero backoff, short heartbeats.
+SweepOptions executor_options(int workers) {
+  SweepOptions options;
+  options.workers = workers;
+  options.heartbeat_interval_ms = 20.0;
+  options.heartbeat_timeout_ms = 2000.0;
+  options.retry_backoff_ms = 2.0;
+  options.retry_backoff_cap_ms = 20.0;
+  return options;
+}
+
+std::string jsonl_of(const SweepReport& report) {
+  std::ostringstream os;
+  report.write_jsonl(os);
+  return os.str();
+}
+
+std::string csv_of(const SweepReport& report) {
+  std::ostringstream os;
+  report.write_csv(os);
+  return os.str();
+}
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + "calibsched_" + name + "_" +
+         std::to_string(::getpid()) + ".jsonl";
+}
+
+// ---- Frame protocol ---------------------------------------------------
+
+TEST(ExecutorProtocol, FramesRoundTripThroughTheReader) {
+  const std::string bytes =
+      encode_frame(FrameType::kLease, "42") +
+      encode_frame(FrameType::kResult, "{\"cell\":42}") +
+      encode_frame(FrameType::kShutdown, "");
+  FrameReader reader;
+  reader.feed(bytes.data(), bytes.size());
+  Frame frame;
+  ASSERT_TRUE(reader.next(frame));
+  EXPECT_EQ(frame.type, FrameType::kLease);
+  EXPECT_EQ(frame.payload, "42");
+  ASSERT_TRUE(reader.next(frame));
+  EXPECT_EQ(frame.type, FrameType::kResult);
+  EXPECT_EQ(frame.payload, "{\"cell\":42}");
+  ASSERT_TRUE(reader.next(frame));
+  EXPECT_EQ(frame.type, FrameType::kShutdown);
+  EXPECT_TRUE(frame.payload.empty());
+  EXPECT_FALSE(reader.next(frame));
+  EXPECT_FALSE(reader.corrupted());
+}
+
+TEST(ExecutorProtocol, ByteAtATimeFeedingReassemblesFrames) {
+  const std::string bytes = encode_frame(FrameType::kHeartbeat, "{\"a\":1}");
+  FrameReader reader;
+  Frame frame;
+  for (std::size_t i = 0; i + 1 < bytes.size(); ++i) {
+    reader.feed(bytes.data() + i, 1);
+    EXPECT_FALSE(reader.next(frame)) << "frame completed early at " << i;
+  }
+  reader.feed(bytes.data() + bytes.size() - 1, 1);
+  ASSERT_TRUE(reader.next(frame));
+  EXPECT_EQ(frame.payload, "{\"a\":1}");
+}
+
+TEST(ExecutorProtocol, BadMagicPoisonsTheReaderPermanently) {
+  FrameReader reader;
+  const char garbage[] = "not a frame at all";
+  reader.feed(garbage, sizeof garbage - 1);
+  EXPECT_TRUE(reader.corrupted());
+  EXPECT_EQ(reader.error(), "bad frame magic");
+  // Feeding a perfectly valid frame afterwards must not resurrect it:
+  // inside a corrupted stream there is no trustworthy frame boundary.
+  const std::string valid = encode_frame(FrameType::kLease, "1");
+  reader.feed(valid.data(), valid.size());
+  Frame frame;
+  EXPECT_FALSE(reader.next(frame));
+  EXPECT_TRUE(reader.corrupted());
+}
+
+TEST(ExecutorProtocol, UnknownTypeAndOversizedLengthArePoison) {
+  {
+    std::string bytes = encode_frame(FrameType::kLease, "1");
+    bytes[4] = 99;  // type word
+    FrameReader reader;
+    reader.feed(bytes.data(), bytes.size());
+    EXPECT_TRUE(reader.corrupted());
+  }
+  {
+    std::string bytes = encode_frame(FrameType::kLease, "1");
+    bytes[11] = '\x7f';  // length's high byte: claims a ~2 GiB payload
+    FrameReader reader;
+    reader.feed(bytes.data(), bytes.size());
+    EXPECT_TRUE(reader.corrupted());
+  }
+}
+
+TEST(ExecutorProtocol, OversizedPayloadIsRejectedAtEncodeTime) {
+  EXPECT_THROW(
+      (void)encode_frame(FrameType::kResult,
+                         std::string(harness::kMaxFrameBytes + 1, 'x')),
+      std::runtime_error);
+}
+
+TEST(ExecutorProtocol, MetricsPayloadRoundTrips) {
+  obs::Snapshot snapshot;
+  snapshot.counters["sweep.cells_ok"] = 12;
+  snapshot.counters["dp.curve_states"] = 34567;
+  snapshot.gauges["executor.workers"] = -3;
+  obs::HistogramStats h;
+  h.count = 4;
+  h.sum = 123.5;
+  h.min = 1.0;
+  h.max = 100.25;
+  h.p50 = 12.5;
+  h.p90 = 90.0;
+  h.p99 = 99.0;
+  snapshot.histograms["sweep.cell_us"] = h;
+
+  const obs::Snapshot back =
+      decode_metrics_payload(encode_metrics_payload(snapshot));
+  EXPECT_EQ(back.counters, snapshot.counters);
+  EXPECT_EQ(back.gauges, snapshot.gauges);
+  ASSERT_EQ(back.histograms.count("sweep.cell_us"), 1u);
+  const obs::HistogramStats& r = back.histograms.at("sweep.cell_us");
+  EXPECT_EQ(r.count, h.count);
+  EXPECT_DOUBLE_EQ(r.sum, h.sum);
+  EXPECT_DOUBLE_EQ(r.min, h.min);
+  EXPECT_DOUBLE_EQ(r.max, h.max);
+  EXPECT_DOUBLE_EQ(r.p50, h.p50);
+  EXPECT_DOUBLE_EQ(r.p99, h.p99);
+}
+
+TEST(ExecutorProtocol, MetricsPayloadRejectsGarbage) {
+  EXPECT_THROW((void)decode_metrics_payload("not json"), std::runtime_error);
+  EXPECT_THROW((void)decode_metrics_payload("{\"noprefix\":1}"),
+               std::runtime_error);
+  EXPECT_THROW((void)decode_metrics_payload("{\"h:x.bogus\":1}"),
+               std::runtime_error);
+}
+
+// ---- Snapshot::merge --------------------------------------------------
+
+TEST(SnapshotMerge, CountersAndGaugesAdd) {
+  obs::Snapshot a;
+  a.counters["x"] = 3;
+  a.gauges["g"] = 5;
+  obs::Snapshot b;
+  b.counters["x"] = 4;
+  b.counters["only_b"] = 7;
+  b.gauges["g"] = -2;
+  a.merge(b);
+  EXPECT_EQ(a.counters.at("x"), 7u);
+  EXPECT_EQ(a.counters.at("only_b"), 7u);
+  EXPECT_EQ(a.gauges.at("g"), 3);
+}
+
+TEST(SnapshotMerge, HistogramsWidenAndWeightPercentiles) {
+  obs::Snapshot a;
+  obs::HistogramStats ha;
+  ha.count = 1;
+  ha.sum = 10.0;
+  ha.min = 10.0;
+  ha.max = 10.0;
+  ha.p50 = 10.0;
+  ha.p90 = 10.0;
+  ha.p99 = 10.0;
+  a.histograms["h"] = ha;
+  obs::Snapshot b;
+  obs::HistogramStats hb;
+  hb.count = 3;
+  hb.sum = 6.0;
+  hb.min = 1.0;
+  hb.max = 4.0;
+  hb.p50 = 2.0;
+  hb.p90 = 2.0;
+  hb.p99 = 2.0;
+  b.histograms["h"] = hb;
+  a.merge(b);
+  const obs::HistogramStats& m = a.histograms.at("h");
+  EXPECT_EQ(m.count, 4u);
+  EXPECT_DOUBLE_EQ(m.sum, 16.0);
+  EXPECT_DOUBLE_EQ(m.min, 1.0);
+  EXPECT_DOUBLE_EQ(m.max, 10.0);
+  // Count-weighted mean: (10*1 + 2*3) / 4.
+  EXPECT_DOUBLE_EQ(m.p50, 4.0);
+}
+
+TEST(SnapshotMerge, MergingIntoEmptyIsExact) {
+  obs::Snapshot a;
+  obs::Snapshot b;
+  obs::HistogramStats hb;
+  hb.count = 2;
+  hb.sum = 3.0;
+  hb.min = 1.0;
+  hb.max = 2.0;
+  hb.p50 = 1.5;
+  hb.p90 = 2.0;
+  hb.p99 = 2.0;
+  b.histograms["h"] = hb;
+  b.counters["c"] = 9;
+  a.merge(b);
+  EXPECT_EQ(a.counters.at("c"), 9u);
+  EXPECT_DOUBLE_EQ(a.histograms.at("h").p50, 1.5);
+  EXPECT_DOUBLE_EQ(a.histograms.at("h").min, 1.0);
+}
+
+// ---- Worker fault spec parsing ----------------------------------------
+
+TEST(WorkerFaults, SpecParsesKindsWorkersAndTriggers) {
+  const auto plan = parse_worker_faults("kill=1@2,stall=0@0,corrupt-frame=3@5");
+  ASSERT_EQ(plan.faults.size(), 3u);
+  EXPECT_EQ(plan.faults[0].kind, WorkerFault::Kind::kKill);
+  EXPECT_EQ(plan.faults[0].worker, 1);
+  EXPECT_EQ(plan.faults[0].after_cells, 2u);
+  EXPECT_EQ(plan.faults[1].kind, WorkerFault::Kind::kStall);
+  EXPECT_EQ(plan.faults[2].kind, WorkerFault::Kind::kCorruptFrame);
+  EXPECT_EQ(plan.faults[2].worker, 3);
+  plan.validate(4);
+  EXPECT_THROW(plan.validate(3), std::runtime_error);  // worker 3 outside
+}
+
+TEST(WorkerFaults, MalformedSpecsThrow) {
+  EXPECT_THROW((void)parse_worker_faults("kill"), std::runtime_error);
+  EXPECT_THROW((void)parse_worker_faults("kill=1"), std::runtime_error);
+  EXPECT_THROW((void)parse_worker_faults("nuke=1@2"), std::runtime_error);
+  EXPECT_THROW((void)parse_worker_faults("kill=x@2"), std::runtime_error);
+  EXPECT_THROW((void)parse_worker_faults("kill=1@"), std::runtime_error);
+}
+
+// ---- Options validation -----------------------------------------------
+
+TEST(ExecutorOptions, InvalidExecutorOptionsAreRejected) {
+  SweepEngine engine(tiny_grid());
+  {
+    SweepOptions options;
+    options.workers = -1;
+    EXPECT_THROW((void)engine.run(options), std::runtime_error);
+  }
+  {
+    SweepOptions options;
+    options.workers = 257;
+    EXPECT_THROW((void)engine.run(options), std::runtime_error);
+  }
+  {
+    SweepOptions options = executor_options(2);
+    options.heartbeat_interval_ms = 0.0;
+    EXPECT_THROW((void)engine.run(options), std::runtime_error);
+  }
+  {
+    SweepOptions options = executor_options(2);
+    options.heartbeat_timeout_ms = options.heartbeat_interval_ms / 2;
+    EXPECT_THROW((void)engine.run(options), std::runtime_error);
+  }
+  {
+    SweepOptions options = executor_options(2);
+    options.max_cell_attempts = 0;
+    EXPECT_THROW((void)engine.run(options), std::runtime_error);
+  }
+  {
+    SweepOptions options = executor_options(2);
+    options.retry_backoff_cap_ms = options.retry_backoff_ms / 2;
+    EXPECT_THROW((void)engine.run(options), std::runtime_error);
+  }
+  {
+    // A fault naming a worker the fleet doesn't have.
+    SweepOptions options = executor_options(2);
+    options.worker_faults = parse_worker_faults("kill=2@0");
+    EXPECT_THROW((void)engine.run(options), std::runtime_error);
+  }
+  {
+    // Worker faults without the executor.
+    SweepOptions options;
+    options.worker_faults = parse_worker_faults("kill=0@0");
+    EXPECT_THROW((void)engine.run(options), std::runtime_error);
+  }
+}
+
+TEST(ExecutorOptions, RetryFailedRequiresAJournalButNotTheResumeFlag) {
+  SweepEngine engine(tiny_grid());
+  SweepOptions options;
+  options.retry_failed = true;  // no journal_path
+  EXPECT_THROW((void)engine.run(options), std::runtime_error);
+}
+
+// ---- Coordinator/worker integration -----------------------------------
+
+TEST(Executor, CrashFreeRunsAreByteIdenticalToInProcess) {
+  const SweepReport in_process = SweepEngine(tiny_grid()).run();
+  for (const int workers : {1, 2, 3}) {
+    const SweepReport sharded =
+        SweepEngine(tiny_grid()).run(executor_options(workers));
+    EXPECT_EQ(jsonl_of(sharded), jsonl_of(in_process)) << workers;
+    EXPECT_EQ(csv_of(sharded), csv_of(in_process)) << workers;
+    EXPECT_TRUE(sharded.status_counts().all_ok());
+    EXPECT_EQ(sharded.timing.workers, static_cast<std::size_t>(workers));
+    EXPECT_EQ(sharded.timing.workers_lost, 0u);
+    EXPECT_EQ(sharded.timing.retries, 0u);
+  }
+}
+
+TEST(Executor, WorkerMetricsSurviveTheWorkersExit) {
+  const SweepReport report =
+      SweepEngine(tiny_grid()).run(executor_options(2));
+  ASSERT_TRUE(report.status_counts().all_ok());
+#if CALIBSCHED_OBS
+  // Every cell ran in some worker; the merged final snapshots must
+  // account for all of them (each worker's registry is zeroed at fork).
+  ASSERT_EQ(report.worker_metrics.counters.count("sweep.cells_ok"), 1u);
+  EXPECT_EQ(report.worker_metrics.counters.at("sweep.cells_ok"),
+            report.rows.size());
+#endif
+}
+
+TEST(Executor, KilledWorkersLeaseIsRetriedOnSurvivors) {
+  SweepOptions options = executor_options(3);
+  options.worker_faults = parse_worker_faults("kill=1@2");
+  const SweepReport report = SweepEngine(tiny_grid(3)).run(options);
+  EXPECT_TRUE(report.status_counts().all_ok());
+  EXPECT_EQ(report.timing.workers_lost, 1u);
+  EXPECT_EQ(report.timing.retries, 1u);
+  EXPECT_EQ(jsonl_of(report), jsonl_of(SweepEngine(tiny_grid(3)).run()));
+}
+
+TEST(Executor, StalledWorkerIsDetectedByHeartbeatTimeout) {
+  SweepOptions options = executor_options(3);
+  options.heartbeat_timeout_ms = 300.0;
+  options.worker_faults = parse_worker_faults("stall=0@1");
+  const auto start = std::chrono::steady_clock::now();
+  const SweepReport report = SweepEngine(tiny_grid(3)).run(options);
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_TRUE(report.status_counts().all_ok());
+  EXPECT_EQ(report.timing.workers_lost, 1u);
+  // Detection is bounded by the timeout, not by luck: the frozen worker
+  // holds its lease for ~300 ms and the sweep still finishes promptly.
+  EXPECT_GE(elapsed_ms, 300.0 * 0.9);
+  EXPECT_LE(elapsed_ms, 300.0 * 20);  // generous CI slack
+  EXPECT_EQ(jsonl_of(report), jsonl_of(SweepEngine(tiny_grid(3)).run()));
+}
+
+TEST(Executor, CorruptResultFrameKillsTheWorkerAndRetriesTheCell) {
+  SweepOptions options = executor_options(2);
+  options.worker_faults = parse_worker_faults("corrupt-frame=0@1");
+  const SweepReport report = SweepEngine(tiny_grid(3)).run(options);
+  EXPECT_TRUE(report.status_counts().all_ok());
+  EXPECT_EQ(report.timing.workers_lost, 1u);
+  EXPECT_EQ(report.timing.retries, 1u);
+  EXPECT_EQ(jsonl_of(report), jsonl_of(SweepEngine(tiny_grid(3)).run()));
+}
+
+TEST(Executor, TotalFleetLossDegradesEveryRemainingCell) {
+  SweepOptions options = executor_options(2);
+  options.max_cell_attempts = 2;
+  options.worker_faults = parse_worker_faults("kill=0@1,kill=1@2");
+  const SweepReport report = SweepEngine(tiny_grid(3)).run(options);
+  const auto counts = report.status_counts();
+  EXPECT_EQ(report.timing.workers_lost, 2u);
+  EXPECT_GT(counts.ok, 0u);
+  EXPECT_GT(counts.error, 0u);
+  EXPECT_EQ(counts.ok + counts.error, report.rows.size());
+  bool saw_no_workers = false;
+  for (const SweepRow& row : report.rows) {
+    if (row.status != RunStatus::kError) continue;
+    EXPECT_TRUE(row.error.find("executor: ") == 0) << row.error;
+    if (row.error.find("no workers remaining") != std::string::npos) {
+      saw_no_workers = true;
+    }
+  }
+  EXPECT_TRUE(saw_no_workers);
+}
+
+#if !CALIBSCHED_TEST_SAN_SEGV
+TEST(Executor, RetryExhaustionYieldsADeterministicCrashedRow) {
+  // fault-seed 5 makes exactly one cell of this grid (cell 4) segfault
+  // (see the FaultPlan hash); the segv is a property of the cell, so it
+  // kills whichever worker retries it too. With max_cell_attempts = 2
+  // the cell costs two workers and lands as a terminal crashed row with
+  // attempt accounting in the text, while the third worker finishes the
+  // rest of the grid — the fleet never fully collapses, so the whole
+  // report is deterministic, not just the exhausted row.
+  SweepOptions options = executor_options(3);
+  options.max_cell_attempts = 2;
+  options.faults.segv_probability = 0.15;
+  options.faults.seed = 5;
+  const SweepReport report = SweepEngine(tiny_grid(3)).run(options);
+  const auto counts = report.status_counts();
+  EXPECT_EQ(counts.crashed, 1u);
+  EXPECT_EQ(counts.ok, report.rows.size() - 1);
+  EXPECT_EQ(report.timing.workers_lost, 2);
+  EXPECT_EQ(report.timing.retries, 1);
+  const SweepRow& exhausted = report.rows.at(4);
+  ASSERT_EQ(exhausted.status, RunStatus::kCrashed);
+  EXPECT_NE(exhausted.error.find(
+                "executor: worker killed by SIGSEGV (cell 4, attempt 2 of 2)"),
+            std::string::npos)
+      << exhausted.error;
+  // Deterministic texts: a second identical run produces identical rows.
+  const SweepReport again = SweepEngine(tiny_grid(3)).run(options);
+  EXPECT_EQ(jsonl_of(report), jsonl_of(again));
+}
+#endif
+
+TEST(Executor, SandboxedCellsComposeWithTheExecutor) {
+  SweepOptions options = executor_options(2);
+  options.sandbox = true;
+  const SweepReport report = SweepEngine(tiny_grid()).run(options);
+  EXPECT_TRUE(report.status_counts().all_ok());
+  EXPECT_EQ(jsonl_of(report), jsonl_of(SweepEngine(tiny_grid()).run()));
+}
+
+// ---- Journal / resume under the executor ------------------------------
+
+TEST(Executor, JournaledRunsResumeAfterACoordinatorRestart) {
+  const std::string path = temp_path("executor_resume");
+  const SweepReport full = SweepEngine(tiny_grid()).run();
+
+  // "Kill" the coordinator mid-grid: stop after 3 cells, then start a
+  // fresh engine over the same journal.
+  SweepOptions first = executor_options(2);
+  first.journal_path = path;
+  first.max_cells = 3;
+  const SweepReport partial = SweepEngine(tiny_grid()).run(first);
+  EXPECT_EQ(partial.status_counts().skipped,
+            partial.rows.size() - 3);
+
+  SweepOptions second = executor_options(2);
+  second.journal_path = path;
+  second.resume = true;
+  const SweepReport resumed = SweepEngine(tiny_grid()).run(second);
+  EXPECT_TRUE(resumed.status_counts().all_ok());
+  EXPECT_EQ(resumed.timing.resumed, 3u);
+  EXPECT_EQ(jsonl_of(resumed), jsonl_of(full));
+  std::remove(path.c_str());
+}
+
+TEST(Executor, TornTrailingJournalLineRecoversOnResume) {
+  const std::string path = temp_path("executor_torn");
+  const SweepReport full = SweepEngine(tiny_grid()).run();
+
+  SweepOptions options = executor_options(2);
+  options.journal_path = path;
+  const SweepReport first = SweepEngine(tiny_grid()).run(options);
+  ASSERT_TRUE(first.status_counts().all_ok());
+
+  // Tear the journal mid-append, as a coordinator kill would: drop the
+  // trailing half of the last line.
+  std::string text;
+  {
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    text = buffer.str();
+  }
+  ASSERT_FALSE(text.empty());
+  ASSERT_EQ(text.back(), '\n');
+  const std::size_t last_start = text.rfind('\n', text.size() - 2) + 1;
+  const std::size_t keep =
+      last_start + (text.size() - last_start) / 2;  // half the last line
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(text.data(), static_cast<std::streamsize>(keep));
+  }
+
+  // Resume drops exactly the torn line's cell and re-runs only it.
+  SweepOptions resume = executor_options(2);
+  resume.journal_path = path;
+  resume.resume = true;
+  const SweepReport resumed = SweepEngine(tiny_grid()).run(resume);
+  EXPECT_TRUE(resumed.status_counts().all_ok());
+  EXPECT_EQ(resumed.timing.resumed, full.rows.size() - 1);
+  EXPECT_EQ(jsonl_of(resumed), jsonl_of(full));
+  std::remove(path.c_str());
+}
+
+TEST(Executor, RetryFailedImpliesResumeAndReRunsOnlyFailures) {
+  const std::string path = temp_path("executor_retry_failed");
+  const SweepReport full = SweepEngine(tiny_grid()).run();
+
+  // Seed the journal with deterministic failures (thrown cells).
+  SweepOptions faulty = executor_options(2);
+  faulty.journal_path = path;
+  faulty.faults.throw_probability = 0.3;
+  faulty.faults.seed = 1;
+  const SweepReport broken = SweepEngine(tiny_grid()).run(faulty);
+  const std::size_t failed = broken.status_counts().error;
+  ASSERT_GT(failed, 0u);
+
+  // retry_failed without the resume flag: resume is implied, the ok
+  // rows replay from the journal, only the failures re-run.
+  SweepOptions retry = executor_options(2);
+  retry.journal_path = path;
+  retry.retry_failed = true;
+  const SweepReport repaired = SweepEngine(tiny_grid()).run(retry);
+  EXPECT_TRUE(repaired.status_counts().all_ok());
+  EXPECT_EQ(repaired.timing.resumed, full.rows.size() - failed);
+  EXPECT_EQ(jsonl_of(repaired), jsonl_of(full));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace calib

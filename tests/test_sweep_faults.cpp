@@ -355,10 +355,10 @@ TEST(SweepFaults, RejectsBadOptions) {
   EXPECT_THROW((void)SweepEngine(tiny_grid()).run(no_journal),
                std::runtime_error);
 
-  SweepOptions no_resume;
-  no_resume.journal_path = temp_path("unused");
-  no_resume.retry_failed = true;
-  EXPECT_THROW((void)SweepEngine(tiny_grid()).run(no_resume),
+  // retry_failed implies resume, so only a missing journal is an error.
+  SweepOptions retry_no_journal;
+  retry_no_journal.retry_failed = true;
+  EXPECT_THROW((void)SweepEngine(tiny_grid()).run(retry_no_journal),
                std::runtime_error);
 
   SweepOptions negative_budget;

@@ -67,12 +67,21 @@ int usage() {
       "             [--sandbox] [--sandbox-mem-mb N] [--sandbox-stack-kb N]\n"
       "             [--inject-faults SPEC] [--fault-seed S]\n"
       "             [--stop-after N]\n"
+      "             [--workers N] [--heartbeat-ms MS]\n"
+      "             [--heartbeat-timeout-ms MS] [--max-cell-attempts N]\n"
+      "             [--retry-backoff-ms MS] [--worker-faults SPEC]\n"
       "             [--metrics FILE] [--trace FILE]\n"
       "             (--sandbox: fork each cell; crashes become rows and\n"
       "              --cell-budget-ms gains a SIGKILL watchdog)\n"
       "             (--inject-faults SPEC: THROWP[,TIMEOUTP], or\n"
       "              kind=P[,kind=P...] with kinds throw,timeout,segv,\n"
-      "              abort,hang,corrupt; crash kinds need --sandbox)\n"
+      "              abort,hang,corrupt; crash kinds need --sandbox or\n"
+      "              --workers)\n"
+      "             (--workers N: shard cells across N forked worker\n"
+      "              processes; dead/stalled workers are detected, their\n"
+      "              leases retried on survivors with backoff)\n"
+      "             (--worker-faults SPEC: kind=WORKER@AFTER[,...] with\n"
+      "              kinds kill,stall,corrupt-frame; needs --workers)\n"
       "             (--metrics: flat JSON snapshot; --trace: Chrome\n"
       "              trace_event JSON, open in Perfetto / chrome://tracing)\n"
       "             (exits 3 if any cell ends in error/timeout/skipped/\n"
@@ -304,6 +313,19 @@ int cmd_sweep(const Args& args) {
     options.max_cells =
         static_cast<std::size_t>(args.get_int("stop-after", 0));
   }
+  options.workers = static_cast<int>(args.get_int("workers", 0));
+  options.heartbeat_interval_ms =
+      args.get_double("heartbeat-ms", options.heartbeat_interval_ms);
+  options.heartbeat_timeout_ms = args.get_double(
+      "heartbeat-timeout-ms", options.heartbeat_timeout_ms);
+  options.max_cell_attempts = static_cast<int>(
+      args.get_int("max-cell-attempts", options.max_cell_attempts));
+  options.retry_backoff_ms =
+      args.get_double("retry-backoff-ms", options.retry_backoff_ms);
+  const std::string worker_faults = args.get("worker-faults", "");
+  if (!worker_faults.empty()) {
+    options.worker_faults = harness::parse_worker_faults(worker_faults);
+  }
 
   const std::string metrics_path = args.get("metrics", "");
   const std::string trace_path = args.get("trace", "");
@@ -344,7 +366,11 @@ int cmd_sweep(const Args& args) {
   if (!metrics_path.empty()) {
     std::ofstream file(metrics_path);
     if (!file) throw std::runtime_error("cannot write " + metrics_path);
-    obs::metrics().snapshot().write_json(file);
+    // Fold the executor workers' final snapshots into the parent's own:
+    // the workers' registries died with their processes.
+    obs::Snapshot snapshot = obs::metrics().snapshot();
+    snapshot.merge(report.worker_metrics);
+    snapshot.write_json(file);
     std::cerr << "wrote metrics to " << metrics_path << '\n';
   }
   if (!trace_path.empty()) {
@@ -485,8 +511,10 @@ int main(int argc, char** argv) {
                      "no-trace", "format", "timing", "journal", "resume",
                      "retry-failed", "cell-budget-ms", "cell-budget-steps",
                      "sandbox", "sandbox-mem-mb", "sandbox-stack-kb",
-                     "inject-faults", "fault-seed", "stop-after", "metrics",
-                     "trace"});
+                     "inject-faults", "fault-seed", "stop-after", "workers",
+                     "heartbeat-ms", "heartbeat-timeout-ms",
+                     "max-cell-attempts", "retry-backoff-ms",
+                     "worker-faults", "metrics", "trace"});
     if (command == "generate") return cmd_generate(args);
     if (command == "solve") return cmd_solve(args);
     if (command == "sweep") return cmd_sweep(args);
