@@ -13,6 +13,7 @@
 
 #include "harness/sweep.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
 #include "offline/budget_search.hpp"
 #include "online/driver.hpp"
 #include "util/stats.hpp"
@@ -90,6 +91,26 @@ class MetricsSidecar {
   std::string tag_;
   std::string path_;
 };
+
+/// Companion to the metrics sidecar for sharded runs: under the same
+/// CALIBSCHED_METRICS=<dir> opt-in, write a fleet run's per-worker
+/// metrics timeline (one delta sample per heartbeat per worker, see
+/// DESIGN.md §11) to <dir>/<tag>.timeline.jsonl. Read it back with
+/// `calibsched_cli stats --in <file> --timeline`. No file when the
+/// opt-in is absent or the timeline is empty (in-process runs).
+inline void write_timeline_sidecar(const std::string& tag,
+                                   const obs::Timeline& timeline) {
+  const char* dir = std::getenv("CALIBSCHED_METRICS");
+  if (dir == nullptr || *dir == '\0' || timeline.empty()) return;
+  const std::string path = std::string(dir) + "/" + tag + ".timeline.jsonl";
+  std::ofstream file(path);
+  if (!file) {
+    std::cerr << "timeline sidecar: cannot write " << path << '\n';
+    return;
+  }
+  timeline.write_jsonl(file);
+  std::cerr << "wrote timeline to " << path << '\n';
+}
 
 /// Run `trial(seed_index)` for `trials` seeds in parallel; returns the
 /// pooled summary of its returned statistic.

@@ -17,7 +17,10 @@
 // executor.corrupt_frames (exact, gated at tolerance 0.05), gauge
 // executor.worker_cells_ok (merged from the workers' snapshots), plus
 // executor.cells_per_sec.w<N> throughput gauges (skipped by the gate's
-// nondeterminism patterns, like every *_per_sec reading).
+// nondeterminism patterns, like every *_per_sec reading). The clean
+// run also writes its per-worker metrics timeline next to the sidecar
+// (<dir>/bench_executor.timeline.jsonl) — heartbeat-resolution deltas
+// for `calibsched_cli stats --timeline`, not gated (timing-shaped).
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -107,6 +110,7 @@ struct AccountingReporter {
       std::cout << "  clean (2 workers): " << report.rows.size()
                 << " cells, " << report.timing.retries << " retries, "
                 << report.timing.workers_lost << " workers lost\n";
+      benchutil::write_timeline_sidecar("bench_executor", report.timeline);
     }
 
     // One faulted run: worker 1 is killed at its third lease, so the

@@ -15,6 +15,8 @@
 #include <chrono>
 #include <csignal>
 #include <deque>
+#include <fstream>
+#include <iostream>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -22,6 +24,7 @@
 #include <vector>
 
 #include "harness/executor/protocol.hpp"
+#include "harness/executor/recorder.hpp"
 #include "harness/grid.hpp"
 #include "harness/journal.hpp"
 #include "harness/sandbox.hpp"
@@ -93,15 +96,22 @@ bool locked_write(Mutex& mutex, int fd, FrameType type,
 #endif
   // The fork copied the coordinator's counter values; zero them so this
   // worker's snapshots report only its own work — otherwise the merge
-  // would re-add the parent's pre-fork counts once per worker.
+  // would re-add the parent's pre-fork counts once per worker. Same for
+  // the trace buffers: drop inherited events so this worker ships only
+  // spans it recorded itself.
   obs::metrics().reset();
+  obs::tracer().clear();
+  obs::tracer().set_thread_name("main");
 
   Mutex pipe_mutex;
   std::atomic<bool> stop{false};
 
-  // Heartbeat thread: liveness plus the cumulative metrics snapshot.
+  // Heartbeat thread: liveness plus the cumulative metrics snapshot,
+  // plus — while span recording is on — the drained trace buffer.
   // Sleeps in 10 ms slices so shutdown never waits a full interval.
-  std::thread heartbeat([&pipe_mutex, &stop, &options, response_fd] {
+  std::thread heartbeat([&pipe_mutex, &stop, &options, worker_index,
+                         response_fd] {
+    obs::tracer().set_thread_name("heartbeat");
     const double interval_ms = std::max(options.heartbeat_interval_ms, 1.0);
     double slept_ms = interval_ms;  // emit one immediately at startup
     while (!stop.load(std::memory_order_acquire)) {
@@ -112,6 +122,17 @@ bool locked_write(Mutex& mutex, int fd, FrameType type,
         if (!locked_write(pipe_mutex, response_fd, FrameType::kHeartbeat,
                           payload)) {
           return;  // coordinator gone; PDEATHSIG will end the process
+        }
+        if (obs::tracer().enabled()) {
+          // Shipped even when the chunk is empty: the first kTrace
+          // frame doubles as the clock handshake, and sending it on the
+          // very first tick keeps the offset estimate tight.
+          const std::string trace = encode_trace_payload(
+              worker_index, ::getpid(), obs::tracer().drain());
+          if (!locked_write(pipe_mutex, response_fd, FrameType::kTrace,
+                            trace)) {
+            return;
+          }
         }
       }
       std::this_thread::sleep_for(std::chrono::milliseconds(10));
@@ -203,6 +224,13 @@ bool locked_write(Mutex& mutex, int fd, FrameType type,
   // to a period; this one is exact and is what the coordinator merges.
   (void)locked_write(pipe_mutex, response_fd, FrameType::kHeartbeat,
                      encode_metrics_payload(obs::metrics().snapshot()));
+  if (obs::tracer().enabled()) {
+    // ... and the last trace chunk, so spans recorded since the final
+    // heartbeat tick still make the merged trace.
+    (void)locked_write(pipe_mutex, response_fd, FrameType::kTrace,
+                       encode_trace_payload(worker_index, ::getpid(),
+                                            obs::tracer().drain()));
+  }
   // _exit, not exit: a forked child must not flush the coordinator's
   // inherited stdio buffers or run its static destructors.
   ::_exit(0);
@@ -212,14 +240,23 @@ bool locked_write(Mutex& mutex, int fd, FrameType type,
 
 struct WorkerState {
   pid_t pid = -1;
+  int index = -1;        // coordinator-assigned worker number
   int request_fd = -1;   // coordinator -> worker (leases, shutdown)
   int response_fd = -1;  // worker -> coordinator (results, heartbeats)
   FrameReader reader;
   bool alive = false;
+  bool lost = false;        // died before clean shutdown
   std::int64_t lease = -1;  // in-flight cell index (-1 = idle)
+  int lease_attempt = 1;    // 1-based attempt of the in-flight lease
   std::uint64_t lease_start_ns = 0;
   std::uint64_t last_seen_ns = 0;  // any frame counts as liveness
   std::string last_metrics;       // latest heartbeat payload (cumulative)
+  // Trace aggregation: offset estimated at the kTrace handshake (the
+  // worker's first chunk), then applied to every later chunk's
+  // timestamps as they accumulate here.
+  bool have_offset = false;
+  std::int64_t clock_offset_ns = 0;  // coordinator clock minus worker clock
+  obs::ProcessTrace trace;
 };
 
 // Why a worker was declared dead. Picks the terminal row's status and
@@ -247,6 +284,23 @@ ShardedRunStats run_sharded_sweep(const SweepEngine& engine,
   metrics.workers.set(options.workers);
 
   ShardedRunStats stats;
+
+  // Run clock for the flight recorder, the progress meter, and the
+  // metrics timeline: milliseconds since the coordinator entered here.
+  const std::uint64_t run_start_ns = obs::now_ns();
+  const auto run_ms = [run_start_ns] {
+    return static_cast<double>(obs::now_ns() - run_start_ns) * 1e-6;
+  };
+
+  std::ofstream events_stream;
+  if (!options.events_path.empty()) {
+    events_stream.open(options.events_path, std::ios::trunc);
+    if (!events_stream) {
+      throw std::runtime_error("executor: cannot open events log: " +
+                               options.events_path);
+    }
+  }
+  FlightRecorder flight(events_stream.is_open() ? &events_stream : nullptr);
 
   // ---- Spawn the fleet. The coordinator-side fds accumulated so far
   // are closed inside each new child, so every pipe end is held by
@@ -298,12 +352,16 @@ ShardedRunStats run_sharded_sweep(const SweepEngine& engine,
     ::close(response_pipe[1]);
     WorkerState& state = workers[w];
     state.pid = pid;
+    state.index = static_cast<int>(w);
     state.request_fd = request_pipe[1];
     state.response_fd = response_pipe[0];
     state.alive = true;
     state.last_seen_ns = obs::now_ns();
     parent_fds.push_back(state.request_fd);
     parent_fds.push_back(state.response_fd);
+    flight.event(run_ms(), "worker_spawn",
+                 {{"worker", std::to_string(w)},
+                  {"pid", std::to_string(pid)}});
   }
 
   // ---- Lease bookkeeping.
@@ -322,6 +380,13 @@ ShardedRunStats run_sharded_sweep(const SweepEngine& engine,
   std::vector<int> attempts(cells, 0);    // failed dispatches per cell
   std::size_t outstanding = fresh.size();
   std::size_t tickets = 0;  // max_cells accounting (first attempts only)
+
+  const std::size_t total_to_run = outstanding;
+  std::size_t failed_cells = 0;  // terminal non-ok rows, for progress
+  ProgressMeter progress(
+      options.progress ? &std::cerr : nullptr, total_to_run,
+      options.progress_interval_ms,
+      std::max(options.heartbeat_interval_ms * 3.0, 250.0));
 
   // The lease watchdog is the third detection layer, past both the
   // in-cell cooperative budget (1x) and the sandbox's per-cell SIGKILL
@@ -344,6 +409,15 @@ ShardedRunStats run_sharded_sweep(const SweepEngine& engine,
     return row;
   };
 
+  const auto status_name = [](RunStatus status) {
+    switch (status) {
+      case RunStatus::kCrashed: return "crashed";
+      case RunStatus::kTimeout: return "timeout";
+      case RunStatus::kSkipped: return "skipped";
+      default: return "error";
+    }
+  };
+
   const auto finalize_terminal = [&](std::size_t cell, RunStatus status,
                                      const std::string& error) {
     SweepRow row = stub_row(cell);
@@ -359,6 +433,11 @@ ShardedRunStats run_sharded_sweep(const SweepEngine& engine,
       case RunStatus::kTimeout: metrics.cells_timeout.add(); break;
       default: metrics.cells_error.add(); break;
     }
+    flight.event(run_ms(), "cell_terminal",
+                 {{"cell", std::to_string(cell)},
+                  {"status", status_name(status)},
+                  {"error", error}});
+    ++failed_cells;
     --outstanding;
   };
 
@@ -401,17 +480,51 @@ ShardedRunStats run_sharded_sweep(const SweepEngine& engine,
     return status;
   };
 
+  const auto cause_name = [](DeathCause cause) {
+    switch (cause) {
+      case DeathCause::kPipe: return "pipe";
+      case DeathCause::kHeartbeat: return "heartbeat";
+      case DeathCause::kCorruptFrame: return "corrupt_frame";
+      case DeathCause::kWatchdog: return "watchdog";
+    }
+    return "unknown";
+  };
+
+  // The coordinator's side of the trace: one manually-recorded span per
+  // resolved lease, carrying the (cell, worker, attempt) key the merged
+  // writer uses to draw the flow arrow to the worker's cell span.
+  const auto record_lease_span = [](const WorkerState& w,
+                                    const char* outcome) {
+    if (!obs::tracer().enabled() || w.lease < 0) return;
+    obs::TraceEvent event;
+    event.name = "lease";
+    event.cat = "executor";
+    event.ts_ns = w.lease_start_ns;
+    event.dur_ns = obs::now_ns() - w.lease_start_ns;
+    event.args.emplace_back("cell", std::to_string(w.lease));
+    event.args.emplace_back("worker", std::to_string(w.index));
+    event.args.emplace_back("attempt", std::to_string(w.lease_attempt));
+    event.args.emplace_back("outcome", outcome);
+    obs::tracer().record(std::move(event));
+  };
+
   // A worker is gone: reap it, then either re-queue its in-flight lease
   // with backoff or — once max_cell_attempts is spent — write the
   // cell's terminal row.
   const auto handle_death = [&](WorkerState& w, DeathCause cause) {
     if (!w.alive) return;
     w.alive = false;
+    w.lost = true;
     if (cause != DeathCause::kPipe) (void)::kill(w.pid, SIGKILL);
     const int status = reap(w);
     ++stats.workers_lost;
     metrics.workers_lost.add();
+    flight.event(run_ms(), "worker_death",
+                 {{"worker", std::to_string(w.index)},
+                  {"pid", std::to_string(w.pid)},
+                  {"cause", cause_name(cause)}});
     if (w.lease < 0) return;
+    record_lease_span(w, "lost");
     const auto cell = static_cast<std::size_t>(w.lease);
     w.lease = -1;
     const int attempt = ++attempts[cell];
@@ -422,6 +535,10 @@ ShardedRunStats run_sharded_sweep(const SweepEngine& engine,
       delayed.push_back(Delayed{obs::now_ns() + ms_to_ns(backoff), cell});
       ++stats.retries;
       metrics.retries.add();
+      flight.event(run_ms(), "retry",
+                   {{"cell", std::to_string(cell)},
+                    {"attempt", std::to_string(attempt)},
+                    {"backoff_ms", std::to_string(backoff)}});
       return;
     }
     const std::string suffix =
@@ -460,6 +577,7 @@ ShardedRunStats run_sharded_sweep(const SweepEngine& engine,
   // wedge would wedge again — same vocabulary as the sandbox watchdog),
   // and the worker holding it is killed.
   const auto handle_watchdog = [&](WorkerState& w) {
+    record_lease_span(w, "watchdog");
     const auto cell = static_cast<std::size_t>(w.lease);
     w.lease = -1;  // resolved here; the death path must not re-queue it
     finalize_terminal(cell, RunStatus::kTimeout,
@@ -485,6 +603,7 @@ ShardedRunStats run_sharded_sweep(const SweepEngine& engine,
     } catch (const std::exception&) {
       return false;
     }
+    record_lease_span(w, "ok");
     w.lease = -1;
     rows[cell] = std::move(row);
     // The payload IS the row's journal serialization — appending it
@@ -492,7 +611,66 @@ ShardedRunStats run_sharded_sweep(const SweepEngine& engine,
     if (journal != nullptr) journal->append(payload);
     metrics.results.add();
     --outstanding;
+    flight.event(run_ms(), "result",
+                 {{"worker", std::to_string(w.index)},
+                  {"cell", std::to_string(cell)}});
     return true;
+  };
+
+  // A kTrace frame: decode, estimate the clock offset on the worker's
+  // first chunk (the handshake), rebase timestamps, and accumulate. A
+  // payload that does not decode is a protocol breach like any other
+  // corrupt frame — the sender gets killed.
+  const auto handle_trace = [&](WorkerState& w, const std::string& payload) {
+    obs::ProcessTrace chunk;
+    try {
+      chunk = decode_trace_payload(payload);
+    } catch (const std::exception&) {
+      return false;
+    }
+    if (!w.have_offset) {
+      // Both processes inherit the same now_ns epoch across fork, so
+      // receipt time minus the sender's encode-time stamp is dominated
+      // by pipe latency — plenty to line the tracks up.
+      w.clock_offset_ns = static_cast<std::int64_t>(obs::now_ns()) -
+                          static_cast<std::int64_t>(chunk.now_ns);
+      w.have_offset = true;
+      w.trace.worker = w.index;
+      w.trace.pid = chunk.pid;
+    }
+    w.trace.dropped += chunk.dropped;
+    for (obs::TraceEvent& event : chunk.events) {
+      const std::int64_t ts =
+          static_cast<std::int64_t>(event.ts_ns) + w.clock_offset_ns;
+      event.ts_ns = ts > 0 ? static_cast<std::uint64_t>(ts) : 0;
+      w.trace.events.push_back(std::move(event));
+    }
+    for (auto& [tid, name] : chunk.thread_names) {
+      bool known = false;
+      for (const auto& [seen_tid, seen_name] : w.trace.thread_names) {
+        (void)seen_name;
+        if (seen_tid == tid) {
+          known = true;
+          break;
+        }
+      }
+      if (!known) w.trace.thread_names.emplace_back(tid, name);
+    }
+    return true;
+  };
+
+  // A heartbeat carries the worker's cumulative snapshot: keep the raw
+  // payload (the final one is what gets merged) and fold it into the
+  // timeline as a delta sample. A payload that does not decode only
+  // costs the sample.
+  const auto note_heartbeat = [&](WorkerState& w, std::string payload) {
+    metrics.heartbeat_frames.add();
+    try {
+      stats.timeline.record("worker-" + std::to_string(w.index), run_ms(),
+                            decode_metrics_payload(payload));
+    } catch (const std::exception&) {
+    }
+    w.last_metrics = std::move(payload);
   };
 
   // ---- Decision loop: dispatch, poll, drain, detect.
@@ -518,8 +696,13 @@ ShardedRunStats run_sharded_sweep(const SweepEngine& engine,
       bool is_retry = false;
       if (!next_cell(cell, is_retry)) break;
       w.lease = static_cast<std::int64_t>(cell);
+      w.lease_attempt = attempts[cell] + 1;
       w.lease_start_ns = obs::now_ns();
       metrics.leases.add();
+      flight.event(run_ms(), "lease",
+                   {{"worker", std::to_string(w.index)},
+                    {"cell", std::to_string(cell)},
+                    {"attempt", std::to_string(w.lease_attempt)}});
       if (!write_frame(w.request_fd, FrameType::kLease,
                        std::to_string(cell))) {
         handle_death(w, DeathCause::kPipe);  // re-queues this lease
@@ -606,8 +789,10 @@ ShardedRunStats run_sharded_sweep(const SweepEngine& engine,
             breach = !handle_result(w, frame.payload);
             break;
           case FrameType::kHeartbeat:
-            w.last_metrics = std::move(frame.payload);
-            metrics.heartbeat_frames.add();
+            note_heartbeat(w, std::move(frame.payload));
+            break;
+          case FrameType::kTrace:
+            breach = !handle_trace(w, frame.payload);
             break;
           default:
             breach = true;  // workers never send leases or shutdowns
@@ -633,6 +818,19 @@ ShardedRunStats run_sharded_sweep(const SweepEngine& engine,
         handle_watchdog(w);
       }
     }
+
+    if (progress.due(run_ms())) {
+      std::vector<WorkerHealth> health;
+      const std::uint64_t pnow = obs::now_ns();
+      for (const WorkerState& w : workers) {
+        health.push_back(WorkerHealth{
+            w.index, w.alive, w.lost,
+            w.alive ? static_cast<double>(pnow - w.last_seen_ns) * 1e-6 : 0.0,
+            w.lease});
+      }
+      progress.render(run_ms(), total_to_run - outstanding, failed_cells,
+                      stats.retries, health);
+    }
   }
 
   // ---- Clean shutdown: ask survivors to exit, drain their final
@@ -641,6 +839,7 @@ ShardedRunStats run_sharded_sweep(const SweepEngine& engine,
   // shutdown is watchdog-bounded like everything else.
   for (WorkerState& w : workers) {
     if (!w.alive) continue;
+    flight.event(run_ms(), "shutdown", {{"worker", std::to_string(w.index)}});
     if (!write_frame(w.request_fd, FrameType::kShutdown, "")) {
       handle_death(w, DeathCause::kPipe);  // no lease in flight by now
     }
@@ -681,7 +880,11 @@ ShardedRunStats run_sharded_sweep(const SweepEngine& engine,
         Frame frame;
         while (!w.reader.corrupted() && w.reader.next(frame)) {
           if (frame.type == FrameType::kHeartbeat) {
-            w.last_metrics = std::move(frame.payload);
+            note_heartbeat(w, std::move(frame.payload));
+          } else if (frame.type == FrameType::kTrace) {
+            // The worker's final chunk lands here; a bad one is just
+            // dropped — the worker is exiting anyway.
+            (void)handle_trace(w, frame.payload);
           }
         }
         continue;
@@ -702,6 +905,27 @@ ShardedRunStats run_sharded_sweep(const SweepEngine& engine,
     } catch (const std::exception&) {
     }
   }
+
+  // Hand over whatever trace each worker shipped before it exited (or
+  // died — a lost worker's chunks up to its last heartbeat survive).
+  for (WorkerState& w : workers) {
+    if (!w.have_offset) continue;
+    stats.worker_traces.push_back(std::move(w.trace));
+  }
+
+  if (progress.enabled()) {
+    std::vector<WorkerHealth> health;
+    for (const WorkerState& w : workers) {
+      health.push_back(WorkerHealth{w.index, w.alive, w.lost, 0.0, w.lease});
+    }
+    progress.render(run_ms(), total_to_run - outstanding, failed_cells,
+                    stats.retries, health);
+  }
+  flight.event(run_ms(), "run_complete",
+               {{"cells", std::to_string(total_to_run)},
+                {"failed", std::to_string(failed_cells)},
+                {"retries", std::to_string(stats.retries)},
+                {"workers_lost", std::to_string(stats.workers_lost)}});
   return stats;
 }
 

@@ -31,6 +31,12 @@
 //     heartbeats; the coordinator merges the final snapshot of every
 //     worker into SweepReport::worker_metrics (obs::Snapshot::merge),
 //     so cross-process instrumentation survives the workers' exit.
+//     Every heartbeat also lands in ShardedRunStats::timeline as a
+//     per-worker delta sample (obs::Timeline), and — when span
+//     recording is on — each worker drains its TraceCollector buffer
+//     into kTrace frames that the coordinator rebases onto its own
+//     clock and accumulates per worker, so one merged Perfetto trace
+//     covers the whole fleet.
 //
 // Crash-free cells produce rows byte-identical to in-process execution:
 // a cell is a pure function of its coordinates, and SweepOptions only
@@ -42,6 +48,8 @@
 
 #include "harness/sweep.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
+#include "obs/trace.hpp"
 
 namespace calib::harness {
 
@@ -52,6 +60,15 @@ struct ShardedRunStats {
   obs::Snapshot worker_metrics;   ///< merged final worker snapshots
   std::size_t retries = 0;        ///< leases re-queued after a failure
   std::size_t workers_lost = 0;   ///< workers dead before clean shutdown
+  /// Per-worker span chunks shipped over kTrace frames, timestamps
+  /// already rebased onto the coordinator clock. Empty unless span
+  /// recording (obs::tracer()) was enabled during the run. Feed to
+  /// obs::write_merged_chrome_trace for the fleet-wide Perfetto view.
+  std::vector<obs::ProcessTrace> worker_traces;
+  /// Every heartbeat snapshot folded into a per-worker delta series
+  /// ("worker-0", "worker-1", ...). Always recorded (bounded); the CLI
+  /// exports it only when asked (--metrics-timeline).
+  obs::Timeline timeline;
 };
 
 /// Coordinator entry point, called by SweepEngine::run when

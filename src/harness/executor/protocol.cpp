@@ -5,8 +5,10 @@
 #include <cerrno>
 #include <cstring>
 #include <iomanip>
+#include <map>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
 #include "harness/journal.hpp"
 #include "harness/sandbox.hpp"
@@ -33,7 +35,7 @@ std::uint32_t get_u32(const char* p) {
 
 bool known_type(std::uint32_t type) {
   return type >= static_cast<std::uint32_t>(FrameType::kLease) &&
-         type <= static_cast<std::uint32_t>(FrameType::kShutdown);
+         type <= static_cast<std::uint32_t>(FrameType::kTrace);
 }
 
 // Same deterministic double format as the sweep writers: stable under a
@@ -139,6 +141,18 @@ std::string encode_metrics_payload(const obs::Snapshot& snapshot) {
     emit("h:" + name + ".p50", fmt(stats.p50));
     emit("h:" + name + ".p90", fmt(stats.p90));
     emit("h:" + name + ".p99", fmt(stats.p99));
+    if (!stats.buckets.empty()) {
+      // Sparse raw-bucket string ("idx=count,..."): the receiver merges
+      // true distributions instead of re-averaging percentile
+      // estimates.
+      std::string sparse;
+      for (std::size_t b = 0; b < stats.buckets.size(); ++b) {
+        if (stats.buckets[b] == 0) continue;
+        if (!sparse.empty()) sparse += ',';
+        sparse += std::to_string(b) + "=" + std::to_string(stats.buckets[b]);
+      }
+      emit("h:" + name + ".buckets", '"' + sparse + '"');
+    }
   }
   os << '}';
   return os.str();
@@ -178,6 +192,26 @@ obs::Snapshot decode_metrics_payload(const std::string& text) {
         stats.p90 = std::stod(value);
       } else if (stat == "p99") {
         stats.p99 = std::stod(value);
+      } else if (stat == "buckets") {
+        stats.buckets.assign(obs::kHistogramBuckets, 0);
+        std::size_t i = 0;
+        while (i < value.size()) {
+          const std::size_t eq = value.find('=', i);
+          std::size_t end = value.find(',', i);
+          if (end == std::string::npos) end = value.size();
+          if (eq == std::string::npos || eq >= end) {
+            throw std::runtime_error("metrics payload: bad bucket pair in " +
+                                     key);
+          }
+          const std::size_t bucket = std::stoull(value.substr(i, eq - i));
+          if (bucket >= obs::kHistogramBuckets) {
+            throw std::runtime_error("metrics payload: bucket index out of "
+                                     "range in " +
+                                     key);
+          }
+          stats.buckets[bucket] = std::stoull(value.substr(eq + 1, end - eq - 1));
+          i = end + 1;
+        }
       } else {
         throw std::runtime_error("metrics payload: unknown stat " + stat);
       }
@@ -186,6 +220,102 @@ obs::Snapshot decode_metrics_payload(const std::string& text) {
     }
   }
   return snapshot;
+}
+
+std::string encode_trace_payload(int worker, std::int64_t pid,
+                                 const obs::TraceChunk& chunk,
+                                 std::size_t max_bytes) {
+  if (max_bytes == 0) max_bytes = kMaxFrameBytes;
+  // Event and thread-name lines are rendered first so the header —
+  // written at the front — can carry the final dropped count including
+  // anything truncation sheds here.
+  std::string body;
+  for (const auto& [tid, name] : chunk.thread_names) {
+    body += "{\"tid\":" + std::to_string(tid) + ",\"tname\":\"" +
+            obs::json_escape(name) + "\"}\n";
+  }
+  std::uint64_t dropped = chunk.dropped;
+  for (const obs::TraceEvent& event : chunk.events) {
+    std::string line = "{\"name\":\"" + obs::json_escape(event.name) + '"';
+    if (!event.cat.empty()) {
+      line += ",\"cat\":\"" + obs::json_escape(event.cat) + '"';
+    }
+    line += ",\"ts\":" + std::to_string(event.ts_ns);
+    line += ",\"dur\":" + std::to_string(event.dur_ns);
+    line += ",\"tid\":" + std::to_string(event.tid);
+    for (const auto& [key, value] : event.args) {
+      line += ",\"a:" + obs::json_escape(key) + "\":\"" +
+              obs::json_escape(value) + '"';
+    }
+    line += "}\n";
+    // Keep a generous margin for the header line itself.
+    if (body.size() + line.size() + 128 > max_bytes) {
+      ++dropped;
+      continue;
+    }
+    body += line;
+  }
+  std::string out = "{\"worker\":" + std::to_string(worker) +
+                    ",\"pid\":" + std::to_string(pid) +
+                    ",\"now\":" + std::to_string(obs::now_ns()) +
+                    ",\"dropped\":" + std::to_string(dropped) + "}\n";
+  out += body;
+  return out;
+}
+
+obs::ProcessTrace decode_trace_payload(const std::string& text) {
+  obs::ProcessTrace trace;
+  std::size_t start = 0;
+  bool saw_header = false;
+  const auto field = [](const std::map<std::string, std::string>& fields,
+                        const char* key) -> const std::string& {
+    const auto it = fields.find(key);
+    if (it == fields.end()) {
+      throw std::runtime_error(std::string("trace payload: missing field ") +
+                               key);
+    }
+    return it->second;
+  };
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.empty()) continue;
+    const auto fields = parse_flat_json(line);
+    if (!saw_header) {
+      trace.worker = static_cast<int>(std::stol(field(fields, "worker")));
+      trace.pid = std::stoll(field(fields, "pid"));
+      trace.now_ns = std::stoull(field(fields, "now"));
+      trace.dropped = std::stoull(field(fields, "dropped"));
+      saw_header = true;
+      continue;
+    }
+    if (fields.count("tname") != 0) {
+      trace.thread_names.emplace_back(
+          static_cast<std::uint32_t>(std::stoul(field(fields, "tid"))),
+          field(fields, "tname"));
+      continue;
+    }
+    obs::TraceEvent event;
+    event.name = field(fields, "name");
+    if (const auto it = fields.find("cat"); it != fields.end()) {
+      event.cat = it->second;
+    }
+    event.ts_ns = std::stoull(field(fields, "ts"));
+    event.dur_ns = std::stoull(field(fields, "dur"));
+    event.tid = static_cast<std::uint32_t>(std::stoul(field(fields, "tid")));
+    for (const auto& [key, value] : fields) {
+      if (key.size() > 2 && key[0] == 'a' && key[1] == ':') {
+        event.args.emplace_back(key.substr(2), value);
+      }
+    }
+    trace.events.push_back(std::move(event));
+  }
+  if (!saw_header) {
+    throw std::runtime_error("trace payload: empty (no header line)");
+  }
+  return trace;
 }
 
 }  // namespace calib::harness

@@ -23,6 +23,7 @@
 #include <string_view>
 
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace calib::harness {
 
@@ -39,6 +40,13 @@ enum class FrameType : std::uint32_t {
   kHeartbeat = 3,
   /// Coordinator -> worker: drain and exit cleanly. Empty payload.
   kShutdown = 4,
+  /// Worker -> coordinator: a drained slice of the worker's bounded
+  /// TraceCollector buffer (encode_trace_payload). Sent alongside
+  /// heartbeats and once more before a clean exit, but only while span
+  /// recording is enabled — tracing off means no kTrace frames at all.
+  /// The first chunk doubles as the clock handshake: its `now` field is
+  /// what the coordinator uses to estimate this worker's clock offset.
+  kTrace = 5,
 };
 
 struct Frame {
@@ -80,11 +88,33 @@ class FrameReader {
 /// Serialize an obs snapshot for a heartbeat payload. Flat JSON with a
 /// type prefix on every key ("c:" counter, "g:" gauge, "h:" histogram
 /// stat) so decode can rebuild the three sections unambiguously.
+/// Histograms additionally ship their raw log2 buckets (a sparse
+/// "h:<name>.buckets" string of index=count pairs): the coordinator
+/// merges *distributions*, not derived percentile estimates, which is
+/// what makes Snapshot::merge exact across workers.
 [[nodiscard]] std::string encode_metrics_payload(
     const obs::Snapshot& snapshot);
 
 /// Inverse of encode_metrics_payload. Throws std::runtime_error on
 /// payloads that do not parse (the coordinator then drops the sample).
 [[nodiscard]] obs::Snapshot decode_metrics_payload(const std::string& text);
+
+/// Serialize a drained trace chunk for a kTrace frame: one flat JSON
+/// object per line — a header carrying (worker, pid, now, dropped),
+/// then the thread-name table, then one line per event. The encoding is
+/// truncation-safe: once the payload would exceed `max_bytes` (0 = the
+/// frame cap, kMaxFrameBytes) the remaining events are counted into the
+/// header's dropped field instead of emitted, so a pathological buffer
+/// can never produce an unsendable frame.
+[[nodiscard]] std::string encode_trace_payload(int worker, std::int64_t pid,
+                                               const obs::TraceChunk& chunk,
+                                               std::size_t max_bytes = 0);
+
+/// Inverse of encode_trace_payload. Timestamps come back un-rebased
+/// (sender clock); the caller applies its per-worker offset. Throws
+/// std::runtime_error on any malformed line — a corrupt trace payload
+/// is a protocol breach like any other, and the coordinator kills the
+/// worker that sent it.
+[[nodiscard]] obs::ProcessTrace decode_trace_payload(const std::string& text);
 
 }  // namespace calib::harness

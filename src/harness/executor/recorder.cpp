@@ -1,0 +1,99 @@
+#include "harness/executor/recorder.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "obs/json_escape.hpp"
+
+namespace calib::harness {
+namespace {
+
+// Deterministic double format shared with the other harness writers.
+std::string fmt(double value) {
+  std::ostringstream os;
+  os << std::setprecision(12) << value;
+  return os.str();
+}
+
+// Fixed-point seconds for the human status line ("12.3s").
+std::string secs(double ms) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1) << ms / 1000.0 << 's';
+  return os.str();
+}
+
+}  // namespace
+
+void FlightRecorder::event(
+    double t_ms, const char* kind,
+    std::initializer_list<std::pair<const char*, std::string>> fields) {
+  if (os_ == nullptr) return;
+  *os_ << "{\"t_ms\":" << fmt(t_ms) << ",\"event\":\""
+       << obs::json_escape(kind) << '"';
+  for (const auto& [key, value] : fields) {
+    *os_ << ",\"" << obs::json_escape(key) << "\":\"" << obs::json_escape(value)
+         << '"';
+  }
+  *os_ << "}\n";
+  os_->flush();
+}
+
+ProgressMeter::ProgressMeter(std::ostream* os, std::size_t total,
+                             double interval_ms, double stale_after_ms)
+    : os_(os),
+      total_(total),
+      interval_ms_(interval_ms > 0.0 ? interval_ms : 500.0),
+      stale_after_ms_(stale_after_ms) {}
+
+bool ProgressMeter::due(double now_ms) const {
+  return os_ != nullptr && now_ms - last_render_ms_ >= interval_ms_;
+}
+
+void ProgressMeter::render(double now_ms, std::size_t done, std::size_t failed,
+                           std::size_t retries,
+                           const std::vector<WorkerHealth>& workers) {
+  if (os_ == nullptr) return;
+  last_render_ms_ = now_ms;
+
+  // Rolling rate: completions across the sample window (the window
+  // spans ~10 render intervals, so the estimate follows the current
+  // fleet, not the run's lifetime average).
+  window_.emplace_back(now_ms, done);
+  while (window_.size() > 10) window_.pop_front();
+  double rate = 0.0;  // cells per second
+  if (window_.size() >= 2) {
+    const double dt_ms = window_.back().first - window_.front().first;
+    const auto dn = static_cast<double>(window_.back().second -
+                                        window_.front().second);
+    if (dt_ms > 0.0) rate = dn * 1000.0 / dt_ms;
+  }
+
+  std::ostringstream line;
+  line << "[sweep +" << secs(now_ms) << "] " << done << '/' << total_
+       << " cells";
+  line << " (" << (done - failed) << " ok, " << failed << " failed, "
+       << retries << " retried)";
+  line << " | " << std::fixed << std::setprecision(1) << rate << "/s";
+  if (rate > 0.0 && done < total_) {
+    line << " | eta " << secs(static_cast<double>(total_ - done) / rate *
+                              1000.0);
+  } else {
+    line << " | eta --";
+  }
+  line << " |";
+  for (const WorkerHealth& w : workers) {
+    line << " w" << w.worker << ':';
+    if (!w.alive) {
+      line << (w.lost ? "dead" : "done");
+    } else if (stale_after_ms_ > 0.0 && w.heartbeat_age_ms > stale_after_ms_) {
+      line << "stale(" << secs(w.heartbeat_age_ms) << ')';
+    } else {
+      line << (w.lease >= 0 ? "busy" : "idle");
+    }
+  }
+  *os_ << line.str() << '\n';
+  os_->flush();
+}
+
+}  // namespace calib::harness

@@ -1,0 +1,90 @@
+// Coordinator-side run observability: the flight recorder and the live
+// progress meter.
+//
+// Both consume the same stream of fleet decisions the coordinator
+// already makes (spawn, lease, result, death, retry, shutdown) but
+// serve different readers. The FlightRecorder writes a structured JSONL
+// event log — one flat object per decision, flushed per line so a
+// crashed run still leaves a readable prefix — which chaos tests assert
+// against ("the killed worker's death was observed, then its lease was
+// retried"). The ProgressMeter renders a periodic human status line to
+// stderr: completion counts, a rolling-window throughput estimate with
+// the ETA derived from it, and per-worker health judged by heartbeat
+// age.
+//
+// Neither holds executor state: the coordinator pushes snapshots in.
+// Both are inert (enabled() == false) when constructed without a
+// stream, so the hot path pays one branch when the features are off.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace calib::harness {
+
+/// Structured JSONL log of coordinator fleet decisions. Event kinds
+/// written by the executor: worker_spawn, lease, result, worker_death,
+/// retry, cell_terminal, shutdown. Every line carries "t_ms" (run
+/// clock) and "event"; the remaining fields are kind-specific strings.
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::ostream* os = nullptr) : os_(os) {}
+
+  [[nodiscard]] bool enabled() const { return os_ != nullptr; }
+
+  /// Append one event line and flush it (a dying run must not lose the
+  /// events leading up to the death — that is the log's whole point).
+  void event(
+      double t_ms, const char* kind,
+      std::initializer_list<std::pair<const char*, std::string>> fields = {});
+
+ private:
+  std::ostream* os_;
+};
+
+/// One worker's health as the progress meter shows it.
+struct WorkerHealth {
+  int worker = -1;
+  bool alive = false;
+  bool lost = false;  ///< dead before clean shutdown (vs. exited)
+  double heartbeat_age_ms = 0.0;
+  std::int64_t lease = -1;  ///< in-flight cell (-1 = idle)
+};
+
+/// Periodic one-line status renderer. The rate is a rolling-window
+/// estimate (completions over the last ~10 samples), so the ETA tracks
+/// current throughput instead of averaging in a slow warm-up.
+class ProgressMeter {
+ public:
+  /// `stale_after_ms`: heartbeat age past which a live worker is shown
+  /// as stale (typically a few heartbeat intervals — lagging, but not
+  /// yet past the kill timeout).
+  ProgressMeter(std::ostream* os, std::size_t total, double interval_ms,
+                double stale_after_ms);
+
+  [[nodiscard]] bool enabled() const { return os_ != nullptr; }
+
+  /// True once interval_ms has elapsed since the last render.
+  [[nodiscard]] bool due(double now_ms) const;
+
+  /// Render one status line. `done` counts resolved cells (ok + failed
+  /// + skipped), `failed` the terminal non-ok ones, `retries` the
+  /// leases re-queued so far.
+  void render(double now_ms, std::size_t done, std::size_t failed,
+              std::size_t retries, const std::vector<WorkerHealth>& workers);
+
+ private:
+  std::ostream* os_;
+  std::size_t total_;
+  double interval_ms_;
+  double stale_after_ms_;
+  double last_render_ms_ = -1e300;
+  std::deque<std::pair<double, std::size_t>> window_;  ///< (t_ms, done)
+};
+
+}  // namespace calib::harness

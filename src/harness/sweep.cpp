@@ -555,9 +555,17 @@ SweepReport SweepEngine::run(const SweepOptions& options_in) {
           "sweep: retry backoff must be >= 0 and <= its cap");
     }
     options.worker_faults.validate(options.workers);
+    if (options.progress_interval_ms <= 0.0) {
+      throw std::runtime_error("sweep: progress interval must be > 0");
+    }
   } else if (!options.worker_faults.empty()) {
     throw std::runtime_error(
         "sweep: worker faults require the sharded executor (--workers)");
+  } else if (options.progress || !options.events_path.empty()) {
+    throw std::runtime_error(
+        "sweep: --progress and the flight-recorder event log are "
+        "coordinator features; they require the sharded executor "
+        "(--workers)");
   }
   if (options.sandbox || options.workers > 0) {
     // Register every parent-side metric handle before the first fork;
@@ -658,6 +666,8 @@ SweepReport SweepEngine::run(const SweepOptions& options_in) {
     ShardedRunStats stats =
         run_sharded_sweep(*this, options, done, report.rows, journal.get());
     report.worker_metrics = std::move(stats.worker_metrics);
+    report.worker_traces = std::move(stats.worker_traces);
+    report.timeline = std::move(stats.timeline);
     report.timing.retries = stats.retries;
     report.timing.workers_lost = stats.workers_lost;
   } else if (grid_.threads == 0) {

@@ -46,6 +46,8 @@
 #include "harness/faults.hpp"
 #include "harness/grid.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
+#include "obs/trace.hpp"
 
 namespace calib::harness {
 
@@ -171,6 +173,18 @@ struct SweepOptions {
   /// Deterministic worker-process fault injection (tests, CLI
   /// --worker-faults); requires workers > 0.
   WorkerFaultPlan worker_faults;
+
+  /// Render a live coordinator status line to stderr every
+  /// progress_interval_ms: cells resolved/failed/retried, a rolling
+  /// throughput estimate with its ETA, per-worker health from heartbeat
+  /// age. Requires workers > 0 (the thread-pool path has no
+  /// coordinator to render from).
+  bool progress = false;
+  double progress_interval_ms = 500.0;
+  /// Structured JSONL flight-recorder log of coordinator fleet events
+  /// (worker spawn/death, lease, retry, backoff, shutdown) — what chaos
+  /// tests assert against. Empty = off. Requires workers > 0.
+  std::string events_path;
 };
 
 /// Wall-clock accounting for the whole sweep (never part of the
@@ -212,6 +226,14 @@ struct SweepReport {
   /// their processes, so this is how their instrumentation reaches the
   /// parent — the CLI merges it into its own snapshot for --metrics.
   obs::Snapshot worker_metrics;
+  /// Per-worker trace chunks shipped over the executor protocol,
+  /// timestamps rebased onto this process's clock (empty unless span
+  /// recording was on and workers > 0). Rendered with
+  /// obs::write_merged_chrome_trace for the fleet-wide Perfetto view.
+  std::vector<obs::ProcessTrace> worker_traces;
+  /// Heartbeat metrics folded into per-worker delta samples (empty for
+  /// in-process sweeps); exported by the CLI's --metrics-timeline.
+  obs::Timeline timeline;
 
   [[nodiscard]] SweepStatusCounts status_counts() const;
 

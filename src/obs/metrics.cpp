@@ -42,7 +42,38 @@ std::map<std::string, std::string> flatten(const Snapshot& snapshot) {
   return flat;
 }
 
+double bucket_lower(std::size_t b) {
+  return b == 0 ? 0.0 : static_cast<double>(std::uint64_t{1} << (b - 1));
+}
+
+double bucket_upper(std::size_t b) {
+  if (b == 0) return 0.0;
+  if (b >= 64) return 18446744073709551616.0;  // 2^64
+  return static_cast<double>(std::uint64_t{1} << b);
+}
+
 }  // namespace
+
+std::size_t histogram_bucket_index(std::uint64_t value) {
+  return value == 0 ? 0 : static_cast<std::size_t>(std::bit_width(value));
+}
+
+double histogram_percentile(const std::vector<std::uint64_t>& buckets,
+                            std::uint64_t total, double q) {
+  if (total == 0) return 0.0;
+  const double target = std::max(1.0, q * static_cast<double>(total));
+  double cum = 0.0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    if (buckets[b] == 0) continue;
+    const auto in_bucket = static_cast<double>(buckets[b]);
+    cum += in_bucket;
+    if (cum >= target) {
+      const double frac = (target - (cum - in_bucket)) / in_bucket;
+      return bucket_lower(b) + (bucket_upper(b) - bucket_lower(b)) * frac;
+    }
+  }
+  return buckets.empty() ? 0.0 : bucket_upper(buckets.size() - 1);
+}
 
 void Snapshot::write_json(std::ostream& os) const {
   os << '{';
@@ -91,16 +122,39 @@ void Snapshot::merge(const Snapshot& other) {
       mine = theirs;
       continue;
     }
+    mine.min = std::min(mine.min, theirs.min);
+    mine.max = std::max(mine.max, theirs.max);
+    if (!mine.buckets.empty() && !theirs.buckets.empty()) {
+      // Exact path: both sides carry raw buckets, so the merged
+      // percentiles are interpolated from the merged distribution.
+      if (mine.buckets.size() < theirs.buckets.size()) {
+        mine.buckets.resize(theirs.buckets.size(), 0);
+      }
+      for (std::size_t b = 0; b < theirs.buckets.size(); ++b) {
+        mine.buckets[b] += theirs.buckets[b];
+      }
+      mine.count += theirs.count;
+      mine.sum += theirs.sum;
+      const auto clamp = [&](double v) {
+        return std::clamp(v, mine.min, std::max(mine.min, mine.max));
+      };
+      mine.p50 = clamp(histogram_percentile(mine.buckets, mine.count, 0.50));
+      mine.p90 = clamp(histogram_percentile(mine.buckets, mine.count, 0.90));
+      mine.p99 = clamp(histogram_percentile(mine.buckets, mine.count, 0.99));
+      continue;
+    }
+    // Legacy path (a side lost its buckets): count-weight the per-side
+    // estimates, and drop any surviving buckets — they no longer
+    // describe the merged distribution.
     const auto mine_n = static_cast<double>(mine.count);
     const auto theirs_n = static_cast<double>(theirs.count);
     const double total = mine_n + theirs_n;
     mine.p50 = (mine.p50 * mine_n + theirs.p50 * theirs_n) / total;
     mine.p90 = (mine.p90 * mine_n + theirs.p90 * theirs_n) / total;
     mine.p99 = (mine.p99 * mine_n + theirs.p99 * theirs_n) / total;
-    mine.min = std::min(mine.min, theirs.min);
-    mine.max = std::max(mine.max, theirs.max);
     mine.count += theirs.count;
     mine.sum += theirs.sum;
+    mine.buckets.clear();
   }
 }
 
@@ -119,39 +173,6 @@ std::uint64_t next_registry_uid() {
 inline void shard_add(std::atomic<std::uint64_t>& slot, std::uint64_t n) {
   slot.store(slot.load(std::memory_order_relaxed) + n,
              std::memory_order_relaxed);
-}
-
-inline std::size_t bucket_index(std::uint64_t value) {
-  return value == 0 ? 0 : static_cast<std::size_t>(std::bit_width(value));
-}
-
-double bucket_lower(std::size_t b) {
-  return b == 0 ? 0.0 : static_cast<double>(std::uint64_t{1} << (b - 1));
-}
-
-double bucket_upper(std::size_t b) {
-  if (b == 0) return 0.0;
-  if (b >= 64) return 18446744073709551616.0;  // 2^64
-  return static_cast<double>(std::uint64_t{1} << b);
-}
-
-// Bucket-interpolated q-quantile of a merged bucket array.
-double percentile(
-    const std::array<std::uint64_t, MetricsRegistry::kHistBuckets>& buckets,
-    std::uint64_t total, double q) {
-  if (total == 0) return 0.0;
-  const double target = std::max(1.0, q * static_cast<double>(total));
-  double cum = 0.0;
-  for (std::size_t b = 0; b < buckets.size(); ++b) {
-    if (buckets[b] == 0) continue;
-    const auto in_bucket = static_cast<double>(buckets[b]);
-    cum += in_bucket;
-    if (cum >= target) {
-      const double frac = (target - (cum - in_bucket)) / in_bucket;
-      return bucket_lower(b) + (bucket_upper(b) - bucket_lower(b)) * frac;
-    }
-  }
-  return bucket_upper(buckets.size() - 1);
 }
 
 }  // namespace
@@ -271,7 +292,7 @@ void Histogram::record(std::uint64_t value) const {
       registry_->local_shard().histograms[id_];
   shard_add(h.count, 1);
   shard_add(h.sum, value);
-  shard_add(h.buckets[bucket_index(value)], 1);
+  shard_add(h.buckets[histogram_bucket_index(value)], 1);
   if (value < h.min.load(std::memory_order_relaxed)) {
     h.min.store(value, std::memory_order_relaxed);
   }
@@ -306,7 +327,7 @@ Snapshot MetricsRegistry::snapshot() const {
         gauges_[id].load(std::memory_order_relaxed);
   }
   for (std::size_t id = 0; id < histogram_names.size(); ++id) {
-    std::array<std::uint64_t, kHistBuckets> buckets{};
+    std::vector<std::uint64_t> buckets(kHistBuckets, 0);
     std::uint64_t count = 0;
     std::uint64_t sum = 0;
     std::uint64_t lo = std::numeric_limits<std::uint64_t>::max();
@@ -329,9 +350,10 @@ Snapshot MetricsRegistry::snapshot() const {
     const auto clamp = [&](double v) {
       return std::clamp(v, stats.min, std::max(stats.min, stats.max));
     };
-    stats.p50 = clamp(percentile(buckets, count, 0.50));
-    stats.p90 = clamp(percentile(buckets, count, 0.90));
-    stats.p99 = clamp(percentile(buckets, count, 0.99));
+    stats.p50 = clamp(histogram_percentile(buckets, count, 0.50));
+    stats.p90 = clamp(histogram_percentile(buckets, count, 0.90));
+    stats.p99 = clamp(histogram_percentile(buckets, count, 0.99));
+    stats.buckets = std::move(buckets);
     snapshot.histograms[histogram_names[id]] = stats;
   }
   return snapshot;

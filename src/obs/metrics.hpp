@@ -39,6 +39,21 @@
 
 namespace calib::obs {
 
+/// Log2 bucket count shared by every histogram: bucket b >= 1 holds
+/// values in [2^(b-1), 2^b); bucket 0 holds 0. Defined outside the
+/// CALIBSCHED_OBS gate because snapshots (and the executor's heartbeat
+/// payloads built from them) carry raw buckets in both configurations.
+inline constexpr std::size_t kHistogramBuckets = 65;
+
+/// Log2 bucket index of a sample (0 for 0, bit_width otherwise).
+[[nodiscard]] std::size_t histogram_bucket_index(std::uint64_t value);
+
+/// Bucket-interpolated q-quantile of a raw log2 bucket array holding
+/// `total` samples. `buckets` may be any length up to kHistogramBuckets;
+/// an empty array (or total == 0) yields 0.
+[[nodiscard]] double histogram_percentile(
+    const std::vector<std::uint64_t>& buckets, std::uint64_t total, double q);
+
 /// Merged view of one histogram. Percentiles are bucket-interpolated
 /// estimates (buckets are powers of two), clamped to [min, max].
 struct HistogramStats {
@@ -49,6 +64,12 @@ struct HistogramStats {
   double p50 = 0.0;
   double p90 = 0.0;
   double p99 = 0.0;
+  /// Raw log2 bucket counts (kHistogramBuckets entries when populated,
+  /// empty when unknown — e.g. a snapshot parsed from a JSON file that
+  /// only carried the derived stats). Carrying the buckets is what lets
+  /// Snapshot::merge recompute cross-process percentiles exactly
+  /// instead of averaging per-side estimates.
+  std::vector<std::uint64_t> buckets;
 };
 
 /// Point-in-time merge of every metric. The JSON form is one *flat*
@@ -66,11 +87,14 @@ struct Snapshot {
 
   /// Fold another process's snapshot into this one (the sharded sweep
   /// executor merges its workers' registries this way). Counters and
-  /// gauges add; histograms add count/sum, widen min/max, and
-  /// approximate the merged percentiles as the count-weighted mean of
-  /// the per-side estimates — the raw buckets never leave their
-  /// process, so this is the best available summary, and it is exact
-  /// whenever only one side saw samples.
+  /// gauges add; histograms add count/sum and widen min/max. When both
+  /// sides carry raw log2 buckets (HistogramStats::buckets) the merged
+  /// percentiles are bucket-interpolated from the true merged
+  /// distribution — exact at bucket resolution. Only when a side lost
+  /// its buckets (a snapshot re-parsed from derived stats) does the
+  /// merge fall back to the count-weighted mean of the per-side
+  /// estimates, and the merged entry then drops its buckets so the
+  /// approximation is never mistaken for the real distribution.
   void merge(const Snapshot& other);
 
   [[nodiscard]] bool empty() const {
@@ -141,8 +165,8 @@ class MetricsRegistry {
   static constexpr std::size_t kMaxCounters = 128;
   static constexpr std::size_t kMaxGauges = 32;
   static constexpr std::size_t kMaxHistograms = 64;
-  // Bucket b >= 1 holds values in [2^(b-1), 2^b); bucket 0 holds 0.
-  static constexpr std::size_t kHistBuckets = 65;
+  // Bucket layout: see kHistogramBuckets (namespace scope).
+  static constexpr std::size_t kHistBuckets = kHistogramBuckets;
 
   MetricsRegistry();
   ~MetricsRegistry() = default;

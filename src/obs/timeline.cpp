@@ -1,0 +1,225 @@
+#include "obs/timeline.hpp"
+
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "obs/json_escape.hpp"
+
+namespace calib::obs {
+namespace {
+
+// Deterministic double format shared with the other obs writers.
+std::string fmt(double value) {
+  std::ostringstream os;
+  os << std::setprecision(12) << value;
+  return os.str();
+}
+
+// Minimal flat-JSON object parser for load_jsonl. The obs layer sits
+// below the harness (which owns the strict parse_flat_json), so the
+// timeline reader carries its own: one {"key":value,...} object with
+// string or bare-number values, no nesting. Returns false on anything
+// it cannot parse — the caller skips (and counts) the line.
+bool parse_line(const std::string& line,
+                std::vector<std::pair<std::string, std::string>>& out) {
+  out.clear();
+  std::size_t i = 0;
+  const auto skip_ws = [&] {
+    while (i < line.size() &&
+           (line[i] == ' ' || line[i] == '\t' || line[i] == '\r')) {
+      ++i;
+    }
+  };
+  const auto parse_string = [&](std::string& value) {
+    if (i >= line.size() || line[i] != '"') return false;
+    ++i;
+    value.clear();
+    while (i < line.size() && line[i] != '"') {
+      char c = line[i++];
+      if (c == '\\') {
+        if (i >= line.size()) return false;
+        const char esc = line[i++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          default: return false;  // \uXXXX etc.: not produced by writers
+        }
+      }
+      value.push_back(c);
+    }
+    if (i >= line.size()) return false;  // unterminated: a torn line
+    ++i;
+    return true;
+  };
+  skip_ws();
+  if (i >= line.size() || line[i] != '{') return false;
+  ++i;
+  skip_ws();
+  if (i < line.size() && line[i] == '}') {
+    ++i;
+    skip_ws();
+    return i == line.size();
+  }
+  while (true) {
+    skip_ws();
+    std::string key;
+    if (!parse_string(key)) return false;
+    skip_ws();
+    if (i >= line.size() || line[i] != ':') return false;
+    ++i;
+    skip_ws();
+    std::string value;
+    if (i < line.size() && line[i] == '"') {
+      if (!parse_string(value)) return false;
+    } else {
+      const std::size_t begin = i;
+      while (i < line.size() && line[i] != ',' && line[i] != '}') ++i;
+      value = line.substr(begin, i - begin);
+      while (!value.empty() &&
+             (value.back() == ' ' || value.back() == '\t')) {
+        value.pop_back();
+      }
+      if (value.empty()) return false;
+    }
+    out.emplace_back(std::move(key), std::move(value));
+    skip_ws();
+    if (i >= line.size()) return false;  // torn before the close brace
+    if (line[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (line[i] == '}') {
+      ++i;
+      skip_ws();
+      return i == line.size();
+    }
+    return false;
+  }
+}
+
+}  // namespace
+
+void Timeline::record(const std::string& source, double t_ms,
+                      const Snapshot& cumulative) {
+  if (samples_.size() >= kMaxSamples) {
+    ++dropped_;
+    return;
+  }
+  Snapshot& prev = last_[source];
+  Sample sample;
+  sample.t_ms = t_ms;
+  sample.source = source;
+  for (const auto& [name, value] : cumulative.counters) {
+    const auto it = prev.counters.find(name);
+    // A cumulative counter that went backwards means the source reset;
+    // restart the baseline at the new value instead of underflowing.
+    const std::uint64_t base =
+        (it != prev.counters.end() && it->second <= value) ? it->second : 0;
+    if (value - base != 0) sample.counters[name] = value - base;
+  }
+  for (const auto& [name, value] : cumulative.gauges) {
+    sample.gauges[name] = value;  // levels, not deltas
+  }
+  for (const auto& [name, stats] : cumulative.histograms) {
+    const auto it = prev.histograms.find(name);
+    std::uint64_t base_count = 0;
+    double base_sum = 0.0;
+    if (it != prev.histograms.end() && it->second.count <= stats.count) {
+      base_count = it->second.count;
+      base_sum = it->second.sum;
+    }
+    if (stats.count - base_count != 0) {
+      sample.histograms[name] = {stats.count - base_count,
+                                 stats.sum - base_sum};
+    }
+  }
+  prev = cumulative;
+  samples_.push_back(std::move(sample));
+}
+
+void Timeline::write_jsonl(std::ostream& os) const {
+  for (const Sample& sample : samples_) {
+    os << "{\"t_ms\":" << fmt(sample.t_ms) << ",\"source\":\""
+       << json_escape(sample.source) << '"';
+    for (const auto& [name, value] : sample.counters) {
+      os << ",\"c:" << json_escape(name) << "\":" << value;
+    }
+    for (const auto& [name, value] : sample.gauges) {
+      os << ",\"g:" << json_escape(name) << "\":" << value;
+    }
+    for (const auto& [name, delta] : sample.histograms) {
+      os << ",\"h:" << json_escape(name) << ".count\":" << delta.count
+         << ",\"h:" << json_escape(name) << ".sum\":" << fmt(delta.sum);
+    }
+    os << "}\n";
+  }
+}
+
+Timeline Timeline::load_jsonl(std::istream& is, std::size_t* skipped) {
+  Timeline timeline;
+  std::size_t bad = 0;
+  std::string line;
+  std::vector<std::pair<std::string, std::string>> fields;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (!parse_line(line, fields)) {
+      ++bad;
+      continue;
+    }
+    Sample sample;
+    bool ok = false;  // a sample without t_ms/source is not one
+    bool have_source = false;
+    try {
+      for (const auto& [key, value] : fields) {
+        if (key == "t_ms") {
+          sample.t_ms = std::stod(value);
+          ok = true;
+        } else if (key == "source") {
+          sample.source = value;
+          have_source = true;
+        } else if (key.size() > 2 && key[1] == ':') {
+          const std::string name = key.substr(2);
+          if (key[0] == 'c') {
+            sample.counters[name] = std::stoull(value);
+          } else if (key[0] == 'g') {
+            sample.gauges[name] = std::stoll(value);
+          } else if (key[0] == 'h') {
+            const std::size_t dot = name.rfind('.');
+            if (dot == std::string::npos) throw std::invalid_argument(key);
+            const std::string base = name.substr(0, dot);
+            const std::string stat = name.substr(dot + 1);
+            if (stat == "count") {
+              sample.histograms[base].count = std::stoull(value);
+            } else if (stat == "sum") {
+              sample.histograms[base].sum = std::stod(value);
+            } else {
+              throw std::invalid_argument(key);
+            }
+          } else {
+            throw std::invalid_argument(key);
+          }
+        } else {
+          throw std::invalid_argument(key);
+        }
+      }
+    } catch (const std::exception&) {
+      ++bad;
+      continue;
+    }
+    if (!ok || !have_source) {
+      ++bad;
+      continue;
+    }
+    timeline.samples_.push_back(std::move(sample));
+  }
+  if (skipped != nullptr) *skipped = bad;
+  return timeline;
+}
+
+}  // namespace calib::obs

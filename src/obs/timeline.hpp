@@ -1,0 +1,85 @@
+// calib::obs — metrics timelines: cumulative snapshots as a time series.
+//
+// The sharded executor's workers stream cumulative obs snapshots inside
+// their heartbeats. A Timeline turns that stream into per-source
+// *delta* samples: record() diffs each cumulative snapshot against the
+// source's previous one, so a sample holds what happened in that
+// heartbeat interval (counter increments, histogram count/sum growth)
+// plus the instantaneous gauge levels. That is the shape rate questions
+// want — rows/sec per worker, queue depth over time — without
+// re-deriving diffs downstream.
+//
+// The JSONL export is one flat object per line ({"t_ms":..,
+// "source":"worker-0","c:sweep.cells_ok":2,...}), written by `sweep
+// --metrics-timeline` and rendered by `calibsched stats --timeline`.
+// load_jsonl() is deliberately forgiving: a torn trailing line (the
+// writer died mid-line) or a corrupt line is skipped and counted, never
+// fatal — the readable prefix of a timeline is always usable.
+//
+// Unlike the collector classes, Timeline is identical in both
+// CALIBSCHED_OBS configurations: it only consumes Snapshot values,
+// which exist (possibly empty) either way.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace calib::obs {
+
+class Timeline {
+ public:
+  /// Total sample cap: past it record() drops (and counts) instead of
+  /// growing without bound — a sweep can heartbeat for hours.
+  static constexpr std::size_t kMaxSamples = 1 << 16;
+
+  struct HistDelta {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+
+  struct Sample {
+    double t_ms = 0.0;    ///< receiver clock, ms since the run started
+    std::string source;   ///< "worker-0", "worker-1", ...
+    /// Counter increments over the interval (zero deltas elided).
+    std::map<std::string, std::uint64_t> counters;
+    /// Gauge levels at sample time (absolute, always included).
+    std::map<std::string, std::int64_t> gauges;
+    /// Histogram count/sum growth over the interval (zero elided).
+    std::map<std::string, HistDelta> histograms;
+  };
+
+  /// Fold one cumulative snapshot in: the stored sample is the delta
+  /// against `source`'s previous cumulative snapshot (the first sample
+  /// of a source is its full snapshot). A cumulative value that went
+  /// *backwards* (the source's registry was reset) restarts the
+  /// baseline: the sample records the new cumulative value as-is.
+  void record(const std::string& source, double t_ms,
+              const Snapshot& cumulative);
+
+  [[nodiscard]] const std::vector<Sample>& samples() const {
+    return samples_;
+  }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+
+  /// One flat JSON object per sample, parse_flat_json-compatible.
+  void write_jsonl(std::ostream& os) const;
+
+  /// Parse a write_jsonl stream. Malformed or torn lines are skipped
+  /// and counted into *skipped (when non-null); the result holds every
+  /// line that survived.
+  [[nodiscard]] static Timeline load_jsonl(std::istream& is,
+                                           std::size_t* skipped = nullptr);
+
+ private:
+  std::vector<Sample> samples_;
+  std::map<std::string, Snapshot> last_;  ///< previous cumulative per source
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace calib::obs

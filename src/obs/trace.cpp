@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <iomanip>
+#include <map>
+#include <utility>
 
 #include "obs/json_escape.hpp"
 
@@ -66,6 +69,68 @@ void phase_exit() {
 
 }  // namespace detail
 
+// ---- Shared trace_event JSON helpers (both configurations: the merged
+// writer renders worker chunks even when the local collector is a
+// no-op) ----------------------------------------------------------------
+namespace {
+
+// ts/dur in microseconds with nanosecond precision, as the trace_event
+// format expects.
+void write_us(std::ostream& os, std::uint64_t ns) {
+  os << ns / 1000 << '.' << std::setw(3) << std::setfill('0') << ns % 1000
+     << std::setfill(' ');
+}
+
+// One "ph":"X" complete event on an explicit Perfetto process.
+void write_complete_event(std::ostream& os, int pid, const TraceEvent& event) {
+  os << "{\"ph\":\"X\",\"pid\":" << pid << ",\"tid\":" << event.tid
+     << ",\"name\":\"" << json_escape(event.name) << '"';
+  if (!event.cat.empty()) {
+    os << ",\"cat\":\"" << json_escape(event.cat) << '"';
+  }
+  os << ",\"ts\":";
+  write_us(os, event.ts_ns);
+  os << ",\"dur\":";
+  write_us(os, event.dur_ns);
+  if (!event.args.empty()) {
+    os << ",\"args\":{";
+    bool first_arg = true;
+    for (const auto& [key, value] : event.args) {
+      if (!first_arg) os << ',';
+      first_arg = false;
+      os << '"' << json_escape(key) << "\":\"" << json_escape(value) << '"';
+    }
+    os << '}';
+  }
+  os << '}';
+}
+
+void write_metadata(std::ostream& os, int pid, std::uint32_t tid,
+                    const char* what, const std::string& name) {
+  os << "{\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << tid
+     << ",\"name\":\"" << what << "\",\"args\":{\"name\":\""
+     << json_escape(name) << "\"}}";
+}
+
+// Spans are recorded at *end* time; sort to start order. Ties go to the
+// longer span so an enclosing parent precedes its children.
+void sort_events(std::vector<TraceEvent>& events) {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.ts_ns != b.ts_ns) return a.ts_ns < b.ts_ns;
+                     return a.dur_ns > b.dur_ns;
+                   });
+}
+
+const char* arg_value(const TraceEvent& event, const char* key) {
+  for (const auto& [k, v] : event.args) {
+    if (k == key) return v.c_str();
+  }
+  return nullptr;
+}
+
+}  // namespace
+
 #if CALIBSCHED_OBS
 
 namespace {
@@ -73,13 +138,6 @@ namespace {
 std::uint64_t next_collector_uid() {
   static std::atomic<std::uint64_t> next{1};
   return next.fetch_add(1);
-}
-
-// ts/dur in microseconds with nanosecond precision, as the trace_event
-// format expects.
-void write_us(std::ostream& os, std::uint64_t ns) {
-  os << ns / 1000 << '.' << std::setw(3) << std::setfill('0') << ns % 1000
-     << std::setfill(' ');
 }
 
 }  // namespace
@@ -147,14 +205,47 @@ std::vector<TraceEvent> TraceCollector::events() const {
     merged.insert(merged.end(), buffer->events.begin(),
                   buffer->events.end());
   }
-  // Spans are recorded at *end* time; sort to start order. Ties go to
-  // the longer span so an enclosing parent precedes its children.
-  std::stable_sort(merged.begin(), merged.end(),
-                   [](const TraceEvent& a, const TraceEvent& b) {
-                     if (a.ts_ns != b.ts_ns) return a.ts_ns < b.ts_ns;
-                     return a.dur_ns > b.dur_ns;
-                   });
+  sort_events(merged);
   return merged;
+}
+
+std::vector<std::pair<std::uint32_t, std::string>>
+TraceCollector::thread_names() const {
+  std::vector<std::shared_ptr<Buffer>> buffers;
+  {
+    const MutexLock lock(mutex_);
+    buffers = buffers_;
+  }
+  std::vector<std::pair<std::uint32_t, std::string>> names;
+  for (const auto& buffer : buffers) {
+    const MutexLock lock(buffer->mutex);
+    if (!buffer->name.empty()) names.emplace_back(buffer->tid, buffer->name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+TraceChunk TraceCollector::drain() {
+  std::vector<std::shared_ptr<Buffer>> buffers;
+  {
+    const MutexLock lock(mutex_);
+    buffers = buffers_;
+  }
+  TraceChunk chunk;
+  for (const auto& buffer : buffers) {
+    const MutexLock lock(buffer->mutex);
+    if (!buffer->name.empty()) {
+      chunk.thread_names.emplace_back(buffer->tid, buffer->name);
+    }
+    chunk.dropped += buffer->dropped;
+    buffer->dropped = 0;
+    chunk.events.insert(chunk.events.end(),
+                        std::make_move_iterator(buffer->events.begin()),
+                        std::make_move_iterator(buffer->events.end()));
+    buffer->events.clear();
+  }
+  std::sort(chunk.thread_names.begin(), chunk.thread_names.end());
+  return chunk;
 }
 
 std::uint64_t TraceCollector::dropped() const {
@@ -195,47 +286,14 @@ void TraceCollector::write_chrome_trace(std::ostream& os) const {
 
   // One thread_name metadata record per track, so Perfetto labels the
   // rows "worker-0", "worker-1", ... instead of bare tids.
-  std::vector<std::shared_ptr<Buffer>> buffers;
-  {
-    const MutexLock lock(mutex_);
-    buffers = buffers_;
-  }
-  std::vector<std::pair<std::uint32_t, std::string>> names;
-  for (const auto& buffer : buffers) {
-    const MutexLock lock(buffer->mutex);
-    if (!buffer->name.empty()) names.emplace_back(buffer->tid, buffer->name);
-  }
-  std::sort(names.begin(), names.end());
-  for (const auto& [tid, name] : names) {
+  for (const auto& [tid, name] : thread_names()) {
     comma();
-    os << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
-       << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
-       << json_escape(name) << "\"}}";
+    write_metadata(os, 1, tid, "thread_name", name);
   }
 
   for (const TraceEvent& event : events()) {
     comma();
-    os << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << event.tid << ",\"name\":\""
-       << json_escape(event.name) << '"';
-    if (!event.cat.empty()) {
-      os << ",\"cat\":\"" << json_escape(event.cat) << '"';
-    }
-    os << ",\"ts\":";
-    write_us(os, event.ts_ns);
-    os << ",\"dur\":";
-    write_us(os, event.dur_ns);
-    if (!event.args.empty()) {
-      os << ",\"args\":{";
-      bool first_arg = true;
-      for (const auto& [key, value] : event.args) {
-        if (!first_arg) os << ',';
-        first_arg = false;
-        os << '"' << json_escape(key) << "\":\"" << json_escape(value)
-           << '"';
-      }
-      os << '}';
-    }
-    os << '}';
+    write_complete_event(os, 1, event);
   }
   os << "\n]}\n";
 }
@@ -269,6 +327,105 @@ ScopedSpan::~ScopedSpan() {
 TraceCollector& tracer() {
   static TraceCollector collector;
   return collector;
+}
+
+void write_merged_chrome_trace(std::ostream& os,
+                               const std::vector<ProcessTrace>& workers) {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto comma = [&] {
+    if (!first) os << ',';
+    first = false;
+    os << "\n";
+  };
+
+  // Process 1 is the calling process (the coordinator); each worker is
+  // its own Perfetto process so its threads get their own track group.
+  const auto worker_pid = [](const ProcessTrace& w) {
+    return 2 + std::max(w.worker, 0);
+  };
+  comma();
+  write_metadata(os, 1, 0, "process_name", "coordinator");
+  for (const auto& [tid, name] : tracer().thread_names()) {
+    comma();
+    write_metadata(os, 1, tid, "thread_name", name);
+  }
+  for (const ProcessTrace& w : workers) {
+    comma();
+    std::string label = "worker-" + std::to_string(std::max(w.worker, 0));
+    if (w.pid > 0) label += " (pid " + std::to_string(w.pid) + ")";
+    if (w.dropped > 0) {
+      label += " [" + std::to_string(w.dropped) + " dropped]";
+    }
+    write_metadata(os, worker_pid(w), 0, "process_name", label);
+    for (const auto& [tid, name] : w.thread_names) {
+      comma();
+      write_metadata(os, worker_pid(w), tid, "thread_name", name);
+    }
+  }
+
+  // Complete events: coordinator first, then each worker's rebased
+  // chunks (concatenated drains arrive unsorted; sort per process).
+  std::vector<TraceEvent> local = tracer().events();
+  for (const TraceEvent& event : local) {
+    comma();
+    write_complete_event(os, 1, event);
+  }
+  // Index worker "cell" spans by (worker, cell) for flow matching. A
+  // (worker, cell) pair is unique per run: a retried cell only ever
+  // lands on a different worker (its previous holder is dead).
+  struct CellSpan {
+    int pid = 0;
+    std::uint32_t tid = 0;
+    std::uint64_t ts_ns = 0;
+  };
+  std::map<std::pair<int, std::string>, CellSpan> cell_spans;
+  for (const ProcessTrace& w : workers) {
+    std::vector<TraceEvent> events = w.events;
+    sort_events(events);
+    for (const TraceEvent& event : events) {
+      comma();
+      write_complete_event(os, worker_pid(w), event);
+      if (event.name == "cell") {
+        if (const char* cell = arg_value(event, "cell")) {
+          cell_spans.emplace(
+              std::make_pair(w.worker, std::string(cell)),
+              CellSpan{worker_pid(w), event.tid, event.ts_ns});
+        }
+      }
+    }
+  }
+
+  // Flow events: a coordinator "lease" span names the (cell, attempt,
+  // worker) it dispatched; if that worker shipped the matching cell
+  // span, emit an s/f pair so Perfetto draws the arrow between them.
+  int flow_id = 0;
+  for (const TraceEvent& event : local) {
+    if (event.name != "lease") continue;
+    const char* cell = arg_value(event, "cell");
+    const char* worker = arg_value(event, "worker");
+    const char* attempt = arg_value(event, "attempt");
+    if (cell == nullptr || worker == nullptr) continue;
+    const auto it =
+        cell_spans.find(std::make_pair(std::atoi(worker), std::string(cell)));
+    if (it == cell_spans.end()) continue;
+    ++flow_id;
+    const std::string name = std::string("cell ") + cell + " attempt " +
+                             (attempt != nullptr ? attempt : "1");
+    comma();
+    os << "{\"ph\":\"s\",\"id\":" << flow_id << ",\"pid\":1,\"tid\":"
+       << event.tid << ",\"name\":\"" << json_escape(name)
+       << "\",\"cat\":\"lease\",\"ts\":";
+    write_us(os, event.ts_ns);
+    os << "}";
+    comma();
+    os << "{\"ph\":\"f\",\"bp\":\"e\",\"id\":" << flow_id
+       << ",\"pid\":" << it->second.pid << ",\"tid\":" << it->second.tid
+       << ",\"name\":\"" << json_escape(name) << "\",\"cat\":\"lease\",\"ts\":";
+    write_us(os, it->second.ts_ns);
+    os << "}";
+  }
+  os << "\n]}\n";
 }
 
 }  // namespace calib::obs

@@ -56,9 +56,11 @@ void phase_enter(const char* name);
 void phase_exit();
 }  // namespace detail
 
-#if CALIBSCHED_OBS
-
 /// One completed span, timestamped relative to the now_ns() epoch.
+/// Defined in both CALIBSCHED_OBS configurations: the executor protocol
+/// ships these across the coordinator pipe, and the wire codec must
+/// compile (to a codec of empty chunks) even when the collector is a
+/// no-op.
 struct TraceEvent {
   std::string name;
   std::string cat;
@@ -67,6 +69,42 @@ struct TraceEvent {
   std::uint32_t tid = 0;
   std::vector<std::pair<std::string, std::string>> args;
 };
+
+/// A drained slice of a collector: events plus the thread-name table
+/// and the dropped count at drain time. What a worker ships per
+/// heartbeat.
+struct TraceChunk {
+  std::vector<TraceEvent> events;
+  std::vector<std::pair<std::uint32_t, std::string>> thread_names;
+  std::uint64_t dropped = 0;
+
+  [[nodiscard]] bool empty() const { return events.empty() && dropped == 0; }
+};
+
+/// One remote process's accumulated trace, as the coordinator rebuilds
+/// it from kTrace frames: timestamps already rebased onto the
+/// coordinator's now_ns() clock via the per-worker offset estimated at
+/// handshake (first chunk received).
+struct ProcessTrace {
+  int worker = -1;          ///< worker index (coordinator-assigned)
+  std::int64_t pid = 0;     ///< the worker's real pid (trace labeling only)
+  std::uint64_t now_ns = 0; ///< sender clock at encode time (offset source)
+  std::uint64_t dropped = 0;
+  std::vector<TraceEvent> events;
+  std::vector<std::pair<std::uint32_t, std::string>> thread_names;
+};
+
+/// Merged Chrome trace_event JSON: the calling process's collector
+/// (tracer()) becomes Perfetto process 1 ("coordinator"), each entry of
+/// `workers` becomes its own process (2 + worker index) with one track
+/// per worker thread. Coordinator "lease" spans and worker "cell" spans
+/// carrying matching ("cell", "worker"/index) args are linked with flow
+/// events ("ph":"s"/"f") keyed on (cell, attempt), so a lease in the
+/// coordinator track points at the cell execution it paid for.
+void write_merged_chrome_trace(std::ostream& os,
+                               const std::vector<ProcessTrace>& workers);
+
+#if CALIBSCHED_OBS
 
 class TraceCollector {
  public:
@@ -94,6 +132,19 @@ class TraceCollector {
   /// parent precedes the children it encloses even on timestamp ties.
   [[nodiscard]] std::vector<TraceEvent> events() const;
   [[nodiscard]] std::uint64_t dropped() const;
+
+  /// (tid, name) pairs for every thread that called set_thread_name,
+  /// sorted by tid — the export's track labels.
+  [[nodiscard]] std::vector<std::pair<std::uint32_t, std::string>>
+  thread_names() const;
+
+  /// Remove and return everything buffered so far — events (unsorted),
+  /// the thread-name table, and the dropped count (which resets).
+  /// Incremental shipping: repeated drains partition the event stream,
+  /// so a worker can ship its buffer piecewise inside heartbeats
+  /// without double-sending. Events recorded concurrently with a drain
+  /// land in either this chunk or the next, never both.
+  [[nodiscard]] TraceChunk drain();
 
   /// Drop all buffered events (thread names and tids survive).
   void clear();
@@ -156,7 +207,14 @@ class TraceCollector {
   void set_enabled(bool) {}
   [[nodiscard]] bool enabled() const { return false; }
   void set_thread_name(const std::string&) {}
+  void record(TraceEvent) {}
+  [[nodiscard]] std::vector<TraceEvent> events() const { return {}; }
   [[nodiscard]] std::uint64_t dropped() const { return 0; }
+  [[nodiscard]] std::vector<std::pair<std::uint32_t, std::string>>
+  thread_names() const {
+    return {};
+  }
+  [[nodiscard]] TraceChunk drain() { return {}; }
   void clear() {}
   void write_chrome_trace(std::ostream& os) const {
     os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}\n";

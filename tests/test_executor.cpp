@@ -9,12 +9,17 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
+#include <cstddef>
 #include <cstdio>
 #include <fstream>
+#include <map>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "harness/executor/executor.hpp"
 #include "harness/executor/protocol.hpp"
@@ -45,6 +50,7 @@ namespace calib {
 namespace {
 
 using harness::decode_metrics_payload;
+using harness::decode_trace_payload;
 using harness::encode_frame;
 using harness::encode_metrics_payload;
 using harness::Frame;
@@ -216,6 +222,113 @@ TEST(ExecutorProtocol, MetricsPayloadRejectsGarbage) {
                std::runtime_error);
 }
 
+TEST(ExecutorProtocol, MetricsPayloadShipsRawHistogramBuckets) {
+  obs::Snapshot snapshot;
+  obs::HistogramStats h;
+  h.count = 3;
+  h.sum = 7.0;
+  h.min = 1.0;
+  h.max = 4.0;
+  h.buckets.assign(obs::kHistogramBuckets, 0);
+  h.buckets[obs::histogram_bucket_index(1)] += 1;
+  h.buckets[obs::histogram_bucket_index(2)] += 1;
+  h.buckets[obs::histogram_bucket_index(4)] += 1;
+  snapshot.histograms["cell_us"] = h;
+
+  const obs::Snapshot back =
+      decode_metrics_payload(encode_metrics_payload(snapshot));
+  const obs::HistogramStats& r = back.histograms.at("cell_us");
+  ASSERT_EQ(r.buckets.size(), obs::kHistogramBuckets);
+  EXPECT_EQ(r.buckets, h.buckets);
+  EXPECT_EQ(r.count, 3u);
+}
+
+// ---- kTrace payloads --------------------------------------------------
+
+obs::TraceChunk sample_chunk(std::size_t events) {
+  obs::TraceChunk chunk;
+  chunk.thread_names = {{0, "main"}, {1, "heartbeat"}};
+  chunk.dropped = 2;
+  for (std::size_t i = 0; i < events; ++i) {
+    obs::TraceEvent event;
+    event.name = "cell";
+    event.cat = "sweep";
+    event.ts_ns = 1000 * (i + 1);
+    event.dur_ns = 500 + i;
+    event.tid = static_cast<std::uint32_t>(i % 2);
+    event.args.emplace_back("cell", std::to_string(i));
+    event.args.emplace_back("note", "a \"quoted\"\nvalue");
+    chunk.events.push_back(std::move(event));
+  }
+  return chunk;
+}
+
+TEST(ExecutorProtocol, TracePayloadRoundTrips) {
+  const obs::ProcessTrace back =
+      decode_trace_payload(harness::encode_trace_payload(7, 4242,
+                                                         sample_chunk(3)));
+  EXPECT_EQ(back.worker, 7);
+  EXPECT_EQ(back.pid, 4242);
+  EXPECT_EQ(back.dropped, 2u);
+  EXPECT_GT(back.now_ns, 0u);
+  ASSERT_EQ(back.thread_names.size(), 2u);
+  EXPECT_EQ(back.thread_names[1].second, "heartbeat");
+  ASSERT_EQ(back.events.size(), 3u);
+  const obs::TraceEvent& e = back.events[1];
+  EXPECT_EQ(e.name, "cell");
+  EXPECT_EQ(e.cat, "sweep");
+  EXPECT_EQ(e.ts_ns, 2000u);  // un-rebased: still the sender's clock
+  EXPECT_EQ(e.dur_ns, 501u);
+  EXPECT_EQ(e.tid, 1u);
+  ASSERT_EQ(e.args.size(), 2u);
+  EXPECT_EQ(e.args[0], (std::pair<std::string, std::string>{"cell", "1"}));
+  EXPECT_EQ(e.args[1].second, "a \"quoted\"\nvalue");  // escaping survived
+}
+
+TEST(ExecutorProtocol, OversizedTraceBuffersTruncateIntoDropped) {
+  const obs::TraceChunk chunk = sample_chunk(64);
+  const std::string full = harness::encode_trace_payload(0, 1, chunk);
+  const std::size_t cap = full.size() / 2;
+  const std::string tight = harness::encode_trace_payload(0, 1, chunk, cap);
+  EXPECT_LE(tight.size(), cap);
+  const obs::ProcessTrace back = decode_trace_payload(tight);
+  EXPECT_LT(back.events.size(), 64u);
+  EXPECT_GT(back.events.size(), 0u);
+  // Conservation: every event the cap shed was counted, never lost.
+  EXPECT_EQ(back.events.size() + back.dropped,
+            chunk.events.size() + chunk.dropped);
+}
+
+TEST(ExecutorProtocol, TracePayloadRejectsGarbage) {
+  EXPECT_THROW((void)decode_trace_payload(""), std::runtime_error);
+  EXPECT_THROW((void)decode_trace_payload("not json\n"), std::runtime_error);
+  // Event line before any header.
+  EXPECT_THROW((void)decode_trace_payload(
+                   "{\"name\":\"x\",\"ts\":1,\"dur\":1,\"tid\":0}\n"),
+               std::runtime_error);
+  // Valid payload with a torn trailing line: still a protocol breach.
+  const std::string good = harness::encode_trace_payload(0, 1, sample_chunk(1));
+  EXPECT_THROW((void)decode_trace_payload(good + "{\"name\":\"x\",\"ts\":"),
+               std::runtime_error);
+}
+
+TEST(ExecutorProtocol, TraceFramesAreKnownToTheReaderButTypeSixIsNot) {
+  const std::string bytes = encode_frame(
+      FrameType::kTrace, harness::encode_trace_payload(1, 2, sample_chunk(1)));
+  FrameReader reader;
+  reader.feed(bytes.data(), bytes.size());
+  Frame frame;
+  ASSERT_TRUE(reader.next(frame));
+  EXPECT_EQ(frame.type, FrameType::kTrace);
+  EXPECT_FALSE(reader.corrupted());
+
+  std::string bad = encode_frame(FrameType::kLease, "1");
+  bad[4] = 6;  // one past kTrace: still poison
+  FrameReader poisoned;
+  poisoned.feed(bad.data(), bad.size());
+  EXPECT_TRUE(poisoned.corrupted());
+}
+
 // ---- Snapshot::merge --------------------------------------------------
 
 TEST(SnapshotMerge, CountersAndGaugesAdd) {
@@ -280,6 +393,71 @@ TEST(SnapshotMerge, MergingIntoEmptyIsExact) {
   EXPECT_EQ(a.counters.at("c"), 9u);
   EXPECT_DOUBLE_EQ(a.histograms.at("h").p50, 1.5);
   EXPECT_DOUBLE_EQ(a.histograms.at("h").min, 1.0);
+}
+
+// Build one merge side from explicit samples, with self-consistent raw
+// buckets and bucket-interpolated percentiles.
+obs::HistogramStats side_of(const std::vector<std::uint64_t>& values) {
+  obs::HistogramStats h;
+  h.buckets.assign(obs::kHistogramBuckets, 0);
+  h.min = static_cast<double>(
+      *std::min_element(values.begin(), values.end()));
+  h.max = static_cast<double>(
+      *std::max_element(values.begin(), values.end()));
+  for (const std::uint64_t v : values) {
+    ++h.buckets[obs::histogram_bucket_index(v)];
+    ++h.count;
+    h.sum += static_cast<double>(v);
+  }
+  h.p50 = obs::histogram_percentile(h.buckets, h.count, 0.50);
+  h.p90 = obs::histogram_percentile(h.buckets, h.count, 0.90);
+  h.p99 = obs::histogram_percentile(h.buckets, h.count, 0.99);
+  return h;
+}
+
+TEST(SnapshotMerge, RawBucketsMakeMergedPercentilesExact) {
+  // Two heavily skewed sides. A count-weighted mean of the per-side p50
+  // estimates would land mid-range; the true combined distribution has
+  // its median inside the small-value cluster.
+  obs::Snapshot a;
+  a.histograms["h"] = side_of({1, 1, 2, 2, 2});
+  obs::Snapshot b;
+  b.histograms["h"] = side_of({1000, 1000, 1000});
+  a.merge(b);
+
+  const obs::HistogramStats& m = a.histograms.at("h");
+  EXPECT_EQ(m.count, 8u);
+  ASSERT_EQ(m.buckets.size(), obs::kHistogramBuckets);
+  const obs::HistogramStats combined =
+      side_of({1, 1, 2, 2, 2, 1000, 1000, 1000});
+  EXPECT_EQ(m.buckets, combined.buckets);
+  // Merged percentiles are interpolated from the combined buckets and
+  // clamped to the merged [min, max].
+  EXPECT_DOUBLE_EQ(m.p50, std::clamp(combined.p50, 1.0, 1000.0));
+  EXPECT_DOUBLE_EQ(m.p90, std::clamp(combined.p90, 1.0, 1000.0));
+  EXPECT_DOUBLE_EQ(m.p99, std::clamp(combined.p99, 1.0, 1000.0));
+  // And this is genuinely different from the weighted-mean fallback.
+  const double fallback = (side_of({1, 1, 2, 2, 2}).p50 * 5 +
+                           side_of({1000, 1000, 1000}).p50 * 3) /
+                          8;
+  EXPECT_NE(m.p50, fallback);
+}
+
+TEST(SnapshotMerge, MissingBucketsFallBackAndDropTheBuckets) {
+  obs::Snapshot a;
+  a.histograms["h"] = side_of({1, 1, 2, 2});
+  obs::Snapshot b;
+  obs::HistogramStats hb = side_of({8, 8, 8, 8});
+  hb.buckets.clear();  // e.g. re-parsed from a JSON file of derived stats
+  b.histograms["h"] = hb;
+  a.merge(b);
+  const obs::HistogramStats& m = a.histograms.at("h");
+  EXPECT_EQ(m.count, 8u);
+  // The approximation must not masquerade as a real distribution.
+  EXPECT_TRUE(m.buckets.empty());
+  // Count-weighted mean of the per-side estimates.
+  EXPECT_DOUBLE_EQ(m.p50,
+                   (side_of({1, 1, 2, 2}).p50 + side_of({8, 8, 8, 8}).p50) / 2);
 }
 
 // ---- Worker fault spec parsing ----------------------------------------
@@ -358,6 +536,26 @@ TEST(ExecutorOptions, RetryFailedRequiresAJournalButNotTheResumeFlag) {
   SweepOptions options;
   options.retry_failed = true;  // no journal_path
   EXPECT_THROW((void)engine.run(options), std::runtime_error);
+}
+
+TEST(ExecutorOptions, ProgressAndEventsRequireTheExecutor) {
+  SweepEngine engine(tiny_grid());
+  {
+    SweepOptions options;  // workers == 0: in-process
+    options.progress = true;
+    EXPECT_THROW((void)engine.run(options), std::runtime_error);
+  }
+  {
+    SweepOptions options;
+    options.events_path = temp_path("events_no_executor");
+    EXPECT_THROW((void)engine.run(options), std::runtime_error);
+  }
+  {
+    SweepOptions options = executor_options(2);
+    options.progress = true;
+    options.progress_interval_ms = 0.0;
+    EXPECT_THROW((void)engine.run(options), std::runtime_error);
+  }
 }
 
 // ---- Coordinator/worker integration -----------------------------------
@@ -486,6 +684,134 @@ TEST(Executor, SandboxedCellsComposeWithTheExecutor) {
   const SweepReport report = SweepEngine(tiny_grid()).run(options);
   EXPECT_TRUE(report.status_counts().all_ok());
   EXPECT_EQ(jsonl_of(report), jsonl_of(SweepEngine(tiny_grid()).run()));
+}
+
+// ---- Fleet observability ----------------------------------------------
+
+#if CALIBSCHED_OBS
+// Enable span recording for one test and leave the process-global
+// collector clean afterwards even when an assertion fails early.
+struct TracerGuard {
+  TracerGuard() {
+    obs::tracer().clear();
+    obs::tracer().set_enabled(true);
+  }
+  ~TracerGuard() {
+    obs::tracer().set_enabled(false);
+    obs::tracer().clear();
+  }
+};
+
+TEST(Executor, MergedTraceLinksCoordinatorLeasesToWorkerCells) {
+  const TracerGuard guard;
+  const SweepReport report =
+      SweepEngine(tiny_grid()).run(executor_options(3));
+  ASSERT_TRUE(report.status_counts().all_ok());
+
+  // Every worker completed its clock handshake and shipped a trace.
+  ASSERT_EQ(report.worker_traces.size(), 3u);
+  std::set<int> worker_ids;
+  for (const obs::ProcessTrace& trace : report.worker_traces) {
+    worker_ids.insert(trace.worker);
+    EXPECT_GT(trace.pid, 0);
+    bool saw_cell_span = false;
+    for (const obs::TraceEvent& event : trace.events) {
+      if (event.name == "cell") saw_cell_span = true;
+    }
+    EXPECT_TRUE(saw_cell_span) << "worker " << trace.worker;
+  }
+  EXPECT_EQ(worker_ids.size(), 3u);
+
+  std::ostringstream os;
+  obs::write_merged_chrome_trace(os, report.worker_traces);
+  const std::string trace = os.str();
+  // Distinct Perfetto processes: the coordinator plus one per worker.
+  EXPECT_NE(trace.find("\"coordinator\""), std::string::npos);
+  EXPECT_NE(trace.find("\"worker-0 "), std::string::npos);
+  EXPECT_NE(trace.find("\"worker-1 "), std::string::npos);
+  EXPECT_NE(trace.find("\"worker-2 "), std::string::npos);
+  // Coordinator lease spans, linked to worker cell spans by flow events.
+  EXPECT_NE(trace.find("\"name\":\"lease\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"f\""), std::string::npos);
+}
+
+TEST(Executor, MetricsTimelineAccountsForEveryCompletedCell) {
+  const SweepReport report =
+      SweepEngine(tiny_grid()).run(executor_options(2));
+  ASSERT_TRUE(report.status_counts().all_ok());
+  ASSERT_FALSE(report.timeline.empty());
+  std::set<std::string> sources;
+  std::uint64_t cells = 0;
+  for (const obs::Timeline::Sample& sample : report.timeline.samples()) {
+    sources.insert(sample.source);
+    const auto it = sample.counters.find("sweep.cells_ok");
+    if (it != sample.counters.end()) cells += it->second;
+  }
+  EXPECT_EQ(sources, (std::set<std::string>{"worker-0", "worker-1"}));
+  // Deltas telescope back to the fleet-wide cumulative total.
+  EXPECT_EQ(cells, report.rows.size());
+}
+#endif  // CALIBSCHED_OBS
+
+TEST(Executor, FlightRecorderLogsTheDeathAndTheRetry) {
+  const std::string path = temp_path("executor_events");
+  // kill=1@1 only arms once worker 1 wins a second lease; on a loaded
+  // machine worker 0 can drain the whole grid first. The scheduler's
+  // fairness is not under test here, so rerun the sweep (the recorder
+  // truncates its file each run) until the fault actually fires.
+  SweepReport report;
+  for (int attempt = 0; attempt < 5 && report.timing.workers_lost != 1;
+       ++attempt) {
+    SweepOptions options = executor_options(2);
+    options.worker_faults = parse_worker_faults("kill=1@1");
+    options.events_path = path;
+    report = SweepEngine(tiny_grid(3)).run(options);
+    EXPECT_TRUE(report.status_counts().all_ok());
+  }
+  ASSERT_EQ(report.timing.workers_lost, 1u);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::vector<std::map<std::string, std::string>> events;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    events.push_back(harness::parse_flat_json(line));  // throws on torn
+  }
+  ASSERT_FALSE(events.empty());
+
+  // The log must tell the kill=1@1 story in order: worker 1's death is
+  // observed, then its lease is re-queued, and the run still completes.
+  std::size_t spawns = 0;
+  std::ptrdiff_t death_at = -1;
+  std::ptrdiff_t retry_at = -1;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const auto& e = events[i];
+    ASSERT_EQ(e.count("t_ms"), 1u);
+    ASSERT_EQ(e.count("event"), 1u);
+    const std::string& kind = e.at("event");
+    if (kind == "worker_spawn") ++spawns;
+    if (kind == "worker_death" && e.at("worker") == "1") {
+      death_at = static_cast<std::ptrdiff_t>(i);
+      EXPECT_EQ(e.at("cause"), "pipe");
+    }
+    if (kind == "retry" && retry_at < 0) {
+      retry_at = static_cast<std::ptrdiff_t>(i);
+      EXPECT_EQ(e.at("attempt"), "1");  // one attempt spent so far
+      EXPECT_EQ(e.count("backoff_ms"), 1u);
+    }
+  }
+  EXPECT_EQ(spawns, 2u);
+  ASSERT_GE(death_at, 0);
+  ASSERT_GE(retry_at, 0);
+  EXPECT_LT(death_at, retry_at);
+
+  const auto& last = events.back();
+  EXPECT_EQ(last.at("event"), "run_complete");
+  EXPECT_EQ(last.at("workers_lost"), "1");
+  EXPECT_EQ(last.at("cells"), std::to_string(report.rows.size()));
+  std::remove(path.c_str());
 }
 
 // ---- Journal / resume under the executor ------------------------------

@@ -5,6 +5,7 @@
 // solver output (golden objectives and sweep rows stay byte-identical).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cctype>
 #include <cstdint>
 #include <map>
@@ -16,6 +17,7 @@
 #include "harness/journal.hpp"
 #include "harness/sweep.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
 #include "obs/trace.hpp"
 #include "offline/budget_search.hpp"
 #include "online/alg2_weighted.hpp"
@@ -450,6 +452,129 @@ TEST(ObsDeterminism, SweepRowsAndCacheStatsAreIdenticalAcrossRuns) {
   for (const harness::SweepRow& row : a.rows) {
     EXPECT_GT(row.result.wall_ms, 0.0) << "cell " << row.cell;
   }
+}
+
+#if CALIBSCHED_OBS
+TEST(Metrics, SnapshotsCarryRawBucketsMatchingTheCount) {
+  obs::MetricsRegistry registry;
+  const obs::Histogram h = registry.histogram("h");
+  for (std::uint64_t v = 1; v <= 100; ++v) h.record(v);
+  const obs::HistogramStats stats = registry.snapshot().histograms.at("h");
+  ASSERT_EQ(stats.buckets.size(), obs::kHistogramBuckets);
+  std::uint64_t total = 0;
+  for (const std::uint64_t b : stats.buckets) total += b;
+  EXPECT_EQ(total, stats.count);
+  // The snapshot's own percentiles equal what the public interpolator
+  // derives from those buckets (clamped to the observed [min, max]) —
+  // one percentile algorithm, not two.
+  EXPECT_DOUBLE_EQ(
+      stats.p50, obs::histogram_percentile(stats.buckets, stats.count, 0.50));
+  EXPECT_DOUBLE_EQ(
+      stats.p99,
+      std::min(obs::histogram_percentile(stats.buckets, stats.count, 0.99),
+               stats.max));
+}
+#endif  // CALIBSCHED_OBS
+
+TEST(Metrics, BucketIndexMatchesTheLog2Contract) {
+  EXPECT_EQ(obs::histogram_bucket_index(0), 0u);
+  EXPECT_EQ(obs::histogram_bucket_index(1), 1u);
+  EXPECT_EQ(obs::histogram_bucket_index(2), 2u);
+  EXPECT_EQ(obs::histogram_bucket_index(3), 2u);
+  EXPECT_EQ(obs::histogram_bucket_index(4), 3u);
+  EXPECT_EQ(obs::histogram_bucket_index(1024), 11u);
+  EXPECT_LT(obs::histogram_bucket_index(~std::uint64_t{0}),
+            obs::kHistogramBuckets);
+}
+
+// ---- Timeline ---------------------------------------------------------
+
+obs::Snapshot cumulative_snapshot(std::uint64_t cells, std::int64_t depth) {
+  obs::Snapshot snapshot;
+  snapshot.counters["sweep.cells_ok"] = cells;
+  snapshot.gauges["queue.depth"] = depth;
+  obs::HistogramStats h;
+  h.count = cells;
+  h.sum = static_cast<double>(cells) * 10.0;
+  snapshot.histograms["cell_us"] = h;
+  return snapshot;
+}
+
+TEST(Timeline, RecordsPerSourceDeltasAndGaugeLevels) {
+  obs::Timeline timeline;
+  timeline.record("worker-0", 100.0, cumulative_snapshot(3, 5));
+  timeline.record("worker-1", 110.0, cumulative_snapshot(2, 1));
+  timeline.record("worker-0", 200.0, cumulative_snapshot(8, 2));
+  ASSERT_EQ(timeline.samples().size(), 3u);
+  // First sample of a source is its full snapshot...
+  const auto& first = timeline.samples()[0];
+  EXPECT_EQ(first.source, "worker-0");
+  EXPECT_EQ(first.counters.at("sweep.cells_ok"), 3u);
+  EXPECT_EQ(first.gauges.at("queue.depth"), 5);
+  EXPECT_EQ(first.histograms.at("cell_us").count, 3u);
+  // ...later samples are deltas against that source (not worker-1).
+  const auto& third = timeline.samples()[2];
+  EXPECT_EQ(third.source, "worker-0");
+  EXPECT_EQ(third.counters.at("sweep.cells_ok"), 5u);
+  EXPECT_EQ(third.gauges.at("queue.depth"), 2);  // gauges stay levels
+  EXPECT_EQ(third.histograms.at("cell_us").count, 5u);
+  EXPECT_DOUBLE_EQ(third.histograms.at("cell_us").sum, 50.0);
+}
+
+TEST(Timeline, BackwardsCountersRestartTheBaseline) {
+  // A worker that reset its registry reports a *smaller* cumulative
+  // value; the delta must restart at the new value, not underflow.
+  obs::Timeline timeline;
+  timeline.record("w", 0.0, cumulative_snapshot(100, 0));
+  timeline.record("w", 1.0, cumulative_snapshot(4, 0));
+  EXPECT_EQ(timeline.samples()[1].counters.at("sweep.cells_ok"), 4u);
+}
+
+TEST(Timeline, ZeroDeltasAreElided) {
+  obs::Timeline timeline;
+  timeline.record("w", 0.0, cumulative_snapshot(7, 3));
+  timeline.record("w", 1.0, cumulative_snapshot(7, 3));
+  const auto& idle = timeline.samples()[1];
+  EXPECT_TRUE(idle.counters.empty());
+  EXPECT_TRUE(idle.histograms.empty());
+  EXPECT_EQ(idle.gauges.at("queue.depth"), 3);  // levels always present
+}
+
+TEST(Timeline, JsonlRoundTripsAndTornLinesAreSkippedNotFatal) {
+  obs::Timeline timeline;
+  timeline.record("worker-0", 12.5, cumulative_snapshot(3, 5));
+  timeline.record("worker-0", 99.25, cumulative_snapshot(9, 1));
+  std::ostringstream os;
+  timeline.write_jsonl(os);
+
+  // Sandwich the good lines between garbage and a torn tail — the
+  // classic shapes of a writer dying mid-stream.
+  std::string text = "this is not json\n" + os.str();
+  text += "{\"t_ms\":120.0,\"source\":\"worker-0\",\"c:sweep.cel";  // torn
+
+  std::istringstream is(text);
+  std::size_t skipped = 0;
+  const obs::Timeline back = obs::Timeline::load_jsonl(is, &skipped);
+  EXPECT_EQ(skipped, 2u);
+  ASSERT_EQ(back.samples().size(), 2u);
+  EXPECT_DOUBLE_EQ(back.samples()[0].t_ms, 12.5);
+  EXPECT_EQ(back.samples()[0].counters.at("sweep.cells_ok"), 3u);
+  EXPECT_EQ(back.samples()[1].counters.at("sweep.cells_ok"), 6u);
+  EXPECT_DOUBLE_EQ(back.samples()[1].histograms.at("cell_us").sum, 60.0);
+  EXPECT_EQ(back.samples()[1].gauges.at("queue.depth"), 1);
+}
+
+TEST(Timeline, LinesWithoutTimestampOrSourceAreSkipped) {
+  std::istringstream is(
+      "{\"t_ms\":1.0,\"c:x\":1}\n"          // no source
+      "{\"source\":\"w\",\"c:x\":1}\n"      // no t_ms
+      "{\"t_ms\":2.0,\"source\":\"w\"}\n"   // minimal but valid
+      "{\"t_ms\":3.0,\"source\":\"w\",\"bogus\":1}\n");  // unprefixed key
+  std::size_t skipped = 0;
+  const obs::Timeline back = obs::Timeline::load_jsonl(is, &skipped);
+  EXPECT_EQ(skipped, 3u);
+  ASSERT_EQ(back.samples().size(), 1u);
+  EXPECT_DOUBLE_EQ(back.samples()[0].t_ms, 2.0);
 }
 
 }  // namespace

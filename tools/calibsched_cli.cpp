@@ -32,6 +32,7 @@
 #include "harness/journal.hpp"
 #include "harness/sweep.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
 #include "obs/trace.hpp"
 #include "lp/calib_lp.hpp"
 #include "offline/budget_search.hpp"
@@ -71,6 +72,7 @@ int usage() {
       "             [--heartbeat-timeout-ms MS] [--max-cell-attempts N]\n"
       "             [--retry-backoff-ms MS] [--worker-faults SPEC]\n"
       "             [--metrics FILE] [--trace FILE]\n"
+      "             [--metrics-timeline FILE] [--events FILE] [--progress]\n"
       "             (--sandbox: fork each cell; crashes become rows and\n"
       "              --cell-budget-ms gains a SIGKILL watchdog)\n"
       "             (--inject-faults SPEC: THROWP[,TIMEOUTP], or\n"
@@ -83,12 +85,20 @@ int usage() {
       "             (--worker-faults SPEC: kind=WORKER@AFTER[,...] with\n"
       "              kinds kill,stall,corrupt-frame; needs --workers)\n"
       "             (--metrics: flat JSON snapshot; --trace: Chrome\n"
-      "              trace_event JSON, open in Perfetto / chrome://tracing)\n"
+      "              trace_event JSON, open in Perfetto / chrome://tracing;\n"
+      "              with --workers the trace merges coordinator + all\n"
+      "              workers onto one timeline)\n"
+      "             (--metrics-timeline: per-worker heartbeat delta series\n"
+      "              as JSONL; render with `stats --timeline`)\n"
+      "             (--progress: live status line on stderr; --events:\n"
+      "              JSONL flight-recorder log of fleet events; both need\n"
+      "              --workers)\n"
       "             (exits 3 if any cell ends in error/timeout/skipped/\n"
       "              crashed/invalid)\n"
       "  frontier   --in FILE [--kmax N]\n"
       "  lowerbound --in FILE --G N\n"
-      "  stats      --in FILE   (pretty-print a --metrics snapshot)\n"
+      "  stats      --in FILE [--timeline]   (pretty-print a --metrics\n"
+      "             snapshot, or a --metrics-timeline series)\n"
       "  policies   (list the registry's solver names)\n";
   return 2;
 }
@@ -326,8 +336,11 @@ int cmd_sweep(const Args& args) {
   if (!worker_faults.empty()) {
     options.worker_faults = harness::parse_worker_faults(worker_faults);
   }
+  options.progress = args.has("progress");
+  options.events_path = args.get("events", "");
 
   const std::string metrics_path = args.get("metrics", "");
+  const std::string timeline_path = args.get("metrics-timeline", "");
   const std::string trace_path = args.get("trace", "");
   // Enable span recording before the engine runs; ScopedSpan checks the
   // flag at construction, so flipping it afterwards would capture
@@ -376,8 +389,22 @@ int cmd_sweep(const Args& args) {
   if (!trace_path.empty()) {
     std::ofstream file(trace_path);
     if (!file) throw std::runtime_error("cannot write " + trace_path);
-    obs::tracer().write_chrome_trace(file);
+    if (options.workers > 0) {
+      // Fleet-wide view: this process's spans (the coordinator) plus
+      // every worker's shipped chunks, one Perfetto process each, with
+      // flow arrows from lease spans to the cell spans they paid for.
+      obs::write_merged_chrome_trace(file, report.worker_traces);
+    } else {
+      obs::tracer().write_chrome_trace(file);
+    }
     std::cerr << "wrote trace to " << trace_path << '\n';
+  }
+  if (!timeline_path.empty()) {
+    std::ofstream file(timeline_path);
+    if (!file) throw std::runtime_error("cannot write " + timeline_path);
+    report.timeline.write_jsonl(file);
+    std::cerr << "wrote " << report.timeline.samples().size()
+              << " timeline samples to " << timeline_path << '\n';
   }
 
   // A sweep with degraded cells must not look like a success to shell
@@ -419,11 +446,113 @@ int cmd_lowerbound(const Args& args) {
   return 0;
 }
 
+// Render a metrics timeline (`sweep --metrics-timeline` JSONL): one
+// overview row per source, then per-source counter totals with the
+// rate over the source's observed span. Torn or corrupt lines were
+// skipped at load time and are reported, not fatal.
+int cmd_stats_timeline(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::size_t skipped = 0;
+  const obs::Timeline timeline = obs::Timeline::load_jsonl(in, &skipped);
+  if (timeline.empty()) {
+    throw std::runtime_error(
+        "no timeline samples in " + path +
+        (skipped > 0 ? " (" + std::to_string(skipped) +
+                           " malformed lines skipped — corrupt or truncated "
+                           "timeline?)"
+                     : " (empty file — was the sweep run with --workers and "
+                       "--metrics-timeline?)"));
+  }
+  if (skipped > 0) {
+    std::cerr << "warning: skipped " << skipped
+              << " malformed timeline lines (torn write?)\n";
+  }
+
+  // Per-source span and per-(source, counter) totals. Counters arrive
+  // as interval deltas, so a plain sum is the source's total and
+  // total/span is its average rate; gauges keep their last level.
+  struct SourceAgg {
+    std::size_t samples = 0;
+    double t_first = 0.0;
+    double t_last = 0.0;
+    std::map<std::string, std::uint64_t> counter_totals;
+    std::map<std::string, std::int64_t> gauge_last;
+    std::map<std::string, std::uint64_t> hist_counts;
+  };
+  std::map<std::string, SourceAgg> sources;
+  for (const auto& sample : timeline.samples()) {
+    SourceAgg& agg = sources[sample.source];
+    if (agg.samples == 0) agg.t_first = sample.t_ms;
+    ++agg.samples;
+    agg.t_last = sample.t_ms;
+    for (const auto& [name, delta] : sample.counters) {
+      agg.counter_totals[name] += delta;
+    }
+    for (const auto& [name, value] : sample.gauges) {
+      agg.gauge_last[name] = value;
+    }
+    for (const auto& [name, delta] : sample.histograms) {
+      agg.hist_counts[name] += delta.count;
+    }
+  }
+
+  Table overview({"source", "samples", "first ms", "last ms", "span s"});
+  for (const auto& [source, agg] : sources) {
+    overview.row()
+        .add(source)
+        .add(static_cast<std::int64_t>(agg.samples))
+        .add(agg.t_first, 1)
+        .add(agg.t_last, 1)
+        .add((agg.t_last - agg.t_first) / 1000.0, 2);
+  }
+  overview.print(std::cout);
+
+  Table rates({"source", "metric", "kind", "total", "per sec"});
+  bool any_rate = false;
+  for (const auto& [source, agg] : sources) {
+    const double span_s = (agg.t_last - agg.t_first) / 1000.0;
+    const auto rate = [&](std::uint64_t total) {
+      return span_s > 0.0 ? static_cast<double>(total) / span_s : 0.0;
+    };
+    for (const auto& [name, total] : agg.counter_totals) {
+      any_rate = true;
+      rates.row()
+          .add(source)
+          .add(name)
+          .add("counter")
+          .add(static_cast<std::int64_t>(total))
+          .add(rate(total), 2);
+    }
+    for (const auto& [name, total] : agg.hist_counts) {
+      any_rate = true;
+      rates.row()
+          .add(source)
+          .add(name)
+          .add("histogram")
+          .add(static_cast<std::int64_t>(total))
+          .add(rate(total), 2);
+    }
+    for (const auto& [name, value] : agg.gauge_last) {
+      any_rate = true;
+      rates.row().add(source).add(name).add("gauge (last)").add(value).add(
+          "-");
+    }
+  }
+  if (any_rate) {
+    std::cout << '\n';
+    rates.print(std::cout);
+  }
+  return 0;
+}
+
 // Pretty-print a metrics snapshot (the flat JSON from `sweep --metrics`
 // or a bench sidecar): histogram stat families fold into one table row
-// each, everything else prints as a scalar.
+// each, everything else prints as a scalar. With --timeline the input
+// is a `sweep --metrics-timeline` JSONL series instead.
 int cmd_stats(const Args& args) {
   const std::string path = args.get("in", "");
+  if (args.has("timeline")) return cmd_stats_timeline(path);
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open " + path);
   std::stringstream buffer;
@@ -433,7 +562,23 @@ int cmd_stats(const Args& args) {
   // newlines by flattening them to spaces before parsing.
   std::replace(text.begin(), text.end(), '\n', ' ');
   std::replace(text.begin(), text.end(), '\r', ' ');
-  const auto fields = harness::parse_flat_json(text);
+  if (text.find_first_not_of(' ') == std::string::npos) {
+    throw std::runtime_error(
+        "metrics file is empty: " + path +
+        " (did the writer crash before its snapshot was flushed?)");
+  }
+  std::map<std::string, std::string> fields;
+  try {
+    fields = harness::parse_flat_json(text);
+  } catch (const std::exception& error) {
+    throw std::runtime_error("not a metrics snapshot (truncated or corrupt "
+                             "JSON): " +
+                             path + ": " + error.what());
+  }
+  if (fields.empty()) {
+    throw std::runtime_error("no metrics in " + path +
+                             " (the snapshot object is empty)");
+  }
 
   // A key family base.count / base.sum / ... / base.p99 is a histogram;
   // requiring the *full* stat set keeps scalars that merely end in a
@@ -514,7 +659,8 @@ int main(int argc, char** argv) {
                      "inject-faults", "fault-seed", "stop-after", "workers",
                      "heartbeat-ms", "heartbeat-timeout-ms",
                      "max-cell-attempts", "retry-backoff-ms",
-                     "worker-faults", "metrics", "trace"});
+                     "worker-faults", "metrics", "trace",
+                     "metrics-timeline", "events", "progress", "timeline"});
     if (command == "generate") return cmd_generate(args);
     if (command == "solve") return cmd_solve(args);
     if (command == "sweep") return cmd_sweep(args);

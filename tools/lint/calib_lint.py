@@ -46,6 +46,14 @@ every header under src/ (headers do not appear in the database). Rules:
       past it would let a policy read state the online model does not
       reveal.
 
+  obs-encapsulation
+      Outside src/obs/, code must not name MetricsRegistry or
+      TraceCollector: instrumentation goes through the obs::metrics() /
+      obs::tracer() facades and the value handles (Counter, Histogram,
+      ScopedSpan, Snapshot, TraceChunk) they deal in. Direct use of the
+      backing classes would punch holes in the CALIBSCHED_OBS=OFF no-op
+      collapse and couple call sites to the sharding internals.
+
 Usage:
   calib_lint.py --compdb build/compile_commands.json   # lint the tree
   calib_lint.py --files a.cpp b.hpp                    # lint a file set
@@ -354,6 +362,32 @@ def check_policy_driver_isolation(path: Path, raw: str,
 
 
 # ---------------------------------------------------------------------------
+# Rule: obs-encapsulation
+
+# The backing classes of the obs layer. Everything else in the facade's
+# vocabulary (Counter, Histogram, ScopedSpan, Snapshot, TraceChunk,
+# TraceEvent, ProcessTrace, Timeline) is a value type meant to travel.
+OBS_BACKING_RE = re.compile(
+    r"(?<![A-Za-z0-9_])(MetricsRegistry|TraceCollector)(?![A-Za-z0-9_])")
+OBS_LAYER = "src/obs/"
+
+
+def check_obs_encapsulation(path: Path, stripped: str,
+                            rel: str) -> list[Finding]:
+    if rel.startswith(OBS_LAYER):
+        return []
+    return [
+        Finding(
+            "obs-encapsulation", path, line_of(stripped, m.start()),
+            f"'{m.group(1)}' named outside src/obs/; go through "
+            "obs::metrics() / obs::tracer() and their value handles so "
+            "the CALIBSCHED_OBS=OFF collapse stays airtight",
+        )
+        for m in OBS_BACKING_RE.finditer(stripped)
+    ]
+
+
+# ---------------------------------------------------------------------------
 # Driver
 
 # Rules that need the raw (unstripped) text: markers live in comments,
@@ -367,6 +401,7 @@ RULES = [
     check_no_iostream,
     check_no_naked_new,
     check_policy_driver_isolation,
+    check_obs_encapsulation,
 ]
 
 

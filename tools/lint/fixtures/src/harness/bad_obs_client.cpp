@@ -1,0 +1,19 @@
+// Fixture: harness code reaching past the obs facades. The comment
+// mention of MetricsRegistry here must NOT count — only code does.
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace calib::harness {
+
+// Naming the backing registry type is the violation, even by reference.
+void poke(obs::MetricsRegistry& registry) {
+  registry.counter("bad.direct").add();
+}
+
+// So is constructing a private collector instead of using tracer().
+void collect() {
+  obs::TraceCollector local;
+  local.set_enabled(true);
+}
+
+}  // namespace calib::harness

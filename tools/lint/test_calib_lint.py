@@ -81,6 +81,17 @@ class FixtureDetection(unittest.TestCase):
         self.assertEqual(rc, 0, out)
         self.assertEqual(out.strip(), "", out)
 
+    def test_obs_encapsulation(self):
+        fixtures = HERE / "fixtures"
+        rc, out, _ = run_lint(fixtures,
+                              [fixtures / "src/harness/bad_obs_client.cpp"])
+        self.assertEqual(rc, 1, out)
+        self.assertIn("[obs-encapsulation]", out)
+        self.assertIn("MetricsRegistry", out)
+        self.assertIn("TraceCollector", out)
+        # One finding per code mention; the comment must not count.
+        self.assertEqual(out.count("[obs-encapsulation]"), 2, out)
+
     def test_comments_and_strings_do_not_count(self):
         fixtures = HERE / "fixtures"
         rc, out, _ = run_lint(fixtures, [fixtures / "src/util/good_util.cpp"])
