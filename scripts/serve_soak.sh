@@ -1,0 +1,154 @@
+#!/usr/bin/env bash
+# Daemon soak smoke: run `calibsched serve` (ASan build by default) with
+# fault injection armed, hammer it with a mix of clean and chaos clients
+# for SOAK_SECONDS, then prove the robustness envelope end to end:
+#
+#   * clean tenants keep getting validated decision streams throughout
+#     (the daemon never wedges under flood/corrupt/disconnect abuse)
+#   * admission sheds surface as RETRY_AFTER rejections (client exit 4),
+#     never as daemon growth or death
+#   * SIGTERM drains gracefully: exit 0, flight log ends in `shutdown`
+#   * `serve --resume` restores a journaled session and a reattached
+#     client continues it (decision seq picks up where it left off)
+#
+# Usage: scripts/serve_soak.sh [build-dir]     (default: build-asan)
+# Env:   SOAK_SECONDS (default 30), SOAK_OUT (default soak-out/)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build-asan}"
+CLI="$BUILD/tools/calibsched_cli"
+DURATION="${SOAK_SECONDS:-30}"
+OUT="${SOAK_OUT:-soak-out}"
+mkdir -p "$OUT"
+# Unix socket paths are capped near 108 bytes; CI workspaces are deep,
+# so the socket lives under /tmp regardless of $OUT.
+SOCK="${TMPDIR:-/tmp}/calibsched_soak_$$.sock"
+JOURNAL="$OUT/serve.journal.jsonl"
+EVENTS="$OUT/serve.events.jsonl"
+rm -f "$SOCK" "$JOURNAL" "$EVENTS"
+
+[ -x "$CLI" ] || { echo "serve_soak: no CLI at $CLI (build first)" >&2; exit 1; }
+
+DAEMON_PID=""
+cleanup() {  # an aborted run must not leak a daemon holding our pipes
+  if [ -n "$DAEMON_PID" ] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+    kill -KILL "$DAEMON_PID" 2>/dev/null || true
+  fi
+  rm -f "$SOCK"
+}
+trap cleanup EXIT
+
+start_daemon() {  # args: extra flags
+  # The socket file is the readiness signal, so a stale one from the
+  # previous daemon must be gone before the spawn.
+  rm -f "$SOCK"
+  # --max-sessions is large because abandoned chaos sessions (vandals
+  # never say goodbye) legitimately accumulate until the restart.
+  "$CLI" serve --socket "$SOCK" --journal "$JOURNAL" --events "$EVENTS" \
+    --max-sessions 8192 \
+    --max-pending 4 --rate-limit 500 --decision-deadline-ms 1000 \
+    --inject-faults "slow-tenant=20@slowpoke,flood=20@floodme" \
+    "$@" 2>"$OUT/serve.stderr" &
+  DAEMON_PID=$!
+  for _ in $(seq 1 100); do
+    [ -S "$SOCK" ] && return 0
+    kill -0 "$DAEMON_PID" 2>/dev/null || {
+      echo "serve_soak: daemon died during startup" >&2
+      cat "$OUT/serve.stderr" >&2
+      exit 1
+    }
+    sleep 0.1
+  done
+  echo "serve_soak: daemon never bound $SOCK" >&2
+  exit 1
+}
+
+stop_daemon() {  # SIGTERM must drain to exit 0
+  kill -TERM "$DAEMON_PID"
+  local rc=0
+  wait "$DAEMON_PID" || rc=$?
+  DAEMON_PID=""
+  if [ "$rc" -ne 0 ]; then
+    echo "serve_soak: daemon exit $rc after SIGTERM (want 0)" >&2
+    cat "$OUT/serve.stderr" >&2
+    exit 1
+  fi
+}
+
+start_daemon
+
+JOBS="0:3,2:1,5:2,9:1"
+DEADLINE=$(( $(date +%s) + DURATION ))
+ROUND=0
+CLEAN_OK=0
+SHEDS_SEEN=0
+while [ "$(date +%s)" -lt "$DEADLINE" ]; do
+  ROUND=$((ROUND + 1))
+  # Clean tenant: must stream and drain validated every single round.
+  "$CLI" client --socket "$SOCK" --tenant "good$ROUND" --submit "$JOBS" \
+    > "$OUT/good.last.jsonl"
+  CLEAN_OK=$((CLEAN_OK + 1))
+
+  # Chaos: a reader-poisoning frame, a mid-frame disconnect, and a
+  # flood burst into a 4-deep pending budget. The daemon must shrug all
+  # three off; the flood legitimately exits 4 when sheds come back.
+  "$CLI" client --socket "$SOCK" --tenant "vandal$ROUND" \
+    --chaos corrupt-frame --submit "$JOBS" >/dev/null || true
+  "$CLI" client --socket "$SOCK" --tenant "ghost$ROUND" \
+    --chaos disconnect-mid-frame --submit "$JOBS" >/dev/null || true
+  rc=0
+  "$CLI" client --socket "$SOCK" --tenant "floodme" --chaos flood \
+    --submit "0:1,1:1,2:1,3:1,4:1,5:1,6:1,7:1,8:1,9:1,10:1,11:1" \
+    > "$OUT/flood.last.jsonl" || rc=$?
+  case "$rc" in
+    0) ;;
+    4) SHEDS_SEEN=$((SHEDS_SEEN + 1)) ;;
+    *) echo "serve_soak: flood client exit $rc (want 0 or 4)" >&2; exit 1 ;;
+  esac
+  # A deliberately slowed (but within-deadline) tenant keeps working.
+  # The fault spec matches the exact name, and the goodbye drain frees
+  # it for the next round.
+  "$CLI" client --socket "$SOCK" --tenant "slowpoke" \
+    --submit "0:2,4:1" >/dev/null
+done
+
+# Leave one session open across the restart: no goodbye, so the journal
+# keeps it alive for --resume.
+"$CLI" client --socket "$SOCK" --tenant "resumer" --submit "0:2,3:1" \
+  --no-goodbye > "$OUT/resumer.before.jsonl"
+
+stop_daemon
+
+python3 - "$JOURNAL" "$EVENTS" <<'EOF'
+import json, sys
+journal = [json.loads(l) for l in open(sys.argv[1])]
+assert journal and "calibsched_journal" in journal[0], journal[:1]
+kinds = {e.get("event") for e in journal[1:]}
+assert "hello" in kinds and "job" in kinds and "bye" in kinds, kinds
+events = [json.loads(l) for l in open(sys.argv[2])]
+names = [e["event"] for e in events]
+assert "listen" in names and "drain" in names, set(names)
+assert names[-1] == "shutdown", names[-1]
+print("soak artifacts ok:", len(journal) - 1, "journal entries,",
+      len(events), "flight events")
+EOF
+
+# Resume: the journaled `resumer` session continues where it stopped.
+start_daemon --resume
+"$CLI" client --socket "$SOCK" --tenant "resumer" --reattach \
+  --submit "7:1" > "$OUT/resumer.after.jsonl"
+python3 - "$OUT/resumer.after.jsonl" <<'EOF'
+import json, sys
+lines = [json.loads(l) for l in open(sys.argv[1])]
+decisions = [l for l in lines if "seq" in l]
+assert decisions and decisions[0]["seq"] == 2, lines  # 2 jobs replayed
+stats = [l for l in lines if l.get("state")]
+assert stats and stats[-1]["state"] == "drained", lines
+assert stats[-1].get("violation", "") == "", lines
+print("resume continuation ok: seq", decisions[0]["seq"])
+EOF
+stop_daemon
+
+rm -f "$SOCK"
+echo "serve_soak: ok ($CLEAN_OK clean rounds, $SHEDS_SEEN flood rounds shed)"

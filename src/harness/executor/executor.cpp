@@ -76,6 +76,16 @@ void ignore_sigpipe() {
   (void)installed;
 }
 
+// SIGINT/SIGTERM during a sharded run request a graceful stop (lease
+// freeze + skip-stub journaling + clean fleet shutdown) instead of
+// killing the coordinator mid-journal-write. The handler only sets the
+// flag; the decision loop notices it within one poll tick.
+std::atomic<bool> g_sweep_interrupt{false};
+
+void on_sweep_signal(int /*sig*/) {
+  g_sweep_interrupt.store(true, std::memory_order_release);
+}
+
 // ---- Worker process -------------------------------------------------
 
 // All frames share one pipe, and the heartbeat thread writes
@@ -156,8 +166,7 @@ bool locked_write(Mutex& mutex, int fd, FrameType type,
   const auto read_frame = [&reader, request_fd](Frame& frame) {
     char buf[4096];
     while (!reader.next(frame)) {
-      const ssize_t n = ::read(request_fd, buf, sizeof buf);
-      if (n < 0 && errno == EINTR) continue;
+      const ssize_t n = read_some(request_fd, buf, sizeof buf);
       if (n <= 0) return false;  // coordinator gone
       reader.feed(buf, static_cast<std::size_t>(n));
       if (reader.corrupted()) return false;
@@ -205,11 +214,7 @@ bool locked_write(Mutex& mutex, int fd, FrameType type,
       const MutexLock lock(pipe_mutex);
       const char garbage[12] = {'\x7f', 'G', 'A', 'R',    'B',    'A',
                                 'G',    'E', '!', '\x01', '\x02', '\x03'};
-      ssize_t n = 0;
-      do {
-        n = ::write(response_fd, garbage, sizeof garbage);
-      } while (n < 0 && errno == EINTR);
-      (void)n;
+      (void)write_all(response_fd, garbage, sizeof garbage);
       continue;  // the coordinator will SIGKILL us
     }
     const std::string payload = row_to_json(
@@ -272,6 +277,10 @@ std::uint64_t ms_to_ns(double ms) {
 
 void executor_metrics_warmup() { (void)exec_metrics(); }
 
+void request_sweep_interrupt() {
+  g_sweep_interrupt.store(true, std::memory_order_release);
+}
+
 ShardedRunStats run_sharded_sweep(const SweepEngine& engine,
                                   const SweepOptions& options,
                                   const std::vector<char>& done,
@@ -282,6 +291,21 @@ ShardedRunStats run_sharded_sweep(const SweepEngine& engine,
   const ExecutorMetrics& metrics = exec_metrics();
   const auto worker_count = static_cast<std::size_t>(options.workers);
   metrics.workers.set(options.workers);
+
+  // Graceful-interrupt plumbing: a stale flag from a previous run (or a
+  // pre-run test hook call) must not abort this one before it starts.
+  g_sweep_interrupt.store(false, std::memory_order_release);
+  using SignalHandler = void (*)(int);
+  const SignalHandler old_int = std::signal(SIGINT, on_sweep_signal);
+  const SignalHandler old_term = std::signal(SIGTERM, on_sweep_signal);
+  struct RestoreHandlers {
+    SignalHandler old_int;
+    SignalHandler old_term;
+    ~RestoreHandlers() {
+      (void)std::signal(SIGINT, old_int);
+      (void)std::signal(SIGTERM, old_term);
+    }
+  } restore_handlers{old_int, old_term};
 
   ShardedRunStats stats;
 
@@ -431,6 +455,7 @@ ShardedRunStats run_sharded_sweep(const SweepEngine& engine,
     switch (status) {
       case RunStatus::kCrashed: metrics.cells_crashed.add(); break;
       case RunStatus::kTimeout: metrics.cells_timeout.add(); break;
+      case RunStatus::kSkipped: metrics.cells_skipped.add(); break;
       default: metrics.cells_error.add(); break;
     }
     flight.event(run_ms(), "cell_terminal",
@@ -675,6 +700,34 @@ ShardedRunStats run_sharded_sweep(const SweepEngine& engine,
 
   // ---- Decision loop: dispatch, poll, drain, detect.
   while (outstanding > 0) {
+    // Graceful interrupt: freeze leasing, journal every unresolved cell
+    // as a skipped row (in-flight leases included — their results are
+    // ignored during shutdown drain), then fall through to the clean
+    // fleet shutdown below. A resume re-runs exactly the skipped cells.
+    if (g_sweep_interrupt.load(std::memory_order_acquire)) {
+      stats.interrupted = true;
+      flight.event(run_ms(), "shutdown",
+                   {{"reason", "interrupted"},
+                    {"outstanding", std::to_string(outstanding)}});
+      for (const Delayed& d : delayed) ready_retries.push_back(d.cell);
+      delayed.clear();
+      for (WorkerState& w : workers) {
+        if (!w.alive || w.lease < 0) continue;
+        record_lease_span(w, "interrupted");
+        const auto cell = static_cast<std::size_t>(w.lease);
+        w.lease = -1;
+        finalize_terminal(cell, RunStatus::kSkipped,
+                          "interrupted: lease abandoned at shutdown");
+      }
+      std::size_t cell = 0;
+      bool is_retry = false;
+      while (next_cell(cell, is_retry)) {
+        finalize_terminal(cell, RunStatus::kSkipped,
+                          "interrupted before dispatch");
+      }
+      break;
+    }
+
     const std::uint64_t now = obs::now_ns();
 
     // Promote retries whose backoff has elapsed.
@@ -756,9 +809,8 @@ ShardedRunStats run_sharded_sweep(const SweepEngine& engine,
       fds.push_back(pollfd{workers[i].response_fd, POLLIN, 0});
       fd_worker.push_back(i);
     }
-    const int npoll =
-        ::poll(fds.data(), static_cast<nfds_t>(fds.size()), timeout_ms);
-    if (npoll < 0 && errno != EINTR) {
+    const int npoll = poll_fds(fds.data(), fds.size(), timeout_ms);
+    if (npoll < 0) {
       kill_fleet();
       throw std::runtime_error("executor: poll() failed");
     }
@@ -768,8 +820,7 @@ ShardedRunStats run_sharded_sweep(const SweepEngine& engine,
       WorkerState& w = workers[fd_worker[k]];
       if (!w.alive) continue;
       char buf[65536];
-      const ssize_t n = ::read(w.response_fd, buf, sizeof buf);
-      if (n < 0 && errno == EINTR) continue;
+      const ssize_t n = read_some(w.response_fd, buf, sizeof buf);
       if (n <= 0) {  // EOF or hard error: the worker died
         handle_death(w, DeathCause::kPipe);
         continue;
@@ -863,9 +914,8 @@ ShardedRunStats run_sharded_sweep(const SweepEngine& engine,
     }
     const int timeout_ms =
         static_cast<int>((grace_deadline - now) / 1'000'000ULL) + 1;
-    const int npoll =
-        ::poll(fds.data(), static_cast<nfds_t>(fds.size()), timeout_ms);
-    if (npoll < 0 && errno != EINTR) {
+    const int npoll = poll_fds(fds.data(), fds.size(), timeout_ms);
+    if (npoll < 0) {
       kill_fleet();
       throw std::runtime_error("executor: poll() failed");
     }
@@ -873,8 +923,7 @@ ShardedRunStats run_sharded_sweep(const SweepEngine& engine,
       if (fds[k].revents == 0) continue;
       WorkerState& w = workers[fd_worker[k]];
       char buf[65536];
-      const ssize_t n = ::read(w.response_fd, buf, sizeof buf);
-      if (n < 0 && errno == EINTR) continue;
+      const ssize_t n = read_some(w.response_fd, buf, sizeof buf);
       if (n > 0) {
         w.reader.feed(buf, static_cast<std::size_t>(n));
         Frame frame;

@@ -60,6 +60,10 @@ struct ShardedRunStats {
   obs::Snapshot worker_metrics;   ///< merged final worker snapshots
   std::size_t retries = 0;        ///< leases re-queued after a failure
   std::size_t workers_lost = 0;   ///< workers dead before clean shutdown
+  /// True when the run stopped early on SIGINT/SIGTERM (or the
+  /// request_sweep_interrupt test hook): every unresolved cell was
+  /// journaled as a skipped row and the fleet was shut down cleanly.
+  bool interrupted = false;
   /// Per-worker span chunks shipped over kTrace frames, timestamps
   /// already rebased onto the coordinator clock. Empty unless span
   /// recording (obs::tracer()) was enabled during the run. Feed to
@@ -82,6 +86,14 @@ ShardedRunStats run_sharded_sweep(const SweepEngine& engine,
                                   const std::vector<char>& done,
                                   std::vector<SweepRow>& rows,
                                   SweepJournal* journal);
+
+/// Ask a running run_sharded_sweep to stop gracefully: stop leasing,
+/// journal every unresolved cell as `skipped`, shut the fleet down, and
+/// return with ShardedRunStats::interrupted set. This is exactly what
+/// the coordinator's SIGINT/SIGTERM handlers call; tests call it
+/// directly from another thread to avoid signal plumbing. Safe to call
+/// at any time (a no-op when no sharded run is active).
+void request_sweep_interrupt();
 
 /// Force registration of the executor's parent-side metric handles —
 /// called before the first worker fork for the same reason as

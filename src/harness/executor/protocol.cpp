@@ -1,9 +1,5 @@
 #include "harness/executor/protocol.hpp"
 
-#include <unistd.h>
-
-#include <cerrno>
-#include <cstring>
 #include <iomanip>
 #include <map>
 #include <sstream>
@@ -11,32 +7,10 @@
 #include <utility>
 
 #include "harness/journal.hpp"
-#include "harness/sandbox.hpp"
 #include "obs/json_escape.hpp"
 
 namespace calib::harness {
 namespace {
-
-constexpr std::size_t kHeaderBytes = 12;  // magic + type + length
-
-void put_u32(std::string& out, std::uint32_t value) {
-  out.push_back(static_cast<char>(value & 0xFF));
-  out.push_back(static_cast<char>((value >> 8) & 0xFF));
-  out.push_back(static_cast<char>((value >> 16) & 0xFF));
-  out.push_back(static_cast<char>((value >> 24) & 0xFF));
-}
-
-std::uint32_t get_u32(const char* p) {
-  const auto b = [&](int i) {
-    return static_cast<std::uint32_t>(static_cast<unsigned char>(p[i]));
-  };
-  return b(0) | (b(1) << 8) | (b(2) << 16) | (b(3) << 24);
-}
-
-bool known_type(std::uint32_t type) {
-  return type >= static_cast<std::uint32_t>(FrameType::kLease) &&
-         type <= static_cast<std::uint32_t>(FrameType::kTrace);
-}
 
 // Same deterministic double format as the sweep writers: stable under a
 // parse/re-format cycle, so a snapshot survives the pipe byte-exactly.
@@ -49,72 +23,18 @@ std::string fmt(double value) {
 }  // namespace
 
 std::string encode_frame(FrameType type, std::string_view payload) {
-  if (payload.size() > kMaxFrameBytes) {
-    throw std::runtime_error("executor frame payload too large: " +
-                             std::to_string(payload.size()) + " bytes");
-  }
-  std::string out;
-  out.reserve(kHeaderBytes + payload.size());
-  put_u32(out, kFrameMagic);
-  put_u32(out, static_cast<std::uint32_t>(type));
-  put_u32(out, static_cast<std::uint32_t>(payload.size()));
-  out.append(payload.data(), payload.size());
-  return out;
+  return calib::encode_frame(static_cast<std::uint32_t>(type), payload);
 }
 
 bool write_frame(int fd, FrameType type, std::string_view payload) {
-  const std::string bytes = encode_frame(type, payload);
-  std::size_t written = 0;
-  while (written < bytes.size()) {
-    const ssize_t n =
-        ::write(fd, bytes.data() + written, bytes.size() - written);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    written += static_cast<std::size_t>(n);
-  }
-  return true;
-}
-
-void FrameReader::feed(const char* data, std::size_t n) {
-  if (corrupted_) return;
-  buffer_.append(data, n);
-  decode();
-}
-
-void FrameReader::decode() {
-  while (!corrupted_ && buffer_.size() >= kHeaderBytes) {
-    if (get_u32(buffer_.data()) != kFrameMagic) {
-      corrupted_ = true;
-      error_ = "bad frame magic";
-      return;
-    }
-    const std::uint32_t type = get_u32(buffer_.data() + 4);
-    const std::uint32_t length = get_u32(buffer_.data() + 8);
-    if (!known_type(type)) {
-      corrupted_ = true;
-      error_ = "unknown frame type " + std::to_string(type);
-      return;
-    }
-    if (length > kMaxFrameBytes) {
-      corrupted_ = true;
-      error_ = "oversized frame (" + std::to_string(length) + " bytes)";
-      return;
-    }
-    if (buffer_.size() < kHeaderBytes + length) return;  // partial frame
-    Frame frame;
-    frame.type = static_cast<FrameType>(type);
-    frame.payload = buffer_.substr(kHeaderBytes, length);
-    buffer_.erase(0, kHeaderBytes + length);
-    ready_.push_back(std::move(frame));
-  }
+  return calib::write_frame(fd, static_cast<std::uint32_t>(type), payload);
 }
 
 bool FrameReader::next(Frame& frame) {
-  if (ready_.empty()) return false;
-  frame = std::move(ready_.front());
-  ready_.pop_front();
+  RawFrame raw;
+  if (!raw_.next(raw)) return false;
+  frame.type = static_cast<FrameType>(raw.type);
+  frame.payload = std::move(raw.payload);
   return true;
 }
 

@@ -5,7 +5,7 @@
 // one-shot result pipe (harness/sandbox.hpp), extended with a type word
 // so one stream can carry leases, results, heartbeats, and shutdowns:
 //
-//   magic   u32 LE  kFrameMagic (sandbox.hpp — the single point of truth)
+//   magic   u32 LE  kFrameMagic (util/framing.hpp — the single point of truth)
 //   type    u32 LE  FrameType
 //   length  u32 LE  payload byte count (capped at kMaxFrameBytes)
 //   payload bytes   type-specific, see FrameType
@@ -15,15 +15,20 @@
 // gone haywire, SIGKILLs the process, and re-queues its lease. There is
 // deliberately no resynchronization — inside a corrupted byte stream,
 // "the next frame boundary" is not a well-defined place.
+//
+// The framing itself (header layout, EINTR-safe write loop, the
+// incremental poisoning decoder) lives in util/framing.hpp; this header
+// narrows the shared calib::FrameReader to the executor's FrameType
+// range and adds the executor's payload codecs.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <string>
 #include <string_view>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/framing.hpp"
 
 namespace calib::harness {
 
@@ -65,24 +70,24 @@ struct Frame {
 [[nodiscard]] bool write_frame(int fd, FrameType type,
                                std::string_view payload);
 
-/// Incremental frame decoder for one stream. Feed raw bytes as they
-/// arrive; pop complete frames with next(). Once a malformed header is
-/// seen the reader is poisoned: corrupted() stays true, next() never
-/// yields again, and error() names the reason.
+/// Incremental frame decoder for one executor stream: the shared
+/// calib::FrameReader narrowed to the kLease..kTrace type window. Feed
+/// raw bytes as they arrive; pop complete frames with next(). Once a
+/// malformed header is seen the reader is poisoned: corrupted() stays
+/// true, next() never yields again, and error() names the reason.
 class FrameReader {
  public:
-  void feed(const char* data, std::size_t n);
+  FrameReader()
+      : raw_(static_cast<std::uint32_t>(FrameType::kLease),
+             static_cast<std::uint32_t>(FrameType::kTrace)) {}
+
+  void feed(const char* data, std::size_t n) { raw_.feed(data, n); }
   [[nodiscard]] bool next(Frame& frame);
-  [[nodiscard]] bool corrupted() const { return corrupted_; }
-  [[nodiscard]] const std::string& error() const { return error_; }
+  [[nodiscard]] bool corrupted() const { return raw_.corrupted(); }
+  [[nodiscard]] const std::string& error() const { return raw_.error(); }
 
  private:
-  void decode();
-
-  std::string buffer_;
-  std::deque<Frame> ready_;
-  bool corrupted_ = false;
-  std::string error_;
+  calib::FrameReader raw_;
 };
 
 /// Serialize an obs snapshot for a heartbeat payload. Flat JSON with a

@@ -137,4 +137,56 @@ WorkerFaultPlan parse_worker_faults(const std::string& spec) {
   return plan;
 }
 
+const ServeFault* ServeFaultPlan::match(ServeFault::Kind kind,
+                                        const std::string& tenant) const {
+  for (const ServeFault& fault : faults) {
+    if (fault.kind != kind) continue;
+    if (fault.tenant.empty() || fault.tenant == tenant) return &fault;
+  }
+  return nullptr;
+}
+
+ServeFaultPlan parse_serve_faults(const std::string& spec) {
+  ServeFaultPlan plan;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t comma = spec.find(',', start);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string part = spec.substr(start, comma - start);
+    start = comma + 1;
+    if (part.empty()) continue;
+    const std::size_t at = part.find('@');
+    std::string head = at == std::string::npos ? part : part.substr(0, at);
+    ServeFault fault;
+    if (at != std::string::npos) fault.tenant = part.substr(at + 1);
+    const std::size_t eq = head.find('=');
+    if (eq != std::string::npos) {
+      try {
+        fault.param = std::stoll(head.substr(eq + 1));
+      } catch (const std::exception&) {
+        throw std::runtime_error("serve faults: non-numeric PARAM in '" +
+                                 part + "'");
+      }
+      head = head.substr(0, eq);
+    }
+    if (head == "slow-tenant") {
+      fault.kind = ServeFault::Kind::kSlowTenant;
+      if (fault.param <= 0) fault.param = 50;
+    } else if (head == "flood") {
+      fault.kind = ServeFault::Kind::kFlood;
+      if (fault.param <= 0) fault.param = 100;
+    } else if (head == "disconnect-mid-frame") {
+      fault.kind = ServeFault::Kind::kDisconnectMidFrame;
+    } else if (head == "corrupt-frame") {
+      fault.kind = ServeFault::Kind::kCorruptFrame;
+    } else {
+      throw std::runtime_error(
+          "serve faults: unknown kind '" + head +
+          "' (want slow-tenant|flood|disconnect-mid-frame|corrupt-frame)");
+    }
+    plan.faults.push_back(fault);
+  }
+  return plan;
+}
+
 }  // namespace calib::harness

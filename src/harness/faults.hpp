@@ -105,4 +105,44 @@ struct WorkerFaultPlan {
 /// std::runtime_error on malformed specs.
 [[nodiscard]] WorkerFaultPlan parse_worker_faults(const std::string& spec);
 
+/// One daemon-side fault for `calibsched serve --inject-faults` — the
+/// serve counterpart of WorkerFault. Faults target a tenant by name
+/// ("" = every tenant) and fire on that tenant's decision path, which
+/// is what lets chaos tests drive the daemon's degradation machinery
+/// (watchdog demotion, client-reader poisoning, backpressure) without a
+/// misbehaving network:
+///   slow-tenant          sleep `param` ms inside each decision (drives
+///                        the decision-deadline watchdog)
+///   flood                append `param` redundant kTenantStats frames
+///                        per decision (drives outbound backpressure)
+///   disconnect-mid-frame truncate the next decision frame and close
+///                        the connection (drives client torn-frame
+///                        handling)
+///   corrupt-frame        prepend garbage bytes to the next decision
+///                        (drives client reader poisoning)
+struct ServeFault {
+  enum class Kind { kSlowTenant, kFlood, kDisconnectMidFrame, kCorruptFrame };
+  Kind kind = Kind::kSlowTenant;
+  std::int64_t param = 0;  ///< kind-specific (ms to sleep, frames to flood)
+  std::string tenant;      ///< "" = all tenants
+};
+
+struct ServeFaultPlan {
+  std::vector<ServeFault> faults;
+
+  [[nodiscard]] bool empty() const { return faults.empty(); }
+
+  /// First fault of `kind` matching `tenant` (exact name or the ""
+  /// wildcard); nullptr when none applies.
+  [[nodiscard]] const ServeFault* match(ServeFault::Kind kind,
+                                        const std::string& tenant) const;
+};
+
+/// Parse the CLI spec `kind[=PARAM][@TENANT][,...]` with kinds
+/// slow-tenant | flood | disconnect-mid-frame | corrupt-frame, e.g.
+/// "slow-tenant=50@t1,flood=100" (sleep 50 ms in every t1 decision;
+/// flood every tenant with 100 junk frames per decision). Throws
+/// std::runtime_error on malformed specs.
+[[nodiscard]] ServeFaultPlan parse_serve_faults(const std::string& spec);
+
 }  // namespace calib::harness

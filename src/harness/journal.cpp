@@ -10,6 +10,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/framing.hpp"
+
 namespace calib::harness {
 namespace {
 
@@ -159,16 +161,9 @@ SweepJournal::~SweepJournal() {
 void SweepJournal::append(const std::string& line) {
   const std::string out = line + "\n";
   const MutexLock lock(mutex_);
-  std::size_t written = 0;
-  while (written < out.size()) {
-    const ssize_t n =
-        ::write(fd_, out.data() + written, out.size() - written);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      throw std::runtime_error(std::string("journal: write failed: ") +
-                               std::strerror(errno));
-    }
-    written += static_cast<std::size_t>(n);
+  if (!write_all(fd_, out.data(), out.size())) {
+    throw std::runtime_error(std::string("journal: write failed: ") +
+                             std::strerror(errno));
   }
   if (::fsync(fd_) != 0) {
     throw std::runtime_error(std::string("journal: fsync failed: ") +

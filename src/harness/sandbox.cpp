@@ -1,6 +1,5 @@
 #include "harness/sandbox.hpp"
 
-#include <poll.h>
 #include <signal.h>
 #include <sys/mman.h>
 #include <sys/resource.h>
@@ -30,23 +29,10 @@ Mutex& fork_mutex() {
 
 // calib-lint: signal-safe-begin
 // Runs in the forked child between fork() and _exit(): only
-// async-signal-safe calls (write(2), retry on EINTR) — no heap, no
-// stdio, no locks. Checked by tools/lint/calib_lint.py (rule
-// fork-child-signal-safety).
-bool write_all(int fd, const void* data, std::size_t size) {
-  const char* bytes = static_cast<const char*>(data);
-  std::size_t written = 0;
-  while (written < size) {
-    const ssize_t n = ::write(fd, bytes + written, size - written);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    written += static_cast<std::size_t>(n);
-  }
-  return true;
-}
-
+// async-signal-safe calls (calib::write_all — a write(2) loop with
+// EINTR retry, no heap, no stdio, no locks). Checked by
+// tools/lint/calib_lint.py (rule fork-child-signal-safety).
+//
 // The child's terminal path: ship the pre-serialized frame and die.
 // Nothing here may allocate, lock, use stdio, or run atexit handlers —
 // the child of a multi-threaded fork may hold no heap/stdio locks, and
@@ -216,18 +202,11 @@ SandboxOutcome run_in_sandbox(const std::function<std::string()>& job,
         timeout_ms = static_cast<int>(remaining) + 1;
       }
     }
-    pollfd poll_fd{pipe_fds[0], POLLIN, 0};
-    const int ready = ::poll(&poll_fd, 1, timeout_ms);
-    if (ready < 0) {
-      if (errno == EINTR) continue;
-      break;
-    }
+    const int ready = wait_readable(pipe_fds[0], timeout_ms);
+    if (ready < 0) break;
     if (ready == 0) continue;  // deadline check at loop top
-    const ssize_t n = ::read(pipe_fds[0], buffer, sizeof buffer);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      break;
-    }
+    const ssize_t n = read_some(pipe_fds[0], buffer, sizeof buffer);
+    if (n < 0) break;
     if (n == 0) {
       eof = true;
       break;

@@ -31,6 +31,8 @@
 #include <functional>
 #include <string>
 
+#include "util/framing.hpp"
+
 namespace calib::harness {
 
 struct SandboxLimits {
@@ -66,17 +68,6 @@ struct SandboxOutcome {
 /// "SIGSEGV", "SIGABRT", ...; falls back to "signal N" for numbers this
 /// table doesn't name.
 [[nodiscard]] std::string signal_name(int sig);
-
-/// Payloads above this are a protocol error (a sweep row is < 4 KiB; a
-/// frame this large means the child went haywire, not that rows grew).
-inline constexpr std::uint32_t kMaxFrameBytes = 16u << 20;
-
-/// The IPC frame magic ("BLAC" on disk, "CALB" in register order). This
-/// header is the single point of truth for the literal: every framed
-/// protocol (the sandbox result pipe today, the planned `calibsched
-/// serve` stream) must reference kFrameMagic rather than repeat the
-/// constant — enforced by tools/lint/calib_lint.py (rule ipc-magic).
-inline constexpr std::uint32_t kFrameMagic = 0x43414C42u;
 
 /// Force registration of the sandbox's metric handles now. The sweep
 /// engine calls this before dispatching sandboxed cells so no fork can

@@ -670,6 +670,7 @@ SweepReport SweepEngine::run(const SweepOptions& options_in) {
     report.timeline = std::move(stats.timeline);
     report.timing.retries = stats.retries;
     report.timing.workers_lost = stats.workers_lost;
+    report.interrupted = stats.interrupted;
   } else if (grid_.threads == 0) {
     report.timing.threads = global_pool().size();
     global_pool().parallel_for(cells, body);

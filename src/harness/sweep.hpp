@@ -234,6 +234,10 @@ struct SweepReport {
   /// Heartbeat metrics folded into per-worker delta samples (empty for
   /// in-process sweeps); exported by the CLI's --metrics-timeline.
   obs::Timeline timeline;
+  /// True when a sharded run stopped early on SIGINT/SIGTERM: the
+  /// unresolved cells are journaled skipped rows, re-runnable with
+  /// --resume --retry-failed.
+  bool interrupted = false;
 
   [[nodiscard]] SweepStatusCounts status_counts() const;
 

@@ -84,7 +84,15 @@ class OnlineDriver {
   [[nodiscard]] Schedule realized_schedule() const;
 
   /// G * #calibrations + weighted flow of what has been placed so far.
+  /// CHECKs that every revealed job is placed — call after drain().
   [[nodiscard]] Cost online_cost() const;
+
+  /// The same objective mid-run: the realized-prefix cost with jobs
+  /// still waiting simply not counted yet. The serve daemon reports
+  /// this per decision; it converges to online_cost() at drain.
+  [[nodiscard]] Cost running_cost() const {
+    return G_ * calendar_.count() + placed_flow_;
+  }
 
   /// Flow of jobs in the latest completed interval; -1 if none yet.
   [[nodiscard]] Cost last_interval_flow() const;

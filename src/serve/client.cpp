@@ -1,0 +1,285 @@
+#include "serve/client.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <ostream>
+#include <stdexcept>
+#include <thread>
+
+#include "obs/json_escape.hpp"
+#include "obs/trace.hpp"
+#include "serve/io.hpp"
+#include "util/framing.hpp"
+
+namespace calib::serve {
+namespace {
+
+/// Blocking framed read with a deadline: pump the socket into `reader`
+/// until a frame pops, EOF, corruption, or `deadline_ms` of wall time
+/// passes. Returns false with *why set on any failure.
+bool read_reply(int fd, FrameReader& reader, double deadline_ms,
+                RawFrame* frame, std::string* why) {
+  const std::uint64_t start_ns = obs::now_ns();
+  while (true) {
+    if (reader.next(*frame)) return true;
+    if (reader.corrupted()) {
+      *why = "corrupt reply stream: " + reader.error();
+      return false;
+    }
+    const double elapsed_ms =
+        static_cast<double>(obs::now_ns() - start_ns) * 1e-6;
+    if (elapsed_ms >= deadline_ms) {
+      *why = "timed out waiting for a reply";
+      return false;
+    }
+    const int remaining =
+        static_cast<int>(deadline_ms - elapsed_ms) + 1;
+    const int ready = wait_readable(fd, std::min(remaining, 100));
+    if (ready < 0) {
+      *why = "poll failed";
+      return false;
+    }
+    if (ready == 0) continue;
+    char buf[4096];
+    const ssize_t n = read_some(fd, buf, sizeof buf);
+    if (n == 0) {
+      *why = "daemon closed the connection";
+      return false;
+    }
+    if (n < 0) {
+      *why = "read failed";
+      return false;
+    }
+    reader.feed(buf, static_cast<std::size_t>(n));
+  }
+}
+
+void print_decision(std::ostream* out, const Decision& decision) {
+  if (out == nullptr) return;
+  *out << "{\"seq\":" << decision.seq << ",\"now\":" << decision.now
+       << ",\"cost\":" << decision.cost << ",\"events\":\""
+       << obs::json_escape(decision.events) << "\"}\n";
+  out->flush();
+}
+
+void print_error(std::ostream* out, const ErrorInfo& error) {
+  if (out == nullptr) return;
+  *out << "{\"error\":\"" << obs::json_escape(error.code)
+       << "\",\"detail\":\"" << obs::json_escape(error.detail) << '"';
+  if (error.retry_after_ms > 0) {
+    *out << ",\"retry_after_ms\":" << error.retry_after_ms;
+  }
+  *out << "}\n";
+  out->flush();
+}
+
+void print_stats(std::ostream* out, const TenantStats& stats) {
+  if (out == nullptr) return;
+  *out << "{\"tenant\":\"" << obs::json_escape(stats.tenant)
+       << "\",\"state\":\"" << obs::json_escape(stats.state)
+       << "\",\"jobs\":" << stats.jobs << ",\"placed\":" << stats.placed
+       << ",\"calibrations\":" << stats.calibrations
+       << ",\"cost\":" << stats.cost
+       << ",\"steps_used\":" << stats.steps_used << ",\"violation\":\""
+       << obs::json_escape(stats.violation) << "\"}\n";
+  out->flush();
+}
+
+}  // namespace
+
+ChaosMode parse_chaos_mode(const std::string& name) {
+  if (name.empty() || name == "none") return ChaosMode::kNone;
+  if (name == "flood") return ChaosMode::kFlood;
+  if (name == "disconnect-mid-frame") return ChaosMode::kDisconnect;
+  if (name == "corrupt-frame") return ChaosMode::kCorrupt;
+  if (name == "slow") return ChaosMode::kSlow;
+  throw std::runtime_error(
+      "client: unknown chaos mode '" + name +
+      "' (want none|flood|disconnect-mid-frame|corrupt-frame|slow)");
+}
+
+ClientReport run_client(const ClientOptions& options) {
+  ClientReport report;
+  const auto fail = [&](int code, const std::string& why) {
+    report.exit_code = code;
+    report.last_error = why;
+    if (options.log != nullptr) {
+      *options.log << "client: " << why << '\n';
+      options.log->flush();
+    }
+    return report;
+  };
+
+  std::string error;
+  int fd = -1;
+  if (!options.socket_path.empty()) {
+    fd = connect_unix(options.socket_path, &error);
+  } else if (options.tcp_port >= 0) {
+    fd = connect_tcp(options.tcp_port, &error);
+  } else {
+    return fail(1, "no endpoint (need a socket path or TCP port)");
+  }
+  if (fd < 0) return fail(1, "connect failed: " + error);
+
+  FrameReader reader = make_serve_reader();
+  RawFrame reply;
+  std::string why;
+  const auto send = [&](ServeFrame type, const std::string& payload) {
+    const std::string bytes = encode_serve_frame(type, payload);
+    return write_all(fd, bytes.data(), bytes.size());
+  };
+
+  // ---- Hello handshake.
+  if (!send(ServeFrame::kHello, encode_hello(options.hello))) {
+    ::close(fd);
+    return fail(2, "hello write failed");
+  }
+  if (!read_reply(fd, reader, options.reply_timeout_ms, &reply, &why)) {
+    ::close(fd);
+    return fail(2, "hello: " + why);
+  }
+  if (static_cast<ServeFrame>(reply.type) == ServeFrame::kError) {
+    const ErrorInfo info = decode_error(reply.payload);
+    print_error(options.out, info);
+    ::close(fd);
+    return fail(4, "hello rejected: " + info.code + ": " + info.detail);
+  }
+  if (static_cast<ServeFrame>(reply.type) != ServeFrame::kHello) {
+    ::close(fd);
+    return fail(2, "hello: unexpected reply frame");
+  }
+
+  // ---- Chaos preambles that never reach the submit loop.
+  if (options.chaos == ChaosMode::kDisconnect) {
+    const SubmitJob job =
+        options.jobs.empty() ? SubmitJob{} : options.jobs.front();
+    const std::string bytes =
+        encode_serve_frame(ServeFrame::kSubmitJob, encode_submit(job));
+    (void)write_all(fd, bytes.data(), bytes.size() / 2);
+    ::close(fd);
+    return report;  // exit 0: the chaos client did exactly its job
+  }
+  if (options.chaos == ChaosMode::kCorrupt) {
+    static const char garbage[] = "GARBAGE-NOT-A-FRAME-0123456789abcdef";
+    (void)write_all(fd, garbage, sizeof garbage - 1);
+    // The daemon must poison the stream and drop us; observing the
+    // close (EOF / reset) is the success condition.
+    char buf[256];
+    while (read_some(fd, buf, sizeof buf) > 0) {
+    }
+    ::close(fd);
+    return report;
+  }
+
+  // ---- Submit loop.
+  const auto handle_reply = [&](const RawFrame& frame) {
+    switch (static_cast<ServeFrame>(frame.type)) {
+      case ServeFrame::kDecision: {
+        ++report.decisions;
+        print_decision(options.out, decode_decision(frame.payload));
+        return true;
+      }
+      case ServeFrame::kError: {
+        ++report.errors;
+        const ErrorInfo info = decode_error(frame.payload);
+        if (info.code == "RETRY_AFTER") ++report.sheds;
+        print_error(options.out, info);
+        report.last_error = info.code + ": " + info.detail;
+        return true;
+      }
+      case ServeFrame::kTenantStats: {
+        // Mid-stream stats (e.g. the flood fault) are printed and
+        // counted as neither decision nor error.
+        report.final_stats = decode_stats(frame.payload);
+        report.got_stats = true;
+        print_stats(options.out, report.final_stats);
+        return true;
+      }
+      default:
+        return false;
+    }
+  };
+
+  if (options.chaos == ChaosMode::kFlood) {
+    // Fire everything without reading a single reply: the daemon's
+    // per-tenant pending budget and outbound caps take the strain.
+    for (const SubmitJob& job : options.jobs) {
+      if (!send(ServeFrame::kSubmitJob, encode_submit(job))) {
+        ::close(fd);
+        return fail(2, "flood write failed");
+      }
+    }
+    std::size_t outstanding = options.jobs.size();
+    while (outstanding > 0) {
+      if (!read_reply(fd, reader, options.reply_timeout_ms, &reply, &why)) {
+        ::close(fd);
+        return fail(2, "flood drain: " + why);
+      }
+      const ServeFrame type = static_cast<ServeFrame>(reply.type);
+      if (!handle_reply(reply)) {
+        ::close(fd);
+        return fail(2, "flood drain: unexpected frame");
+      }
+      if (type == ServeFrame::kDecision || type == ServeFrame::kError) {
+        --outstanding;
+      }
+    }
+  } else {
+    for (const SubmitJob& job : options.jobs) {
+      if (options.chaos == ChaosMode::kSlow && options.chaos_param > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(options.chaos_param));
+      }
+      if (!send(ServeFrame::kSubmitJob, encode_submit(job))) {
+        ::close(fd);
+        return fail(2, "submit write failed");
+      }
+      while (true) {
+        if (!read_reply(fd, reader, options.reply_timeout_ms, &reply,
+                        &why)) {
+          ::close(fd);
+          return fail(2, "submit: " + why);
+        }
+        const ServeFrame type = static_cast<ServeFrame>(reply.type);
+        if (!handle_reply(reply)) {
+          ::close(fd);
+          return fail(2, "submit: unexpected frame");
+        }
+        if (type == ServeFrame::kDecision || type == ServeFrame::kError) {
+          break;
+        }
+      }
+    }
+  }
+
+  // ---- Orderly close.
+  if (options.goodbye) {
+    if (!send(ServeFrame::kGoodbye, "")) {
+      ::close(fd);
+      return fail(2, "goodbye write failed");
+    }
+    bool saw_goodbye = false;
+    while (!saw_goodbye) {
+      if (!read_reply(fd, reader, options.reply_timeout_ms, &reply, &why)) {
+        ::close(fd);
+        return fail(2, "goodbye: " + why);
+      }
+      const ServeFrame type = static_cast<ServeFrame>(reply.type);
+      if (type == ServeFrame::kGoodbye) {
+        saw_goodbye = true;
+      } else if (!handle_reply(reply)) {
+        ::close(fd);
+        return fail(2, "goodbye: unexpected frame");
+      }
+    }
+  }
+  ::close(fd);
+  if (report.exit_code == 0 && report.errors > 0) {
+    report.exit_code = 4;
+  }
+  return report;
+}
+
+}  // namespace calib::serve

@@ -1,0 +1,68 @@
+// Blocking client for the `calibsched serve` daemon, doubling as the
+// chaos client the soak tests drive.
+//
+// The well-behaved path is a plain request/response loop: hello, then
+// one kSubmitJob per job with the daemon's reply (kDecision or kError)
+// printed as one JSONL line, then kGoodbye and the final kTenantStats.
+// Chaos modes deliberately misbehave on the wire — flooding without
+// reading, disconnecting mid-frame, sending garbage — so the daemon's
+// robustness envelope (shed, poison, reap) can be exercised end to end
+// from outside the process.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hpp"
+
+namespace calib::serve {
+
+/// How the client misbehaves. kNone is the honest request/response
+/// loop; every other mode violates the protocol or its pacing on
+/// purpose.
+enum class ChaosMode {
+  kNone,
+  kFlood,      ///< fire all submits without reading, then drain replies
+  kDisconnect, ///< send half a submit frame, then close abruptly
+  kCorrupt,    ///< send garbage bytes instead of a valid frame
+  kSlow,       ///< sleep `chaos_param` ms between submits
+};
+
+/// Parse "", "flood", "disconnect-mid-frame", "corrupt-frame", "slow".
+/// Throws std::runtime_error on anything else.
+[[nodiscard]] ChaosMode parse_chaos_mode(const std::string& name);
+
+struct ClientOptions {
+  std::string socket_path;  ///< Unix path (preferred when non-empty)
+  int tcp_port = -1;        ///< loopback TCP port (used if no socket path)
+  HelloRequest hello;
+  std::vector<SubmitJob> jobs;
+  bool goodbye = true;  ///< send kGoodbye and wait for final stats
+  ChaosMode chaos = ChaosMode::kNone;
+  std::int64_t chaos_param = 0;  ///< kSlow: ms between submits
+  std::ostream* out = nullptr;   ///< JSONL decision stream (optional)
+  std::ostream* log = nullptr;   ///< human-readable errors (optional)
+  double reply_timeout_ms = 10000.0;  ///< per-reply read deadline
+};
+
+/// What happened, for both the CLI exit code and the tests.
+struct ClientReport {
+  /// 0 = clean run, 1 = connect/startup failure, 2 = protocol failure
+  /// (EOF, corrupt stream, reply timeout), 4 = at least one kError
+  /// reply (sheds included) but the stream itself stayed well-formed.
+  int exit_code = 0;
+  std::uint64_t decisions = 0;
+  std::uint64_t errors = 0;  ///< kError replies (RETRY_AFTER sheds included)
+  std::uint64_t sheds = 0;   ///< the RETRY_AFTER subset of `errors`
+  std::string last_error;
+  bool got_stats = false;
+  TenantStats final_stats;  ///< valid when got_stats
+};
+
+/// Run one client session to completion. Never throws; failures are
+/// reported through ClientReport.
+[[nodiscard]] ClientReport run_client(const ClientOptions& options);
+
+}  // namespace calib::serve

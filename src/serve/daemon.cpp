@@ -1,0 +1,856 @@
+#include "serve/daemon.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <deque>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "harness/executor/recorder.hpp"
+#include "harness/journal.hpp"
+#include "obs/json_escape.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "serve/io.hpp"
+#include "util/framing.hpp"
+#include "util/sync.hpp"
+#include "util/thread_pool.hpp"
+
+namespace calib::serve {
+namespace {
+
+using harness::FlightRecorder;
+using harness::ServeFault;
+using harness::SweepJournal;
+
+/// Journal identity for serve session journals: resuming a sweep
+/// journal (or vice versa) must fail the fingerprint check.
+constexpr std::uint64_t kServeJournalFingerprint = 0x53455256454A4C31ull;
+
+// Handle bundle resolved once (serve_metrics_warmup) so no fork or
+// contended first-use can land inside the registry mutex.
+struct ServeMetrics {
+  obs::Counter conns_opened = obs::metrics().counter("serve.conns_opened");
+  obs::Counter conns_dropped = obs::metrics().counter("serve.conns_dropped");
+  obs::Counter sessions_opened =
+      obs::metrics().counter("serve.sessions_opened");
+  obs::Counter submits = obs::metrics().counter("serve.submits");
+  obs::Counter sheds = obs::metrics().counter("serve.sheds");
+  obs::Counter degraded = obs::metrics().counter("serve.degraded");
+  obs::Counter late_decisions =
+      obs::metrics().counter("serve.late_decisions");
+  obs::Counter journal_replays =
+      obs::metrics().counter("serve.journal_replays");
+  obs::Gauge sessions_active = obs::metrics().gauge("serve.sessions_active");
+  obs::Gauge conns_active = obs::metrics().gauge("serve.conns_active");
+  obs::Histogram decision_us = obs::metrics().histogram("serve.decision_us");
+};
+
+ServeMetrics& metrics_bundle() {
+  static ServeMetrics metrics;
+  return metrics;
+}
+
+void ignore_sigpipe() {
+  static const bool installed = [] {
+    (void)std::signal(SIGPIPE, SIG_IGN);
+    return true;
+  }();
+  (void)installed;
+}
+
+// The SIGTERM/SIGINT disposition: poke the active daemon's wake pipe.
+// write_all is async-signal-safe; the loop translates the 'S' byte
+// into a graceful drain.
+std::atomic<int> g_signal_wake_fd{-1};
+
+void on_terminate_signal(int /*sig*/) {
+  const int fd = g_signal_wake_fd.load(std::memory_order_relaxed);
+  if (fd >= 0) (void)write_all(fd, "S", 1);
+}
+
+std::string hello_journal_line(const HelloRequest& hello) {
+  return "{\"event\":\"hello\",\"tenant\":\"" +
+         obs::json_escape(hello.tenant) + "\",\"policy\":\"" +
+         obs::json_escape(hello.policy) +
+         "\",\"T\":" + std::to_string(hello.T) +
+         ",\"machines\":" + std::to_string(hello.machines) +
+         ",\"G\":" + std::to_string(hello.G) +
+         ",\"seed\":" + std::to_string(hello.seed) +
+         ",\"period\":" + std::to_string(hello.period) + "}";
+}
+
+std::string job_journal_line(const std::string& tenant, const SubmitJob& job) {
+  return "{\"event\":\"job\",\"tenant\":\"" + obs::json_escape(tenant) +
+         "\",\"release\":" + std::to_string(job.release) +
+         ",\"weight\":" + std::to_string(job.weight) + "}";
+}
+
+std::string bye_journal_line(const std::string& tenant) {
+  return "{\"event\":\"bye\",\"tenant\":\"" + obs::json_escape(tenant) +
+         "\"}";
+}
+
+/// One decision's (or drain's) result, handed from a pool worker back
+/// to the event loop.
+struct Completion {
+  std::uint64_t conn_id = 0;
+  std::string tenant;
+  std::vector<std::pair<ServeFrame, std::string>> frames;
+  std::string journal_line;  ///< appended before the frames are sent
+  bool demote = false;       ///< budget/internal failure: degrade tenant
+  bool session_done = false; ///< goodbye drain: retire the session
+  double started_ms = 0.0;
+};
+
+/// Daemon-side per-session dispatch state (the session itself is in
+/// serve/session.hpp; this is the loop's bookkeeping around it).
+struct SessionRuntime {
+  std::shared_ptr<TenantSession> session;
+  std::deque<SubmitJob> queue;  ///< admitted, not yet dispatched
+  bool busy = false;            ///< one in-flight pool task
+  bool goodbye = false;         ///< drain requested by the client
+  bool goodbye_dispatched = false;
+  std::uint64_t conn_id = 0;  ///< bound connection (0 = detached)
+};
+
+}  // namespace
+
+void serve_metrics_warmup() { (void)metrics_bundle(); }
+
+ServeDaemon::ServeDaemon(ServeOptions options)
+    : options_(std::move(options)) {}
+
+ServeDaemon::~ServeDaemon() = default;
+
+void ServeDaemon::stop() {
+  stop_requested_.store(true, std::memory_order_release);
+  const MutexLock lock(wake_mutex_);
+  if (wake_fd_ >= 0) (void)write_all(wake_fd_, "S", 1);
+}
+
+bool ServeDaemon::wait_ready(double timeout_ms) const {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double, std::milli>(timeout_ms);
+  while (!ready_.load(std::memory_order_acquire)) {
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
+}
+
+int ServeDaemon::run() {
+  ignore_sigpipe();
+  serve_metrics_warmup();
+  ServeMetrics& metrics = metrics_bundle();
+
+  FlightRecorder flight(options_.events);
+  const std::uint64_t start_ns = obs::now_ns();
+  const auto run_ms = [start_ns] {
+    return static_cast<double>(obs::now_ns() - start_ns) * 1e-6;
+  };
+  const auto note = [this](const std::string& line) {
+    if (options_.log != nullptr) {
+      *options_.log << "serve: " << line << '\n';
+      options_.log->flush();
+    }
+  };
+
+  // ---- Journal (open before listeners: a bad journal is a startup
+  // failure, not a half-up daemon).
+  std::unique_ptr<SweepJournal> journal;
+  if (!options_.journal_path.empty()) {
+    try {
+      journal = std::make_unique<SweepJournal>(
+          options_.journal_path, kServeJournalFingerprint, /*cells=*/0,
+          options_.resume);
+    } catch (const std::exception& e) {
+      note(std::string("journal open failed: ") + e.what());
+      return 1;
+    }
+  }
+
+  // ---- Session table, restored from the journal on --resume. Replay
+  // runs the exact submit path, so a restored session continues
+  // byte-identically from where the journal left off.
+  std::map<std::string, SessionRuntime> tenants;
+  if (journal != nullptr && options_.resume) {
+    for (const auto& entry : journal->entries()) {
+      const auto event = entry.find("event");
+      if (event == entry.end()) continue;
+      try {
+        if (event->second == "hello") {
+          HelloRequest hello;
+          hello.tenant = entry.at("tenant");
+          hello.policy = entry.at("policy");
+          hello.T = std::stoll(entry.at("T"));
+          hello.machines = static_cast<int>(std::stol(entry.at("machines")));
+          hello.G = std::stoll(entry.at("G"));
+          hello.seed = std::stoull(entry.at("seed"));
+          hello.period = std::stoll(entry.at("period"));
+          SessionRuntime rt;
+          rt.session =
+              std::make_shared<TenantSession>(hello, options_.limits);
+          tenants.insert_or_assign(hello.tenant, std::move(rt));
+        } else if (event->second == "job") {
+          const auto it = tenants.find(entry.at("tenant"));
+          if (it == tenants.end()) continue;  // torn journal tail
+          SubmitJob job;
+          job.release = std::stoll(entry.at("release"));
+          job.weight = std::stoll(entry.at("weight"));
+          it->second.session->replay(job);
+          metrics.journal_replays.add();
+        } else if (event->second == "bye") {
+          tenants.erase(entry.at("tenant"));
+        }
+      } catch (const std::exception& e) {
+        note(std::string("journal replay: skipping entry: ") + e.what());
+      }
+    }
+    note("resumed " + std::to_string(tenants.size()) + " session(s)");
+    flight.event(run_ms(), "resume",
+                 {{"sessions", std::to_string(tenants.size())}});
+  }
+  metrics.sessions_active.set(static_cast<std::int64_t>(tenants.size()));
+
+  // ---- Listeners.
+  std::vector<int> listeners;
+  std::string error;
+  if (!options_.socket_path.empty()) {
+    const int fd = listen_unix(options_.socket_path, &error);
+    if (fd < 0) {
+      note("listen failed: " + error);
+      return 1;
+    }
+    listeners.push_back(fd);
+    flight.event(run_ms(), "listen", {{"unix", options_.socket_path}});
+  }
+  if (options_.tcp_port >= 0) {
+    int bound = -1;
+    const int fd = listen_tcp(options_.tcp_port, &bound, &error);
+    if (fd < 0) {
+      note("listen failed: " + error);
+      for (const int l : listeners) ::close(l);
+      return 1;
+    }
+    listeners.push_back(fd);
+    bound_tcp_port_.store(bound, std::memory_order_release);
+    flight.event(run_ms(), "listen", {{"tcp", std::to_string(bound)}});
+  }
+  if (listeners.empty()) {
+    note("no listener configured (need --socket or --tcp)");
+    return 1;
+  }
+
+  // ---- Wake pipe: completions and signals poke the poll loop.
+  int wake[2] = {-1, -1};
+  if (::pipe(wake) != 0) {
+    note("pipe failed");
+    for (const int l : listeners) ::close(l);
+    return 1;
+  }
+  {
+    const MutexLock lock(wake_mutex_);
+    wake_fd_ = wake[1];
+  }
+  g_signal_wake_fd.store(wake[1], std::memory_order_release);
+  using SignalHandler = void (*)(int);
+  const SignalHandler old_term = std::signal(SIGTERM, on_terminate_signal);
+  const SignalHandler old_int = std::signal(SIGINT, on_terminate_signal);
+
+  // Completion queue (locals precede the pool so worker tasks can hold
+  // references; the pool is reset before any of this goes away).
+  Mutex completion_mutex;
+  std::vector<Completion> completions;
+  const int wake_wr = wake[1];
+  auto pool = std::make_unique<ThreadPool>(options_.threads);
+
+  std::map<std::uint64_t, Connection> conns;
+  std::uint64_t next_conn_id = 1;
+  bool draining = false;
+  double drain_deadline_ms = 0.0;
+
+  // ---- Helpers (event-loop thread only). --------------------------
+
+  const auto enqueue = [&](Connection& conn, ServeFrame type,
+                           const std::string& payload) {
+    if (conn.dead) return;
+    conn.outbound += encode_serve_frame(type, payload);
+    if (conn.outbound.size() > options_.outbound_hard_cap) {
+      metrics.conns_dropped.add();
+      flight.event(run_ms(), "conn_drop", {{"why", "outbound_hard_cap"}});
+      close_connection(conn);
+    }
+  };
+
+  const auto shed = [&](Connection& conn, const std::string& detail,
+                        std::int64_t retry_after_ms) {
+    metrics.sheds.add();
+    flight.event(run_ms(), "shed", {{"tenant", conn.tenant}});
+    enqueue(conn, ServeFrame::kError,
+            encode_error({"RETRY_AFTER", detail, retry_after_ms}));
+  };
+
+  const auto dispatch_next = [&](const std::string& tenant) {
+    const auto it = tenants.find(tenant);
+    if (it == tenants.end()) return;
+    SessionRuntime& rt = it->second;
+    if (rt.busy) return;
+    if (!rt.queue.empty()) {
+      const SubmitJob job = rt.queue.front();
+      rt.queue.pop_front();
+      rt.busy = true;
+      const double started = run_ms();
+      rt.session->busy_since_ms.store(started, std::memory_order_release);
+      std::shared_ptr<TenantSession> session = rt.session;
+      const std::uint64_t conn_id = rt.conn_id;
+      const ServeFault* slow =
+          options_.faults.match(ServeFault::Kind::kSlowTenant, tenant);
+      const std::int64_t slow_ms = slow != nullptr ? slow->param : 0;
+      pool->submit([session, job, conn_id, tenant, started, slow_ms,
+                    &completion_mutex, &completions, wake_wr] {
+        if (slow_ms > 0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(slow_ms));
+        }
+        Completion c;
+        c.conn_id = conn_id;
+        c.tenant = tenant;
+        c.started_ms = started;
+        try {
+          const Decision decision = session->submit(job);
+          c.frames.emplace_back(ServeFrame::kDecision,
+                                encode_decision(decision));
+          c.journal_line = job_journal_line(tenant, job);
+        } catch (const ServeError& e) {
+          c.frames.emplace_back(
+              ServeFrame::kError,
+              encode_error({e.code(), e.what(), e.retry_after_ms()}));
+        } catch (const BudgetExceeded& e) {
+          c.demote = true;
+          c.frames.emplace_back(ServeFrame::kError,
+                                encode_error({"BUDGET_EXCEEDED", e.what(), 0}));
+        } catch (const std::exception& e) {
+          c.demote = true;
+          c.frames.emplace_back(ServeFrame::kError,
+                                encode_error({"INTERNAL", e.what(), 0}));
+        }
+        {
+          const MutexLock lock(completion_mutex);
+          completions.push_back(std::move(c));
+        }
+        (void)write_all(wake_wr, "C", 1);
+      });
+      return;
+    }
+    if (rt.goodbye && !rt.goodbye_dispatched) {
+      rt.goodbye_dispatched = true;
+      rt.busy = true;
+      const double started = run_ms();
+      rt.session->busy_since_ms.store(started, std::memory_order_release);
+      std::shared_ptr<TenantSession> session = rt.session;
+      const std::uint64_t conn_id = rt.conn_id;
+      pool->submit([session, conn_id, tenant, started, &completion_mutex,
+                    &completions, wake_wr] {
+        Completion c;
+        c.conn_id = conn_id;
+        c.tenant = tenant;
+        c.started_ms = started;
+        c.session_done = true;
+        const TenantStats stats = session->drain();  // never throws
+        c.frames.emplace_back(ServeFrame::kTenantStats, encode_stats(stats));
+        c.frames.emplace_back(ServeFrame::kGoodbye, "");
+        c.journal_line = bye_journal_line(tenant);
+        {
+          const MutexLock lock(completion_mutex);
+          completions.push_back(std::move(c));
+        }
+        (void)write_all(wake_wr, "C", 1);
+      });
+    }
+  };
+
+  // Deliver one completion's frames, applying delivery-side fault
+  // injection (disconnect-mid-frame, corrupt-frame, flood).
+  const auto deliver = [&](Connection& conn, Completion& c,
+                           SessionRuntime* rt) {
+    bool has_decision = false;
+    for (const auto& [type, payload] : c.frames) {
+      if (type == ServeFrame::kDecision) has_decision = true;
+    }
+    if (has_decision && !conn.fault_fired) {
+      if (const ServeFault* f = options_.faults.match(
+              ServeFault::Kind::kDisconnectMidFrame, c.tenant)) {
+        (void)f;
+        conn.fault_fired = true;
+        const std::string bytes =
+            encode_serve_frame(c.frames.front().first, c.frames.front().second);
+        conn.outbound += bytes.substr(0, bytes.size() / 2);
+        conn.want_close = true;
+        flight.event(run_ms(), "fault",
+                     {{"kind", "disconnect-mid-frame"}, {"tenant", c.tenant}});
+        return;
+      }
+      if (options_.faults.match(ServeFault::Kind::kCorruptFrame, c.tenant) !=
+          nullptr) {
+        conn.fault_fired = true;
+        conn.outbound += "\x7fGARBAGE!\x01\x02\x03";
+        flight.event(run_ms(), "fault",
+                     {{"kind", "corrupt-frame"}, {"tenant", c.tenant}});
+      }
+    }
+    for (const auto& [type, payload] : c.frames) {
+      enqueue(conn, type, payload);
+    }
+    if (has_decision && rt != nullptr) {
+      if (const ServeFault* f =
+              options_.faults.match(ServeFault::Kind::kFlood, c.tenant)) {
+        const std::string stats = encode_stats(rt->session->stats());
+        for (std::int64_t i = 0; i < f->param && !conn.dead; ++i) {
+          enqueue(conn, ServeFrame::kTenantStats, stats);
+        }
+      }
+    }
+  };
+
+  const auto process_completions = [&] {
+    std::vector<Completion> batch;
+    {
+      const MutexLock lock(completion_mutex);
+      batch.swap(completions);
+    }
+    for (Completion& c : batch) {
+      const auto it = tenants.find(c.tenant);
+      SessionRuntime* rt = it != tenants.end() ? &it->second : nullptr;
+      if (rt != nullptr) {
+        rt->busy = false;
+        rt->session->busy_since_ms.store(-1.0, std::memory_order_release);
+        const std::size_t pending =
+            rt->session->pending.load(std::memory_order_acquire);
+        if (pending > 0) rt->session->pending.store(pending - 1);
+      }
+      if (c.demote && rt != nullptr &&
+          rt->session->state() == TenantSession::State::kActive) {
+        rt->session->demote();
+        metrics.degraded.add();
+        flight.event(run_ms(), "degraded",
+                     {{"tenant", c.tenant}, {"why", "decision_failed"}});
+      }
+      // A decision that finished after the watchdog demoted its tenant
+      // is late: the stream is no longer byte-faithful, so the result
+      // is replaced by an explicit error instead of delivered.
+      bool late = false;
+      if (rt != nullptr && !c.demote && !c.session_done &&
+          rt->session->state() == TenantSession::State::kDegraded) {
+        for (const auto& [type, payload] : c.frames) {
+          if (type == ServeFrame::kDecision) late = true;
+        }
+      }
+      if (late) {
+        metrics.late_decisions.add();
+        c.frames.clear();
+        c.frames.emplace_back(
+            ServeFrame::kError,
+            encode_error({"DEGRADED", "decision exceeded deadline", 0}));
+        c.journal_line.clear();
+      }
+      if (journal != nullptr && !c.journal_line.empty()) {
+        try {
+          journal->append(c.journal_line);
+        } catch (const std::exception& e) {
+          note(std::string("journal append failed: ") + e.what());
+        }
+      }
+      metrics.decision_us.record(static_cast<std::uint64_t>(
+          std::max(0.0, (run_ms() - c.started_ms) * 1000.0)));
+      const auto cit = conns.find(c.conn_id);
+      if (cit != conns.end() && !cit->second.dead) {
+        deliver(cit->second, c, rt);
+        pump_writes(cit->second);
+        if (c.session_done) cit->second.want_close = true;
+      }
+      if (c.session_done) {
+        tenants.erase(c.tenant);
+        metrics.sessions_active.add(-1);
+        flight.event(run_ms(), "session_done", {{"tenant", c.tenant}});
+      } else if (rt != nullptr) {
+        dispatch_next(c.tenant);
+      }
+    }
+  };
+
+  const auto handle_frame = [&](std::uint64_t conn_id, Connection& conn,
+                                const RawFrame& raw) {
+    switch (static_cast<ServeFrame>(raw.type)) {
+      case ServeFrame::kHello: {
+        if (!conn.tenant.empty()) {
+          enqueue(conn, ServeFrame::kError,
+                  encode_error({"PROTOCOL", "duplicate hello", 0}));
+          conn.want_close = true;
+          return;
+        }
+        HelloRequest hello;
+        try {
+          hello = decode_hello(raw.payload);
+        } catch (const std::exception& e) {
+          enqueue(conn, ServeFrame::kError,
+                  encode_error({"PROTOCOL", e.what(), 0}));
+          conn.want_close = true;
+          return;
+        }
+        const auto it = tenants.find(hello.tenant);
+        if (it != tenants.end()) {
+          SessionRuntime& rt = it->second;
+          if (!hello.resume) {
+            enqueue(conn, ServeFrame::kError,
+                    encode_error({"BAD_REQUEST",
+                                  "tenant '" + hello.tenant +
+                                      "' already exists (hello with "
+                                      "resume=1 to reattach)",
+                                  0}));
+            conn.want_close = true;
+            return;
+          }
+          const auto bound = conns.find(rt.conn_id);
+          if (rt.conn_id != 0 && bound != conns.end() &&
+              !bound->second.dead) {
+            shed(conn, "tenant already connected", 1000);
+            conn.want_close = true;
+            return;
+          }
+          rt.conn_id = conn_id;
+          conn.tenant = hello.tenant;
+          HelloRequest ack = rt.session->hello();
+          ack.resume = true;
+          enqueue(conn, ServeFrame::kHello, encode_hello(ack));
+          flight.event(run_ms(), "hello",
+                       {{"tenant", hello.tenant}, {"resumed", "1"}});
+          return;
+        }
+        if (tenants.size() >= options_.max_sessions) {
+          shed(conn, "session table full", 1000);
+          conn.want_close = true;
+          return;
+        }
+        try {
+          SessionRuntime rt;
+          rt.session =
+              std::make_shared<TenantSession>(hello, options_.limits);
+          rt.conn_id = conn_id;
+          tenants.insert_or_assign(hello.tenant, std::move(rt));
+        } catch (const std::exception& e) {
+          enqueue(conn, ServeFrame::kError,
+                  encode_error({"BAD_REQUEST", e.what(), 0}));
+          conn.want_close = true;
+          return;
+        }
+        conn.tenant = hello.tenant;
+        metrics.sessions_opened.add();
+        metrics.sessions_active.add(1);
+        if (journal != nullptr) {
+          try {
+            journal->append(hello_journal_line(hello));
+          } catch (const std::exception& e) {
+            note(std::string("journal append failed: ") + e.what());
+          }
+        }
+        hello.resume = false;
+        enqueue(conn, ServeFrame::kHello, encode_hello(hello));
+        flight.event(run_ms(), "hello", {{"tenant", hello.tenant}});
+        return;
+      }
+      case ServeFrame::kSubmitJob: {
+        if (conn.tenant.empty()) {
+          enqueue(conn, ServeFrame::kError,
+                  encode_error({"PROTOCOL", "submit before hello", 0}));
+          conn.want_close = true;
+          return;
+        }
+        const auto it = tenants.find(conn.tenant);
+        if (it == tenants.end()) {
+          enqueue(conn, ServeFrame::kError,
+                  encode_error({"UNKNOWN_TENANT", conn.tenant, 0}));
+          conn.want_close = true;
+          return;
+        }
+        SessionRuntime& rt = it->second;
+        metrics.submits.add();
+        if (rt.goodbye) {
+          enqueue(conn, ServeFrame::kError,
+                  encode_error({"BAD_REQUEST", "submit after goodbye", 0}));
+          return;
+        }
+        if (rt.session->state() == TenantSession::State::kDegraded) {
+          enqueue(conn, ServeFrame::kError,
+                  encode_error({"DEGRADED", "session is degraded", 0}));
+          return;
+        }
+        SubmitJob job;
+        try {
+          job = decode_submit(raw.payload);
+        } catch (const std::exception& e) {
+          enqueue(conn, ServeFrame::kError,
+                  encode_error({"PROTOCOL", e.what(), 0}));
+          conn.want_close = true;
+          return;
+        }
+        const std::size_t in_flight = rt.queue.size() + (rt.busy ? 1 : 0);
+        if (in_flight >= rt.session->limits().max_pending) {
+          shed(conn, "pending budget exhausted", 100);
+          return;
+        }
+        if (!rt.session->admit_rate(run_ms())) {
+          shed(conn, "rate limit", 100);
+          return;
+        }
+        rt.session->pending.fetch_add(1, std::memory_order_acq_rel);
+        rt.queue.push_back(job);
+        dispatch_next(conn.tenant);
+        return;
+      }
+      case ServeFrame::kGoodbye: {
+        if (conn.tenant.empty()) {
+          conn.want_close = true;
+          return;
+        }
+        const auto it = tenants.find(conn.tenant);
+        if (it == tenants.end()) {
+          conn.want_close = true;
+          return;
+        }
+        it->second.goodbye = true;
+        dispatch_next(conn.tenant);
+        return;
+      }
+      default:
+        // Clients never send kDecision/kTenantStats/kError.
+        metrics.conns_dropped.add();
+        flight.event(run_ms(), "conn_drop", {{"why", "protocol_breach"}});
+        close_connection(conn);
+        return;
+    }
+  };
+
+  // ---- Event loop. -------------------------------------------------
+
+  ready_.store(true, std::memory_order_release);
+  note("listening" +
+       (options_.socket_path.empty() ? "" : " unix:" + options_.socket_path) +
+       (tcp_port() < 0 ? "" : " tcp:" + std::to_string(tcp_port())));
+
+  while (true) {
+    if (stop_requested_.load(std::memory_order_acquire) && !draining) {
+      draining = true;
+      drain_deadline_ms = run_ms() + options_.drain_grace_ms;
+      for (const int fd : listeners) ::close(fd);
+      listeners.clear();
+      flight.event(run_ms(), "drain", {});
+      note("draining (grace " +
+           std::to_string(static_cast<long>(options_.drain_grace_ms)) +
+           " ms)");
+    }
+    if (draining) {
+      bool idle = true;
+      for (const auto& [tenant, rt] : tenants) {
+        if (rt.busy || !rt.queue.empty()) idle = false;
+      }
+      if (idle || run_ms() > drain_deadline_ms) break;
+    }
+
+    std::vector<pollfd> fds;
+    std::vector<std::uint64_t> fd_conn;  // conn id per pollfd (0 = other)
+    fds.push_back(pollfd{wake[0], POLLIN, 0});
+    fd_conn.push_back(0);
+    for (const int fd : listeners) {
+      fds.push_back(pollfd{fd, POLLIN, 0});
+      fd_conn.push_back(0);
+    }
+    for (auto& [id, conn] : conns) {
+      if (conn.dead || conn.fd < 0) continue;
+      short events = 0;
+      // Backpressure: past the soft cap the daemon stops reading this
+      // peer entirely — its floods back up in the kernel, not here.
+      if (!draining && conn.outbound.size() < options_.outbound_soft_cap) {
+        events |= POLLIN;
+      }
+      if (!conn.outbound.empty()) events |= POLLOUT;
+      if (events == 0) events = POLLERR;  // still notice hangups
+      fds.push_back(pollfd{conn.fd, events, 0});
+      fd_conn.push_back(id);
+    }
+
+    const int npoll = poll_fds(fds.data(), fds.size(), 20);
+    if (npoll < 0) {
+      note("poll failed");
+      break;
+    }
+
+    // Wake pipe: drain it; 'S' bytes are stop requests (from stop() or
+    // a signal handler), 'C' bytes are completion pokes.
+    if (fds[0].revents != 0) {
+      char buf[256];
+      const ssize_t n = read_some(wake[0], buf, sizeof buf);
+      for (ssize_t i = 0; i < n; ++i) {
+        if (buf[i] == 'S') {
+          stop_requested_.store(true, std::memory_order_release);
+        }
+      }
+    }
+
+    // Listeners.
+    std::size_t fd_index = 1;
+    for (std::size_t l = 0; l < listeners.size(); ++l, ++fd_index) {
+      if (fds[fd_index].revents == 0) continue;
+      while (true) {
+        const int fd = accept_connection(listeners[l]);
+        if (fd < 0) break;
+        Connection conn;
+        conn.fd = fd;
+        conn.last_activity_ms = run_ms();
+        conns.emplace(next_conn_id, std::move(conn));
+        metrics.conns_opened.add();
+        metrics.conns_active.add(1);
+        flight.event(run_ms(), "conn_open",
+                     {{"id", std::to_string(next_conn_id)}});
+        ++next_conn_id;
+      }
+    }
+
+    // Connection I/O.
+    for (std::size_t k = fd_index; k < fds.size(); ++k) {
+      if (fds[k].revents == 0) continue;
+      const auto cit = conns.find(fd_conn[k]);
+      if (cit == conns.end()) continue;
+      Connection& conn = cit->second;
+      if ((fds[k].revents & POLLOUT) != 0) pump_writes(conn);
+      if ((fds[k].revents & (POLLIN | POLLHUP | POLLERR)) != 0 &&
+          !conn.dead) {
+        pump_reads(conn);
+        conn.last_activity_ms = run_ms();
+        RawFrame raw;
+        while (!conn.dead && conn.reader.next(raw)) {
+          handle_frame(fd_conn[k], conn, raw);
+        }
+        if (conn.reader.corrupted()) {
+          metrics.conns_dropped.add();
+          flight.event(run_ms(), "conn_drop",
+                       {{"why", "corrupt_frame"},
+                        {"error", conn.reader.error()}});
+          close_connection(conn);
+        }
+        if (!conn.dead) pump_writes(conn);
+      }
+    }
+
+    process_completions();
+
+    // Decision-deadline watchdog: a tenant stuck past its deadline is
+    // demoted; the pool thread keeps running (cooperative budgets end
+    // it eventually) but its late result will be discarded.
+    const double deadline = options_.limits.decision_deadline_ms;
+    if (deadline > 0.0) {
+      const double now_ms = run_ms();
+      for (auto& [tenant, rt] : tenants) {
+        if (!rt.busy) continue;
+        if (rt.session->state() != TenantSession::State::kActive) continue;
+        const double since =
+            rt.session->busy_since_ms.load(std::memory_order_acquire);
+        if (since >= 0.0 && now_ms - since > deadline) {
+          rt.session->demote();
+          metrics.degraded.add();
+          flight.event(run_ms(), "degraded",
+                       {{"tenant", tenant}, {"why", "deadline"}});
+        }
+      }
+    }
+
+    // Connection reaper: idle and half-open sockets are closed; the
+    // session survives for a later resume-hello.
+    if (options_.idle_timeout_ms > 0.0) {
+      const double now_ms = run_ms();
+      for (auto& [id, conn] : conns) {
+        if (conn.dead) continue;
+        if (now_ms - conn.last_activity_ms > options_.idle_timeout_ms) {
+          flight.event(run_ms(), "conn_reap", {{"tenant", conn.tenant}});
+          close_connection(conn);
+        }
+      }
+    }
+
+    // Sweep dead connections: detach their session binding and close.
+    for (auto it = conns.begin(); it != conns.end();) {
+      if (!it->second.dead) {
+        ++it;
+        continue;
+      }
+      if (!it->second.tenant.empty()) {
+        const auto tit = tenants.find(it->second.tenant);
+        if (tit != tenants.end() && tit->second.conn_id == it->first) {
+          tit->second.conn_id = 0;
+        }
+      }
+      close_connection(it->second);
+      metrics.conns_active.add(-1);
+      flight.event(run_ms(), "conn_close", {{"id", std::to_string(it->first)}});
+      it = conns.erase(it);
+    }
+  }
+
+  // ---- Graceful drain tail: wait for stragglers, emit final stats,
+  // flush, exit 0.
+  pool.reset();  // joins workers; every admitted decision has completed
+  process_completions();
+
+  for (auto& [tenant, rt] : tenants) {
+    const auto cit = conns.find(rt.conn_id);
+    if (rt.conn_id == 0 || cit == conns.end() || cit->second.dead) continue;
+    enqueue(cit->second, ServeFrame::kTenantStats,
+            encode_stats(rt.session->stats()));
+    enqueue(cit->second, ServeFrame::kGoodbye, "");
+  }
+  const double flush_deadline = run_ms() + 1000.0;
+  while (run_ms() < flush_deadline) {
+    std::vector<pollfd> fds;
+    std::vector<std::uint64_t> fd_conn;
+    for (auto& [id, conn] : conns) {
+      if (conn.dead || conn.fd < 0 || conn.outbound.empty()) continue;
+      fds.push_back(pollfd{conn.fd, POLLOUT, 0});
+      fd_conn.push_back(id);
+    }
+    if (fds.empty()) break;
+    if (poll_fds(fds.data(), fds.size(), 50) <= 0) continue;
+    for (std::size_t k = 0; k < fds.size(); ++k) {
+      if (fds[k].revents == 0) continue;
+      const auto cit = conns.find(fd_conn[k]);
+      if (cit != conns.end()) pump_writes(cit->second);
+    }
+  }
+
+  for (auto& [id, conn] : conns) close_connection(conn);
+  for (const int fd : listeners) ::close(fd);
+  flight.event(run_ms(), "shutdown",
+               {{"sessions", std::to_string(tenants.size())}});
+  note("drained; exiting");
+
+  g_signal_wake_fd.store(-1, std::memory_order_release);
+  (void)std::signal(SIGTERM, old_term);
+  (void)std::signal(SIGINT, old_int);
+  ::close(wake[0]);
+  {
+    const MutexLock lock(wake_mutex_);
+    wake_fd_ = -1;
+    ::close(wake[1]);
+  }
+  ready_.store(false, std::memory_order_release);
+  return 0;
+}
+
+}  // namespace calib::serve

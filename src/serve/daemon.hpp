@@ -1,0 +1,101 @@
+// The `calibsched serve` daemon: streaming scheduling-as-a-service.
+//
+// One event-loop thread owns every socket and all admission state; a
+// thread pool runs the (potentially slow) per-tenant decision steps.
+// The two sides meet at a locked completion queue plus a wake pipe, so
+// the loop never blocks on a decision and a decision never touches a
+// socket. Robustness envelope (DESIGN.md §12):
+//
+//   admission   per-tenant budgets — max pending submits, a submit
+//               token bucket, a session-lifetime step budget — are
+//               checked on the loop thread before any work is queued;
+//               violations shed with kError{RETRY_AFTER}, never queue
+//   backpressure outbound bytes per connection are bounded: past the
+//               soft cap the daemon stops reading that peer, past the
+//               hard cap it drops the connection
+//   watchdog    a decision running past its deadline demotes the
+//               tenant to `degraded` (sticky); its late result is
+//               discarded and everyone else keeps being served
+//   reaper      idle / half-open connections are closed after
+//               idle_timeout_ms; the session survives for reattach
+//   drain       SIGTERM/SIGINT (or stop()): stop accepting, finish
+//               admitted decisions within a grace window, emit final
+//               kTenantStats, flush, exit 0
+//   journal     accepted jobs are journaled (fsync'd) before their
+//               decision frame is sent, so `serve --resume` replays
+//               every session to a state byte-identical with what the
+//               clients observed
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "harness/faults.hpp"
+#include "serve/session.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace calib::serve {
+
+struct ServeOptions {
+  std::string socket_path;   ///< Unix listener path ("" = none)
+  int tcp_port = -1;         ///< >= 0: loopback TCP listener (0 = ephemeral)
+  std::string journal_path;  ///< tenant journal ("" = no journal)
+  bool resume = false;       ///< restore sessions from the journal
+  std::size_t max_sessions = 64;
+  SessionLimits limits;
+  double idle_timeout_ms = 0.0;  ///< connection reaper (0 = off)
+  std::size_t outbound_soft_cap = 1u << 20;  ///< stop reading past this
+  std::size_t outbound_hard_cap = 4u << 20;  ///< drop connection past this
+  std::size_t threads = 0;       ///< decision pool size (0 = hardware)
+  double drain_grace_ms = 5000.0;
+  harness::ServeFaultPlan faults;  ///< --inject-faults plan
+  std::ostream* events = nullptr;  ///< flight-recorder stream (JSONL)
+  std::ostream* log = nullptr;     ///< human-readable status lines
+};
+
+/// Force registration of the daemon's metric handles (same contract as
+/// sandbox_metrics_warmup: resolve before threads contend).
+void serve_metrics_warmup();
+
+class ServeDaemon {
+ public:
+  explicit ServeDaemon(ServeOptions options);
+  ~ServeDaemon();
+
+  ServeDaemon(const ServeDaemon&) = delete;
+  ServeDaemon& operator=(const ServeDaemon&) = delete;
+
+  /// Run until a graceful-drain request (SIGTERM/SIGINT/stop()).
+  /// Returns 0 on a clean drain, 1 on startup failure.
+  int run();
+
+  /// Request graceful drain from any thread (the test-side SIGTERM).
+  void stop();
+
+  /// Block until the listeners are accepting (true) or `timeout_ms`
+  /// passes (false). Test synchronization for daemons on a thread.
+  [[nodiscard]] bool wait_ready(double timeout_ms) const;
+
+  /// Actual TCP port once ready (ephemeral binds resolve here); -1
+  /// when no TCP listener was requested.
+  [[nodiscard]] int tcp_port() const {
+    return bound_tcp_port_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct Impl;
+  ServeOptions options_;
+  std::atomic<bool> ready_{false};
+  std::atomic<bool> stop_requested_{false};
+  // The wake fd is written by stop() (any thread) and closed by the
+  // loop thread on exit; the mutex makes write-vs-close atomic so a
+  // late stop() can never hit a closed (or reused) descriptor.
+  mutable Mutex wake_mutex_;
+  int wake_fd_ CALIB_GUARDED_BY(wake_mutex_) = -1;
+  std::atomic<int> bound_tcp_port_{-1};
+};
+
+}  // namespace calib::serve

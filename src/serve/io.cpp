@@ -1,0 +1,184 @@
+#include "serve/io.hpp"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace calib::serve {
+namespace {
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+void fail(std::string* error, const std::string& what) {
+  if (error != nullptr) *error = what + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+int listen_unix(const std::string& path, std::string* error) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    if (error != nullptr) *error = "socket path too long: " + path;
+    return -1;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    fail(error, "socket");
+    return -1;
+  }
+  ::unlink(path.c_str());  // stale socket from a previous run
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    fail(error, "bind " + path);
+    ::close(fd);
+    return -1;
+  }
+  if (::listen(fd, 64) != 0 || !set_nonblocking(fd)) {
+    fail(error, "listen " + path);
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int listen_tcp(int port, int* bound_port, std::string* error) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    fail(error, "socket");
+    return -1;
+  }
+  const int one = 1;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    fail(error, "bind port " + std::to_string(port));
+    ::close(fd);
+    return -1;
+  }
+  if (::listen(fd, 64) != 0 || !set_nonblocking(fd)) {
+    fail(error, "listen port " + std::to_string(port));
+    ::close(fd);
+    return -1;
+  }
+  if (bound_port != nullptr) {
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+      *bound_port = ntohs(bound.sin_port);
+    }
+  }
+  return fd;
+}
+
+int accept_connection(int listener_fd) {
+  const int fd = ::accept(listener_fd, nullptr, nullptr);
+  if (fd < 0) return -1;
+  if (!set_nonblocking(fd)) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int connect_unix(const std::string& path, std::string* error) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    if (error != nullptr) *error = "socket path too long: " + path;
+    return -1;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    fail(error, "socket");
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    fail(error, "connect " + path);
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int connect_tcp(int port, std::string* error) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    fail(error, "socket");
+    return -1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    fail(error, "connect port " + std::to_string(port));
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+void pump_reads(Connection& conn) {
+  if (conn.dead || conn.fd < 0) return;
+  // Bounded per call: at most 16 chunks, so one chatty peer cannot
+  // starve the rest of the poll round.
+  for (int chunk = 0; chunk < 16; ++chunk) {
+    char buf[4096];
+    const ssize_t n = ::read(conn.fd, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      conn.dead = true;
+      return;
+    }
+    if (n == 0) {  // EOF
+      conn.dead = true;
+      return;
+    }
+    conn.reader.feed(buf, static_cast<std::size_t>(n));
+    if (conn.reader.corrupted()) {
+      conn.dead = true;
+      return;
+    }
+    if (n < static_cast<ssize_t>(sizeof buf)) return;  // drained
+  }
+}
+
+void pump_writes(Connection& conn) {
+  if (conn.dead || conn.fd < 0) return;
+  while (!conn.outbound.empty()) {
+    const ssize_t n =
+        ::write(conn.fd, conn.outbound.data(), conn.outbound.size());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      conn.dead = true;
+      return;
+    }
+    conn.outbound.erase(0, static_cast<std::size_t>(n));
+  }
+  if (conn.want_close) conn.dead = true;
+}
+
+void close_connection(Connection& conn) {
+  if (conn.fd >= 0) ::close(conn.fd);
+  conn.fd = -1;
+  conn.dead = true;
+}
+
+}  // namespace calib::serve

@@ -1,0 +1,70 @@
+// Nonblocking socket plumbing for the serve daemon.
+//
+// This file (with util/framing) is the only place in the tree allowed
+// to issue raw read/write/poll syscalls (calib_lint rule
+// raw-io-layering): the daemon's event loop stays honest by
+// construction — everything it does is either a nonblocking pump here
+// or a timeout-bounded poll through calib::poll_fds.
+//
+// A Connection owns one accepted socket: an incremental FrameReader on
+// the inbound side and a bounded outbound byte queue on the other.
+// Backpressure is explicit and two-leveled: past `soft_cap` the daemon
+// stops reading from the peer (its submits queue in the kernel and
+// eventually block the *client*, never the daemon); past `hard_cap`
+// the connection is dropped outright — daemon memory per connection is
+// bounded by construction.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "serve/protocol.hpp"
+#include "util/framing.hpp"
+
+namespace calib::serve {
+
+/// One accepted client socket and its stream state.
+struct Connection {
+  int fd = -1;
+  FrameReader reader = make_serve_reader();
+  std::string outbound;        ///< bytes queued for the peer
+  bool want_close = false;     ///< close once outbound drains
+  bool dead = false;           ///< hard error / EOF seen; reap me
+  bool fault_fired = false;    ///< once-per-connection fault already injected
+  double last_activity_ms = 0; ///< run-clock stamp of last inbound byte
+  std::string tenant;          ///< bound by kHello ("" until then)
+};
+
+/// Create, bind, and listen on a Unix-domain socket at `path`
+/// (unlinking a stale file first). Returns the nonblocking listener fd,
+/// or -1 with a message in *error.
+[[nodiscard]] int listen_unix(const std::string& path, std::string* error);
+
+/// Listen on TCP 127.0.0.1:port (port 0 = ephemeral). Returns the
+/// nonblocking listener fd or -1; *bound_port receives the actual port.
+[[nodiscard]] int listen_tcp(int port, int* bound_port, std::string* error);
+
+/// Accept one pending connection as a nonblocking fd; -1 when none is
+/// ready (or on error — accept errors on a healthy listener are
+/// transient and treated as "none ready").
+[[nodiscard]] int accept_connection(int listener_fd);
+
+/// Blocking connect for the client side (the client is allowed to
+/// block; only the daemon's loop is not). -1 with *error on failure.
+[[nodiscard]] int connect_unix(const std::string& path, std::string* error);
+[[nodiscard]] int connect_tcp(int port, std::string* error);
+
+/// Drain whatever the socket currently has into conn.reader (bounded
+/// per call). Marks the connection dead on EOF or a hard error, and
+/// also when the reader reports a poisoned stream.
+void pump_reads(Connection& conn);
+
+/// Write as much queued outbound as the socket accepts right now.
+/// Marks the connection dead on a hard error.
+void pump_writes(Connection& conn);
+
+/// Close the fd if open and mark the connection dead.
+void close_connection(Connection& conn);
+
+}  // namespace calib::serve

@@ -1,0 +1,159 @@
+#include "serve/protocol.hpp"
+
+#include <stdexcept>
+
+#include "harness/journal.hpp"
+#include "obs/json_escape.hpp"
+
+namespace calib::serve {
+namespace {
+
+using harness::parse_flat_json;
+
+const std::string& field(const std::map<std::string, std::string>& fields,
+                         const char* key) {
+  const auto it = fields.find(key);
+  if (it == fields.end()) {
+    throw std::runtime_error(std::string("serve payload: missing field ") +
+                             key);
+  }
+  return it->second;
+}
+
+std::string opt_field(const std::map<std::string, std::string>& fields,
+                      const char* key, const std::string& fallback) {
+  const auto it = fields.find(key);
+  return it == fields.end() ? fallback : it->second;
+}
+
+std::string quoted(const std::string& value) {
+  return '"' + obs::json_escape(value) + '"';
+}
+
+}  // namespace
+
+std::string encode_serve_frame(ServeFrame type, std::string_view payload) {
+  return encode_frame(static_cast<std::uint32_t>(type), payload);
+}
+
+std::string encode_hello(const HelloRequest& hello) {
+  return "{\"tenant\":" + quoted(hello.tenant) +
+         ",\"policy\":" + quoted(hello.policy) +
+         ",\"T\":" + std::to_string(hello.T) +
+         ",\"machines\":" + std::to_string(hello.machines) +
+         ",\"G\":" + std::to_string(hello.G) +
+         ",\"seed\":" + std::to_string(hello.seed) +
+         ",\"period\":" + std::to_string(hello.period) +
+         ",\"resume\":" + std::to_string(hello.resume ? 1 : 0) + "}";
+}
+
+HelloRequest decode_hello(const std::string& payload) {
+  const auto fields = parse_flat_json(payload);
+  HelloRequest hello;
+  hello.tenant = field(fields, "tenant");
+  hello.policy = opt_field(fields, "policy", hello.policy);
+  hello.T = std::stoll(opt_field(fields, "T", std::to_string(hello.T)));
+  hello.machines = static_cast<int>(
+      std::stol(opt_field(fields, "machines", std::to_string(hello.machines))));
+  hello.G = std::stoll(opt_field(fields, "G", std::to_string(hello.G)));
+  hello.seed = std::stoull(opt_field(fields, "seed", std::to_string(hello.seed)));
+  hello.period =
+      std::stoll(opt_field(fields, "period", std::to_string(hello.period)));
+  hello.resume = opt_field(fields, "resume", "0") != "0";
+  return hello;
+}
+
+std::string encode_submit(const SubmitJob& submit) {
+  return "{\"release\":" + std::to_string(submit.release) +
+         ",\"weight\":" + std::to_string(submit.weight) + "}";
+}
+
+SubmitJob decode_submit(const std::string& payload) {
+  const auto fields = parse_flat_json(payload);
+  SubmitJob submit;
+  submit.release = std::stoll(field(fields, "release"));
+  submit.weight = std::stoll(field(fields, "weight"));
+  return submit;
+}
+
+std::string encode_decision(const Decision& decision) {
+  return "{\"seq\":" + std::to_string(decision.seq) +
+         ",\"now\":" + std::to_string(decision.now) +
+         ",\"cost\":" + std::to_string(decision.cost) +
+         ",\"events\":" + quoted(decision.events) + "}";
+}
+
+Decision decode_decision(const std::string& payload) {
+  const auto fields = parse_flat_json(payload);
+  Decision decision;
+  decision.seq = std::stoull(field(fields, "seq"));
+  decision.now = std::stoll(field(fields, "now"));
+  decision.cost = std::stoll(field(fields, "cost"));
+  decision.events = field(fields, "events");
+  return decision;
+}
+
+std::string encode_stats(const TenantStats& stats) {
+  return "{\"tenant\":" + quoted(stats.tenant) +
+         ",\"state\":" + quoted(stats.state) +
+         ",\"jobs\":" + std::to_string(stats.jobs) +
+         ",\"placed\":" + std::to_string(stats.placed) +
+         ",\"calibrations\":" + std::to_string(stats.calibrations) +
+         ",\"cost\":" + std::to_string(stats.cost) +
+         ",\"steps_used\":" + std::to_string(stats.steps_used) +
+         ",\"violation\":" + quoted(stats.violation) + "}";
+}
+
+TenantStats decode_stats(const std::string& payload) {
+  const auto fields = parse_flat_json(payload);
+  TenantStats stats;
+  stats.tenant = field(fields, "tenant");
+  stats.state = field(fields, "state");
+  stats.jobs = std::stoull(field(fields, "jobs"));
+  stats.placed = std::stoull(field(fields, "placed"));
+  stats.calibrations = std::stoull(field(fields, "calibrations"));
+  stats.cost = std::stoll(field(fields, "cost"));
+  stats.steps_used = std::stoull(field(fields, "steps_used"));
+  stats.violation = field(fields, "violation");
+  return stats;
+}
+
+std::string encode_error(const ErrorInfo& error) {
+  return "{\"code\":" + quoted(error.code) +
+         ",\"detail\":" + quoted(error.detail) +
+         ",\"retry_after_ms\":" + std::to_string(error.retry_after_ms) + "}";
+}
+
+ErrorInfo decode_error(const std::string& payload) {
+  const auto fields = parse_flat_json(payload);
+  ErrorInfo error;
+  error.code = field(fields, "code");
+  error.detail = field(fields, "detail");
+  error.retry_after_ms = std::stoll(field(fields, "retry_after_ms"));
+  return error;
+}
+
+std::string encode_events(const std::vector<TraceEvent>& events,
+                          std::size_t begin, std::size_t end) {
+  std::string out;
+  for (std::size_t i = begin; i < end && i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    if (!out.empty()) out += ';';
+    switch (e.kind) {
+      case TraceEvent::Kind::kArrival:
+        out += "A:" + std::to_string(e.at) + ':' + std::to_string(e.job) +
+               ':' + std::to_string(e.weight);
+        break;
+      case TraceEvent::Kind::kCalibration:
+        out += "C:" + std::to_string(e.at) + ':' + std::to_string(e.machine);
+        break;
+      case TraceEvent::Kind::kPlacement:
+        out += "P:" + std::to_string(e.at) + ':' + std::to_string(e.job) +
+               ':' + std::to_string(e.machine) + ':' + std::to_string(e.start);
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace calib::serve

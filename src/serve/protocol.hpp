@@ -1,0 +1,129 @@
+// Wire protocol for the `calibsched serve` daemon.
+//
+// The daemon speaks the project's length-prefixed framing
+// (util/framing.hpp — magic, type, length, payload) on a Unix-domain
+// or TCP stream, with its own frame-type window 6..11 so an executor
+// or sandbox frame accidentally pointed at the daemon socket is a
+// poisoning protocol breach, not a confusion:
+//
+//   kHello       client -> daemon   open (or resume) a tenant session
+//                daemon -> client   acknowledgment (echoes the session)
+//   kSubmitJob   client -> daemon   one job release
+//   kDecision    daemon -> client   the driver's observable decisions
+//                                   caused by that release
+//   kTenantStats daemon -> client   session summary (final on drain)
+//   kError       daemon -> client   structured rejection; RETRY_AFTER
+//                                   sheds carry retry_after_ms
+//   kGoodbye     either direction   orderly close (client: please
+//                                   drain; daemon: session is done)
+//
+// Payloads are flat JSON (harness::parse_flat_json), matching every
+// other wire format in the project. Decision events use a compact
+// semicolon-joined encoding (see encode_events) so a decision is one
+// short line — these streams are byte-compared across runs in tests,
+// which is why every encoder here is deterministic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "online/trace.hpp"
+#include "util/framing.hpp"
+
+namespace calib::serve {
+
+enum class ServeFrame : std::uint32_t {
+  kHello = 6,
+  kSubmitJob = 7,
+  kDecision = 8,
+  kTenantStats = 9,
+  kError = 10,
+  kGoodbye = 11,
+};
+
+/// The daemon-side FrameReader window: [kHello, kGoodbye].
+[[nodiscard]] inline FrameReader make_serve_reader() {
+  return FrameReader(static_cast<std::uint32_t>(ServeFrame::kHello),
+                     static_cast<std::uint32_t>(ServeFrame::kGoodbye));
+}
+
+/// Encode one serve frame ready for a single write.
+[[nodiscard]] std::string encode_serve_frame(ServeFrame type,
+                                             std::string_view payload);
+
+/// Session parameters a client opens with. `resume` asks the daemon to
+/// attach to a journal-restored session of the same tenant instead of
+/// rejecting the duplicate name.
+struct HelloRequest {
+  std::string tenant;
+  std::string policy = "alg2";
+  Time T = 4096;
+  int machines = 1;
+  Cost G = 5;
+  std::uint64_t seed = 1;
+  Time period = 5;
+  bool resume = false;
+};
+
+struct SubmitJob {
+  Time release = 0;
+  Weight weight = 1;
+};
+
+/// The daemon's reply to one accepted SubmitJob: every trace event the
+/// driver emitted while advancing to the job's release and revealing it
+/// (possibly none — policies are allowed to wait), plus the running
+/// objective. `seq` counts accepted jobs per session from 0.
+struct Decision {
+  std::uint64_t seq = 0;
+  Time now = 0;
+  Cost cost = 0;
+  std::string events;  ///< encode_events of the new trace suffix
+};
+
+struct TenantStats {
+  std::string tenant;
+  std::string state;  ///< "active" | "degraded" | "drained"
+  std::uint64_t jobs = 0;
+  std::uint64_t placed = 0;
+  std::uint64_t calibrations = 0;
+  Cost cost = 0;
+  std::uint64_t steps_used = 0;
+  std::string violation;  ///< validation verdict at drain ("" = feasible)
+};
+
+/// Machine-readable rejection. Codes: RETRY_AFTER (admission shed —
+/// honor retry_after_ms), BAD_REQUEST, BUDGET_EXCEEDED, DEGRADED,
+/// PROTOCOL, SHUTTING_DOWN, UNKNOWN_TENANT.
+struct ErrorInfo {
+  std::string code;
+  std::string detail;
+  std::int64_t retry_after_ms = 0;
+};
+
+[[nodiscard]] std::string encode_hello(const HelloRequest& hello);
+[[nodiscard]] HelloRequest decode_hello(const std::string& payload);
+
+[[nodiscard]] std::string encode_submit(const SubmitJob& submit);
+[[nodiscard]] SubmitJob decode_submit(const std::string& payload);
+
+[[nodiscard]] std::string encode_decision(const Decision& decision);
+[[nodiscard]] Decision decode_decision(const std::string& payload);
+
+[[nodiscard]] std::string encode_stats(const TenantStats& stats);
+[[nodiscard]] TenantStats decode_stats(const std::string& payload);
+
+[[nodiscard]] std::string encode_error(const ErrorInfo& error);
+[[nodiscard]] ErrorInfo decode_error(const std::string& payload);
+
+/// Compact deterministic encoding of a trace-event span:
+///   arrival      A:<at>:<job>:<weight>
+///   calibration  C:<at>:<machine>
+///   placement    P:<at>:<job>:<machine>:<start>
+/// joined with ';'. Empty span encodes to "".
+[[nodiscard]] std::string encode_events(const std::vector<TraceEvent>& events,
+                                        std::size_t begin, std::size_t end);
+
+}  // namespace calib::serve

@@ -1,0 +1,166 @@
+#include "serve/session.hpp"
+
+#include <algorithm>
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+#include "core/validate.hpp"
+#include "online/registry.hpp"
+
+namespace calib::serve {
+
+TenantSession::TenantSession(const HelloRequest& hello,
+                             const SessionLimits& limits)
+    : hello_(hello), limits_(limits) {
+  if (hello_.tenant.empty()) {
+    throw std::runtime_error("serve: tenant name must be non-empty");
+  }
+  if (hello_.T < 1 || hello_.machines < 1 || hello_.G < 0) {
+    throw std::runtime_error("serve: bad session dimensions (want T >= 1, "
+                             "machines >= 1, G >= 0)");
+  }
+  const MutexLock lock(mutex_);
+  policy_ = make_policy(hello_.policy,
+                        PolicyParams{hello_.seed, hello_.period});
+  if (limits_.step_budget > 0) {
+    budget_.set_step_limit(limits_.step_budget);
+  }
+  driver_ = std::make_unique<OnlineDriver>(hello_.T, hello_.machines,
+                                           hello_.G, *policy_);
+  driver_->set_trace(&trace_);
+  if (!budget_.unlimited()) driver_->set_budget(&budget_);
+}
+
+const char* TenantSession::state_name() const {
+  switch (state()) {
+    case State::kActive: return "active";
+    case State::kDegraded: return "degraded";
+    case State::kDrained: return "drained";
+  }
+  return "unknown";
+}
+
+Decision TenantSession::submit(const SubmitJob& job) {
+  const MutexLock lock(mutex_);
+  return submit_locked(job);
+}
+
+void TenantSession::replay(const SubmitJob& job) {
+  const MutexLock lock(mutex_);
+  (void)submit_locked(job);
+}
+
+Decision TenantSession::submit_locked(const SubmitJob& job) {
+  if (drained_) {
+    throw ServeError("BAD_REQUEST", "session already drained");
+  }
+  if (job.weight < 1) {
+    throw ServeError("BAD_REQUEST", "job weight must be >= 1");
+  }
+  if (job.release < driver_->now() || job.release < last_release_) {
+    throw ServeError("BAD_REQUEST",
+                     "non-monotone release " + std::to_string(job.release) +
+                         " (session clock is at " +
+                         std::to_string(driver_->now()) + ")");
+  }
+  if (job.release >= driver_->T()) {
+    throw ServeError("BAD_REQUEST",
+                     "release " + std::to_string(job.release) +
+                         " beyond session horizon T=" +
+                         std::to_string(driver_->T()));
+  }
+  // Event-driven advance to the release, exactly as run_online does:
+  // jump empty-queue spans, step through decision points. BudgetExceeded
+  // from either call propagates to the daemon, which demotes the
+  // session — the budget is the session-lifetime step cap.
+  while (driver_->now() < job.release) {
+    if (driver_->waiting_empty()) {
+      driver_->advance_to(job.release);
+    } else {
+      driver_->step();
+    }
+  }
+  (void)driver_->add_job(job.weight);
+  last_release_ = job.release;
+
+  Decision decision;
+  decision.seq = seq_++;
+  decision.now = driver_->now();
+  decision.cost = driver_->running_cost();
+  const auto& events = trace_.events();
+  decision.events = encode_events(events, trace_watermark_, events.size());
+  trace_watermark_ = events.size();
+  return decision;
+}
+
+TenantStats TenantSession::drain() {
+  const MutexLock lock(mutex_);
+  if (!drained_) {
+    try {
+      driver_->drain();
+      if (!driver_->jobs().empty()) {
+        const Instance instance = driver_->realized_instance();
+        const Schedule schedule = driver_->realized_schedule();
+        const ValidationReport report =
+            validate_schedule(instance, schedule, hello_.G);
+        drain_violation_ = report.violation;
+      }
+    } catch (const std::exception& e) {
+      drain_violation_ = std::string("drain failed: ") + e.what();
+    }
+    drained_ = true;
+    trace_watermark_ = trace_.events().size();
+    State active = State::kActive;
+    (void)state_.compare_exchange_strong(active, State::kDrained,
+                                         std::memory_order_acq_rel);
+  }
+  TenantStats out;
+  out.tenant = hello_.tenant;
+  out.state = state_name();
+  out.jobs = driver_->jobs().size();
+  out.placed = static_cast<std::uint64_t>(
+      std::max(0, trace_.placements()));
+  out.calibrations = static_cast<std::uint64_t>(
+      std::max(0, trace_.calibrations()));
+  out.cost = driver_->running_cost();
+  out.steps_used = budget_.steps_used();
+  out.violation = drain_violation_;
+  return out;
+}
+
+TenantStats TenantSession::stats() {
+  const MutexLock lock(mutex_);
+  TenantStats out;
+  out.tenant = hello_.tenant;
+  out.state = state_name();
+  out.jobs = driver_->jobs().size();
+  out.placed = static_cast<std::uint64_t>(
+      std::max(0, trace_.placements()));
+  out.calibrations = static_cast<std::uint64_t>(
+      std::max(0, trace_.calibrations()));
+  out.cost = driver_->running_cost();
+  out.steps_used = budget_.steps_used();
+  out.violation = drain_violation_;
+  return out;
+}
+
+bool TenantSession::admit_rate(double now_ms) {
+  const MutexLock lock(mutex_);
+  if (limits_.rate_per_sec <= 0.0) return true;
+  if (last_refill_ms_ < 0.0) {
+    // A fresh bucket starts full: one second of burst headroom.
+    tokens_ = limits_.rate_per_sec;
+    last_refill_ms_ = now_ms;
+  }
+  tokens_ = std::min(
+      limits_.rate_per_sec,
+      tokens_ + (now_ms - last_refill_ms_) / 1000.0 * limits_.rate_per_sec);
+  last_refill_ms_ = now_ms;
+  if (tokens_ >= 1.0) {
+    tokens_ -= 1.0;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace calib::serve

@@ -1,0 +1,147 @@
+// One tenant's isolated scheduling session.
+//
+// A TenantSession wraps exactly the state a single-tenant online run
+// would have — an OnlineDriver, its policy, a Trace, a Budget — so the
+// decision stream a tenant sees from the daemon is byte-identical to
+// what it would get running the CLI alone on the same job sequence.
+// That isolation is the daemon's core correctness property, and the
+// chaos tests assert it with one tenant flooding and another stalled.
+//
+// Sessions are driven from thread-pool workers (one decision at a time
+// per session — the daemon serializes dispatch) while the daemon's
+// event loop reads admission state concurrently, so all mutable state
+// is behind a per-session mutex; the cheap flags the watchdog polls
+// (state, busy-since) are atomics.
+//
+// The clock model: a submitted job's release fast-forwards the driver
+// — advance_to across empty-queue spans, step() otherwise — exactly
+// like run_online's event-driven advance. The decision returned for a
+// submit is the span of trace events that fast-forward revealed. Final
+// placements for late jobs materialize at drain (kGoodbye or SIGTERM),
+// where the realized schedule is checked by the independent oracle
+// (core/validate) before the final kTenantStats goes out.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "online/driver.hpp"
+#include "online/policy.hpp"
+#include "online/trace.hpp"
+#include "serve/protocol.hpp"
+#include "util/budget.hpp"
+#include "util/sync.hpp"
+
+namespace calib::serve {
+
+/// Per-tenant admission budgets, enforced by the daemon at submit time.
+struct SessionLimits {
+  std::size_t max_pending = 64;   ///< queued-but-undecided submits
+  double rate_per_sec = 0.0;      ///< token bucket on submits (0 = off)
+  std::uint64_t step_budget = 0;  ///< session-lifetime driver steps (0 = off)
+  double decision_deadline_ms = 0.0;  ///< watchdog demotion bound (0 = off)
+};
+
+/// Structured rejection thrown by session operations; the daemon turns
+/// it into a kError frame with this code/detail.
+class ServeError : public std::runtime_error {
+ public:
+  ServeError(std::string code, const std::string& detail,
+             std::int64_t retry_after_ms = 0)
+      : std::runtime_error(detail),
+        code_(std::move(code)),
+        retry_after_ms_(retry_after_ms) {}
+
+  [[nodiscard]] const std::string& code() const { return code_; }
+  [[nodiscard]] std::int64_t retry_after_ms() const { return retry_after_ms_; }
+
+ private:
+  std::string code_;
+  std::int64_t retry_after_ms_;
+};
+
+class TenantSession {
+ public:
+  enum class State { kActive, kDegraded, kDrained };
+
+  /// Throws std::runtime_error on an unknown policy or bad dimensions.
+  TenantSession(const HelloRequest& hello, const SessionLimits& limits);
+
+  [[nodiscard]] const std::string& tenant() const { return hello_.tenant; }
+  [[nodiscard]] const HelloRequest& hello() const { return hello_; }
+
+  [[nodiscard]] State state() const {
+    return state_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] const char* state_name() const;
+
+  /// Demote to degraded (watchdog / budget breach). Sticky: a degraded
+  /// session answers every later submit with kError{DEGRADED} — the
+  /// tenant's stream is no longer byte-faithful, so pretending
+  /// otherwise would be worse than refusing.
+  void demote() { state_.store(State::kDegraded, std::memory_order_release); }
+
+  /// Process one accepted job release. Thread-pool context; the daemon
+  /// guarantees one in-flight submit per session. Throws ServeError on
+  /// a semantic rejection (non-monotone release, release >= T,
+  /// exhausted step budget) and never on policy internals — those are
+  /// wrapped into BUDGET_EXCEEDED/DEGRADED demotions by the caller.
+  [[nodiscard]] Decision submit(const SubmitJob& job);
+
+  /// Re-apply one journaled job during --resume: the exact submit path
+  /// (same driver calls, same budget charges) with the decision
+  /// discarded, so a restored session continues byte-identically.
+  void replay(const SubmitJob& job);
+
+  /// Drain the driver (place everything revealed), validate the
+  /// realized schedule with the independent oracle, and return final
+  /// stats. Idempotent; after it the session is kDrained.
+  [[nodiscard]] TenantStats drain();
+
+  /// Current session summary (no drain, no validation).
+  [[nodiscard]] TenantStats stats();
+
+  // -- admission bookkeeping, owned by the daemon's event loop --------
+
+  /// Pending (dispatched-or-queued) submit count, maintained by the
+  /// daemon under its own lock; stored here so sheds can be tested per
+  /// session.
+  std::atomic<std::size_t> pending{0};
+
+  /// Wall-clock ms stamp when the in-flight decision started; < 0 when
+  /// idle. The watchdog compares it against decision_deadline_ms.
+  std::atomic<double> busy_since_ms{-1.0};
+
+  [[nodiscard]] const SessionLimits& limits() const { return limits_; }
+
+  /// Token-bucket admission for one submit at wall-clock `now_ms`;
+  /// false = rate-limited (shed with RETRY_AFTER).
+  [[nodiscard]] bool admit_rate(double now_ms);
+
+ private:
+  [[nodiscard]] Decision submit_locked(const SubmitJob& job)
+      CALIB_REQUIRES(mutex_);
+
+  HelloRequest hello_;
+  SessionLimits limits_;
+  std::atomic<State> state_{State::kActive};
+
+  Mutex mutex_;
+  std::unique_ptr<OnlinePolicy> policy_ CALIB_GUARDED_BY(mutex_);
+  Trace trace_ CALIB_GUARDED_BY(mutex_);
+  Budget budget_ CALIB_GUARDED_BY(mutex_);
+  std::unique_ptr<OnlineDriver> driver_ CALIB_GUARDED_BY(mutex_);
+  std::size_t trace_watermark_ CALIB_GUARDED_BY(mutex_) = 0;
+  std::uint64_t seq_ CALIB_GUARDED_BY(mutex_) = 0;
+  Time last_release_ CALIB_GUARDED_BY(mutex_) = 0;
+  std::string drain_violation_ CALIB_GUARDED_BY(mutex_);
+  bool drained_ CALIB_GUARDED_BY(mutex_) = false;
+  // Token bucket (event-loop thread only, but kept under mutex_ for
+  // simplicity — admission is not a hot path).
+  double tokens_ CALIB_GUARDED_BY(mutex_) = 0.0;
+  double last_refill_ms_ CALIB_GUARDED_BY(mutex_) = -1.0;
+};
+
+}  // namespace calib::serve

@@ -1,0 +1,126 @@
+#include "util/framing.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <stdexcept>
+#include <utility>
+
+namespace calib {
+
+// calib-lint: signal-safe-begin
+// write_all and read_some are callable from the sandbox's forked child
+// between fork() and _exit(): only async-signal-safe calls — no heap,
+// no stdio, no locks. Checked by tools/lint/calib_lint.py (rule
+// fork-child-signal-safety) at the call site in harness/sandbox.cpp.
+bool write_all(int fd, const void* data, std::size_t size) noexcept {
+  const char* bytes = static_cast<const char*>(data);
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, bytes + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+ssize_t read_some(int fd, void* buffer, std::size_t capacity) noexcept {
+  while (true) {
+    const ssize_t n = ::read(fd, buffer, capacity);
+    if (n < 0 && errno == EINTR) continue;
+    return n;
+  }
+}
+// calib-lint: signal-safe-end
+
+int poll_fds(pollfd* fds, std::size_t count, int timeout_ms) noexcept {
+  while (true) {
+    const int ready = ::poll(fds, static_cast<nfds_t>(count), timeout_ms);
+    if (ready < 0 && errno == EINTR) continue;
+    return ready;
+  }
+}
+
+int wait_readable(int fd, int timeout_ms) noexcept {
+  pollfd poll_fd{fd, POLLIN, 0};
+  return poll_fds(&poll_fd, 1, timeout_ms);
+}
+
+void put_u32(std::string& out, std::uint32_t value) {
+  out.push_back(static_cast<char>(value & 0xFF));
+  out.push_back(static_cast<char>((value >> 8) & 0xFF));
+  out.push_back(static_cast<char>((value >> 16) & 0xFF));
+  out.push_back(static_cast<char>((value >> 24) & 0xFF));
+}
+
+std::uint32_t get_u32(const char* p) noexcept {
+  const auto b = [&](int i) {
+    return static_cast<std::uint32_t>(static_cast<unsigned char>(p[i]));
+  };
+  return b(0) | (b(1) << 8) | (b(2) << 16) | (b(3) << 24);
+}
+
+std::string encode_frame(std::uint32_t type, std::string_view payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    throw std::runtime_error("frame payload too large: " +
+                             std::to_string(payload.size()) + " bytes");
+  }
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  put_u32(out, kFrameMagic);
+  put_u32(out, type);
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  out.append(payload.data(), payload.size());
+  return out;
+}
+
+bool write_frame(int fd, std::uint32_t type, std::string_view payload) {
+  const std::string bytes = encode_frame(type, payload);
+  return write_all(fd, bytes.data(), bytes.size());
+}
+
+void FrameReader::feed(const char* data, std::size_t n) {
+  if (corrupted_) return;
+  buffer_.append(data, n);
+  decode();
+}
+
+void FrameReader::decode() {
+  while (!corrupted_ && buffer_.size() >= kFrameHeaderBytes) {
+    if (get_u32(buffer_.data()) != kFrameMagic) {
+      corrupted_ = true;
+      error_ = "bad frame magic";
+      return;
+    }
+    const std::uint32_t type = get_u32(buffer_.data() + 4);
+    const std::uint32_t length = get_u32(buffer_.data() + 8);
+    if (type < min_type_ || type > max_type_) {
+      corrupted_ = true;
+      error_ = "unknown frame type " + std::to_string(type);
+      return;
+    }
+    if (length > kMaxFrameBytes) {
+      corrupted_ = true;
+      error_ = "oversized frame (" + std::to_string(length) + " bytes)";
+      return;
+    }
+    if (buffer_.size() < kFrameHeaderBytes + length) return;  // partial frame
+    RawFrame frame;
+    frame.type = type;
+    frame.payload = buffer_.substr(kFrameHeaderBytes, length);
+    buffer_.erase(0, kFrameHeaderBytes + length);
+    ready_.push_back(std::move(frame));
+  }
+}
+
+bool FrameReader::next(RawFrame& frame) {
+  if (ready_.empty()) return false;
+  frame = std::move(ready_.front());
+  ready_.pop_front();
+  return true;
+}
+
+}  // namespace calib

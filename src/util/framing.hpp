@@ -1,0 +1,137 @@
+// The one definition of the project's length-prefixed wire format and
+// of the low-level POSIX I/O loops that move it.
+//
+// Three consumers speak this framing today — the sandbox result pipe
+// (harness/sandbox.cpp), the sharded-sweep executor pipes
+// (harness/executor/protocol.cpp), and the `calibsched serve` daemon
+// socket (serve/protocol.cpp) — and each used to carry its own copy of
+// the read/write loops. They now all route through here:
+//
+//   magic   u32 LE  kFrameMagic
+//   type    u32 LE  protocol-specific frame type (omitted by the
+//                   sandbox's one-shot result frame, which is
+//                   magic+length only)
+//   length  u32 LE  payload byte count (capped at kMaxFrameBytes)
+//   payload bytes   protocol-specific
+//
+// A malformed header (wrong magic, out-of-range type, oversized
+// length) poisons a FrameReader permanently: inside a corrupted byte
+// stream, "the next frame boundary" is not a well-defined place, so
+// there is deliberately no resynchronization.
+//
+// Layering rule (tools/lint/calib_lint.py, rule raw-io-layering): raw
+// blocking read/write/poll syscalls live only here and in serve/io.cpp.
+// Everything else calls these EINTR-safe wrappers.
+#pragma once
+
+#include <poll.h>
+#include <sys/types.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+
+namespace calib {
+
+/// Payloads above this are a protocol error (a sweep row is < 4 KiB; a
+/// frame this large means the peer went haywire, not that rows grew).
+inline constexpr std::uint32_t kMaxFrameBytes = 16u << 20;
+
+/// The IPC frame magic ("BLAC" on disk, "CALB" in register order). This
+/// header is the single point of truth for the literal: every framed
+/// protocol (the sandbox result pipe, the executor pipes, the
+/// `calibsched serve` stream) must reference kFrameMagic rather than
+/// repeat the constant — enforced by tools/lint/calib_lint.py (rule
+/// ipc-magic).
+inline constexpr std::uint32_t kFrameMagic = 0x43414C42u;
+
+/// Bytes in a typed frame header: magic + type + length.
+inline constexpr std::size_t kFrameHeaderBytes = 12;
+
+/// Blocking write(2) of the whole buffer, retrying on EINTR and short
+/// writes. Returns false (with errno set) on any other error — EPIPE
+/// after the peer died, typically. Async-signal-safe: no heap, no
+/// locks, no stdio, so the sandbox's forked child may call it between
+/// fork() and _exit().
+[[nodiscard]] bool write_all(int fd, const void* data,
+                             std::size_t size) noexcept;
+
+/// Blocking read(2) of up to `capacity` bytes, retrying on EINTR.
+/// Returns the byte count (0 = EOF), or -1 with errno set on any
+/// non-EINTR error. Async-signal-safe.
+[[nodiscard]] ssize_t read_some(int fd, void* buffer,
+                                std::size_t capacity) noexcept;
+
+/// poll(2) retrying on EINTR (with the same timeout — callers that
+/// need a precise deadline recompute it per call, so the worst case is
+/// one interrupted tick stretching). Returns the ready count (0 =
+/// timeout); any negative return is a real error, never EINTR.
+[[nodiscard]] int poll_fds(pollfd* fds, std::size_t count,
+                           int timeout_ms) noexcept;
+
+/// One-fd POLLIN convenience over poll_fds: >0 readable (or HUP/ERR),
+/// 0 timeout, <0 real error.
+[[nodiscard]] int wait_readable(int fd, int timeout_ms) noexcept;
+
+/// Append `value` to `out` as u32 LE.
+void put_u32(std::string& out, std::uint32_t value);
+
+/// Read a u32 LE from `p` (must have 4 readable bytes).
+[[nodiscard]] std::uint32_t get_u32(const char* p) noexcept;
+
+/// Serialize one typed frame (header + payload) into a byte string
+/// ready for a single write. Throws std::runtime_error on an oversized
+/// payload.
+[[nodiscard]] std::string encode_frame(std::uint32_t type,
+                                       std::string_view payload);
+
+/// Encode + write_all one typed frame. Returns false on write error.
+[[nodiscard]] bool write_frame(int fd, std::uint32_t type,
+                               std::string_view payload);
+
+/// One decoded typed frame. The type word is protocol-specific; typed
+/// wrappers (harness::FrameReader, serve::protocol) narrow it to their
+/// own enum.
+struct RawFrame {
+  std::uint32_t type = 0;
+  std::string payload;
+};
+
+/// Incremental typed-frame decoder for one stream. Feed raw bytes as
+/// they arrive; pop complete frames with next(). Once a malformed
+/// header is seen the reader is poisoned: corrupted() stays true,
+/// next() never yields again, and error() names the reason.
+///
+/// The [min_type, max_type] window is the caller's protocol range —
+/// the executor speaks 1..5, the serve daemon 6..11 — so a frame from
+/// the wrong protocol is a poisoning breach, not a silent skip.
+class FrameReader {
+ public:
+  FrameReader(std::uint32_t min_type, std::uint32_t max_type)
+      : min_type_(min_type), max_type_(max_type) {}
+
+  void feed(const char* data, std::size_t n);
+  [[nodiscard]] bool next(RawFrame& frame);
+  [[nodiscard]] bool corrupted() const { return corrupted_; }
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+  /// Bytes currently buffered awaiting a complete frame. The hostility
+  /// tests assert this never tracks a hostile *declared* length — the
+  /// reader buffers only bytes actually received, and poisons on any
+  /// declared length past kMaxFrameBytes before allocating for it.
+  [[nodiscard]] std::size_t buffered_bytes() const { return buffer_.size(); }
+
+ private:
+  void decode();
+
+  std::uint32_t min_type_;
+  std::uint32_t max_type_;
+  std::string buffer_;
+  std::deque<RawFrame> ready_;
+  bool corrupted_ = false;
+  std::string error_;
+};
+
+}  // namespace calib

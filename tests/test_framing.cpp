@@ -1,0 +1,294 @@
+// The shared length-prefixed framing layer (util/framing.hpp): the
+// EINTR-safe I/O wrappers over real pipes, encode/decode round-trips,
+// the protocol-window contract, and — the robustness core — a
+// table-driven hostility suite asserting that every malformed header
+// poisons the reader permanently and that a hostile *declared* length
+// never turns into a proportional allocation: the reader buffers only
+// bytes actually received.
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/framing.hpp"
+
+namespace calib {
+namespace {
+
+std::string header(std::uint32_t magic, std::uint32_t type,
+                   std::uint32_t length) {
+  std::string out;
+  put_u32(out, magic);
+  put_u32(out, type);
+  put_u32(out, length);
+  return out;
+}
+
+// ---- EINTR-safe wrappers over a real pipe ------------------------------
+
+TEST(FramingIo, WriteAllReadSomeRoundTripOverAPipe) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  const std::string message = "framing round trip";
+  ASSERT_TRUE(write_all(fds[1], message.data(), message.size()));
+  ::close(fds[1]);
+  std::string got;
+  char buffer[8];
+  for (;;) {
+    const ssize_t n = read_some(fds[0], buffer, sizeof buffer);
+    ASSERT_GE(n, 0);
+    if (n == 0) break;  // EOF
+    got.append(buffer, static_cast<std::size_t>(n));
+  }
+  EXPECT_EQ(got, message);
+  ::close(fds[0]);
+}
+
+TEST(FramingIo, WriteAllFailsCleanlyOnAClosedPipe) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  ::close(fds[0]);
+  // SIGPIPE is ignored process-wide by the daemon/executor paths; tests
+  // must not die here either.
+  std::signal(SIGPIPE, SIG_IGN);
+  const char byte = 'x';
+  EXPECT_FALSE(write_all(fds[1], &byte, 1));
+  ::close(fds[1]);
+}
+
+TEST(FramingIo, WaitReadableTimesOutAndThenFires) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  EXPECT_EQ(wait_readable(fds[0], 10), 0);  // nothing yet: timeout
+  const char byte = 'y';
+  ASSERT_TRUE(write_all(fds[1], &byte, 1));
+  EXPECT_GT(wait_readable(fds[0], 1000), 0);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(FramingIo, WriteFrameIsReadableByAReader) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  ASSERT_TRUE(write_frame(fds[1], 3, "payload"));
+  ::close(fds[1]);
+  FrameReader reader(1, 5);
+  char buffer[64];
+  for (;;) {
+    const ssize_t n = read_some(fds[0], buffer, sizeof buffer);
+    ASSERT_GE(n, 0);
+    if (n == 0) break;
+    reader.feed(buffer, static_cast<std::size_t>(n));
+  }
+  RawFrame frame;
+  ASSERT_TRUE(reader.next(frame));
+  EXPECT_EQ(frame.type, 3u);
+  EXPECT_EQ(frame.payload, "payload");
+  ::close(fds[0]);
+}
+
+// ---- Encode / decode ---------------------------------------------------
+
+TEST(Framing, EncodeFrameLaysOutHeaderThenPayload) {
+  const std::string bytes = encode_frame(7, "ab");
+  ASSERT_EQ(bytes.size(), kFrameHeaderBytes + 2);
+  EXPECT_EQ(get_u32(bytes.data()), kFrameMagic);
+  EXPECT_EQ(get_u32(bytes.data() + 4), 7u);
+  EXPECT_EQ(get_u32(bytes.data() + 8), 2u);
+  EXPECT_EQ(bytes.substr(kFrameHeaderBytes), "ab");
+}
+
+TEST(Framing, EncodeFrameRejectsOversizedPayloads) {
+  EXPECT_THROW((void)encode_frame(1, std::string(kMaxFrameBytes + 1, 'x')),
+               std::runtime_error);
+}
+
+TEST(Framing, PutGetU32RoundTripsExtremes) {
+  for (const std::uint32_t value :
+       {0u, 1u, 0x43414C42u, 0x7FFFFFFFu, 0xFFFFFFFFu}) {
+    std::string out;
+    put_u32(out, value);
+    ASSERT_EQ(out.size(), 4u);
+    EXPECT_EQ(get_u32(out.data()), value);
+  }
+}
+
+TEST(Framing, WindowBoundsAreInclusive) {
+  FrameReader reader(6, 11);
+  const std::string bytes = encode_frame(6, "lo") + encode_frame(11, "hi");
+  reader.feed(bytes.data(), bytes.size());
+  RawFrame frame;
+  ASSERT_TRUE(reader.next(frame));
+  EXPECT_EQ(frame.type, 6u);
+  ASSERT_TRUE(reader.next(frame));
+  EXPECT_EQ(frame.type, 11u);
+  EXPECT_FALSE(reader.corrupted());
+}
+
+TEST(Framing, ByteAtATimeReassembly) {
+  const std::string bytes = encode_frame(2, "slow drip");
+  FrameReader reader(1, 5);
+  RawFrame frame;
+  for (std::size_t i = 0; i + 1 < bytes.size(); ++i) {
+    reader.feed(bytes.data() + i, 1);
+    EXPECT_FALSE(reader.next(frame)) << "frame completed early at " << i;
+  }
+  reader.feed(bytes.data() + bytes.size() - 1, 1);
+  ASSERT_TRUE(reader.next(frame));
+  EXPECT_EQ(frame.payload, "slow drip");
+}
+
+// ---- Table-driven hostility suite --------------------------------------
+
+struct HostileCase {
+  const char* name;
+  std::string bytes;          // the hostile stream
+  const char* error_substr;   // expected FrameReader::error() fragment
+};
+
+std::vector<HostileCase> hostile_cases() {
+  std::vector<HostileCase> cases;
+  cases.push_back({"garbage_magic",
+                   std::string("not a frame at all, just bytes"),
+                   "bad frame magic"});
+  cases.push_back({"zeroed_header", std::string(kFrameHeaderBytes, '\0'),
+                   "bad frame magic"});
+  cases.push_back({"magic_off_by_one_bit",
+                   header(kFrameMagic ^ 1u, 2, 0), "bad frame magic"});
+  cases.push_back({"type_below_window", header(kFrameMagic, 0, 0),
+                   "unknown frame type"});
+  cases.push_back({"type_above_window", header(kFrameMagic, 6, 0),
+                   "unknown frame type"});
+  cases.push_back({"type_huge", header(kFrameMagic, 0xFFFFFFFFu, 0),
+                   "unknown frame type"});
+  cases.push_back({"length_one_past_cap",
+                   header(kFrameMagic, 2, kMaxFrameBytes + 1),
+                   "oversized frame"});
+  cases.push_back({"length_2gib", header(kFrameMagic, 2, 0x7FFFFFFFu),
+                   "oversized frame"});
+  cases.push_back({"length_u32_max", header(kFrameMagic, 2, 0xFFFFFFFFu),
+                   "oversized frame"});
+  // A valid frame followed by trailing garbage: the frame is delivered,
+  // then the stream poisons at the garbage boundary.
+  cases.push_back({"valid_then_garbage",
+                   encode_frame(2, "ok") + std::string(16, 'Z'),
+                   "bad frame magic"});
+  return cases;
+}
+
+TEST(FramingHostility, MalformedHeadersPoisonPermanently) {
+  for (const HostileCase& c : hostile_cases()) {
+    SCOPED_TRACE(c.name);
+    FrameReader reader(1, 5);
+    reader.feed(c.bytes.data(), c.bytes.size());
+    RawFrame frame;
+    while (reader.next(frame)) {
+      // valid_then_garbage legitimately yields its leading frame.
+    }
+    EXPECT_TRUE(reader.corrupted());
+    EXPECT_NE(reader.error().find(c.error_substr), std::string::npos)
+        << reader.error();
+
+    // Permanence: a perfectly valid frame fed afterwards must neither
+    // resurrect the reader nor be buffered — a poisoned stream has no
+    // trustworthy frame boundary, and retaining bytes for it would be
+    // an unbounded-memory hole against a babbling peer.
+    const std::string valid = encode_frame(3, "after poison");
+    const std::size_t buffered = reader.buffered_bytes();
+    reader.feed(valid.data(), valid.size());
+    EXPECT_FALSE(reader.next(frame));
+    EXPECT_TRUE(reader.corrupted());
+    EXPECT_EQ(reader.buffered_bytes(), buffered) << "poisoned reader grew";
+  }
+}
+
+TEST(FramingHostility, HostileCasesPoisonEvenWhenFedByteAtATime) {
+  for (const HostileCase& c : hostile_cases()) {
+    SCOPED_TRACE(c.name);
+    FrameReader reader(1, 5);
+    for (const char byte : c.bytes) reader.feed(&byte, 1);
+    RawFrame frame;
+    while (reader.next(frame)) {
+    }
+    EXPECT_TRUE(reader.corrupted());
+    EXPECT_NE(reader.error().find(c.error_substr), std::string::npos)
+        << reader.error();
+  }
+}
+
+TEST(FramingHostility, DeclaredLengthNeverDrivesAllocation) {
+  // A header declaring a 2 GiB payload must cost the reader 12 bytes of
+  // buffer, not 2 GiB: poisoning happens on the declared length alone,
+  // before any allocation sized by it.
+  FrameReader reader(1, 5);
+  const std::string bytes = header(kFrameMagic, 2, 0x7FFFFFFFu);
+  reader.feed(bytes.data(), bytes.size());
+  EXPECT_TRUE(reader.corrupted());
+  EXPECT_LE(reader.buffered_bytes(), bytes.size());
+}
+
+TEST(FramingHostility, MaximalInWindowLengthBuffersOnlyReceivedBytes) {
+  // Exactly kMaxFrameBytes is legal, so the reader must wait for the
+  // payload — but its buffer tracks the bytes actually fed, never the
+  // declared size.
+  FrameReader reader(1, 5);
+  const std::string head = header(kFrameMagic, 2, kMaxFrameBytes);
+  reader.feed(head.data(), head.size());
+  EXPECT_FALSE(reader.corrupted());
+  EXPECT_EQ(reader.buffered_bytes(), head.size());
+  const std::string chunk(1024, 'p');
+  reader.feed(chunk.data(), chunk.size());
+  EXPECT_EQ(reader.buffered_bytes(), head.size() + chunk.size());
+  RawFrame frame;
+  EXPECT_FALSE(reader.next(frame));  // still incomplete, still sane
+}
+
+TEST(FramingHostility, TruncatedHeaderIsPatienceNotPoison) {
+  // Mid-header EOF is the peer's problem (callers see EOF on the fd);
+  // the reader itself just waits — poisoning on an incomplete header
+  // would break byte-at-a-time delivery.
+  for (std::size_t keep = 0; keep < kFrameHeaderBytes; ++keep) {
+    FrameReader reader(1, 5);
+    const std::string bytes = encode_frame(2, "x").substr(0, keep);
+    reader.feed(bytes.data(), bytes.size());
+    RawFrame frame;
+    EXPECT_FALSE(reader.next(frame)) << keep;
+    EXPECT_FALSE(reader.corrupted()) << keep;
+  }
+}
+
+TEST(FramingHostility, MidPayloadEofLeavesAnUncorruptedIncompleteFrame) {
+  const std::string bytes = encode_frame(2, "cut mid way");
+  FrameReader reader(1, 5);
+  reader.feed(bytes.data(), bytes.size() - 4);
+  RawFrame frame;
+  EXPECT_FALSE(reader.next(frame));
+  EXPECT_FALSE(reader.corrupted());
+  // The connection owner decides EOF-with-partial-frame is a breach;
+  // the reader reports exactly what it buffered.
+  EXPECT_EQ(reader.buffered_bytes(), bytes.size() - 4);
+}
+
+TEST(FramingHostility, InterleavedValidFramesSurviveUntilTheFirstBreach) {
+  FrameReader reader(6, 11);
+  const std::string bytes = encode_frame(7, "a") + encode_frame(8, "b") +
+                            header(kFrameMagic, 1, 0) +  // executor type
+                            encode_frame(9, "never seen");
+  reader.feed(bytes.data(), bytes.size());
+  RawFrame frame;
+  ASSERT_TRUE(reader.next(frame));
+  EXPECT_EQ(frame.payload, "a");
+  ASSERT_TRUE(reader.next(frame));
+  EXPECT_EQ(frame.payload, "b");
+  EXPECT_FALSE(reader.next(frame));
+  EXPECT_TRUE(reader.corrupted());
+  EXPECT_NE(reader.error().find("unknown frame type 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace calib

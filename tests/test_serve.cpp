@@ -1,0 +1,578 @@
+// The `calibsched serve` daemon end to end over real Unix sockets: the
+// hello/submit/decision/goodbye lifecycle, multi-tenant isolation
+// (byte-identical streams with a noisy neighbor), admission sheds
+// (pending cap and rate limit → RETRY_AFTER, never queued), watchdog
+// demotion of a stalled tenant without blocking others, protocol-breach
+// connection drops, graceful drain returning 0, and crash-consistent
+// journal resume producing byte-identical continuations. The embedded
+// chaos client (serve/client.hpp) is exercised against the same daemon.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/faults.hpp"
+#include "serve/client.hpp"
+#include "serve/daemon.hpp"
+#include "serve/protocol.hpp"
+#include "util/framing.hpp"
+
+namespace calib::serve {
+namespace {
+
+std::string temp_name(const std::string& stem) {
+  static int counter = 0;
+  return testing::TempDir() + "calibsched_" + stem + "_" +
+         std::to_string(::getpid()) + "_" + std::to_string(counter++);
+}
+
+// Run a daemon on its own thread; stop() + join on destruction. The
+// run() exit code is observable after stop_and_join().
+class DaemonHarness {
+ public:
+  explicit DaemonHarness(ServeOptions options) : daemon_(std::move(options)) {
+    thread_ = std::thread([this] { exit_code_ = daemon_.run(); });
+    ready_ = daemon_.wait_ready(10000.0);
+  }
+
+  ~DaemonHarness() { (void)stop_and_join(); }
+
+  [[nodiscard]] bool ready() const { return ready_; }
+
+  int stop_and_join() {
+    daemon_.stop();
+    if (thread_.joinable()) thread_.join();
+    return exit_code_;
+  }
+
+ private:
+  ServeDaemon daemon_;
+  std::thread thread_;
+  bool ready_ = false;
+  int exit_code_ = -1;
+};
+
+// A raw protocol client: framed request/reply over the Unix socket,
+// with every reply byte captured so streams can be compared across
+// daemon configurations.
+class TestClient {
+ public:
+  explicit TestClient(const std::string& socket_path)
+      : reader_(make_serve_reader()) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (fd_ >= 0 &&
+        ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof addr) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  ~TestClient() { close(); }
+
+  void close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+
+  [[nodiscard]] bool send(ServeFrame type, const std::string& payload) {
+    const std::string bytes = encode_serve_frame(type, payload);
+    return write_all(fd_, bytes.data(), bytes.size());
+  }
+
+  [[nodiscard]] bool send_raw(const std::string& bytes) {
+    return write_all(fd_, bytes.data(), bytes.size());
+  }
+
+  /// Next reply frame within `timeout_ms`; false on timeout, EOF, or a
+  /// poisoned reply stream.
+  [[nodiscard]] bool recv(RawFrame& frame, int timeout_ms = 10000) {
+    for (int waited = 0; waited <= timeout_ms;) {
+      if (reader_.next(frame)) return true;
+      if (reader_.corrupted()) return false;
+      const int ready = wait_readable(fd_, 50);
+      if (ready < 0) return false;
+      if (ready == 0) {
+        waited += 50;
+        continue;
+      }
+      char buffer[4096];
+      const ssize_t n = read_some(fd_, buffer, sizeof buffer);
+      if (n <= 0) return false;  // EOF or error
+      reader_.feed(buffer, static_cast<std::size_t>(n));
+    }
+    return false;
+  }
+
+  /// True once the daemon has closed this connection (EOF observed).
+  [[nodiscard]] bool at_eof(int timeout_ms = 10000) {
+    for (int waited = 0; waited <= timeout_ms;) {
+      const int ready = wait_readable(fd_, 50);
+      if (ready < 0) return true;
+      if (ready == 0) {
+        waited += 50;
+        continue;
+      }
+      char buffer[4096];
+      const ssize_t n = read_some(fd_, buffer, sizeof buffer);
+      if (n <= 0) return true;
+      reader_.feed(buffer, static_cast<std::size_t>(n));
+    }
+    return false;
+  }
+
+ private:
+  int fd_ = -1;
+  FrameReader reader_;
+};
+
+HelloRequest hello_for(const std::string& tenant) {
+  HelloRequest hello;
+  hello.tenant = tenant;
+  hello.policy = "alg2";
+  hello.T = 256;
+  hello.G = 5;
+  hello.seed = 1;
+  hello.period = 5;
+  return hello;
+}
+
+std::vector<SubmitJob> sample_jobs() {
+  return {{0, 3}, {2, 1}, {5, 2}, {9, 1}};
+}
+
+// Open a session and expect the ack.
+void open_session(TestClient& client, const HelloRequest& hello) {
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.send(ServeFrame::kHello, encode_hello(hello)));
+  RawFrame frame;
+  ASSERT_TRUE(client.recv(frame));
+  ASSERT_EQ(frame.type, static_cast<std::uint32_t>(ServeFrame::kHello))
+      << frame.payload;
+}
+
+// Submit one job and return the reply frame (decision or error).
+RawFrame submit_one(TestClient& client, const SubmitJob& job) {
+  RawFrame frame;
+  EXPECT_TRUE(client.send(ServeFrame::kSubmitJob, encode_submit(job)));
+  EXPECT_TRUE(client.recv(frame));
+  return frame;
+}
+
+// Drain via goodbye: returns the final stats payload (and checks the
+// closing kGoodbye).
+std::string drain_session(TestClient& client) {
+  EXPECT_TRUE(client.send(ServeFrame::kGoodbye, ""));
+  RawFrame frame;
+  EXPECT_TRUE(client.recv(frame));
+  EXPECT_EQ(frame.type, static_cast<std::uint32_t>(ServeFrame::kTenantStats))
+      << frame.payload;
+  const std::string stats = frame.payload;
+  EXPECT_TRUE(client.recv(frame));
+  EXPECT_EQ(frame.type, static_cast<std::uint32_t>(ServeFrame::kGoodbye));
+  return stats;
+}
+
+// ---- Lifecycle ---------------------------------------------------------
+
+TEST(Serve, SingleTenantLifecycleAndCleanDrain) {
+  ServeOptions options;
+  options.socket_path = temp_name("lifecycle") + ".sock";
+  DaemonHarness daemon(options);
+  ASSERT_TRUE(daemon.ready());
+
+  TestClient client(options.socket_path);
+  open_session(client, hello_for("t1"));
+
+  std::uint64_t expected_seq = 0;
+  Time last_now = 0;
+  for (const SubmitJob& job : sample_jobs()) {
+    const RawFrame reply = submit_one(client, job);
+    ASSERT_EQ(reply.type, static_cast<std::uint32_t>(ServeFrame::kDecision))
+        << reply.payload;
+    const Decision decision = decode_decision(reply.payload);
+    EXPECT_EQ(decision.seq, expected_seq++);
+    EXPECT_GE(decision.now, last_now);
+    last_now = decision.now;
+  }
+
+  const TenantStats stats = decode_stats(drain_session(client));
+  EXPECT_EQ(stats.tenant, "t1");
+  EXPECT_EQ(stats.state, "drained");
+  EXPECT_EQ(stats.jobs, sample_jobs().size());
+  EXPECT_EQ(stats.placed, sample_jobs().size());
+  EXPECT_EQ(stats.violation, "");
+  EXPECT_GT(stats.cost, 0);
+
+  EXPECT_EQ(daemon.stop_and_join(), 0);
+}
+
+TEST(Serve, SubmitBeforeHelloIsAProtocolError) {
+  ServeOptions options;
+  options.socket_path = temp_name("nohello") + ".sock";
+  DaemonHarness daemon(options);
+  ASSERT_TRUE(daemon.ready());
+
+  TestClient client(options.socket_path);
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.send(ServeFrame::kSubmitJob,
+                          encode_submit({0, 1})));
+  RawFrame frame;
+  ASSERT_TRUE(client.recv(frame));
+  ASSERT_EQ(frame.type, static_cast<std::uint32_t>(ServeFrame::kError));
+  EXPECT_EQ(decode_error(frame.payload).code, "PROTOCOL");
+}
+
+// ---- Multi-tenant isolation --------------------------------------------
+
+// Capture tenant `hello`'s full reply stream for `jobs` on a fresh
+// connection to `socket`, with an optional noisy neighbor running
+// concurrently. Every decision payload plus the final stats payload is
+// returned for byte comparison.
+std::vector<std::string> run_tenant_stream(const std::string& socket,
+                                           const HelloRequest& hello,
+                                           const std::vector<SubmitJob>& jobs) {
+  std::vector<std::string> payloads;
+  TestClient client(socket);
+  open_session(client, hello);
+  for (const SubmitJob& job : jobs) {
+    const RawFrame reply = submit_one(client, job);
+    EXPECT_EQ(reply.type, static_cast<std::uint32_t>(ServeFrame::kDecision))
+        << reply.payload;
+    payloads.push_back(reply.payload);
+  }
+  payloads.push_back(drain_session(client));
+  return payloads;
+}
+
+TEST(Serve, TenantStreamIsByteIdenticalDespiteANoisyNeighbor) {
+  // Reference: tenant alone on its own daemon.
+  ServeOptions solo_options;
+  solo_options.socket_path = temp_name("solo") + ".sock";
+  std::vector<std::string> solo;
+  {
+    DaemonHarness daemon(solo_options);
+    ASSERT_TRUE(daemon.ready());
+    solo = run_tenant_stream(solo_options.socket_path, hello_for("quiet"),
+                             sample_jobs());
+    EXPECT_EQ(daemon.stop_and_join(), 0);
+  }
+
+  // Same tenant with a neighbor hammering its own session in parallel.
+  ServeOptions shared_options;
+  shared_options.socket_path = temp_name("shared") + ".sock";
+  DaemonHarness daemon(shared_options);
+  ASSERT_TRUE(daemon.ready());
+
+  std::thread neighbor([&shared_options] {
+    HelloRequest hello = hello_for("noisy");
+    hello.G = 9;
+    hello.policy = "alg1";
+    std::vector<SubmitJob> jobs;
+    for (Time t = 0; t < 60; ++t) jobs.push_back({t, 2});
+    (void)run_tenant_stream(shared_options.socket_path, hello, jobs);
+  });
+  const std::vector<std::string> shared = run_tenant_stream(
+      shared_options.socket_path, hello_for("quiet"), sample_jobs());
+  neighbor.join();
+
+  EXPECT_EQ(shared, solo);
+  EXPECT_EQ(daemon.stop_and_join(), 0);
+}
+
+// ---- Admission ---------------------------------------------------------
+
+TEST(Serve, PendingCapShedsWithRetryAfterInsteadOfQueueing) {
+  ServeOptions options;
+  options.socket_path = temp_name("pending") + ".sock";
+  options.limits.max_pending = 2;
+  // Slow every decision down so the pending window is reliably full
+  // while the burst arrives.
+  options.faults = harness::parse_serve_faults("slow-tenant=100");
+  DaemonHarness daemon(options);
+  ASSERT_TRUE(daemon.ready());
+
+  TestClient client(options.socket_path);
+  open_session(client, hello_for("burst"));
+
+  constexpr int kBurst = 12;
+  for (Time t = 0; t < kBurst; ++t) {
+    ASSERT_TRUE(client.send(ServeFrame::kSubmitJob,
+                            encode_submit({t, 1})));
+  }
+  std::size_t decisions = 0;
+  std::size_t sheds = 0;
+  for (int i = 0; i < kBurst; ++i) {
+    RawFrame frame;
+    ASSERT_TRUE(client.recv(frame)) << "reply " << i;
+    if (frame.type == static_cast<std::uint32_t>(ServeFrame::kDecision)) {
+      ++decisions;
+      continue;
+    }
+    ASSERT_EQ(frame.type, static_cast<std::uint32_t>(ServeFrame::kError));
+    const ErrorInfo error = decode_error(frame.payload);
+    EXPECT_EQ(error.code, "RETRY_AFTER") << error.detail;
+    EXPECT_GT(error.retry_after_ms, 0);
+    ++sheds;
+  }
+  EXPECT_EQ(decisions + sheds, static_cast<std::size_t>(kBurst));
+  EXPECT_GT(sheds, 0u);
+  EXPECT_GT(decisions, 0u);  // admitted work still completes
+  EXPECT_EQ(daemon.stop_and_join(), 0);
+}
+
+TEST(Serve, RateLimitShedsBurstsBeyondTheBucket) {
+  ServeOptions options;
+  options.socket_path = temp_name("rate") + ".sock";
+  options.limits.rate_per_sec = 1.0;  // bucket starts with one token
+  DaemonHarness daemon(options);
+  ASSERT_TRUE(daemon.ready());
+
+  TestClient client(options.socket_path);
+  open_session(client, hello_for("bursty"));
+
+  std::size_t sheds = 0;
+  for (Time t = 0; t < 5; ++t) {
+    const RawFrame reply = submit_one(client, {t, 1});
+    if (reply.type == static_cast<std::uint32_t>(ServeFrame::kError)) {
+      EXPECT_EQ(decode_error(reply.payload).code, "RETRY_AFTER");
+      ++sheds;
+    }
+  }
+  // One second of burst headroom, then the bucket is dry; even generous
+  // CI jitter refills at most a token or two mid-test.
+  EXPECT_GE(sheds, 2u);
+  EXPECT_EQ(daemon.stop_and_join(), 0);
+}
+
+// ---- Watchdog / degradation --------------------------------------------
+
+TEST(Serve, StalledTenantIsDemotedWithoutBlockingOthers) {
+  ServeOptions options;
+  options.socket_path = temp_name("watchdog") + ".sock";
+  options.limits.decision_deadline_ms = 100.0;
+  options.faults = harness::parse_serve_faults("slow-tenant=2000@stuck");
+  options.threads = 2;  // the stall must not starve the pool
+  DaemonHarness daemon(options);
+  ASSERT_TRUE(daemon.ready());
+
+  TestClient stuck(options.socket_path);
+  open_session(stuck, hello_for("stuck"));
+  TestClient healthy(options.socket_path);
+  open_session(healthy, hello_for("healthy"));
+
+  // Kick off the stalled decision; do not wait for its reply yet.
+  ASSERT_TRUE(stuck.send(ServeFrame::kSubmitJob, encode_submit({0, 1})));
+
+  // The healthy tenant keeps streaming while `stuck` wedges the pool
+  // slot (each recv here is bounded well below the 2 s stall).
+  for (const SubmitJob& job : sample_jobs()) {
+    const RawFrame reply = submit_one(healthy, job);
+    EXPECT_EQ(reply.type, static_cast<std::uint32_t>(ServeFrame::kDecision))
+        << reply.payload;
+  }
+
+  // The stalled submit's reply is the demotion, not a late decision.
+  RawFrame frame;
+  ASSERT_TRUE(stuck.recv(frame));
+  ASSERT_EQ(frame.type, static_cast<std::uint32_t>(ServeFrame::kError))
+      << frame.payload;
+  EXPECT_EQ(decode_error(frame.payload).code, "DEGRADED");
+
+  // Demotion is sticky: the next submit is refused immediately.
+  const RawFrame refused = submit_one(stuck, {5, 1});
+  ASSERT_EQ(refused.type, static_cast<std::uint32_t>(ServeFrame::kError));
+  EXPECT_EQ(decode_error(refused.payload).code, "DEGRADED");
+
+  EXPECT_EQ(daemon.stop_and_join(), 0);
+}
+
+// ---- Protocol breaches -------------------------------------------------
+
+TEST(Serve, GarbageBytesDropTheConnectionButNotTheDaemon) {
+  ServeOptions options;
+  options.socket_path = temp_name("garbage") + ".sock";
+  DaemonHarness daemon(options);
+  ASSERT_TRUE(daemon.ready());
+
+  TestClient vandal(options.socket_path);
+  ASSERT_TRUE(vandal.connected());
+  ASSERT_TRUE(vandal.send_raw(std::string(64, 'Z')));
+  EXPECT_TRUE(vandal.at_eof());
+
+  // An executor-protocol frame (type 1) on the serve socket is equally
+  // a poisoning breach.
+  TestClient confused(options.socket_path);
+  ASSERT_TRUE(confused.connected());
+  ASSERT_TRUE(confused.send_raw(encode_frame(1, "lease")));
+  EXPECT_TRUE(confused.at_eof());
+
+  // The daemon survives both and serves a well-behaved client.
+  TestClient client(options.socket_path);
+  open_session(client, hello_for("fine"));
+  const RawFrame reply = submit_one(client, {0, 2});
+  EXPECT_EQ(reply.type, static_cast<std::uint32_t>(ServeFrame::kDecision));
+  EXPECT_EQ(daemon.stop_and_join(), 0);
+}
+
+TEST(Serve, DuplicateHelloIsAProtocolError) {
+  ServeOptions options;
+  options.socket_path = temp_name("dup") + ".sock";
+  DaemonHarness daemon(options);
+  ASSERT_TRUE(daemon.ready());
+
+  TestClient client(options.socket_path);
+  open_session(client, hello_for("once"));
+  ASSERT_TRUE(client.send(ServeFrame::kHello,
+                          encode_hello(hello_for("twice"))));
+  RawFrame frame;
+  ASSERT_TRUE(client.recv(frame));
+  ASSERT_EQ(frame.type, static_cast<std::uint32_t>(ServeFrame::kError));
+  EXPECT_EQ(decode_error(frame.payload).code, "PROTOCOL");
+  EXPECT_EQ(daemon.stop_and_join(), 0);
+}
+
+// ---- Journal / resume --------------------------------------------------
+
+TEST(Serve, ResumeContinuesTheStreamByteIdentically) {
+  const std::string journal = temp_name("journal") + ".jsonl";
+  const std::vector<SubmitJob> jobs = sample_jobs();
+
+  // Reference: the whole stream on one uninterrupted daemon.
+  std::vector<std::string> reference;
+  {
+    ServeOptions options;
+    options.socket_path = temp_name("ref") + ".sock";
+    DaemonHarness daemon(options);
+    ASSERT_TRUE(daemon.ready());
+    reference = run_tenant_stream(options.socket_path, hello_for("t1"), jobs);
+    EXPECT_EQ(daemon.stop_and_join(), 0);
+  }
+
+  // First half, then a SIGTERM-style drain with NO goodbye: the session
+  // must survive in the journal.
+  std::vector<std::string> stream;
+  {
+    ServeOptions options;
+    options.socket_path = temp_name("half1") + ".sock";
+    options.journal_path = journal;
+    DaemonHarness daemon(options);
+    ASSERT_TRUE(daemon.ready());
+    TestClient client(options.socket_path);
+    open_session(client, hello_for("t1"));
+    for (std::size_t i = 0; i < 2; ++i) {
+      const RawFrame reply = submit_one(client, jobs[i]);
+      ASSERT_EQ(reply.type,
+                static_cast<std::uint32_t>(ServeFrame::kDecision))
+          << reply.payload;
+      stream.push_back(reply.payload);
+    }
+    EXPECT_EQ(daemon.stop_and_join(), 0);
+  }
+
+  // Second half against `--resume`, reattaching to the restored session.
+  {
+    ServeOptions options;
+    options.socket_path = temp_name("half2") + ".sock";
+    options.journal_path = journal;
+    options.resume = true;
+    DaemonHarness daemon(options);
+    ASSERT_TRUE(daemon.ready());
+    TestClient client(options.socket_path);
+    HelloRequest hello = hello_for("t1");
+    hello.resume = true;
+    open_session(client, hello);
+    for (std::size_t i = 2; i < jobs.size(); ++i) {
+      const RawFrame reply = submit_one(client, jobs[i]);
+      ASSERT_EQ(reply.type,
+                static_cast<std::uint32_t>(ServeFrame::kDecision))
+          << reply.payload;
+      stream.push_back(reply.payload);
+    }
+    stream.push_back(drain_session(client));
+    EXPECT_EQ(daemon.stop_and_join(), 0);
+  }
+
+  EXPECT_EQ(stream, reference);
+  std::remove(journal.c_str());
+}
+
+// ---- The embedded chaos client -----------------------------------------
+
+TEST(ServeClient, WellBehavedRunReportsStatsAndExitZero) {
+  ServeOptions options;
+  options.socket_path = temp_name("client") + ".sock";
+  DaemonHarness daemon(options);
+  ASSERT_TRUE(daemon.ready());
+
+  ClientOptions client;
+  client.socket_path = options.socket_path;
+  client.hello = hello_for("cli");
+  client.jobs = sample_jobs();
+  std::ostringstream out;
+  client.out = &out;
+  const ClientReport report = run_client(client);
+  EXPECT_EQ(report.exit_code, 0) << report.last_error;
+  EXPECT_EQ(report.decisions, sample_jobs().size());
+  EXPECT_EQ(report.errors, 0u);
+  ASSERT_TRUE(report.got_stats);
+  EXPECT_EQ(report.final_stats.state, "drained");
+  EXPECT_EQ(report.final_stats.violation, "");
+  EXPECT_NE(out.str().find("\"cost\""), std::string::npos);
+  EXPECT_EQ(daemon.stop_and_join(), 0);
+}
+
+TEST(ServeClient, ChaosModesLeaveTheDaemonServing) {
+  ServeOptions options;
+  options.socket_path = temp_name("chaos") + ".sock";
+  DaemonHarness daemon(options);
+  ASSERT_TRUE(daemon.ready());
+
+  for (const ChaosMode mode :
+       {ChaosMode::kCorrupt, ChaosMode::kDisconnect, ChaosMode::kFlood}) {
+    ClientOptions client;
+    client.socket_path = options.socket_path;
+    client.hello = hello_for("chaos");
+    client.hello.tenant += std::to_string(static_cast<int>(mode));
+    client.jobs = sample_jobs();
+    client.chaos = mode;
+    const ClientReport report = run_client(client);
+    EXPECT_NE(report.exit_code, 1) << report.last_error;  // never "cannot run"
+  }
+
+  // After the abuse, a clean tenant still gets a clean stream.
+  ClientOptions client;
+  client.socket_path = options.socket_path;
+  client.hello = hello_for("after");
+  client.jobs = sample_jobs();
+  const ClientReport report = run_client(client);
+  EXPECT_EQ(report.exit_code, 0) << report.last_error;
+  EXPECT_EQ(report.decisions, sample_jobs().size());
+  EXPECT_EQ(daemon.stop_and_join(), 0);
+}
+
+TEST(ServeClient, ChaosModeNamesParse) {
+  EXPECT_EQ(parse_chaos_mode(""), ChaosMode::kNone);
+  EXPECT_EQ(parse_chaos_mode("none"), ChaosMode::kNone);
+  EXPECT_EQ(parse_chaos_mode("flood"), ChaosMode::kFlood);
+  EXPECT_EQ(parse_chaos_mode("disconnect-mid-frame"), ChaosMode::kDisconnect);
+  EXPECT_EQ(parse_chaos_mode("corrupt-frame"), ChaosMode::kCorrupt);
+  EXPECT_EQ(parse_chaos_mode("slow"), ChaosMode::kSlow);
+  EXPECT_THROW((void)parse_chaos_mode("nuke"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace calib::serve

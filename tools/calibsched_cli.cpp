@@ -39,6 +39,8 @@
 #include "offline/dp.hpp"
 #include "online/driver.hpp"
 #include "online/registry.hpp"
+#include "serve/client.hpp"
+#include "serve/daemon.hpp"
 #include "util/args.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -51,7 +53,8 @@ using namespace calib;
 int usage() {
   std::cerr <<
       "usage: calibsched_cli "
-      "<generate|solve|sweep|frontier|lowerbound|stats|policies> [flags]\n"
+      "<generate|solve|sweep|serve|client|frontier|lowerbound|stats|"
+      "policies> [flags]\n"
       "  generate   --kind poisson|bursty|sparse --T N [--jobs N]\n"
       "             [--steps N] [--rate R] [--machines P] [--weights W]\n"
       "             [--wmax N] [--seed S] [--out FILE]\n"
@@ -95,6 +98,24 @@ int usage() {
       "              --workers)\n"
       "             (exits 3 if any cell ends in error/timeout/skipped/\n"
       "              crashed/invalid)\n"
+      "  serve      --socket PATH | --tcp PORT [--journal FILE] [--resume]\n"
+      "             [--max-sessions N] [--max-pending N] [--rate-limit R]\n"
+      "             [--step-budget N] [--decision-deadline-ms MS]\n"
+      "             [--idle-timeout-ms MS] [--threads N]\n"
+      "             [--drain-grace-ms MS] [--inject-faults SPEC]\n"
+      "             [--events FILE]\n"
+      "             (streaming scheduling daemon; SPEC kinds:\n"
+      "              slow-tenant[=MS],flood[=N],disconnect-mid-frame,\n"
+      "              corrupt-frame, each optionally @TENANT;\n"
+      "              SIGTERM/SIGINT drain gracefully to exit 0)\n"
+      "  client     --socket PATH | --tcp PORT --tenant NAME [--policy P]\n"
+      "             [--T N] [--G N] [--machines P] [--seed S] [--period N]\n"
+      "             [--reattach] [--submit R:W[,R:W...] | --in FILE]\n"
+      "             [--chaos none|flood|disconnect-mid-frame|corrupt-frame\n"
+      "              |slow] [--chaos-param N] [--no-goodbye]\n"
+      "             (one session against a serve daemon; prints one JSONL\n"
+      "              line per decision; exits 0 ok, 1 connect, 2 protocol,\n"
+      "              4 rejected/shed)\n"
       "  frontier   --in FILE [--kmax N]\n"
       "  lowerbound --in FILE --G N\n"
       "  stats      --in FILE [--timeline]   (pretty-print a --metrics\n"
@@ -410,6 +431,10 @@ int cmd_sweep(const Args& args) {
   // A sweep with degraded cells must not look like a success to shell
   // pipelines: summarize per status and exit nonzero.
   const harness::SweepStatusCounts counts = report.status_counts();
+  if (report.interrupted) {
+    std::cerr << "sweep interrupted: unfinished cells journaled as skipped"
+                 " (continue with --resume --retry-failed)\n";
+  }
   if (!counts.all_ok()) {
     std::cerr << "sweep degraded: " << counts.ok << " ok, " << counts.error
               << " error, " << counts.timeout << " timeout, "
@@ -417,7 +442,7 @@ int cmd_sweep(const Args& args) {
               << " crashed, " << counts.invalid << " invalid\n";
     return 3;
   }
-  return 0;
+  return report.interrupted ? 3 : 0;
 }
 
 int cmd_frontier(const Args& args) {
@@ -632,6 +657,93 @@ int cmd_stats(const Args& args) {
   return 0;
 }
 
+int cmd_serve(const Args& args) {
+  serve::ServeOptions options;
+  options.socket_path = args.get("socket", "");
+  options.tcp_port =
+      args.has("tcp") ? static_cast<int>(args.get_int("tcp", 0)) : -1;
+  options.journal_path = args.get("journal", "");
+  options.resume = args.has("resume");
+  options.max_sessions =
+      static_cast<std::size_t>(args.get_int("max-sessions", 64));
+  options.limits.max_pending =
+      static_cast<std::size_t>(args.get_int("max-pending", 64));
+  options.limits.rate_per_sec = args.get_double("rate-limit", 0.0);
+  options.limits.step_budget =
+      static_cast<std::uint64_t>(args.get_int("step-budget", 0));
+  options.limits.decision_deadline_ms =
+      args.get_double("decision-deadline-ms", 0.0);
+  options.idle_timeout_ms = args.get_double("idle-timeout-ms", 0.0);
+  options.threads = static_cast<std::size_t>(args.get_int("threads", 0));
+  options.drain_grace_ms = args.get_double("drain-grace-ms", 5000.0);
+  if (args.has("inject-faults")) {
+    options.faults =
+        harness::parse_serve_faults(args.get("inject-faults", ""));
+  }
+  if (options.resume && options.journal_path.empty()) {
+    throw std::runtime_error("serve: --resume needs --journal FILE");
+  }
+  std::ofstream events_file;
+  if (args.has("events")) {
+    events_file.open(args.get("events", ""));
+    if (!events_file) {
+      throw std::runtime_error("serve: cannot open events file");
+    }
+    options.events = &events_file;
+  }
+  options.log = &std::cerr;
+  serve::ServeDaemon daemon(options);
+  return daemon.run();
+}
+
+int cmd_client(const Args& args) {
+  serve::ClientOptions options;
+  options.socket_path = args.get("socket", "");
+  options.tcp_port =
+      args.has("tcp") ? static_cast<int>(args.get_int("tcp", 0)) : -1;
+  options.hello.tenant = args.get("tenant", "");
+  options.hello.policy = args.get("policy", "alg2");
+  options.hello.T = args.get_int("T", 4096);
+  options.hello.machines = static_cast<int>(args.get_int("machines", 1));
+  options.hello.G = args.get_int("G", 5);
+  options.hello.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  options.hello.period = args.get_int("period", 5);
+  options.hello.resume = args.has("reattach");
+  options.goodbye = !args.has("no-goodbye");
+  options.chaos = serve::parse_chaos_mode(args.get("chaos", ""));
+  options.chaos_param = args.get_int("chaos-param", 0);
+  if (options.hello.tenant.empty()) {
+    throw std::runtime_error("client: --tenant NAME is required");
+  }
+  if (args.has("in")) {
+    // An instance CSV is already release-sorted by construction, which
+    // is exactly the monotone order the daemon requires.
+    const Instance instance = load_instance(args.get("in", ""));
+    for (const Job& job : instance.jobs()) {
+      options.jobs.push_back({job.release, job.weight});
+    }
+  }
+  if (args.has("submit")) {
+    for (const std::string& part : split_list(args.get("submit", ""))) {
+      const std::size_t colon = part.find(':');
+      serve::SubmitJob job;
+      try {
+        job.release = std::stoll(part.substr(0, colon));
+        job.weight =
+            colon == std::string::npos ? 1 : std::stoll(part.substr(colon + 1));
+      } catch (const std::exception&) {
+        throw std::runtime_error("client: bad --submit entry '" + part +
+                                 "' (want RELEASE:WEIGHT)");
+      }
+      options.jobs.push_back(job);
+    }
+  }
+  options.out = &std::cout;
+  options.log = &std::cerr;
+  const serve::ClientReport report = serve::run_client(options);
+  return report.exit_code;
+}
+
 int cmd_policies() {
   Table table({"name", "description"});
   for (const std::string& name : PolicyRegistry::instance().names()) {
@@ -660,10 +772,17 @@ int main(int argc, char** argv) {
                      "heartbeat-ms", "heartbeat-timeout-ms",
                      "max-cell-attempts", "retry-backoff-ms",
                      "worker-faults", "metrics", "trace",
-                     "metrics-timeline", "events", "progress", "timeline"});
+                     "metrics-timeline", "events", "progress", "timeline",
+                     "socket", "tcp", "max-sessions", "max-pending",
+                     "rate-limit", "step-budget", "decision-deadline-ms",
+                     "idle-timeout-ms", "drain-grace-ms", "tenant",
+                     "reattach", "submit", "chaos", "chaos-param",
+                     "no-goodbye"});
     if (command == "generate") return cmd_generate(args);
     if (command == "solve") return cmd_solve(args);
     if (command == "sweep") return cmd_sweep(args);
+    if (command == "serve") return cmd_serve(args);
+    if (command == "client") return cmd_client(args);
     if (command == "frontier") return cmd_frontier(args);
     if (command == "lowerbound") return cmd_lowerbound(args);
     if (command == "stats") return cmd_stats(args);

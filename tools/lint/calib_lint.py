@@ -16,10 +16,19 @@ every header under src/ (headers do not appear in the database). Rules:
 
   ipc-magic
       The 0x43414C42 frame magic must be defined in exactly one header
-      (src/harness/sandbox.hpp); every other occurrence in code must
+      (src/util/framing.hpp); every other occurrence in code must
       spell kFrameMagic. Two definitions can drift apart; framing bugs
-      between the sandbox pipe and future socket protocols are exactly
-      the silent kind.
+      between the sandbox pipe, the executor fleet, and the serve
+      daemon's socket protocol are exactly the silent kind.
+
+  raw-io-layering
+      Raw blocking I/O syscalls (::read, ::write, ::poll, ::select,
+      ::recv, ::send, ::pread, ::pwrite) may appear only in the two
+      designated I/O layers — src/util/framing.cpp (framed-pipe
+      primitives, EINTR-safe wrappers) and src/serve/io.cpp (the
+      daemon's non-blocking connection pumps). Everything else goes
+      through those wrappers, so EINTR handling, partial-write loops,
+      and poisoning semantics live in exactly one place per transport.
 
   calib-check
       No raw assert()/<cassert> in src/ — assert vanishes in NDEBUG
@@ -197,7 +206,7 @@ def check_signal_safety(path: Path, raw: str, rel: str) -> list[Finding]:
 # Rule: ipc-magic
 
 MAGIC_RE = re.compile(r"0x43414C42", re.IGNORECASE)
-MAGIC_HEADER = "src/harness/sandbox.hpp"
+MAGIC_HEADER = "src/util/framing.hpp"
 
 
 def check_ipc_magic(path: Path, stripped: str, rel: str) -> list[Finding]:
@@ -227,6 +236,40 @@ def check_ipc_magic_defined(files: dict[str, str]) -> list[Finding]:
             f"expected exactly one 0x43414C42 definition in {MAGIC_HEADER}, "
             f"found {count}",
         )
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Rule: raw-io-layering
+
+# Blocking I/O syscalls spelled with the explicit global-namespace
+# qualifier — the repo convention for "this is the raw syscall, not a
+# wrapper". Each transport gets exactly one home for them: the framed
+# pipe/socket primitives (EINTR loops, write_all, poll_fds) and the
+# serve daemon's non-blocking connection pumps. A third call site means
+# a third copy of the partial-I/O/EINTR/poisoning logic to get wrong.
+RAW_IO_RE = re.compile(
+    r"::(read|write|poll|select|recv|send|pread|pwrite)\s*\(")
+RAW_IO_ALLOWLIST = {
+    "src/util/framing.cpp",
+    "src/serve/io.cpp",
+}
+
+
+def check_raw_io_layering(path: Path, stripped: str,
+                          rel: str) -> list[Finding]:
+    if rel in RAW_IO_ALLOWLIST:
+        return []
+    return [
+        Finding(
+            "raw-io-layering", path, line_of(stripped, m.start()),
+            f"raw ::{m.group(1)}() outside the I/O layers "
+            "(src/util/framing.cpp, src/serve/io.cpp); use the "
+            "calib:: wrappers (write_all/read_some/poll_fds) or the "
+            "serve connection pumps so EINTR and partial-I/O handling "
+            "stay in one place",
+        )
+        for m in RAW_IO_RE.finditer(stripped)
     ]
 
 
@@ -397,6 +440,7 @@ RAW_TEXT_RULES = {"check_signal_safety", "check_policy_driver_isolation"}
 RULES = [
     check_signal_safety,
     check_ipc_magic,
+    check_raw_io_layering,
     check_calib_check,
     check_no_iostream,
     check_no_naked_new,

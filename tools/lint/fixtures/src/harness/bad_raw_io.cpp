@@ -1,0 +1,20 @@
+// Known-bad fixture: raw blocking syscalls outside the designated I/O
+// layers. Each call below must trip raw-io-layering; the ::close() and
+// the wrapper call must not (close is not on the syscall list, and
+// calib::write_all is the sanctioned spelling).
+#include <unistd.h>
+
+#include "util/framing.hpp"
+
+namespace calib::harness {
+
+void leak_raw_io(int fd) {
+  char byte = 0;
+  ::read(fd, &byte, 1);        // finding: raw ::read
+  ::write(fd, &byte, 1);       // finding: raw ::write
+  ::poll(nullptr, 0, 0);       // finding: raw ::poll
+  ::close(fd);                 // fine: not a blocking-I/O syscall
+  calib::write_all(fd, &byte, 1);  // fine: the wrapper
+}
+
+}  // namespace calib::harness

@@ -1,0 +1,17 @@
+// Known-good fixture: the allowlisted I/O layer may spell the raw
+// syscalls — this is where the EINTR loops live.
+#include <unistd.h>
+
+namespace calib {
+
+bool fixture_write_all(int fd, const char* data, unsigned len) {
+  while (len > 0) {
+    long n = ::write(fd, data, len);
+    if (n < 0) return false;
+    data += n;
+    len -= static_cast<unsigned>(n);
+  }
+  return true;
+}
+
+}  // namespace calib

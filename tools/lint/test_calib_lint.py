@@ -46,9 +46,26 @@ class FixtureDetection(unittest.TestCase):
     def test_duplicate_magic_definition(self):
         fixtures = HERE / "fixtures_magic"
         rc, out, _ = run_lint(fixtures,
-                              [fixtures / "src/harness/sandbox.hpp"])
+                              [fixtures / "src/util/framing.hpp"])
         self.assertEqual(rc, 1, out)
         self.assertIn("exactly one 0x43414C42", out)
+
+    def test_raw_io_layering(self):
+        fixtures = HERE / "fixtures"
+        rc, out, _ = run_lint(fixtures,
+                              [fixtures / "src/harness/bad_raw_io.cpp"])
+        self.assertEqual(rc, 1, out)
+        # read, write, poll are findings; close and the wrapper are not.
+        self.assertEqual(out.count("[raw-io-layering]"), 3, out)
+        self.assertIn("::read()", out)
+        self.assertNotIn("close", out)
+
+    def test_raw_io_allowed_in_io_layer(self):
+        fixtures = HERE / "fixtures"
+        rc, out, _ = run_lint(fixtures,
+                              [fixtures / "src/util/framing.cpp"])
+        self.assertEqual(rc, 0, out)
+        self.assertEqual(out.strip(), "", out)
 
     def test_core_layer_rules(self):
         fixtures = HERE / "fixtures"
